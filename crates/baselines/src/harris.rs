@@ -1,0 +1,277 @@
+//! `Harris-LL`: Timothy Harris's lock-free linked list \[23\] — the
+//! non-recoverable baseline of Figure 4 and the substrate that both the
+//! direct-tracking and capsules lists transform.
+//!
+//! Logical deletion sets a mark bit in the victim's `next` word; traversals
+//! physically unlink marked nodes they encounter. Memory is reclaimed
+//! through EBR; the unlink winner retires the node.
+
+use crate::util::{is_marked, ptr_of};
+use nvm::{PWord, Persist};
+use reclaim::{Collector, Guard};
+
+/// Sentinel keys.
+pub const KEY_MIN: u64 = 0;
+/// Tail sentinel key.
+pub const KEY_MAX: u64 = u64::MAX;
+
+/// A list node; `next` packs the mark bit.
+#[repr(C)]
+pub struct Node<M: Persist> {
+    pub(crate) key: u64,
+    pub(crate) next: PWord<M>,
+}
+
+impl<M: Persist> Node<M> {
+    pub(crate) fn alloc(key: u64, next: u64) -> *mut Node<M> {
+        Box::into_raw(Box::new(Node { key, next: PWord::new(next) }))
+    }
+}
+
+/// Harris's lock-free sorted linked list.
+pub struct HarrisList<M: Persist> {
+    head: *mut Node<M>,
+    collector: Collector,
+}
+
+unsafe impl<M: Persist> Send for HarrisList<M> {}
+unsafe impl<M: Persist> Sync for HarrisList<M> {}
+
+impl<M: Persist> Default for HarrisList<M> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<M: Persist> HarrisList<M> {
+    /// New empty list.
+    pub fn new() -> Self {
+        let tail: *mut Node<M> = Node::alloc(KEY_MAX, 0);
+        let head = Node::alloc(KEY_MIN, tail as u64);
+        Self { head, collector: Collector::new() }
+    }
+
+    /// Search: returns `(pred, curr)` with `curr` the first unmarked node
+    /// with `curr.key >= key`, unlinking marked chains on the way.
+    pub(crate) unsafe fn search(&self, key: u64, g: &Guard<'_>) -> (*mut Node<M>, *mut Node<M>) {
+        unsafe {
+            'retry: loop {
+                let mut pred = self.head;
+                let mut curr = ptr_of((*pred).next.load()) as *mut Node<M>;
+                loop {
+                    let succ_w = (*curr).next.load();
+                    if is_marked(succ_w) {
+                        // curr is logically deleted: unlink it.
+                        let succ = ptr_of(succ_w);
+                        if (*pred).next.cas(curr as u64, succ) != curr as u64 {
+                            continue 'retry;
+                        }
+                        g.retire_box(curr);
+                        curr = succ as *mut Node<M>;
+                        continue;
+                    }
+                    if (*curr).key >= key {
+                        return (pred, curr);
+                    }
+                    pred = curr;
+                    curr = ptr_of(succ_w) as *mut Node<M>;
+                }
+            }
+        }
+    }
+
+    /// Inserts `key`; `false` if present.
+    pub fn insert(&self, _pid: usize, key: u64) -> bool {
+        assert!(key > KEY_MIN && key < KEY_MAX);
+        let node = Node::<M>::alloc(key, 0);
+        loop {
+            let g = self.collector.pin();
+            let (pred, curr) = unsafe { self.search(key, &g) };
+            unsafe {
+                if (*curr).key == key {
+                    drop(Box::from_raw(node));
+                    return false;
+                }
+                (*node).next.store(curr as u64);
+                if (*pred).next.cas(curr as u64, node as u64) == curr as u64 {
+                    return true;
+                }
+            }
+        }
+    }
+
+    /// Deletes `key`; `false` if absent.
+    pub fn delete(&self, pid: usize, key: u64) -> bool {
+        assert!(key > KEY_MIN && key < KEY_MAX);
+        loop {
+            let g = self.collector.pin();
+            let (pred, curr) = unsafe { self.search(key, &g) };
+            unsafe {
+                if (*curr).key != key {
+                    return false;
+                }
+                let succ_w = (*curr).next.load();
+                if is_marked(succ_w) {
+                    continue;
+                }
+                // Logical delete: set the mark (stamped for DT reuse).
+                if (*curr).next.cas(succ_w, crate::util::marked(succ_w, pid)) != succ_w {
+                    continue;
+                }
+                // Physical delete (best effort; searches clean up otherwise).
+                if (*pred).next.cas(curr as u64, ptr_of(succ_w)) == curr as u64 {
+                    g.retire_box(curr);
+                }
+                return true;
+            }
+        }
+    }
+
+    /// Membership test.
+    pub fn find(&self, _pid: usize, key: u64) -> bool {
+        assert!(key > KEY_MIN && key < KEY_MAX);
+        let g = self.collector.pin();
+        let (_, curr) = unsafe { self.search(key, &g) };
+        unsafe { (*curr).key == key }
+    }
+
+    /// Quiescent snapshot of user keys.
+    pub fn snapshot_keys(&mut self) -> Vec<u64> {
+        let mut out = Vec::new();
+        unsafe {
+            let mut n = ptr_of((*self.head).next.load()) as *mut Node<M>;
+            while (*n).key != KEY_MAX {
+                if !is_marked((*n).next.load()) {
+                    out.push((*n).key);
+                }
+                n = ptr_of((*n).next.load()) as *mut Node<M>;
+            }
+        }
+        out
+    }
+}
+
+impl<M: Persist> Drop for HarrisList<M> {
+    fn drop(&mut self) {
+        unsafe {
+            let mut n = self.head;
+            loop {
+                let next = ptr_of((*n).next.load()) as *mut Node<M>;
+                let last = (*n).key == KEY_MAX;
+                drop(Box::from_raw(n));
+                if last {
+                    break;
+                }
+                n = next;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nvm::NoPersist;
+    use std::sync::Arc;
+
+    type L = HarrisList<NoPersist>;
+
+    #[test]
+    fn sequential_semantics() {
+        nvm::tid::set_tid(0);
+        let l = L::new();
+        assert!(l.insert(0, 5));
+        assert!(!l.insert(0, 5));
+        assert!(l.find(0, 5));
+        assert!(l.delete(0, 5));
+        assert!(!l.delete(0, 5));
+        assert!(!l.find(0, 5));
+    }
+
+    #[test]
+    fn sorted_snapshot() {
+        nvm::tid::set_tid(0);
+        let mut l = L::new();
+        for k in [9u64, 2, 7, 4] {
+            l.insert(0, k);
+        }
+        l.delete(0, 7);
+        assert_eq!(l.snapshot_keys(), vec![2, 4, 9]);
+    }
+
+    #[test]
+    fn matches_btreeset_randomly() {
+        use rand::{Rng, SeedableRng};
+        nvm::tid::set_tid(0);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let mut l = L::new();
+        let mut model = std::collections::BTreeSet::new();
+        for _ in 0..4000 {
+            let k = rng.gen_range(1..48u64);
+            match rng.gen_range(0..3) {
+                0 => assert_eq!(l.insert(0, k), model.insert(k)),
+                1 => assert_eq!(l.delete(0, k), model.remove(&k)),
+                _ => assert_eq!(l.find(0, k), model.contains(&k)),
+            }
+        }
+        assert_eq!(l.snapshot_keys(), model.into_iter().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn concurrent_churn() {
+        let l = Arc::new(L::new());
+        let hs: Vec<_> = (0..4)
+            .map(|t| {
+                let l = Arc::clone(&l);
+                std::thread::spawn(move || {
+                    use rand::{Rng, SeedableRng};
+                    nvm::tid::set_tid(t);
+                    let mut rng = rand::rngs::StdRng::seed_from_u64(t as u64);
+                    for _ in 0..3000 {
+                        let k = rng.gen_range(1..32u64);
+                        match rng.gen_range(0..3) {
+                            0 => {
+                                l.insert(t, k);
+                            }
+                            1 => {
+                                l.delete(t, k);
+                            }
+                            _ => {
+                                l.find(t, k);
+                            }
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in hs {
+            h.join().unwrap();
+        }
+        let mut l = Arc::into_inner(l).unwrap();
+        let snap = l.snapshot_keys();
+        for w in snap.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+    }
+
+    #[test]
+    fn disjoint_concurrent_inserts() {
+        let l = Arc::new(L::new());
+        let hs: Vec<_> = (0..4u64)
+            .map(|t| {
+                let l = Arc::clone(&l);
+                std::thread::spawn(move || {
+                    nvm::tid::set_tid(t as usize);
+                    for i in 0..250u64 {
+                        assert!(l.insert(t as usize, 1 + t + i * 4));
+                    }
+                })
+            })
+            .collect();
+        for h in hs {
+            h.join().unwrap();
+        }
+        let mut l = Arc::into_inner(l).unwrap();
+        assert_eq!(l.snapshot_keys().len(), 1000);
+    }
+}

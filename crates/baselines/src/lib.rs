@@ -1,0 +1,31 @@
+//! # `baselines` — comparators for the ISB-tracking evaluation
+//!
+//! Every implementation the paper's Section 5 measures against:
+//!
+//! | name (paper) | module | recoverable? | notes |
+//! |---|---|---|---|
+//! | `Harris-LL` | [`harris`] | no | Harris's lock-free list \[23\], Figure 4 |
+//! | `DT-Opt` | [`dt_list`] | detectable | direct tracking per \[20\]'s guidelines, hand-tuned flushes |
+//! | — | [`rcas`] | — | recoverable CAS \[1\], substrate for capsules |
+//! | `Capsules` / `Capsules-Opt` | [`capsules_list`] | detectable | normalized 2-capsule transformation \[3\]; `Capsules` adds the full durability transform \[27\] (pwb+pfence per shared access) |
+//! | `MS-Queue` | [`ms_queue`] | no | Michael–Scott queue \[30\], Figure 7 |
+//! | `Log-Queue` | [`log_queue`] | detectable | Friedman et al. \[20\], faithful-shape |
+//! | `Capsules-General` / `Capsules-Normal` | [`capsules_queue`] | detectable | capsule-per-CAS vs normalized 2-capsule MS-queue |
+//!
+//! All are generic over [`nvm::Persist`] so they run under real flushes,
+//! counting mode, or the private-cache model — the placement (and therefore
+//! count) of persistency instructions follows the cited papers, which is
+//! what drives the figures' shapes (e.g., the barrier-per-traversed-marked-
+//! node behaviour of `DT-Opt`/`Capsules-Opt` versus the constant barrier
+//! count of ISB).
+
+#![warn(missing_docs)]
+
+pub mod capsules_list;
+pub mod capsules_queue;
+pub mod dt_list;
+pub mod harris;
+pub mod log_queue;
+pub mod ms_queue;
+pub mod rcas;
+pub mod util;

@@ -1,0 +1,169 @@
+//! `MS-Queue`: the Michael–Scott lock-free queue \[30\] — non-recoverable
+//! baseline of Figure 7 (right).
+
+use nvm::{PWord, Persist};
+use reclaim::Collector;
+
+/// A queue node.
+#[repr(C)]
+pub struct Node<M: Persist> {
+    val: u64,
+    next: PWord<M>,
+}
+
+impl<M: Persist> Node<M> {
+    fn alloc(val: u64) -> *mut Node<M> {
+        Box::into_raw(Box::new(Node { val, next: PWord::new(0) }))
+    }
+}
+
+/// Michael–Scott queue.
+pub struct MsQueue<M: Persist> {
+    head: PWord<M>,
+    tail: PWord<M>,
+    collector: Collector,
+}
+
+unsafe impl<M: Persist> Send for MsQueue<M> {}
+unsafe impl<M: Persist> Sync for MsQueue<M> {}
+
+impl<M: Persist> Default for MsQueue<M> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<M: Persist> MsQueue<M> {
+    /// New empty queue.
+    pub fn new() -> Self {
+        let s: *mut Node<M> = Node::alloc(0);
+        Self { head: PWord::new(s as u64), tail: PWord::new(s as u64), collector: Collector::new() }
+    }
+
+    /// Enqueue `v`.
+    pub fn enqueue(&self, _pid: usize, v: u64) {
+        let node = Node::<M>::alloc(v);
+        let _g = self.collector.pin();
+        loop {
+            let t = self.tail.load();
+            let tn = unsafe { (*(t as *mut Node<M>)).next.load() };
+            if tn != 0 {
+                // Tail lagging: help advance it.
+                let _ = self.tail.cas(t, tn);
+                continue;
+            }
+            if unsafe { (*(t as *mut Node<M>)).next.cas(0, node as u64) } == 0 {
+                let _ = self.tail.cas(t, node as u64);
+                return;
+            }
+        }
+    }
+
+    /// Dequeue; `None` when empty.
+    pub fn dequeue(&self, _pid: usize) -> Option<u64> {
+        let g = self.collector.pin();
+        loop {
+            let h = self.head.load();
+            let t = self.tail.load();
+            let next = unsafe { (*(h as *mut Node<M>)).next.load() };
+            if h == t {
+                if next == 0 {
+                    return None;
+                }
+                let _ = self.tail.cas(t, next);
+                continue;
+            }
+            let v = unsafe { (*(next as *mut Node<M>)).val };
+            if self.head.cas(h, next) == h {
+                unsafe { g.retire_box(h as *mut Node<M>) };
+                return Some(v);
+            }
+        }
+    }
+
+    /// Quiescent snapshot.
+    pub fn snapshot_vals(&mut self) -> Vec<u64> {
+        let mut out = Vec::new();
+        unsafe {
+            let s = self.head.load() as *mut Node<M>;
+            let mut n = (*s).next.load() as *mut Node<M>;
+            while !n.is_null() {
+                out.push((*n).val);
+                n = (*n).next.load() as *mut Node<M>;
+            }
+        }
+        out
+    }
+}
+
+impl<M: Persist> Drop for MsQueue<M> {
+    fn drop(&mut self) {
+        unsafe {
+            let mut n = self.head.load() as *mut Node<M>;
+            while !n.is_null() {
+                let next = (*n).next.load() as *mut Node<M>;
+                drop(Box::from_raw(n));
+                n = next;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nvm::NoPersist;
+    use std::sync::Arc;
+
+    type Q = MsQueue<NoPersist>;
+
+    #[test]
+    fn fifo() {
+        nvm::tid::set_tid(0);
+        let q = Q::new();
+        assert_eq!(q.dequeue(0), None);
+        q.enqueue(0, 1);
+        q.enqueue(0, 2);
+        assert_eq!(q.dequeue(0), Some(1));
+        assert_eq!(q.dequeue(0), Some(2));
+        assert_eq!(q.dequeue(0), None);
+    }
+
+    #[test]
+    fn concurrent_conservation() {
+        let q = Arc::new(Q::new());
+        use std::sync::atomic::{AtomicU64, Ordering};
+        let sum = Arc::new(AtomicU64::new(0));
+        let per = 2000u64;
+        let mut hs = Vec::new();
+        for p in 0..2u64 {
+            let q = Arc::clone(&q);
+            hs.push(std::thread::spawn(move || {
+                nvm::tid::set_tid(p as usize);
+                for i in 0..per {
+                    q.enqueue(p as usize, 1 + p * per + i);
+                }
+            }));
+        }
+        for c in 0..2usize {
+            let q = Arc::clone(&q);
+            let sum = Arc::clone(&sum);
+            hs.push(std::thread::spawn(move || {
+                nvm::tid::set_tid(10 + c);
+                let mut got = 0;
+                let mut s = 0u64;
+                while got < per {
+                    if let Some(v) = q.dequeue(10 + c) {
+                        got += 1;
+                        s += v;
+                    }
+                }
+                sum.fetch_add(s, Ordering::Relaxed);
+            }));
+        }
+        for h in hs {
+            h.join().unwrap();
+        }
+        assert_eq!(sum.load(Ordering::Relaxed), (1..=2 * per).sum::<u64>());
+    }
+}

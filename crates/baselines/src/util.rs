@@ -1,0 +1,105 @@
+//! Shared helpers for the baselines: marked-pointer packing and per-process
+//! persistent areas.
+
+use nvm::pad::CachePadded;
+use nvm::{PWord, Persist, MAX_PROCS};
+
+/// Mark bit (logical deletion, Harris style) in bit 0 of a `next` word.
+pub const MARK: u64 = 1;
+
+/// Pointer part of a (possibly marked, possibly pid-stamped) next word.
+/// Bits 1..48 hold the pointer (x86-64 canonical user pointers), bit 0 the
+/// mark, bits 48.. the stamp (deleter pid for direct tracking).
+#[inline]
+pub fn ptr_of(w: u64) -> u64 {
+    w & 0x0000_FFFF_FFFF_FFFE
+}
+
+/// Whether the word carries the mark bit.
+#[inline]
+pub fn is_marked(w: u64) -> bool {
+    w & MARK == MARK
+}
+
+/// Marked version of `w`, stamped with the deleter's pid.
+#[inline]
+pub fn marked(w: u64, pid: usize) -> u64 {
+    debug_assert!(pid < MAX_PROCS);
+    ptr_of(w) | MARK | ((pid as u64) << 48)
+}
+
+/// The pid stamped into a marked word.
+#[inline]
+pub fn stamp_of(w: u64) -> usize {
+    ((w >> 48) & 0x3f) as usize
+}
+
+/// A padded per-process array of persistent state (announcement areas,
+/// capsule state, logs).
+pub struct PerProc<T> {
+    slots: Vec<CachePadded<T>>,
+}
+
+impl<T: Default> Default for PerProc<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T: Default> PerProc<T> {
+    /// One padded `T` per possible process.
+    pub fn new() -> Self {
+        Self { slots: (0..MAX_PROCS).map(|_| CachePadded::new(T::default())).collect() }
+    }
+}
+
+impl<T> PerProc<T> {
+    /// Process `pid`'s slot.
+    #[inline]
+    pub fn get(&self, pid: usize) -> &T {
+        &self.slots[pid]
+    }
+
+    /// Iterate all slots.
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        self.slots.iter().map(|s| &**s)
+    }
+}
+
+/// A single persistent word per process (announcement cells).
+pub type PerProcWord<M> = PerProc<PWord<M>>;
+
+/// Convenience: the address of a `PWord` as `u64`.
+#[inline]
+pub fn cell_addr<M: Persist>(w: &PWord<M>) -> u64 {
+    w as *const PWord<M> as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mark_packing_roundtrip() {
+        let p = 0x7f12_3456_7890u64 & !7;
+        assert!(!is_marked(p));
+        let m = marked(p, 13);
+        assert!(is_marked(m));
+        assert_eq!(ptr_of(m), p);
+        assert_eq!(stamp_of(m), 13);
+        // Marking twice with a different pid re-stamps.
+        let m2 = marked(m, 7);
+        assert_eq!(ptr_of(m2), p);
+        assert_eq!(stamp_of(m2), 7);
+    }
+
+    #[test]
+    fn per_proc_slots_are_independent() {
+        let pp: PerProc<std::sync::atomic::AtomicU64> = PerProc::new();
+        pp.get(0).store(1, std::sync::atomic::Ordering::Relaxed);
+        pp.get(5).store(2, std::sync::atomic::Ordering::Relaxed);
+        assert_eq!(pp.get(0).load(std::sync::atomic::Ordering::Relaxed), 1);
+        assert_eq!(pp.get(5).load(std::sync::atomic::Ordering::Relaxed), 2);
+        assert_eq!(pp.get(1).load(std::sync::atomic::Ordering::Relaxed), 0);
+    }
+}

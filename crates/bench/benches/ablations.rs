@@ -1,0 +1,93 @@
+//! Ablations for the design choices DESIGN.md calls out:
+//!
+//! 1. **Persistency-mode ablation**: the same ISB list under real flushes,
+//!    counting-only, and private-cache — isolating how much of the cost is
+//!    clflush/mfence versus algorithmic.
+//! 2. **Tuned-placement ablation**: Isb vs Isb-Opt (paper placement vs
+//!    hand-tuned batching), the paper's central optimisation.
+//! 3. **Elimination ablation**: the recoverable stack's exchanger layer
+//!    under producer/consumer contention.
+
+use bench_harness::adapters::SetBench;
+use bench_harness::workload::{prefill_set, run_set, Mix, SetCfg};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use isb::list::RList;
+use isb::stack::RStack;
+use nvm::{CountingNvm, NoPersist, RealNvm};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn time_per_op<B: SetBench + 'static>(s: Arc<B>, iters: u64) -> Duration {
+    prefill_set(&*s, 500, 7);
+    let r = run_set(
+        s,
+        SetCfg {
+            threads: 2,
+            key_range: 500,
+            mix: Mix::UPDATE_INTENSIVE,
+            duration: Duration::from_millis(100),
+            seed: 42,
+        },
+    );
+    Duration::from_secs_f64(r.elapsed.as_secs_f64() / r.ops.max(1) as f64 * iters as f64)
+}
+
+fn bench_modes(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_persistency_mode");
+    g.sample_size(10);
+    g.bench_function(BenchmarkId::from_parameter("real-flushes"), |b| {
+        b.iter_custom(|iters| time_per_op(Arc::new(RList::<RealNvm, true>::new()), iters))
+    });
+    g.bench_function(BenchmarkId::from_parameter("counting-only"), |b| {
+        b.iter_custom(|iters| time_per_op(Arc::new(RList::<CountingNvm, true>::new()), iters))
+    });
+    g.bench_function(BenchmarkId::from_parameter("private-cache"), |b| {
+        b.iter_custom(|iters| time_per_op(Arc::new(RList::<NoPersist, true>::new()), iters))
+    });
+    g.finish();
+
+    let mut g = c.benchmark_group("ablation_tuned_placement");
+    g.sample_size(10);
+    g.bench_function(BenchmarkId::from_parameter("paper-placement"), |b| {
+        b.iter_custom(|iters| time_per_op(Arc::new(RList::<RealNvm, false>::new()), iters))
+    });
+    g.bench_function(BenchmarkId::from_parameter("hand-tuned"), |b| {
+        b.iter_custom(|iters| time_per_op(Arc::new(RList::<RealNvm, true>::new()), iters))
+    });
+    g.finish();
+}
+
+fn bench_stack(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_elimination_stack");
+    g.sample_size(10);
+    g.bench_function("push_pop_pairs_2threads", |b| {
+        b.iter_custom(|iters| {
+            let s = Arc::new(RStack::<RealNvm>::new());
+            let start = std::time::Instant::now();
+            let ops_per_thread = 2_000u64;
+            let hs: Vec<_> = (0..2usize)
+                .map(|t| {
+                    let s = Arc::clone(&s);
+                    std::thread::spawn(move || {
+                        nvm::tid::set_tid(t);
+                        for i in 0..ops_per_thread {
+                            s.push(t, i + 1);
+                            std::hint::black_box(s.pop(t));
+                        }
+                    })
+                })
+                .collect();
+            for h in hs {
+                h.join().unwrap();
+            }
+            let total_ops = 2 * 2 * ops_per_thread;
+            Duration::from_secs_f64(
+                start.elapsed().as_secs_f64() / total_ops as f64 * iters as f64,
+            )
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_modes, bench_stack);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Criterion mirror of Figures 1a/1d/1e/1f/3: per-operation latency of every
+//! list implementation under the paper's workload mixes (shared-cache model,
+//! real clflush/mfence).
+
+use baselines::capsules_list::CapsulesList;
+use baselines::dt_list::DtList;
+use bench_harness::adapters::SetBench;
+use bench_harness::workload::{prefill_set, run_set, Mix, SetCfg};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use isb::list::RList;
+use nvm::RealNvm;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn time_per_op<B: SetBench + 'static>(s: Arc<B>, mix: Mix, range: u64, iters: u64) -> Duration {
+    prefill_set(&*s, range, 7);
+    let r = run_set(
+        s,
+        SetCfg { threads: 2, key_range: range, mix, duration: Duration::from_millis(120), seed: 42 },
+    );
+    Duration::from_secs_f64(r.elapsed.as_secs_f64() / r.ops.max(1) as f64 * iters as f64)
+}
+
+fn bench(c: &mut Criterion) {
+    for (mix, label) in
+        [(Mix::READ_INTENSIVE, "read-intensive"), (Mix::UPDATE_INTENSIVE, "update-intensive")]
+    {
+        let mut g = c.benchmark_group(format!("fig1_list_{label}_range500"));
+        g.sample_size(10);
+        g.bench_function(BenchmarkId::from_parameter("Isb"), |b| {
+            b.iter_custom(|iters| time_per_op(Arc::new(RList::<RealNvm, false>::new()), mix, 500, iters))
+        });
+        g.bench_function(BenchmarkId::from_parameter("Isb-Opt"), |b| {
+            b.iter_custom(|iters| time_per_op(Arc::new(RList::<RealNvm, true>::new()), mix, 500, iters))
+        });
+        g.bench_function(BenchmarkId::from_parameter("Capsules-Opt"), |b| {
+            b.iter_custom(|iters| {
+                time_per_op(Arc::new(CapsulesList::<RealNvm, true>::new()), mix, 500, iters)
+            })
+        });
+        g.bench_function(BenchmarkId::from_parameter("DT-Opt"), |b| {
+            b.iter_custom(|iters| time_per_op(Arc::new(DtList::<RealNvm>::new()), mix, 500, iters))
+        });
+        g.finish();
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! Criterion mirror of Figures 1b/1c/5/6: the *number* of persistency
+//! instructions per operation (counting mode — no real flushes), asserted as
+//! custom measurements via per-op wall time under CountingNvm plus printed
+//! counter summaries.
+
+use baselines::capsules_list::CapsulesList;
+use baselines::dt_list::DtList;
+use bench_harness::adapters::SetBench;
+use bench_harness::workload::{prefill_set, run_set, Mix, SetCfg};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use isb::list::RList;
+use nvm::CountingNvm;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn counted_run<B: SetBench + 'static + ?Sized>(s: Arc<B>, range: u64) -> (f64, f64) {
+    prefill_set(&*s, range, 7);
+    nvm::stats::reset();
+    let r = run_set(
+        s,
+        SetCfg {
+            threads: 2,
+            key_range: range,
+            mix: Mix::UPDATE_INTENSIVE,
+            duration: Duration::from_millis(100),
+            seed: 42,
+        },
+    );
+    (r.barriers_per_op(), r.flushes_per_op())
+}
+
+fn bench(c: &mut Criterion) {
+    // Print the paper-figure counters once per algorithm, then benchmark the
+    // counting-mode run itself (its cost ≈ algorithmic cost minus flushes).
+    let algos: Vec<(&str, Box<dyn Fn() -> Arc<dyn SetBench>>)> = vec![
+        ("Isb", Box::new(|| Arc::new(RList::<CountingNvm, false>::new()))),
+        ("Isb-Opt", Box::new(|| Arc::new(RList::<CountingNvm, true>::new()))),
+        ("Capsules-Opt", Box::new(|| Arc::new(CapsulesList::<CountingNvm, true>::new()))),
+        ("DT-Opt", Box::new(|| Arc::new(DtList::<CountingNvm>::new()))),
+    ];
+    for (name, mk) in &algos {
+        let (b, f) = counted_run(mk(), 500);
+        println!("[fig1b/c] {name}: {b:.2} barriers/op, {f:.2} stand-alone flushes/op");
+    }
+    let mut g = c.benchmark_group("fig1bc_counting_mode");
+    g.sample_size(10);
+    for (name, mk) in algos {
+        g.bench_function(BenchmarkId::from_parameter(name), |b| {
+            b.iter_custom(|iters| {
+                let s = mk();
+                prefill_set(&*s, 500, 7);
+                let r = run_set(
+                    s,
+                    SetCfg {
+                        threads: 2,
+                        key_range: 500,
+                        mix: Mix::UPDATE_INTENSIVE,
+                        duration: Duration::from_millis(80),
+                        seed: 42,
+                    },
+                );
+                Duration::from_secs_f64(r.elapsed.as_secs_f64() / r.ops.max(1) as f64 * iters as f64)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Criterion mirror of Figure 4: per-op latency in the private-cache model
+//! (zero persistency cost) — isolates the algorithmic overhead of
+//! detectability, including Harris-LL as the non-recoverable baseline.
+
+use baselines::capsules_list::CapsulesList;
+use baselines::dt_list::DtList;
+use baselines::harris::HarrisList;
+use bench_harness::adapters::SetBench;
+use bench_harness::workload::{prefill_set, run_set, Mix, SetCfg};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use isb::list::RList;
+use nvm::NoPersist;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn time_per_op<B: SetBench + 'static>(s: Arc<B>, iters: u64) -> Duration {
+    prefill_set(&*s, 500, 7);
+    let r = run_set(
+        s,
+        SetCfg {
+            threads: 2,
+            key_range: 500,
+            mix: Mix::READ_INTENSIVE,
+            duration: Duration::from_millis(100),
+            seed: 42,
+        },
+    );
+    Duration::from_secs_f64(r.elapsed.as_secs_f64() / r.ops.max(1) as f64 * iters as f64)
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig4_private_cache");
+    g.sample_size(10);
+    g.bench_function(BenchmarkId::from_parameter("Harris-LL"), |b| {
+        b.iter_custom(|iters| time_per_op(Arc::new(HarrisList::<NoPersist>::new()), iters))
+    });
+    g.bench_function(BenchmarkId::from_parameter("DT-Opt"), |b| {
+        b.iter_custom(|iters| time_per_op(Arc::new(DtList::<NoPersist>::new()), iters))
+    });
+    g.bench_function(BenchmarkId::from_parameter("Capsules-Opt"), |b| {
+        b.iter_custom(|iters| time_per_op(Arc::new(CapsulesList::<NoPersist, true>::new()), iters))
+    });
+    g.bench_function(BenchmarkId::from_parameter("Isb"), |b| {
+        b.iter_custom(|iters| time_per_op(Arc::new(RList::<NoPersist, false>::new()), iters))
+    });
+    g.bench_function(BenchmarkId::from_parameter("Isb-Opt"), |b| {
+        b.iter_custom(|iters| time_per_op(Arc::new(RList::<NoPersist, true>::new()), iters))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Criterion mirror of Figure 7: queue per-op latency, shared-cache and
+//! private-cache models.
+
+use baselines::capsules_queue::CapsulesQueue;
+use baselines::log_queue::LogQueue;
+use baselines::ms_queue::MsQueue;
+use bench_harness::adapters::QueueBench;
+use bench_harness::workload::{run_queue, QueueCfg};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use isb::queue::RQueue;
+use nvm::{NoPersist, RealNvm};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn time_per_op<B: QueueBench + 'static>(q: Arc<B>, iters: u64) -> Duration {
+    let r = run_queue(q, QueueCfg { threads: 2, prefill: 20_000, duration: Duration::from_millis(100) });
+    Duration::from_secs_f64(r.elapsed.as_secs_f64() / r.ops.max(1) as f64 * iters as f64)
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig7_queue_shared_cache");
+    g.sample_size(10);
+    g.bench_function(BenchmarkId::from_parameter("Isb-Q"), |b| {
+        b.iter_custom(|iters| time_per_op(Arc::new(RQueue::<RealNvm, true>::new()), iters))
+    });
+    g.bench_function(BenchmarkId::from_parameter("Log-Queue"), |b| {
+        b.iter_custom(|iters| time_per_op(Arc::new(LogQueue::<RealNvm>::new()), iters))
+    });
+    g.bench_function(BenchmarkId::from_parameter("Capsules-Normal"), |b| {
+        b.iter_custom(|iters| time_per_op(Arc::new(CapsulesQueue::<RealNvm, true>::new()), iters))
+    });
+    g.bench_function(BenchmarkId::from_parameter("Capsules-General"), |b| {
+        b.iter_custom(|iters| time_per_op(Arc::new(CapsulesQueue::<RealNvm, false>::new()), iters))
+    });
+    g.finish();
+
+    let mut g = c.benchmark_group("fig7_queue_private_cache");
+    g.sample_size(10);
+    g.bench_function(BenchmarkId::from_parameter("MS-Queue"), |b| {
+        b.iter_custom(|iters| time_per_op(Arc::new(MsQueue::<NoPersist>::new()), iters))
+    });
+    g.bench_function(BenchmarkId::from_parameter("Isb-Q"), |b| {
+        b.iter_custom(|iters| time_per_op(Arc::new(RQueue::<NoPersist, true>::new()), iters))
+    });
+    g.bench_function(BenchmarkId::from_parameter("Log-Queue"), |b| {
+        b.iter_custom(|iters| time_per_op(Arc::new(LogQueue::<NoPersist>::new()), iters))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

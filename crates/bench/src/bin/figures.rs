@@ -1,0 +1,331 @@
+//! Regenerates every table/figure of the paper's evaluation (Section 5 and
+//! supplementary material). See DESIGN.md §7 for the experiment index.
+//!
+//! ```text
+//! figures --all                 # every figure, CI-scaled defaults
+//! figures --fig fig1a           # one figure
+//! figures --paper               # paper-scaled durations/thread counts
+//! figures --threads 1,2,4,8    # custom thread sweep
+//! figures --dur-ms 300          # per-point duration
+//! figures --out results/        # also write CSV files
+//! ```
+//!
+//! Algorithms (paper names): `Isb`, `Isb-Opt`, `Capsules`, `Capsules-Opt`,
+//! `DT-Opt`, `Harris-LL` (lists); `Isb-Q`, `Log-Queue`, `Capsules-General`,
+//! `Capsules-Normal`, `MS-Queue` (queues). Shared-cache figures run with
+//! real `clflush`/`mfence` simulation (as in the paper); Figure 4 and the
+//! private-cache parts of Figure 7 run under the private-cache model.
+
+use baselines::capsules_list::CapsulesList;
+use baselines::capsules_queue::CapsulesQueue;
+use baselines::dt_list::DtList;
+use baselines::harris::HarrisList;
+use baselines::log_queue::LogQueue;
+use baselines::ms_queue::MsQueue;
+use bench_harness::adapters::{QueueBench, SetBench};
+use bench_harness::report::Table;
+use bench_harness::workload::{prefill_set, run_queue, run_set, Mix, QueueCfg, RunResult, SetCfg};
+use isb::list::RList;
+use isb::queue::RQueue;
+use nvm::{NoPersist, Persist, RealNvm};
+use std::sync::Arc;
+use std::time::Duration;
+
+struct Opts {
+    figs: Vec<String>,
+    threads: Vec<usize>,
+    dur: Duration,
+    out: Option<String>,
+    queue_prefill: u64,
+}
+
+fn parse_args() -> Opts {
+    let mut figs = Vec::new();
+    let mut threads = vec![1, 2, 4, 8];
+    let mut dur = Duration::from_millis(250);
+    let mut out = None;
+    let mut queue_prefill = 100_000;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--all" => figs = ALL_FIGS.iter().map(|s| s.to_string()).collect(),
+            "--fig" => figs.push(args.next().expect("--fig <id>")),
+            "--threads" => {
+                threads = args
+                    .next()
+                    .expect("--threads a,b,c")
+                    .split(',')
+                    .map(|s| s.parse().expect("thread count"))
+                    .collect()
+            }
+            "--dur-ms" => {
+                dur = Duration::from_millis(args.next().expect("--dur-ms n").parse().unwrap())
+            }
+            "--paper" => {
+                threads = vec![1, 2, 4, 8, 16, 32];
+                dur = Duration::from_millis(2000);
+                queue_prefill = 1_000_000;
+            }
+            "--out" => out = Some(args.next().expect("--out dir")),
+            "--help" | "-h" => {
+                println!("figures [--all|--fig id]* [--paper] [--threads l] [--dur-ms n] [--out dir]");
+                std::process::exit(0);
+            }
+            other => panic!("unknown argument {other}"),
+        }
+    }
+    if figs.is_empty() {
+        figs = ALL_FIGS.iter().map(|s| s.to_string()).collect();
+    }
+    Opts { figs, threads, dur, out, queue_prefill }
+}
+
+const ALL_FIGS: &[&str] =
+    &["fig1a", "fig1b", "fig1c", "fig1d", "fig1e", "fig1f", "fig3", "fig4", "fig5", "fig6", "fig7"];
+
+/// The list algorithms of the figures, by paper name.
+fn make_list<M: Persist>(name: &str) -> Arc<dyn SetBench> {
+    match name {
+        "Isb" => Arc::new(RList::<M, false>::new()),
+        "Isb-Opt" => Arc::new(RList::<M, true>::new()),
+        "Capsules" => Arc::new(CapsulesList::<M, false>::new()),
+        "Capsules-Opt" => Arc::new(CapsulesList::<M, true>::new()),
+        "DT-Opt" => Arc::new(DtList::<M>::new()),
+        "Harris-LL" => Arc::new(HarrisList::<M>::new()),
+        _ => panic!("unknown list algorithm {name}"),
+    }
+}
+
+fn make_queue<M: Persist>(name: &str) -> Arc<dyn QueueBench> {
+    match name {
+        "Isb-Q" => Arc::new(RQueue::<M, true>::new()),
+        "Log-Queue" => Arc::new(LogQueue::<M>::new()),
+        "Capsules-General" => Arc::new(CapsulesQueue::<M, false>::new()),
+        "Capsules-Normal" => Arc::new(CapsulesQueue::<M, true>::new()),
+        "MS-Queue" => Arc::new(MsQueue::<M>::new()),
+        _ => panic!("unknown queue algorithm {name}"),
+    }
+}
+
+const SHARED_LIST_ALGOS: &[&str] = &["Isb", "Isb-Opt", "Capsules", "Capsules-Opt", "DT-Opt"];
+const PRIVATE_LIST_ALGOS: &[&str] =
+    &["Isb", "Isb-Opt", "Capsules", "Capsules-Opt", "DT-Opt", "Harris-LL"];
+
+fn run_list_point<M: Persist>(
+    algo: &str,
+    threads: usize,
+    range: u64,
+    mix: Mix,
+    dur: Duration,
+) -> RunResult {
+    let s = make_list::<M>(algo);
+    prefill_set(&*s, range, 7);
+    nvm::stats::reset();
+    run_set(s, SetCfg { threads, key_range: range, mix, duration: dur, seed: 42 })
+}
+
+struct Ctx {
+    threads: Vec<usize>,
+    dur: Duration,
+    out: Option<String>,
+    queue_prefill: u64,
+}
+
+impl Ctx {
+    fn emit(&self, id: &str, t: &Table) {
+        println!("{}", t.to_markdown());
+        if let Some(dir) = &self.out {
+            std::fs::create_dir_all(dir).unwrap();
+            std::fs::write(format!("{dir}/{id}.csv"), t.to_csv()).unwrap();
+        }
+    }
+
+    /// Throughput sweep over threads for one (range, mix) — Figures 1a/d/e/f, 3.
+    fn list_throughput(&self, id: &str, title: &str, range: u64, mix: Mix) {
+        let mut t = Table::new(
+            format!("{title} (Mops/s; keys [1,{range}])"),
+            SHARED_LIST_ALGOS.iter().map(|s| s.to_string()).collect(),
+        );
+        for &n in &self.threads {
+            let vals = SHARED_LIST_ALGOS
+                .iter()
+                .map(|a| run_list_point::<RealNvm>(a, n, range, mix, self.dur).mops())
+                .collect();
+            t.row(n.to_string(), vals);
+        }
+        self.emit(id, &t);
+    }
+
+    /// Persistency-instruction counts per op — Figures 1b/1c/5/6.
+    fn list_counts(&self, id: &str, title: &str, ranges: &[u64], mix: Mix) {
+        for &range in ranges {
+            let mut tb = Table::new(
+                format!("{title}: pbarriers/op (keys [1,{range}])"),
+                SHARED_LIST_ALGOS.iter().map(|s| s.to_string()).collect(),
+            );
+            let mut tf = Table::new(
+                format!("{title}: stand-alone flushes/op (keys [1,{range}])"),
+                SHARED_LIST_ALGOS.iter().map(|s| s.to_string()).collect(),
+            );
+            for &n in &self.threads {
+                let results: Vec<RunResult> = SHARED_LIST_ALGOS
+                    .iter()
+                    .map(|a| run_list_point::<RealNvm>(a, n, range, mix, self.dur))
+                    .collect();
+                tb.row(n.to_string(), results.iter().map(|r| r.barriers_per_op()).collect());
+                tf.row(n.to_string(), results.iter().map(|r| r.flushes_per_op()).collect());
+            }
+            self.emit(&format!("{id}_barriers_{range}"), &tb);
+            self.emit(&format!("{id}_flushes_{range}"), &tf);
+        }
+    }
+
+    /// Private-cache model throughput — Figure 4.
+    fn fig4(&self) {
+        for (mix, label) in
+            [(Mix::READ_INTENSIVE, "read-intensive"), (Mix::UPDATE_INTENSIVE, "update-intensive")]
+        {
+            for range in [500u64, 1500] {
+                let mut t = Table::new(
+                    format!("Figure 4: private-cache throughput, {label} (Mops/s; keys [1,{range}])"),
+                    PRIVATE_LIST_ALGOS.iter().map(|s| s.to_string()).collect(),
+                );
+                for &n in &self.threads {
+                    let vals = PRIVATE_LIST_ALGOS
+                        .iter()
+                        .map(|a| run_list_point::<NoPersist>(a, n, range, mix, self.dur).mops())
+                        .collect();
+                    t.row(n.to_string(), vals);
+                }
+                self.emit(&format!("fig4_{label}_{range}"), &t);
+            }
+        }
+    }
+
+    /// Queue throughput — Figure 7 (left: shared cache; middle/right: private).
+    fn fig7(&self) {
+        let shared = ["Isb-Q", "Log-Queue", "Capsules-General", "Capsules-Normal"];
+        let mut t = Table::new(
+            "Figure 7 (left): queue throughput, shared cache (Mops/s)",
+            shared.iter().map(|s| s.to_string()).collect(),
+        );
+        for &n in &self.threads {
+            let vals = shared
+                .iter()
+                .map(|a| {
+                    let q = make_queue::<RealNvm>(a);
+                    nvm::stats::reset();
+                    run_queue(
+                        q,
+                        QueueCfg { threads: n, prefill: self.queue_prefill, duration: self.dur },
+                    )
+                    .mops()
+                })
+                .collect();
+            t.row(n.to_string(), vals);
+        }
+        self.emit("fig7_shared", &t);
+
+        let private = ["Isb-Q", "Log-Queue", "Capsules-General", "Capsules-Normal", "MS-Queue"];
+        let mut t = Table::new(
+            "Figure 7 (middle+right): queue throughput, private cache (Mops/s)",
+            private.iter().map(|s| s.to_string()).collect(),
+        );
+        for &n in &self.threads {
+            let vals = private
+                .iter()
+                .map(|a| {
+                    let q = make_queue::<NoPersist>(a);
+                    run_queue(
+                        q,
+                        QueueCfg { threads: n, prefill: self.queue_prefill, duration: self.dur },
+                    )
+                    .mops()
+                })
+                .collect();
+            t.row(n.to_string(), vals);
+        }
+        self.emit("fig7_private", &t);
+    }
+}
+
+fn main() {
+    let opts = parse_args();
+    let ctx = Ctx {
+        threads: opts.threads,
+        dur: opts.dur,
+        out: opts.out,
+        queue_prefill: opts.queue_prefill,
+    };
+    for fig in &opts.figs {
+        match fig.as_str() {
+            "fig1a" => ctx.list_throughput(
+                "fig1a",
+                "Figure 1a: throughput, read-intensive",
+                500,
+                Mix::READ_INTENSIVE,
+            ),
+            "fig1b" => ctx.list_counts("fig1b", "Figure 1b", &[500], Mix::READ_INTENSIVE),
+            "fig1c" => ctx.list_counts("fig1c", "Figure 1c", &[500], Mix::UPDATE_INTENSIVE),
+            "fig1d" => ctx.list_throughput(
+                "fig1d",
+                "Figure 1d: throughput, update-intensive",
+                500,
+                Mix::UPDATE_INTENSIVE,
+            ),
+            "fig1e" => ctx.list_throughput(
+                "fig1e",
+                "Figure 1e: throughput, read-intensive",
+                1500,
+                Mix::READ_INTENSIVE,
+            ),
+            "fig1f" => ctx.list_throughput(
+                "fig1f",
+                "Figure 1f: throughput, update-intensive",
+                1500,
+                Mix::UPDATE_INTENSIVE,
+            ),
+            "fig3" => {
+                ctx.list_throughput(
+                    "fig3_read_1000",
+                    "Figure 3: throughput, read-intensive",
+                    1000,
+                    Mix::READ_INTENSIVE,
+                );
+                ctx.list_throughput(
+                    "fig3_update_1000",
+                    "Figure 3: throughput, update-intensive",
+                    1000,
+                    Mix::UPDATE_INTENSIVE,
+                );
+                ctx.list_throughput(
+                    "fig3_read_2000",
+                    "Figure 3: throughput, read-intensive",
+                    2000,
+                    Mix::READ_INTENSIVE,
+                );
+                ctx.list_throughput(
+                    "fig3_update_2000",
+                    "Figure 3: throughput, update-intensive",
+                    2000,
+                    Mix::UPDATE_INTENSIVE,
+                );
+            }
+            "fig4" => ctx.fig4(),
+            "fig5" => ctx.list_counts(
+                "fig5",
+                "Figure 5 (read-intensive)",
+                &[1000, 1500, 2000],
+                Mix::READ_INTENSIVE,
+            ),
+            "fig6" => ctx.list_counts(
+                "fig6",
+                "Figure 6 (update-intensive)",
+                &[1000, 1500, 2000],
+                Mix::UPDATE_INTENSIVE,
+            ),
+            "fig7" => ctx.fig7(),
+            other => panic!("unknown figure {other}"),
+        }
+    }
+}

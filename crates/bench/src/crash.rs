@@ -1,0 +1,660 @@
+//! Crash-recovery harness over [`nvm::SimNvm`].
+//!
+//! A crash scenario (paper Section 2 model):
+//!
+//! 1. Build the structure on the simulator with reclamation **disabled**
+//!    (crashes must not free memory) and persist the initial state.
+//! 2. Worker threads (= processes) run operations; each records its
+//!    invocation *before* starting (the paper assumes the system re-invokes
+//!    `Op.Recover` with the same arguments, i.e., the system knows them).
+//! 3. At a random moment the harness triggers a **system-wide crash**: every
+//!    worker dies at its next instrumented memory access.
+//! 4. [`nvm::sim::build_crash_image`] reconstructs an adversarial NVM image
+//!    (per word: guaranteed-persisted or latest volatile value, seeded).
+//! 5. Fresh threads with the same process ids run each pending operation's
+//!    recovery function — possibly crashing *again* (`recovery_crashes`),
+//!    modelling repeated failures during recovery.
+//! 6. Validation: structural invariants, plus **exactly-once** semantics —
+//!    each process uses a disjoint key/value space, so its completed +
+//!    recovered responses must replay exactly against a sequential model
+//!    and the final structure must match the models' union.
+//!
+//! Scenarios are fully seeded; every failure report includes the seed.
+
+use isb::list::RList;
+use isb::queue::RQueue;
+use nvm::sim;
+use nvm::SimNvm;
+use reclaim::Collector;
+use std::sync::{Arc, Mutex};
+
+/// Serialises crash scenarios within a process (the simulator registry is
+/// global) and enforces the reset discipline.
+static SESSION: Mutex<()> = Mutex::new(());
+
+/// Tunables for one crash scenario.
+#[derive(Debug, Clone, Copy)]
+pub struct CrashCfg {
+    /// Worker processes.
+    pub procs: usize,
+    /// Operations each worker tries to complete (it may crash earlier).
+    pub ops_per_proc: usize,
+    /// Keys (list) / values (queue) per process — disjoint across processes.
+    pub keys_per_proc: u64,
+    /// Additional crashes injected *during recovery* (each recovery round
+    /// may die again and be re-recovered).
+    pub recovery_crashes: usize,
+    /// Scenario seed.
+    pub seed: u64,
+}
+
+impl Default for CrashCfg {
+    fn default() -> Self {
+        Self { procs: 3, ops_per_proc: 60, keys_per_proc: 12, recovery_crashes: 0, seed: 1 }
+    }
+}
+
+/// Outcome statistics of a scenario (for reporting/assertions).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct CrashReport {
+    /// Operations completed before the crash (across all workers).
+    pub completed: usize,
+    /// Workers that died mid-operation.
+    pub pending: usize,
+    /// Of the pending operations, how many recoveries returned a response
+    /// that proves the op took effect before the crash (result recovered).
+    pub recovered_completed: usize,
+    /// Words rolled back by the image builder.
+    pub rolled_back: usize,
+}
+
+// ---------------------------------------------------------------------------
+// Small deterministic RNG (the harness must not depend on thread timing for
+// its *logical* choices; only the crash moment is timing-dependent).
+// ---------------------------------------------------------------------------
+#[derive(Clone)]
+struct Rng(u64);
+impl Rng {
+    fn new(seed: u64) -> Self {
+        Rng(seed.wrapping_mul(0x9E3779B97F4A7C15) | 1)
+    }
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+// ---------------------------------------------------------------------------
+// List scenario
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ListOp {
+    Insert(u64),
+    Delete(u64),
+    Find(u64),
+}
+
+type SimList = RList<SimNvm, false>;
+
+fn list_apply_model(model: &mut std::collections::BTreeSet<u64>, op: ListOp) -> bool {
+    match op {
+        ListOp::Insert(k) => model.insert(k),
+        ListOp::Delete(k) => model.remove(&k),
+        ListOp::Find(k) => model.contains(&k),
+    }
+}
+
+/// Runs one seeded list crash scenario; panics (with the seed) on any
+/// detectability or consistency violation. Returns statistics.
+pub fn run_list_scenario(cfg: CrashCfg) -> CrashReport {
+    let _session = SESSION.lock().unwrap_or_else(|e| e.into_inner());
+    sim::quiet_crash_panics();
+    sim::reset();
+    let mut report = CrashReport::default();
+    {
+        nvm::tid::set_tid(nvm::MAX_PROCS - 1); // harness thread identity
+        let list = Arc::new(SimList::with_collector(Collector::disabled()));
+        // Prefill: every process's even keys start present.
+        for p in 0..cfg.procs {
+            for i in 0..cfg.keys_per_proc {
+                if i % 2 == 0 {
+                    list.insert(p, key_of(p, i, cfg.keys_per_proc));
+                }
+            }
+        }
+        sim::persist_all();
+
+        // Worker phase.
+        let logs: Vec<_> = (0..cfg.procs)
+            .map(|_| Arc::new(Mutex::new(WorkerLog::default())))
+            .collect();
+        let progress = Arc::new(std::sync::atomic::AtomicU64::new(0));
+        let mut handles = Vec::new();
+        for p in 0..cfg.procs {
+            let list = Arc::clone(&list);
+            let log = Arc::clone(&logs[p]);
+            let progress = Arc::clone(&progress);
+            let mut rng = Rng::new(cfg.seed ^ (p as u64 + 1) << 8);
+            let kpp = cfg.keys_per_proc;
+            let ops = cfg.ops_per_proc;
+            handles.push(std::thread::spawn(move || {
+                nvm::tid::set_tid(p);
+                for _ in 0..ops {
+                    let k = key_of(p, rng.below(kpp), kpp);
+                    let op = match rng.below(3) {
+                        0 => ListOp::Insert(k),
+                        1 => ListOp::Delete(k),
+                        _ => ListOp::Find(k),
+                    };
+                    log.lock().unwrap().invoke(op);
+                    let r = sim::run_crashable(|| match op {
+                        ListOp::Insert(k) => list.insert(p, k),
+                        ListOp::Delete(k) => list.delete(p, k),
+                        ListOp::Find(k) => list.find(p, k),
+                    });
+                    match r {
+                        Ok(resp) => {
+                            log.lock().unwrap().complete(resp);
+                            progress.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        }
+                        Err(_) => return, // died mid-operation; op stays pending
+                    }
+                }
+            }));
+        }
+        // Pull the plug once a seeded fraction of the workload completed, so
+        // the crash reliably lands while operations are in flight.
+        let mut rng = Rng::new(cfg.seed ^ 0xC0FFEE);
+        let target = 1 + rng.below((cfg.procs * cfg.ops_per_proc) as u64 * 9 / 10);
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        while progress.load(std::sync::atomic::Ordering::Relaxed) < target
+            && std::time::Instant::now() < deadline
+        {
+            std::hint::spin_loop();
+        }
+        sim::trigger_crash();
+        for h in handles {
+            h.join().unwrap();
+        }
+
+        // Crash image (+ optional repeated crashes during recovery).
+        let img = sim::build_crash_image(cfg.seed ^ 0xD1CE);
+        report.rolled_back = img.rolled_back;
+        report.pending =
+            logs.iter().filter(|l| l.lock().unwrap().pending.is_some()).count();
+
+        for round in 0..=cfg.recovery_crashes {
+            let crash_again = round < cfg.recovery_crashes;
+            let mut rhandles = Vec::new();
+            for p in 0..cfg.procs {
+                let list = Arc::clone(&list);
+                let log = Arc::clone(&logs[p]);
+                rhandles.push(std::thread::spawn(move || {
+                    nvm::tid::set_tid(p);
+                    let pending = log.lock().unwrap().pending;
+                    if let Some(op) = pending {
+                        let r = sim::run_crashable(|| match op {
+                            ListOp::Insert(k) => list.recover_insert(p, k),
+                            ListOp::Delete(k) => list.recover_delete(p, k),
+                            ListOp::Find(k) => list.recover_find(p, k),
+                        });
+                        if let Ok(resp) = r {
+                            log.lock().unwrap().complete(resp);
+                        } // else: still pending; next round recovers again
+                    }
+                }));
+            }
+            if crash_again {
+                busy_wait_us(rng.below(200));
+                sim::trigger_crash();
+            }
+            for h in rhandles {
+                h.join().unwrap();
+            }
+            if crash_again {
+                sim::build_crash_image(cfg.seed ^ (0xBEEF + round as u64));
+            }
+        }
+
+        // ---- Validation --------------------------------------------------
+        let mut list = Arc::into_inner(list).expect("all workers joined");
+        list.check_invariants();
+        let snapshot = list.snapshot_keys();
+        for w in snapshot.windows(2) {
+            assert!(w[0] < w[1], "seed {}: snapshot unsorted", cfg.seed);
+        }
+        let mut expected = std::collections::BTreeSet::new();
+        for p in 0..cfg.procs {
+            let log = logs[p].lock().unwrap();
+            report.completed += log.entries.len();
+            // Replay this process's ops against its private model: with
+            // disjoint key spaces, its history is sequential, so every
+            // response must match exactly (exactly-once effects).
+            let mut model = std::collections::BTreeSet::new();
+            for i in 0..cfg.keys_per_proc {
+                if i % 2 == 0 {
+                    model.insert(key_of(p, i, cfg.keys_per_proc));
+                }
+            }
+            for (idx, &(op, resp)) in log.entries.iter().enumerate() {
+                let want = list_apply_model(&mut model, op);
+                assert_eq!(
+                    resp, want,
+                    "seed {}: proc {p} op #{idx} {op:?} returned {resp} but model says {want} \
+                     (an effect was lost or applied twice across the crash); log: {:?}; snapshot: {snapshot:?}",
+                    cfg.seed, log.entries,
+                );
+            }
+            if let Some(op) = log.pending {
+                // Never-recovered pending op (only when recovery itself kept
+                // crashing): the op may or may not have taken effect — accept
+                // either model state.
+                let mut alt = model.clone();
+                list_apply_model(&mut alt, op);
+                let part: Vec<u64> =
+                    snapshot.iter().copied().filter(|k| owner_of(*k, cfg.keys_per_proc) == p).collect();
+                let m: Vec<u64> = model.iter().copied().collect();
+                let a: Vec<u64> = alt.iter().copied().collect();
+                assert!(
+                    part == m || part == a,
+                    "seed {}: proc {p} final keys {part:?} match neither {m:?} nor {a:?}",
+                    cfg.seed
+                );
+                expected.extend(part);
+            } else {
+                expected.extend(model.iter().copied());
+            }
+        }
+        assert_eq!(
+            snapshot,
+            expected.iter().copied().collect::<Vec<u64>>(),
+            "seed {}: final structure diverges from the replayed models",
+            cfg.seed
+        );
+    }
+    sim::reset();
+    report
+}
+
+// ---------------------------------------------------------------------------
+// BST scenario
+// ---------------------------------------------------------------------------
+
+type SimBst = isb::bst::RBst<SimNvm, false>;
+
+/// Runs one seeded BST crash scenario (same protocol and validation as the
+/// list scenario; disjoint key spaces per process).
+pub fn run_bst_scenario(cfg: CrashCfg) -> CrashReport {
+    let _session = SESSION.lock().unwrap_or_else(|e| e.into_inner());
+    sim::quiet_crash_panics();
+    sim::reset();
+    let mut report = CrashReport::default();
+    {
+        nvm::tid::set_tid(nvm::MAX_PROCS - 1);
+        let bst = Arc::new(SimBst::with_collector(Collector::disabled()));
+        for p in 0..cfg.procs {
+            for i in 0..cfg.keys_per_proc {
+                if i % 2 == 0 {
+                    bst.insert(p, key_of(p, i, cfg.keys_per_proc));
+                }
+            }
+        }
+        sim::persist_all();
+
+        let logs: Vec<_> =
+            (0..cfg.procs).map(|_| Arc::new(Mutex::new(WorkerLog::default()))).collect();
+        let progress = Arc::new(std::sync::atomic::AtomicU64::new(0));
+        let mut handles = Vec::new();
+        for p in 0..cfg.procs {
+            let bst = Arc::clone(&bst);
+            let log = Arc::clone(&logs[p]);
+            let progress = Arc::clone(&progress);
+            let mut rng = Rng::new(cfg.seed ^ (p as u64 + 1) << 8);
+            let kpp = cfg.keys_per_proc;
+            let ops = cfg.ops_per_proc;
+            handles.push(std::thread::spawn(move || {
+                nvm::tid::set_tid(p);
+                for _ in 0..ops {
+                    let k = key_of(p, rng.below(kpp), kpp);
+                    let op = match rng.below(3) {
+                        0 => ListOp::Insert(k),
+                        1 => ListOp::Delete(k),
+                        _ => ListOp::Find(k),
+                    };
+                    log.lock().unwrap().invoke(op);
+                    let r = sim::run_crashable(|| match op {
+                        ListOp::Insert(k) => bst.insert(p, k),
+                        ListOp::Delete(k) => bst.delete(p, k),
+                        ListOp::Find(k) => bst.find(p, k),
+                    });
+                    match r {
+                        Ok(resp) => {
+                            log.lock().unwrap().complete(resp);
+                            progress.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        }
+                        Err(_) => return,
+                    }
+                }
+            }));
+        }
+        let mut rng = Rng::new(cfg.seed ^ 0xC0FFEE);
+        let target = 1 + rng.below((cfg.procs * cfg.ops_per_proc) as u64 * 9 / 10);
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        while progress.load(std::sync::atomic::Ordering::Relaxed) < target
+            && std::time::Instant::now() < deadline
+        {
+            std::hint::spin_loop();
+        }
+        sim::trigger_crash();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let img = sim::build_crash_image(cfg.seed ^ 0xD1CE);
+        report.rolled_back = img.rolled_back;
+        report.pending = logs.iter().filter(|l| l.lock().unwrap().pending.is_some()).count();
+
+        for round in 0..=cfg.recovery_crashes {
+            let crash_again = round < cfg.recovery_crashes;
+            let mut rhandles = Vec::new();
+            for p in 0..cfg.procs {
+                let bst = Arc::clone(&bst);
+                let log = Arc::clone(&logs[p]);
+                rhandles.push(std::thread::spawn(move || {
+                    nvm::tid::set_tid(p);
+                    let pending = log.lock().unwrap().pending;
+                    if let Some(op) = pending {
+                        let r = sim::run_crashable(|| match op {
+                            ListOp::Insert(k) => bst.recover_insert(p, k),
+                            ListOp::Delete(k) => bst.recover_delete(p, k),
+                            ListOp::Find(k) => bst.recover_find(p, k),
+                        });
+                        if let Ok(resp) = r {
+                            log.lock().unwrap().complete(resp);
+                        }
+                    }
+                }));
+            }
+            if crash_again {
+                busy_wait_us(rng.below(200));
+                sim::trigger_crash();
+            }
+            for h in rhandles {
+                h.join().unwrap();
+            }
+            if crash_again {
+                sim::build_crash_image(cfg.seed ^ (0xBEEF + round as u64));
+            }
+        }
+
+        let mut bst = Arc::into_inner(bst).expect("all workers joined");
+        bst.check_invariants();
+        let snapshot = bst.snapshot_keys();
+        let mut expected = std::collections::BTreeSet::new();
+        for p in 0..cfg.procs {
+            let log = logs[p].lock().unwrap();
+            report.completed += log.entries.len();
+            let mut model = std::collections::BTreeSet::new();
+            for i in 0..cfg.keys_per_proc {
+                if i % 2 == 0 {
+                    model.insert(key_of(p, i, cfg.keys_per_proc));
+                }
+            }
+            for (idx, &(op, resp)) in log.entries.iter().enumerate() {
+                let want = list_apply_model(&mut model, op);
+                assert_eq!(
+                    resp, want,
+                    "seed {}: proc {p} op #{idx} {op:?} returned {resp} but model says {want}",
+                    cfg.seed
+                );
+            }
+            if let Some(op) = log.pending {
+                let mut alt = model.clone();
+                list_apply_model(&mut alt, op);
+                let part: Vec<u64> = snapshot
+                    .iter()
+                    .copied()
+                    .filter(|k| owner_of(*k, cfg.keys_per_proc) == p)
+                    .collect();
+                let m: Vec<u64> = model.iter().copied().collect();
+                let a: Vec<u64> = alt.iter().copied().collect();
+                assert!(
+                    part == m || part == a,
+                    "seed {}: proc {p} final keys {part:?} match neither {m:?} nor {a:?}",
+                    cfg.seed
+                );
+                expected.extend(part);
+            } else {
+                expected.extend(model.iter().copied());
+            }
+        }
+        assert_eq!(
+            snapshot,
+            expected.iter().copied().collect::<Vec<u64>>(),
+            "seed {}: final BST diverges from the replayed models",
+            cfg.seed
+        );
+    }
+    sim::reset();
+    report
+}
+
+// ---------------------------------------------------------------------------
+// Queue scenario
+// ---------------------------------------------------------------------------
+
+type SimQueue = RQueue<SimNvm, false>;
+
+/// Runs one seeded queue crash scenario; panics on violations (duplicate or
+/// lost values across the crash). Producers/consumers use disjoint pid and
+/// value spaces.
+pub fn run_queue_scenario(cfg: CrashCfg) -> CrashReport {
+    let _session = SESSION.lock().unwrap_or_else(|e| e.into_inner());
+    sim::quiet_crash_panics();
+    sim::reset();
+    let mut report = CrashReport::default();
+    {
+        nvm::tid::set_tid(nvm::MAX_PROCS - 1);
+        let q = Arc::new(SimQueue::with_collector(Collector::disabled()));
+        let prefill = cfg.keys_per_proc;
+        for i in 0..prefill {
+            q.enqueue(nvm::MAX_PROCS - 1, 1_000_000_000 + i);
+        }
+        sim::persist_all();
+
+        let producers = cfg.procs.div_ceil(2).max(1);
+        let consumers = (cfg.procs - producers).max(1);
+        // Logs: per producer the values acked-enqueued (+ pending value);
+        // per consumer the values acked-dequeued (+ whether pending).
+        let plogs: Vec<_> = (0..producers).map(|_| Arc::new(Mutex::new(ProdLog::default()))).collect();
+        let clogs: Vec<_> = (0..consumers).map(|_| Arc::new(Mutex::new(ConsLog::default()))).collect();
+        let progress = Arc::new(std::sync::atomic::AtomicU64::new(0));
+        let mut handles = Vec::new();
+        for p in 0..producers {
+            let q = Arc::clone(&q);
+            let log = Arc::clone(&plogs[p]);
+            let progress = Arc::clone(&progress);
+            let ops = cfg.ops_per_proc;
+            handles.push(std::thread::spawn(move || {
+                nvm::tid::set_tid(p);
+                for i in 0..ops as u64 {
+                    let v = (p as u64 + 1) * 1_000_000 + i;
+                    log.lock().unwrap().pending = Some(v);
+                    match sim::run_crashable(|| q.enqueue(p, v)) {
+                        Ok(()) => {
+                            let mut l = log.lock().unwrap();
+                            l.pending = None;
+                            l.acked.push(v);
+                            progress.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        }
+                        Err(_) => return,
+                    }
+                }
+            }));
+        }
+        for c in 0..consumers {
+            let q = Arc::clone(&q);
+            let log = Arc::clone(&clogs[c]);
+            let progress = Arc::clone(&progress);
+            let pid = producers + c;
+            let ops = cfg.ops_per_proc;
+            handles.push(std::thread::spawn(move || {
+                nvm::tid::set_tid(pid);
+                for _ in 0..ops {
+                    log.lock().unwrap().pending = true;
+                    match sim::run_crashable(|| q.dequeue(pid)) {
+                        Ok(r) => {
+                            let mut l = log.lock().unwrap();
+                            l.pending = false;
+                            if let Some(v) = r {
+                                l.got.push(v);
+                            }
+                            progress.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        }
+                        Err(_) => return,
+                    }
+                }
+            }));
+        }
+        let mut rng = Rng::new(cfg.seed ^ 0xFEED);
+        let target = 1 + rng.below((cfg.procs * cfg.ops_per_proc) as u64 * 9 / 10);
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        while progress.load(std::sync::atomic::Ordering::Relaxed) < target
+            && std::time::Instant::now() < deadline
+        {
+            std::hint::spin_loop();
+        }
+        sim::trigger_crash();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let img = sim::build_crash_image(cfg.seed ^ 0xD1CE);
+        report.rolled_back = img.rolled_back;
+
+        // Recovery (single round; queue scenarios keep it simple — repeated
+        // recovery crashes are exercised by the list scenario).
+        let mut rhandles = Vec::new();
+        for p in 0..producers {
+            let q = Arc::clone(&q);
+            let log = Arc::clone(&plogs[p]);
+            rhandles.push(std::thread::spawn(move || {
+                nvm::tid::set_tid(p);
+                let pend = log.lock().unwrap().pending;
+                if let Some(v) = pend {
+                    sim::run_crashable(|| q.recover_enqueue(p, v)).expect("no crash armed");
+                    let mut l = log.lock().unwrap();
+                    l.pending = None;
+                    l.acked.push(v);
+                }
+            }));
+        }
+        for c in 0..consumers {
+            let q = Arc::clone(&q);
+            let log = Arc::clone(&clogs[c]);
+            let pid = producers + c;
+            rhandles.push(std::thread::spawn(move || {
+                nvm::tid::set_tid(pid);
+                let pend = log.lock().unwrap().pending;
+                if pend {
+                    let r = sim::run_crashable(|| q.recover_dequeue(pid)).expect("no crash armed");
+                    let mut l = log.lock().unwrap();
+                    l.pending = false;
+                    if let Some(v) = r {
+                        l.got.push(v);
+                    }
+                }
+            }));
+        }
+        for h in rhandles {
+            h.join().unwrap();
+        }
+
+        // ---- Validation --------------------------------------------------
+        let mut q = Arc::into_inner(q).expect("all workers joined");
+        q.heal_tail();
+        q.check_invariants();
+        let remaining = q.snapshot_vals();
+        let mut seen = std::collections::HashMap::new();
+        for &v in remaining.iter() {
+            *seen.entry(v).or_insert(0u32) += 1;
+        }
+        for log in &clogs {
+            let l = log.lock().unwrap();
+            report.completed += l.got.len();
+            for &v in &l.got {
+                *seen.entry(v).or_insert(0) += 1;
+            }
+        }
+        // Every value must exist at most once anywhere (no duplication), and
+        // every acked-enqueued value exactly once (no loss).
+        for (&v, &n) in &seen {
+            assert!(n <= 1, "seed {}: value {v} appears {n} times (duplicated across crash)", cfg.seed);
+        }
+        for i in 0..prefill {
+            let v = 1_000_000_000 + i;
+            assert_eq!(seen.get(&v), Some(&1), "seed {}: prefilled {v} lost", cfg.seed);
+        }
+        for log in &plogs {
+            let l = log.lock().unwrap();
+            report.completed += l.acked.len();
+            for &v in &l.acked {
+                assert_eq!(seen.get(&v), Some(&1), "seed {}: acked value {v} lost or duplicated", cfg.seed);
+            }
+        }
+    }
+    sim::reset();
+    report
+}
+
+// ---------------------------------------------------------------------------
+
+#[derive(Default)]
+struct WorkerLog {
+    entries: Vec<(ListOp, bool)>,
+    pending: Option<ListOp>,
+}
+
+impl WorkerLog {
+    fn invoke(&mut self, op: ListOp) {
+        debug_assert!(self.pending.is_none());
+        self.pending = Some(op);
+    }
+    fn complete(&mut self, resp: bool) {
+        let op = self.pending.take().expect("completion without invocation");
+        self.entries.push((op, resp));
+    }
+}
+
+#[derive(Default)]
+struct ProdLog {
+    acked: Vec<u64>,
+    pending: Option<u64>,
+}
+
+#[derive(Default)]
+struct ConsLog {
+    got: Vec<u64>,
+    pending: bool,
+}
+
+fn key_of(pid: usize, i: u64, keys_per_proc: u64) -> u64 {
+    1 + pid as u64 * keys_per_proc + i
+}
+
+fn owner_of(key: u64, keys_per_proc: u64) -> usize {
+    ((key - 1) / keys_per_proc) as usize
+}
+
+fn busy_wait_us(us: u64) {
+    let start = std::time::Instant::now();
+    while (start.elapsed().as_micros() as u64) < us {
+        std::hint::spin_loop();
+    }
+}

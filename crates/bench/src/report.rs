@@ -1,0 +1,91 @@
+//! Markdown/CSV table rendering for figure output.
+
+use std::fmt::Write as _;
+
+/// A simple table: one row per thread count (or key range), one column per
+/// algorithm — mirroring the paper's plot series.
+pub struct Table {
+    title: String,
+    columns: Vec<String>,
+    rows: Vec<(String, Vec<f64>)>,
+}
+
+impl Table {
+    /// New table titled `title` with `columns` series names.
+    pub fn new(title: impl Into<String>, columns: Vec<String>) -> Self {
+        Self { title: title.into(), columns, rows: Vec::new() }
+    }
+
+    /// Append a row (`label` = x-axis value).
+    pub fn row(&mut self, label: impl Into<String>, values: Vec<f64>) {
+        assert_eq!(values.len(), self.columns.len());
+        self.rows.push((label.into(), values));
+    }
+
+    /// Render as a GitHub-flavoured markdown table.
+    pub fn to_markdown(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(s, "### {}", self.title);
+        let _ = write!(s, "| |");
+        for c in &self.columns {
+            let _ = write!(s, " {c} |");
+        }
+        let _ = writeln!(s);
+        let _ = write!(s, "|---|");
+        for _ in &self.columns {
+            let _ = write!(s, "---|");
+        }
+        let _ = writeln!(s);
+        for (label, vals) in &self.rows {
+            let _ = write!(s, "| {label} |");
+            for v in vals {
+                let _ = write!(s, " {v:.3} |");
+            }
+            let _ = writeln!(s);
+        }
+        s
+    }
+
+    /// Render as CSV (header row first).
+    pub fn to_csv(&self) -> String {
+        let mut s = String::new();
+        let _ = write!(s, "x");
+        for c in &self.columns {
+            let _ = write!(s, ",{c}");
+        }
+        let _ = writeln!(s);
+        for (label, vals) in &self.rows {
+            let _ = write!(s, "{label}");
+            for v in vals {
+                let _ = write!(s, ",{v:.6}");
+            }
+            let _ = writeln!(s);
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn markdown_and_csv_shapes() {
+        let mut t = Table::new("fig", vec!["A".into(), "B".into()]);
+        t.row("1", vec![1.0, 2.0]);
+        t.row("2", vec![3.0, 4.5]);
+        let md = t.to_markdown();
+        assert!(md.contains("### fig"));
+        assert!(md.contains("| 1 | 1.000 | 2.000 |"));
+        let csv = t.to_csv();
+        assert!(csv.starts_with("x,A,B\n"));
+        assert!(csv.contains("2,3.000000,4.500000"));
+    }
+
+    #[test]
+    #[should_panic]
+    fn row_width_mismatch_panics() {
+        let mut t = Table::new("fig", vec!["A".into()]);
+        t.row("1", vec![1.0, 2.0]);
+    }
+}

@@ -1,0 +1,707 @@
+//! Detectably recoverable external binary search tree: ISB-tracking applied
+//! to the lock-free BST of Ellen, Fatourou, Ruppert, van Breugel (paper
+//! Section 6).
+//!
+//! The tree is leaf-oriented: internal nodes hold routing keys, leaves hold
+//! the set's keys. Search goes left on `k < node.key`. Two permanent dummy
+//! internals (`∞₂` root, `∞₁` below it) guarantee every real leaf has a
+//! non-null parent *and* grandparent.
+//!
+//! ISB mapping (paper Section 6):
+//! * **Insert(k)** replaces leaf `l` with a three-node subtree (new internal
+//!   with the new leaf and a *copy* of `l`). AffectSet = `{p (update),
+//!   l (deletion)}`, WriteSet = `{⟨p.child, l, newInternal⟩}`, NewSet =
+//!   `{newInternal, newLeaf, lCopy}`.
+//! * **Delete(k)** swings `gp.child` from `p` to a *copy* of `l`'s sibling.
+//!   AffectSet = `{gp (update), p, l, sibling (all deletion)}` — tagged in
+//!   root-ward-first order, so conflicting operations always collide on a
+//!   common ancestor before any leaf. WriteSet = `{⟨gp.child, p, sibCopy⟩}`,
+//!   NewSet = `{sibCopy}`.
+//! * **Find(k)**: ROpt read-only path on `{l}`.
+//!
+//! The copies preserve pointer freshness exactly as in the list: a node
+//! leaves a child pointer only by being retired.
+
+use crate::counters;
+use crate::engine::{help, HelpOutcome, Info, InfoFill, RES_FALSE, RES_TRUE};
+use crate::optype;
+use crate::recovery::{op_recover, RecArea, Recovered};
+use crate::tag;
+use nvm::{PWord, Persist, PersistWords};
+use reclaim::{Collector, Guard};
+
+/// `∞₁`: larger than every user key.
+pub const KEY_INF1: u64 = u64::MAX - 1;
+/// `∞₂`: larger than `∞₁`.
+pub const KEY_INF2: u64 = u64::MAX;
+
+/// A tree node; leaves have null children.
+#[repr(C)]
+pub struct Node<M: Persist> {
+    key: PWord<M>,
+    left: PWord<M>,
+    right: PWord<M>,
+    info: PWord<M>,
+}
+
+unsafe impl<M: Persist> PersistWords<M> for Node<M> {
+    fn each_word(&self, f: &mut dyn FnMut(&PWord<M>)) {
+        f(&self.key);
+        f(&self.left);
+        f(&self.right);
+        f(&self.info);
+    }
+}
+
+impl<M: Persist> Node<M> {
+    fn alloc(key: u64, left: u64, right: u64, info: u64) -> *mut Node<M> {
+        counters::node_alloc();
+        Box::into_raw(Box::new(Node {
+            key: PWord::new(key),
+            left: PWord::new(left),
+            right: PWord::new(right),
+            info: PWord::new(info),
+        }))
+    }
+
+    fn is_leaf(&self) -> bool {
+        self.left.load() == 0
+    }
+}
+
+impl<M: Persist> Drop for Node<M> {
+    fn drop(&mut self) {
+        counters::node_free();
+    }
+}
+
+struct SearchRes<M: Persist> {
+    gp: *mut Node<M>,
+    p: *mut Node<M>,
+    l: *mut Node<M>,
+    gp_info: u64,
+    p_info: u64,
+    l_info: u64,
+    /// Child cell of `gp` pointing to `p`.
+    gp_cell: *const PWord<M>,
+    /// Child cell of `p` pointing to `l`.
+    p_cell: *const PWord<M>,
+}
+
+/// Detectably recoverable external BST (see module docs).
+pub struct RBst<M: Persist, const TUNED: bool = false> {
+    root: *mut Node<M>,
+    rec: RecArea<M>,
+    collector: Collector,
+}
+
+unsafe impl<M: Persist, const TUNED: bool> Send for RBst<M, TUNED> {}
+unsafe impl<M: Persist, const TUNED: bool> Sync for RBst<M, TUNED> {}
+
+impl<M: Persist, const TUNED: bool> Default for RBst<M, TUNED> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<M: Persist, const TUNED: bool> RBst<M, TUNED> {
+    /// New empty tree.
+    pub fn new() -> Self {
+        Self::with_collector(Collector::new())
+    }
+
+    /// New empty tree with the given collector (crash-sim runs pass
+    /// [`Collector::disabled`]).
+    pub fn with_collector(collector: Collector) -> Self {
+        // Routing: k < node.key goes left. Dummy leaves: key 0 (below every
+        // user key) on the far left, ∞ leaves on the right spine; user keys
+        // always land in inner's left subtree with gp ≠ null.
+        let l0: *mut Node<M> = Node::alloc(0, 0, 0, 0);
+        let l1: *mut Node<M> = Node::alloc(KEY_INF1, 0, 0, 0);
+        let inner: *mut Node<M> = Node::alloc(KEY_INF1, l0 as u64, l1 as u64, 0);
+        let r2: *mut Node<M> = Node::alloc(KEY_INF2, 0, 0, 0);
+        let root = Node::alloc(KEY_INF2, inner as u64, r2 as u64, 0);
+        Self { root, rec: RecArea::new(), collector }
+    }
+
+    fn assert_key(key: u64) {
+        assert!(key > 0 && key < KEY_INF1, "key must be in (0, u64::MAX-1)");
+    }
+
+    /// Search for `key`: returns grandparent, parent, leaf, their info
+    /// values (each read on first access to its node, before its children)
+    /// and the two child cells on the path.
+    ///
+    /// # Safety
+    /// Caller must hold an EBR pin.
+    unsafe fn search(&self, key: u64) -> SearchRes<M> {
+        unsafe {
+            let mut gp = std::ptr::null_mut();
+            let mut gp_info = 0;
+            let mut gp_cell: *const PWord<M> = std::ptr::null();
+            let mut p = self.root;
+            let mut p_info = (*p).info.load();
+            let mut p_cell: *const PWord<M> =
+                if key < (*p).key.load() { &(*p).left } else { &(*p).right };
+            let mut l = (*p_cell).load() as *mut Node<M>;
+            let mut l_info = (*l).info.load();
+            while !(*l).is_leaf() {
+                gp = p;
+                gp_info = p_info;
+                gp_cell = p_cell;
+                p = l;
+                p_info = l_info;
+                p_cell = if key < (*p).key.load() { &(*p).left } else { &(*p).right };
+                l = (*p_cell).load() as *mut Node<M>;
+                l_info = (*l).info.load();
+            }
+            SearchRes { gp, p, l, gp_info, p_info, l_info, gp_cell, p_cell }
+        }
+    }
+
+    fn publish(&self, pid: usize, info: *mut Info<M>, published: &mut u64, g: &Guard<'_>) {
+        self.rec.publish(pid, info as u64);
+        if *published != 0 && *published != info as u64 {
+            unsafe { Info::<M>::release(tag::ptr_of(*published), 1, g) };
+        }
+        *published = info as u64;
+    }
+
+    unsafe fn retire_node(&self, node: *mut Node<M>, g: &Guard<'_>) {
+        unsafe {
+            let iv = (*node).info.load();
+            Info::<M>::release(tag::ptr_of(iv), 1, g);
+            g.retire_box(node);
+        }
+    }
+
+    unsafe fn persist_attempt(&self, info: *mut Info<M>, news: &[*mut Node<M>]) {
+        unsafe {
+            for &n in news {
+                M::pwb_obj(&*n);
+            }
+            if TUNED {
+                M::pwb_obj(&*info);
+                M::pfence();
+            } else {
+                M::pbarrier_obj(&*info);
+            }
+        }
+    }
+
+    /// Inserts `key`; `false` if present.
+    pub fn insert(&self, pid: usize, key: u64) -> bool {
+        Self::assert_key(key);
+        let mut info = Info::<M>::alloc();
+        let mut published: u64 = 0;
+        let prev = self.rec.begin::<TUNED>(pid);
+        {
+            let g = self.collector.pin();
+            unsafe { Info::<M>::release(tag::ptr_of(prev), 1, &g) };
+        }
+        loop {
+            let g = self.collector.pin();
+            let s = unsafe { self.search(key) };
+            if tag::is_tagged(s.p_info) {
+                unsafe { help::<M, TUNED>(tag::ptr_of(s.p_info), false, &g) };
+                continue;
+            }
+            if tag::is_tagged(s.l_info) {
+                unsafe { help::<M, TUNED>(tag::ptr_of(s.l_info), false, &g) };
+                continue;
+            }
+            let l_key = unsafe { (*s.l).key.load() };
+            if l_key == key {
+                // ROpt read-only path.
+                unsafe {
+                    Info::fill(
+                        info,
+                        &InfoFill {
+                            optype: optype::INSERT,
+                            affect: &[(cell_addr(&(*s.l).info), s.l_info)],
+                            write: &[],
+                            newset: &[],
+                            del_mask: 0,
+                            presult: RES_FALSE,
+                        },
+                    );
+                    M::store(&(*info).result, RES_FALSE);
+                    self.persist_attempt(info, &[]);
+                }
+                self.publish(pid, info, &mut published, &g);
+                unsafe { Info::<M>::release(info, 1, &g) };
+                return false;
+            }
+            // Build the replacement subtree: internal(max) / {leaf(k), copy(l)}.
+            let t = tag::tagged(info as u64);
+            let new_leaf: *mut Node<M> = Node::alloc(key, 0, 0, t);
+            let l_copy: *mut Node<M> = Node::alloc(l_key, 0, 0, t);
+            let (lc, rc, ik) =
+                if key < l_key { (new_leaf, l_copy, l_key) } else { (l_copy, new_leaf, key) };
+            let internal: *mut Node<M> = Node::alloc(ik, lc as u64, rc as u64, t);
+            unsafe {
+                Info::fill(
+                    info,
+                    &InfoFill {
+                        optype: optype::INSERT,
+                        affect: &[
+                            (cell_addr(&(*s.p).info), s.p_info),
+                            (cell_addr(&(*s.l).info), s.l_info),
+                        ],
+                        write: &[(s.p_cell as u64, s.l as u64, internal as u64)],
+                        newset: &[
+                            cell_addr(&(*internal).info),
+                            cell_addr(&(*new_leaf).info),
+                            cell_addr(&(*l_copy).info),
+                        ],
+                        del_mask: 0b10, // l is copy-replaced
+                        presult: RES_TRUE,
+                    },
+                );
+                self.persist_attempt(info, &[internal, new_leaf, l_copy]);
+            }
+            self.publish(pid, info, &mut published, &g);
+            match unsafe { help::<M, TUNED>(info, true, &g) } {
+                HelpOutcome::Done => {
+                    unsafe { self.retire_node(s.l, &g) };
+                    return true;
+                }
+                HelpOutcome::FailedAt(i) => {
+                    unsafe {
+                        // Unpublished new nodes: drop and release their refs.
+                        Info::<M>::release(info, 3, &g); // 3 new-node cells
+                        drop(Box::from_raw(internal));
+                        drop(Box::from_raw(new_leaf));
+                        drop(Box::from_raw(l_copy));
+                        Info::<M>::release(info, (2 - i) as u32, &g);
+                    }
+                    info = Info::alloc();
+                }
+            }
+        }
+    }
+
+    /// Deletes `key`; `false` if absent.
+    pub fn delete(&self, pid: usize, key: u64) -> bool {
+        Self::assert_key(key);
+        let mut info = Info::<M>::alloc();
+        let mut published: u64 = 0;
+        let prev = self.rec.begin::<TUNED>(pid);
+        {
+            let g = self.collector.pin();
+            unsafe { Info::<M>::release(tag::ptr_of(prev), 1, &g) };
+        }
+        loop {
+            let g = self.collector.pin();
+            let s = unsafe { self.search(key) };
+            if tag::is_tagged(s.gp_info) {
+                unsafe { help::<M, TUNED>(tag::ptr_of(s.gp_info), false, &g) };
+                continue;
+            }
+            if tag::is_tagged(s.p_info) {
+                unsafe { help::<M, TUNED>(tag::ptr_of(s.p_info), false, &g) };
+                continue;
+            }
+            if tag::is_tagged(s.l_info) {
+                unsafe { help::<M, TUNED>(tag::ptr_of(s.l_info), false, &g) };
+                continue;
+            }
+            let l_key = unsafe { (*s.l).key.load() };
+            if l_key != key {
+                unsafe {
+                    Info::fill(
+                        info,
+                        &InfoFill {
+                            optype: optype::DELETE,
+                            affect: &[(cell_addr(&(*s.l).info), s.l_info)],
+                            write: &[],
+                            newset: &[],
+                            del_mask: 0,
+                            presult: RES_FALSE,
+                        },
+                    );
+                    M::store(&(*info).result, RES_FALSE);
+                    self.persist_attempt(info, &[]);
+                }
+                self.publish(pid, info, &mut published, &g);
+                unsafe { Info::<M>::release(info, 1, &g) };
+                return false;
+            }
+            // Sibling of l under p (its info gathered after p's, before its children).
+            let (sib, sib_info, sib_key, sib_l, sib_r) = unsafe {
+                let sib_cell: &PWord<M> = if std::ptr::eq(s.p_cell, &(*s.p).left) {
+                    &(*s.p).right
+                } else {
+                    &(*s.p).left
+                };
+                let sib = sib_cell.load() as *mut Node<M>;
+                let si = (*sib).info.load();
+                (sib, si, (*sib).key.load(), (*sib).left.load(), (*sib).right.load())
+            };
+            if tag::is_tagged(sib_info) {
+                unsafe { help::<M, TUNED>(tag::ptr_of(sib_info), false, &g) };
+                continue;
+            }
+            let t = tag::tagged(info as u64);
+            // Copy of the sibling replaces p (freshness); its children are
+            // frozen once sib is successfully tagged.
+            let sib_copy: *mut Node<M> = Node::alloc(sib_key, sib_l, sib_r, t);
+            unsafe {
+                Info::fill(
+                    info,
+                    &InfoFill {
+                        optype: optype::DELETE,
+                        affect: &[
+                            (cell_addr(&(*s.gp).info), s.gp_info),
+                            (cell_addr(&(*s.p).info), s.p_info),
+                            (cell_addr(&(*s.l).info), s.l_info),
+                            (cell_addr(&(*sib).info), sib_info),
+                        ],
+                        write: &[(s.gp_cell as u64, s.p as u64, sib_copy as u64)],
+                        newset: &[cell_addr(&(*sib_copy).info)],
+                        del_mask: 0b1110, // p, l, sib all leave the tree
+                        presult: RES_TRUE,
+                    },
+                );
+                self.persist_attempt(info, &[sib_copy]);
+            }
+            self.publish(pid, info, &mut published, &g);
+            match unsafe { help::<M, TUNED>(info, true, &g) } {
+                HelpOutcome::Done => {
+                    unsafe {
+                        self.retire_node(s.p, &g);
+                        self.retire_node(s.l, &g);
+                        self.retire_node(sib, &g);
+                    }
+                    return true;
+                }
+                HelpOutcome::FailedAt(i) => {
+                    unsafe {
+                        Info::<M>::release(info, 1, &g); // sib_copy's cell
+                        drop(Box::from_raw(sib_copy));
+                        Info::<M>::release(info, (4 - i) as u32, &g);
+                    }
+                    info = Info::alloc();
+                }
+            }
+        }
+    }
+
+    /// Membership test (ROpt read-only; no `CP/RD=Null` prologue).
+    pub fn find(&self, pid: usize, key: u64) -> bool {
+        Self::assert_key(key);
+        let info = Info::<M>::alloc();
+        let prev = self.rec.begin_readonly(pid);
+        let mut published = prev;
+        loop {
+            let g = self.collector.pin();
+            let s = unsafe { self.search(key) };
+            if tag::is_tagged(s.l_info) {
+                unsafe { help::<M, TUNED>(tag::ptr_of(s.l_info), false, &g) };
+                continue;
+            }
+            let res = unsafe { (*s.l).key.load() } == key;
+            let enc = if res { RES_TRUE } else { RES_FALSE };
+            unsafe {
+                Info::fill(
+                    info,
+                    &InfoFill {
+                        optype: optype::FIND,
+                        affect: &[(cell_addr(&(*s.l).info), s.l_info)],
+                        write: &[],
+                        newset: &[],
+                        del_mask: 0,
+                        presult: enc,
+                    },
+                );
+                M::store(&(*info).result, enc);
+                self.persist_attempt(info, &[]);
+            }
+            self.publish(pid, info, &mut published, &g);
+            unsafe { Info::<M>::release(info, 1, &g) };
+            return res;
+        }
+    }
+
+    /// `Insert.Recover`.
+    pub fn recover_insert(&self, pid: usize, key: u64) -> bool {
+        let r = {
+            let g = self.collector.pin();
+            unsafe { op_recover::<M, TUNED>(&self.rec, pid, &g) }
+        };
+        match r {
+            Recovered::Completed(v) => v == RES_TRUE,
+            Recovered::Restart => self.insert(pid, key),
+        }
+    }
+
+    /// `Delete.Recover`.
+    pub fn recover_delete(&self, pid: usize, key: u64) -> bool {
+        let r = {
+            let g = self.collector.pin();
+            unsafe { op_recover::<M, TUNED>(&self.rec, pid, &g) }
+        };
+        match r {
+            Recovered::Completed(v) => v == RES_TRUE,
+            Recovered::Restart => self.delete(pid, key),
+        }
+    }
+
+    /// `Find.Recover` (restart-safe).
+    pub fn recover_find(&self, pid: usize, key: u64) -> bool {
+        let r = {
+            let g = self.collector.pin();
+            unsafe { op_recover::<M, TUNED>(&self.rec, pid, &g) }
+        };
+        match r {
+            Recovered::Completed(v) => v == RES_TRUE,
+            Recovered::Restart => self.find(pid, key),
+        }
+    }
+
+    /// Quiescent in-order snapshot of the user keys.
+    pub fn snapshot_keys(&mut self) -> Vec<u64> {
+        unsafe fn walk<M: Persist>(n: *mut Node<M>, out: &mut Vec<u64>) {
+            unsafe {
+                if n.is_null() {
+                    return;
+                }
+                if (*n).is_leaf() {
+                    let k = (*n).key.load();
+                    if k > 0 && k < KEY_INF1 {
+                        out.push(k);
+                    }
+                    return;
+                }
+                walk((*n).left.load() as *mut Node<M>, out);
+                walk((*n).right.load() as *mut Node<M>, out);
+            }
+        }
+        let mut out = Vec::new();
+        unsafe { walk(self.root, &mut out) };
+        out
+    }
+
+    /// Structural invariants for a quiescent tree: leaf-orientation, BST
+    /// routing, untagged reachable nodes.
+    pub fn check_invariants(&mut self) {
+        unsafe fn walk<M: Persist>(n: *mut Node<M>, lo: u64, hi: u64) {
+            unsafe {
+                assert!(!n.is_null(), "null child in external tree");
+                let k = (*n).key.load();
+                assert!(
+                    !tag::is_tagged((*n).info.load()),
+                    "reachable node (key {k}) tagged at quiescence"
+                );
+                if (*n).is_leaf() {
+                    assert!(lo <= k && k <= hi, "leaf {k} outside routing range [{lo},{hi}]");
+                    return;
+                }
+                assert!((*n).right.load() != 0, "internal with one child");
+                walk((*n).left.load() as *mut Node<M>, lo, k.saturating_sub(1));
+                walk((*n).right.load() as *mut Node<M>, k, hi);
+            }
+        }
+        unsafe { walk(self.root, 0, u64::MAX) };
+    }
+}
+
+#[inline]
+fn cell_addr<M: Persist>(w: &PWord<M>) -> u64 {
+    w as *const PWord<M> as u64
+}
+
+unsafe fn drop_node_raw<M: Persist>(p: *mut u8) {
+    drop(unsafe { Box::from_raw(p as *mut Node<M>) });
+}
+
+unsafe fn drop_info_raw<M: Persist>(p: *mut u8) {
+    drop(unsafe { Box::from_raw(p as *mut Info<M>) });
+}
+
+impl<M: Persist, const TUNED: bool> Drop for RBst<M, TUNED> {
+    fn drop(&mut self) {
+        // Same dedup-grave teardown as the list (crash images can resurrect
+        // reachability of parked nodes).
+        let mut grave: std::collections::HashMap<usize, unsafe fn(*mut u8)> =
+            self.collector.take_parked().into_iter().map(|(p, f)| (p as usize, f)).collect();
+        self.rec.each_published(|rd| {
+            if tag::untagged(rd) != 0 {
+                grave.insert(tag::untagged(rd) as usize, drop_info_raw::<M>);
+            }
+        });
+        unsafe fn scan<M: Persist>(
+            n: *mut Node<M>,
+            grave: &mut std::collections::HashMap<usize, unsafe fn(*mut u8)>,
+        ) {
+            unsafe {
+                if n.is_null() || grave.contains_key(&(n as usize)) {
+                    return;
+                }
+                grave.insert(n as usize, drop_node_raw::<M>);
+                let iv = tag::untagged((*n).info.load());
+                if iv != 0 {
+                    grave.insert(iv as usize, drop_info_raw::<M>);
+                }
+                if !(*n).is_leaf() {
+                    scan((*n).left.load() as *mut Node<M>, grave);
+                    scan((*n).right.load() as *mut Node<M>, grave);
+                }
+            }
+        }
+        unsafe {
+            scan(self.root, &mut grave);
+            for (p, f) in grave {
+                f(p as *mut u8);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nvm::CountingNvm;
+    use std::sync::Arc;
+
+    type T = RBst<CountingNvm, false>;
+    type TOpt = RBst<CountingNvm, true>;
+
+    #[test]
+    fn sequential_set_semantics() {
+        let _gate = crate::counters::gate_shared();
+        nvm::tid::set_tid(0);
+        let t = T::new();
+        assert!(!t.find(0, 5));
+        assert!(t.insert(0, 5));
+        assert!(t.find(0, 5));
+        assert!(!t.insert(0, 5));
+        assert!(t.insert(0, 3));
+        assert!(t.insert(0, 9));
+        assert!(t.delete(0, 5));
+        assert!(!t.delete(0, 5));
+        assert!(!t.find(0, 5));
+        assert!(t.find(0, 3) && t.find(0, 9));
+    }
+
+    #[test]
+    fn inorder_snapshot_is_sorted() {
+        let _gate = crate::counters::gate_shared();
+        nvm::tid::set_tid(0);
+        let mut t = TOpt::new();
+        for k in [50u64, 20, 80, 10, 30, 70, 90, 25, 35] {
+            assert!(t.insert(0, k));
+        }
+        assert_eq!(t.snapshot_keys(), vec![10, 20, 25, 30, 35, 50, 70, 80, 90]);
+        t.check_invariants();
+    }
+
+    #[test]
+    fn mixed_random_ops_match_btreeset() {
+        use rand::{Rng, SeedableRng};
+        let _gate = crate::counters::gate_shared();
+        nvm::tid::set_tid(0);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(99);
+        let mut t = T::new();
+        let mut model = std::collections::BTreeSet::new();
+        for _ in 0..3000 {
+            let k = rng.gen_range(1..64u64);
+            match rng.gen_range(0..3) {
+                0 => assert_eq!(t.insert(0, k), model.insert(k), "insert {k}"),
+                1 => assert_eq!(t.delete(0, k), model.remove(&k), "delete {k}"),
+                _ => assert_eq!(t.find(0, k), model.contains(&k), "find {k}"),
+            }
+        }
+        assert_eq!(t.snapshot_keys(), model.iter().copied().collect::<Vec<_>>());
+        t.check_invariants();
+    }
+
+    #[test]
+    fn no_leaks_after_drop() {
+        let _gate = crate::counters::gate_exclusive();
+        nvm::tid::set_tid(0);
+        let nodes0 = crate::counters::live_nodes();
+        let infos0 = crate::counters::live_infos();
+        {
+            let mut t = T::new();
+            for k in 1..=100u64 {
+                t.insert(0, k);
+            }
+            for k in (1..=100u64).step_by(2) {
+                t.delete(0, k);
+            }
+            t.check_invariants();
+        }
+        assert_eq!(crate::counters::live_nodes(), nodes0, "node leak/double-free");
+        assert_eq!(crate::counters::live_infos(), infos0, "info leak/double-free");
+    }
+
+    #[test]
+    fn concurrent_disjoint_inserts() {
+        let _gate = crate::counters::gate_shared();
+        let t = Arc::new(T::new());
+        let hs: Vec<_> = (0..4u64)
+            .map(|p| {
+                let t = Arc::clone(&t);
+                std::thread::spawn(move || {
+                    nvm::tid::set_tid(p as usize);
+                    for i in 0..150u64 {
+                        assert!(t.insert(p as usize, 1 + p + i * 4));
+                    }
+                })
+            })
+            .collect();
+        for h in hs {
+            h.join().unwrap();
+        }
+        let mut t = Arc::into_inner(t).unwrap();
+        assert_eq!(t.snapshot_keys().len(), 600);
+        t.check_invariants();
+    }
+
+    #[test]
+    fn concurrent_churn_keeps_invariants() {
+        use rand::{Rng, SeedableRng};
+        let _gate = crate::counters::gate_shared();
+        let t = Arc::new(T::new());
+        let hs: Vec<_> = (0..4)
+            .map(|p| {
+                let t = Arc::clone(&t);
+                std::thread::spawn(move || {
+                    nvm::tid::set_tid(p);
+                    let mut rng = rand::rngs::StdRng::seed_from_u64(p as u64 + 7);
+                    for _ in 0..1500 {
+                        let k = rng.gen_range(1..32u64);
+                        match rng.gen_range(0..3) {
+                            0 => {
+                                t.insert(p, k);
+                            }
+                            1 => {
+                                t.delete(p, k);
+                            }
+                            _ => {
+                                t.find(p, k);
+                            }
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in hs {
+            h.join().unwrap();
+        }
+        let mut t = Arc::into_inner(t).unwrap();
+        t.check_invariants();
+    }
+
+    #[test]
+    fn recovery_without_crash_restarts() {
+        let _gate = crate::counters::gate_shared();
+        nvm::tid::set_tid(0);
+        let t = T::new();
+        assert!(t.recover_insert(0, 42));
+        assert!(t.find(0, 42));
+        assert!(t.recover_delete(0, 42));
+        assert!(!t.find(0, 42));
+    }
+}

@@ -1,0 +1,50 @@
+//! Live-object counters for leak/double-free detection in tests.
+//!
+//! Every node/Info allocation increments, every deallocation decrements.
+//! After dropping a structure (and its collector), both must return to their
+//! baseline — the integration tests assert this. The counters are plain
+//! relaxed atomics touched only on allocation paths; they are kept always-on
+//! so cross-crate tests can use them too.
+
+use std::sync::atomic::{AtomicIsize, Ordering::Relaxed};
+
+static NODES: AtomicIsize = AtomicIsize::new(0);
+static INFOS: AtomicIsize = AtomicIsize::new(0);
+
+pub(crate) fn node_alloc() {
+    NODES.fetch_add(1, Relaxed);
+}
+pub(crate) fn node_free() {
+    NODES.fetch_sub(1, Relaxed);
+}
+pub(crate) fn info_alloc() {
+    INFOS.fetch_add(1, Relaxed);
+}
+pub(crate) fn info_free() {
+    INFOS.fetch_sub(1, Relaxed);
+}
+
+/// Test coordination: the counters are process-global, so leak assertions
+/// need exclusive use while ordinary allocating tests hold the shared side.
+/// (Poisoning is ignored — a panicked test must not cascade.)
+pub static TEST_GATE: std::sync::RwLock<()> = std::sync::RwLock::new(());
+
+/// Shared gate guard for tests that allocate but don't assert on counters.
+pub fn gate_shared() -> std::sync::RwLockReadGuard<'static, ()> {
+    TEST_GATE.read().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Exclusive gate guard for leak-assertion tests.
+pub fn gate_exclusive() -> std::sync::RwLockWriteGuard<'static, ()> {
+    TEST_GATE.write().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Number of live nodes across all structures in this process.
+pub fn live_nodes() -> isize {
+    NODES.load(Relaxed)
+}
+
+/// Number of live Info descriptors across all structures in this process.
+pub fn live_infos() -> isize {
+    INFOS.load(Relaxed)
+}

@@ -1,0 +1,67 @@
+//! # `isb` — ISB-tracking: detectably recoverable lock-free data structures
+//!
+//! Rust reproduction of Attiya, Ben-Baruch, Fatourou, Hendler, Kosmas,
+//! *"Tracking in Order to Recover: Detectable Recovery of Lock-Free Data
+//! Structures"* (SPAA 2020).
+//!
+//! **Detectable recovery** means: after a system-wide crash, every process
+//! can determine whether its interrupted operation took effect and, if so,
+//! obtain its response — without full-fledged logging. ISB-tracking piggy-
+//! backs this on the *Info-structure-based helping* already present in many
+//! lock-free designs: each update installs a descriptor ([`engine::Info`])
+//! in the nodes it affects (tagging = soft-locking them), a per-process
+//! persistent pointer `RD_q` names the descriptor of the attempt in flight,
+//! and a `result` field inside the descriptor — persisted before the
+//! operation unlocks anything — carries the response across the crash.
+//!
+//! ## Structures
+//! * [`list::RList`] — detectably recoverable sorted linked list (paper §4).
+//! * [`queue::RQueue`] — ISB-tracked MS-queue (paper §5 / supplementary B.2).
+//! * [`bst::RBst`] — detectably recoverable external BST (paper §6).
+//! * [`exchanger::RExchanger`] — detectably recoverable exchanger (paper §6).
+//! * [`stack::RStack`] — direct-tracked elimination stack (paper §1/§5).
+//!
+//! Every structure is generic over the persistency model
+//! ([`nvm::Persist`]: real flushes, counting-only, private-cache, or the
+//! crash simulator) and over `TUNED` (false = the paper's general persistency
+//! placement, "Isb"; true = the hand-tuned placement, "Isb-Opt").
+//!
+//! ## Quick start
+//! ```
+//! use isb::list::RList;
+//! use nvm::CountingNvm;
+//!
+//! nvm::tid::set_tid(0); // register this thread as process 0
+//! let list: RList<CountingNvm> = RList::new();
+//! assert!(list.insert(0, 42));
+//! assert!(list.find(0, 42));
+//! assert!(!list.insert(0, 42)); // duplicate
+//! assert!(list.delete(0, 42));
+//! assert!(!list.find(0, 42));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod bst;
+pub mod counters;
+pub mod engine;
+pub mod exchanger;
+pub mod list;
+pub mod queue;
+pub mod recovery;
+pub mod stack;
+pub mod tag;
+
+/// Operation type tags stored in Info descriptors (diagnostics only).
+pub mod optype {
+    /// List/BST insert.
+    pub const INSERT: u8 = 1;
+    /// List/BST delete.
+    pub const DELETE: u8 = 2;
+    /// List/BST find.
+    pub const FIND: u8 = 3;
+    /// Queue enqueue.
+    pub const ENQ: u8 = 4;
+    /// Queue dequeue.
+    pub const DEQ: u8 = 5;
+}

@@ -1,0 +1,782 @@
+//! Detectably recoverable sorted linked list (paper Section 4,
+//! Algorithms 3–5), obtained by applying ROpt-ISB (Algorithm 2).
+//!
+//! The list is sorted by strictly increasing `u64` keys with two sentinels
+//! (`0 = −∞`, `u64::MAX = +∞`); user keys must lie strictly between. Each
+//! node carries an `info` field (tagged pointer, see [`crate::tag`]).
+//!
+//! * A node tagged **for update** has its `next` field about to change; it
+//!   is untagged when the update completes.
+//! * A node tagged **for deletion** stays tagged forever (the Harris mark
+//!   bit) — this includes the successor that a successful *Insert*
+//!   **copy-replaces**: `Insert(k)` links `pred → newnd(k) → newcurr(copy of
+//!   curr)` and retires `curr`. The copy guarantees **pointer freshness**: a
+//!   node only ever leaves a `next` field by being retired, so no `next` or
+//!   `info` field ever holds the same value twice and stale helper CASes
+//!   fail harmlessly (DESIGN.md §4).
+//!
+//! Read-only outcomes (`Find`, `Insert` of a present key, `Delete` of an
+//! absent key) take the ROpt fast path: a single-element AffectSet, the
+//! response computed from immutable fields *before* the descriptor is
+//! persisted, and no call to `Help`.
+//!
+//! ### Deviation from the paper's pseudocode
+//! Algorithm 1 reuses the same Info structure after an attempt that failed
+//! without installing anything. We allocate a fresh Info for every attempt
+//! that follows a *published* one: refilling a descriptor that `RD_q`
+//! already points to is not crash-atomic on real hardware (a torn descriptor
+//! could be helped during recovery). The single-attempt fast path is
+//! unchanged.
+
+use crate::counters;
+use crate::engine::{help, HelpOutcome, Info, InfoFill, RES_FALSE, RES_TRUE};
+use crate::optype;
+use crate::recovery::{op_recover, RecArea, Recovered};
+use crate::tag;
+use nvm::{PWord, Persist, PersistWords};
+use reclaim::{Collector, Guard};
+
+/// Sentinel key of the head (−∞).
+pub const KEY_MIN: u64 = 0;
+/// Sentinel key of the tail (+∞).
+pub const KEY_MAX: u64 = u64::MAX;
+
+/// A list node: `key` (immutable once published), `next`, `info`.
+#[repr(C)]
+pub struct Node<M: Persist> {
+    key: PWord<M>,
+    next: PWord<M>,
+    info: PWord<M>,
+}
+
+unsafe impl<M: Persist> PersistWords<M> for Node<M> {
+    fn each_word(&self, f: &mut dyn FnMut(&PWord<M>)) {
+        f(&self.key);
+        f(&self.next);
+        f(&self.info);
+    }
+}
+
+impl<M: Persist> Node<M> {
+    fn alloc(key: u64, next: u64, info: u64) -> *mut Node<M> {
+        counters::node_alloc();
+        Box::into_raw(Box::new(Node {
+            key: PWord::new(key),
+            next: PWord::new(next),
+            info: PWord::new(info),
+        }))
+    }
+}
+
+impl<M: Persist> Drop for Node<M> {
+    fn drop(&mut self) {
+        counters::node_free();
+    }
+}
+
+struct SearchRes<M: Persist> {
+    pred: *mut Node<M>,
+    curr: *mut Node<M>,
+    pred_info: u64,
+    curr_info: u64,
+}
+
+/// Detectably recoverable sorted linked list. `TUNED = false` is the paper's
+/// general persistency placement ("Isb"); `TUNED = true` is the hand-tuned
+/// one ("Isb-Opt").
+pub struct RList<M: Persist, const TUNED: bool = false> {
+    head: *mut Node<M>,
+    rec: RecArea<M>,
+    collector: Collector,
+}
+
+unsafe impl<M: Persist, const TUNED: bool> Send for RList<M, TUNED> {}
+unsafe impl<M: Persist, const TUNED: bool> Sync for RList<M, TUNED> {}
+
+impl<M: Persist, const TUNED: bool> Default for RList<M, TUNED> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<M: Persist, const TUNED: bool> RList<M, TUNED> {
+    /// New empty list with a reclaiming collector.
+    pub fn new() -> Self {
+        Self::with_collector(Collector::new())
+    }
+
+    /// New empty list with the given collector. Crash-simulation runs pass
+    /// [`Collector::disabled`] (a crash must not free memory).
+    pub fn with_collector(collector: Collector) -> Self {
+        let tail: *mut Node<M> = Node::alloc(KEY_MAX, 0, 0);
+        let head = Node::alloc(KEY_MIN, tail as u64, 0);
+        Self { head, rec: RecArea::new(), collector }
+    }
+
+    /// The list's collector (for diagnostics).
+    pub fn collector(&self) -> &Collector {
+        &self.collector
+    }
+
+    fn assert_key(key: u64) {
+        assert!(key > KEY_MIN && key < KEY_MAX, "key must be in (0, u64::MAX)");
+    }
+
+    /// Algorithm 5 `Search`: returns the first node with `node.key >= key`
+    /// as `curr`, its predecessor, and their info values — each info value
+    /// read on first access to its node (before the node's `next`).
+    ///
+    /// # Safety
+    /// Caller must hold an EBR pin.
+    unsafe fn search(&self, key: u64) -> SearchRes<M> {
+        unsafe {
+            let mut curr = self.head;
+            let mut curr_info = (*curr).info.load();
+            let mut pred = curr;
+            let mut pred_info = curr_info;
+            while (*curr).key.load() < key {
+                pred = curr;
+                pred_info = curr_info;
+                curr = (*curr).next.load() as *mut Node<M>;
+                curr_info = (*curr).info.load();
+            }
+            SearchRes { pred, curr, pred_info, curr_info }
+        }
+    }
+
+    /// Persist the attempt's new nodes and descriptor before publication
+    /// (paper line 106 `pbarrier(newcurr, newnd, *opInfo)`).
+    unsafe fn persist_attempt(&self, info: *mut Info<M>, newnd: *mut Node<M>, newcurr: *mut Node<M>) {
+        unsafe {
+            if !newnd.is_null() {
+                M::pwb_obj(&*newnd);
+            }
+            if !newcurr.is_null() {
+                M::pwb_obj(&*newcurr);
+            }
+            if TUNED {
+                M::pwb_obj(&*info);
+                M::pfence(); // order descriptor write-backs before RD_q's
+            } else {
+                M::pbarrier_obj(&*info);
+            }
+        }
+    }
+
+    /// Publish `info` in `RD_q`, releasing the hold on the previously
+    /// published descriptor.
+    fn publish(&self, pid: usize, info: *mut Info<M>, published: &mut u64, g: &Guard<'_>) {
+        self.rec.publish(pid, info as u64);
+        if *published != 0 && *published != info as u64 {
+            unsafe { Info::<M>::release(tag::ptr_of(*published), 1, g) };
+        }
+        *published = info as u64;
+    }
+
+    /// Retire a node that left the structure, releasing its info reference.
+    unsafe fn retire_node(&self, node: *mut Node<M>, g: &Guard<'_>) {
+        unsafe {
+            let iv = (*node).info.load();
+            Info::<M>::release(tag::ptr_of(iv), 1, g);
+            g.retire_box(node);
+        }
+    }
+
+    /// Drop never-published new nodes (and their info-cell references).
+    unsafe fn drop_pending(&self, newnd: *mut Node<M>, newcurr: *mut Node<M>, filled: u64, g: &Guard<'_>) {
+        unsafe {
+            if filled != 0 {
+                Info::<M>::release(tag::ptr_of(filled), 2, g);
+            }
+            drop(Box::from_raw(newnd));
+            drop(Box::from_raw(newcurr));
+        }
+    }
+
+    /// Inserts `key`; returns `false` iff it was already present.
+    /// (Algorithm 3, `Insert`.)
+    pub fn insert(&self, pid: usize, key: u64) -> bool {
+        Self::assert_key(key);
+        // newnd → newcurr; newcurr refreshed per attempt as a copy of curr.
+        let newcurr = Node::alloc(0, 0, 0);
+        let newnd = Node::alloc(key, newcurr as u64, 0);
+        let mut info = Info::<M>::alloc();
+        let mut filled: u64 = 0; // tagged-info value currently in the new nodes' cells
+        let mut published: u64 = 0;
+        let prev = self.rec.begin::<TUNED>(pid);
+        {
+            let g = self.collector.pin();
+            unsafe { Info::<M>::release(tag::ptr_of(prev), 1, &g) };
+        }
+        loop {
+            let g = self.collector.pin();
+            let s = unsafe { self.search(key) };
+            // Helping phase.
+            if tag::is_tagged(s.pred_info) {
+                unsafe { help::<M, TUNED>(tag::ptr_of(s.pred_info), false, &g) };
+                continue;
+            }
+            if tag::is_tagged(s.curr_info) {
+                unsafe { help::<M, TUNED>(tag::ptr_of(s.curr_info), false, &g) };
+                continue;
+            }
+            let curr_key = unsafe { (*s.curr).key.load() };
+            if curr_key == key {
+                // ROpt read-only path: key already present.
+                unsafe {
+                    Info::fill(
+                        info,
+                        &InfoFill {
+                            optype: optype::INSERT,
+                            affect: &[(cell_addr(&(*s.curr).info), s.curr_info)],
+                            write: &[],
+                            newset: &[],
+                            del_mask: 0,
+                            presult: RES_FALSE,
+                        },
+                    );
+                    // Response computed early so one barrier persists it with
+                    // the descriptor (Algorithm 2, lines 73–77).
+                    M::store(&(*info).result, RES_FALSE);
+                    self.persist_attempt(info, std::ptr::null_mut(), std::ptr::null_mut());
+                }
+                self.publish(pid, info, &mut published, &g);
+                unsafe {
+                    Info::release(info, 1, &g); // the never-installed affect slot
+                    self.drop_pending(newnd, newcurr, filled, &g);
+                }
+                return false;
+            }
+            // Update path: refresh the copy of curr and the new nodes' tags.
+            unsafe {
+                (*newcurr).key.store(curr_key);
+                (*newcurr).next.store((*s.curr).next.load());
+                let t = tag::tagged(info as u64);
+                if filled != t {
+                    if filled != 0 {
+                        Info::<M>::release(tag::ptr_of(filled), 2, &g);
+                    }
+                    (*newnd).info.store(t);
+                    (*newcurr).info.store(t);
+                    filled = t;
+                }
+                Info::fill(
+                    info,
+                    &InfoFill {
+                        optype: optype::INSERT,
+                        affect: &[
+                            (cell_addr(&(*s.pred).info), s.pred_info),
+                            (cell_addr(&(*s.curr).info), s.curr_info),
+                        ],
+                        write: &[(cell_addr(&(*s.pred).next), s.curr as u64, newnd as u64)],
+                        newset: &[cell_addr(&(*newnd).info), cell_addr(&(*newcurr).info)],
+                        del_mask: 0b10, // curr is deletion-tagged (copy-replaced)
+                        presult: RES_TRUE,
+                    },
+                );
+                self.persist_attempt(info, newnd, newcurr);
+            }
+            self.publish(pid, info, &mut published, &g);
+            match unsafe { help::<M, TUNED>(info, true, &g) } {
+                HelpOutcome::Done => {
+                    unsafe { self.retire_node(s.curr, &g) };
+                    return true;
+                }
+                HelpOutcome::FailedAt(i) => {
+                    // Abandon: release never-installed affect slots; fresh
+                    // descriptor for the next attempt (pointer freshness).
+                    unsafe { Info::release(info, (2 - i) as u32, &g) };
+                    info = Info::alloc();
+                }
+            }
+        }
+    }
+
+    /// Deletes `key`; returns `false` iff it was absent. (Algorithm 5.)
+    pub fn delete(&self, pid: usize, key: u64) -> bool {
+        Self::assert_key(key);
+        let mut info = Info::<M>::alloc();
+        let mut published: u64 = 0;
+        let prev = self.rec.begin::<TUNED>(pid);
+        {
+            let g = self.collector.pin();
+            unsafe { Info::<M>::release(tag::ptr_of(prev), 1, &g) };
+        }
+        loop {
+            let g = self.collector.pin();
+            let s = unsafe { self.search(key) };
+            if tag::is_tagged(s.pred_info) {
+                unsafe { help::<M, TUNED>(tag::ptr_of(s.pred_info), false, &g) };
+                continue;
+            }
+            if tag::is_tagged(s.curr_info) {
+                unsafe { help::<M, TUNED>(tag::ptr_of(s.curr_info), false, &g) };
+                continue;
+            }
+            let curr_key = unsafe { (*s.curr).key.load() };
+            if curr_key != key {
+                // ROpt read-only path: key not present.
+                unsafe {
+                    Info::fill(
+                        info,
+                        &InfoFill {
+                            optype: optype::DELETE,
+                            affect: &[(cell_addr(&(*s.curr).info), s.curr_info)],
+                            write: &[],
+                            newset: &[],
+                            del_mask: 0,
+                            presult: RES_FALSE,
+                        },
+                    );
+                    M::store(&(*info).result, RES_FALSE);
+                    self.persist_attempt(info, std::ptr::null_mut(), std::ptr::null_mut());
+                }
+                self.publish(pid, info, &mut published, &g);
+                unsafe { Info::release(info, 1, &g) };
+                return false;
+            }
+            // succ read after the helping phase; stable once both tags hold.
+            let succ = unsafe { (*s.curr).next.load() };
+            unsafe {
+                Info::fill(
+                    info,
+                    &InfoFill {
+                        optype: optype::DELETE,
+                        affect: &[
+                            (cell_addr(&(*s.pred).info), s.pred_info),
+                            (cell_addr(&(*s.curr).info), s.curr_info),
+                        ],
+                        write: &[(cell_addr(&(*s.pred).next), s.curr as u64, succ)],
+                        newset: &[],
+                        del_mask: 0b10, // curr stays deletion-tagged forever
+                        presult: RES_TRUE,
+                    },
+                );
+                self.persist_attempt(info, std::ptr::null_mut(), std::ptr::null_mut());
+            }
+            self.publish(pid, info, &mut published, &g);
+            match unsafe { help::<M, TUNED>(info, true, &g) } {
+                HelpOutcome::Done => {
+                    unsafe { self.retire_node(s.curr, &g) };
+                    return true;
+                }
+                HelpOutcome::FailedAt(i) => {
+                    unsafe { Info::release(info, (2 - i) as u32, &g) };
+                    info = Info::alloc();
+                }
+            }
+        }
+    }
+
+    /// Whether `key` is present. (Algorithm 3, `Find` — fully read-only,
+    /// skips the `RD_q := Null / CP_q := 1` prologue: restarting a find is
+    /// always safe, but its response is still persisted for strict
+    /// recoverability / nesting.)
+    pub fn find(&self, pid: usize, key: u64) -> bool {
+        Self::assert_key(key);
+        let info = Info::<M>::alloc();
+        let prev = self.rec.begin_readonly(pid);
+        let mut published = prev;
+        loop {
+            let g = self.collector.pin();
+            let s = unsafe { self.search(key) };
+            if tag::is_tagged(s.curr_info) {
+                unsafe { help::<M, TUNED>(tag::ptr_of(s.curr_info), false, &g) };
+                continue;
+            }
+            let res = unsafe { (*s.curr).key.load() } == key;
+            let enc = if res { RES_TRUE } else { RES_FALSE };
+            unsafe {
+                Info::fill(
+                    info,
+                    &InfoFill {
+                        optype: optype::FIND,
+                        affect: &[(cell_addr(&(*s.curr).info), s.curr_info)],
+                        write: &[],
+                        newset: &[],
+                        del_mask: 0,
+                        presult: enc,
+                    },
+                );
+                M::store(&(*info).result, enc);
+                self.persist_attempt(info, std::ptr::null_mut(), std::ptr::null_mut());
+            }
+            self.publish(pid, info, &mut published, &g);
+            unsafe { Info::release(info, 1, &g) };
+            return res;
+        }
+    }
+
+    /// `Insert.Recover` (Op-Recover with the insert's arguments).
+    pub fn recover_insert(&self, pid: usize, key: u64) -> bool {
+        let r = {
+            let g = self.collector.pin();
+            unsafe { op_recover::<M, TUNED>(&self.rec, pid, &g) }
+        };
+        match r {
+            Recovered::Completed(v) => v == RES_TRUE,
+            Recovered::Restart => self.insert(pid, key),
+        }
+    }
+
+    /// `Delete.Recover`.
+    pub fn recover_delete(&self, pid: usize, key: u64) -> bool {
+        let r = {
+            let g = self.collector.pin();
+            unsafe { op_recover::<M, TUNED>(&self.rec, pid, &g) }
+        };
+        match r {
+            Recovered::Completed(v) => v == RES_TRUE,
+            Recovered::Restart => self.delete(pid, key),
+        }
+    }
+
+    /// `Find.Recover`: finds never set `CP_q = 1`, so recovery always
+    /// restarts them (restart-safe by read-onlyness).
+    pub fn recover_find(&self, pid: usize, key: u64) -> bool {
+        let r = {
+            let g = self.collector.pin();
+            unsafe { op_recover::<M, TUNED>(&self.rec, pid, &g) }
+        };
+        match r {
+            Recovered::Completed(v) => v == RES_TRUE,
+            Recovered::Restart => self.find(pid, key),
+        }
+    }
+
+    /// Snapshot of the user keys (requires exclusive access ⇒ quiescence).
+    pub fn snapshot_keys(&mut self) -> Vec<u64> {
+        let mut out = Vec::new();
+        unsafe {
+            let mut n = (*self.head).next.load() as *mut Node<M>;
+            while (*n).key.load() != KEY_MAX {
+                out.push((*n).key.load());
+                n = (*n).next.load() as *mut Node<M>;
+            }
+        }
+        out
+    }
+
+    /// Structural invariants: strictly sorted keys, intact sentinels, no
+    /// reachable node is tagged (quiescent list). Panics on violation.
+    pub fn check_invariants(&mut self) {
+        unsafe {
+            assert_eq!((*self.head).key.load(), KEY_MIN);
+            let mut prev_key = KEY_MIN;
+            let mut n = (*self.head).next.load() as *mut Node<M>;
+            loop {
+                let k = (*n).key.load();
+                assert!(k > prev_key, "keys must be strictly increasing: {prev_key} !< {k}");
+                assert!(
+                    !tag::is_tagged((*n).info.load()),
+                    "reachable node (key {k}) is tagged in a quiescent list"
+                );
+                if k == KEY_MAX {
+                    break;
+                }
+                prev_key = k;
+                n = (*n).next.load() as *mut Node<M>;
+            }
+        }
+    }
+}
+
+#[inline]
+fn cell_addr<M: Persist>(w: &PWord<M>) -> u64 {
+    w as *const PWord<M> as u64
+}
+
+unsafe fn drop_node_raw<M: Persist>(p: *mut u8) {
+    drop(unsafe { Box::from_raw(p as *mut Node<M>) });
+}
+
+unsafe fn drop_info_raw<M: Persist>(p: *mut u8) {
+    drop(unsafe { Box::from_raw(p as *mut Info<M>) });
+}
+
+impl<M: Persist, const TUNED: bool> Drop for RList<M, TUNED> {
+    fn drop(&mut self) {
+        // Quiescent teardown. After a simulated crash the NVM image may have
+        // rolled pointers back, making *retired* (parked) nodes reachable
+        // again — so the reachable scan and the collector's parked bag can
+        // overlap. Free the union exactly once, deduplicated by address.
+        let mut grave: std::collections::HashMap<usize, unsafe fn(*mut u8)> =
+            self.collector.take_parked().into_iter().map(|(p, f)| (p as usize, f)).collect();
+        self.rec.each_published(|rd| {
+            if tag::untagged(rd) != 0 {
+                grave.insert(tag::untagged(rd) as usize, drop_info_raw::<M>);
+            }
+        });
+        unsafe {
+            let mut n = self.head;
+            while !n.is_null() {
+                let next = (*n).next.load() as *mut Node<M>;
+                let iv = tag::untagged((*n).info.load());
+                if iv != 0 {
+                    grave.insert(iv as usize, drop_info_raw::<M>);
+                }
+                let is_tail = (*n).key.load() == KEY_MAX;
+                grave.insert(n as usize, drop_node_raw::<M>);
+                n = if is_tail { std::ptr::null_mut() } else { next };
+            }
+            for (p, f) in grave {
+                f(p as *mut u8);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nvm::CountingNvm;
+    use std::sync::Arc;
+
+    type L = RList<CountingNvm, false>;
+    type LOpt = RList<CountingNvm, true>;
+
+    #[test]
+    fn sequential_set_semantics() {
+        let _gate = crate::counters::gate_shared();
+        nvm::tid::set_tid(0);
+        let list = L::new();
+        assert!(!list.find(0, 5));
+        assert!(list.insert(0, 5));
+        assert!(list.find(0, 5));
+        assert!(!list.insert(0, 5), "duplicate insert");
+        assert!(list.insert(0, 3));
+        assert!(list.insert(0, 9));
+        assert!(list.delete(0, 5));
+        assert!(!list.delete(0, 5), "double delete");
+        assert!(!list.find(0, 5));
+        assert!(list.find(0, 3) && list.find(0, 9));
+    }
+
+    #[test]
+    fn snapshot_is_sorted() {
+        let _gate = crate::counters::gate_shared();
+        nvm::tid::set_tid(0);
+        let mut list = L::new();
+        for k in [7u64, 3, 11, 1, 5] {
+            assert!(list.insert(0, k));
+        }
+        assert_eq!(list.snapshot_keys(), vec![1, 3, 5, 7, 11]);
+        list.check_invariants();
+    }
+
+    #[test]
+    fn tuned_variant_same_semantics() {
+        let _gate = crate::counters::gate_shared();
+        nvm::tid::set_tid(0);
+        let mut list = LOpt::new();
+        for k in 1..=50u64 {
+            assert!(list.insert(0, k));
+        }
+        for k in (1..=50u64).step_by(2) {
+            assert!(list.delete(0, k));
+        }
+        for k in 1..=50u64 {
+            assert_eq!(list.find(0, k), k % 2 == 0);
+        }
+        list.check_invariants();
+        assert_eq!(list.snapshot_keys().len(), 25);
+    }
+
+    #[test]
+    fn insert_before_tail_copy_replaces_sentinel() {
+        // Ascending inserts always hit curr = the +∞ node, exercising the
+        // copy-replacement of the tail sentinel on every operation.
+        let _gate = crate::counters::gate_shared();
+        nvm::tid::set_tid(0);
+        let mut list = L::new();
+        for k in 1..=100u64 {
+            assert!(list.insert(0, k));
+        }
+        assert_eq!(list.snapshot_keys(), (1..=100).collect::<Vec<_>>());
+        list.check_invariants();
+    }
+
+    #[test]
+    fn mixed_random_ops_match_btreeset() {
+        use rand::{Rng, SeedableRng};
+        let _gate = crate::counters::gate_shared();
+        nvm::tid::set_tid(0);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+        let mut list = L::new();
+        let mut model = std::collections::BTreeSet::new();
+        for _ in 0..3000 {
+            let k = rng.gen_range(1..64u64);
+            match rng.gen_range(0..3) {
+                0 => assert_eq!(list.insert(0, k), model.insert(k), "insert {k}"),
+                1 => assert_eq!(list.delete(0, k), model.remove(&k), "delete {k}"),
+                _ => assert_eq!(list.find(0, k), model.contains(&k), "find {k}"),
+            }
+        }
+        assert_eq!(list.snapshot_keys(), model.iter().copied().collect::<Vec<_>>());
+        list.check_invariants();
+    }
+
+    #[test]
+    fn no_leaks_after_drop() {
+        let _gate = crate::counters::gate_exclusive();
+        nvm::tid::set_tid(0);
+        let nodes0 = crate::counters::live_nodes();
+        let infos0 = crate::counters::live_infos();
+        {
+            let mut list = L::new();
+            for k in 1..=200u64 {
+                list.insert(0, k);
+            }
+            for k in 1..=200u64 {
+                list.delete(0, k);
+            }
+            for k in 1..=50u64 {
+                list.insert(0, k);
+                list.find(0, k);
+            }
+            list.check_invariants();
+        }
+        assert_eq!(crate::counters::live_nodes(), nodes0, "node leak/double-free");
+        assert_eq!(crate::counters::live_infos(), infos0, "info leak/double-free");
+    }
+
+    #[test]
+    fn concurrent_disjoint_inserts_all_succeed() {
+        let _gate = crate::counters::gate_shared();
+        let list = Arc::new(L::new());
+        let nthreads = 4u64;
+        let per = 200u64;
+        let hs: Vec<_> = (0..nthreads)
+            .map(|t| {
+                let list = Arc::clone(&list);
+                std::thread::spawn(move || {
+                    nvm::tid::set_tid(t as usize);
+                    for i in 0..per {
+                        assert!(list.insert(t as usize, 1 + t + i * nthreads));
+                    }
+                })
+            })
+            .collect();
+        for h in hs {
+            h.join().unwrap();
+        }
+        let mut list = Arc::into_inner(list).unwrap();
+        assert_eq!(list.snapshot_keys().len(), (nthreads * per) as usize);
+        list.check_invariants();
+    }
+
+    #[test]
+    fn concurrent_same_key_contention_one_winner() {
+        // All threads fight over each key; exactly one insert wins per key.
+        let _gate = crate::counters::gate_shared();
+        let list = Arc::new(L::new());
+        let rounds = 100u64;
+        let nthreads = 4;
+        use std::sync::atomic::{AtomicU64, Ordering};
+        let wins = Arc::new(AtomicU64::new(0));
+        let hs: Vec<_> = (0..nthreads)
+            .map(|t| {
+                let list = Arc::clone(&list);
+                let wins = Arc::clone(&wins);
+                std::thread::spawn(move || {
+                    nvm::tid::set_tid(t);
+                    for r in 0..rounds {
+                        if list.insert(t, 1 + r) {
+                            wins.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in hs {
+            h.join().unwrap();
+        }
+        assert_eq!(wins.load(Ordering::Relaxed), rounds, "exactly one winner per key");
+        let mut list = Arc::into_inner(list).unwrap();
+        assert_eq!(list.snapshot_keys().len(), rounds as usize);
+        list.check_invariants();
+    }
+
+    #[test]
+    fn concurrent_insert_delete_churn_keeps_invariants() {
+        use rand::{Rng, SeedableRng};
+        let _gate = crate::counters::gate_shared();
+        let list = Arc::new(L::new());
+        let hs: Vec<_> = (0..4)
+            .map(|t| {
+                let list = Arc::clone(&list);
+                std::thread::spawn(move || {
+                    nvm::tid::set_tid(t);
+                    let mut rng = rand::rngs::StdRng::seed_from_u64(t as u64);
+                    for _ in 0..2000 {
+                        let k = rng.gen_range(1..32u64);
+                        match rng.gen_range(0..3) {
+                            0 => {
+                                list.insert(t, k);
+                            }
+                            1 => {
+                                list.delete(t, k);
+                            }
+                            _ => {
+                                list.find(t, k);
+                            }
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in hs {
+            h.join().unwrap();
+        }
+        let mut list = Arc::into_inner(list).unwrap();
+        list.check_invariants();
+    }
+
+    #[test]
+    fn concurrent_churn_no_leaks() {
+        let _gate = crate::counters::gate_exclusive();
+        nvm::tid::set_tid(0);
+        let nodes0 = crate::counters::live_nodes();
+        let infos0 = crate::counters::live_infos();
+        {
+            let list = Arc::new(L::new());
+            let hs: Vec<_> = (0..4)
+                .map(|t| {
+                    let list = Arc::clone(&list);
+                    std::thread::spawn(move || {
+                        use rand::{Rng, SeedableRng};
+                        nvm::tid::set_tid(t);
+                        let mut rng = rand::rngs::StdRng::seed_from_u64(100 + t as u64);
+                        for _ in 0..1500 {
+                            let k = rng.gen_range(1..24u64);
+                            if rng.gen_bool(0.5) {
+                                list.insert(t, k);
+                            } else {
+                                list.delete(t, k);
+                            }
+                        }
+                    })
+                })
+                .collect();
+            for h in hs {
+                h.join().unwrap();
+            }
+            drop(Arc::into_inner(list).unwrap());
+        }
+        assert_eq!(crate::counters::live_nodes(), nodes0, "node leak/double-free");
+        assert_eq!(crate::counters::live_infos(), infos0, "info leak/double-free");
+    }
+
+    #[test]
+    fn recovery_without_crash_restarts_cleanly() {
+        // recover_* on a fresh process id behaves like a plain invocation.
+        let _gate = crate::counters::gate_shared();
+        nvm::tid::set_tid(0);
+        let list = L::new();
+        assert!(list.recover_insert(0, 10));
+        assert!(list.find(0, 10));
+        assert!(list.recover_delete(0, 10));
+        assert!(!list.find(0, 10));
+        assert!(!list.recover_find(0, 10));
+    }
+}

@@ -1,0 +1,592 @@
+//! Detectably recoverable FIFO queue: ISB-tracking applied to the
+//! Michael–Scott queue (paper Section 5 and supplementary B.2; the paper
+//! gives no pseudocode, so the construction — documented in DESIGN.md §6 —
+//! is ours).
+//!
+//! Layout: a sentinel-headed singly-linked list. `Head` lives in an *anchor*
+//! — a pseudo-node with `(ptr, info)` fields — so it can be tagged exactly
+//! like a node. `Tail` is an uncounted hint, only ever advanced to nodes
+//! whose linkage is already durable, so it can never point past the
+//! persisted frontier after a crash (it may lag; walking `next` heals it).
+//!
+//! * **Enqueue(v)**: locate the last node `l` (tail hint + chase);
+//!   AffectSet = `{l}` (update), WriteSet = `{⟨l.next, Null, newnd⟩}`,
+//!   NewSet = `{newnd}`; response = ack. After `Help` completes, swing
+//!   `Tail`.
+//! * **Dequeue()**: read the anchor's info, then the sentinel `s = Head`,
+//!   then `f = s.next` (that order — tag success then freezes each earlier
+//!   read). Empty (`f = Null`): read-only fast path returning `Empty`,
+//!   linearized at the `s.next` read (sound because `next` is monotonic:
+//!   Null → node, never back). Otherwise AffectSet = `{anchor (update),
+//!   s (deletion)}`, WriteSet = `{⟨Head.ptr, s, f⟩}`, response = `f.val`
+//!   (precomputed, immutable). `s` is retired; `f` becomes the sentinel.
+//!
+//! Pointer freshness holds: `Head.ptr` and `next` fields only ever abandon a
+//! value when the node holding/named by it is retired, so stale helper
+//! CASes fail silently (same argument as the list).
+
+use crate::counters;
+use crate::engine::{help, res_val, val_of, HelpOutcome, Info, InfoFill, RES_EMPTY, RES_UNIT, RES_VAL_BASE};
+use crate::optype;
+use crate::recovery::{op_recover, RecArea, Recovered};
+use crate::tag;
+use nvm::{PWord, Persist, PersistWords};
+use reclaim::{Collector, Guard};
+
+/// A queue node.
+#[repr(C)]
+pub struct Node<M: Persist> {
+    val: PWord<M>,
+    next: PWord<M>,
+    info: PWord<M>,
+}
+
+unsafe impl<M: Persist> PersistWords<M> for Node<M> {
+    fn each_word(&self, f: &mut dyn FnMut(&PWord<M>)) {
+        f(&self.val);
+        f(&self.next);
+        f(&self.info);
+    }
+}
+
+impl<M: Persist> Node<M> {
+    fn alloc(val: u64, next: u64, info: u64) -> *mut Node<M> {
+        counters::node_alloc();
+        Box::into_raw(Box::new(Node {
+            val: PWord::new(val),
+            next: PWord::new(next),
+            info: PWord::new(info),
+        }))
+    }
+}
+
+impl<M: Persist> Drop for Node<M> {
+    fn drop(&mut self) {
+        counters::node_free();
+    }
+}
+
+/// The head anchor: a pseudo-node holding the sentinel pointer and an info
+/// cell so dequeues can tag "the head position" like any node.
+#[repr(C)]
+struct Anchor<M: Persist> {
+    ptr: PWord<M>,
+    info: PWord<M>,
+}
+
+unsafe impl<M: Persist> PersistWords<M> for Anchor<M> {
+    fn each_word(&self, f: &mut dyn FnMut(&PWord<M>)) {
+        f(&self.ptr);
+        f(&self.info);
+    }
+}
+
+/// Detectably recoverable MS-queue (see module docs). Values must be below
+/// `u64::MAX - 16` (result-word encoding).
+pub struct RQueue<M: Persist, const TUNED: bool = false> {
+    head: Box<Anchor<M>>,
+    tail: PWord<M>,
+    rec: RecArea<M>,
+    collector: Collector,
+}
+
+unsafe impl<M: Persist, const TUNED: bool> Send for RQueue<M, TUNED> {}
+unsafe impl<M: Persist, const TUNED: bool> Sync for RQueue<M, TUNED> {}
+
+impl<M: Persist, const TUNED: bool> Default for RQueue<M, TUNED> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<M: Persist, const TUNED: bool> RQueue<M, TUNED> {
+    /// New empty queue with a reclaiming collector.
+    pub fn new() -> Self {
+        Self::with_collector(Collector::new())
+    }
+
+    /// New empty queue with the given collector (crash-sim runs pass
+    /// [`Collector::disabled`]).
+    pub fn with_collector(collector: Collector) -> Self {
+        let s0: *mut Node<M> = Node::alloc(0, 0, 0);
+        Self {
+            head: Box::new(Anchor { ptr: PWord::new(s0 as u64), info: PWord::new(0) }),
+            tail: PWord::new(s0 as u64),
+            rec: RecArea::new(),
+            collector,
+        }
+    }
+
+    /// The queue's collector (diagnostics).
+    pub fn collector(&self) -> &Collector {
+        &self.collector
+    }
+
+    fn publish(&self, pid: usize, info: *mut Info<M>, published: &mut u64, g: &Guard<'_>) {
+        self.rec.publish(pid, info as u64);
+        if *published != 0 && *published != info as u64 {
+            unsafe { Info::<M>::release(tag::ptr_of(*published), 1, g) };
+        }
+        *published = info as u64;
+    }
+
+    unsafe fn retire_node(&self, node: *mut Node<M>, g: &Guard<'_>) {
+        unsafe {
+            let iv = (*node).info.load();
+            Info::<M>::release(tag::ptr_of(iv), 1, g);
+            g.retire_box(node);
+        }
+    }
+
+    /// Locate the last node: start at the tail hint and chase `next`.
+    /// Returns `(last, last_info)` with the info read before confirming
+    /// `last.next == Null` (gather order matters for freshness).
+    unsafe fn find_last(&self) -> (*mut Node<M>, u64, u64) {
+        unsafe {
+            let start = self.tail.load();
+            let mut n = start as *mut Node<M>;
+            loop {
+                let info = (*n).info.load();
+                let next = (*n).next.load();
+                if next == 0 {
+                    return (n, info, start);
+                }
+                n = next as *mut Node<M>;
+            }
+        }
+    }
+
+    /// Enqueues `v` (always succeeds).
+    pub fn enqueue(&self, pid: usize, v: u64) {
+        assert!(v < u64::MAX - RES_VAL_BASE, "value too large for result encoding");
+        let newnd = Node::alloc(v, 0, 0);
+        let mut info = Info::<M>::alloc();
+        let mut filled: u64 = 0;
+        let mut published: u64 = 0;
+        let prev = self.rec.begin::<TUNED>(pid);
+        {
+            let g = self.collector.pin();
+            unsafe { Info::<M>::release(tag::ptr_of(prev), 1, &g) };
+        }
+        loop {
+            let g = self.collector.pin();
+            let (last, last_info, walk_start) = unsafe { self.find_last() };
+            if tag::is_tagged(last_info) {
+                unsafe { help::<M, TUNED>(tag::ptr_of(last_info), false, &g) };
+                continue;
+            }
+            unsafe {
+                let t = tag::tagged(info as u64);
+                if filled != t {
+                    if filled != 0 {
+                        Info::<M>::release(tag::ptr_of(filled), 1, &g);
+                    }
+                    (*newnd).info.store(t);
+                    filled = t;
+                }
+                Info::fill(
+                    info,
+                    &InfoFill {
+                        optype: optype::ENQ,
+                        affect: &[(cell_addr(&(*last).info), last_info)],
+                        write: &[(cell_addr(&(*last).next), 0, newnd as u64)],
+                        newset: &[cell_addr(&(*newnd).info)],
+                        del_mask: 0,
+                        presult: RES_UNIT,
+                    },
+                );
+                M::pwb_obj(&*newnd);
+                if TUNED {
+                    M::pwb_obj(&*info);
+                    M::pfence();
+                } else {
+                    M::pbarrier_obj(&*info);
+                }
+            }
+            self.publish(pid, info, &mut published, &g);
+            match unsafe { help::<M, TUNED>(info, true, &g) } {
+                HelpOutcome::Done => {
+                    // Swing the tail hint; newnd's linkage is durable by now.
+                    // Using the walk's starting value also heals a hint left
+                    // stale by a crash image (never moves the hint backward:
+                    // success implies the hint still equals walk_start, and
+                    // newnd is strictly ahead of it).
+                    let t = if self.tail.cas(walk_start, newnd as u64) == walk_start {
+                        walk_start
+                    } else {
+                        self.tail.cas(last as u64, newnd as u64)
+                    };
+                    let _ = t;
+                    M::pwb(&self.tail);
+                    return;
+                }
+                HelpOutcome::FailedAt(i) => {
+                    unsafe { Info::<M>::release(info, (1 - i) as u32, &g) };
+                    info = Info::alloc();
+                }
+            }
+        }
+    }
+
+    /// Dequeues; `None` iff the queue was observed empty.
+    pub fn dequeue(&self, pid: usize) -> Option<u64> {
+        let mut info = Info::<M>::alloc();
+        let mut published: u64 = 0;
+        let prev = self.rec.begin::<TUNED>(pid);
+        {
+            let g = self.collector.pin();
+            unsafe { Info::<M>::release(tag::ptr_of(prev), 1, &g) };
+        }
+        loop {
+            let g = self.collector.pin();
+            // Gather order: anchor info, then sentinel, then its info, then next.
+            let h_info = self.head.info.load();
+            let s = self.head.ptr.load() as *mut Node<M>;
+            let s_info = unsafe { (*s).info.load() };
+            let f = unsafe { (*s).next.load() };
+            if tag::is_tagged(h_info) {
+                unsafe { help::<M, TUNED>(tag::ptr_of(h_info), false, &g) };
+                continue;
+            }
+            if tag::is_tagged(s_info) {
+                unsafe { help::<M, TUNED>(tag::ptr_of(s_info), false, &g) };
+                continue;
+            }
+            if f == 0 {
+                // Empty: read-only fast path (linearized at the `s.next` read).
+                unsafe {
+                    Info::fill(
+                        info,
+                        &InfoFill {
+                            optype: optype::DEQ,
+                            affect: &[(cell_addr(&self.head.info), h_info)],
+                            write: &[],
+                            newset: &[],
+                            del_mask: 0,
+                            presult: RES_EMPTY,
+                        },
+                    );
+                    M::store(&(*info).result, RES_EMPTY);
+                    if TUNED {
+                        M::pwb_obj(&*info);
+                        M::pfence();
+                    } else {
+                        M::pbarrier_obj(&*info);
+                    }
+                }
+                self.publish(pid, info, &mut published, &g);
+                unsafe { Info::<M>::release(info, 1, &g) };
+                return None;
+            }
+            let fval = unsafe { (*(f as *mut Node<M>)).val.load() };
+            unsafe {
+                Info::fill(
+                    info,
+                    &InfoFill {
+                        optype: optype::DEQ,
+                        affect: &[
+                            (cell_addr(&self.head.info), h_info),
+                            (cell_addr(&(*s).info), s_info),
+                        ],
+                        write: &[(cell_addr(&self.head.ptr), s as u64, f)],
+                        newset: &[],
+                        del_mask: 0b10, // the old sentinel is deletion-tagged
+                        presult: res_val(fval),
+                    },
+                );
+                if TUNED {
+                    M::pwb_obj(&*info);
+                    M::pfence();
+                } else {
+                    M::pbarrier_obj(&*info);
+                }
+            }
+            self.publish(pid, info, &mut published, &g);
+            match unsafe { help::<M, TUNED>(info, true, &g) } {
+                HelpOutcome::Done => {
+                    // Never leave the tail hint pointing at the retired sentinel.
+                    let _ = self.tail.cas(s as u64, f);
+                    unsafe { self.retire_node(s, &g) };
+                    return Some(fval);
+                }
+                HelpOutcome::FailedAt(i) => {
+                    unsafe { Info::<M>::release(info, (2 - i) as u32, &g) };
+                    info = Info::alloc();
+                }
+            }
+        }
+    }
+
+    /// `Enqueue.Recover`.
+    pub fn recover_enqueue(&self, pid: usize, v: u64) {
+        let r = {
+            let g = self.collector.pin();
+            unsafe { op_recover::<M, TUNED>(&self.rec, pid, &g) }
+        };
+        match r {
+            Recovered::Completed(_) => {}
+            Recovered::Restart => self.enqueue(pid, v),
+        }
+    }
+
+    /// `Dequeue.Recover`.
+    pub fn recover_dequeue(&self, pid: usize) -> Option<u64> {
+        let r = {
+            let g = self.collector.pin();
+            unsafe { op_recover::<M, TUNED>(&self.rec, pid, &g) }
+        };
+        match r {
+            Recovered::Completed(RES_EMPTY) => None,
+            Recovered::Completed(v) => Some(val_of(v)),
+            Recovered::Restart => self.dequeue(pid),
+        }
+    }
+
+    /// Snapshot of queued values, front to back (requires quiescence).
+    pub fn snapshot_vals(&mut self) -> Vec<u64> {
+        let mut out = Vec::new();
+        unsafe {
+            let s = self.head.ptr.load() as *mut Node<M>;
+            let mut n = (*s).next.load() as *mut Node<M>;
+            while !n.is_null() {
+                out.push((*n).val.load());
+                n = (*n).next.load() as *mut Node<M>;
+            }
+        }
+        out
+    }
+
+    /// Quiescent tail-hint repair: points the hint at the true last node.
+    /// After a crash the image may have rolled the (uncounted) hint back to
+    /// a node that was dequeued before the crash; any recovery pass or first
+    /// enqueue performs exactly this repair lazily.
+    pub fn heal_tail(&mut self) {
+        unsafe {
+            let mut n = self.head.ptr.load() as *mut Node<M>;
+            loop {
+                let next = (*n).next.load();
+                if next == 0 {
+                    break;
+                }
+                n = next as *mut Node<M>;
+            }
+            self.tail.store(n as u64);
+            M::pwb(&self.tail);
+        }
+    }
+
+    /// Structural invariants for a quiescent queue.
+    pub fn check_invariants(&mut self) {
+        unsafe {
+            let s = self.head.ptr.load() as *mut Node<M>;
+            assert!(!s.is_null(), "sentinel must exist");
+            assert!(!tag::is_tagged((*s).info.load()), "sentinel tagged at quiescence");
+            // The tail hint must point to a node on the sentinel chain.
+            let t = self.tail.load();
+            let mut n = s;
+            let mut on_chain = false;
+            while !n.is_null() {
+                if n as u64 == t {
+                    on_chain = true;
+                }
+                n = (*n).next.load() as *mut Node<M>;
+            }
+            assert!(on_chain, "tail hint left the chain");
+        }
+    }
+}
+
+#[inline]
+fn cell_addr<M: Persist>(w: &PWord<M>) -> u64 {
+    w as *const PWord<M> as u64
+}
+
+unsafe fn drop_node_raw<M: Persist>(p: *mut u8) {
+    drop(unsafe { Box::from_raw(p as *mut Node<M>) });
+}
+
+unsafe fn drop_info_raw<M: Persist>(p: *mut u8) {
+    drop(unsafe { Box::from_raw(p as *mut Info<M>) });
+}
+
+impl<M: Persist, const TUNED: bool> Drop for RQueue<M, TUNED> {
+    fn drop(&mut self) {
+        // See RList::drop — the union of reachable and parked objects is
+        // freed exactly once (crash images can resurrect reachability).
+        let mut grave: std::collections::HashMap<usize, unsafe fn(*mut u8)> =
+            self.collector.take_parked().into_iter().map(|(p, f)| (p as usize, f)).collect();
+        self.rec.each_published(|rd| {
+            if tag::untagged(rd) != 0 {
+                grave.insert(tag::untagged(rd) as usize, drop_info_raw::<M>);
+            }
+        });
+        let anchor_info = tag::untagged(self.head.info.load());
+        if anchor_info != 0 {
+            grave.insert(anchor_info as usize, drop_info_raw::<M>);
+        }
+        unsafe {
+            let mut n = self.head.ptr.load() as *mut Node<M>;
+            while !n.is_null() {
+                let next = (*n).next.load() as *mut Node<M>;
+                let iv = tag::untagged((*n).info.load());
+                if iv != 0 {
+                    grave.insert(iv as usize, drop_info_raw::<M>);
+                }
+                grave.insert(n as usize, drop_node_raw::<M>);
+                n = next;
+            }
+            for (p, f) in grave {
+                f(p as *mut u8);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nvm::CountingNvm;
+    use std::sync::Arc;
+
+    type Q = RQueue<CountingNvm, false>;
+    type QOpt = RQueue<CountingNvm, true>;
+
+    #[test]
+    fn fifo_semantics() {
+        let _gate = crate::counters::gate_shared();
+        nvm::tid::set_tid(0);
+        let q = Q::new();
+        assert_eq!(q.dequeue(0), None);
+        q.enqueue(0, 10);
+        q.enqueue(0, 20);
+        q.enqueue(0, 30);
+        assert_eq!(q.dequeue(0), Some(10));
+        assert_eq!(q.dequeue(0), Some(20));
+        q.enqueue(0, 40);
+        assert_eq!(q.dequeue(0), Some(30));
+        assert_eq!(q.dequeue(0), Some(40));
+        assert_eq!(q.dequeue(0), None);
+    }
+
+    #[test]
+    fn snapshot_and_invariants() {
+        let _gate = crate::counters::gate_shared();
+        nvm::tid::set_tid(0);
+        let mut q = QOpt::new();
+        for v in 1..=10u64 {
+            q.enqueue(0, v);
+        }
+        assert_eq!(q.dequeue(0), Some(1));
+        assert_eq!(q.snapshot_vals(), (2..=10).collect::<Vec<_>>());
+        q.check_invariants();
+    }
+
+    #[test]
+    fn no_leaks_after_drop() {
+        let _gate = crate::counters::gate_exclusive();
+        nvm::tid::set_tid(0);
+        let nodes0 = crate::counters::live_nodes();
+        let infos0 = crate::counters::live_infos();
+        {
+            let mut q = Q::new();
+            for v in 0..300u64 {
+                q.enqueue(0, v);
+            }
+            for _ in 0..250 {
+                q.dequeue(0);
+            }
+            q.check_invariants();
+        }
+        assert_eq!(crate::counters::live_nodes(), nodes0, "node leak/double-free");
+        assert_eq!(crate::counters::live_infos(), infos0, "info leak/double-free");
+    }
+
+    #[test]
+    fn concurrent_enqueue_dequeue_conserves_values() {
+        let _gate = crate::counters::gate_shared();
+        let q = Arc::new(Q::new());
+        let producers = 2u64;
+        let consumers = 2usize;
+        let per = 500u64;
+        use std::sync::atomic::{AtomicU64, Ordering};
+        let consumed = Arc::new(AtomicU64::new(0));
+        let mut hs = Vec::new();
+        for p in 0..producers {
+            let q = Arc::clone(&q);
+            hs.push(std::thread::spawn(move || {
+                nvm::tid::set_tid(p as usize);
+                for i in 0..per {
+                    q.enqueue(p as usize, 1 + p * per + i);
+                }
+            }));
+        }
+        for c in 0..consumers {
+            let q = Arc::clone(&q);
+            let consumed = Arc::clone(&consumed);
+            hs.push(std::thread::spawn(move || {
+                let pid = 10 + c;
+                nvm::tid::set_tid(pid);
+                let mut got = 0u64;
+                let mut sum = 0u64;
+                while got < per {
+                    if let Some(v) = q.dequeue(pid) {
+                        got += 1;
+                        sum += v;
+                    }
+                }
+                consumed.fetch_add(sum, Ordering::Relaxed);
+            }));
+        }
+        for h in hs {
+            h.join().unwrap();
+        }
+        let expected: u64 = (1..=producers * per).sum();
+        assert_eq!(consumed.load(Ordering::Relaxed), expected, "every value delivered exactly once");
+        let mut q = Arc::into_inner(q).unwrap();
+        assert_eq!(q.snapshot_vals(), vec![]);
+        q.check_invariants();
+    }
+
+    #[test]
+    fn per_producer_fifo_order_is_preserved() {
+        let _gate = crate::counters::gate_shared();
+        let q = Arc::new(Q::new());
+        let q2 = Arc::clone(&q);
+        let producer = std::thread::spawn(move || {
+            nvm::tid::set_tid(1);
+            for i in 1..=1000u64 {
+                q2.enqueue(1, i);
+            }
+        });
+        nvm::tid::set_tid(0);
+        let mut last = 0u64;
+        let mut got = 0;
+        while got < 1000 {
+            if let Some(v) = q.dequeue(0) {
+                assert!(v > last, "FIFO violated: {v} after {last}");
+                last = v;
+                got += 1;
+            }
+        }
+        producer.join().unwrap();
+    }
+
+    #[test]
+    fn recovery_without_crash_behaves_like_invocation() {
+        let _gate = crate::counters::gate_shared();
+        nvm::tid::set_tid(0);
+        let mut q = Q::new();
+        // No operation pending for pid 0: recovery re-invokes the enqueue.
+        q.recover_enqueue(0, 5);
+        assert_eq!(q.snapshot_vals(), vec![5]);
+        // Crash "just after" a completed dequeue: its response is recoverable
+        // from RD_q -> result, and recovery returns the same value without
+        // re-executing the removal (detectability).
+        assert_eq!(q.dequeue(0), Some(5));
+        assert_eq!(q.recover_dequeue(0), Some(5));
+        assert_eq!(q.snapshot_vals(), vec![], "recovery must not double-dequeue");
+        // Empty dequeue's response is likewise recoverable.
+        assert_eq!(q.dequeue(0), None);
+        assert_eq!(q.recover_dequeue(0), None);
+    }
+}

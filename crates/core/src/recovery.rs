@@ -1,0 +1,302 @@
+//! Per-process recovery data: `RD_q` and the check-point `CP_q`.
+//!
+//! The detectability protocol (Algorithm 1, lines 1–5 / 16–19 and
+//! Op-Recover):
+//!
+//! 1. The *system* sets `CP_q := 0` (persisted) just before an operation of
+//!    process `q` starts — modelled by [`RecArea::begin`].
+//! 2. The operation runs `RD_q := Null; pbarrier(RD_q); CP_q := 1;
+//!    pwb(CP_q); psync` — the `pbarrier` **orders** the reset of `RD_q`
+//!    before `CP_q = 1` becomes durable, so recovery can never observe the
+//!    previous operation's info pointer together with `CP_q = 1`.
+//! 3. Before each call to `Help`, the attempt's Info pointer is published:
+//!    `RD_q := opInfo; pwb; psync` ([`RecArea::publish`]).
+//! 4. On recovery ([`RecArea::read`]): `CP_q = 0` or `RD_q = Null` means the
+//!    operation made no changes — restart it. Otherwise `Help(RD_q)` is run
+//!    and the Info's `result` decides: set ⇒ the operation took effect and
+//!    this is its response; unset ⇒ it did not take effect and is re-invoked.
+//!
+//! The hand-tuned variant (`TUNED = true`, "Isb-Opt" in the evaluation)
+//! defers the durability of `CP_q = 1` to the attempt's publish `psync`
+//! (ordering is still enforced with a `pfence`), saving one `psync` per
+//! operation.
+
+use crate::engine::Info;
+use nvm::pad::CachePadded;
+use nvm::{PWord, Persist, MAX_PROCS};
+
+/// One process's persistent private recovery variables.
+pub struct ProcRec<M: Persist> {
+    /// `RD_q`: pointer to the Info structure of the last attempt.
+    pub rd: PWord<M>,
+    /// `CP_q`: 1 once `RD_q` has been initialised for the current operation.
+    pub cp: PWord<M>,
+}
+
+impl<M: Persist> Default for ProcRec<M> {
+    fn default() -> Self {
+        Self { rd: PWord::new(0), cp: PWord::new(0) }
+    }
+}
+
+/// Per-process recovery areas for one data structure.
+pub struct RecArea<M: Persist> {
+    slots: Vec<CachePadded<ProcRec<M>>>,
+}
+
+impl<M: Persist> Default for RecArea<M> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<M: Persist> RecArea<M> {
+    /// Creates recovery slots for [`MAX_PROCS`] processes.
+    pub fn new() -> Self {
+        Self { slots: (0..MAX_PROCS).map(|_| CachePadded::new(ProcRec::default())).collect() }
+    }
+
+    #[inline]
+    fn slot(&self, pid: usize) -> &ProcRec<M> {
+        &self.slots[pid]
+    }
+
+    /// Steps 1–2 of the protocol (see module docs). Returns the *previous*
+    /// operation's published info pointer so the caller can release its
+    /// reference-count hold on it.
+    pub fn begin<const TUNED: bool>(&self, pid: usize) -> u64 {
+        let s = self.slot(pid);
+        // System glue: CP_q := 0, persisted, before the operation starts.
+        // The system itself does not crash (paper Section 2), so crash
+        // injection is suspended for these two instructions.
+        nvm::sim::suspended(|| {
+            s.cp.store(0);
+            M::pbarrier(&s.cp);
+        });
+        let prev = s.rd.load();
+        s.rd.store(0);
+        if TUNED {
+            M::pwb(&s.rd);
+            M::pfence(); // order RD=Null before CP=1 durability
+            s.cp.store(1);
+            M::pwb(&s.cp);
+            // Durability of CP=1 deferred to the attempt's publish psync.
+        } else {
+            M::pbarrier(&s.rd);
+            s.cp.store(1);
+            M::pwb(&s.cp);
+            M::psync();
+        }
+        prev
+    }
+
+    /// `CP_q := 0` (persisted) only — the prologue of fully read-only
+    /// operations, which skip `RD_q := Null / CP_q := 1` because restarting
+    /// them is always safe. Returns the previously published info pointer.
+    pub fn begin_readonly(&self, pid: usize) -> u64 {
+        let s = self.slot(pid);
+        // System glue FIRST: `CP_q := 0` happens at invocation, before any
+        // (crashable) operation code — otherwise a crash on the operation's
+        // first instruction would leave `CP_q = 1` pointing at the previous
+        // operation's descriptor and recovery would return a stale response.
+        nvm::sim::suspended(|| {
+            s.cp.store(0);
+            M::pbarrier(&s.cp);
+        });
+        s.rd.load()
+    }
+
+    /// Step 3: publish the current attempt's Info pointer durably.
+    pub fn publish(&self, pid: usize, info: u64) {
+        let s = self.slot(pid);
+        s.rd.store(info);
+        M::pwb(&s.rd);
+        M::psync();
+    }
+
+    /// Step 4 input: `(CP_q, RD_q)` as found after a crash.
+    pub fn read(&self, pid: usize) -> (u64, u64) {
+        let s = self.slot(pid);
+        (s.cp.load(), s.rd.load())
+    }
+
+    /// The currently published info pointer (diagnostics / drop-scan).
+    pub fn published(&self, pid: usize) -> u64 {
+        self.slot(pid).rd.load()
+    }
+
+    /// Iterate all published info pointers (drop-time info scan).
+    pub fn each_published(&self, mut f: impl FnMut(u64)) {
+        for s in &self.slots {
+            f(s.rd.load());
+        }
+    }
+}
+
+/// Outcome of the generic recovery decision (Op-Recover, lines 22–26).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Recovered {
+    /// The crashed operation took effect; this is its (encoded) response.
+    Completed(u64),
+    /// The operation did not take effect and must be re-invoked.
+    Restart,
+}
+
+/// Generic Op-Recover: decide whether the pending operation of `pid` took
+/// effect, completing it via `Help` if necessary.
+///
+/// # Safety
+/// Must be called in a quiescent-or-recovering context where the published
+/// info pointer, if any, is a valid `Info<M>` (guaranteed by the protocol:
+/// infos are persisted before publication and never freed in crash mode).
+pub unsafe fn op_recover<M: Persist, const TUNED: bool>(
+    rec: &RecArea<M>,
+    pid: usize,
+    guard: &reclaim::Guard<'_>,
+) -> Recovered {
+    let (cp, rd) = rec.read(pid);
+    if cp != 1 || rd == 0 {
+        return Recovered::Restart;
+    }
+    let info = crate::tag::ptr_of::<Info<M>>(rd);
+    unsafe {
+        let _ = crate::engine::help::<M, TUNED>(info, true, guard);
+        let res = M::load(&(*info).result);
+        if res != crate::engine::RES_BOT {
+            Recovered::Completed(res)
+        } else {
+            Recovered::Restart
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{Info, InfoFill, RES_TRUE};
+    use nvm::CountingNvm;
+    use reclaim::Collector;
+
+    type M = CountingNvm;
+
+    #[test]
+    fn begin_resets_and_publish_installs() {
+        let _gate = crate::counters::gate_shared();
+        nvm::tid::set_tid(0);
+        let rec: RecArea<M> = RecArea::new();
+        assert_eq!(rec.read(3), (0, 0), "fresh slot");
+        let prev = rec.begin::<false>(3);
+        assert_eq!(prev, 0);
+        assert_eq!(rec.read(3), (1, 0), "CP set, RD null");
+        rec.publish(3, 0xABC0);
+        assert_eq!(rec.read(3), (1, 0xABC0));
+        // Next operation: begin returns the previous RD and resets.
+        let prev = rec.begin::<true>(3);
+        assert_eq!(prev, 0xABC0);
+        assert_eq!(rec.read(3), (1, 0));
+    }
+
+    #[test]
+    fn begin_readonly_only_clears_checkpoint() {
+        let _gate = crate::counters::gate_shared();
+        nvm::tid::set_tid(0);
+        let rec: RecArea<M> = RecArea::new();
+        rec.begin::<false>(1);
+        rec.publish(1, 0x1230);
+        let prev = rec.begin_readonly(1);
+        assert_eq!(prev, 0x1230, "RD untouched by the read-only prologue");
+        assert_eq!(rec.read(1), (0, 0x1230), "CP cleared, RD kept");
+    }
+
+    /// The Op-Recover decision table (Algorithm 1, lines 22–26).
+    #[test]
+    fn op_recover_decision_table() {
+        let _gate = crate::counters::gate_shared();
+        nvm::tid::set_tid(0);
+        let c = Collector::new();
+        let rec: RecArea<M> = RecArea::new();
+
+        // CP = 0 ⇒ restart, regardless of RD.
+        {
+            let g = c.pin();
+            assert_eq!(unsafe { op_recover::<M, false>(&rec, 0, &g) }, Recovered::Restart);
+        }
+        // CP = 1, RD = Null ⇒ restart.
+        rec.begin::<false>(0);
+        {
+            let g = c.pin();
+            assert_eq!(unsafe { op_recover::<M, false>(&rec, 0, &g) }, Recovered::Restart);
+        }
+        // CP = 1, RD → info whose help cannot proceed and result = ⊥ ⇒ restart.
+        let cell: nvm::PWord<M> = nvm::PWord::new(0xDEAD0);
+        let info = Info::<M>::alloc();
+        unsafe {
+            Info::fill(
+                info,
+                &InfoFill {
+                    optype: 1,
+                    affect: &[(&cell as *const _ as u64, 0x5550)], // stale expected
+                    write: &[],
+                    newset: &[],
+                    del_mask: 0,
+                    presult: RES_TRUE,
+                },
+            );
+        }
+        rec.publish(0, info as u64);
+        {
+            let g = c.pin();
+            assert_eq!(unsafe { op_recover::<M, false>(&rec, 0, &g) }, Recovered::Restart);
+        }
+        // CP = 1, RD → info whose help completes ⇒ Completed(result).
+        let cell2: nvm::PWord<M> = nvm::PWord::new(0);
+        let info2 = Info::<M>::alloc();
+        unsafe {
+            Info::fill(
+                info2,
+                &InfoFill {
+                    optype: 1,
+                    affect: &[(&cell2 as *const _ as u64, 0)],
+                    write: &[],
+                    newset: &[],
+                    del_mask: 0,
+                    presult: RES_TRUE,
+                },
+            );
+        }
+        rec.publish(0, info2 as u64);
+        {
+            let g = c.pin();
+            assert_eq!(
+                unsafe { op_recover::<M, false>(&rec, 0, &g) },
+                Recovered::Completed(RES_TRUE)
+            );
+        }
+        // Drop the descriptors (test owns them).
+        unsafe {
+            drop(Box::from_raw(info));
+            drop(Box::from_raw(info2));
+        }
+    }
+
+    #[test]
+    fn slots_are_isolated_per_process() {
+        let _gate = crate::counters::gate_shared();
+        nvm::tid::set_tid(0);
+        let rec: RecArea<M> = RecArea::new();
+        rec.begin::<false>(0);
+        rec.publish(0, 0x10);
+        rec.begin::<false>(7);
+        rec.publish(7, 0x70);
+        assert_eq!(rec.read(0), (1, 0x10));
+        assert_eq!(rec.read(7), (1, 0x70));
+        let mut seen = Vec::new();
+        rec.each_published(|rd| {
+            if rd != 0 {
+                seen.push(rd);
+            }
+        });
+        seen.sort();
+        assert_eq!(seen, vec![0x10, 0x70]);
+    }
+}

@@ -1,0 +1,278 @@
+//! Recoverable elimination stack: **direct tracking** on a Treiber stack,
+//! combined with the recoverable exchanger for elimination (paper Sections 1
+//! and 5: "the approach can be combined with a technique we call
+//! direct-tracking … to get an elimination stack").
+//!
+//! Direct tracking (no descriptors):
+//! * A push announces its node in `RD_q`, flushes it, links it with one CAS
+//!   and persists the link before returning. Post-crash detection: the node
+//!   is reachable, or its `popped_by` stamp is set (pushed then popped).
+//! * A pop **claims** the top node by CASing its `popped_by` word from 0 to
+//!   `pid+1` — the arbitration deciding which popper owns the removal across
+//!   a crash — persists the claim, then unlinks (helping poppers unlink
+//!   claimed nodes they encounter).
+//!
+//! Under contention on `top`, colliding pushes and pops first try to
+//! **eliminate** through an [`RExchanger`]: a push offers `PUSH|v`, a pop
+//! offers `POP`; a (push, pop) match transfers the value without touching
+//! the stack; a mismatched pair simply retries.
+
+use crate::counters;
+use crate::exchanger::{ExchangeResult, RExchanger};
+use nvm::{PWord, Persist, PersistWords};
+use reclaim::Collector;
+
+/// A stack node.
+#[repr(C)]
+pub struct Node<M: Persist> {
+    val: PWord<M>,
+    next: PWord<M>,
+    /// 0 = live; `pid+1` = claimed by that popper.
+    popped_by: PWord<M>,
+}
+
+unsafe impl<M: Persist> PersistWords<M> for Node<M> {
+    fn each_word(&self, f: &mut dyn FnMut(&PWord<M>)) {
+        f(&self.val);
+        f(&self.next);
+        f(&self.popped_by);
+    }
+}
+
+impl<M: Persist> Node<M> {
+    fn alloc(val: u64, next: u64) -> *mut Node<M> {
+        counters::node_alloc();
+        Box::into_raw(Box::new(Node {
+            val: PWord::new(val),
+            next: PWord::new(next),
+            popped_by: PWord::new(0),
+        }))
+    }
+}
+
+impl<M: Persist> Drop for Node<M> {
+    fn drop(&mut self) {
+        counters::node_free();
+    }
+}
+
+const ELIM_PUSH: u64 = 1 << 62;
+const ELIM_POP: u64 = 1 << 61;
+
+/// Recoverable elimination stack (see module docs). Values must stay below
+/// `2^61 - 16`.
+pub struct RStack<M: Persist> {
+    top: PWord<M>,
+    exch: RExchanger<M>,
+    collector: Collector,
+    /// Spin budget offered to the elimination layer.
+    elim_budget: usize,
+}
+
+unsafe impl<M: Persist> Send for RStack<M> {}
+unsafe impl<M: Persist> Sync for RStack<M> {}
+
+impl<M: Persist> Default for RStack<M> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<M: Persist> RStack<M> {
+    /// New empty stack.
+    pub fn new() -> Self {
+        Self {
+            top: PWord::new(0),
+            exch: RExchanger::new(),
+            collector: Collector::new(),
+            elim_budget: 200,
+        }
+    }
+
+    /// Pushes `v`.
+    pub fn push(&self, pid: usize, v: u64) {
+        assert!(v < ELIM_POP - 16, "value too large");
+        let node = Node::<M>::alloc(v, 0);
+        unsafe {
+            M::pwb_obj(&*node);
+        }
+        let g = self.collector.pin();
+        loop {
+            let t = self.top.load();
+            unsafe { (*node).next.store(t) };
+            M::pwb(unsafe { &(*node).next });
+            M::pfence();
+            if self.top.cas(t, node as u64) == t {
+                M::pwb(&self.top);
+                M::psync();
+                return;
+            }
+            // Contention: try to eliminate against a pop.
+            if let ExchangeResult::Exchanged(other) =
+                self.exch.exchange(pid, ELIM_PUSH | v, self.elim_budget)
+            {
+                if other & ELIM_POP != 0 {
+                    // A pop took our value directly; the node is unused.
+                    unsafe { drop(Box::from_raw(node)) };
+                    drop(g);
+                    return;
+                }
+                // push/push collision: no transfer happened for us — retry.
+            }
+        }
+    }
+
+    /// Pops; `None` when empty.
+    pub fn pop(&self, pid: usize) -> Option<u64> {
+        let g = self.collector.pin();
+        loop {
+            let t = self.top.load() as *mut Node<M>;
+            if t.is_null() {
+                return None;
+            }
+            let claimed = unsafe { (*t).popped_by.load() };
+            if claimed != 0 {
+                // Help unlink the claimed node, then retry.
+                unsafe {
+                    M::pbarrier(&(*t).popped_by);
+                    let _ = self.top.cas(t as u64, (*t).next.load());
+                }
+                continue;
+            }
+            // Arbitration: claim before unlinking (exactly-once across crash).
+            if unsafe { (*t).popped_by.cas(0, pid as u64 + 1) } == 0 {
+                unsafe {
+                    M::pbarrier(&(*t).popped_by);
+                    let v = (*t).val.load();
+                    if self.top.cas(t as u64, (*t).next.load()) == t as u64 {
+                        M::pwb(&self.top);
+                        g.retire_box(t);
+                    }
+                    M::psync();
+                    return Some(v);
+                }
+            }
+            // Lost the claim: try elimination against a push.
+            if let ExchangeResult::Exchanged(other) =
+                self.exch.exchange(pid, ELIM_POP, self.elim_budget)
+            {
+                if other & ELIM_PUSH != 0 {
+                    return Some(other & !(ELIM_PUSH | ELIM_POP));
+                }
+            }
+        }
+    }
+
+    /// Quiescent snapshot, top first.
+    pub fn snapshot_vals(&mut self) -> Vec<u64> {
+        let mut out = Vec::new();
+        unsafe {
+            let mut n = self.top.load() as *mut Node<M>;
+            while !n.is_null() {
+                if (*n).popped_by.load() == 0 {
+                    out.push((*n).val.load());
+                }
+                n = (*n).next.load() as *mut Node<M>;
+            }
+        }
+        out
+    }
+}
+
+impl<M: Persist> Drop for RStack<M> {
+    fn drop(&mut self) {
+        let parked: std::collections::HashMap<usize, unsafe fn(*mut u8)> =
+            self.collector.take_parked().into_iter().map(|(p, f)| (p as usize, f)).collect();
+        unsafe {
+            let mut n = self.top.load() as *mut Node<M>;
+            while !n.is_null() {
+                let next = (*n).next.load() as *mut Node<M>;
+                if !parked.contains_key(&(n as usize)) {
+                    drop(Box::from_raw(n));
+                }
+                n = next;
+            }
+            for (p, f) in parked {
+                f(p as *mut u8);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nvm::CountingNvm;
+    use std::sync::Arc;
+
+    type S = RStack<CountingNvm>;
+
+    #[test]
+    fn lifo_semantics() {
+        let _gate = crate::counters::gate_shared();
+        nvm::tid::set_tid(0);
+        let s = S::new();
+        assert_eq!(s.pop(0), None);
+        s.push(0, 1);
+        s.push(0, 2);
+        s.push(0, 3);
+        assert_eq!(s.pop(0), Some(3));
+        assert_eq!(s.pop(0), Some(2));
+        s.push(0, 4);
+        assert_eq!(s.pop(0), Some(4));
+        assert_eq!(s.pop(0), Some(1));
+        assert_eq!(s.pop(0), None);
+    }
+
+    #[test]
+    fn concurrent_push_pop_conserves_values() {
+        let _gate = crate::counters::gate_shared();
+        let s = Arc::new(S::new());
+        use std::sync::atomic::{AtomicU64, Ordering};
+        let sum = Arc::new(AtomicU64::new(0));
+        let per = 500u64;
+        let mut hs = Vec::new();
+        for p in 0..2u64 {
+            let s = Arc::clone(&s);
+            hs.push(std::thread::spawn(move || {
+                nvm::tid::set_tid(p as usize);
+                for i in 0..per {
+                    s.push(p as usize, 1 + p * per + i);
+                }
+            }));
+        }
+        for c in 0..2usize {
+            let s = Arc::clone(&s);
+            let sum = Arc::clone(&sum);
+            hs.push(std::thread::spawn(move || {
+                nvm::tid::set_tid(10 + c);
+                let mut got = 0;
+                let mut acc = 0u64;
+                while got < per {
+                    if let Some(v) = s.pop(10 + c) {
+                        got += 1;
+                        acc += v;
+                    }
+                }
+                sum.fetch_add(acc, Ordering::Relaxed);
+            }));
+        }
+        for h in hs {
+            h.join().unwrap();
+        }
+        assert_eq!(sum.load(Ordering::Relaxed), (1..=2 * per).sum::<u64>());
+        let mut s = Arc::into_inner(s).unwrap();
+        assert_eq!(s.snapshot_vals(), vec![]);
+    }
+
+    #[test]
+    fn snapshot_order_is_lifo() {
+        let _gate = crate::counters::gate_shared();
+        nvm::tid::set_tid(0);
+        let mut s = S::new();
+        for v in 1..=5u64 {
+            s.push(0, v);
+        }
+        assert_eq!(s.snapshot_vals(), vec![5, 4, 3, 2, 1]);
+    }
+}

@@ -1,0 +1,364 @@
+//! # `lincheck` — a linearizability checker (Wing–Gong / WGL) with
+//! memoisation, plus sequential specifications for sets, queues and stacks.
+//!
+//! Concurrent stress tests record a **history**: per completed operation,
+//! its thread, its invocation and response timestamps (from one global
+//! monotone counter) and its response. The checker searches for a
+//! linearisation: a total order of the operations that (1) respects the
+//! real-time partial order (an operation that responded before another was
+//! invoked must precede it) and (2) replays correctly against a sequential
+//! specification.
+//!
+//! The search is the classic Wing–Gong DFS, pruned with the
+//! Wing–Gong–Lowe memoisation on `(linearised-set, state)` pairs. The
+//! worst case is exponential; keep histories small (≤ ~24 operations, ≤ 64
+//! enforced by the bitmask).
+
+#![warn(missing_docs)]
+
+use std::collections::HashSet;
+use std::hash::Hash;
+
+/// A sequential specification.
+pub trait Spec {
+    /// Abstract state.
+    type State: Clone + Eq + Hash;
+    /// Operation descriptions.
+    type Op: Clone + std::fmt::Debug;
+    /// Responses.
+    type Ret: PartialEq + Clone + std::fmt::Debug;
+
+    /// Initial state.
+    fn init(&self) -> Self::State;
+    /// Apply `op` to `s`, returning the new state and the response.
+    fn apply(&self, s: &Self::State, op: &Self::Op) -> (Self::State, Self::Ret);
+}
+
+/// One completed operation in a history.
+#[derive(Debug, Clone)]
+pub struct OpRec<O, R> {
+    /// Executing thread (diagnostics only).
+    pub thread: usize,
+    /// The operation.
+    pub op: O,
+    /// Observed response.
+    pub ret: R,
+    /// Invocation timestamp.
+    pub invoked: u64,
+    /// Response timestamp (must be > `invoked`).
+    pub returned: u64,
+}
+
+/// Checks whether `hist` is linearizable with respect to `spec`.
+///
+/// # Panics
+/// If the history holds more than 64 operations.
+pub fn is_linearizable<S: Spec>(spec: &S, hist: &[OpRec<S::Op, S::Ret>]) -> bool {
+    assert!(hist.len() <= 64, "history too large for the bitmask");
+    let n = hist.len();
+    if n == 0 {
+        return true;
+    }
+    let full: u64 = if n == 64 { u64::MAX } else { (1u64 << n) - 1 };
+    let mut seen: HashSet<(u64, S::State)> = HashSet::new();
+    let init = spec.init();
+
+    // DFS stack: (mask of linearised ops, state).
+    fn dfs<S: Spec>(
+        spec: &S,
+        hist: &[OpRec<S::Op, S::Ret>],
+        mask: u64,
+        state: &S::State,
+        full: u64,
+        seen: &mut HashSet<(u64, S::State)>,
+    ) -> bool {
+        if mask == full {
+            return true;
+        }
+        if !seen.insert((mask, state.clone())) {
+            return false; // configuration already explored
+        }
+        // Minimal response among the not-yet-linearised operations: only
+        // operations invoked before it may linearise next.
+        let min_ret = hist
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| mask & (1 << i) == 0)
+            .map(|(_, r)| r.returned)
+            .min()
+            .unwrap();
+        for (i, r) in hist.iter().enumerate() {
+            if mask & (1 << i) != 0 || r.invoked > min_ret {
+                continue;
+            }
+            let (next, ret) = spec.apply(state, &r.op);
+            if ret != r.ret {
+                continue;
+            }
+            if dfs(spec, hist, mask | (1 << i), &next, full, seen) {
+                return true;
+            }
+        }
+        false
+    }
+    dfs(spec, hist, 0, &init, full, &mut seen)
+}
+
+/// A global monotone clock for recording histories.
+pub mod clock {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static CLOCK: AtomicU64 = AtomicU64::new(1);
+
+    /// Next timestamp.
+    pub fn now() -> u64 {
+        CLOCK.fetch_add(1, Ordering::SeqCst)
+    }
+}
+
+/// Sequential specifications for the structures in this workspace.
+pub mod specs {
+    use super::Spec;
+    use std::collections::BTreeSet;
+    use std::collections::VecDeque;
+
+    /// Set operations.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum SetOp {
+        /// Insert a key.
+        Insert(u64),
+        /// Delete a key.
+        Delete(u64),
+        /// Membership test.
+        Find(u64),
+    }
+
+    /// A sorted-set specification (list, BST).
+    pub struct SetSpec;
+
+    impl Spec for SetSpec {
+        type State = BTreeSet<u64>;
+        type Op = SetOp;
+        type Ret = bool;
+
+        fn init(&self) -> Self::State {
+            BTreeSet::new()
+        }
+        fn apply(&self, s: &Self::State, op: &Self::Op) -> (Self::State, bool) {
+            let mut t = s.clone();
+            let r = match *op {
+                SetOp::Insert(k) => t.insert(k),
+                SetOp::Delete(k) => t.remove(&k),
+                SetOp::Find(k) => t.contains(&k),
+            };
+            (t, r)
+        }
+    }
+
+    /// Queue operations.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum QueueOp {
+        /// Enqueue a value.
+        Enq(u64),
+        /// Dequeue.
+        Deq,
+    }
+
+    /// FIFO queue specification. Responses: `None` for enqueue acks and
+    /// empty dequeues are distinguished by `Some`/`None` on `Deq` only.
+    pub struct QueueSpec;
+
+    impl Spec for QueueSpec {
+        type State = VecDeque<u64>;
+        type Op = QueueOp;
+        type Ret = Option<u64>;
+
+        fn init(&self) -> Self::State {
+            VecDeque::new()
+        }
+        fn apply(&self, s: &Self::State, op: &Self::Op) -> (Self::State, Option<u64>) {
+            let mut t = s.clone();
+            match *op {
+                QueueOp::Enq(v) => {
+                    t.push_back(v);
+                    (t, None)
+                }
+                QueueOp::Deq => {
+                    let r = t.pop_front();
+                    (t, r)
+                }
+            }
+        }
+    }
+
+    /// Stack operations.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum StackOp {
+        /// Push a value.
+        Push(u64),
+        /// Pop.
+        Pop,
+    }
+
+    /// LIFO stack specification.
+    pub struct StackSpec;
+
+    impl Spec for StackSpec {
+        type State = Vec<u64>;
+        type Op = StackOp;
+        type Ret = Option<u64>;
+
+        fn init(&self) -> Self::State {
+            Vec::new()
+        }
+        fn apply(&self, s: &Self::State, op: &Self::Op) -> (Self::State, Option<u64>) {
+            let mut t = s.clone();
+            match *op {
+                StackOp::Push(v) => {
+                    t.push(v);
+                    (t, None)
+                }
+                StackOp::Pop => {
+                    let r = t.pop();
+                    (t, r)
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::specs::*;
+    use super::*;
+
+    fn rec<O, R>(thread: usize, op: O, ret: R, invoked: u64, returned: u64) -> OpRec<O, R> {
+        OpRec { thread, op, ret, invoked, returned }
+    }
+
+    #[test]
+    fn empty_history_is_linearizable() {
+        assert!(is_linearizable(&SetSpec, &[]));
+    }
+
+    #[test]
+    fn sequential_correct_history_passes() {
+        let h = vec![
+            rec(0, SetOp::Insert(1), true, 1, 2),
+            rec(0, SetOp::Find(1), true, 3, 4),
+            rec(0, SetOp::Delete(1), true, 5, 6),
+            rec(0, SetOp::Find(1), false, 7, 8),
+        ];
+        assert!(is_linearizable(&SetSpec, &h));
+    }
+
+    #[test]
+    fn sequential_wrong_response_fails() {
+        let h = vec![
+            rec(0, SetOp::Insert(1), true, 1, 2),
+            rec(0, SetOp::Find(1), false, 3, 4), // wrong: 1 is present
+        ];
+        assert!(!is_linearizable(&SetSpec, &h));
+    }
+
+    #[test]
+    fn overlapping_ops_may_reorder() {
+        // Find(1)=true overlaps the insert: legal (linearise insert first).
+        let h = vec![
+            rec(0, SetOp::Insert(1), true, 1, 10),
+            rec(1, SetOp::Find(1), true, 2, 9),
+        ];
+        assert!(is_linearizable(&SetSpec, &h));
+        // But if the find *returned before the insert was invoked*, illegal.
+        let h = vec![
+            rec(1, SetOp::Find(1), true, 1, 2),
+            rec(0, SetOp::Insert(1), true, 3, 4),
+        ];
+        assert!(!is_linearizable(&SetSpec, &h));
+    }
+
+    #[test]
+    fn real_time_order_is_respected() {
+        // Two sequential inserts of the same key cannot both return true...
+        let h = vec![
+            rec(0, SetOp::Insert(5), true, 1, 2),
+            rec(1, SetOp::Insert(5), true, 3, 4),
+        ];
+        assert!(!is_linearizable(&SetSpec, &h));
+        // ...unless a delete overlaps both.
+        let h = vec![
+            rec(0, SetOp::Insert(5), true, 1, 2),
+            rec(2, SetOp::Delete(5), true, 1, 6),
+            rec(1, SetOp::Insert(5), true, 3, 4),
+        ];
+        assert!(is_linearizable(&SetSpec, &h));
+    }
+
+    #[test]
+    fn queue_fifo_violation_detected() {
+        let h = vec![
+            rec(0, QueueOp::Enq(1), None, 1, 2),
+            rec(0, QueueOp::Enq(2), None, 3, 4),
+            rec(1, QueueOp::Deq, Some(2), 5, 6), // must have been 1
+        ];
+        assert!(!is_linearizable(&QueueSpec, &h));
+        let h = vec![
+            rec(0, QueueOp::Enq(1), None, 1, 2),
+            rec(0, QueueOp::Enq(2), None, 3, 4),
+            rec(1, QueueOp::Deq, Some(1), 5, 6),
+            rec(1, QueueOp::Deq, Some(2), 7, 8),
+            rec(1, QueueOp::Deq, None, 9, 10),
+        ];
+        assert!(is_linearizable(&QueueSpec, &h));
+    }
+
+    #[test]
+    fn concurrent_enqueues_allow_either_order() {
+        let h = vec![
+            rec(0, QueueOp::Enq(1), None, 1, 10),
+            rec(1, QueueOp::Enq(2), None, 2, 9),
+            rec(2, QueueOp::Deq, Some(2), 11, 12),
+            rec(2, QueueOp::Deq, Some(1), 13, 14),
+        ];
+        assert!(is_linearizable(&QueueSpec, &h));
+    }
+
+    #[test]
+    fn stack_lifo_checked() {
+        let h = vec![
+            rec(0, StackOp::Push(1), None, 1, 2),
+            rec(0, StackOp::Push(2), None, 3, 4),
+            rec(1, StackOp::Pop, Some(2), 5, 6),
+            rec(1, StackOp::Pop, Some(1), 7, 8),
+            rec(1, StackOp::Pop, None, 9, 10),
+        ];
+        assert!(is_linearizable(&StackSpec, &h));
+        let h = vec![
+            rec(0, StackOp::Push(1), None, 1, 2),
+            rec(0, StackOp::Push(2), None, 3, 4),
+            rec(1, StackOp::Pop, Some(1), 5, 6), // LIFO violation
+        ];
+        assert!(!is_linearizable(&StackSpec, &h));
+    }
+
+    #[test]
+    fn memoisation_handles_wide_histories() {
+        // 2 threads × 10 alternating ops: large but memo-friendly.
+        let mut h = Vec::new();
+        let mut t = 1;
+        for i in 0..10u64 {
+            h.push(rec(0, SetOp::Insert(i), true, t, t + 3));
+            h.push(rec(1, SetOp::Find(i), i % 2 == 0, t + 1, t + 2));
+            t += 4;
+        }
+        // Find(i) overlaps Insert(i): both answers are legal; odd-i finds
+        // return false (linearised before the insert).
+        assert!(is_linearizable(&SetSpec, &h));
+    }
+
+    #[test]
+    fn clock_is_monotone() {
+        let a = clock::now();
+        let b = clock::now();
+        assert!(b > a);
+    }
+}

@@ -1,0 +1,136 @@
+//! Raw cache-line write-back and fence primitives.
+//!
+//! On x86_64 these map to the exact instructions the paper's evaluation uses
+//! (`clflush` for `pwb`, `mfence` for `psync`). On other architectures we
+//! fall back to a calibrated spin delay so that benchmark *shapes* (which are
+//! driven by the relative number of persistency instructions) are preserved.
+
+use crate::CACHE_LINE;
+
+/// Write back (and invalidate) the cache line containing `p`.
+///
+/// `clflush` is unprivileged and operates on ordinary DRAM, which is exactly
+/// how the paper simulates `pwb` in the absence of NVRAM.
+#[inline]
+pub fn clflush(p: *const u8) {
+    #[cfg(target_arch = "x86_64")]
+    unsafe {
+        core::arch::x86_64::_mm_clflush(p)
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        let _ = p;
+        spin_delay(FALLBACK_FLUSH_SPINS);
+    }
+}
+
+/// Full memory fence ordering loads, stores and flushes (`mfence`).
+#[inline]
+pub fn mfence() {
+    #[cfg(target_arch = "x86_64")]
+    unsafe {
+        core::arch::x86_64::_mm_mfence()
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        std::sync::atomic::fence(std::sync::atomic::Ordering::SeqCst);
+        spin_delay(FALLBACK_FENCE_SPINS);
+    }
+}
+
+/// Store fence (`sfence`); sufficient to order flushes on TSO.
+#[inline]
+pub fn sfence() {
+    #[cfg(target_arch = "x86_64")]
+    unsafe {
+        core::arch::x86_64::_mm_sfence()
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    std::sync::atomic::fence(std::sync::atomic::Ordering::Release);
+}
+
+#[cfg(not(target_arch = "x86_64"))]
+const FALLBACK_FLUSH_SPINS: u32 = 60;
+#[cfg(not(target_arch = "x86_64"))]
+const FALLBACK_FENCE_SPINS: u32 = 30;
+
+/// Busy-wait used to emulate flush latency on targets without `clflush`.
+#[cfg(not(target_arch = "x86_64"))]
+#[inline]
+fn spin_delay(iters: u32) {
+    for _ in 0..iters {
+        std::hint::spin_loop();
+    }
+}
+
+/// Flush every cache line overlapping `[start, start + len)`.
+///
+/// Returns the number of lines flushed (used by statistics).
+#[inline]
+pub fn clflush_range(start: *const u8, len: usize) -> u64 {
+    if len == 0 {
+        return 0;
+    }
+    let first = start as usize & !(CACHE_LINE - 1);
+    let last = (start as usize + len - 1) & !(CACHE_LINE - 1);
+    let mut line = first;
+    let mut n = 0u64;
+    loop {
+        clflush(line as *const u8);
+        n += 1;
+        if line == last {
+            break;
+        }
+        line += CACHE_LINE;
+    }
+    n
+}
+
+/// Number of cache lines overlapping `[start, start+len)` without flushing.
+#[inline]
+pub fn lines_in_range(start: *const u8, len: usize) -> u64 {
+    if len == 0 {
+        return 0;
+    }
+    let first = start as usize & !(CACHE_LINE - 1);
+    let last = (start as usize + len - 1) & !(CACHE_LINE - 1);
+    ((last - first) / CACHE_LINE) as u64 + 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flush_range_counts_lines() {
+        let buf = vec![0u8; 4096];
+        // A single byte is one line.
+        assert_eq!(clflush_range(buf.as_ptr(), 1), 1);
+        // Exactly one aligned line.
+        let aligned = ((buf.as_ptr() as usize + 63) & !63) as *const u8;
+        assert_eq!(clflush_range(aligned, 64), 1);
+        assert_eq!(clflush_range(aligned, 65), 2);
+        // Straddling: 2 bytes crossing a boundary span two lines.
+        assert_eq!(clflush_range(unsafe { aligned.add(63) }, 2), 2);
+        assert_eq!(clflush_range(buf.as_ptr(), 0), 0);
+    }
+
+    #[test]
+    fn lines_in_range_matches_flush_count() {
+        let buf = vec![0u8; 1024];
+        for off in [0usize, 1, 31, 63] {
+            for len in [1usize, 2, 64, 65, 128, 200] {
+                let p = unsafe { buf.as_ptr().add(off) };
+                assert_eq!(lines_in_range(p, len), clflush_range(p, len));
+            }
+        }
+    }
+
+    #[test]
+    fn fences_do_not_crash() {
+        mfence();
+        sfence();
+        let x = 42u64;
+        clflush(&x as *const u64 as *const u8);
+    }
+}

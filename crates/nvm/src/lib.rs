@@ -1,0 +1,59 @@
+//! # `nvm` — persistency substrate for ISB-tracking
+//!
+//! This crate models the memory system of Attiya et al., *"Tracking in Order
+//! to Recover"* (SPAA 2020), Section 2:
+//!
+//! * **Shared cache model** (explicit epoch persistency): main memory is
+//!   non-volatile, caches are volatile. A [`Persist::pwb`] (persistent
+//!   write-back) initiates a write-back of the cache line, [`Persist::pfence`]
+//!   orders preceding `pwb`s before subsequent ones, and [`Persist::psync`]
+//!   waits until all previous `pwb`s complete. `pbarrier = pwb; pfence`.
+//! * **Private cache model**: shared variables are always persistent; all
+//!   persistency instructions are free.
+//!
+//! Like the paper's own evaluation (no NVRAM machine was available to the
+//! authors either), the *real* mode simulates `pwb` with `clflush` and
+//! `psync` with `mfence` on x86_64. Under TSO `pfence` needs no simulation.
+//!
+//! The substrate is exposed through the [`Persist`] trait, which is threaded
+//! through every data structure as a type parameter and monomorphised away:
+//!
+//! | impl            | `pwb`            | `psync`   | use                          |
+//! |-----------------|------------------|-----------|------------------------------|
+//! | [`RealNvm`]     | `clflush` + stats| `mfence`  | shared-cache benchmarks      |
+//! | [`CountingNvm`] | stats only       | stats only| portable counting runs / CI  |
+//! | [`NoPersist`]   | nothing          | nothing   | private-cache model          |
+//! | [`SimNvm`]      | shadow tracking  | commit    | crash-injection testing      |
+//!
+//! Every word of persistent state is a [`PWord`]: an `AtomicU64` plus
+//! per-mode metadata (empty except under [`SimNvm`]). Pointers are stored in
+//! `PWord`s with a 1-bit tag in the LSB (all nodes are at least 8-aligned).
+//!
+//! [`SimNvm`] additionally supports *system-wide crash* injection: a global
+//! flag makes every instrumented memory operation terminate its thread, and
+//! [`sim::build_crash_image`] reconstructs an adversarial NVM image (per
+//! word: last guaranteed-persisted value or latest volatile value) before
+//! recovery code runs. See `DESIGN.md` §3 for semantics and limitations.
+
+#![warn(missing_docs)]
+
+pub mod flush;
+pub mod pad;
+pub mod persist;
+pub mod pword;
+pub mod sim;
+pub mod stats;
+pub mod tid;
+
+pub use pad::CachePadded;
+pub use persist::{CountingNvm, NoPersist, Persist, RealNvm};
+pub use pword::{PWord, PersistWords};
+pub use sim::SimNvm;
+
+/// Maximum number of registered processes (threads). Process ids are used to
+/// index per-process recovery data (`RD_q`, `CP_q`), persistency-statistics
+/// slots and reclamation slots, and are packed into 6 bits by some baselines.
+pub const MAX_PROCS: usize = 64;
+
+/// Cache-line size assumed for flushing and padding.
+pub const CACHE_LINE: usize = 64;

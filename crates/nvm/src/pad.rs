@@ -1,0 +1,71 @@
+//! Cache-line padding to prevent false sharing of per-process slots.
+
+use core::ops::{Deref, DerefMut};
+
+/// Pads and aligns `T` to 128 bytes (two lines, covering adjacent-line
+/// prefetchers) so that per-process slots never share a cache line.
+#[derive(Debug, Default)]
+#[repr(align(128))]
+pub struct CachePadded<T> {
+    value: T,
+}
+
+impl<T> CachePadded<T> {
+    /// Wraps `value` in padding.
+    pub const fn new(value: T) -> Self {
+        Self { value }
+    }
+
+    /// Consumes the padding, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.value
+    }
+}
+
+impl<T> Deref for CachePadded<T> {
+    type Target = T;
+    #[inline]
+    fn deref(&self) -> &T {
+        &self.value
+    }
+}
+
+impl<T> DerefMut for CachePadded<T> {
+    #[inline]
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.value
+    }
+}
+
+impl<T: Clone> Clone for CachePadded<T> {
+    fn clone(&self) -> Self {
+        Self::new(self.value.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn padded_alignment_and_size() {
+        assert!(core::mem::size_of::<CachePadded<u8>>() >= 128);
+        assert_eq!(core::mem::align_of::<CachePadded<u64>>(), 128);
+    }
+
+    #[test]
+    fn deref_roundtrip() {
+        let mut p = CachePadded::new(7u64);
+        assert_eq!(*p, 7);
+        *p += 1;
+        assert_eq!(p.into_inner(), 8);
+    }
+
+    #[test]
+    fn array_of_padded_slots_do_not_share_lines() {
+        let arr = [CachePadded::new(0u64), CachePadded::new(1u64)];
+        let a = &*arr[0] as *const u64 as usize;
+        let b = &*arr[1] as *const u64 as usize;
+        assert!(b - a >= 128);
+    }
+}

@@ -1,0 +1,263 @@
+//! The [`Persist`] trait and its real-machine implementations.
+
+use crate::flush;
+use crate::pword::{PWord, PersistWords};
+use crate::stats;
+use std::sync::atomic::Ordering::{Acquire, Release, SeqCst};
+
+/// A persistency model (see crate docs). Monomorphised into every data
+/// structure; the real modes compile to plain atomics plus (optionally)
+/// `clflush`/`mfence` and counter bumps.
+pub trait Persist: Sized + Send + Sync + 'static {
+    /// Human-readable mode name (reported by the benchmark harness).
+    const NAME: &'static str;
+    /// True for the crash simulator (enables extra bookkeeping in callers).
+    const SIMULATED: bool = false;
+    /// Per-word metadata (empty except for the simulator).
+    type Meta: Default + Send + Sync;
+
+    /// Atomic load (Acquire).
+    fn load(w: &PWord<Self>) -> u64;
+    /// Atomic store (Release).
+    fn store(w: &PWord<Self>, v: u64);
+    /// Atomic CAS returning the value read.
+    fn cas(w: &PWord<Self>, old: u64, new: u64) -> u64;
+
+    /// `pwb`: initiate write-back of the line containing `w` (stand-alone).
+    fn pwb(w: &PWord<Self>);
+    /// `pfence`: order preceding `pwb`s before subsequent ones.
+    fn pfence();
+    /// `psync`: wait for all preceding `pwb`s to complete.
+    fn psync();
+
+    /// `pbarrier(w)` = `pwb(w); pfence()`, counted as one barrier.
+    fn pbarrier(w: &PWord<Self>);
+
+    /// Flush every line of `obj` (stand-alone flushes).
+    fn pwb_obj<T: PersistWords<Self> + ?Sized>(obj: &T);
+    /// Flush every line of `obj` then fence — the paper's multi-argument
+    /// `pbarrier(*opInfo, NewSet)`; counted as one barrier event.
+    fn pbarrier_obj<T: PersistWords<Self> + ?Sized>(obj: &T);
+
+    /// Crash-injection hook; no-op outside the simulator.
+    #[inline]
+    fn check_crash() {}
+}
+
+#[inline]
+fn raw_load<M: Persist>(w: &PWord<M>) -> u64 {
+    w.v.load(Acquire)
+}
+#[inline]
+fn raw_store<M: Persist>(w: &PWord<M>, v: u64) {
+    w.v.store(v, Release)
+}
+#[inline]
+fn raw_cas<M: Persist>(w: &PWord<M>, old: u64, new: u64) -> u64 {
+    match w.v.compare_exchange(old, new, SeqCst, SeqCst) {
+        Ok(prev) => prev,
+        Err(prev) => prev,
+    }
+}
+
+/// Shared-cache model on real hardware: `pwb` = `clflush`, `psync` =
+/// `mfence`, `pfence` = no-op under TSO (as in the paper's evaluation).
+/// All persistency instructions are counted.
+pub struct RealNvm;
+
+impl Persist for RealNvm {
+    const NAME: &'static str = "real";
+    type Meta = ();
+
+    #[inline]
+    fn load(w: &PWord<Self>) -> u64 {
+        raw_load(w)
+    }
+    #[inline]
+    fn store(w: &PWord<Self>, v: u64) {
+        raw_store(w, v)
+    }
+    #[inline]
+    fn cas(w: &PWord<Self>, old: u64, new: u64) -> u64 {
+        raw_cas(w, old, new)
+    }
+
+    #[inline]
+    fn pwb(w: &PWord<Self>) {
+        flush::clflush(w.addr());
+        stats::count_pwb(1);
+    }
+    #[inline]
+    fn pfence() {
+        // TSO: flushes of this implementation are already ordered; counted only.
+        stats::count_pfence();
+    }
+    #[inline]
+    fn psync() {
+        flush::mfence();
+        stats::count_psync();
+    }
+    #[inline]
+    fn pbarrier(w: &PWord<Self>) {
+        flush::clflush(w.addr());
+        flush::mfence();
+        stats::count_pbarrier(1);
+    }
+    #[inline]
+    fn pwb_obj<T: PersistWords<Self> + ?Sized>(obj: &T) {
+        let (p, len) = obj.used_range();
+        let n = flush::clflush_range(p, len);
+        stats::count_pwb(n);
+    }
+    #[inline]
+    fn pbarrier_obj<T: PersistWords<Self> + ?Sized>(obj: &T) {
+        let (p, len) = obj.used_range();
+        let n = flush::clflush_range(p, len);
+        flush::mfence();
+        stats::count_pbarrier(n);
+    }
+}
+
+/// Shared-cache model with *counted but not executed* flushes. Portable,
+/// used by CI and by counting-only experiments where flush latency is not
+/// itself under study.
+pub struct CountingNvm;
+
+impl Persist for CountingNvm {
+    const NAME: &'static str = "counting";
+    type Meta = ();
+
+    #[inline]
+    fn load(w: &PWord<Self>) -> u64 {
+        raw_load(w)
+    }
+    #[inline]
+    fn store(w: &PWord<Self>, v: u64) {
+        raw_store(w, v)
+    }
+    #[inline]
+    fn cas(w: &PWord<Self>, old: u64, new: u64) -> u64 {
+        raw_cas(w, old, new)
+    }
+
+    #[inline]
+    fn pwb(_w: &PWord<Self>) {
+        stats::count_pwb(1);
+    }
+    #[inline]
+    fn pfence() {
+        stats::count_pfence();
+    }
+    #[inline]
+    fn psync() {
+        stats::count_psync();
+    }
+    #[inline]
+    fn pbarrier(_w: &PWord<Self>) {
+        stats::count_pbarrier(1);
+    }
+    #[inline]
+    fn pwb_obj<T: PersistWords<Self> + ?Sized>(obj: &T) {
+        let (p, len) = obj.used_range();
+        stats::count_pwb(flush::lines_in_range(p, len));
+    }
+    #[inline]
+    fn pbarrier_obj<T: PersistWords<Self> + ?Sized>(obj: &T) {
+        let (p, len) = obj.used_range();
+        stats::count_pbarrier(flush::lines_in_range(p, len));
+    }
+}
+
+/// Private-cache model: shared variables are always persistent, so every
+/// persistency instruction is free (and uncounted). Used for Figure 4 and
+/// Figure 7 (middle/right).
+pub struct NoPersist;
+
+impl Persist for NoPersist {
+    const NAME: &'static str = "private-cache";
+    type Meta = ();
+
+    #[inline]
+    fn load(w: &PWord<Self>) -> u64 {
+        raw_load(w)
+    }
+    #[inline]
+    fn store(w: &PWord<Self>, v: u64) {
+        raw_store(w, v)
+    }
+    #[inline]
+    fn cas(w: &PWord<Self>, old: u64, new: u64) -> u64 {
+        raw_cas(w, old, new)
+    }
+
+    #[inline]
+    fn pwb(_w: &PWord<Self>) {}
+    #[inline]
+    fn pfence() {}
+    #[inline]
+    fn psync() {}
+    #[inline]
+    fn pbarrier(_w: &PWord<Self>) {}
+    #[inline]
+    fn pwb_obj<T: PersistWords<Self> + ?Sized>(_obj: &T) {}
+    #[inline]
+    fn pbarrier_obj<T: PersistWords<Self> + ?Sized>(_obj: &T) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tid;
+
+    #[test]
+    fn counting_mode_counts() {
+        tid::set_tid(0);
+        let before = stats::snapshot();
+        let w: PWord<CountingNvm> = PWord::new(0);
+        CountingNvm::pwb(&w);
+        CountingNvm::pbarrier(&w);
+        CountingNvm::psync();
+        let d = stats::snapshot().since(&before);
+        assert_eq!(d.pwb, 1);
+        assert_eq!(d.pbarrier, 1);
+        assert_eq!(d.psync, 1);
+    }
+
+    #[test]
+    fn no_persist_counts_nothing() {
+        tid::set_tid(0);
+        let before = stats::snapshot();
+        let w: PWord<NoPersist> = PWord::new(0);
+        NoPersist::pwb(&w);
+        NoPersist::pbarrier(&w);
+        NoPersist::psync();
+        let d = stats::snapshot().since(&before);
+        assert_eq!(d, stats::Snapshot::default());
+    }
+
+    #[test]
+    fn real_mode_flushes_and_counts() {
+        tid::set_tid(0);
+        let before = stats::snapshot();
+        let w: PWord<RealNvm> = PWord::new(7);
+        RealNvm::pwb(&w);
+        RealNvm::psync();
+        assert_eq!(w.load(), 7, "flushing must not corrupt the value");
+        let d = stats::snapshot().since(&before);
+        assert_eq!(d.pwb, 1);
+        assert_eq!(d.psync, 1);
+    }
+
+    #[test]
+    fn cas_returns_read_value_in_all_modes() {
+        fn check<M: Persist>() {
+            let w: PWord<M> = PWord::new(1);
+            assert_eq!(M::cas(&w, 1, 2), 1);
+            assert_eq!(M::cas(&w, 1, 3), 2);
+            assert_eq!(M::load(&w), 2);
+        }
+        check::<RealNvm>();
+        check::<CountingNvm>();
+        check::<NoPersist>();
+    }
+}

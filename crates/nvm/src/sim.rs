@@ -1,0 +1,490 @@
+//! [`SimNvm`]: shadow-tracked persistent memory with system-wide crash
+//! injection.
+//!
+//! Semantics (DESIGN.md §3): every [`PWord`] has, besides its volatile value,
+//! a *guaranteed-persisted* value. A `pwb` snapshots the volatile value with
+//! a global sequence number into the issuing thread's outstanding set; a
+//! `psync` (or `pfence`, which we conservatively treat as completing the
+//! write-backs it orders — see DESIGN.md) commits the outstanding snapshots,
+//! newest-sequence-wins per word. A **crash** arms a global flag; every
+//! instrumented operation then terminates its thread by panicking with
+//! [`CrashSignal`] (caught by [`run_crashable`]). Once all participant
+//! threads are dead, [`build_crash_image`] rewrites each registered word to
+//! either its guaranteed-persisted value or its latest volatile value
+//! (seeded, per-word), modelling both lost write-backs and spontaneous cache
+//! evictions. Recovery code then runs on the surviving image.
+//!
+//! Words that were never covered by a completed persist have the
+//! [`POISON`] value as their persisted side; a correct algorithm never
+//! publishes a reference to unpersisted state, so observing `POISON` through
+//! a reachable pointer after a crash indicates a missing-flush bug.
+//!
+//! # Registry contract
+//! Words register themselves (address only) on first instrumented mutation.
+//! The registry holds raw addresses, so the caller must (1) keep every
+//! simulated structure alive until [`reset`] is called, and (2) call
+//! [`reset`] after dropping them and before building new ones. The helpers
+//! in the test harness (`isb-bench::crash`) enforce this discipline.
+
+use crate::persist::Persist;
+use crate::pword::{PWord, PersistWords};
+use crate::stats;
+use std::cell::{Cell, RefCell};
+use std::sync::atomic::Ordering::{Acquire, Relaxed, Release, SeqCst};
+use std::sync::atomic::{AtomicBool, AtomicU64};
+use std::sync::Mutex;
+
+/// Value of the persisted shadow of a word that was never persisted.
+pub const POISON: u64 = 0xDEAD_BEEF_DEAD_BEEF;
+
+/// Per-word shadow metadata.
+#[derive(Debug)]
+pub struct SimMeta {
+    registered: AtomicBool,
+    /// Sequence number of the last committed write-back.
+    pseq: AtomicU64,
+    /// Last guaranteed-persisted value ([`POISON`] if none).
+    persisted: AtomicU64,
+}
+
+impl Default for SimMeta {
+    fn default() -> Self {
+        Self {
+            registered: AtomicBool::new(false),
+            pseq: AtomicU64::new(0),
+            persisted: AtomicU64::new(POISON),
+        }
+    }
+}
+
+struct Globals {
+    registry: Mutex<Vec<usize>>,
+    seq: AtomicU64,
+    crash_armed: AtomicBool,
+    commit_locks: Vec<Mutex<()>>,
+}
+
+fn globals() -> &'static Globals {
+    use std::sync::OnceLock;
+    static G: OnceLock<Globals> = OnceLock::new();
+    G.get_or_init(|| Globals {
+        registry: Mutex::new(Vec::new()),
+        seq: AtomicU64::new(1),
+        crash_armed: AtomicBool::new(false),
+        commit_locks: (0..64).map(|_| Mutex::new(())).collect(),
+    })
+}
+
+thread_local! {
+    /// (word address, snapshot, sequence) of this thread's outstanding pwbs.
+    static OUTSTANDING: RefCell<Vec<(usize, u64, u64)>> = const { RefCell::new(Vec::new()) };
+    /// Whether this thread dies when the crash flag is armed.
+    static CRASHABLE: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Panic payload used to kill threads on a simulated crash.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CrashSignal;
+
+/// Error returned by [`run_crashable`] when the closure died in a crash.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Crashed;
+
+#[inline]
+fn maybe_crash() {
+    if globals().crash_armed.load(Relaxed) && CRASHABLE.with(|c| c.get()) {
+        std::panic::panic_any(CrashSignal);
+    }
+}
+
+#[inline]
+fn register(w: &PWord<SimNvm>) {
+    if !w.meta.registered.swap(true, Relaxed) {
+        globals().registry.lock().unwrap().push(w as *const _ as usize);
+    }
+}
+
+fn commit(addr: usize, snap: u64, seq: u64) {
+    let g = globals();
+    let _lk = g.commit_locks[(addr >> 3) % g.commit_locks.len()].lock().unwrap();
+    // SAFETY: registry contract — the word outlives the simulation session.
+    let w = unsafe { &*(addr as *const PWord<SimNvm>) };
+    if w.meta.pseq.load(Acquire) < seq {
+        w.meta.persisted.store(snap, Release);
+        w.meta.pseq.store(seq, Release);
+    }
+}
+
+fn commit_outstanding(check: bool) {
+    OUTSTANDING.with(|o| {
+        let mut o = o.borrow_mut();
+        // Drain front-to-back so a mid-psync crash leaves a realistic prefix
+        // of the write-backs committed.
+        for (addr, snap, seq) in o.drain(..) {
+            if check {
+                maybe_crash();
+            }
+            commit(addr, snap, seq);
+        }
+    });
+}
+
+/// The crash-simulation persistency model.
+pub struct SimNvm;
+
+impl Persist for SimNvm {
+    const NAME: &'static str = "sim";
+    const SIMULATED: bool = true;
+    type Meta = SimMeta;
+
+    #[inline]
+    fn load(w: &PWord<Self>) -> u64 {
+        maybe_crash();
+        w.v.load(Acquire)
+    }
+    #[inline]
+    fn store(w: &PWord<Self>, v: u64) {
+        maybe_crash();
+        register(w);
+        w.v.store(v, Release);
+    }
+    #[inline]
+    fn cas(w: &PWord<Self>, old: u64, new: u64) -> u64 {
+        maybe_crash();
+        register(w);
+        match w.v.compare_exchange(old, new, SeqCst, SeqCst) {
+            Ok(p) => p,
+            Err(p) => p,
+        }
+    }
+
+    fn pwb(w: &PWord<Self>) {
+        maybe_crash();
+        register(w);
+        let seq = globals().seq.fetch_add(1, Relaxed);
+        let snap = w.v.load(SeqCst);
+        OUTSTANDING.with(|o| o.borrow_mut().push((w as *const _ as usize, snap, seq)));
+        stats::count_pwb(1);
+    }
+    fn pfence() {
+        // Conservative: treat ordered write-backs as completed (DESIGN.md §3).
+        maybe_crash();
+        commit_outstanding(true);
+        stats::count_pfence();
+    }
+    fn psync() {
+        maybe_crash();
+        commit_outstanding(true);
+        stats::count_psync();
+    }
+    fn pbarrier(w: &PWord<Self>) {
+        maybe_crash();
+        register(w);
+        let seq = globals().seq.fetch_add(1, Relaxed);
+        let snap = w.v.load(SeqCst);
+        commit(w as *const _ as usize, snap, seq);
+        stats::count_pbarrier(1);
+    }
+    fn pwb_obj<T: PersistWords<Self> + ?Sized>(obj: &T) {
+        let mut n = 0;
+        obj.each_word(&mut |w| {
+            Self::pwb(w);
+            n += 1;
+        });
+        let _ = n;
+    }
+    fn pbarrier_obj<T: PersistWords<Self> + ?Sized>(obj: &T) {
+        maybe_crash();
+        let mut lines = 0;
+        obj.each_word(&mut |w| {
+            register(w);
+            let seq = globals().seq.fetch_add(1, Relaxed);
+            let snap = w.v.load(SeqCst);
+            commit(w as *const _ as usize, snap, seq);
+            lines += 1;
+        });
+        stats::count_pbarrier(lines);
+    }
+
+    #[inline]
+    fn check_crash() {
+        maybe_crash();
+    }
+}
+
+/// Runs `f` with crash injection suspended on this thread. Models actions of
+/// the *system* (e.g., setting `CP_q := 0` before an operation starts),
+/// which the paper's model does not subject to crashes.
+pub fn suspended<R>(f: impl FnOnce() -> R) -> R {
+    CRASHABLE.with(|c| {
+        let old = c.get();
+        c.set(false);
+        let r = f();
+        c.set(old);
+        r
+    })
+}
+
+/// Marks the calling thread as a crash participant and runs `f`, converting
+/// a simulated crash into `Err(Crashed)`. Other panics propagate.
+pub fn run_crashable<R>(f: impl FnOnce() -> R) -> Result<R, Crashed> {
+    CRASHABLE.with(|c| c.set(true));
+    let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(f));
+    CRASHABLE.with(|c| c.set(false));
+    OUTSTANDING.with(|o| o.borrow_mut().clear());
+    match r {
+        Ok(v) => Ok(v),
+        Err(payload) => {
+            if payload.downcast_ref::<CrashSignal>().is_some() {
+                Err(Crashed)
+            } else {
+                std::panic::resume_unwind(payload)
+            }
+        }
+    }
+}
+
+/// Arms the system-wide crash: every participant thread dies at its next
+/// instrumented memory operation.
+pub fn trigger_crash() {
+    globals().crash_armed.store(true, SeqCst);
+}
+
+/// True while a crash is armed.
+pub fn crash_armed() -> bool {
+    globals().crash_armed.load(Relaxed)
+}
+
+/// Installs a panic hook that silences [`CrashSignal`] unwinds (idempotent).
+pub fn quiet_crash_panics() {
+    use std::sync::Once;
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        let default = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if info.payload().downcast_ref::<CrashSignal>().is_none() {
+                default(info);
+            }
+        }));
+    });
+}
+
+/// SplitMix64 — tiny deterministic PRNG for per-word image choices.
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Statistics from [`build_crash_image`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ImageReport {
+    /// Registered words examined.
+    pub words: usize,
+    /// Words rolled back to their guaranteed-persisted value.
+    pub rolled_back: usize,
+    /// Words that kept their latest volatile value ("evicted in time").
+    pub kept_latest: usize,
+    /// Words whose persisted side was still [`POISON`] and which rolled back
+    /// to it (never-persisted state an algorithm must not depend on).
+    pub poisoned: usize,
+}
+
+/// Reconstructs the post-crash NVM image and disarms the crash flag.
+///
+/// Per registered word, chooses (seeded by `seed`) between the guaranteed-
+/// persisted value and the latest volatile value, then overwrites the
+/// volatile value with the choice so recovery code observes the NVM state.
+///
+/// # Safety contract
+/// Must only be called when **no participant thread is running**, and every
+/// structure whose words are registered must still be alive.
+pub fn build_crash_image(seed: u64) -> ImageReport {
+    let g = globals();
+    assert!(g.crash_armed.load(SeqCst), "build_crash_image without a triggered crash");
+    let mut rng = seed ^ 0xA076_1D64_78BD_642F;
+    let mut rep = ImageReport::default();
+    let reg = g.registry.lock().unwrap();
+    for &addr in reg.iter() {
+        // SAFETY: registry contract.
+        let w = unsafe { &*(addr as *const PWord<SimNvm>) };
+        let latest = w.v.load(SeqCst);
+        let persisted = w.meta.persisted.load(Acquire);
+        rep.words += 1;
+        let choice = if persisted == latest || splitmix(&mut rng) & 1 == 0 {
+            rep.kept_latest += 1;
+            latest
+        } else {
+            rep.rolled_back += 1;
+            if persisted == POISON {
+                rep.poisoned += 1;
+            }
+            persisted
+        };
+        w.v.store(choice, SeqCst);
+        // The surviving image *is* the durable state now.
+        w.meta.persisted.store(choice, Release);
+        w.meta.pseq.store(g.seq.fetch_add(1, Relaxed), Release);
+    }
+    drop(reg);
+    g.crash_armed.store(false, SeqCst);
+    rep
+}
+
+/// Marks every registered word as persisted at its current volatile value.
+/// Call after building initial structures, modelling a clean start.
+pub fn persist_all() {
+    let g = globals();
+    let reg = g.registry.lock().unwrap();
+    for &addr in reg.iter() {
+        // SAFETY: registry contract.
+        let w = unsafe { &*(addr as *const PWord<SimNvm>) };
+        w.meta.persisted.store(w.v.load(SeqCst), Release);
+        w.meta.pseq.store(g.seq.fetch_add(1, Relaxed), Release);
+    }
+}
+
+/// Number of registered words (diagnostics).
+pub fn registered_words() -> usize {
+    globals().registry.lock().unwrap().len()
+}
+
+/// Clears the registry and disarms crashes. Call after dropping all
+/// simulated structures and before building new ones.
+pub fn reset() {
+    let g = globals();
+    g.registry.lock().unwrap().clear();
+    g.crash_armed.store(false, SeqCst);
+    OUTSTANDING.with(|o| o.borrow_mut().clear());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tid;
+
+    // The sim registry is global; serialize tests touching it.
+    static LOCK: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn unsynced_pwb_is_not_guaranteed() {
+        let _l = LOCK.lock().unwrap();
+        reset();
+        tid::set_tid(0);
+        let w: Box<PWord<SimNvm>> = Box::new(PWord::new(0));
+        w.store(1);
+        SimNvm::pwb(&w);
+        // No psync yet: persisted side must still be POISON.
+        assert_eq!(w.meta.persisted.load(Acquire), POISON);
+        SimNvm::psync();
+        assert_eq!(w.meta.persisted.load(Acquire), 1);
+        reset();
+    }
+
+    #[test]
+    fn psync_commits_snapshot_not_latest() {
+        let _l = LOCK.lock().unwrap();
+        reset();
+        tid::set_tid(0);
+        let w: Box<PWord<SimNvm>> = Box::new(PWord::new(0));
+        w.store(1);
+        SimNvm::pwb(&w); // snapshot = 1
+        w.store(2); // dirtied again after the write-back
+        SimNvm::psync();
+        assert_eq!(w.meta.persisted.load(Acquire), 1);
+        assert_eq!(w.load(), 2);
+        reset();
+    }
+
+    #[test]
+    fn newer_writeback_wins() {
+        let _l = LOCK.lock().unwrap();
+        reset();
+        tid::set_tid(0);
+        let w: Box<PWord<SimNvm>> = Box::new(PWord::new(0));
+        w.store(1);
+        SimNvm::pwb(&w);
+        w.store(2);
+        SimNvm::pwb(&w);
+        SimNvm::psync();
+        assert_eq!(w.meta.persisted.load(Acquire), 2);
+        reset();
+    }
+
+    #[test]
+    fn pbarrier_commits_immediately() {
+        let _l = LOCK.lock().unwrap();
+        reset();
+        tid::set_tid(0);
+        let w: Box<PWord<SimNvm>> = Box::new(PWord::new(0));
+        w.store(7);
+        SimNvm::pbarrier(&w);
+        assert_eq!(w.meta.persisted.load(Acquire), 7);
+        reset();
+    }
+
+    #[test]
+    fn crash_kills_participants_and_image_restores() {
+        let _l = LOCK.lock().unwrap();
+        reset();
+        quiet_crash_panics();
+        tid::set_tid(0);
+        let w: Box<PWord<SimNvm>> = Box::new(PWord::new(0));
+        w.store(1);
+        SimNvm::pwb(&w);
+        SimNvm::psync(); // guaranteed: 1
+        w.store(2); // volatile only
+        trigger_crash();
+        let r = run_crashable(|| {
+            w.load(); // dies here
+            unreachable!()
+        });
+        assert_eq!(r, Err(Crashed));
+        // Build many images: with 2 as latest and 1 persisted, both values
+        // must be observed across seeds.
+        let mut saw = [false, false];
+        for seed in 0..32 {
+            w.poke(2); // restore "volatile" side for a fresh choice
+            globals().crash_armed.store(true, SeqCst);
+            build_crash_image(seed);
+            match w.peek() {
+                1 => saw[0] = true,
+                2 => saw[1] = true,
+                x => panic!("unexpected image value {x}"),
+            }
+            w.meta.persisted.store(1, Release); // re-arm the scenario
+        }
+        assert!(saw[0] && saw[1], "image must explore both persisted and latest values");
+        reset();
+    }
+
+    #[test]
+    fn non_participants_survive_crash() {
+        let _l = LOCK.lock().unwrap();
+        reset();
+        tid::set_tid(0);
+        let w: Box<PWord<SimNvm>> = Box::new(PWord::new(0));
+        trigger_crash();
+        // Not inside run_crashable: operations proceed.
+        w.store(3);
+        assert_eq!(w.load(), 3);
+        reset();
+    }
+
+    #[test]
+    fn persist_all_marks_everything() {
+        let _l = LOCK.lock().unwrap();
+        reset();
+        tid::set_tid(0);
+        let a: Box<PWord<SimNvm>> = Box::new(PWord::new(0));
+        let b: Box<PWord<SimNvm>> = Box::new(PWord::new(0));
+        a.store(10);
+        b.store(20);
+        persist_all();
+        assert_eq!(a.meta.persisted.load(Acquire), 10);
+        assert_eq!(b.meta.persisted.load(Acquire), 20);
+        reset();
+    }
+}

@@ -1,0 +1,168 @@
+//! Persistency-instruction statistics.
+//!
+//! Figures 1b, 1c, 5 and 6 of the paper plot, per operation, the number of
+//! **pbarriers** (a `pwb` immediately followed by a fence — in the paper's
+//! measured code a `clflush; mfence` pair) and the number of **stand-alone
+//! flushes** (`pwb`s not part of a barrier). We keep per-process counters on
+//! padded slots (no cross-thread contention) and sum them on demand.
+
+use crate::pad::CachePadded;
+use crate::tid;
+use crate::MAX_PROCS;
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+
+/// One process's counters.
+#[derive(Debug, Default)]
+pub struct Slot {
+    /// Stand-alone `pwb` calls (one per word/line flushed outside barriers).
+    pub pwb: AtomicU64,
+    /// `pbarrier` calls (each = flush(es) + fence).
+    pub pbarrier: AtomicU64,
+    /// Cache lines flushed *inside* barriers (≥ pbarrier when flushing multi-line objects).
+    pub pbarrier_lines: AtomicU64,
+    /// `pfence` calls.
+    pub pfence: AtomicU64,
+    /// `psync` calls.
+    pub psync: AtomicU64,
+}
+
+struct Table {
+    slots: Vec<CachePadded<Slot>>,
+}
+
+impl Table {
+    fn new() -> Self {
+        Self { slots: (0..MAX_PROCS).map(|_| CachePadded::new(Slot::default())).collect() }
+    }
+}
+
+fn table() -> &'static Table {
+    use std::sync::OnceLock;
+    static TABLE: OnceLock<Table> = OnceLock::new();
+    TABLE.get_or_init(Table::new)
+}
+
+#[inline]
+fn my_slot() -> &'static Slot {
+    &table().slots[tid::try_tid().unwrap_or(0)]
+}
+
+/// Record one stand-alone flush.
+#[inline]
+pub fn count_pwb(n: u64) {
+    my_slot().pwb.fetch_add(n, Relaxed);
+}
+
+/// Record one barrier flushing `lines` cache lines.
+#[inline]
+pub fn count_pbarrier(lines: u64) {
+    let s = my_slot();
+    s.pbarrier.fetch_add(1, Relaxed);
+    s.pbarrier_lines.fetch_add(lines, Relaxed);
+}
+
+/// Record one `pfence`.
+#[inline]
+pub fn count_pfence() {
+    my_slot().pfence.fetch_add(1, Relaxed);
+}
+
+/// Record one `psync`.
+#[inline]
+pub fn count_psync() {
+    my_slot().psync.fetch_add(1, Relaxed);
+}
+
+/// Aggregated snapshot of all per-process counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Snapshot {
+    /// Stand-alone flushes.
+    pub pwb: u64,
+    /// Barrier events.
+    pub pbarrier: u64,
+    /// Lines flushed inside barriers.
+    pub pbarrier_lines: u64,
+    /// Fences.
+    pub pfence: u64,
+    /// Syncs.
+    pub psync: u64,
+}
+
+impl Snapshot {
+    /// Component-wise difference (`self - earlier`), saturating at zero.
+    pub fn since(&self, earlier: &Snapshot) -> Snapshot {
+        Snapshot {
+            pwb: self.pwb.saturating_sub(earlier.pwb),
+            pbarrier: self.pbarrier.saturating_sub(earlier.pbarrier),
+            pbarrier_lines: self.pbarrier_lines.saturating_sub(earlier.pbarrier_lines),
+            pfence: self.pfence.saturating_sub(earlier.pfence),
+            psync: self.psync.saturating_sub(earlier.psync),
+        }
+    }
+}
+
+/// Sums every process's counters.
+pub fn snapshot() -> Snapshot {
+    let mut s = Snapshot::default();
+    for slot in &table().slots {
+        s.pwb += slot.pwb.load(Relaxed);
+        s.pbarrier += slot.pbarrier.load(Relaxed);
+        s.pbarrier_lines += slot.pbarrier_lines.load(Relaxed);
+        s.pfence += slot.pfence.load(Relaxed);
+        s.psync += slot.psync.load(Relaxed);
+    }
+    s
+}
+
+/// Resets every counter to zero. Only call while no instrumented threads run.
+pub fn reset() {
+    for slot in &table().slots {
+        slot.pwb.store(0, Relaxed);
+        slot.pbarrier.store(0, Relaxed);
+        slot.pbarrier_lines.store(0, Relaxed);
+        slot.pfence.store(0, Relaxed);
+        slot.psync.store(0, Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_diff() {
+        tid::set_tid(0);
+        let before = snapshot();
+        count_pwb(2);
+        count_pbarrier(3);
+        count_pfence();
+        count_psync();
+        count_psync();
+        let d = snapshot().since(&before);
+        assert_eq!(d.pwb, 2);
+        assert_eq!(d.pbarrier, 1);
+        assert_eq!(d.pbarrier_lines, 3);
+        assert_eq!(d.pfence, 1);
+        assert_eq!(d.psync, 2);
+    }
+
+    #[test]
+    fn counters_sum_across_threads() {
+        let before = snapshot();
+        let hs: Vec<_> = (1..4)
+            .map(|i| {
+                std::thread::spawn(move || {
+                    tid::set_tid(i);
+                    count_pwb(1);
+                    count_pbarrier(1);
+                })
+            })
+            .collect();
+        for h in hs {
+            h.join().unwrap();
+        }
+        let d = snapshot().since(&before);
+        assert_eq!(d.pwb, 3);
+        assert_eq!(d.pbarrier, 3);
+    }
+}

@@ -1,0 +1,73 @@
+//! Process (thread) identifiers.
+//!
+//! The paper's model is a fixed set of asynchronous crash-prone processes
+//! `q ∈ {0..N-1}`; per-process persistent variables (`RD_q`, `CP_q`),
+//! statistics slots and reclamation slots are indexed by this id. A crashed
+//! process is *resurrected* with the same id, which the test harness models
+//! by spawning a fresh OS thread and assigning it the dead thread's id.
+
+use crate::MAX_PROCS;
+use std::cell::Cell;
+
+thread_local! {
+    static TID: Cell<usize> = const { Cell::new(usize::MAX) };
+}
+
+/// Registers the calling OS thread as process `t`.
+///
+/// # Panics
+/// If `t >= MAX_PROCS`.
+pub fn set_tid(t: usize) {
+    assert!(t < MAX_PROCS, "process id {t} out of range (< {MAX_PROCS})");
+    TID.with(|c| c.set(t));
+}
+
+/// The calling thread's process id.
+///
+/// # Panics
+/// If the thread was never registered with [`set_tid`].
+#[inline]
+pub fn tid() -> usize {
+    let t = TID.with(|c| c.get());
+    debug_assert!(t != usize::MAX, "thread not registered: call nvm::tid::set_tid first");
+    if t == usize::MAX {
+        panic!("thread not registered: call nvm::tid::set_tid first");
+    }
+    t
+}
+
+/// The calling thread's process id, if registered.
+#[inline]
+pub fn try_tid() -> Option<usize> {
+    let t = TID.with(|c| c.get());
+    (t != usize::MAX).then_some(t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_and_read() {
+        set_tid(3);
+        assert_eq!(tid(), 3);
+        assert_eq!(try_tid(), Some(3));
+        set_tid(5);
+        assert_eq!(tid(), 5);
+    }
+
+    #[test]
+    fn unregistered_thread_has_no_tid() {
+        std::thread::spawn(|| {
+            assert_eq!(try_tid(), None);
+        })
+        .join()
+        .unwrap();
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_tid_panics() {
+        set_tid(MAX_PROCS);
+    }
+}

@@ -1,0 +1,463 @@
+//! # `reclaim` — epoch-based memory reclamation (EBR)
+//!
+//! The paper's implementations "rely on garbage collectors that correctly
+//! recycle memory once it becomes unreachable" (Section 7). Rust has no GC,
+//! so this crate provides the substrate: a classic three-epoch EBR scheme
+//! with per-process (padded) slots, per-process limbo bags and a global
+//! epoch.
+//!
+//! * A thread **pins** ([`Collector::pin`]) before traversing a structure and
+//!   holds the [`Guard`] for the duration of one operation attempt. Pins are
+//!   re-entrant.
+//! * Unreachable objects are **retired** ([`Guard::retire_box`] /
+//!   [`Guard::retire_with`]); they are freed only after every thread pinned
+//!   at retirement time has unpinned (two global epoch advances).
+//! * A [`Collector`] can be created **disabled** ([`Collector::disabled`]):
+//!   pins become no-ops and retired objects are kept until the collector is
+//!   dropped. This is the defined behaviour of crash-simulation runs — a
+//!   crash must not free anything, because recovery code may still inspect
+//!   it (recoverable memory managers are future work in the paper, too).
+//!
+//! Each data structure owns its own `Collector`, so a stalled thread in one
+//! structure never blocks reclamation in another.
+
+#![warn(missing_docs)]
+
+use nvm::pad::CachePadded;
+use nvm::tid;
+use nvm::MAX_PROCS;
+use std::cell::UnsafeCell;
+use std::sync::atomic::AtomicU64;
+use std::sync::atomic::Ordering::SeqCst;
+use std::sync::Mutex;
+
+/// A deferred deallocation.
+struct Garbage {
+    ptr: *mut u8,
+    drop_fn: unsafe fn(*mut u8),
+}
+
+unsafe impl Send for Garbage {}
+
+impl Garbage {
+    unsafe fn free(self) {
+        unsafe { (self.drop_fn)(self.ptr) };
+    }
+}
+
+unsafe fn drop_box<T>(p: *mut u8) {
+    drop(unsafe { Box::from_raw(p as *mut T) });
+}
+
+const UNPINNED: u64 = 0;
+const GENS: usize = 3;
+/// How many pins between attempts to advance the global epoch.
+const ADVANCE_PERIOD: u64 = 64;
+
+/// Thread-private reclamation state (owned exclusively by the slot's thread).
+struct Bags {
+    depth: u32,
+    pin_epoch: u64,
+    pins: u64,
+    bags: [Vec<Garbage>; GENS],
+    bag_epochs: [u64; GENS],
+}
+
+impl Default for Bags {
+    fn default() -> Self {
+        Self {
+            depth: 0,
+            pin_epoch: 0,
+            pins: 0,
+            bags: Default::default(),
+            bag_epochs: [u64::MAX; GENS],
+        }
+    }
+}
+
+#[derive(Default)]
+struct Slot {
+    /// `(epoch << 1) | 1` while pinned; [`UNPINNED`] otherwise.
+    state: AtomicU64,
+    bags: UnsafeCell<Bags>,
+}
+
+unsafe impl Sync for Slot {}
+
+/// An epoch-based garbage collector (see crate docs).
+pub struct Collector {
+    global: CachePadded<AtomicU64>,
+    slots: Vec<CachePadded<Slot>>,
+    enabled: bool,
+    /// Retired-but-never-freed garbage in disabled mode (freed on drop).
+    parked: Mutex<Vec<Garbage>>,
+}
+
+unsafe impl Send for Collector {}
+unsafe impl Sync for Collector {}
+
+impl Default for Collector {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Collector {
+    /// A collector that actually reclaims memory.
+    pub fn new() -> Self {
+        Self::with_mode(true)
+    }
+
+    /// A collector whose `retire`s are parked until drop (crash-sim mode).
+    pub fn disabled() -> Self {
+        Self::with_mode(false)
+    }
+
+    fn with_mode(enabled: bool) -> Self {
+        Self {
+            global: CachePadded::new(AtomicU64::new(1)),
+            slots: (0..MAX_PROCS).map(|_| CachePadded::new(Slot::default())).collect(),
+            enabled,
+            parked: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Whether this collector actually frees memory.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Pins the calling thread; reclamation of anything retired afterwards
+    /// is deferred until the returned guard (and any nested guards) drop.
+    pub fn pin(&self) -> Guard<'_> {
+        let pid = tid::tid();
+        if !self.enabled {
+            return Guard { c: self, pid, active: false };
+        }
+        let slot = &self.slots[pid];
+        // SAFETY: `bags` is only touched by the thread owning slot `pid`.
+        let bags = unsafe { &mut *slot.bags.get() };
+        bags.depth += 1;
+        if bags.depth > 1 {
+            return Guard { c: self, pid, active: true };
+        }
+        let mut epoch = self.global.load(SeqCst);
+        loop {
+            slot.state.store((epoch << 1) | 1, SeqCst);
+            let now = self.global.load(SeqCst);
+            if now == epoch {
+                break;
+            }
+            epoch = now;
+        }
+        bags.pin_epoch = epoch;
+        bags.pins += 1;
+        self.collect(bags, epoch);
+        if bags.pins % ADVANCE_PERIOD == 0 {
+            self.try_advance(epoch);
+        }
+        Guard { c: self, pid, active: true }
+    }
+
+    /// Frees bags at least two epochs old.
+    fn collect(&self, bags: &mut Bags, epoch: u64) {
+        for i in 0..GENS {
+            let e = bags.bag_epochs[i];
+            if e != u64::MAX && epoch >= e + 2 && !bags.bags[i].is_empty() {
+                for g in bags.bags[i].drain(..) {
+                    // SAFETY: retired in epoch e, and every thread pinned at
+                    // that time has since unpinned (global advanced by ≥2).
+                    unsafe { g.free() };
+                }
+                bags.bag_epochs[i] = u64::MAX;
+            }
+        }
+    }
+
+    fn try_advance(&self, epoch: u64) {
+        for slot in &self.slots {
+            let s = slot.state.load(SeqCst);
+            if s != UNPINNED && (s >> 1) != epoch {
+                return;
+            }
+        }
+        let _ = self.global.compare_exchange(epoch, epoch + 1, SeqCst, SeqCst);
+    }
+
+    fn unpin(&self, pid: usize) {
+        let slot = &self.slots[pid];
+        // SAFETY: slot owner.
+        let bags = unsafe { &mut *slot.bags.get() };
+        debug_assert!(bags.depth > 0);
+        bags.depth -= 1;
+        if bags.depth == 0 {
+            slot.state.store(UNPINNED, SeqCst);
+        }
+    }
+
+    fn retire_raw(&self, pid: usize, g: Garbage) {
+        if !self.enabled {
+            self.parked.lock().unwrap().push(g);
+            return;
+        }
+        let slot = &self.slots[pid];
+        // SAFETY: slot owner; retire is only legal while pinned.
+        let bags = unsafe { &mut *slot.bags.get() };
+        debug_assert!(bags.depth > 0, "retire outside of a pin");
+        let e = bags.pin_epoch;
+        let idx = (e % GENS as u64) as usize;
+        if bags.bag_epochs[idx] != e {
+            // The slot cycled to a new epoch: its old content is ≥3 epochs old.
+            for old in bags.bags[idx].drain(..) {
+                unsafe { old.free() };
+            }
+            bags.bag_epochs[idx] = e;
+        }
+        bags.bags[idx].push(g);
+    }
+
+    /// Takes ownership of all *parked* garbage (disabled mode). Used by
+    /// structure teardown after a simulated crash: the crash image may have
+    /// rolled pointers back, resurrecting reachability to retired objects,
+    /// so the structure must free the union of {reachable} ∪ {parked}
+    /// deduplicated by address rather than let both sides free separately.
+    ///
+    /// Returns `(address, drop_fn)` pairs; the caller becomes responsible
+    /// for freeing each address exactly once.
+    pub fn take_parked(&mut self) -> Vec<(*mut u8, unsafe fn(*mut u8))> {
+        self.parked
+            .get_mut()
+            .unwrap_or_else(|e| e.into_inner())
+            .drain(..)
+            .map(|g| (g.ptr, g.drop_fn))
+            .collect()
+    }
+
+    /// Number of objects currently awaiting reclamation (diagnostics only;
+    /// racy when other threads are active).
+    pub fn pending(&self) -> usize {
+        let parked = self.parked.lock().unwrap().len();
+        let mut n = parked;
+        for slot in &self.slots {
+            let bags = unsafe { &*slot.bags.get() };
+            n += bags.bags.iter().map(Vec::len).sum::<usize>();
+        }
+        n
+    }
+}
+
+impl Drop for Collector {
+    fn drop(&mut self) {
+        for slot in &self.slots {
+            let bags = unsafe { &mut *slot.bags.get() };
+            for bag in &mut bags.bags {
+                for g in bag.drain(..) {
+                    unsafe { g.free() };
+                }
+            }
+        }
+        for g in self.parked.get_mut().unwrap().drain(..) {
+            unsafe { g.free() };
+        }
+    }
+}
+
+/// RAII pin token; see [`Collector::pin`].
+pub struct Guard<'c> {
+    c: &'c Collector,
+    pid: usize,
+    active: bool,
+}
+
+impl Guard<'_> {
+    /// Defers deallocation of `ptr` (a `Box::into_raw` allocation) until no
+    /// pinned thread can still hold a reference.
+    ///
+    /// # Safety
+    /// `ptr` must be a valid `Box<T>` allocation, unreachable to any thread
+    /// that pins after this call, and retired exactly once.
+    pub unsafe fn retire_box<T>(&self, ptr: *mut T) {
+        self.c.retire_raw(self.pid, Garbage { ptr: ptr as *mut u8, drop_fn: drop_box::<T> });
+    }
+
+    /// Defers an arbitrary reclamation action (same contract as
+    /// [`Guard::retire_box`]; `drop_fn` runs on the retiring thread later).
+    ///
+    /// # Safety
+    /// See [`Guard::retire_box`]; additionally `drop_fn(ptr)` must be safe to
+    /// call once `ptr` is unreachable.
+    pub unsafe fn retire_with(&self, ptr: *mut u8, drop_fn: unsafe fn(*mut u8)) {
+        self.c.retire_raw(self.pid, Garbage { ptr, drop_fn });
+    }
+}
+
+impl Drop for Guard<'_> {
+    fn drop(&mut self) {
+        if self.active {
+            self.c.unpin(self.pid);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering::Relaxed};
+    use std::sync::Arc;
+
+    struct Tracked(Arc<AtomicUsize>);
+    impl Drop for Tracked {
+        fn drop(&mut self) {
+            self.0.fetch_add(1, Relaxed);
+        }
+    }
+
+    fn churn(c: &Collector, rounds: usize, drops: &Arc<AtomicUsize>) {
+        for _ in 0..rounds {
+            let g = c.pin();
+            let p = Box::into_raw(Box::new(Tracked(Arc::clone(drops))));
+            unsafe { g.retire_box(p) };
+        }
+    }
+
+    #[test]
+    fn retired_objects_eventually_free() {
+        tid::set_tid(0);
+        let drops = Arc::new(AtomicUsize::new(0));
+        let c = Collector::new();
+        churn(&c, 1000, &drops);
+        drop(c);
+        assert_eq!(drops.load(Relaxed), 1000);
+    }
+
+    #[test]
+    fn progress_frees_before_drop() {
+        tid::set_tid(0);
+        let drops = Arc::new(AtomicUsize::new(0));
+        let c = Collector::new();
+        churn(&c, 10_000, &drops);
+        // Single thread, epoch advances every ADVANCE_PERIOD pins: almost
+        // everything must already be free before collector drop.
+        assert!(drops.load(Relaxed) > 9_000, "only {} freed", drops.load(Relaxed));
+        drop(c);
+        assert_eq!(drops.load(Relaxed), 10_000);
+    }
+
+    #[test]
+    fn disabled_collector_parks_until_drop() {
+        tid::set_tid(0);
+        let drops = Arc::new(AtomicUsize::new(0));
+        let c = Collector::disabled();
+        churn(&c, 100, &drops);
+        assert_eq!(drops.load(Relaxed), 0);
+        assert_eq!(c.pending(), 100);
+        drop(c);
+        assert_eq!(drops.load(Relaxed), 100);
+    }
+
+    #[test]
+    fn nested_pins_are_reentrant() {
+        tid::set_tid(0);
+        let drops = Arc::new(AtomicUsize::new(0));
+        let c = Collector::new();
+        let g1 = c.pin();
+        let g2 = c.pin();
+        let p = Box::into_raw(Box::new(Tracked(Arc::clone(&drops))));
+        unsafe { g2.retire_box(p) };
+        drop(g2);
+        drop(g1);
+        churn(&c, 500, &drops); // force epochs forward; must not double-free
+        drop(c);
+        assert_eq!(drops.load(Relaxed), 501);
+    }
+
+    #[test]
+    fn pinned_reader_blocks_reclamation() {
+        let freed = Arc::new(AtomicUsize::new(0));
+        let c = Arc::new(Collector::new());
+
+        struct Flag(Arc<AtomicUsize>);
+        impl Drop for Flag {
+            fn drop(&mut self) {
+                self.0.fetch_add(1, Relaxed);
+            }
+        }
+
+        // Reader thread: pins and holds.
+        let c2 = Arc::clone(&c);
+        let hold = Arc::new(AtomicUsize::new(0));
+        let hold2 = Arc::clone(&hold);
+        let reader = std::thread::spawn(move || {
+            tid::set_tid(1);
+            let g = c2.pin();
+            hold2.store(1, Relaxed);
+            while hold2.load(Relaxed) != 2 {
+                std::hint::spin_loop();
+            }
+            drop(g);
+        });
+        while hold.load(Relaxed) != 1 {
+            std::hint::spin_loop();
+        }
+
+        // Writer: retire an object *after* the reader pinned, then churn.
+        let c3 = Arc::clone(&c);
+        let freed2 = Arc::clone(&freed);
+        let writer = std::thread::spawn(move || {
+            tid::set_tid(2);
+            {
+                let g = c3.pin();
+                let p = Box::into_raw(Box::new(Flag(freed2)));
+                unsafe { g.retire_box(p) };
+            }
+            for _ in 0..1000 {
+                drop(c3.pin());
+            }
+        });
+        writer.join().unwrap();
+        assert_eq!(freed.load(Relaxed), 0, "freed while a pre-retirement reader is pinned");
+
+        hold.store(2, Relaxed);
+        reader.join().unwrap();
+        // Churn on the retiring slot until the flag is freed.
+        for _ in 0..10 {
+            std::thread::spawn({
+                let c = Arc::clone(&c);
+                move || {
+                    tid::set_tid(2);
+                    for _ in 0..1000 {
+                        drop(c.pin());
+                    }
+                }
+            })
+            .join()
+            .unwrap();
+            if freed.load(Relaxed) == 1 {
+                break;
+            }
+        }
+        assert_eq!(freed.load(Relaxed), 1, "object never freed after reader unpinned");
+    }
+
+    #[test]
+    fn concurrent_churn_is_sound() {
+        let c = Arc::new(Collector::new());
+        let drops = Arc::new(AtomicUsize::new(0));
+        let total: usize = 4 * 2000;
+        let hs: Vec<_> = (0..4)
+            .map(|i| {
+                let c = Arc::clone(&c);
+                let drops = Arc::clone(&drops);
+                std::thread::spawn(move || {
+                    tid::set_tid(10 + i);
+                    churn(&c, 2000, &drops);
+                })
+            })
+            .collect();
+        for h in hs {
+            h.join().unwrap();
+        }
+        drop(c);
+        assert_eq!(drops.load(Relaxed), total);
+    }
+}

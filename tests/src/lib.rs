@@ -1,0 +1,1 @@
+//! Integration-test helpers (see tests/).

@@ -1,0 +1,92 @@
+//! Crash-recovery integration tests: seeded system-wide crashes over the
+//! NVM simulator, adversarial image reconstruction, per-process recovery,
+//! and exactly-once / detectability validation (DESIGN.md §8).
+
+use bench_harness::crash::{run_list_scenario, run_queue_scenario, CrashCfg};
+
+#[test]
+fn list_survives_many_seeded_crashes() {
+    let mut total_pending = 0;
+    for seed in 0..40 {
+        let rep = run_list_scenario(CrashCfg {
+            procs: 3,
+            ops_per_proc: 80,
+            keys_per_proc: 10,
+            recovery_crashes: 0,
+            seed,
+        });
+        total_pending += rep.pending;
+    }
+    // Across 40 seeds, at least some crashes must have landed mid-operation,
+    // otherwise the test exercises nothing.
+    assert!(total_pending > 0, "no crash ever landed mid-operation; harness broken");
+}
+
+#[test]
+fn list_survives_repeated_recovery_crashes() {
+    for seed in 100..115 {
+        run_list_scenario(CrashCfg {
+            procs: 3,
+            ops_per_proc: 60,
+            keys_per_proc: 8,
+            recovery_crashes: 2, // recovery itself dies twice before completing
+            seed,
+        });
+    }
+}
+
+#[test]
+fn list_high_contention_crashes() {
+    // Tiny key space per process ⇒ many adjacent-node conflicts and helping.
+    for seed in 200..220 {
+        run_list_scenario(CrashCfg {
+            procs: 4,
+            ops_per_proc: 100,
+            keys_per_proc: 3,
+            recovery_crashes: 1,
+            seed,
+        });
+    }
+}
+
+#[test]
+fn queue_survives_many_seeded_crashes() {
+    let mut total = 0;
+    for seed in 0..40 {
+        let rep = run_queue_scenario(CrashCfg {
+            procs: 4,
+            ops_per_proc: 60,
+            keys_per_proc: 16, // prefill
+            recovery_crashes: 0,
+            seed,
+        });
+        total += rep.completed;
+    }
+    assert!(total > 0);
+}
+
+#[test]
+fn bst_survives_many_seeded_crashes() {
+    for seed in 0..25 {
+        bench_harness::crash::run_bst_scenario(CrashCfg {
+            procs: 3,
+            ops_per_proc: 80,
+            keys_per_proc: 8,
+            recovery_crashes: 0,
+            seed,
+        });
+    }
+}
+
+#[test]
+fn bst_survives_repeated_recovery_crashes() {
+    for seed in 500..510 {
+        bench_harness::crash::run_bst_scenario(CrashCfg {
+            procs: 3,
+            ops_per_proc: 60,
+            keys_per_proc: 6,
+            recovery_crashes: 2,
+            seed,
+        });
+    }
+}

@@ -1,0 +1,191 @@
+//! Cross-implementation equivalence: every set implementation (ISB list in
+//! both tunings, ISB BST, Harris, DT, capsules in both variants) must give
+//! identical responses on identical operation sequences — and equal the
+//! `BTreeSet` model.
+
+use nvm::CountingNvm;
+use rand::{Rng, SeedableRng};
+
+type M = CountingNvm;
+
+enum Op {
+    Ins(u64),
+    Del(u64),
+    Fnd(u64),
+}
+
+fn op_stream(seed: u64, n: usize, keys: u64) -> Vec<Op> {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let k = rng.gen_range(1..=keys);
+            match rng.gen_range(0..3) {
+                0 => Op::Ins(k),
+                1 => Op::Del(k),
+                _ => Op::Fnd(k),
+            }
+        })
+        .collect()
+}
+
+fn run_all(ops: &[Op]) -> Vec<Vec<bool>> {
+    nvm::tid::set_tid(0);
+    let isb_list = isb::list::RList::<M, false>::new();
+    let isb_opt = isb::list::RList::<M, true>::new();
+    let isb_bst = isb::bst::RBst::<M, false>::new();
+    let harris = baselines::harris::HarrisList::<M>::new();
+    let dt = baselines::dt_list::DtList::<M>::new();
+    let caps = baselines::capsules_list::CapsulesList::<M, false>::new();
+    let caps_opt = baselines::capsules_list::CapsulesList::<M, true>::new();
+    let mut model = std::collections::BTreeSet::new();
+
+    let mut results: Vec<Vec<bool>> = vec![Vec::new(); 8];
+    for op in ops {
+        let rs: [bool; 8] = match *op {
+            Op::Ins(k) => [
+                isb_list.insert(0, k),
+                isb_opt.insert(0, k),
+                isb_bst.insert(0, k),
+                harris.insert(0, k),
+                dt.insert(0, k),
+                caps.insert(0, k),
+                caps_opt.insert(0, k),
+                model.insert(k),
+            ],
+            Op::Del(k) => [
+                isb_list.delete(0, k),
+                isb_opt.delete(0, k),
+                isb_bst.delete(0, k),
+                harris.delete(0, k),
+                dt.delete(0, k),
+                caps.delete(0, k),
+                caps_opt.delete(0, k),
+                model.remove(&k),
+            ],
+            Op::Fnd(k) => [
+                isb_list.find(0, k),
+                isb_opt.find(0, k),
+                isb_bst.find(0, k),
+                harris.find(0, k),
+                dt.find(0, k),
+                caps.find(0, k),
+                caps_opt.find(0, k),
+                model.contains(&k),
+            ],
+        };
+        for (i, r) in rs.iter().enumerate() {
+            results[i].push(*r);
+        }
+    }
+    results
+}
+
+#[test]
+fn all_set_implementations_agree() {
+    let _gate = isb::counters::gate_shared();
+    for seed in [1u64, 7, 42, 1337] {
+        let ops = op_stream(seed, 800, 32);
+        let results = run_all(&ops);
+        let model = results.last().unwrap().clone();
+        let names =
+            ["Isb", "Isb-Opt", "Isb-BST", "Harris-LL", "DT-Opt", "Capsules", "Capsules-Opt"];
+        for (i, name) in names.iter().enumerate() {
+            assert_eq!(results[i], model, "{name} diverged from the model (seed {seed})");
+        }
+    }
+}
+
+#[test]
+fn persistence_modes_do_not_change_semantics() {
+    // The same op stream gives the same answers under every persistency model.
+    let _gate = isb::counters::gate_shared();
+    nvm::tid::set_tid(0);
+    let ops = op_stream(99, 600, 24);
+    let real = isb::list::RList::<nvm::RealNvm, false>::new();
+    let none = isb::list::RList::<nvm::NoPersist, false>::new();
+    let count = isb::list::RList::<CountingNvm, false>::new();
+    for op in &ops {
+        match *op {
+            Op::Ins(k) => {
+                let a = real.insert(0, k);
+                assert_eq!(a, none.insert(0, k));
+                assert_eq!(a, count.insert(0, k));
+            }
+            Op::Del(k) => {
+                let a = real.delete(0, k);
+                assert_eq!(a, none.delete(0, k));
+                assert_eq!(a, count.delete(0, k));
+            }
+            Op::Fnd(k) => {
+                let a = real.find(0, k);
+                assert_eq!(a, none.find(0, k));
+                assert_eq!(a, count.find(0, k));
+            }
+        }
+    }
+}
+
+#[test]
+fn queues_agree_on_random_streams() {
+    let _gate = isb::counters::gate_shared();
+    nvm::tid::set_tid(0);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+    let isb_q = isb::queue::RQueue::<M, false>::new();
+    let ms = baselines::ms_queue::MsQueue::<M>::new();
+    let log = baselines::log_queue::LogQueue::<M>::new();
+    let capsg = baselines::capsules_queue::CapsulesQueue::<M, false>::new();
+    let capsn = baselines::capsules_queue::CapsulesQueue::<M, true>::new();
+    let mut model = std::collections::VecDeque::new();
+    for i in 0..1500u64 {
+        if rng.gen_bool(0.55) {
+            isb_q.enqueue(0, i);
+            ms.enqueue(0, i);
+            log.enqueue(0, i);
+            capsg.enqueue(0, i);
+            capsn.enqueue(0, i);
+            model.push_back(i);
+        } else {
+            let want = model.pop_front();
+            assert_eq!(isb_q.dequeue(0), want, "isb");
+            assert_eq!(ms.dequeue(0), want, "ms");
+            assert_eq!(log.dequeue(0), want, "log");
+            assert_eq!(capsg.dequeue(0), want, "caps-general");
+            assert_eq!(capsn.dequeue(0), want, "caps-normal");
+        }
+    }
+}
+
+#[test]
+fn no_leaks_across_collection_cycles() {
+    let _gate = isb::counters::gate_exclusive();
+    nvm::tid::set_tid(0);
+    let nodes0 = isb::counters::live_nodes();
+    let infos0 = isb::counters::live_infos();
+    {
+        let list = isb::list::RList::<M, false>::new();
+        let bst = isb::bst::RBst::<M, false>::new();
+        let q = isb::queue::RQueue::<M, false>::new();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        for i in 0..4000u64 {
+            let k = rng.gen_range(1..64u64);
+            match rng.gen_range(0..4) {
+                0 => {
+                    list.insert(0, k);
+                    bst.insert(0, k);
+                }
+                1 => {
+                    list.delete(0, k);
+                    bst.delete(0, k);
+                }
+                2 => {
+                    q.enqueue(0, i);
+                }
+                _ => {
+                    q.dequeue(0);
+                }
+            }
+        }
+    }
+    assert_eq!(isb::counters::live_nodes(), nodes0, "node leak/double-free");
+    assert_eq!(isb::counters::live_infos(), infos0, "info leak/double-free");
+}

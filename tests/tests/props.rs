@@ -1,0 +1,128 @@
+//! Property-based tests (proptest): sequential equivalence against model
+//! collections under arbitrary operation sequences, and engine/result
+//! encoding invariants.
+
+use nvm::CountingNvm;
+use proptest::prelude::*;
+
+type M = CountingNvm;
+
+#[derive(Debug, Clone)]
+enum SetOp {
+    Ins(u64),
+    Del(u64),
+    Fnd(u64),
+}
+
+fn set_ops() -> impl Strategy<Value = Vec<SetOp>> {
+    prop::collection::vec(
+        (0..3u8, 1..20u64).prop_map(|(o, k)| match o {
+            0 => SetOp::Ins(k),
+            1 => SetOp::Del(k),
+            _ => SetOp::Fnd(k),
+        }),
+        0..120,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    #[test]
+    fn isb_list_equals_btreeset(ops in set_ops()) {
+        nvm::tid::set_tid(0);
+        let mut list = isb::list::RList::<M, false>::new();
+        let mut model = std::collections::BTreeSet::new();
+        for op in &ops {
+            match *op {
+                SetOp::Ins(k) => prop_assert_eq!(list.insert(0, k), model.insert(k)),
+                SetOp::Del(k) => prop_assert_eq!(list.delete(0, k), model.remove(&k)),
+                SetOp::Fnd(k) => prop_assert_eq!(list.find(0, k), model.contains(&k)),
+            }
+        }
+        prop_assert_eq!(list.snapshot_keys(), model.into_iter().collect::<Vec<_>>());
+        list.check_invariants();
+    }
+
+    #[test]
+    fn isb_bst_equals_btreeset(ops in set_ops()) {
+        nvm::tid::set_tid(0);
+        let mut bst = isb::bst::RBst::<M, true>::new();
+        let mut model = std::collections::BTreeSet::new();
+        for op in &ops {
+            match *op {
+                SetOp::Ins(k) => prop_assert_eq!(bst.insert(0, k), model.insert(k)),
+                SetOp::Del(k) => prop_assert_eq!(bst.delete(0, k), model.remove(&k)),
+                SetOp::Fnd(k) => prop_assert_eq!(bst.find(0, k), model.contains(&k)),
+            }
+        }
+        prop_assert_eq!(bst.snapshot_keys(), model.into_iter().collect::<Vec<_>>());
+        bst.check_invariants();
+    }
+
+    #[test]
+    fn isb_queue_equals_vecdeque(ops in prop::collection::vec((0..2u8, 0..1000u64), 0..150)) {
+        nvm::tid::set_tid(0);
+        let mut q = isb::queue::RQueue::<M, false>::new();
+        let mut model = std::collections::VecDeque::new();
+        for &(o, v) in &ops {
+            if o == 0 {
+                q.enqueue(0, v);
+                model.push_back(v);
+            } else {
+                prop_assert_eq!(q.dequeue(0), model.pop_front());
+            }
+        }
+        prop_assert_eq!(q.snapshot_vals(), model.into_iter().collect::<Vec<_>>());
+        q.check_invariants();
+    }
+
+    #[test]
+    fn stack_equals_vec(ops in prop::collection::vec((0..2u8, 0..1000u64), 0..150)) {
+        nvm::tid::set_tid(0);
+        let s = isb::stack::RStack::<M>::new();
+        let mut model = Vec::new();
+        for &(o, v) in &ops {
+            if o == 0 {
+                s.push(0, v);
+                model.push(v);
+            } else {
+                prop_assert_eq!(s.pop(0), model.pop());
+            }
+        }
+    }
+
+    #[test]
+    fn tagging_roundtrips(p in any::<u64>()) {
+        let p = p & !1; // aligned pointer-like value
+        prop_assert_eq!(isb::tag::untagged(isb::tag::tagged(p)), p);
+        prop_assert!(isb::tag::is_tagged(isb::tag::tagged(p)));
+        prop_assert!(!isb::tag::is_tagged(p));
+    }
+
+    #[test]
+    fn result_value_encoding_roundtrips(v in 0..(u64::MAX - 16)) {
+        let enc = isb::engine::res_val(v);
+        prop_assert_eq!(isb::engine::val_of(enc), v);
+        prop_assert!(enc != isb::engine::RES_BOT);
+        prop_assert!(enc != isb::engine::RES_EMPTY);
+        prop_assert!(enc != isb::engine::RES_TRUE);
+        prop_assert!(enc != isb::engine::RES_FALSE);
+    }
+
+    #[test]
+    fn rcas_stamp_packing_roundtrips(val in 0u64..(1<<48), pid in 0usize..64, seq in 0u64..1024) {
+        let w = baselines::rcas::pack(val, pid, seq);
+        prop_assert_eq!(baselines::rcas::val_part(w), val);
+        prop_assert_eq!(baselines::rcas::owner(w), (pid, seq));
+    }
+
+    #[test]
+    fn dt_mark_packing_roundtrips(p in any::<u64>(), pid in 0usize..64) {
+        let p = p & 0x0000_FFFF_FFFF_FFF8;
+        let m = baselines::util::marked(p, pid);
+        prop_assert!(baselines::util::is_marked(m));
+        prop_assert_eq!(baselines::util::ptr_of(m), p);
+        prop_assert_eq!(baselines::util::stamp_of(m), pid);
+    }
+}
