@@ -152,7 +152,12 @@ impl<M: Persist, const OPT: bool> CapsulesList<M, OPT> {
 
     /// Generator capsule: Harris search. Returns `(pred, curr, pred_next_w)`
     /// where `pred_next_w` is the exact stamped word read from `pred.next`.
-    unsafe fn search(&self, pid: usize, key: u64, g: &Guard<'_>) -> (*mut Node<M>, *mut Node<M>, u64) {
+    unsafe fn search(
+        &self,
+        pid: usize,
+        key: u64,
+        g: &Guard<'_>,
+    ) -> (*mut Node<M>, *mut Node<M>, u64) {
         unsafe {
             'retry: loop {
                 let mut pred = self.head;
@@ -166,8 +171,7 @@ impl<M: Persist, const OPT: bool> CapsulesList<M, OPT> {
                             M::pbarrier(&(*curr).next);
                         }
                         let seq = self.bump_seq(pid);
-                        let res =
-                            self.ctx.rcas(&(*pred).next, pred_w, ptr_of(succ_w), pid, seq);
+                        let res = self.ctx.rcas(&(*pred).next, pred_w, ptr_of(succ_w), pid, seq);
                         if res != pred_w {
                             continue 'retry;
                         }
@@ -336,9 +340,23 @@ mod tests {
         let o = Opt::new();
         for which in 0..2 {
             let (i1, i2, f1, d1, d2, f2) = if which == 0 {
-                (g.insert(0, 5), g.insert(0, 5), g.find(0, 5), g.delete(0, 5), g.delete(0, 5), g.find(0, 5))
+                (
+                    g.insert(0, 5),
+                    g.insert(0, 5),
+                    g.find(0, 5),
+                    g.delete(0, 5),
+                    g.delete(0, 5),
+                    g.find(0, 5),
+                )
             } else {
-                (o.insert(0, 5), o.insert(0, 5), o.find(0, 5), o.delete(0, 5), o.delete(0, 5), o.find(0, 5))
+                (
+                    o.insert(0, 5),
+                    o.insert(0, 5),
+                    o.find(0, 5),
+                    o.delete(0, 5),
+                    o.delete(0, 5),
+                    o.find(0, 5),
+                )
             };
             assert!(i1);
             assert!(!i2, "duplicate insert");

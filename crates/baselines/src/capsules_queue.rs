@@ -204,10 +204,12 @@ impl<M: Persist, const NORMALIZED: bool> CapsulesQueue<M, NORMALIZED> {
             return None;
         }
         let seq = c.seq.load();
-        Some(self.ctx.detect(&self.head, pid, seq) || {
-            let a = c.a.load() as *const Node<M>;
-            !a.is_null() && unsafe { self.ctx.detect(&(*a).next, pid, seq) }
-        })
+        Some(
+            self.ctx.detect(&self.head, pid, seq) || {
+                let a = c.a.load() as *const Node<M>;
+                !a.is_null() && unsafe { self.ctx.detect(&(*a).next, pid, seq) }
+            },
+        )
     }
 
     /// Quiescent snapshot.

@@ -338,7 +338,8 @@ mod tests {
         let l = L::new();
         l.insert(0, 5);
         l.insert(0, 7);
-        assert!(l.delete(3, 5) | true); // pid 3 wins the mark
+        // pid 3 wins the mark
+        assert!(l.delete(3, 5) | true);
         // Simulate "crash before result persisted": clear the result and ask.
         let a = l.ann.get(3);
         a.result.store(u64::MAX);

@@ -81,9 +81,7 @@ fn bench_stack(c: &mut Criterion) {
                 h.join().unwrap();
             }
             let total_ops = 2 * 2 * ops_per_thread;
-            Duration::from_secs_f64(
-                start.elapsed().as_secs_f64() / total_ops as f64 * iters as f64,
-            )
+            Duration::from_secs_f64(start.elapsed().as_secs_f64() / total_ops as f64 * iters as f64)
         })
     });
     g.finish();

@@ -16,7 +16,13 @@ fn time_per_op<B: SetBench + 'static>(s: Arc<B>, mix: Mix, range: u64, iters: u6
     prefill_set(&*s, range, 7);
     let r = run_set(
         s,
-        SetCfg { threads: 2, key_range: range, mix, duration: Duration::from_millis(120), seed: 42 },
+        SetCfg {
+            threads: 2,
+            key_range: range,
+            mix,
+            duration: Duration::from_millis(120),
+            seed: 42,
+        },
     );
     Duration::from_secs_f64(r.elapsed.as_secs_f64() / r.ops.max(1) as f64 * iters as f64)
 }
@@ -28,10 +34,14 @@ fn bench(c: &mut Criterion) {
         let mut g = c.benchmark_group(format!("fig1_list_{label}_range500"));
         g.sample_size(10);
         g.bench_function(BenchmarkId::from_parameter("Isb"), |b| {
-            b.iter_custom(|iters| time_per_op(Arc::new(RList::<RealNvm, false>::new()), mix, 500, iters))
+            b.iter_custom(|iters| {
+                time_per_op(Arc::new(RList::<RealNvm, false>::new()), mix, 500, iters)
+            })
         });
         g.bench_function(BenchmarkId::from_parameter("Isb-Opt"), |b| {
-            b.iter_custom(|iters| time_per_op(Arc::new(RList::<RealNvm, true>::new()), mix, 500, iters))
+            b.iter_custom(|iters| {
+                time_per_op(Arc::new(RList::<RealNvm, true>::new()), mix, 500, iters)
+            })
         });
         g.bench_function(BenchmarkId::from_parameter("Capsules-Opt"), |b| {
             b.iter_custom(|iters| {

@@ -29,10 +29,12 @@ fn counted_run<B: SetBench + 'static + ?Sized>(s: Arc<B>, range: u64) -> (f64, f
     (r.barriers_per_op(), r.flushes_per_op())
 }
 
+type AlgoFactory = Box<dyn Fn() -> Arc<dyn SetBench>>;
+
 fn bench(c: &mut Criterion) {
     // Print the paper-figure counters once per algorithm, then benchmark the
     // counting-mode run itself (its cost ≈ algorithmic cost minus flushes).
-    let algos: Vec<(&str, Box<dyn Fn() -> Arc<dyn SetBench>>)> = vec![
+    let algos: Vec<(&str, AlgoFactory)> = vec![
         ("Isb", Box::new(|| Arc::new(RList::<CountingNvm, false>::new()))),
         ("Isb-Opt", Box::new(|| Arc::new(RList::<CountingNvm, true>::new()))),
         ("Capsules-Opt", Box::new(|| Arc::new(CapsulesList::<CountingNvm, true>::new()))),
@@ -59,7 +61,9 @@ fn bench(c: &mut Criterion) {
                         seed: 42,
                     },
                 );
-                Duration::from_secs_f64(r.elapsed.as_secs_f64() / r.ops.max(1) as f64 * iters as f64)
+                Duration::from_secs_f64(
+                    r.elapsed.as_secs_f64() / r.ops.max(1) as f64 * iters as f64,
+                )
             })
         });
     }

@@ -13,7 +13,10 @@ use std::sync::Arc;
 use std::time::Duration;
 
 fn time_per_op<B: QueueBench + 'static>(q: Arc<B>, iters: u64) -> Duration {
-    let r = run_queue(q, QueueCfg { threads: 2, prefill: 20_000, duration: Duration::from_millis(100) });
+    let r = run_queue(
+        q,
+        QueueCfg { threads: 2, prefill: 20_000, duration: Duration::from_millis(100) },
+    );
     Duration::from_secs_f64(r.elapsed.as_secs_f64() / r.ops.max(1) as f64 * iters as f64)
 }
 

@@ -68,7 +68,9 @@ fn parse_args() -> Opts {
             }
             "--out" => out = Some(args.next().expect("--out dir")),
             "--help" | "-h" => {
-                println!("figures [--all|--fig id]* [--paper] [--threads l] [--dur-ms n] [--out dir]");
+                println!(
+                    "figures [--all|--fig id]* [--paper] [--threads l] [--dur-ms n] [--out dir]"
+                );
                 std::process::exit(0);
             }
             other => panic!("unknown argument {other}"),
@@ -187,7 +189,9 @@ impl Ctx {
         {
             for range in [500u64, 1500] {
                 let mut t = Table::new(
-                    format!("Figure 4: private-cache throughput, {label} (Mops/s; keys [1,{range}])"),
+                    format!(
+                        "Figure 4: private-cache throughput, {label} (Mops/s; keys [1,{range}])"
+                    ),
                     PRIVATE_LIST_ALGOS.iter().map(|s| s.to_string()).collect(),
                 );
                 for &n in &self.threads {
@@ -251,6 +255,11 @@ impl Ctx {
 
 fn main() {
     let opts = parse_args();
+    println!(
+        "pwb/psync in RealNvm: {} (shared-cache figures are only comparable \
+         to the paper's when real flushes are compiled in)",
+        if nvm::flush::HAS_REAL_FLUSH { "clflush/mfence" } else { "spin-delay fallback" }
+    );
     let ctx = Ctx {
         threads: opts.threads,
         dur: opts.dur,

@@ -20,7 +20,14 @@
 //!    and the final structure must match the models' union.
 //!
 //! Scenarios are fully seeded; every failure report includes the seed.
+//!
+//! Set-shaped structures (list, BST, and anything added later) share one
+//! generic driver, [`run_set_scenario`], parameterised by the
+//! [`RecoverableSet`] view; recovery decisions stay inside each structure's
+//! `recover_*` methods (which wrap `isb::recovery::op_recover`) — the
+//! harness only re-invokes them, exactly like the paper's system model.
 
+use isb::bst::RBst;
 use isb::list::RList;
 use isb::queue::RQueue;
 use nvm::sim;
@@ -92,55 +99,131 @@ impl Rng {
 }
 
 // ---------------------------------------------------------------------------
-// List scenario
+// Set scenarios (list, BST)
 // ---------------------------------------------------------------------------
 
+/// Uniform crash-scenario view of a detectably recoverable set.
+///
+/// The harness only needs the set API, the matching `recover_*` entry points
+/// (re-invoked with the same arguments after a crash, per the paper's system
+/// model), and quiescent snapshot/invariant hooks for validation.
+pub trait RecoverableSet: Send + Sync + 'static {
+    /// Structure name used in failure reports.
+    const NAME: &'static str;
+
+    /// Fresh instance whose collector is disabled (a crash must not free
+    /// memory — recovery may still inspect retired nodes).
+    fn build_for_crash() -> Self;
+
+    /// Insert `k`; false if present.
+    fn insert(&self, pid: usize, k: u64) -> bool;
+    /// Delete `k`; false if absent.
+    fn delete(&self, pid: usize, k: u64) -> bool;
+    /// Membership test.
+    fn find(&self, pid: usize, k: u64) -> bool;
+
+    /// `Insert.Recover` with the crashed invocation's arguments.
+    fn recover_insert(&self, pid: usize, k: u64) -> bool;
+    /// `Delete.Recover`.
+    fn recover_delete(&self, pid: usize, k: u64) -> bool;
+    /// `Find.Recover`.
+    fn recover_find(&self, pid: usize, k: u64) -> bool;
+
+    /// Sorted user keys (requires quiescence).
+    fn snapshot(&mut self) -> Vec<u64>;
+    /// Panics on structural-invariant violations (requires quiescence).
+    fn check_invariants(&mut self);
+}
+
+macro_rules! impl_recoverable_set {
+    ($ty:ty, $name:literal) => {
+        impl RecoverableSet for $ty {
+            const NAME: &'static str = $name;
+            fn build_for_crash() -> Self {
+                Self::with_collector(Collector::disabled())
+            }
+            fn insert(&self, pid: usize, k: u64) -> bool {
+                <$ty>::insert(self, pid, k)
+            }
+            fn delete(&self, pid: usize, k: u64) -> bool {
+                <$ty>::delete(self, pid, k)
+            }
+            fn find(&self, pid: usize, k: u64) -> bool {
+                <$ty>::find(self, pid, k)
+            }
+            fn recover_insert(&self, pid: usize, k: u64) -> bool {
+                <$ty>::recover_insert(self, pid, k)
+            }
+            fn recover_delete(&self, pid: usize, k: u64) -> bool {
+                <$ty>::recover_delete(self, pid, k)
+            }
+            fn recover_find(&self, pid: usize, k: u64) -> bool {
+                <$ty>::recover_find(self, pid, k)
+            }
+            fn snapshot(&mut self) -> Vec<u64> {
+                self.snapshot_keys()
+            }
+            fn check_invariants(&mut self) {
+                <$ty>::check_invariants(self)
+            }
+        }
+    };
+}
+
+impl_recoverable_set!(RList<SimNvm, false>, "RList");
+impl_recoverable_set!(RBst<SimNvm, false>, "RBst");
+
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum ListOp {
+enum SetOp {
     Insert(u64),
     Delete(u64),
     Find(u64),
 }
 
-type SimList = RList<SimNvm, false>;
-
-fn list_apply_model(model: &mut std::collections::BTreeSet<u64>, op: ListOp) -> bool {
+fn set_apply_model(model: &mut std::collections::BTreeSet<u64>, op: SetOp) -> bool {
     match op {
-        ListOp::Insert(k) => model.insert(k),
-        ListOp::Delete(k) => model.remove(&k),
-        ListOp::Find(k) => model.contains(&k),
+        SetOp::Insert(k) => model.insert(k),
+        SetOp::Delete(k) => model.remove(&k),
+        SetOp::Find(k) => model.contains(&k),
     }
 }
 
-/// Runs one seeded list crash scenario; panics (with the seed) on any
-/// detectability or consistency violation. Returns statistics.
-pub fn run_list_scenario(cfg: CrashCfg) -> CrashReport {
+/// Runs one seeded crash scenario against any [`RecoverableSet`]; panics
+/// (with the seed) on any detectability or consistency violation. Returns
+/// statistics.
+pub fn run_set_scenario<S: RecoverableSet>(cfg: CrashCfg) -> CrashReport {
     let _session = SESSION.lock().unwrap_or_else(|e| e.into_inner());
     sim::quiet_crash_panics();
     sim::reset();
     let mut report = CrashReport::default();
     {
         nvm::tid::set_tid(nvm::MAX_PROCS - 1); // harness thread identity
-        let list = Arc::new(SimList::with_collector(Collector::disabled()));
+        let set = Arc::new(S::build_for_crash());
         // Prefill: every process's even keys start present.
         for p in 0..cfg.procs {
             for i in 0..cfg.keys_per_proc {
                 if i % 2 == 0 {
-                    list.insert(p, key_of(p, i, cfg.keys_per_proc));
+                    set.insert(p, key_of(p, i, cfg.keys_per_proc));
                 }
             }
         }
         sim::persist_all();
 
-        // Worker phase.
-        let logs: Vec<_> = (0..cfg.procs)
-            .map(|_| Arc::new(Mutex::new(WorkerLog::default())))
-            .collect();
+        // Worker phase. The plug is pulled *cooperatively*: the worker that
+        // completes the seeded target-th operation arms the crash itself.
+        // The target is below 90% of the workload, so ≥10% of the operations
+        // are still outstanding when the crash lands — some worker always
+        // dies mid-operation, regardless of scheduling (a harness-side spin
+        // loop can miss the window entirely on an oversubscribed machine).
+        let mut rng = Rng::new(cfg.seed ^ 0xC0FFEE);
+        let target = 1 + rng.below((cfg.procs * cfg.ops_per_proc) as u64 * 9 / 10);
+        let logs: Vec<_> =
+            (0..cfg.procs).map(|_| Arc::new(Mutex::new(WorkerLog::default()))).collect();
         let progress = Arc::new(std::sync::atomic::AtomicU64::new(0));
         let mut handles = Vec::new();
-        for p in 0..cfg.procs {
-            let list = Arc::clone(&list);
-            let log = Arc::clone(&logs[p]);
+        for (p, log) in logs.iter().enumerate() {
+            let set = Arc::clone(&set);
+            let log = Arc::clone(log);
             let progress = Arc::clone(&progress);
             let mut rng = Rng::new(cfg.seed ^ (p as u64 + 1) << 8);
             let kpp = cfg.keys_per_proc;
@@ -150,37 +233,31 @@ pub fn run_list_scenario(cfg: CrashCfg) -> CrashReport {
                 for _ in 0..ops {
                     let k = key_of(p, rng.below(kpp), kpp);
                     let op = match rng.below(3) {
-                        0 => ListOp::Insert(k),
-                        1 => ListOp::Delete(k),
-                        _ => ListOp::Find(k),
+                        0 => SetOp::Insert(k),
+                        1 => SetOp::Delete(k),
+                        _ => SetOp::Find(k),
                     };
                     log.lock().unwrap().invoke(op);
                     let r = sim::run_crashable(|| match op {
-                        ListOp::Insert(k) => list.insert(p, k),
-                        ListOp::Delete(k) => list.delete(p, k),
-                        ListOp::Find(k) => list.find(p, k),
+                        SetOp::Insert(k) => set.insert(p, k),
+                        SetOp::Delete(k) => set.delete(p, k),
+                        SetOp::Find(k) => set.find(p, k),
                     });
                     match r {
                         Ok(resp) => {
                             log.lock().unwrap().complete(resp);
-                            progress.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                            let done =
+                                progress.fetch_add(1, std::sync::atomic::Ordering::Relaxed) + 1;
+                            if done == target {
+                                sim::trigger_crash();
+                            }
                         }
                         Err(_) => return, // died mid-operation; op stays pending
                     }
                 }
             }));
         }
-        // Pull the plug once a seeded fraction of the workload completed, so
-        // the crash reliably lands while operations are in flight.
-        let mut rng = Rng::new(cfg.seed ^ 0xC0FFEE);
-        let target = 1 + rng.below((cfg.procs * cfg.ops_per_proc) as u64 * 9 / 10);
-        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
-        while progress.load(std::sync::atomic::Ordering::Relaxed) < target
-            && std::time::Instant::now() < deadline
-        {
-            std::hint::spin_loop();
-        }
-        sim::trigger_crash();
+        watchdog_crash(&progress, target);
         for h in handles {
             h.join().unwrap();
         }
@@ -188,23 +265,22 @@ pub fn run_list_scenario(cfg: CrashCfg) -> CrashReport {
         // Crash image (+ optional repeated crashes during recovery).
         let img = sim::build_crash_image(cfg.seed ^ 0xD1CE);
         report.rolled_back = img.rolled_back;
-        report.pending =
-            logs.iter().filter(|l| l.lock().unwrap().pending.is_some()).count();
+        report.pending = logs.iter().filter(|l| l.lock().unwrap().pending.is_some()).count();
 
         for round in 0..=cfg.recovery_crashes {
             let crash_again = round < cfg.recovery_crashes;
             let mut rhandles = Vec::new();
-            for p in 0..cfg.procs {
-                let list = Arc::clone(&list);
-                let log = Arc::clone(&logs[p]);
+            for (p, log) in logs.iter().enumerate() {
+                let set = Arc::clone(&set);
+                let log = Arc::clone(log);
                 rhandles.push(std::thread::spawn(move || {
                     nvm::tid::set_tid(p);
                     let pending = log.lock().unwrap().pending;
                     if let Some(op) = pending {
                         let r = sim::run_crashable(|| match op {
-                            ListOp::Insert(k) => list.recover_insert(p, k),
-                            ListOp::Delete(k) => list.recover_delete(p, k),
-                            ListOp::Find(k) => list.recover_find(p, k),
+                            SetOp::Insert(k) => set.recover_insert(p, k),
+                            SetOp::Delete(k) => set.recover_delete(p, k),
+                            SetOp::Find(k) => set.recover_find(p, k),
                         });
                         if let Ok(resp) = r {
                             log.lock().unwrap().complete(resp);
@@ -225,15 +301,15 @@ pub fn run_list_scenario(cfg: CrashCfg) -> CrashReport {
         }
 
         // ---- Validation --------------------------------------------------
-        let mut list = Arc::into_inner(list).expect("all workers joined");
-        list.check_invariants();
-        let snapshot = list.snapshot_keys();
+        let mut set = Arc::into_inner(set).expect("all workers joined");
+        set.check_invariants();
+        let snapshot = set.snapshot();
         for w in snapshot.windows(2) {
-            assert!(w[0] < w[1], "seed {}: snapshot unsorted", cfg.seed);
+            assert!(w[0] < w[1], "seed {}: {} snapshot unsorted", cfg.seed, S::NAME);
         }
         let mut expected = std::collections::BTreeSet::new();
-        for p in 0..cfg.procs {
-            let log = logs[p].lock().unwrap();
+        for (p, log) in logs.iter().enumerate() {
+            let log = log.lock().unwrap();
             report.completed += log.entries.len();
             // Replay this process's ops against its private model: with
             // disjoint key spaces, its history is sequential, so every
@@ -245,12 +321,14 @@ pub fn run_list_scenario(cfg: CrashCfg) -> CrashReport {
                 }
             }
             for (idx, &(op, resp)) in log.entries.iter().enumerate() {
-                let want = list_apply_model(&mut model, op);
+                let want = set_apply_model(&mut model, op);
                 assert_eq!(
                     resp, want,
-                    "seed {}: proc {p} op #{idx} {op:?} returned {resp} but model says {want} \
+                    "seed {}: {} proc {p} op #{idx} {op:?} returned {resp} but model says {want} \
                      (an effect was lost or applied twice across the crash); log: {:?}; snapshot: {snapshot:?}",
-                    cfg.seed, log.entries,
+                    cfg.seed,
+                    S::NAME,
+                    log.entries,
                 );
             }
             if let Some(op) = log.pending {
@@ -258,166 +336,7 @@ pub fn run_list_scenario(cfg: CrashCfg) -> CrashReport {
                 // crashing): the op may or may not have taken effect — accept
                 // either model state.
                 let mut alt = model.clone();
-                list_apply_model(&mut alt, op);
-                let part: Vec<u64> =
-                    snapshot.iter().copied().filter(|k| owner_of(*k, cfg.keys_per_proc) == p).collect();
-                let m: Vec<u64> = model.iter().copied().collect();
-                let a: Vec<u64> = alt.iter().copied().collect();
-                assert!(
-                    part == m || part == a,
-                    "seed {}: proc {p} final keys {part:?} match neither {m:?} nor {a:?}",
-                    cfg.seed
-                );
-                expected.extend(part);
-            } else {
-                expected.extend(model.iter().copied());
-            }
-        }
-        assert_eq!(
-            snapshot,
-            expected.iter().copied().collect::<Vec<u64>>(),
-            "seed {}: final structure diverges from the replayed models",
-            cfg.seed
-        );
-    }
-    sim::reset();
-    report
-}
-
-// ---------------------------------------------------------------------------
-// BST scenario
-// ---------------------------------------------------------------------------
-
-type SimBst = isb::bst::RBst<SimNvm, false>;
-
-/// Runs one seeded BST crash scenario (same protocol and validation as the
-/// list scenario; disjoint key spaces per process).
-pub fn run_bst_scenario(cfg: CrashCfg) -> CrashReport {
-    let _session = SESSION.lock().unwrap_or_else(|e| e.into_inner());
-    sim::quiet_crash_panics();
-    sim::reset();
-    let mut report = CrashReport::default();
-    {
-        nvm::tid::set_tid(nvm::MAX_PROCS - 1);
-        let bst = Arc::new(SimBst::with_collector(Collector::disabled()));
-        for p in 0..cfg.procs {
-            for i in 0..cfg.keys_per_proc {
-                if i % 2 == 0 {
-                    bst.insert(p, key_of(p, i, cfg.keys_per_proc));
-                }
-            }
-        }
-        sim::persist_all();
-
-        let logs: Vec<_> =
-            (0..cfg.procs).map(|_| Arc::new(Mutex::new(WorkerLog::default()))).collect();
-        let progress = Arc::new(std::sync::atomic::AtomicU64::new(0));
-        let mut handles = Vec::new();
-        for p in 0..cfg.procs {
-            let bst = Arc::clone(&bst);
-            let log = Arc::clone(&logs[p]);
-            let progress = Arc::clone(&progress);
-            let mut rng = Rng::new(cfg.seed ^ (p as u64 + 1) << 8);
-            let kpp = cfg.keys_per_proc;
-            let ops = cfg.ops_per_proc;
-            handles.push(std::thread::spawn(move || {
-                nvm::tid::set_tid(p);
-                for _ in 0..ops {
-                    let k = key_of(p, rng.below(kpp), kpp);
-                    let op = match rng.below(3) {
-                        0 => ListOp::Insert(k),
-                        1 => ListOp::Delete(k),
-                        _ => ListOp::Find(k),
-                    };
-                    log.lock().unwrap().invoke(op);
-                    let r = sim::run_crashable(|| match op {
-                        ListOp::Insert(k) => bst.insert(p, k),
-                        ListOp::Delete(k) => bst.delete(p, k),
-                        ListOp::Find(k) => bst.find(p, k),
-                    });
-                    match r {
-                        Ok(resp) => {
-                            log.lock().unwrap().complete(resp);
-                            progress.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                        }
-                        Err(_) => return,
-                    }
-                }
-            }));
-        }
-        let mut rng = Rng::new(cfg.seed ^ 0xC0FFEE);
-        let target = 1 + rng.below((cfg.procs * cfg.ops_per_proc) as u64 * 9 / 10);
-        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
-        while progress.load(std::sync::atomic::Ordering::Relaxed) < target
-            && std::time::Instant::now() < deadline
-        {
-            std::hint::spin_loop();
-        }
-        sim::trigger_crash();
-        for h in handles {
-            h.join().unwrap();
-        }
-        let img = sim::build_crash_image(cfg.seed ^ 0xD1CE);
-        report.rolled_back = img.rolled_back;
-        report.pending = logs.iter().filter(|l| l.lock().unwrap().pending.is_some()).count();
-
-        for round in 0..=cfg.recovery_crashes {
-            let crash_again = round < cfg.recovery_crashes;
-            let mut rhandles = Vec::new();
-            for p in 0..cfg.procs {
-                let bst = Arc::clone(&bst);
-                let log = Arc::clone(&logs[p]);
-                rhandles.push(std::thread::spawn(move || {
-                    nvm::tid::set_tid(p);
-                    let pending = log.lock().unwrap().pending;
-                    if let Some(op) = pending {
-                        let r = sim::run_crashable(|| match op {
-                            ListOp::Insert(k) => bst.recover_insert(p, k),
-                            ListOp::Delete(k) => bst.recover_delete(p, k),
-                            ListOp::Find(k) => bst.recover_find(p, k),
-                        });
-                        if let Ok(resp) = r {
-                            log.lock().unwrap().complete(resp);
-                        }
-                    }
-                }));
-            }
-            if crash_again {
-                busy_wait_us(rng.below(200));
-                sim::trigger_crash();
-            }
-            for h in rhandles {
-                h.join().unwrap();
-            }
-            if crash_again {
-                sim::build_crash_image(cfg.seed ^ (0xBEEF + round as u64));
-            }
-        }
-
-        let mut bst = Arc::into_inner(bst).expect("all workers joined");
-        bst.check_invariants();
-        let snapshot = bst.snapshot_keys();
-        let mut expected = std::collections::BTreeSet::new();
-        for p in 0..cfg.procs {
-            let log = logs[p].lock().unwrap();
-            report.completed += log.entries.len();
-            let mut model = std::collections::BTreeSet::new();
-            for i in 0..cfg.keys_per_proc {
-                if i % 2 == 0 {
-                    model.insert(key_of(p, i, cfg.keys_per_proc));
-                }
-            }
-            for (idx, &(op, resp)) in log.entries.iter().enumerate() {
-                let want = list_apply_model(&mut model, op);
-                assert_eq!(
-                    resp, want,
-                    "seed {}: proc {p} op #{idx} {op:?} returned {resp} but model says {want}",
-                    cfg.seed
-                );
-            }
-            if let Some(op) = log.pending {
-                let mut alt = model.clone();
-                list_apply_model(&mut alt, op);
+                set_apply_model(&mut alt, op);
                 let part: Vec<u64> = snapshot
                     .iter()
                     .copied()
@@ -427,8 +346,9 @@ pub fn run_bst_scenario(cfg: CrashCfg) -> CrashReport {
                 let a: Vec<u64> = alt.iter().copied().collect();
                 assert!(
                     part == m || part == a,
-                    "seed {}: proc {p} final keys {part:?} match neither {m:?} nor {a:?}",
-                    cfg.seed
+                    "seed {}: {} proc {p} final keys {part:?} match neither {m:?} nor {a:?}",
+                    cfg.seed,
+                    S::NAME
                 );
                 expected.extend(part);
             } else {
@@ -438,12 +358,23 @@ pub fn run_bst_scenario(cfg: CrashCfg) -> CrashReport {
         assert_eq!(
             snapshot,
             expected.iter().copied().collect::<Vec<u64>>(),
-            "seed {}: final BST diverges from the replayed models",
-            cfg.seed
+            "seed {}: final {} diverges from the replayed models",
+            cfg.seed,
+            S::NAME
         );
     }
     sim::reset();
     report
+}
+
+/// Runs one seeded list crash scenario (see [`run_set_scenario`]).
+pub fn run_list_scenario(cfg: CrashCfg) -> CrashReport {
+    run_set_scenario::<RList<SimNvm, false>>(cfg)
+}
+
+/// Runs one seeded BST crash scenario (see [`run_set_scenario`]).
+pub fn run_bst_scenario(cfg: CrashCfg) -> CrashReport {
+    run_set_scenario::<RBst<SimNvm, false>>(cfg)
 }
 
 // ---------------------------------------------------------------------------
@@ -473,13 +404,21 @@ pub fn run_queue_scenario(cfg: CrashCfg) -> CrashReport {
         let consumers = (cfg.procs - producers).max(1);
         // Logs: per producer the values acked-enqueued (+ pending value);
         // per consumer the values acked-dequeued (+ whether pending).
-        let plogs: Vec<_> = (0..producers).map(|_| Arc::new(Mutex::new(ProdLog::default()))).collect();
-        let clogs: Vec<_> = (0..consumers).map(|_| Arc::new(Mutex::new(ConsLog::default()))).collect();
+        let plogs: Vec<_> =
+            (0..producers).map(|_| Arc::new(Mutex::new(ProdLog::default()))).collect();
+        let clogs: Vec<_> =
+            (0..consumers).map(|_| Arc::new(Mutex::new(ConsLog::default()))).collect();
+        // Cooperative crash trigger, as in the set scenario: the worker that
+        // completes the seeded target-th operation (< 90% of the workload)
+        // arms the crash, so it always lands with operations outstanding.
+        let total_ops = ((producers + consumers) * cfg.ops_per_proc) as u64;
+        let mut rng = Rng::new(cfg.seed ^ 0xFEED);
+        let target = 1 + rng.below(total_ops * 9 / 10);
         let progress = Arc::new(std::sync::atomic::AtomicU64::new(0));
         let mut handles = Vec::new();
-        for p in 0..producers {
+        for (p, log) in plogs.iter().enumerate() {
             let q = Arc::clone(&q);
-            let log = Arc::clone(&plogs[p]);
+            let log = Arc::clone(log);
             let progress = Arc::clone(&progress);
             let ops = cfg.ops_per_proc;
             handles.push(std::thread::spawn(move || {
@@ -492,16 +431,20 @@ pub fn run_queue_scenario(cfg: CrashCfg) -> CrashReport {
                             let mut l = log.lock().unwrap();
                             l.pending = None;
                             l.acked.push(v);
-                            progress.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                            if progress.fetch_add(1, std::sync::atomic::Ordering::Relaxed) + 1
+                                == target
+                            {
+                                sim::trigger_crash();
+                            }
                         }
                         Err(_) => return,
                     }
                 }
             }));
         }
-        for c in 0..consumers {
+        for (c, log) in clogs.iter().enumerate() {
             let q = Arc::clone(&q);
-            let log = Arc::clone(&clogs[c]);
+            let log = Arc::clone(log);
             let progress = Arc::clone(&progress);
             let pid = producers + c;
             let ops = cfg.ops_per_proc;
@@ -516,22 +459,18 @@ pub fn run_queue_scenario(cfg: CrashCfg) -> CrashReport {
                             if let Some(v) = r {
                                 l.got.push(v);
                             }
-                            progress.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                            if progress.fetch_add(1, std::sync::atomic::Ordering::Relaxed) + 1
+                                == target
+                            {
+                                sim::trigger_crash();
+                            }
                         }
                         Err(_) => return,
                     }
                 }
             }));
         }
-        let mut rng = Rng::new(cfg.seed ^ 0xFEED);
-        let target = 1 + rng.below((cfg.procs * cfg.ops_per_proc) as u64 * 9 / 10);
-        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
-        while progress.load(std::sync::atomic::Ordering::Relaxed) < target
-            && std::time::Instant::now() < deadline
-        {
-            std::hint::spin_loop();
-        }
-        sim::trigger_crash();
+        watchdog_crash(&progress, target);
         for h in handles {
             h.join().unwrap();
         }
@@ -541,9 +480,9 @@ pub fn run_queue_scenario(cfg: CrashCfg) -> CrashReport {
         // Recovery (single round; queue scenarios keep it simple — repeated
         // recovery crashes are exercised by the list scenario).
         let mut rhandles = Vec::new();
-        for p in 0..producers {
+        for (p, log) in plogs.iter().enumerate() {
             let q = Arc::clone(&q);
-            let log = Arc::clone(&plogs[p]);
+            let log = Arc::clone(log);
             rhandles.push(std::thread::spawn(move || {
                 nvm::tid::set_tid(p);
                 let pend = log.lock().unwrap().pending;
@@ -555,9 +494,9 @@ pub fn run_queue_scenario(cfg: CrashCfg) -> CrashReport {
                 }
             }));
         }
-        for c in 0..consumers {
+        for (c, log) in clogs.iter().enumerate() {
             let q = Arc::clone(&q);
-            let log = Arc::clone(&clogs[c]);
+            let log = Arc::clone(log);
             let pid = producers + c;
             rhandles.push(std::thread::spawn(move || {
                 nvm::tid::set_tid(pid);
@@ -595,7 +534,11 @@ pub fn run_queue_scenario(cfg: CrashCfg) -> CrashReport {
         // Every value must exist at most once anywhere (no duplication), and
         // every acked-enqueued value exactly once (no loss).
         for (&v, &n) in &seen {
-            assert!(n <= 1, "seed {}: value {v} appears {n} times (duplicated across crash)", cfg.seed);
+            assert!(
+                n <= 1,
+                "seed {}: value {v} appears {n} times (duplicated across crash)",
+                cfg.seed
+            );
         }
         for i in 0..prefill {
             let v = 1_000_000_000 + i;
@@ -605,7 +548,12 @@ pub fn run_queue_scenario(cfg: CrashCfg) -> CrashReport {
             let l = log.lock().unwrap();
             report.completed += l.acked.len();
             for &v in &l.acked {
-                assert_eq!(seen.get(&v), Some(&1), "seed {}: acked value {v} lost or duplicated", cfg.seed);
+                assert_eq!(
+                    seen.get(&v),
+                    Some(&1),
+                    "seed {}: acked value {v} lost or duplicated",
+                    cfg.seed
+                );
             }
         }
     }
@@ -617,12 +565,12 @@ pub fn run_queue_scenario(cfg: CrashCfg) -> CrashReport {
 
 #[derive(Default)]
 struct WorkerLog {
-    entries: Vec<(ListOp, bool)>,
-    pending: Option<ListOp>,
+    entries: Vec<(SetOp, bool)>,
+    pending: Option<SetOp>,
 }
 
 impl WorkerLog {
-    fn invoke(&mut self, op: ListOp) {
+    fn invoke(&mut self, op: SetOp) {
         debug_assert!(self.pending.is_none());
         self.pending = Some(op);
     }
@@ -656,5 +604,23 @@ fn busy_wait_us(us: u64) {
     let start = std::time::Instant::now();
     while (start.elapsed().as_micros() as u64) < us {
         std::hint::spin_loop();
+    }
+}
+
+/// Livelock backstop for the cooperative crash trigger: if the workers never
+/// reach `target` completions (a progress bug in the structure under test),
+/// arm the crash after a generous deadline so the scenario terminates with a
+/// diagnosable state instead of hanging `join()` behind the global session
+/// lock. `trigger_crash` is idempotent, so racing the cooperative trigger is
+/// harmless.
+fn watchdog_crash(progress: &std::sync::atomic::AtomicU64, target: u64) {
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(60);
+    while progress.load(std::sync::atomic::Ordering::Relaxed) < target && !sim::crash_armed() {
+        if std::time::Instant::now() >= deadline {
+            eprintln!("crash harness watchdog: workers stalled below target; arming crash");
+            sim::trigger_crash();
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(1));
     }
 }

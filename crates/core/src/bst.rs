@@ -329,11 +329,8 @@ impl<M: Persist, const TUNED: bool> RBst<M, TUNED> {
             }
             // Sibling of l under p (its info gathered after p's, before its children).
             let (sib, sib_info, sib_key, sib_l, sib_r) = unsafe {
-                let sib_cell: &PWord<M> = if std::ptr::eq(s.p_cell, &(*s.p).left) {
-                    &(*s.p).right
-                } else {
-                    &(*s.p).left
-                };
+                let sib_cell: &PWord<M> =
+                    if std::ptr::eq(s.p_cell, &(*s.p).left) { &(*s.p).right } else { &(*s.p).left };
                 let sib = sib_cell.load() as *mut Node<M>;
                 let si = (*sib).info.load();
                 (sib, si, (*sib).key.load(), (*sib).left.load(), (*sib).right.load())

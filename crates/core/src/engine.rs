@@ -263,8 +263,7 @@ impl<M: Persist> Info<M> {
         for (k, &cell) in f.newset.iter().enumerate() {
             M::store(&i.newset[k], cell);
         }
-        i.installs
-            .store(1 + f.affect.len() as u32 + f.newset.len() as u32, Ordering::Release);
+        i.installs.store(1 + f.affect.len() as u32 + f.newset.len() as u32, Ordering::Release);
     }
 
     #[inline]
@@ -465,6 +464,7 @@ mod tests {
     }
 
     /// Build a one-write, two-affect info over the given cells.
+    #[allow(clippy::too_many_arguments)] // mirrors InfoFill's shape, test-only
     unsafe fn mk_info(
         a0: &PWord<M>,
         a0exp: u64,
@@ -524,6 +524,7 @@ mod tests {
         let info = unsafe { mk_info(&a0, 0, &a1, 0, &w, 100, 200, 0b10) };
         assert_eq!(unsafe { help::<M, false>(info, true, &g) }, HelpOutcome::Done);
         w.store(777); // someone else moved the world on
+
         // Re-execution (recovery): tag CAS on a0 fails (now untagged(info) ≠ 0),
         // so help fails without re-running the write.
         let out = unsafe { help::<M, false>(info, true, &g) };

@@ -146,7 +146,12 @@ impl<M: Persist, const TUNED: bool> RList<M, TUNED> {
 
     /// Persist the attempt's new nodes and descriptor before publication
     /// (paper line 106 `pbarrier(newcurr, newnd, *opInfo)`).
-    unsafe fn persist_attempt(&self, info: *mut Info<M>, newnd: *mut Node<M>, newcurr: *mut Node<M>) {
+    unsafe fn persist_attempt(
+        &self,
+        info: *mut Info<M>,
+        newnd: *mut Node<M>,
+        newcurr: *mut Node<M>,
+    ) {
         unsafe {
             if !newnd.is_null() {
                 M::pwb_obj(&*newnd);
@@ -183,7 +188,13 @@ impl<M: Persist, const TUNED: bool> RList<M, TUNED> {
     }
 
     /// Drop never-published new nodes (and their info-cell references).
-    unsafe fn drop_pending(&self, newnd: *mut Node<M>, newcurr: *mut Node<M>, filled: u64, g: &Guard<'_>) {
+    unsafe fn drop_pending(
+        &self,
+        newnd: *mut Node<M>,
+        newcurr: *mut Node<M>,
+        filled: u64,
+        g: &Guard<'_>,
+    ) {
         unsafe {
             if filled != 0 {
                 Info::<M>::release(tag::ptr_of(filled), 2, g);

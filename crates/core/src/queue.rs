@@ -26,7 +26,9 @@
 //! CASes fail silently (same argument as the list).
 
 use crate::counters;
-use crate::engine::{help, res_val, val_of, HelpOutcome, Info, InfoFill, RES_EMPTY, RES_UNIT, RES_VAL_BASE};
+use crate::engine::{
+    help, res_val, val_of, HelpOutcome, Info, InfoFill, RES_EMPTY, RES_UNIT, RES_VAL_BASE,
+};
 use crate::optype;
 use crate::recovery::{op_recover, RecArea, Recovered};
 use crate::tag;
@@ -541,7 +543,11 @@ mod tests {
             h.join().unwrap();
         }
         let expected: u64 = (1..=producers * per).sum();
-        assert_eq!(consumed.load(Ordering::Relaxed), expected, "every value delivered exactly once");
+        assert_eq!(
+            consumed.load(Ordering::Relaxed),
+            expected,
+            "every value delivered exactly once"
+        );
         let mut q = Arc::into_inner(q).unwrap();
         assert_eq!(q.snapshot_vals(), vec![]);
         q.check_invariants();

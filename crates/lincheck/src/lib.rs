@@ -263,26 +263,17 @@ mod tests {
     #[test]
     fn overlapping_ops_may_reorder() {
         // Find(1)=true overlaps the insert: legal (linearise insert first).
-        let h = vec![
-            rec(0, SetOp::Insert(1), true, 1, 10),
-            rec(1, SetOp::Find(1), true, 2, 9),
-        ];
+        let h = vec![rec(0, SetOp::Insert(1), true, 1, 10), rec(1, SetOp::Find(1), true, 2, 9)];
         assert!(is_linearizable(&SetSpec, &h));
         // But if the find *returned before the insert was invoked*, illegal.
-        let h = vec![
-            rec(1, SetOp::Find(1), true, 1, 2),
-            rec(0, SetOp::Insert(1), true, 3, 4),
-        ];
+        let h = vec![rec(1, SetOp::Find(1), true, 1, 2), rec(0, SetOp::Insert(1), true, 3, 4)];
         assert!(!is_linearizable(&SetSpec, &h));
     }
 
     #[test]
     fn real_time_order_is_respected() {
         // Two sequential inserts of the same key cannot both return true...
-        let h = vec![
-            rec(0, SetOp::Insert(5), true, 1, 2),
-            rec(1, SetOp::Insert(5), true, 3, 4),
-        ];
+        let h = vec![rec(0, SetOp::Insert(5), true, 1, 2), rec(1, SetOp::Insert(5), true, 3, 4)];
         assert!(!is_linearizable(&SetSpec, &h));
         // ...unless a delete overlaps both.
         let h = vec![

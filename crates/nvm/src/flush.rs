@@ -1,23 +1,31 @@
 //! Raw cache-line write-back and fence primitives.
 //!
-//! On x86_64 these map to the exact instructions the paper's evaluation uses
-//! (`clflush` for `pwb`, `mfence` for `psync`). On other architectures we
+//! With the `real-flush` feature (default) on x86_64 these map to the exact
+//! instructions the paper's evaluation uses (`clflush` for `pwb`, `mfence`
+//! for `psync`). On other architectures — or with the feature disabled — we
 //! fall back to a calibrated spin delay so that benchmark *shapes* (which are
 //! driven by the relative number of persistency instructions) are preserved.
 
 use crate::CACHE_LINE;
 
+/// True when the real x86_64 flush/fence intrinsics are compiled in.
+pub const HAS_REAL_FLUSH: bool = cfg!(all(target_arch = "x86_64", feature = "real-flush"));
+
 /// Write back (and invalidate) the cache line containing `p`.
 ///
 /// `clflush` is unprivileged and operates on ordinary DRAM, which is exactly
 /// how the paper simulates `pwb` in the absence of NVRAM.
+///
+/// # Safety
+/// `p` must point into a live allocation (the instruction touches the whole
+/// cache line containing it).
 #[inline]
-pub fn clflush(p: *const u8) {
-    #[cfg(target_arch = "x86_64")]
+pub unsafe fn clflush(p: *const u8) {
+    #[cfg(all(target_arch = "x86_64", feature = "real-flush"))]
     unsafe {
         core::arch::x86_64::_mm_clflush(p)
     }
-    #[cfg(not(target_arch = "x86_64"))]
+    #[cfg(not(all(target_arch = "x86_64", feature = "real-flush")))]
     {
         let _ = p;
         spin_delay(FALLBACK_FLUSH_SPINS);
@@ -27,11 +35,11 @@ pub fn clflush(p: *const u8) {
 /// Full memory fence ordering loads, stores and flushes (`mfence`).
 #[inline]
 pub fn mfence() {
-    #[cfg(target_arch = "x86_64")]
+    #[cfg(all(target_arch = "x86_64", feature = "real-flush"))]
     unsafe {
         core::arch::x86_64::_mm_mfence()
     }
-    #[cfg(not(target_arch = "x86_64"))]
+    #[cfg(not(all(target_arch = "x86_64", feature = "real-flush")))]
     {
         std::sync::atomic::fence(std::sync::atomic::Ordering::SeqCst);
         spin_delay(FALLBACK_FENCE_SPINS);
@@ -41,21 +49,21 @@ pub fn mfence() {
 /// Store fence (`sfence`); sufficient to order flushes on TSO.
 #[inline]
 pub fn sfence() {
-    #[cfg(target_arch = "x86_64")]
+    #[cfg(all(target_arch = "x86_64", feature = "real-flush"))]
     unsafe {
         core::arch::x86_64::_mm_sfence()
     }
-    #[cfg(not(target_arch = "x86_64"))]
+    #[cfg(not(all(target_arch = "x86_64", feature = "real-flush")))]
     std::sync::atomic::fence(std::sync::atomic::Ordering::Release);
 }
 
-#[cfg(not(target_arch = "x86_64"))]
+#[cfg(not(all(target_arch = "x86_64", feature = "real-flush")))]
 const FALLBACK_FLUSH_SPINS: u32 = 60;
-#[cfg(not(target_arch = "x86_64"))]
+#[cfg(not(all(target_arch = "x86_64", feature = "real-flush")))]
 const FALLBACK_FENCE_SPINS: u32 = 30;
 
 /// Busy-wait used to emulate flush latency on targets without `clflush`.
-#[cfg(not(target_arch = "x86_64"))]
+#[cfg(not(all(target_arch = "x86_64", feature = "real-flush")))]
 #[inline]
 fn spin_delay(iters: u32) {
     for _ in 0..iters {
@@ -66,8 +74,11 @@ fn spin_delay(iters: u32) {
 /// Flush every cache line overlapping `[start, start + len)`.
 ///
 /// Returns the number of lines flushed (used by statistics).
+///
+/// # Safety
+/// `[start, start + len)` must lie within a live allocation.
 #[inline]
-pub fn clflush_range(start: *const u8, len: usize) -> u64 {
+pub unsafe fn clflush_range(start: *const u8, len: usize) -> u64 {
     if len == 0 {
         return 0;
     }
@@ -76,7 +87,8 @@ pub fn clflush_range(start: *const u8, len: usize) -> u64 {
     let mut line = first;
     let mut n = 0u64;
     loop {
-        clflush(line as *const u8);
+        // SAFETY: every flushed line overlaps the caller-guaranteed range.
+        unsafe { clflush(line as *const u8) };
         n += 1;
         if line == last {
             break;
@@ -104,15 +116,17 @@ mod tests {
     #[test]
     fn flush_range_counts_lines() {
         let buf = vec![0u8; 4096];
-        // A single byte is one line.
-        assert_eq!(clflush_range(buf.as_ptr(), 1), 1);
-        // Exactly one aligned line.
-        let aligned = ((buf.as_ptr() as usize + 63) & !63) as *const u8;
-        assert_eq!(clflush_range(aligned, 64), 1);
-        assert_eq!(clflush_range(aligned, 65), 2);
-        // Straddling: 2 bytes crossing a boundary span two lines.
-        assert_eq!(clflush_range(unsafe { aligned.add(63) }, 2), 2);
-        assert_eq!(clflush_range(buf.as_ptr(), 0), 0);
+        unsafe {
+            // A single byte is one line.
+            assert_eq!(clflush_range(buf.as_ptr(), 1), 1);
+            // Exactly one aligned line.
+            let aligned = ((buf.as_ptr() as usize + 63) & !63) as *const u8;
+            assert_eq!(clflush_range(aligned, 64), 1);
+            assert_eq!(clflush_range(aligned, 65), 2);
+            // Straddling: 2 bytes crossing a boundary span two lines.
+            assert_eq!(clflush_range(aligned.add(63), 2), 2);
+            assert_eq!(clflush_range(buf.as_ptr(), 0), 0);
+        }
     }
 
     #[test]
@@ -120,8 +134,10 @@ mod tests {
         let buf = vec![0u8; 1024];
         for off in [0usize, 1, 31, 63] {
             for len in [1usize, 2, 64, 65, 128, 200] {
-                let p = unsafe { buf.as_ptr().add(off) };
-                assert_eq!(lines_in_range(p, len), clflush_range(p, len));
+                unsafe {
+                    let p = buf.as_ptr().add(off);
+                    assert_eq!(lines_in_range(p, len), clflush_range(p, len));
+                }
             }
         }
     }
@@ -131,6 +147,6 @@ mod tests {
         mfence();
         sfence();
         let x = 42u64;
-        clflush(&x as *const u64 as *const u8);
+        unsafe { clflush(&x as *const u64 as *const u8) };
     }
 }

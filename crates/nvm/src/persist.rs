@@ -84,7 +84,8 @@ impl Persist for RealNvm {
 
     #[inline]
     fn pwb(w: &PWord<Self>) {
-        flush::clflush(w.addr());
+        // SAFETY: `w.addr()` points into the live `PWord` behind `w`.
+        unsafe { flush::clflush(w.addr()) };
         stats::count_pwb(1);
     }
     #[inline]
@@ -99,20 +100,24 @@ impl Persist for RealNvm {
     }
     #[inline]
     fn pbarrier(w: &PWord<Self>) {
-        flush::clflush(w.addr());
+        // SAFETY: `w.addr()` points into the live `PWord` behind `w`.
+        unsafe { flush::clflush(w.addr()) };
         flush::mfence();
         stats::count_pbarrier(1);
     }
     #[inline]
     fn pwb_obj<T: PersistWords<Self> + ?Sized>(obj: &T) {
         let (p, len) = obj.used_range();
-        let n = flush::clflush_range(p, len);
+        // SAFETY: `used_range` is a sub-range of the live object behind `obj`
+        // (PersistWords safety contract).
+        let n = unsafe { flush::clflush_range(p, len) };
         stats::count_pwb(n);
     }
     #[inline]
     fn pbarrier_obj<T: PersistWords<Self> + ?Sized>(obj: &T) {
         let (p, len) = obj.used_range();
-        let n = flush::clflush_range(p, len);
+        // SAFETY: as in `pwb_obj`.
+        let n = unsafe { flush::clflush_range(p, len) };
         flush::mfence();
         stats::count_pbarrier(n);
     }

@@ -31,6 +31,10 @@ use std::sync::atomic::AtomicU64;
 use std::sync::atomic::Ordering::SeqCst;
 use std::sync::Mutex;
 
+/// A deferred deallocation handed back by [`Collector::take_parked`]: the
+/// raw allocation plus the function that frees it (exactly once).
+pub type DeferredFree = (*mut u8, unsafe fn(*mut u8));
+
 /// A deferred deallocation.
 struct Garbage {
     ptr: *mut u8,
@@ -224,7 +228,7 @@ impl Collector {
     ///
     /// Returns `(address, drop_fn)` pairs; the caller becomes responsible
     /// for freeing each address exactly once.
-    pub fn take_parked(&mut self) -> Vec<(*mut u8, unsafe fn(*mut u8))> {
+    pub fn take_parked(&mut self) -> Vec<DeferredFree> {
         self.parked
             .get_mut()
             .unwrap_or_else(|e| e.into_inner())

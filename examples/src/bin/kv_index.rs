@@ -17,12 +17,13 @@ fn main() {
 
     // Bulk-load a key population.
     let start = Instant::now();
-    for k in 1..=10_000u64 {
+    for k in 1..=isb_examples::scaled(10_000) {
         index.insert(0, k * 7 % 65_536 + 1);
     }
     println!("bulk load: {:?}", start.elapsed());
 
     // Mixed read/update traffic from several "clients".
+    let ops_per_client = isb_examples::scaled(20_000);
     let start = Instant::now();
     let handles: Vec<_> = (0..4usize)
         .map(|t| {
@@ -31,7 +32,7 @@ fn main() {
                 nvm::tid::set_tid(t);
                 let mut hits = 0u64;
                 let mut x = (t as u64 + 1) | 1;
-                for _ in 0..20_000 {
+                for _ in 0..ops_per_client {
                     x ^= x << 13;
                     x ^= x >> 7;
                     x ^= x << 17;
@@ -56,7 +57,7 @@ fn main() {
         .collect();
     let hits: u64 = handles.into_iter().map(|h| h.join().unwrap()).sum();
     let elapsed = start.elapsed();
-    println!("4 clients x 20k ops in {elapsed:?} ({hits} lookup hits)");
+    println!("4 clients x {ops_per_client} ops in {elapsed:?} ({hits} lookup hits)");
 
     let stats = nvm::stats::snapshot();
     println!(

@@ -18,7 +18,7 @@ fn main() {
     let exch: Arc<RExchanger<RealNvm>> = Arc::new(RExchanger::new());
 
     // Stage 1: two producers enqueue jobs.
-    let jobs_per_producer = 5_000u64;
+    let jobs_per_producer = isb_examples::scaled(5_000);
     let producers: Vec<_> = (0..2u64)
         .map(|p| {
             let queue = Arc::clone(&queue);

@@ -26,12 +26,13 @@ fn main() {
     assert!(!set.insert(0, 42), "duplicate insert reports false");
 
     // Concurrent use: each thread is its own "process".
+    let per_thread = isb_examples::scaled(1000);
     let handles: Vec<_> = (1..=3u64)
         .map(|t| {
             let set = Arc::clone(&set);
             std::thread::spawn(move || {
                 nvm::tid::set_tid(t as usize);
-                for i in 0..1000 {
+                for i in 0..per_thread {
                     let k = 100 + t + 3 * i;
                     assert!(set.insert(t as usize, k));
                     assert!(set.find(t as usize, k));

@@ -1,1 +1,27 @@
 //! Shared helpers for the examples.
+
+/// Workload size `n`, scaled down by the `ISB_EXAMPLE_SCALE_DIV` environment
+/// variable when set (result is at least 1). The smoke tests in
+/// `tests/smoke.rs` use this to run every example binary to completion with
+/// a tiny workload; interactive runs are unaffected.
+pub fn scaled(n: u64) -> u64 {
+    let div = std::env::var("ISB_EXAMPLE_SCALE_DIV").ok().and_then(|s| s.parse::<u64>().ok());
+    scaled_by(n, div)
+}
+
+fn scaled_by(n: u64, div: Option<u64>) -> u64 {
+    (n / div.filter(|&d| d > 0).unwrap_or(1)).max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::scaled_by;
+
+    #[test]
+    fn scaling_rules() {
+        assert_eq!(scaled_by(1000, None), 1000, "unscaled without a divisor");
+        assert_eq!(scaled_by(1000, Some(50)), 20);
+        assert_eq!(scaled_by(10, Some(50)), 1, "never scales to zero");
+        assert_eq!(scaled_by(1000, Some(0)), 1000, "divisor 0 is ignored");
+    }
+}

@@ -1,0 +1,47 @@
+//! Smoke tests: run every example binary to completion with a small
+//! workload (`ISB_EXAMPLE_SCALE_DIV`), so the examples cannot silently rot.
+
+use std::process::Command;
+
+fn run_example(bin: &str, args: &[&str]) -> String {
+    let out = Command::new(bin)
+        .args(args)
+        .env("ISB_EXAMPLE_SCALE_DIV", "50")
+        .output()
+        .unwrap_or_else(|e| panic!("failed to spawn {bin}: {e}"));
+    assert!(
+        out.status.success(),
+        "{bin} exited with {}:\n--- stdout ---\n{}\n--- stderr ---\n{}",
+        out.status,
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+#[test]
+fn quickstart_runs() {
+    let out = run_example(env!("CARGO_BIN_EXE_quickstart"), &[]);
+    assert!(out.contains("set holds"), "unexpected output:\n{out}");
+}
+
+#[test]
+fn crash_recovery_runs() {
+    // Fixed seed for reproducibility; the binary's own assertions validate
+    // exactly-once recovery.
+    let out = run_example(env!("CARGO_BIN_EXE_crash_recovery"), &["3"]);
+    assert!(out.contains("replayed exactly-once"), "unexpected output:\n{out}");
+    assert!(out.contains("no acknowledged value lost"), "unexpected output:\n{out}");
+}
+
+#[test]
+fn kv_index_runs() {
+    let out = run_example(env!("CARGO_BIN_EXE_kv_index"), &[]);
+    assert!(out.contains("invariants OK"), "unexpected output:\n{out}");
+}
+
+#[test]
+fn pipeline_runs() {
+    let out = run_example(env!("CARGO_BIN_EXE_pipeline"), &[]);
+    assert!(out.contains("reconciled total"), "unexpected output:\n{out}");
+}
