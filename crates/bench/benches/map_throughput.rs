@@ -1,0 +1,77 @@
+//! Sharded hash-map throughput: per-operation latency of `RHashMap` as the
+//! shard count grows, on a multi-thread run (shared-cache model). A
+//! one-shard map is exactly the Isb list, so the sweep directly shows what
+//! sharding buys over the single-head structure; `RList` itself is included
+//! as the wrapper-overhead control.
+
+use bench_harness::adapters::SetBench;
+use bench_harness::workload::{prefill_set, run_set, Mix, SetCfg};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use isb::hashmap::RHashMap;
+use isb::list::RList;
+use nvm::RealNvm;
+use std::sync::Arc;
+use std::time::Duration;
+
+const THREADS: usize = 4;
+const RANGE: u64 = 4096;
+
+fn time_per_op<B: SetBench + 'static>(s: Arc<B>, iters: u64) -> Duration {
+    prefill_set(&*s, RANGE, 7);
+    let r = run_set(
+        s,
+        SetCfg {
+            threads: THREADS,
+            key_range: RANGE,
+            mix: Mix::UPDATE_INTENSIVE,
+            duration: Duration::from_millis(120),
+            seed: 42,
+        },
+    );
+    Duration::from_secs_f64(r.elapsed.as_secs_f64() / r.ops.max(1) as f64 * iters as f64)
+}
+
+fn mops<B: SetBench + 'static>(s: Arc<B>) -> f64 {
+    prefill_set(&*s, RANGE, 7);
+    run_set(
+        s,
+        SetCfg {
+            threads: THREADS,
+            key_range: RANGE,
+            mix: Mix::UPDATE_INTENSIVE,
+            duration: Duration::from_millis(120),
+            seed: 42,
+        },
+    )
+    .mops()
+}
+
+fn bench(c: &mut Criterion) {
+    // Shard-scaling summary first (the number the sweep exists to show).
+    for shards in [1usize, 4, 16, 64] {
+        let m = mops(Arc::new(RHashMap::<RealNvm, false>::with_shards(shards)));
+        println!("[map_throughput] {THREADS} threads, {shards:>2} shards: {m:.3} Mops/s");
+    }
+
+    let mut g = c.benchmark_group(format!("map_shard_sweep_{THREADS}t_range{RANGE}"));
+    g.sample_size(10);
+    g.bench_function(BenchmarkId::from_parameter("Isb-list"), |b| {
+        b.iter_custom(|iters| time_per_op(Arc::new(RList::<RealNvm, false>::new()), iters))
+    });
+    for shards in [1usize, 4, 16, 64] {
+        g.bench_function(BenchmarkId::from_parameter(format!("Isb-HM/{shards}")), |b| {
+            b.iter_custom(|iters| {
+                time_per_op(Arc::new(RHashMap::<RealNvm, false>::with_shards(shards)), iters)
+            })
+        });
+    }
+    g.bench_function(BenchmarkId::from_parameter("Isb-HM-Opt/16"), |b| {
+        b.iter_custom(|iters| {
+            time_per_op(Arc::new(RHashMap::<RealNvm, true>::with_shards(16)), iters)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -4,6 +4,7 @@
 //! binary selects them by the names used in the paper's plots
 //! (`Isb`, `Isb-Opt`, `Capsules`, `Capsules-Opt`, `DT-Opt`, `Harris-LL`, …).
 
+use isb::hashmap::RHashMap;
 use isb::list::RList;
 use isb::queue::RQueue;
 use nvm::Persist;
@@ -16,6 +17,13 @@ pub trait SetBench: Send + Sync {
     fn delete(&self, pid: usize, k: u64) -> bool;
     /// Membership test.
     fn find(&self, pid: usize, k: u64) -> bool;
+}
+
+/// A sharded concurrent map (the hash-map benchmarks): the set surface plus
+/// shard introspection, so sweeps can label series by shard count.
+pub trait MapBench: SetBench {
+    /// Number of shards the keys are routed over.
+    fn shard_count(&self) -> usize;
 }
 
 /// A concurrent FIFO queue (the queue benchmarks).
@@ -98,6 +106,24 @@ impl<M: Persist, const TUNED: bool> SetBench for RList<M, TUNED> {
     }
     fn find(&self, pid: usize, k: u64) -> bool {
         RList::find(self, pid, k)
+    }
+}
+
+impl<M: Persist, const TUNED: bool> SetBench for RHashMap<M, TUNED> {
+    fn insert(&self, pid: usize, k: u64) -> bool {
+        RHashMap::insert(self, pid, k)
+    }
+    fn delete(&self, pid: usize, k: u64) -> bool {
+        RHashMap::delete(self, pid, k)
+    }
+    fn find(&self, pid: usize, k: u64) -> bool {
+        RHashMap::find(self, pid, k)
+    }
+}
+
+impl<M: Persist, const TUNED: bool> MapBench for RHashMap<M, TUNED> {
+    fn shard_count(&self) -> usize {
+        self.shards()
     }
 }
 

@@ -8,6 +8,7 @@
 //! figures --threads 1,2,4,8    # custom thread sweep
 //! figures --dur-ms 300          # per-point duration
 //! figures --out results/        # also write CSV files
+//! figures --json bench.json     # machine-readable archive of every table
 //! ```
 //!
 //! Algorithms (paper names): `Isb`, `Isb-Opt`, `Capsules`, `Capsules-Opt`,
@@ -24,10 +25,14 @@ use baselines::log_queue::LogQueue;
 use baselines::ms_queue::MsQueue;
 use bench_harness::adapters::{QueueBench, SetBench};
 use bench_harness::report::Table;
-use bench_harness::workload::{prefill_set, run_queue, run_set, Mix, QueueCfg, RunResult, SetCfg};
+use bench_harness::workload::{
+    prefill_set, run_queue, run_set, run_shard_sweep, Mix, QueueCfg, RunResult, SetCfg,
+};
+use isb::hashmap::RHashMap;
 use isb::list::RList;
 use isb::queue::RQueue;
 use nvm::{NoPersist, Persist, RealNvm};
+use std::cell::RefCell;
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -36,6 +41,7 @@ struct Opts {
     threads: Vec<usize>,
     dur: Duration,
     out: Option<String>,
+    json: Option<String>,
     queue_prefill: u64,
 }
 
@@ -44,6 +50,7 @@ fn parse_args() -> Opts {
     let mut threads = vec![1, 2, 4, 8];
     let mut dur = Duration::from_millis(250);
     let mut out = None;
+    let mut json = None;
     let mut queue_prefill = 100_000;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -67,9 +74,11 @@ fn parse_args() -> Opts {
                 queue_prefill = 1_000_000;
             }
             "--out" => out = Some(args.next().expect("--out dir")),
+            "--json" => json = Some(args.next().expect("--json <path>")),
             "--help" | "-h" => {
                 println!(
-                    "figures [--all|--fig id]* [--paper] [--threads l] [--dur-ms n] [--out dir]"
+                    "figures [--all|--fig id]* [--paper] [--threads l] [--dur-ms n] [--out dir] \
+                     [--json path]"
                 );
                 std::process::exit(0);
             }
@@ -79,11 +88,13 @@ fn parse_args() -> Opts {
     if figs.is_empty() {
         figs = ALL_FIGS.iter().map(|s| s.to_string()).collect();
     }
-    Opts { figs, threads, dur, out, queue_prefill }
+    Opts { figs, threads, dur, out, json, queue_prefill }
 }
 
-const ALL_FIGS: &[&str] =
-    &["fig1a", "fig1b", "fig1c", "fig1d", "fig1e", "fig1f", "fig3", "fig4", "fig5", "fig6", "fig7"];
+const ALL_FIGS: &[&str] = &[
+    "fig1a", "fig1b", "fig1c", "fig1d", "fig1e", "fig1f", "fig3", "fig4", "fig5", "fig6", "fig7",
+    "fig8",
+];
 
 /// The list algorithms of the figures, by paper name.
 fn make_list<M: Persist>(name: &str) -> Arc<dyn SetBench> {
@@ -130,6 +141,9 @@ struct Ctx {
     threads: Vec<usize>,
     dur: Duration,
     out: Option<String>,
+    json: Option<String>,
+    /// Per-table JSON objects accumulated for the `--json` archive.
+    collected: RefCell<Vec<String>>,
     queue_prefill: u64,
 }
 
@@ -139,6 +153,9 @@ impl Ctx {
         if let Some(dir) = &self.out {
             std::fs::create_dir_all(dir).unwrap();
             std::fs::write(format!("{dir}/{id}.csv"), t.to_csv()).unwrap();
+        }
+        if self.json.is_some() {
+            self.collected.borrow_mut().push(t.to_json(id));
         }
     }
 
@@ -251,6 +268,49 @@ impl Ctx {
         }
         self.emit("fig7_private", &t);
     }
+
+    /// Sharded hash map shard sweep — Figure 8 (beyond the paper): RHashMap
+    /// throughput per shard count, plus the hand-tuned placement at the
+    /// default shard count. A single-shard map is exactly the Isb list, so
+    /// the leftmost column doubles as the unsharded baseline.
+    fn fig8(&self) {
+        const SHARDS: &[usize] = &[1, 4, 16, 64];
+        let range = 4096u64;
+        for (mix, label) in
+            [(Mix::READ_INTENSIVE, "read-intensive"), (Mix::UPDATE_INTENSIVE, "update-intensive")]
+        {
+            let mut cols: Vec<String> = SHARDS.iter().map(|s| format!("Isb-HM/{s}")).collect();
+            cols.push("Isb-HM-Opt/16".to_string());
+            let mut t = Table::new(
+                format!("Figure 8: hash-map shard sweep, {label} (Mops/s; keys [1,{range}])"),
+                cols,
+            );
+            for &n in &self.threads {
+                let cfg =
+                    SetCfg { threads: n, key_range: range, mix, duration: self.dur, seed: 42 };
+                let mut vals: Vec<f64> = run_shard_sweep(
+                    |s| {
+                        nvm::stats::reset();
+                        Arc::new(RHashMap::<RealNvm, false>::with_shards(s))
+                    },
+                    SHARDS,
+                    cfg,
+                )
+                .into_iter()
+                .map(|(_, r)| r.mops())
+                .collect();
+                let opt = {
+                    nvm::stats::reset();
+                    let m = Arc::new(RHashMap::<RealNvm, true>::with_shards(16));
+                    prefill_set(&*m, range, 43);
+                    run_set(m, cfg).mops()
+                };
+                vals.push(opt);
+                t.row(n.to_string(), vals);
+            }
+            self.emit(&format!("fig8_{label}"), &t);
+        }
+    }
 }
 
 fn main() {
@@ -264,6 +324,8 @@ fn main() {
         threads: opts.threads,
         dur: opts.dur,
         out: opts.out,
+        json: opts.json,
+        collected: RefCell::new(Vec::new()),
         queue_prefill: opts.queue_prefill,
     };
     for fig in &opts.figs {
@@ -334,7 +396,14 @@ fn main() {
                 Mix::UPDATE_INTENSIVE,
             ),
             "fig7" => ctx.fig7(),
+            "fig8" => ctx.fig8(),
             other => panic!("unknown figure {other}"),
         }
+    }
+    if let Some(path) = &ctx.json {
+        let figs = ctx.collected.borrow();
+        let body = format!("{{\"schema\":1,\"figures\":[{}]}}", figs.join(","));
+        std::fs::write(path, body).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+        println!("wrote {} figure tables to {path}", figs.len());
     }
 }

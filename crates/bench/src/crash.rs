@@ -28,6 +28,7 @@
 //! harness only re-invokes them, exactly like the paper's system model.
 
 use isb::bst::RBst;
+use isb::hashmap::RHashMap;
 use isb::list::RList;
 use isb::queue::RQueue;
 use nvm::sim;
@@ -133,15 +134,30 @@ pub trait RecoverableSet: Send + Sync + 'static {
     fn snapshot(&mut self) -> Vec<u64>;
     /// Panics on structural-invariant violations (requires quiescence).
     fn check_invariants(&mut self);
+
+    /// Post-recovery scrub, run once after every process finished its
+    /// `recover_*` rounds: completes helping obligations the crash left
+    /// visible (the tuned placement defers cleanup-`psync`s, so the image
+    /// can resurrect tags of *completed* operations — harmless at runtime,
+    /// where lazy helping heals them, but the harness validates a quiescent
+    /// structure immediately). Default: nothing to scrub.
+    fn scrub(&self) {}
 }
 
 macro_rules! impl_recoverable_set {
-    ($ty:ty, $name:literal) => {
+    // Optional trailing method name: forwards the trait's `scrub` to the
+    // structure's own eager-helping scrub (not every structure exposes one).
+    ($ty:ty, $name:literal $(, $scrub:ident)?) => {
         impl RecoverableSet for $ty {
             const NAME: &'static str = $name;
             fn build_for_crash() -> Self {
                 Self::with_collector(Collector::disabled())
             }
+            $(
+                fn scrub(&self) {
+                    <$ty>::$scrub(self)
+                }
+            )?
             fn insert(&self, pid: usize, k: u64) -> bool {
                 <$ty>::insert(self, pid, k)
             }
@@ -170,8 +186,13 @@ macro_rules! impl_recoverable_set {
     };
 }
 
-impl_recoverable_set!(RList<SimNvm, false>, "RList");
+impl_recoverable_set!(RList<SimNvm, false>, "RList", scrub);
 impl_recoverable_set!(RBst<SimNvm, false>, "RBst");
+// The sharded map in both persistency placements; `with_collector` builds
+// the default 16 shards, so seeded crashes land in different buckets while
+// all pending descriptors live in the one shared recovery area.
+impl_recoverable_set!(RHashMap<SimNvm, false>, "RHashMap", scrub);
+impl_recoverable_set!(RHashMap<SimNvm, true>, "RHashMap-Opt", scrub);
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum SetOp {
@@ -302,11 +323,22 @@ pub fn run_set_scenario<S: RecoverableSet>(cfg: CrashCfg) -> CrashReport {
 
         // ---- Validation --------------------------------------------------
         let mut set = Arc::into_inner(set).expect("all workers joined");
+        set.scrub();
         set.check_invariants();
         let snapshot = set.snapshot();
         for w in snapshot.windows(2) {
             assert!(w[0] < w[1], "seed {}: {} snapshot unsorted", cfg.seed, S::NAME);
         }
+        // POISON scan: a reachable key whose persisted side was never covered
+        // by a completed persist reads as `sim::POISON` after the adversarial
+        // image — publishing a reachable pointer to unpersisted state is a
+        // missing-flush bug (DESIGN.md §3), never legitimate key material.
+        assert!(
+            !snapshot.contains(&sim::POISON),
+            "seed {}: {} snapshot contains POISON (reachable unpersisted node)",
+            cfg.seed,
+            S::NAME
+        );
         let mut expected = std::collections::BTreeSet::new();
         for (p, log) in logs.iter().enumerate() {
             let log = log.lock().unwrap();
@@ -375,6 +407,17 @@ pub fn run_list_scenario(cfg: CrashCfg) -> CrashReport {
 /// Runs one seeded BST crash scenario (see [`run_set_scenario`]).
 pub fn run_bst_scenario(cfg: CrashCfg) -> CrashReport {
     run_set_scenario::<RBst<SimNvm, false>>(cfg)
+}
+
+/// Runs one seeded sharded-hash-map crash scenario, untuned placement
+/// (see [`run_set_scenario`]).
+pub fn run_hashmap_scenario(cfg: CrashCfg) -> CrashReport {
+    run_set_scenario::<RHashMap<SimNvm, false>>(cfg)
+}
+
+/// Runs one seeded sharded-hash-map crash scenario, hand-tuned placement.
+pub fn run_hashmap_opt_scenario(cfg: CrashCfg) -> CrashReport {
+    run_set_scenario::<RHashMap<SimNvm, true>>(cfg)
 }
 
 // ---------------------------------------------------------------------------

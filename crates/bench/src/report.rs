@@ -46,6 +46,43 @@ impl Table {
         s
     }
 
+    /// Render as a JSON object tagged with `id` (the figure id), for the
+    /// machine-readable archive written by `figures --json`. Hand-rolled —
+    /// the offline build environment has no serde.
+    pub fn to_json(&self, id: &str) -> String {
+        let mut s = String::new();
+        let _ = write!(
+            s,
+            "{{\"id\":{},\"title\":{},\"columns\":[",
+            json_str(id),
+            json_str(&self.title)
+        );
+        for (i, c) in self.columns.iter().enumerate() {
+            let _ = write!(s, "{}{}", if i > 0 { "," } else { "" }, json_str(c));
+        }
+        let _ = write!(s, "],\"rows\":[");
+        for (i, (label, vals)) in self.rows.iter().enumerate() {
+            let _ = write!(
+                s,
+                "{}{{\"x\":{},\"values\":[",
+                if i > 0 { "," } else { "" },
+                json_str(label)
+            );
+            for (j, v) in vals.iter().enumerate() {
+                // JSON has no NaN/Inf; a degenerate measurement becomes null.
+                let _ = write!(
+                    s,
+                    "{}{}",
+                    if j > 0 { "," } else { "" },
+                    if v.is_finite() { format!("{v:.6}") } else { "null".into() }
+                );
+            }
+            let _ = write!(s, "]}}");
+        }
+        let _ = write!(s, "]}}");
+        s
+    }
+
     /// Render as CSV (header row first).
     pub fn to_csv(&self) -> String {
         let mut s = String::new();
@@ -65,6 +102,25 @@ impl Table {
     }
 }
 
+/// Minimal JSON string quoting (quotes, backslashes, control characters).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -80,6 +136,18 @@ mod tests {
         let csv = t.to_csv();
         assert!(csv.starts_with("x,A,B\n"));
         assert!(csv.contains("2,3.000000,4.500000"));
+    }
+
+    #[test]
+    fn json_shape_and_escaping() {
+        let mut t = Table::new("fig \"quoted\"", vec!["A".into()]);
+        t.row("1", vec![1.5]);
+        t.row("2", vec![f64::NAN]);
+        let j = t.to_json("fig9_x");
+        assert!(j.starts_with("{\"id\":\"fig9_x\",\"title\":\"fig \\\"quoted\\\"\""));
+        assert!(j.contains("\"columns\":[\"A\"]"));
+        assert!(j.contains("{\"x\":\"1\",\"values\":[1.500000]}"));
+        assert!(j.contains("{\"x\":\"2\",\"values\":[null]}"), "NaN must become null: {j}");
     }
 
     #[test]

@@ -151,6 +151,26 @@ pub fn run_set<B: SetBench + ?Sized + 'static>(s: Arc<B>, cfg: SetCfg) -> RunRes
     RunResult { ops: total.load(Ordering::Relaxed), elapsed, stats: s1.since(&s0) }
 }
 
+/// Runs the set workload once per shard count: `mk(shards)` builds a fresh
+/// sharded map, which is prefilled and hammered under `cfg`. Returns
+/// `(shards, result)` per point — the shard-sweep workload behind the
+/// `map_throughput` bench and the `fig8` figures experiment.
+pub fn run_shard_sweep<B, F>(mk: F, shard_counts: &[usize], cfg: SetCfg) -> Vec<(usize, RunResult)>
+where
+    B: crate::adapters::MapBench + ?Sized + 'static,
+    F: Fn(usize) -> Arc<B>,
+{
+    shard_counts
+        .iter()
+        .map(|&shards| {
+            let m = mk(shards);
+            assert_eq!(m.shard_count(), shards, "factory built the wrong shard count");
+            prefill_set(&*m, cfg.key_range, cfg.seed | 1);
+            (shards, run_set(m, cfg))
+        })
+        .collect()
+}
+
 /// Configuration of one queue run (paper: each thread alternates
 /// enqueue/dequeue pairs; prefilled).
 #[derive(Debug, Clone, Copy)]

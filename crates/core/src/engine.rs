@@ -61,9 +61,16 @@ pub const RES_EMPTY: u64 = 4;
 pub const RES_VAL_BASE: u64 = 16;
 
 /// Encode a payload value as a result word.
+///
+/// Panics (also in release builds) when `v` is within [`RES_VAL_BASE`] of
+/// `u64::MAX`: the wrapped sum would collide with the reserved encodings
+/// (`RES_EMPTY`, `RES_TRUE`, …) and recovery would decode a wrong response.
 #[inline]
 pub fn res_val(v: u64) -> u64 {
-    debug_assert!(v <= u64::MAX - RES_VAL_BASE);
+    assert!(
+        v <= u64::MAX - RES_VAL_BASE,
+        "payload {v:#x} exceeds the encodable range (collides with reserved result encodings)"
+    );
     v + RES_VAL_BASE
 }
 
@@ -647,6 +654,16 @@ mod tests {
         assert!(res_val(0) >= RES_VAL_BASE);
         assert_ne!(res_val(0), RES_BOT);
         assert_ne!(res_val(0), RES_EMPTY);
+        // The largest encodable payload maps to u64::MAX without wrapping.
+        assert_eq!(val_of(res_val(u64::MAX - RES_VAL_BASE)), u64::MAX - RES_VAL_BASE);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the encodable range")]
+    fn result_value_encoding_rejects_huge_payloads() {
+        // Must panic in release builds too: a wrapped encoding would collide
+        // with RES_EMPTY/RES_TRUE and recovery would report a wrong response.
+        let _ = res_val(u64::MAX - RES_VAL_BASE + 1);
     }
 
     #[test]

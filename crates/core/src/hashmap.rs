@@ -1,0 +1,402 @@
+//! Sharded, detectably recoverable hash map (set of `u64` keys) built on the
+//! head-parameterized ordered-set core (DESIGN.md §8).
+//!
+//! `RHashMap` keeps a fixed power-of-two array of bucket heads, each an
+//! independent sorted-list bucket run by [`crate::set_core::SetCore`]. Keys
+//! are routed to a bucket by fibonacci hashing (multiply by 2⁶⁴/φ, take the
+//! top bits), which whitens dense integer key ranges across shards. All
+//! shards share **one** [`RecArea`] — the paper's model allows a single
+//! pending operation per process, regardless of which part of the structure
+//! it touches — and one collector, so `recover_*` needs no shard routing for
+//! the *decision*: the published descriptor carries everything `Help` needs,
+//! and only a `Restart` re-routes through the shard function (with the
+//! original arguments, exactly like the system model's re-invocation).
+//!
+//! Per-bucket **pointer freshness** (DESIGN.md §4) is unaffected by
+//! sharding: the guarantee is per info/next *cell*, and every cell belongs
+//! to exactly one bucket; operations on different shards touch disjoint
+//! cells and interact only through the shared recovery slots, which keep the
+//! single-pending-op discipline per process.
+
+use crate::engine::RES_TRUE;
+use crate::recovery::{RecArea, Recovered};
+use crate::set_core::{self, Node, SetCore};
+use nvm::Persist;
+use reclaim::Collector;
+
+/// Default shard count for [`RHashMap::new`].
+pub const DEFAULT_SHARDS: usize = 16;
+
+/// 2⁶⁴ / φ, the fibonacci-hashing multiplier.
+const FIB: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// Sharded, detectably recoverable hash map. `TUNED` selects the persistency
+/// placement exactly as for [`crate::list::RList`] (false = "Isb", true =
+/// "Isb-Opt").
+pub struct RHashMap<M: Persist, const TUNED: bool = false> {
+    heads: Box<[*mut Node<M>]>,
+    /// Right-shift distance extracting the top `log2(shards)` hash bits.
+    shift: u32,
+    rec: RecArea<M>,
+    collector: Collector,
+}
+
+unsafe impl<M: Persist, const TUNED: bool> Send for RHashMap<M, TUNED> {}
+unsafe impl<M: Persist, const TUNED: bool> Sync for RHashMap<M, TUNED> {}
+
+impl<M: Persist, const TUNED: bool> Default for RHashMap<M, TUNED> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<M: Persist, const TUNED: bool> RHashMap<M, TUNED> {
+    /// New empty map with [`DEFAULT_SHARDS`] shards and a reclaiming
+    /// collector.
+    pub fn new() -> Self {
+        Self::with_shards(DEFAULT_SHARDS)
+    }
+
+    /// New empty map with `shards` buckets (must be a power of two).
+    pub fn with_shards(shards: usize) -> Self {
+        Self::with_shards_and_collector(shards, Collector::new())
+    }
+
+    /// New empty map with the given collector and [`DEFAULT_SHARDS`] shards.
+    /// Crash-simulation runs pass [`Collector::disabled`] (a crash must not
+    /// free memory).
+    pub fn with_collector(collector: Collector) -> Self {
+        Self::with_shards_and_collector(DEFAULT_SHARDS, collector)
+    }
+
+    /// New empty map with `shards` buckets (power of two) and the given
+    /// collector.
+    pub fn with_shards_and_collector(shards: usize, collector: Collector) -> Self {
+        assert!(shards.is_power_of_two(), "shard count must be a power of two, got {shards}");
+        let heads = (0..shards).map(|_| set_core::new_bucket()).collect();
+        // For one shard every key maps to bucket 0; `min(63)` keeps the
+        // shift in range and the mask in `shard_of` does the rest.
+        let shift = (64 - shards.trailing_zeros()).min(63);
+        Self { heads, shift, rec: RecArea::new(), collector }
+    }
+
+    /// Number of shards (buckets).
+    pub fn shards(&self) -> usize {
+        self.heads.len()
+    }
+
+    /// The map's collector (for diagnostics).
+    pub fn collector(&self) -> &Collector {
+        &self.collector
+    }
+
+    /// Fibonacci-hash shard routing: top `log2(shards)` bits of `key · FIB`.
+    #[inline]
+    pub fn shard_of(&self, key: u64) -> usize {
+        (key.wrapping_mul(FIB) >> self.shift) as usize & (self.heads.len() - 1)
+    }
+
+    /// The core view over `key`'s bucket.
+    #[inline]
+    fn core_for(&self, key: u64) -> SetCore<'_, M, TUNED> {
+        // SAFETY: every head is a live bucket owned by this map; all buckets
+        // share the map's single recovery area and collector.
+        unsafe { SetCore::new(self.heads[self.shard_of(key)], &self.rec, &self.collector) }
+    }
+
+    /// The core view over bucket `shard` (recovery/diagnostics; the shard
+    /// choice does not matter for [`SetCore::op_recover`], which only reads
+    /// the shared recovery area).
+    #[inline]
+    fn core_at(&self, shard: usize) -> SetCore<'_, M, TUNED> {
+        // SAFETY: as in `core_for`.
+        unsafe { SetCore::new(self.heads[shard], &self.rec, &self.collector) }
+    }
+
+    /// Inserts `key`; returns `false` iff it was already present.
+    pub fn insert(&self, pid: usize, key: u64) -> bool {
+        self.core_for(key).insert(pid, key)
+    }
+
+    /// Deletes `key`; returns `false` iff it was absent.
+    pub fn delete(&self, pid: usize, key: u64) -> bool {
+        self.core_for(key).delete(pid, key)
+    }
+
+    /// Whether `key` is present.
+    pub fn find(&self, pid: usize, key: u64) -> bool {
+        self.core_for(key).find(pid, key)
+    }
+
+    /// `Insert.Recover` (generic Op-Recover on the shared recovery area,
+    /// re-invoking with the original key — and thus the original shard — on
+    /// `Restart`).
+    pub fn recover_insert(&self, pid: usize, key: u64) -> bool {
+        match self.core_at(0).op_recover(pid) {
+            Recovered::Completed(v) => v == RES_TRUE,
+            Recovered::Restart => self.insert(pid, key),
+        }
+    }
+
+    /// `Delete.Recover`.
+    pub fn recover_delete(&self, pid: usize, key: u64) -> bool {
+        match self.core_at(0).op_recover(pid) {
+            Recovered::Completed(v) => v == RES_TRUE,
+            Recovered::Restart => self.delete(pid, key),
+        }
+    }
+
+    /// `Find.Recover`: finds never set `CP_q = 1`, so recovery always
+    /// restarts them.
+    pub fn recover_find(&self, pid: usize, key: u64) -> bool {
+        match self.core_at(0).op_recover(pid) {
+            Recovered::Completed(v) => v == RES_TRUE,
+            Recovered::Restart => self.find(pid, key),
+        }
+    }
+
+    /// Completes helping obligations left visible by a crash in any shard
+    /// (resurrected tags of completed operations under the tuned
+    /// placement); call after every process ran its `recover_*`. See
+    /// [`crate::set_core::SetCore::scrub`].
+    pub fn scrub(&self) {
+        for shard in 0..self.heads.len() {
+            self.core_at(shard).scrub();
+        }
+    }
+
+    /// Sorted snapshot of the user keys across all shards (requires
+    /// exclusive access ⇒ quiescence).
+    pub fn snapshot_keys(&mut self) -> Vec<u64> {
+        let mut out = Vec::new();
+        for shard in 0..self.heads.len() {
+            self.core_at(shard).snapshot_keys_into(&mut out);
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// Structural invariants of every shard, plus shard-routing consistency:
+    /// each reachable key must live in the bucket the shard function routes
+    /// it to. Panics on violation.
+    pub fn check_invariants(&mut self) {
+        for shard in 0..self.heads.len() {
+            self.core_at(shard).check_invariants();
+            let mut keys = Vec::new();
+            self.core_at(shard).snapshot_keys_into(&mut keys);
+            for k in keys {
+                assert_eq!(
+                    self.shard_of(k),
+                    shard,
+                    "key {k} reachable in shard {shard} but routes to {}",
+                    self.shard_of(k)
+                );
+            }
+        }
+    }
+}
+
+impl<M: Persist, const TUNED: bool> Drop for RHashMap<M, TUNED> {
+    fn drop(&mut self) {
+        // Quiescent teardown, as for `RList` but walking every shard: free
+        // the deduplicated union of {reachable across all buckets} ∪
+        // {parked} ∪ {published descriptors} exactly once (the shared
+        // collector and recovery area are scanned once, not per shard).
+        let mut grave: set_core::Grave =
+            self.collector.take_parked().into_iter().map(|(p, f)| (p as usize, f)).collect();
+        self.rec.each_published(|rd| set_core::grave_published_info::<M>(&mut grave, rd));
+        unsafe {
+            for &head in self.heads.iter() {
+                set_core::grave_scan_bucket(head, &mut grave);
+            }
+            set_core::free_grave(grave);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nvm::CountingNvm;
+    use std::sync::Arc;
+
+    type H = RHashMap<CountingNvm, false>;
+    type HOpt = RHashMap<CountingNvm, true>;
+
+    #[test]
+    fn sequential_set_semantics() {
+        let _gate = crate::counters::gate_shared();
+        nvm::tid::set_tid(0);
+        let map = H::new();
+        assert!(!map.find(0, 5));
+        assert!(map.insert(0, 5));
+        assert!(map.find(0, 5));
+        assert!(!map.insert(0, 5), "duplicate insert");
+        assert!(map.insert(0, 3));
+        assert!(map.insert(0, 9));
+        assert!(map.delete(0, 5));
+        assert!(!map.delete(0, 5), "double delete");
+        assert!(!map.find(0, 5));
+        assert!(map.find(0, 3) && map.find(0, 9));
+    }
+
+    #[test]
+    fn shard_routing_is_total_and_stable() {
+        let _gate = crate::counters::gate_shared();
+        nvm::tid::set_tid(0);
+        for shards in [1usize, 2, 8, 64] {
+            let map: RHashMap<CountingNvm> = RHashMap::with_shards(shards);
+            let mut hit = vec![false; shards];
+            for k in 1..=4096u64 {
+                let s = map.shard_of(k);
+                assert!(s < shards);
+                assert_eq!(s, map.shard_of(k), "routing must be deterministic");
+                hit[s] = true;
+            }
+            // Fibonacci hashing must actually spread a dense key range.
+            assert!(hit.iter().all(|&h| h), "{shards} shards: some shard never hit");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_shards_rejected() {
+        let _ = RHashMap::<CountingNvm>::with_shards(12);
+    }
+
+    #[test]
+    fn mixed_random_ops_match_model_across_shard_counts() {
+        use rand::{Rng, SeedableRng};
+        let _gate = crate::counters::gate_shared();
+        nvm::tid::set_tid(0);
+        for shards in [1usize, 4, 32] {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(42 + shards as u64);
+            let mut map: RHashMap<CountingNvm> = RHashMap::with_shards(shards);
+            let mut model = std::collections::BTreeSet::new();
+            for _ in 0..3000 {
+                let k = rng.gen_range(1..128u64);
+                match rng.gen_range(0..3) {
+                    0 => assert_eq!(map.insert(0, k), model.insert(k), "insert {k}"),
+                    1 => assert_eq!(map.delete(0, k), model.remove(&k), "delete {k}"),
+                    _ => assert_eq!(map.find(0, k), model.contains(&k), "find {k}"),
+                }
+            }
+            assert_eq!(map.snapshot_keys(), model.iter().copied().collect::<Vec<_>>());
+            map.check_invariants();
+        }
+    }
+
+    #[test]
+    fn tuned_variant_same_semantics() {
+        let _gate = crate::counters::gate_shared();
+        nvm::tid::set_tid(0);
+        let mut map = HOpt::with_shards(8);
+        for k in 1..=200u64 {
+            assert!(map.insert(0, k));
+        }
+        for k in (1..=200u64).step_by(2) {
+            assert!(map.delete(0, k));
+        }
+        for k in 1..=200u64 {
+            assert_eq!(map.find(0, k), k % 2 == 0);
+        }
+        map.check_invariants();
+        assert_eq!(map.snapshot_keys().len(), 100);
+    }
+
+    #[test]
+    fn no_leaks_after_drop() {
+        let _gate = crate::counters::gate_exclusive();
+        nvm::tid::set_tid(0);
+        let nodes0 = crate::counters::live_nodes();
+        let infos0 = crate::counters::live_infos();
+        {
+            let mut map = H::with_shards(8);
+            for k in 1..=400u64 {
+                map.insert(0, k);
+            }
+            for k in 1..=400u64 {
+                map.delete(0, k);
+            }
+            for k in 1..=100u64 {
+                map.insert(0, k);
+                map.find(0, k);
+            }
+            map.check_invariants();
+        }
+        assert_eq!(crate::counters::live_nodes(), nodes0, "node leak/double-free");
+        assert_eq!(crate::counters::live_infos(), infos0, "info leak/double-free");
+    }
+
+    #[test]
+    fn concurrent_disjoint_inserts_all_succeed() {
+        let _gate = crate::counters::gate_shared();
+        let map = Arc::new(H::with_shards(16));
+        let nthreads = 4u64;
+        let per = 300u64;
+        let hs: Vec<_> = (0..nthreads)
+            .map(|t| {
+                let map = Arc::clone(&map);
+                std::thread::spawn(move || {
+                    nvm::tid::set_tid(t as usize);
+                    for i in 0..per {
+                        assert!(map.insert(t as usize, 1 + t + i * nthreads));
+                    }
+                })
+            })
+            .collect();
+        for h in hs {
+            h.join().unwrap();
+        }
+        let mut map = Arc::into_inner(map).unwrap();
+        assert_eq!(map.snapshot_keys().len(), (nthreads * per) as usize);
+        map.check_invariants();
+    }
+
+    #[test]
+    fn concurrent_churn_no_leaks() {
+        let _gate = crate::counters::gate_exclusive();
+        nvm::tid::set_tid(0);
+        let nodes0 = crate::counters::live_nodes();
+        let infos0 = crate::counters::live_infos();
+        {
+            let map = Arc::new(H::with_shards(4));
+            let hs: Vec<_> = (0..4)
+                .map(|t| {
+                    let map = Arc::clone(&map);
+                    std::thread::spawn(move || {
+                        use rand::{Rng, SeedableRng};
+                        nvm::tid::set_tid(t);
+                        let mut rng = rand::rngs::StdRng::seed_from_u64(900 + t as u64);
+                        for _ in 0..1500 {
+                            let k = rng.gen_range(1..48u64);
+                            if rng.gen_bool(0.5) {
+                                map.insert(t, k);
+                            } else {
+                                map.delete(t, k);
+                            }
+                        }
+                    })
+                })
+                .collect();
+            for h in hs {
+                h.join().unwrap();
+            }
+            drop(Arc::into_inner(map).unwrap());
+        }
+        assert_eq!(crate::counters::live_nodes(), nodes0, "node leak/double-free");
+        assert_eq!(crate::counters::live_infos(), infos0, "info leak/double-free");
+    }
+
+    #[test]
+    fn recovery_without_crash_restarts_cleanly() {
+        let _gate = crate::counters::gate_shared();
+        nvm::tid::set_tid(0);
+        let map = H::with_shards(8);
+        assert!(map.recover_insert(0, 10));
+        assert!(map.find(0, 10));
+        assert!(map.recover_delete(0, 10));
+        assert!(!map.find(0, 10));
+        assert!(!map.recover_find(0, 10));
+    }
+}

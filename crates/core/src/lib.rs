@@ -15,7 +15,12 @@
 //! operation unlocks anything — carries the response across the crash.
 //!
 //! ## Structures
-//! * [`list::RList`] — detectably recoverable sorted linked list (paper §4).
+//! * [`list::RList`] — detectably recoverable sorted linked list (paper §4),
+//!   the one-bucket instantiation of the head-parameterized ordered-set core
+//!   in [`set_core`].
+//! * [`hashmap::RHashMap`] — sharded, detectably recoverable hash map: a
+//!   power-of-two array of [`set_core`] buckets sharing one recovery area
+//!   and one collector (DESIGN.md §8).
 //! * [`queue::RQueue`] — ISB-tracked MS-queue (paper §5 / supplementary B.2).
 //! * [`bst::RBst`] — detectably recoverable external BST (paper §6).
 //! * [`exchanger::RExchanger`] — detectably recoverable exchanger (paper §6).
@@ -46,9 +51,11 @@ pub mod bst;
 pub mod counters;
 pub mod engine;
 pub mod exchanger;
+pub mod hashmap;
 pub mod list;
 pub mod queue;
 pub mod recovery;
+pub mod set_core;
 pub mod stack;
 pub mod tag;
 

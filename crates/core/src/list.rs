@@ -1,85 +1,21 @@
 //! Detectably recoverable sorted linked list (paper Section 4,
 //! Algorithms 3–5), obtained by applying ROpt-ISB (Algorithm 2).
 //!
-//! The list is sorted by strictly increasing `u64` keys with two sentinels
-//! (`0 = −∞`, `u64::MAX = +∞`); user keys must lie strictly between. Each
-//! node carries an `info` field (tagged pointer, see [`crate::tag`]).
-//!
-//! * A node tagged **for update** has its `next` field about to change; it
-//!   is untagged when the update completes.
-//! * A node tagged **for deletion** stays tagged forever (the Harris mark
-//!   bit) — this includes the successor that a successful *Insert*
-//!   **copy-replaces**: `Insert(k)` links `pred → newnd(k) → newcurr(copy of
-//!   curr)` and retires `curr`. The copy guarantees **pointer freshness**: a
-//!   node only ever leaves a `next` field by being retired, so no `next` or
-//!   `info` field ever holds the same value twice and stale helper CASes
-//!   fail harmlessly (DESIGN.md §4).
-//!
-//! Read-only outcomes (`Find`, `Insert` of a present key, `Delete` of an
-//! absent key) take the ROpt fast path: a single-element AffectSet, the
-//! response computed from immutable fields *before* the descriptor is
-//! persisted, and no call to `Help`.
-//!
-//! ### Deviation from the paper's pseudocode
-//! Algorithm 1 reuses the same Info structure after an attempt that failed
-//! without installing anything. We allocate a fresh Info for every attempt
-//! that follows a *published* one: refilling a descriptor that `RD_q`
-//! already points to is not crash-atomic on real hardware (a torn descriptor
-//! could be helped during recovery). The single-attempt fast path is
-//! unchanged.
+//! `RList` is the one-bucket instantiation of the head-parameterized
+//! ordered-set core in [`crate::set_core`]: it owns a single bucket head,
+//! its recovery area and its collector, and delegates every operation to
+//! [`SetCore`] with exactly the same persistency placement the pre-extraction
+//! list had (asserted bit-for-bit by the `persist_placement` regression
+//! test). The algorithm documentation lives in [`crate::set_core`]; the
+//! sharded multi-bucket instantiation is [`crate::hashmap::RHashMap`].
 
-use crate::counters;
-use crate::engine::{help, HelpOutcome, Info, InfoFill, RES_FALSE, RES_TRUE};
-use crate::optype;
-use crate::recovery::{op_recover, RecArea, Recovered};
-use crate::tag;
-use nvm::{PWord, Persist, PersistWords};
-use reclaim::{Collector, Guard};
+use crate::engine::RES_TRUE;
+use crate::recovery::{RecArea, Recovered};
+use crate::set_core::{self, SetCore};
+use nvm::Persist;
+use reclaim::Collector;
 
-/// Sentinel key of the head (−∞).
-pub const KEY_MIN: u64 = 0;
-/// Sentinel key of the tail (+∞).
-pub const KEY_MAX: u64 = u64::MAX;
-
-/// A list node: `key` (immutable once published), `next`, `info`.
-#[repr(C)]
-pub struct Node<M: Persist> {
-    key: PWord<M>,
-    next: PWord<M>,
-    info: PWord<M>,
-}
-
-unsafe impl<M: Persist> PersistWords<M> for Node<M> {
-    fn each_word(&self, f: &mut dyn FnMut(&PWord<M>)) {
-        f(&self.key);
-        f(&self.next);
-        f(&self.info);
-    }
-}
-
-impl<M: Persist> Node<M> {
-    fn alloc(key: u64, next: u64, info: u64) -> *mut Node<M> {
-        counters::node_alloc();
-        Box::into_raw(Box::new(Node {
-            key: PWord::new(key),
-            next: PWord::new(next),
-            info: PWord::new(info),
-        }))
-    }
-}
-
-impl<M: Persist> Drop for Node<M> {
-    fn drop(&mut self) {
-        counters::node_free();
-    }
-}
-
-struct SearchRes<M: Persist> {
-    pred: *mut Node<M>,
-    curr: *mut Node<M>,
-    pred_info: u64,
-    curr_info: u64,
-}
+pub use crate::set_core::{Node, KEY_MAX, KEY_MIN};
 
 /// Detectably recoverable sorted linked list. `TUNED = false` is the paper's
 /// general persistency placement ("Isb"); `TUNED = true` is the hand-tuned
@@ -108,9 +44,7 @@ impl<M: Persist, const TUNED: bool> RList<M, TUNED> {
     /// New empty list with the given collector. Crash-simulation runs pass
     /// [`Collector::disabled`] (a crash must not free memory).
     pub fn with_collector(collector: Collector) -> Self {
-        let tail: *mut Node<M> = Node::alloc(KEY_MAX, 0, 0);
-        let head = Node::alloc(KEY_MIN, tail as u64, 0);
-        Self { head, rec: RecArea::new(), collector }
+        Self { head: set_core::new_bucket(), rec: RecArea::new(), collector }
     }
 
     /// The list's collector (for diagnostics).
@@ -118,313 +52,33 @@ impl<M: Persist, const TUNED: bool> RList<M, TUNED> {
         &self.collector
     }
 
-    fn assert_key(key: u64) {
-        assert!(key > KEY_MIN && key < KEY_MAX, "key must be in (0, u64::MAX)");
-    }
-
-    /// Algorithm 5 `Search`: returns the first node with `node.key >= key`
-    /// as `curr`, its predecessor, and their info values — each info value
-    /// read on first access to its node (before the node's `next`).
-    ///
-    /// # Safety
-    /// Caller must hold an EBR pin.
-    unsafe fn search(&self, key: u64) -> SearchRes<M> {
-        unsafe {
-            let mut curr = self.head;
-            let mut curr_info = (*curr).info.load();
-            let mut pred = curr;
-            let mut pred_info = curr_info;
-            while (*curr).key.load() < key {
-                pred = curr;
-                pred_info = curr_info;
-                curr = (*curr).next.load() as *mut Node<M>;
-                curr_info = (*curr).info.load();
-            }
-            SearchRes { pred, curr, pred_info, curr_info }
-        }
-    }
-
-    /// Persist the attempt's new nodes and descriptor before publication
-    /// (paper line 106 `pbarrier(newcurr, newnd, *opInfo)`).
-    unsafe fn persist_attempt(
-        &self,
-        info: *mut Info<M>,
-        newnd: *mut Node<M>,
-        newcurr: *mut Node<M>,
-    ) {
-        unsafe {
-            if !newnd.is_null() {
-                M::pwb_obj(&*newnd);
-            }
-            if !newcurr.is_null() {
-                M::pwb_obj(&*newcurr);
-            }
-            if TUNED {
-                M::pwb_obj(&*info);
-                M::pfence(); // order descriptor write-backs before RD_q's
-            } else {
-                M::pbarrier_obj(&*info);
-            }
-        }
-    }
-
-    /// Publish `info` in `RD_q`, releasing the hold on the previously
-    /// published descriptor.
-    fn publish(&self, pid: usize, info: *mut Info<M>, published: &mut u64, g: &Guard<'_>) {
-        self.rec.publish(pid, info as u64);
-        if *published != 0 && *published != info as u64 {
-            unsafe { Info::<M>::release(tag::ptr_of(*published), 1, g) };
-        }
-        *published = info as u64;
-    }
-
-    /// Retire a node that left the structure, releasing its info reference.
-    unsafe fn retire_node(&self, node: *mut Node<M>, g: &Guard<'_>) {
-        unsafe {
-            let iv = (*node).info.load();
-            Info::<M>::release(tag::ptr_of(iv), 1, g);
-            g.retire_box(node);
-        }
-    }
-
-    /// Drop never-published new nodes (and their info-cell references).
-    unsafe fn drop_pending(
-        &self,
-        newnd: *mut Node<M>,
-        newcurr: *mut Node<M>,
-        filled: u64,
-        g: &Guard<'_>,
-    ) {
-        unsafe {
-            if filled != 0 {
-                Info::<M>::release(tag::ptr_of(filled), 2, g);
-            }
-            drop(Box::from_raw(newnd));
-            drop(Box::from_raw(newcurr));
-        }
+    /// The core view over the list's single bucket.
+    #[inline]
+    fn core(&self) -> SetCore<'_, M, TUNED> {
+        // SAFETY: `head` is this list's live bucket; `rec`/`collector` are
+        // the area and collector every operation on it goes through.
+        unsafe { SetCore::new(self.head, &self.rec, &self.collector) }
     }
 
     /// Inserts `key`; returns `false` iff it was already present.
     /// (Algorithm 3, `Insert`.)
     pub fn insert(&self, pid: usize, key: u64) -> bool {
-        Self::assert_key(key);
-        // newnd → newcurr; newcurr refreshed per attempt as a copy of curr.
-        let newcurr = Node::alloc(0, 0, 0);
-        let newnd = Node::alloc(key, newcurr as u64, 0);
-        let mut info = Info::<M>::alloc();
-        let mut filled: u64 = 0; // tagged-info value currently in the new nodes' cells
-        let mut published: u64 = 0;
-        let prev = self.rec.begin::<TUNED>(pid);
-        {
-            let g = self.collector.pin();
-            unsafe { Info::<M>::release(tag::ptr_of(prev), 1, &g) };
-        }
-        loop {
-            let g = self.collector.pin();
-            let s = unsafe { self.search(key) };
-            // Helping phase.
-            if tag::is_tagged(s.pred_info) {
-                unsafe { help::<M, TUNED>(tag::ptr_of(s.pred_info), false, &g) };
-                continue;
-            }
-            if tag::is_tagged(s.curr_info) {
-                unsafe { help::<M, TUNED>(tag::ptr_of(s.curr_info), false, &g) };
-                continue;
-            }
-            let curr_key = unsafe { (*s.curr).key.load() };
-            if curr_key == key {
-                // ROpt read-only path: key already present.
-                unsafe {
-                    Info::fill(
-                        info,
-                        &InfoFill {
-                            optype: optype::INSERT,
-                            affect: &[(cell_addr(&(*s.curr).info), s.curr_info)],
-                            write: &[],
-                            newset: &[],
-                            del_mask: 0,
-                            presult: RES_FALSE,
-                        },
-                    );
-                    // Response computed early so one barrier persists it with
-                    // the descriptor (Algorithm 2, lines 73–77).
-                    M::store(&(*info).result, RES_FALSE);
-                    self.persist_attempt(info, std::ptr::null_mut(), std::ptr::null_mut());
-                }
-                self.publish(pid, info, &mut published, &g);
-                unsafe {
-                    Info::release(info, 1, &g); // the never-installed affect slot
-                    self.drop_pending(newnd, newcurr, filled, &g);
-                }
-                return false;
-            }
-            // Update path: refresh the copy of curr and the new nodes' tags.
-            unsafe {
-                (*newcurr).key.store(curr_key);
-                (*newcurr).next.store((*s.curr).next.load());
-                let t = tag::tagged(info as u64);
-                if filled != t {
-                    if filled != 0 {
-                        Info::<M>::release(tag::ptr_of(filled), 2, &g);
-                    }
-                    (*newnd).info.store(t);
-                    (*newcurr).info.store(t);
-                    filled = t;
-                }
-                Info::fill(
-                    info,
-                    &InfoFill {
-                        optype: optype::INSERT,
-                        affect: &[
-                            (cell_addr(&(*s.pred).info), s.pred_info),
-                            (cell_addr(&(*s.curr).info), s.curr_info),
-                        ],
-                        write: &[(cell_addr(&(*s.pred).next), s.curr as u64, newnd as u64)],
-                        newset: &[cell_addr(&(*newnd).info), cell_addr(&(*newcurr).info)],
-                        del_mask: 0b10, // curr is deletion-tagged (copy-replaced)
-                        presult: RES_TRUE,
-                    },
-                );
-                self.persist_attempt(info, newnd, newcurr);
-            }
-            self.publish(pid, info, &mut published, &g);
-            match unsafe { help::<M, TUNED>(info, true, &g) } {
-                HelpOutcome::Done => {
-                    unsafe { self.retire_node(s.curr, &g) };
-                    return true;
-                }
-                HelpOutcome::FailedAt(i) => {
-                    // Abandon: release never-installed affect slots; fresh
-                    // descriptor for the next attempt (pointer freshness).
-                    unsafe { Info::release(info, (2 - i) as u32, &g) };
-                    info = Info::alloc();
-                }
-            }
-        }
+        self.core().insert(pid, key)
     }
 
     /// Deletes `key`; returns `false` iff it was absent. (Algorithm 5.)
     pub fn delete(&self, pid: usize, key: u64) -> bool {
-        Self::assert_key(key);
-        let mut info = Info::<M>::alloc();
-        let mut published: u64 = 0;
-        let prev = self.rec.begin::<TUNED>(pid);
-        {
-            let g = self.collector.pin();
-            unsafe { Info::<M>::release(tag::ptr_of(prev), 1, &g) };
-        }
-        loop {
-            let g = self.collector.pin();
-            let s = unsafe { self.search(key) };
-            if tag::is_tagged(s.pred_info) {
-                unsafe { help::<M, TUNED>(tag::ptr_of(s.pred_info), false, &g) };
-                continue;
-            }
-            if tag::is_tagged(s.curr_info) {
-                unsafe { help::<M, TUNED>(tag::ptr_of(s.curr_info), false, &g) };
-                continue;
-            }
-            let curr_key = unsafe { (*s.curr).key.load() };
-            if curr_key != key {
-                // ROpt read-only path: key not present.
-                unsafe {
-                    Info::fill(
-                        info,
-                        &InfoFill {
-                            optype: optype::DELETE,
-                            affect: &[(cell_addr(&(*s.curr).info), s.curr_info)],
-                            write: &[],
-                            newset: &[],
-                            del_mask: 0,
-                            presult: RES_FALSE,
-                        },
-                    );
-                    M::store(&(*info).result, RES_FALSE);
-                    self.persist_attempt(info, std::ptr::null_mut(), std::ptr::null_mut());
-                }
-                self.publish(pid, info, &mut published, &g);
-                unsafe { Info::release(info, 1, &g) };
-                return false;
-            }
-            // succ read after the helping phase; stable once both tags hold.
-            let succ = unsafe { (*s.curr).next.load() };
-            unsafe {
-                Info::fill(
-                    info,
-                    &InfoFill {
-                        optype: optype::DELETE,
-                        affect: &[
-                            (cell_addr(&(*s.pred).info), s.pred_info),
-                            (cell_addr(&(*s.curr).info), s.curr_info),
-                        ],
-                        write: &[(cell_addr(&(*s.pred).next), s.curr as u64, succ)],
-                        newset: &[],
-                        del_mask: 0b10, // curr stays deletion-tagged forever
-                        presult: RES_TRUE,
-                    },
-                );
-                self.persist_attempt(info, std::ptr::null_mut(), std::ptr::null_mut());
-            }
-            self.publish(pid, info, &mut published, &g);
-            match unsafe { help::<M, TUNED>(info, true, &g) } {
-                HelpOutcome::Done => {
-                    unsafe { self.retire_node(s.curr, &g) };
-                    return true;
-                }
-                HelpOutcome::FailedAt(i) => {
-                    unsafe { Info::release(info, (2 - i) as u32, &g) };
-                    info = Info::alloc();
-                }
-            }
-        }
+        self.core().delete(pid, key)
     }
 
-    /// Whether `key` is present. (Algorithm 3, `Find` — fully read-only,
-    /// skips the `RD_q := Null / CP_q := 1` prologue: restarting a find is
-    /// always safe, but its response is still persisted for strict
-    /// recoverability / nesting.)
+    /// Whether `key` is present. (Algorithm 3, `Find`.)
     pub fn find(&self, pid: usize, key: u64) -> bool {
-        Self::assert_key(key);
-        let info = Info::<M>::alloc();
-        let prev = self.rec.begin_readonly(pid);
-        let mut published = prev;
-        loop {
-            let g = self.collector.pin();
-            let s = unsafe { self.search(key) };
-            if tag::is_tagged(s.curr_info) {
-                unsafe { help::<M, TUNED>(tag::ptr_of(s.curr_info), false, &g) };
-                continue;
-            }
-            let res = unsafe { (*s.curr).key.load() } == key;
-            let enc = if res { RES_TRUE } else { RES_FALSE };
-            unsafe {
-                Info::fill(
-                    info,
-                    &InfoFill {
-                        optype: optype::FIND,
-                        affect: &[(cell_addr(&(*s.curr).info), s.curr_info)],
-                        write: &[],
-                        newset: &[],
-                        del_mask: 0,
-                        presult: enc,
-                    },
-                );
-                M::store(&(*info).result, enc);
-                self.persist_attempt(info, std::ptr::null_mut(), std::ptr::null_mut());
-            }
-            self.publish(pid, info, &mut published, &g);
-            unsafe { Info::release(info, 1, &g) };
-            return res;
-        }
+        self.core().find(pid, key)
     }
 
     /// `Insert.Recover` (Op-Recover with the insert's arguments).
     pub fn recover_insert(&self, pid: usize, key: u64) -> bool {
-        let r = {
-            let g = self.collector.pin();
-            unsafe { op_recover::<M, TUNED>(&self.rec, pid, &g) }
-        };
-        match r {
+        match self.core().op_recover(pid) {
             Recovered::Completed(v) => v == RES_TRUE,
             Recovered::Restart => self.insert(pid, key),
         }
@@ -432,11 +86,7 @@ impl<M: Persist, const TUNED: bool> RList<M, TUNED> {
 
     /// `Delete.Recover`.
     pub fn recover_delete(&self, pid: usize, key: u64) -> bool {
-        let r = {
-            let g = self.collector.pin();
-            unsafe { op_recover::<M, TUNED>(&self.rec, pid, &g) }
-        };
-        match r {
+        match self.core().op_recover(pid) {
             Recovered::Completed(v) => v == RES_TRUE,
             Recovered::Restart => self.delete(pid, key),
         }
@@ -445,64 +95,31 @@ impl<M: Persist, const TUNED: bool> RList<M, TUNED> {
     /// `Find.Recover`: finds never set `CP_q = 1`, so recovery always
     /// restarts them (restart-safe by read-onlyness).
     pub fn recover_find(&self, pid: usize, key: u64) -> bool {
-        let r = {
-            let g = self.collector.pin();
-            unsafe { op_recover::<M, TUNED>(&self.rec, pid, &g) }
-        };
-        match r {
+        match self.core().op_recover(pid) {
             Recovered::Completed(v) => v == RES_TRUE,
             Recovered::Restart => self.find(pid, key),
         }
     }
 
+    /// Completes helping obligations left visible by a crash (resurrected
+    /// tags of completed operations under the tuned placement); call after
+    /// every process ran its `recover_*`. See [`SetCore::scrub`].
+    pub fn scrub(&self) {
+        self.core().scrub();
+    }
+
     /// Snapshot of the user keys (requires exclusive access ⇒ quiescence).
     pub fn snapshot_keys(&mut self) -> Vec<u64> {
         let mut out = Vec::new();
-        unsafe {
-            let mut n = (*self.head).next.load() as *mut Node<M>;
-            while (*n).key.load() != KEY_MAX {
-                out.push((*n).key.load());
-                n = (*n).next.load() as *mut Node<M>;
-            }
-        }
+        self.core().snapshot_keys_into(&mut out);
         out
     }
 
     /// Structural invariants: strictly sorted keys, intact sentinels, no
     /// reachable node is tagged (quiescent list). Panics on violation.
     pub fn check_invariants(&mut self) {
-        unsafe {
-            assert_eq!((*self.head).key.load(), KEY_MIN);
-            let mut prev_key = KEY_MIN;
-            let mut n = (*self.head).next.load() as *mut Node<M>;
-            loop {
-                let k = (*n).key.load();
-                assert!(k > prev_key, "keys must be strictly increasing: {prev_key} !< {k}");
-                assert!(
-                    !tag::is_tagged((*n).info.load()),
-                    "reachable node (key {k}) is tagged in a quiescent list"
-                );
-                if k == KEY_MAX {
-                    break;
-                }
-                prev_key = k;
-                n = (*n).next.load() as *mut Node<M>;
-            }
-        }
+        self.core().check_invariants();
     }
-}
-
-#[inline]
-fn cell_addr<M: Persist>(w: &PWord<M>) -> u64 {
-    w as *const PWord<M> as u64
-}
-
-unsafe fn drop_node_raw<M: Persist>(p: *mut u8) {
-    drop(unsafe { Box::from_raw(p as *mut Node<M>) });
-}
-
-unsafe fn drop_info_raw<M: Persist>(p: *mut u8) {
-    drop(unsafe { Box::from_raw(p as *mut Info<M>) });
 }
 
 impl<M: Persist, const TUNED: bool> Drop for RList<M, TUNED> {
@@ -511,28 +128,12 @@ impl<M: Persist, const TUNED: bool> Drop for RList<M, TUNED> {
         // rolled pointers back, making *retired* (parked) nodes reachable
         // again — so the reachable scan and the collector's parked bag can
         // overlap. Free the union exactly once, deduplicated by address.
-        let mut grave: std::collections::HashMap<usize, unsafe fn(*mut u8)> =
+        let mut grave: set_core::Grave =
             self.collector.take_parked().into_iter().map(|(p, f)| (p as usize, f)).collect();
-        self.rec.each_published(|rd| {
-            if tag::untagged(rd) != 0 {
-                grave.insert(tag::untagged(rd) as usize, drop_info_raw::<M>);
-            }
-        });
+        self.rec.each_published(|rd| set_core::grave_published_info::<M>(&mut grave, rd));
         unsafe {
-            let mut n = self.head;
-            while !n.is_null() {
-                let next = (*n).next.load() as *mut Node<M>;
-                let iv = tag::untagged((*n).info.load());
-                if iv != 0 {
-                    grave.insert(iv as usize, drop_info_raw::<M>);
-                }
-                let is_tail = (*n).key.load() == KEY_MAX;
-                grave.insert(n as usize, drop_node_raw::<M>);
-                n = if is_tail { std::ptr::null_mut() } else { next };
-            }
-            for (p, f) in grave {
-                f(p as *mut u8);
-            }
+            set_core::grave_scan_bucket(self.head, &mut grave);
+            set_core::free_grave(grave);
         }
     }
 }

@@ -1,0 +1,569 @@
+//! Head-parameterized core of the detectably recoverable sorted-list set
+//! (paper Section 4, Algorithms 3–5, obtained by applying ROpt-ISB).
+//!
+//! The ISB construction is *head-agnostic*: AffectSet/WriteSet tracking,
+//! helping and Op-Recover never mention where the traversal started. This
+//! module exploits that by factoring the whole search/gather/help/recover
+//! algorithm out of [`crate::list::RList`] into [`SetCore`], a borrowed view
+//! `(head node, &RecArea, &Collector)`. [`crate::list::RList`] is the
+//! one-bucket instantiation; [`crate::hashmap::RHashMap`] routes keys to a
+//! power-of-two array of bucket heads sharing **one** recovery area (one
+//! pending operation per process, per the paper's model) and one collector.
+//!
+//! The bucket is sorted by strictly increasing `u64` keys with two sentinels
+//! (`0 = −∞`, `u64::MAX = +∞`); user keys must lie strictly between. Each
+//! node carries an `info` field (tagged pointer, see [`crate::tag`]).
+//!
+//! * A node tagged **for update** has its `next` field about to change; it
+//!   is untagged when the update completes.
+//! * A node tagged **for deletion** stays tagged forever (the Harris mark
+//!   bit) — this includes the successor that a successful *Insert*
+//!   **copy-replaces**: `Insert(k)` links `pred → newnd(k) → newcurr(copy of
+//!   curr)` and retires `curr`. The copy guarantees **pointer freshness**: a
+//!   node only ever leaves a `next` field by being retired, so no `next` or
+//!   `info` field ever holds the same value twice and stale helper CASes
+//!   fail harmlessly (DESIGN.md §4).
+//!
+//! Read-only outcomes (`Find`, `Insert` of a present key, `Delete` of an
+//! absent key) take the ROpt fast path: a single-element AffectSet, the
+//! response computed from immutable fields *before* the descriptor is
+//! persisted, and no call to `Help`.
+//!
+//! ### Deviation from the paper's pseudocode
+//! Algorithm 1 reuses the same Info structure after an attempt that failed
+//! without installing anything. We allocate a fresh Info for every attempt
+//! that follows a *published* one: refilling a descriptor that `RD_q`
+//! already points to is not crash-atomic on real hardware (a torn descriptor
+//! could be helped during recovery). The single-attempt fast path is
+//! unchanged.
+
+use crate::counters;
+use crate::engine::{help, HelpOutcome, Info, InfoFill, RES_FALSE, RES_TRUE};
+use crate::optype;
+use crate::recovery::{op_recover, RecArea, Recovered};
+use crate::tag;
+use nvm::{PWord, Persist, PersistWords};
+use reclaim::{Collector, Guard};
+
+/// Sentinel key of a bucket head (−∞).
+pub const KEY_MIN: u64 = 0;
+/// Sentinel key of a bucket tail (+∞).
+pub const KEY_MAX: u64 = u64::MAX;
+
+/// A list node: `key` (immutable once published), `next`, `info`.
+#[repr(C)]
+pub struct Node<M: Persist> {
+    key: PWord<M>,
+    next: PWord<M>,
+    info: PWord<M>,
+}
+
+unsafe impl<M: Persist> PersistWords<M> for Node<M> {
+    fn each_word(&self, f: &mut dyn FnMut(&PWord<M>)) {
+        f(&self.key);
+        f(&self.next);
+        f(&self.info);
+    }
+}
+
+impl<M: Persist> Node<M> {
+    fn alloc(key: u64, next: u64, info: u64) -> *mut Node<M> {
+        counters::node_alloc();
+        Box::into_raw(Box::new(Node {
+            key: PWord::new(key),
+            next: PWord::new(next),
+            info: PWord::new(info),
+        }))
+    }
+}
+
+impl<M: Persist> Drop for Node<M> {
+    fn drop(&mut self) {
+        counters::node_free();
+    }
+}
+
+/// Allocates a fresh empty bucket: a `−∞` head linked to a `+∞` tail.
+/// Ownership passes to the caller, which must tear it down through
+/// [`grave_scan_bucket`] (or by walking and freeing the nodes itself).
+pub fn new_bucket<M: Persist>() -> *mut Node<M> {
+    let tail: *mut Node<M> = Node::alloc(KEY_MAX, 0, 0);
+    Node::alloc(KEY_MIN, tail as u64, 0)
+}
+
+struct SearchRes<M: Persist> {
+    pred: *mut Node<M>,
+    curr: *mut Node<M>,
+    pred_info: u64,
+    curr_info: u64,
+}
+
+/// A borrowed view of one ordered-set bucket plus the structure-wide
+/// recovery area and collector — everything the ISB set algorithm needs.
+/// `TUNED = false` is the paper's general persistency placement ("Isb");
+/// `TUNED = true` is the hand-tuned one ("Isb-Opt").
+///
+/// `SetCore` is constructed per call by the owning structure; it holds no
+/// state of its own and performs no allocation besides the operation's
+/// nodes/descriptors.
+pub struct SetCore<'a, M: Persist, const TUNED: bool> {
+    head: *mut Node<M>,
+    rec: &'a RecArea<M>,
+    collector: &'a Collector,
+}
+
+impl<'a, M: Persist, const TUNED: bool> SetCore<'a, M, TUNED> {
+    /// A view over the bucket rooted at `head`.
+    ///
+    /// # Safety
+    /// `head` must point to a live bucket created by [`new_bucket`] whose
+    /// nodes are only reclaimed through `collector`, and `rec` must be the
+    /// recovery area every operation on this bucket publishes through.
+    pub unsafe fn new(head: *mut Node<M>, rec: &'a RecArea<M>, collector: &'a Collector) -> Self {
+        Self { head, rec, collector }
+    }
+
+    fn assert_key(key: u64) {
+        assert!(key > KEY_MIN && key < KEY_MAX, "key must be in (0, u64::MAX)");
+    }
+
+    /// Algorithm 5 `Search`: returns the first node with `node.key >= key`
+    /// as `curr`, its predecessor, and their info values — each info value
+    /// read on first access to its node (before the node's `next`).
+    ///
+    /// # Safety
+    /// Caller must hold an EBR pin.
+    unsafe fn search(&self, key: u64) -> SearchRes<M> {
+        unsafe {
+            let mut curr = self.head;
+            let mut curr_info = (*curr).info.load();
+            let mut pred = curr;
+            let mut pred_info = curr_info;
+            while (*curr).key.load() < key {
+                pred = curr;
+                pred_info = curr_info;
+                curr = (*curr).next.load() as *mut Node<M>;
+                curr_info = (*curr).info.load();
+            }
+            SearchRes { pred, curr, pred_info, curr_info }
+        }
+    }
+
+    /// Persist the attempt's new nodes and descriptor before publication
+    /// (paper line 106 `pbarrier(newcurr, newnd, *opInfo)`).
+    unsafe fn persist_attempt(
+        &self,
+        info: *mut Info<M>,
+        newnd: *mut Node<M>,
+        newcurr: *mut Node<M>,
+    ) {
+        unsafe {
+            if !newnd.is_null() {
+                M::pwb_obj(&*newnd);
+            }
+            if !newcurr.is_null() {
+                M::pwb_obj(&*newcurr);
+            }
+            if TUNED {
+                M::pwb_obj(&*info);
+                M::pfence(); // order descriptor write-backs before RD_q's
+            } else {
+                M::pbarrier_obj(&*info);
+            }
+        }
+    }
+
+    /// Publish `info` in `RD_q`, releasing the hold on the previously
+    /// published descriptor.
+    fn publish(&self, pid: usize, info: *mut Info<M>, published: &mut u64, g: &Guard<'_>) {
+        self.rec.publish(pid, info as u64);
+        if *published != 0 && *published != info as u64 {
+            unsafe { Info::<M>::release(tag::ptr_of(*published), 1, g) };
+        }
+        *published = info as u64;
+    }
+
+    /// Retire a node that left the structure, releasing its info reference.
+    unsafe fn retire_node(&self, node: *mut Node<M>, g: &Guard<'_>) {
+        unsafe {
+            let iv = (*node).info.load();
+            Info::<M>::release(tag::ptr_of(iv), 1, g);
+            g.retire_box(node);
+        }
+    }
+
+    /// Drop never-published new nodes (and their info-cell references).
+    unsafe fn drop_pending(
+        &self,
+        newnd: *mut Node<M>,
+        newcurr: *mut Node<M>,
+        filled: u64,
+        g: &Guard<'_>,
+    ) {
+        unsafe {
+            if filled != 0 {
+                Info::<M>::release(tag::ptr_of(filled), 2, g);
+            }
+            drop(Box::from_raw(newnd));
+            drop(Box::from_raw(newcurr));
+        }
+    }
+
+    /// Inserts `key`; returns `false` iff it was already present.
+    /// (Algorithm 3, `Insert`.)
+    pub fn insert(&self, pid: usize, key: u64) -> bool {
+        Self::assert_key(key);
+        // newnd → newcurr; newcurr refreshed per attempt as a copy of curr.
+        let newcurr = Node::alloc(0, 0, 0);
+        let newnd = Node::alloc(key, newcurr as u64, 0);
+        let mut info = Info::<M>::alloc();
+        let mut filled: u64 = 0; // tagged-info value currently in the new nodes' cells
+        let mut published: u64 = 0;
+        let prev = self.rec.begin::<TUNED>(pid);
+        {
+            let g = self.collector.pin();
+            unsafe { Info::<M>::release(tag::ptr_of(prev), 1, &g) };
+        }
+        loop {
+            let g = self.collector.pin();
+            let s = unsafe { self.search(key) };
+            // Helping phase.
+            if tag::is_tagged(s.pred_info) {
+                unsafe { help::<M, TUNED>(tag::ptr_of(s.pred_info), false, &g) };
+                continue;
+            }
+            if tag::is_tagged(s.curr_info) {
+                unsafe { help::<M, TUNED>(tag::ptr_of(s.curr_info), false, &g) };
+                continue;
+            }
+            let curr_key = unsafe { (*s.curr).key.load() };
+            if curr_key == key {
+                // ROpt read-only path: key already present.
+                unsafe {
+                    Info::fill(
+                        info,
+                        &InfoFill {
+                            optype: optype::INSERT,
+                            affect: &[(cell_addr(&(*s.curr).info), s.curr_info)],
+                            write: &[],
+                            newset: &[],
+                            del_mask: 0,
+                            presult: RES_FALSE,
+                        },
+                    );
+                    // Response computed early so one barrier persists it with
+                    // the descriptor (Algorithm 2, lines 73–77).
+                    M::store(&(*info).result, RES_FALSE);
+                    self.persist_attempt(info, std::ptr::null_mut(), std::ptr::null_mut());
+                }
+                self.publish(pid, info, &mut published, &g);
+                unsafe {
+                    Info::release(info, 1, &g); // the never-installed affect slot
+                    self.drop_pending(newnd, newcurr, filled, &g);
+                }
+                return false;
+            }
+            // Update path: refresh the copy of curr and the new nodes' tags.
+            unsafe {
+                (*newcurr).key.store(curr_key);
+                (*newcurr).next.store((*s.curr).next.load());
+                let t = tag::tagged(info as u64);
+                if filled != t {
+                    if filled != 0 {
+                        Info::<M>::release(tag::ptr_of(filled), 2, &g);
+                    }
+                    (*newnd).info.store(t);
+                    (*newcurr).info.store(t);
+                    filled = t;
+                }
+                Info::fill(
+                    info,
+                    &InfoFill {
+                        optype: optype::INSERT,
+                        affect: &[
+                            (cell_addr(&(*s.pred).info), s.pred_info),
+                            (cell_addr(&(*s.curr).info), s.curr_info),
+                        ],
+                        write: &[(cell_addr(&(*s.pred).next), s.curr as u64, newnd as u64)],
+                        newset: &[cell_addr(&(*newnd).info), cell_addr(&(*newcurr).info)],
+                        del_mask: 0b10, // curr is deletion-tagged (copy-replaced)
+                        presult: RES_TRUE,
+                    },
+                );
+                self.persist_attempt(info, newnd, newcurr);
+            }
+            self.publish(pid, info, &mut published, &g);
+            match unsafe { help::<M, TUNED>(info, true, &g) } {
+                HelpOutcome::Done => {
+                    unsafe { self.retire_node(s.curr, &g) };
+                    return true;
+                }
+                HelpOutcome::FailedAt(i) => {
+                    // Abandon: release never-installed affect slots; fresh
+                    // descriptor for the next attempt (pointer freshness).
+                    unsafe { Info::release(info, (2 - i) as u32, &g) };
+                    info = Info::alloc();
+                }
+            }
+        }
+    }
+
+    /// Deletes `key`; returns `false` iff it was absent. (Algorithm 5.)
+    pub fn delete(&self, pid: usize, key: u64) -> bool {
+        Self::assert_key(key);
+        let mut info = Info::<M>::alloc();
+        let mut published: u64 = 0;
+        let prev = self.rec.begin::<TUNED>(pid);
+        {
+            let g = self.collector.pin();
+            unsafe { Info::<M>::release(tag::ptr_of(prev), 1, &g) };
+        }
+        loop {
+            let g = self.collector.pin();
+            let s = unsafe { self.search(key) };
+            if tag::is_tagged(s.pred_info) {
+                unsafe { help::<M, TUNED>(tag::ptr_of(s.pred_info), false, &g) };
+                continue;
+            }
+            if tag::is_tagged(s.curr_info) {
+                unsafe { help::<M, TUNED>(tag::ptr_of(s.curr_info), false, &g) };
+                continue;
+            }
+            let curr_key = unsafe { (*s.curr).key.load() };
+            if curr_key != key {
+                // ROpt read-only path: key not present.
+                unsafe {
+                    Info::fill(
+                        info,
+                        &InfoFill {
+                            optype: optype::DELETE,
+                            affect: &[(cell_addr(&(*s.curr).info), s.curr_info)],
+                            write: &[],
+                            newset: &[],
+                            del_mask: 0,
+                            presult: RES_FALSE,
+                        },
+                    );
+                    M::store(&(*info).result, RES_FALSE);
+                    self.persist_attempt(info, std::ptr::null_mut(), std::ptr::null_mut());
+                }
+                self.publish(pid, info, &mut published, &g);
+                unsafe { Info::release(info, 1, &g) };
+                return false;
+            }
+            // succ read after the helping phase; stable once both tags hold.
+            let succ = unsafe { (*s.curr).next.load() };
+            unsafe {
+                Info::fill(
+                    info,
+                    &InfoFill {
+                        optype: optype::DELETE,
+                        affect: &[
+                            (cell_addr(&(*s.pred).info), s.pred_info),
+                            (cell_addr(&(*s.curr).info), s.curr_info),
+                        ],
+                        write: &[(cell_addr(&(*s.pred).next), s.curr as u64, succ)],
+                        newset: &[],
+                        del_mask: 0b10, // curr stays deletion-tagged forever
+                        presult: RES_TRUE,
+                    },
+                );
+                self.persist_attempt(info, std::ptr::null_mut(), std::ptr::null_mut());
+            }
+            self.publish(pid, info, &mut published, &g);
+            match unsafe { help::<M, TUNED>(info, true, &g) } {
+                HelpOutcome::Done => {
+                    unsafe { self.retire_node(s.curr, &g) };
+                    return true;
+                }
+                HelpOutcome::FailedAt(i) => {
+                    unsafe { Info::release(info, (2 - i) as u32, &g) };
+                    info = Info::alloc();
+                }
+            }
+        }
+    }
+
+    /// Whether `key` is present. (Algorithm 3, `Find` — fully read-only,
+    /// skips the `RD_q := Null / CP_q := 1` prologue: restarting a find is
+    /// always safe, but its response is still persisted for strict
+    /// recoverability / nesting.)
+    pub fn find(&self, pid: usize, key: u64) -> bool {
+        Self::assert_key(key);
+        let info = Info::<M>::alloc();
+        let prev = self.rec.begin_readonly(pid);
+        let mut published = prev;
+        loop {
+            let g = self.collector.pin();
+            let s = unsafe { self.search(key) };
+            if tag::is_tagged(s.curr_info) {
+                unsafe { help::<M, TUNED>(tag::ptr_of(s.curr_info), false, &g) };
+                continue;
+            }
+            let res = unsafe { (*s.curr).key.load() } == key;
+            let enc = if res { RES_TRUE } else { RES_FALSE };
+            unsafe {
+                Info::fill(
+                    info,
+                    &InfoFill {
+                        optype: optype::FIND,
+                        affect: &[(cell_addr(&(*s.curr).info), s.curr_info)],
+                        write: &[],
+                        newset: &[],
+                        del_mask: 0,
+                        presult: enc,
+                    },
+                );
+                M::store(&(*info).result, enc);
+                self.persist_attempt(info, std::ptr::null_mut(), std::ptr::null_mut());
+            }
+            self.publish(pid, info, &mut published, &g);
+            unsafe { Info::release(info, 1, &g) };
+            return res;
+        }
+    }
+
+    /// Generic Op-Recover on the shared recovery area: `Completed` carries
+    /// the crashed operation's persisted (encoded) response; `Restart` means
+    /// the caller must re-invoke the operation with its original arguments.
+    pub fn op_recover(&self, pid: usize) -> Recovered {
+        let g = self.collector.pin();
+        unsafe { op_recover::<M, TUNED>(self.rec, pid, &g) }
+    }
+
+    /// Completes helping obligations left *visible* in this bucket by a
+    /// crash: walks the bucket and runs `Help` on every tagged info until a
+    /// full pass finds none. Call after every process ran its `Op.Recover`.
+    ///
+    /// Needed by the hand-tuned placement, which defers the cleanup-phase
+    /// `psync`: the adversarial crash image may roll a completed operation's
+    /// untag write-backs back, resurrecting its tags on reachable nodes.
+    /// During normal execution lazy helping heals them on first contact;
+    /// this performs the same (idempotent) helping eagerly so a quiescent
+    /// post-recovery structure is tag-free. The effects themselves cannot
+    /// roll back — an operation only reports completion after the update
+    /// phase's `psync` — so re-helping can only untag, never re-apply.
+    pub fn scrub(&self) {
+        // Each pass helps every descriptor visible in it; descriptors are
+        // finite (≤ one per process) and helping never re-tags, so a couple
+        // of passes quiesce. The bound turns a logic bug into a diagnosis.
+        for _ in 0..64 {
+            let g = self.collector.pin();
+            let mut dirty = false;
+            unsafe {
+                let mut n = self.head;
+                loop {
+                    let iv = (*n).info.load();
+                    if tag::is_tagged(iv) {
+                        dirty = true;
+                        help::<M, TUNED>(tag::ptr_of(iv), false, &g);
+                    }
+                    if (*n).key.load() == KEY_MAX {
+                        break;
+                    }
+                    n = (*n).next.load() as *mut Node<M>;
+                }
+            }
+            if !dirty {
+                return;
+            }
+        }
+        panic!("scrub did not quiesce the bucket after 64 passes");
+    }
+
+    /// Appends this bucket's user keys to `out` in bucket order (requires
+    /// exclusive access ⇒ quiescence).
+    pub fn snapshot_keys_into(&self, out: &mut Vec<u64>) {
+        unsafe {
+            let mut n = (*self.head).next.load() as *mut Node<M>;
+            while (*n).key.load() != KEY_MAX {
+                out.push((*n).key.load());
+                n = (*n).next.load() as *mut Node<M>;
+            }
+        }
+    }
+
+    /// Structural invariants of this bucket: strictly sorted keys, intact
+    /// sentinels, no reachable node is tagged (quiescent bucket). Panics on
+    /// violation.
+    pub fn check_invariants(&self) {
+        unsafe {
+            assert_eq!((*self.head).key.load(), KEY_MIN);
+            let mut prev_key = KEY_MIN;
+            let mut n = (*self.head).next.load() as *mut Node<M>;
+            loop {
+                let k = (*n).key.load();
+                assert!(k > prev_key, "keys must be strictly increasing: {prev_key} !< {k}");
+                assert!(
+                    !tag::is_tagged((*n).info.load()),
+                    "reachable node (key {k}) is tagged in a quiescent list"
+                );
+                if k == KEY_MAX {
+                    break;
+                }
+                prev_key = k;
+                n = (*n).next.load() as *mut Node<M>;
+            }
+        }
+    }
+}
+
+#[inline]
+fn cell_addr<M: Persist>(w: &PWord<M>) -> u64 {
+    w as *const PWord<M> as u64
+}
+
+unsafe fn drop_node_raw<M: Persist>(p: *mut u8) {
+    drop(unsafe { Box::from_raw(p as *mut Node<M>) });
+}
+
+unsafe fn drop_info_raw<M: Persist>(p: *mut u8) {
+    drop(unsafe { Box::from_raw(p as *mut Info<M>) });
+}
+
+/// Drop-time grave map: address → deallocation function, deduplicated so
+/// overlapping sources (reachable scan, parked bag, published descriptors)
+/// free each object exactly once.
+pub type Grave = std::collections::HashMap<usize, unsafe fn(*mut u8)>;
+
+/// Records a published `RD_q` descriptor in the grave map.
+pub fn grave_published_info<M: Persist>(grave: &mut Grave, rd: u64) {
+    if tag::untagged(rd) != 0 {
+        grave.insert(tag::untagged(rd) as usize, drop_info_raw::<M>);
+    }
+}
+
+/// Walks one bucket from `head` and records every reachable node — and every
+/// info descriptor still referenced by a node — in the grave map. After a
+/// simulated crash the NVM image may have rolled pointers back, making
+/// *retired* (parked) nodes reachable again, so callers merge this scan with
+/// the collector's parked bag and free the deduplicated union exactly once.
+///
+/// # Safety
+/// Requires quiescent exclusive access to the bucket (drop-time teardown).
+pub unsafe fn grave_scan_bucket<M: Persist>(head: *mut Node<M>, grave: &mut Grave) {
+    unsafe {
+        let mut n = head;
+        while !n.is_null() {
+            let next = (*n).next.load() as *mut Node<M>;
+            let iv = tag::untagged((*n).info.load());
+            if iv != 0 {
+                grave.insert(iv as usize, drop_info_raw::<M>);
+            }
+            let is_tail = (*n).key.load() == KEY_MAX;
+            grave.insert(n as usize, drop_node_raw::<M>);
+            n = if is_tail { std::ptr::null_mut() } else { next };
+        }
+    }
+}
+
+/// Frees everything recorded in the grave map.
+///
+/// # Safety
+/// Every recorded address must be a live allocation owned by the caller and
+/// recorded with its matching deallocation function.
+pub unsafe fn free_grave(grave: Grave) {
+    for (p, f) in grave {
+        unsafe { f(p as *mut u8) };
+    }
+}

@@ -2,7 +2,9 @@
 //! NVM simulator, adversarial image reconstruction, per-process recovery,
 //! and exactly-once / detectability validation (DESIGN.md §8).
 
-use bench_harness::crash::{run_list_scenario, run_queue_scenario, CrashCfg};
+use bench_harness::crash::{
+    run_hashmap_opt_scenario, run_hashmap_scenario, run_list_scenario, run_queue_scenario, CrashCfg,
+};
 
 #[test]
 fn list_survives_many_seeded_crashes() {
@@ -40,6 +42,82 @@ fn list_high_contention_crashes() {
     // Tiny key space per process ⇒ many adjacent-node conflicts and helping.
     for seed in 200..220 {
         run_list_scenario(CrashCfg {
+            procs: 4,
+            ops_per_proc: 100,
+            keys_per_proc: 3,
+            recovery_crashes: 1,
+            seed,
+        });
+    }
+}
+
+#[test]
+fn hashmap_survives_many_seeded_crashes() {
+    // Sharded map, untuned placement: 16 shards with 3 × 24 disjoint keys,
+    // so the fibonacci shard function scatters each process's working set —
+    // and therefore the crash-pending descriptors — across different
+    // buckets, all funneling through the one shared RecArea. The generic
+    // driver validates exactly-once responses, leak-free teardown and the
+    // post-recovery POISON scan per seed.
+    let mut total_pending = 0;
+    for seed in 0..12 {
+        let rep = run_hashmap_scenario(CrashCfg {
+            procs: 3,
+            ops_per_proc: 80,
+            keys_per_proc: 24,
+            recovery_crashes: 0,
+            seed,
+        });
+        total_pending += rep.pending;
+    }
+    assert!(total_pending > 0, "no crash ever landed mid-operation; harness broken");
+}
+
+#[test]
+fn hashmap_opt_survives_many_seeded_crashes() {
+    // Hand-tuned placement over the same scenario family, different seeds.
+    let mut total_pending = 0;
+    for seed in 700..712 {
+        let rep = run_hashmap_opt_scenario(CrashCfg {
+            procs: 3,
+            ops_per_proc: 80,
+            keys_per_proc: 24,
+            recovery_crashes: 0,
+            seed,
+        });
+        total_pending += rep.pending;
+    }
+    assert!(total_pending > 0, "no crash ever landed mid-operation; harness broken");
+}
+
+#[test]
+fn hashmap_survives_repeated_recovery_crashes() {
+    // Multi-crash: recovery itself dies twice per seed, in both placements.
+    for seed in 800..806 {
+        run_hashmap_scenario(CrashCfg {
+            procs: 3,
+            ops_per_proc: 60,
+            keys_per_proc: 16,
+            recovery_crashes: 2,
+            seed,
+        });
+        run_hashmap_opt_scenario(CrashCfg {
+            procs: 3,
+            ops_per_proc: 60,
+            keys_per_proc: 16,
+            recovery_crashes: 2,
+            seed: seed + 50,
+        });
+    }
+}
+
+#[test]
+fn hashmap_high_contention_crashes() {
+    // Tiny per-process key space ⇒ adjacent-key conflicts concentrate in few
+    // shards, exercising cross-process helping inside a bucket while other
+    // buckets stay idle.
+    for seed in 900..910 {
+        run_hashmap_scenario(CrashCfg {
             procs: 4,
             ops_per_proc: 100,
             keys_per_proc: 3,

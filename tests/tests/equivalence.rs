@@ -33,19 +33,23 @@ fn run_all(ops: &[Op]) -> Vec<Vec<bool>> {
     let isb_list = isb::list::RList::<M, false>::new();
     let isb_opt = isb::list::RList::<M, true>::new();
     let isb_bst = isb::bst::RBst::<M, false>::new();
+    let isb_hm = isb::hashmap::RHashMap::<M, false>::with_shards(8);
+    let isb_hm_opt = isb::hashmap::RHashMap::<M, true>::with_shards(4);
     let harris = baselines::harris::HarrisList::<M>::new();
     let dt = baselines::dt_list::DtList::<M>::new();
     let caps = baselines::capsules_list::CapsulesList::<M, false>::new();
     let caps_opt = baselines::capsules_list::CapsulesList::<M, true>::new();
     let mut model = std::collections::BTreeSet::new();
 
-    let mut results: Vec<Vec<bool>> = vec![Vec::new(); 8];
+    let mut results: Vec<Vec<bool>> = vec![Vec::new(); 10];
     for op in ops {
-        let rs: [bool; 8] = match *op {
+        let rs: [bool; 10] = match *op {
             Op::Ins(k) => [
                 isb_list.insert(0, k),
                 isb_opt.insert(0, k),
                 isb_bst.insert(0, k),
+                isb_hm.insert(0, k),
+                isb_hm_opt.insert(0, k),
                 harris.insert(0, k),
                 dt.insert(0, k),
                 caps.insert(0, k),
@@ -56,6 +60,8 @@ fn run_all(ops: &[Op]) -> Vec<Vec<bool>> {
                 isb_list.delete(0, k),
                 isb_opt.delete(0, k),
                 isb_bst.delete(0, k),
+                isb_hm.delete(0, k),
+                isb_hm_opt.delete(0, k),
                 harris.delete(0, k),
                 dt.delete(0, k),
                 caps.delete(0, k),
@@ -66,6 +72,8 @@ fn run_all(ops: &[Op]) -> Vec<Vec<bool>> {
                 isb_list.find(0, k),
                 isb_opt.find(0, k),
                 isb_bst.find(0, k),
+                isb_hm.find(0, k),
+                isb_hm_opt.find(0, k),
                 harris.find(0, k),
                 dt.find(0, k),
                 caps.find(0, k),
@@ -87,8 +95,17 @@ fn all_set_implementations_agree() {
         let ops = op_stream(seed, 800, 32);
         let results = run_all(&ops);
         let model = results.last().unwrap().clone();
-        let names =
-            ["Isb", "Isb-Opt", "Isb-BST", "Harris-LL", "DT-Opt", "Capsules", "Capsules-Opt"];
+        let names = [
+            "Isb",
+            "Isb-Opt",
+            "Isb-BST",
+            "Isb-HM",
+            "Isb-HM-Opt",
+            "Harris-LL",
+            "DT-Opt",
+            "Capsules",
+            "Capsules-Opt",
+        ];
         for (i, name) in names.iter().enumerate() {
             assert_eq!(results[i], model, "{name} diverged from the model (seed {seed})");
         }

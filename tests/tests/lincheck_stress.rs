@@ -92,6 +92,26 @@ fn isb_list_tuned_histories_are_linearizable() {
 }
 
 #[test]
+fn isb_hashmap_histories_are_linearizable() {
+    // Few shards + tiny key space: the keys collide inside buckets, so the
+    // shared RecArea sees concurrent publications from every process while
+    // helping crosses threads within a bucket.
+    for seed in 400..415 {
+        let map = Arc::new(isb::hashmap::RHashMap::<M, false>::with_shards(2));
+        let h = set_history(
+            map,
+            seed,
+            3,
+            7,
+            |s, t, k| s.insert(t, k),
+            |s, t, k| s.delete(t, k),
+            |s, t, k| s.find(t, k),
+        );
+        assert!(is_linearizable(&SetSpec, &h), "seed {seed}: {h:?}");
+    }
+}
+
+#[test]
 fn isb_bst_histories_are_linearizable() {
     for seed in 200..220 {
         let bst = Arc::new(isb::bst::RBst::<M, false>::new());

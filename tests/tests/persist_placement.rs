@@ -1,0 +1,135 @@
+//! Persist-placement regression test for the `set_core` extraction.
+//!
+//! Golden per-operation persistency-instruction counts (pwb / pbarrier /
+//! pbarrier-lines / pfence / psync under `CountingNvm`), recorded from the
+//! pre-extraction `RList` on a deterministic single-thread scenario. The
+//! head-parameterized core must reproduce them **bit-for-bit** for both
+//! persistency placements — and a one-shard `RHashMap` must match the same
+//! table exactly, proving the wrapper layers add no persistency traffic.
+//!
+//! The only tolerated variance is `pwb` on the insert *update* path: the two
+//! fresh 24-byte nodes are flushed with line granularity and may straddle a
+//! cache-line boundary depending on heap placement, adding at most one line
+//! per node. Every other component (events, fences, syncs, barrier lines —
+//! `Info` is 64-byte aligned) is exact.
+//!
+//! Everything runs in ONE #[test]: the stats counters are process-global and
+//! this file is its own test binary, so a single test keeps the measurement
+//! interference-free.
+
+use isb::hashmap::RHashMap;
+use isb::list::RList;
+use nvm::CountingNvm;
+
+/// `(pwb, pbarrier, pbarrier_lines, pfence, psync, response, node_flushes)`;
+/// `node_flushes` = number of fresh nodes flushed by the op (slack lines).
+type Golden = (u64, u64, u64, u64, u64, bool, u64);
+
+/// Pre-extraction baseline, untuned placement ("Isb").
+const GOLDEN_ISB: [(&str, Golden); 6] = [
+    ("insert-new", (11, 3, 4, 0, 5, true, 2)),
+    ("insert-dup", (2, 3, 3, 0, 2, false, 0)),
+    ("find-hit", (1, 2, 2, 0, 1, true, 0)),
+    ("find-miss", (1, 2, 2, 0, 1, false, 0)),
+    ("delete-hit", (7, 3, 4, 0, 5, true, 0)),
+    ("delete-miss", (2, 3, 3, 0, 2, false, 0)),
+];
+
+/// Pre-extraction baseline, hand-tuned placement ("Isb-Opt").
+const GOLDEN_OPT: [(&str, Golden); 6] = [
+    ("insert-new", (14, 1, 1, 2, 3, true, 2)),
+    ("insert-dup", (4, 1, 1, 2, 1, false, 0)),
+    ("find-hit", (2, 1, 1, 1, 1, true, 0)),
+    ("find-miss", (2, 1, 1, 1, 1, false, 0)),
+    ("delete-hit", (10, 1, 1, 2, 3, true, 0)),
+    ("delete-miss", (4, 1, 1, 2, 1, false, 0)),
+];
+
+struct SetUnderTest<'a> {
+    name: &'a str,
+    insert: Box<dyn Fn(u64) -> bool + 'a>,
+    delete: Box<dyn Fn(u64) -> bool + 'a>,
+    find: Box<dyn Fn(u64) -> bool + 'a>,
+}
+
+fn check_against(golden: &[(&str, Golden); 6], s: &SetUnderTest<'_>) {
+    // The fixed scenario: every op hits a deterministic algorithm path on a
+    // set whose only mutation history is this sequence.
+    let ops: [(&str, &dyn Fn() -> bool); 6] = [
+        ("insert-new", &|| (s.insert)(5)),
+        ("insert-dup", &|| (s.insert)(5)),
+        ("find-hit", &|| (s.find)(5)),
+        ("find-miss", &|| (s.find)(6)),
+        ("delete-hit", &|| (s.delete)(5)),
+        ("delete-miss", &|| (s.delete)(5)),
+    ];
+    for ((opname, op), (gname, g)) in ops.iter().zip(golden.iter()) {
+        assert_eq!(opname, gname);
+        let before = nvm::stats::snapshot();
+        let resp = op();
+        let d = nvm::stats::snapshot().since(&before);
+        let (pwb, pbarrier, pblines, pfence, psync, want_resp, node_flushes) = *g;
+        let ctx = format!("{} {opname}", s.name);
+        assert_eq!(resp, want_resp, "{ctx}: response changed");
+        assert!(
+            (pwb..=pwb + node_flushes).contains(&d.pwb),
+            "{ctx}: pwb {} outside [{}, {}]",
+            d.pwb,
+            pwb,
+            pwb + node_flushes
+        );
+        assert_eq!(d.pbarrier, pbarrier, "{ctx}: pbarrier count changed");
+        assert_eq!(d.pbarrier_lines, pblines, "{ctx}: pbarrier lines changed");
+        assert_eq!(d.pfence, pfence, "{ctx}: pfence count changed");
+        assert_eq!(d.psync, psync, "{ctx}: psync count changed");
+    }
+}
+
+#[test]
+fn set_core_extraction_preserves_persist_placement() {
+    nvm::tid::set_tid(0);
+
+    let list = RList::<CountingNvm, false>::new();
+    check_against(
+        &GOLDEN_ISB,
+        &SetUnderTest {
+            name: "RList<Isb>",
+            insert: Box::new(|k| list.insert(0, k)),
+            delete: Box::new(|k| list.delete(0, k)),
+            find: Box::new(|k| list.find(0, k)),
+        },
+    );
+    let list = RList::<CountingNvm, true>::new();
+    check_against(
+        &GOLDEN_OPT,
+        &SetUnderTest {
+            name: "RList<Isb-Opt>",
+            insert: Box::new(|k| list.insert(0, k)),
+            delete: Box::new(|k| list.delete(0, k)),
+            find: Box::new(|k| list.find(0, k)),
+        },
+    );
+
+    // A one-shard map is the same bucket algorithm behind a shard function
+    // that performs no persistency instructions: identical placement.
+    let map = RHashMap::<CountingNvm, false>::with_shards(1);
+    check_against(
+        &GOLDEN_ISB,
+        &SetUnderTest {
+            name: "RHashMap<Isb>/1",
+            insert: Box::new(|k| map.insert(0, k)),
+            delete: Box::new(|k| map.delete(0, k)),
+            find: Box::new(|k| map.find(0, k)),
+        },
+    );
+    let map = RHashMap::<CountingNvm, true>::with_shards(1);
+    check_against(
+        &GOLDEN_OPT,
+        &SetUnderTest {
+            name: "RHashMap<Isb-Opt>/1",
+            insert: Box::new(|k| map.insert(0, k)),
+            delete: Box::new(|k| map.delete(0, k)),
+            find: Box::new(|k| map.find(0, k)),
+        },
+    );
+}

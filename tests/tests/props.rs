@@ -61,6 +61,47 @@ proptest! {
     }
 
     #[test]
+    fn isb_hashmap_equals_hashmap_model(
+        ops in set_ops(),
+        shards_log2 in 0u32..6,
+        tuned in any::<bool>(),
+    ) {
+        // RHashMap vs a std HashMap model across shard counts (1..32) and
+        // both persistency placements. The op stream revisits a 19-key space
+        // up to 120 times, so duplicate inserts and absent deletes occur
+        // constantly — their detectable `false` responses must match the
+        // model's exactly.
+        nvm::tid::set_tid(0);
+        let shards = 1usize << shards_log2;
+        let mut model: std::collections::HashMap<u64, ()> = std::collections::HashMap::new();
+        macro_rules! drive {
+            ($map:expr) => {{
+                let mut map = $map;
+                for op in &ops {
+                    match *op {
+                        SetOp::Ins(k) => {
+                            prop_assert_eq!(map.insert(0, k), model.insert(k, ()).is_none())
+                        }
+                        SetOp::Del(k) => {
+                            prop_assert_eq!(map.delete(0, k), model.remove(&k).is_some())
+                        }
+                        SetOp::Fnd(k) => prop_assert_eq!(map.find(0, k), model.contains_key(&k)),
+                    }
+                }
+                let mut keys: Vec<u64> = model.keys().copied().collect();
+                keys.sort_unstable();
+                prop_assert_eq!(map.snapshot_keys(), keys);
+                map.check_invariants();
+            }};
+        }
+        if tuned {
+            drive!(isb::hashmap::RHashMap::<M, true>::with_shards(shards));
+        } else {
+            drive!(isb::hashmap::RHashMap::<M, false>::with_shards(shards));
+        }
+    }
+
+    #[test]
     fn isb_queue_equals_vecdeque(ops in prop::collection::vec((0..2u8, 0..1000u64), 0..150)) {
         nvm::tid::set_tid(0);
         let mut q = isb::queue::RQueue::<M, false>::new();
