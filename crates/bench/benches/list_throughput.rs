@@ -1,6 +1,7 @@
 //! Criterion mirror of Figures 1a/1d/1e/1f/3: per-operation latency of every
 //! list implementation under the paper's workload mixes (shared-cache model,
-//! real clflush/mfence).
+//! real clflush/mfence) — plus the fig9 allocation ablation (pooled vs
+//! boxed, counting model, 1 and 4 threads).
 
 use baselines::capsules_list::CapsulesList;
 use baselines::dt_list::DtList;
@@ -8,23 +9,27 @@ use bench_harness::adapters::SetBench;
 use bench_harness::workload::{prefill_set, run_set, Mix, SetCfg};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use isb::list::RList;
-use nvm::RealNvm;
+use nvm::{CountingNvm, RealNvm};
 use std::sync::Arc;
 use std::time::Duration;
 
-fn time_per_op<B: SetBench + 'static>(s: Arc<B>, mix: Mix, range: u64, iters: u64) -> Duration {
+fn time_per_op_at<B: SetBench + 'static>(
+    s: Arc<B>,
+    threads: usize,
+    mix: Mix,
+    range: u64,
+    iters: u64,
+) -> Duration {
     prefill_set(&*s, range, 7);
     let r = run_set(
         s,
-        SetCfg {
-            threads: 2,
-            key_range: range,
-            mix,
-            duration: Duration::from_millis(120),
-            seed: 42,
-        },
+        SetCfg { threads, key_range: range, mix, duration: Duration::from_millis(120), seed: 42 },
     );
     Duration::from_secs_f64(r.elapsed.as_secs_f64() / r.ops.max(1) as f64 * iters as f64)
+}
+
+fn time_per_op<B: SetBench + 'static>(s: Arc<B>, mix: Mix, range: u64, iters: u64) -> Duration {
+    time_per_op_at(s, 2, mix, range, iters)
 }
 
 fn bench(c: &mut Criterion) {
@@ -50,6 +55,38 @@ fn bench(c: &mut Criterion) {
         });
         g.bench_function(BenchmarkId::from_parameter("DT-Opt"), |b| {
             b.iter_custom(|iters| time_per_op(Arc::new(DtList::<RealNvm>::new()), mix, 500, iters))
+        });
+        g.finish();
+    }
+
+    // fig9 allocation ablation: pooled (default) vs boxed (pre-pool
+    // behaviour), counting model so the allocator effect isn't buried under
+    // hardware-dependent clflush latency. Persist placement is identical in
+    // both arms (golden-tested), so only the hot-path allocation differs.
+    for threads in [1usize, 4] {
+        let mut g = c.benchmark_group(format!("fig9_list_alloc_{threads}t_read-heavy_range500"));
+        g.sample_size(10);
+        g.bench_function(BenchmarkId::from_parameter("Isb-pooled"), |b| {
+            b.iter_custom(|iters| {
+                time_per_op_at(
+                    Arc::new(RList::<CountingNvm, false>::new()),
+                    threads,
+                    Mix::READ_INTENSIVE,
+                    500,
+                    iters,
+                )
+            })
+        });
+        g.bench_function(BenchmarkId::from_parameter("Isb-boxed"), |b| {
+            b.iter_custom(|iters| {
+                time_per_op_at(
+                    Arc::new(RList::<CountingNvm, false>::boxed()),
+                    threads,
+                    Mix::READ_INTENSIVE,
+                    500,
+                    iters,
+                )
+            })
         });
         g.finish();
     }

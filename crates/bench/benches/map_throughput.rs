@@ -70,6 +70,14 @@ fn bench(c: &mut Criterion) {
             time_per_op(Arc::new(RHashMap::<RealNvm, true>::with_shards(16)), iters)
         })
     });
+    // fig9 allocation-ablation arm: the same sweep point with pooling off
+    // (pre-pool heap allocation per descriptor/node), for the pooled-vs-
+    // boxed comparison at the default shard count.
+    g.bench_function(BenchmarkId::from_parameter("Isb-HM/16-boxed"), |b| {
+        b.iter_custom(|iters| {
+            time_per_op(Arc::new(RHashMap::<RealNvm, false>::boxed_with_shards(16)), iters)
+        })
+    });
     g.finish();
 }
 

@@ -187,7 +187,9 @@ macro_rules! impl_recoverable_set {
 }
 
 impl_recoverable_set!(RList<SimNvm, false>, "RList", scrub);
-impl_recoverable_set!(RBst<SimNvm, false>, "RBst");
+// The BST scrubs too: a failed attempt whose earlier affect cells rolled
+// back past their expected values leaves its later tags for (eager) helping.
+impl_recoverable_set!(RBst<SimNvm, false>, "RBst", scrub);
 // The sharded map in both persistency placements; `with_collector` builds
 // the default 16 shards, so seeded crashes land in different buckets while
 // all pending descriptors live in the one shared recovery area.

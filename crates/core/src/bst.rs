@@ -25,6 +25,7 @@
 use crate::counters;
 use crate::engine::{help, HelpOutcome, Info, InfoFill, RES_FALSE, RES_TRUE};
 use crate::optype;
+use crate::pool::{Pool, PoolCfg, PoolItem};
 use crate::recovery::{op_recover, RecArea, Recovered};
 use crate::tag;
 use nvm::{PWord, Persist, PersistWords};
@@ -67,6 +68,25 @@ impl<M: Persist> Node<M> {
     fn is_leaf(&self) -> bool {
         self.left.load() == 0
     }
+
+    /// Re-initialize a pool-recycled node.
+    fn init(&self, key: u64, left: u64, right: u64, info: u64) {
+        self.key.store(key);
+        self.left.store(left);
+        self.right.store(right);
+        self.info.store(info);
+    }
+}
+
+impl<M: Persist> PoolItem for Node<M> {
+    fn fresh() -> Self {
+        counters::node_alloc();
+        Node { key: PWord::new(0), left: PWord::new(0), right: PWord::new(0), info: PWord::new(0) }
+    }
+
+    fn count_reuse() {
+        counters::node_reuse();
+    }
 }
 
 impl<M: Persist> Drop for Node<M> {
@@ -92,7 +112,10 @@ struct SearchRes<M: Persist> {
 pub struct RBst<M: Persist, const TUNED: bool = false> {
     root: *mut Node<M>,
     rec: RecArea<M>,
+    // `collector` must drop before the pools (drop-time drain recycles).
     collector: Collector,
+    info_pool: Pool<Info<M>>,
+    node_pool: Pool<Node<M>>,
 }
 
 unsafe impl<M: Persist, const TUNED: bool> Send for RBst<M, TUNED> {}
@@ -110,9 +133,19 @@ impl<M: Persist, const TUNED: bool> RBst<M, TUNED> {
         Self::with_collector(Collector::new())
     }
 
+    /// New empty tree with pooling off (the boxed ablation arm).
+    pub fn boxed() -> Self {
+        Self::with_config(Collector::new(), PoolCfg::boxed())
+    }
+
     /// New empty tree with the given collector (crash-sim runs pass
-    /// [`Collector::disabled`]).
+    /// [`Collector::disabled`]; pooling drops to passthrough mode).
     pub fn with_collector(collector: Collector) -> Self {
+        Self::with_config(collector, PoolCfg::default())
+    }
+
+    /// New empty tree with the given collector and pool configuration.
+    pub fn with_config(collector: Collector, pool: PoolCfg) -> Self {
         // Routing: k < node.key goes left. Dummy leaves: key 0 (below every
         // user key) on the far left, ∞ leaves on the right spine; user keys
         // always land in inner's left subtree with gp ≠ null.
@@ -121,7 +154,27 @@ impl<M: Persist, const TUNED: bool> RBst<M, TUNED> {
         let inner: *mut Node<M> = Node::alloc(KEY_INF1, l0 as u64, l1 as u64, 0);
         let r2: *mut Node<M> = Node::alloc(KEY_INF2, 0, 0, 0);
         let root = Node::alloc(KEY_INF2, inner as u64, r2 as u64, 0);
-        Self { root, rec: RecArea::new(), collector }
+        let info_pool = Pool::new_for::<M>(pool, &collector);
+        let node_pool = Pool::new_for::<M>(pool, &collector);
+        Self { root, rec: RecArea::new(), collector, info_pool, node_pool }
+    }
+
+    /// Draw a descriptor: pool hit, or heap in passthrough mode.
+    #[inline]
+    fn alloc_info(&self) -> *mut Info<M> {
+        self.info_pool.take().unwrap_or_else(Info::alloc)
+    }
+
+    /// Draw a node: pool hit (re-initialized), or heap in passthrough mode.
+    #[inline]
+    fn alloc_node(&self, key: u64, left: u64, right: u64, info: u64) -> *mut Node<M> {
+        match self.node_pool.take() {
+            Some(p) => {
+                unsafe { (*p).init(key, left, right, info) };
+                p
+            }
+            None => Node::alloc(key, left, right, info),
+        }
     }
 
     fn assert_key(key: u64) {
@@ -171,7 +224,7 @@ impl<M: Persist, const TUNED: bool> RBst<M, TUNED> {
         unsafe {
             let iv = (*node).info.load();
             Info::<M>::release(tag::ptr_of(iv), 1, g);
-            g.retire_box(node);
+            self.node_pool.retire(node, g);
         }
     }
 
@@ -192,15 +245,13 @@ impl<M: Persist, const TUNED: bool> RBst<M, TUNED> {
     /// Inserts `key`; `false` if present.
     pub fn insert(&self, pid: usize, key: u64) -> bool {
         Self::assert_key(key);
-        let mut info = Info::<M>::alloc();
-        let mut published: u64 = 0;
+        // ONE pin covers the whole operation (see set_core::insert).
+        let g = self.collector.pin();
         let prev = self.rec.begin::<TUNED>(pid);
-        {
-            let g = self.collector.pin();
-            unsafe { Info::<M>::release(tag::ptr_of(prev), 1, &g) };
-        }
+        unsafe { Info::<M>::release(tag::ptr_of(prev), 1, &g) };
+        let mut info = self.alloc_info();
+        let mut published: u64 = 0;
         loop {
-            let g = self.collector.pin();
             let s = unsafe { self.search(key) };
             if tag::is_tagged(s.p_info) {
                 unsafe { help::<M, TUNED>(tag::ptr_of(s.p_info), false, &g) };
@@ -234,11 +285,11 @@ impl<M: Persist, const TUNED: bool> RBst<M, TUNED> {
             }
             // Build the replacement subtree: internal(max) / {leaf(k), copy(l)}.
             let t = tag::tagged(info as u64);
-            let new_leaf: *mut Node<M> = Node::alloc(key, 0, 0, t);
-            let l_copy: *mut Node<M> = Node::alloc(l_key, 0, 0, t);
+            let new_leaf: *mut Node<M> = self.alloc_node(key, 0, 0, t);
+            let l_copy: *mut Node<M> = self.alloc_node(l_key, 0, 0, t);
             let (lc, rc, ik) =
                 if key < l_key { (new_leaf, l_copy, l_key) } else { (l_copy, new_leaf, key) };
-            let internal: *mut Node<M> = Node::alloc(ik, lc as u64, rc as u64, t);
+            let internal: *mut Node<M> = self.alloc_node(ik, lc as u64, rc as u64, t);
             unsafe {
                 Info::fill(
                     info,
@@ -268,14 +319,15 @@ impl<M: Persist, const TUNED: bool> RBst<M, TUNED> {
                 }
                 HelpOutcome::FailedAt(i) => {
                     unsafe {
-                        // Unpublished new nodes: drop and release their refs.
+                        // Unpublished new nodes: straight back to the pool
+                        // (private-failure fast path) + release their refs.
                         Info::<M>::release(info, 3, &g); // 3 new-node cells
-                        drop(Box::from_raw(internal));
-                        drop(Box::from_raw(new_leaf));
-                        drop(Box::from_raw(l_copy));
+                        self.node_pool.give(internal, &g);
+                        self.node_pool.give(new_leaf, &g);
+                        self.node_pool.give(l_copy, &g);
                         Info::<M>::release(info, (2 - i) as u32, &g);
                     }
-                    info = Info::alloc();
+                    info = self.alloc_info();
                 }
             }
         }
@@ -284,15 +336,12 @@ impl<M: Persist, const TUNED: bool> RBst<M, TUNED> {
     /// Deletes `key`; `false` if absent.
     pub fn delete(&self, pid: usize, key: u64) -> bool {
         Self::assert_key(key);
-        let mut info = Info::<M>::alloc();
-        let mut published: u64 = 0;
+        let g = self.collector.pin();
         let prev = self.rec.begin::<TUNED>(pid);
-        {
-            let g = self.collector.pin();
-            unsafe { Info::<M>::release(tag::ptr_of(prev), 1, &g) };
-        }
+        unsafe { Info::<M>::release(tag::ptr_of(prev), 1, &g) };
+        let mut info = self.alloc_info();
+        let mut published: u64 = 0;
         loop {
-            let g = self.collector.pin();
             let s = unsafe { self.search(key) };
             if tag::is_tagged(s.gp_info) {
                 unsafe { help::<M, TUNED>(tag::ptr_of(s.gp_info), false, &g) };
@@ -342,7 +391,7 @@ impl<M: Persist, const TUNED: bool> RBst<M, TUNED> {
             let t = tag::tagged(info as u64);
             // Copy of the sibling replaces p (freshness); its children are
             // frozen once sib is successfully tagged.
-            let sib_copy: *mut Node<M> = Node::alloc(sib_key, sib_l, sib_r, t);
+            let sib_copy: *mut Node<M> = self.alloc_node(sib_key, sib_l, sib_r, t);
             unsafe {
                 Info::fill(
                     info,
@@ -375,10 +424,10 @@ impl<M: Persist, const TUNED: bool> RBst<M, TUNED> {
                 HelpOutcome::FailedAt(i) => {
                     unsafe {
                         Info::<M>::release(info, 1, &g); // sib_copy's cell
-                        drop(Box::from_raw(sib_copy));
+                        self.node_pool.give(sib_copy, &g);
                         Info::<M>::release(info, (4 - i) as u32, &g);
                     }
-                    info = Info::alloc();
+                    info = self.alloc_info();
                 }
             }
         }
@@ -387,11 +436,11 @@ impl<M: Persist, const TUNED: bool> RBst<M, TUNED> {
     /// Membership test (ROpt read-only; no `CP/RD=Null` prologue).
     pub fn find(&self, pid: usize, key: u64) -> bool {
         Self::assert_key(key);
-        let info = Info::<M>::alloc();
+        let g = self.collector.pin();
         let prev = self.rec.begin_readonly(pid);
+        let info = self.alloc_info();
         let mut published = prev;
         loop {
-            let g = self.collector.pin();
             let s = unsafe { self.search(key) };
             if tag::is_tagged(s.l_info) {
                 unsafe { help::<M, TUNED>(tag::ptr_of(s.l_info), false, &g) };
@@ -454,6 +503,44 @@ impl<M: Persist, const TUNED: bool> RBst<M, TUNED> {
             Recovered::Completed(v) => v == RES_TRUE,
             Recovered::Restart => self.find(pid, key),
         }
+    }
+
+    /// Completes helping obligations left *visible* in the tree by a crash:
+    /// walks every reachable node and runs `Help` on every tagged info until
+    /// a full pass finds none. Call after every process ran its `recover_*`.
+    ///
+    /// Mirrors [`crate::set_core::SetCore::scrub`]: the adversarial crash
+    /// image can surface tags the normal run would have healed lazily — a
+    /// partially-tagged failed attempt whose earlier cells rolled back past
+    /// the gathered expected values leaves its later tags for helping to
+    /// clean, and under the tuned placement even completed operations'
+    /// untag write-backs can roll back. Helping is idempotent, so eager
+    /// re-helping can only untag/complete, never re-apply an effect.
+    pub fn scrub(&self) {
+        for _ in 0..64 {
+            let g = self.collector.pin();
+            let mut dirty = false;
+            // Iterative DFS: recursion depth is attacker-controlled here
+            // (crash images), while the walk itself needs no ordering.
+            let mut stack = vec![self.root];
+            while let Some(n) = stack.pop() {
+                unsafe {
+                    let iv = (*n).info.load();
+                    if tag::is_tagged(iv) {
+                        dirty = true;
+                        help::<M, TUNED>(tag::ptr_of(iv), false, &g);
+                    }
+                    if !(*n).is_leaf() {
+                        stack.push((*n).left.load() as *mut Node<M>);
+                        stack.push((*n).right.load() as *mut Node<M>);
+                    }
+                }
+            }
+            if !dirty {
+                return;
+            }
+        }
+        panic!("scrub did not quiesce the tree after 64 passes");
     }
 
     /// Quiescent in-order snapshot of the user keys.

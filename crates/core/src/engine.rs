@@ -33,10 +33,11 @@
 //! zero, the Info is retired through EBR, which prevents info-pointer ABA
 //! through address reuse (see DESIGN.md §5).
 
+use crate::pool::PoolItem;
 use crate::tag;
 use nvm::{PWord, Persist, PersistWords};
 use reclaim::Guard;
-use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicPtr, AtomicU32, Ordering};
 
 /// Maximum AffectSet size (BST delete uses 4: grandparent, parent, leaf, sibling).
 pub const MAX_AFFECT: usize = 4;
@@ -75,9 +76,17 @@ pub fn res_val(v: u64) -> u64 {
 }
 
 /// Decode a payload value from a result word.
+///
+/// Panics (also in release builds) when `res` is one of the reserved
+/// encodings below [`RES_VAL_BASE`]: silently decoding `RES_EMPTY`/`RES_TRUE`
+/// /… as a payload would hand recovery a wrong response. The twin guard of
+/// [`res_val`].
 #[inline]
 pub fn val_of(res: u64) -> u64 {
-    debug_assert!(res >= RES_VAL_BASE);
+    assert!(
+        res >= RES_VAL_BASE,
+        "result word {res:#x} is a reserved encoding, not a payload value"
+    );
     res - RES_VAL_BASE
 }
 
@@ -118,10 +127,48 @@ pub struct Info<M: Persist> {
     w1: [PWord<M>; 3],
     /// Volatile reference count (see module docs). Not persistent state.
     installs: AtomicU32,
+    /// Volatile: handle of the owning [`crate::pool::Pool`] (null ⇒ plain
+    /// heap allocation). Written once at pool refill, read at retirement.
+    owner: AtomicPtr<()>,
+    /// Volatile: set by [`help`] before its first tag CAS. While false the
+    /// descriptor is provably private — its address was never installed in
+    /// a shared cell, so at refcount zero it can re-enter the pool without
+    /// the EBR round-trip (read-only fast-path descriptors, which never call
+    /// `help`, hit this on every operation).
+    shared: AtomicBool,
 }
 
 unsafe impl<M: Persist> Send for Info<M> {}
 unsafe impl<M: Persist> Sync for Info<M> {}
+
+impl<M: Persist> PoolItem for Info<M> {
+    fn fresh() -> Self {
+        crate::counters::info_alloc();
+        Info {
+            meta: PWord::new(0),
+            presult: PWord::new(RES_BOT),
+            result: PWord::new(RES_BOT),
+            a0: Default::default(),
+            w0: Default::default(),
+            a1: Default::default(),
+            newset: Default::default(),
+            a2: Default::default(),
+            a3: Default::default(),
+            w1: Default::default(),
+            installs: AtomicU32::new(0),
+            owner: AtomicPtr::new(std::ptr::null_mut()),
+            shared: AtomicBool::new(false),
+        }
+    }
+
+    fn attach(&mut self, pool: *const ()) {
+        *self.owner.get_mut() = pool as *mut ();
+    }
+
+    fn count_reuse() {
+        crate::counters::info_reuse();
+    }
+}
 
 impl<M: Persist> Drop for Info<M> {
     fn drop(&mut self) {
@@ -196,23 +243,10 @@ pub struct InfoFill<'a> {
 impl<M: Persist> Info<M> {
     /// Allocates an empty Info with `installs = 0`; [`Info::fill`] sets the
     /// real count. Returned pointer is owned by the ISB reference-count
-    /// protocol.
+    /// protocol. Pooled callers draw from [`crate::pool::Pool::take`]
+    /// instead and fall back here in passthrough mode.
     pub fn alloc() -> *mut Info<M> {
-        crate::counters::info_alloc();
-        let b: Box<Info<M>> = Box::new(Info {
-            meta: PWord::new(0),
-            presult: PWord::new(RES_BOT),
-            result: PWord::new(RES_BOT),
-            a0: Default::default(),
-            w0: Default::default(),
-            a1: Default::default(),
-            newset: Default::default(),
-            a2: Default::default(),
-            a3: Default::default(),
-            w1: Default::default(),
-            installs: AtomicU32::new(0),
-        });
-        Box::into_raw(b)
+        Box::into_raw(Box::new(Self::fresh()))
     }
 
     /// AffectSet slot `k` (layout is packed; see struct docs).
@@ -270,6 +304,9 @@ impl<M: Persist> Info<M> {
         for (k, &cell) in f.newset.iter().enumerate() {
             M::store(&i.newset[k], cell);
         }
+        // A freshly filled descriptor is private until `help` runs on it
+        // (recycled descriptors may carry a stale true).
+        i.shared.store(false, Ordering::Relaxed);
         i.installs.store(1 + f.affect.len() as u32 + f.newset.len() as u32, Ordering::Release);
     }
 
@@ -318,10 +355,21 @@ impl<M: Persist> Info<M> {
             // teardown frees through the deduplicated grave scan.
             return;
         }
-        let prev = unsafe { &*info }.installs.fetch_sub(n, Ordering::AcqRel);
+        let i = unsafe { &*info };
+        let prev = i.installs.fetch_sub(n, Ordering::AcqRel);
         debug_assert!(prev >= n, "info reference-count underflow ({prev} - {n})");
         if prev == n {
-            unsafe { guard.retire_box(info) };
+            let owner = i.owner.load(Ordering::Relaxed) as *const ();
+            if !owner.is_null() && !i.shared.load(Ordering::Acquire) {
+                // Never passed through `help` ⇒ never installed in a shared
+                // cell ⇒ only this thread can hold the address: back to the
+                // pool without the EBR round-trip. Read-only descriptors
+                // (70% of a read-heavy mix) take this path every operation.
+                unsafe { crate::pool::give_to::<Info<M>>(owner, info, guard) };
+            } else {
+                // Shared (or unpooled): epoch-delayed, exactly like a free.
+                unsafe { crate::pool::retire_to::<Info<M>>(owner, info, guard) };
+            }
         }
     }
 
@@ -358,6 +406,10 @@ pub unsafe fn help<M: Persist, const TUNED: bool>(
     guard: &Guard<'_>,
 ) -> HelpOutcome {
     let r = unsafe { &*info };
+    // From here on the descriptor's address may enter shared cells (tagged
+    // or as a backtrack/cleanup placeholder): it must never skip the EBR
+    // delay on reuse. Release-ordered so the flag travels with the tag CAS.
+    r.shared.store(true, Ordering::Release);
     let tagged_val = tag::tagged(info as u64);
     let untagged_val = tag::untagged(info as u64);
     let (naffect, nwrite, nnew, del_mask) = r.counts();
@@ -664,6 +716,14 @@ mod tests {
         // Must panic in release builds too: a wrapped encoding would collide
         // with RES_EMPTY/RES_TRUE and recovery would report a wrong response.
         let _ = res_val(u64::MAX - RES_VAL_BASE + 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "reserved encoding")]
+    fn result_value_decoding_rejects_reserved_words() {
+        // The decoder guard is unconditional too: silently decoding
+        // RES_EMPTY as payload 4-16 would hand recovery a wrong response.
+        let _ = val_of(RES_EMPTY);
     }
 
     #[test]

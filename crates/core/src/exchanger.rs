@@ -13,6 +13,7 @@
 //! effect) — the paper's "tracked progress" distilled to three fields.
 
 use crate::engine::{res_val, val_of, RES_BOT, RES_EMPTY};
+use crate::pool::{Pool, PoolCfg, PoolItem};
 use crate::recovery::RecArea;
 use crate::tag;
 use nvm::{PWord, Persist, PersistWords};
@@ -34,6 +35,26 @@ unsafe impl<M: Persist> PersistWords<M> for ExInfo<M> {
     }
 }
 
+impl<M: Persist> ExInfo<M> {
+    /// Re-initialize a pool-recycled descriptor.
+    fn init(&self, v: u64) {
+        self.value.store(v);
+        self.partner.store(0);
+        self.result.store(RES_BOT);
+    }
+}
+
+impl<M: Persist> PoolItem for ExInfo<M> {
+    fn fresh() -> Self {
+        crate::counters::info_alloc();
+        ExInfo { value: PWord::new(0), partner: PWord::new(0), result: PWord::new(RES_BOT) }
+    }
+
+    fn count_reuse() {
+        crate::counters::info_reuse();
+    }
+}
+
 /// Outcome of [`RExchanger::exchange`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ExchangeResult {
@@ -47,7 +68,9 @@ pub enum ExchangeResult {
 pub struct RExchanger<M: Persist> {
     slot: PWord<M>,
     rec: RecArea<M>,
+    // `collector` must drop before `pool` (drop-time drain recycles).
     collector: Collector,
+    pool: Pool<ExInfo<M>>,
 }
 
 unsafe impl<M: Persist> Send for RExchanger<M> {}
@@ -67,16 +90,30 @@ impl<M: Persist> RExchanger<M> {
 
     /// New exchanger with the given collector.
     pub fn with_collector(collector: Collector) -> Self {
-        Self { slot: PWord::new(0), rec: RecArea::new(), collector }
+        Self::with_config(collector, PoolCfg::default())
     }
 
-    fn alloc_info(v: u64) -> *mut ExInfo<M> {
-        crate::counters::info_alloc();
-        Box::into_raw(Box::new(ExInfo {
-            value: PWord::new(v),
-            partner: PWord::new(0),
-            result: PWord::new(RES_BOT),
-        }))
+    /// New exchanger with the given collector and pool configuration.
+    pub fn with_config(collector: Collector, pool: PoolCfg) -> Self {
+        let pool = Pool::new_for::<M>(pool, &collector);
+        Self { slot: PWord::new(0), rec: RecArea::new(), collector, pool }
+    }
+
+    fn alloc_info(&self, v: u64) -> *mut ExInfo<M> {
+        match self.pool.take() {
+            Some(p) => {
+                unsafe { (*p).init(v) };
+                p
+            }
+            None => {
+                crate::counters::info_alloc();
+                Box::into_raw(Box::new(ExInfo {
+                    value: PWord::new(v),
+                    partner: PWord::new(0),
+                    result: PWord::new(RES_BOT),
+                }))
+            }
+        }
     }
 
     /// Complete with `partner`'s value: persist the response, then return it.
@@ -94,20 +131,21 @@ impl<M: Persist> RExchanger<M> {
     /// Attempt to exchange `v` with another process, spinning for at most
     /// `budget` iterations while waiting.
     pub fn exchange(&self, pid: usize, v: u64, budget: usize) -> ExchangeResult {
-        let info = Self::alloc_info(v);
+        // ONE pin covers the retirement of the previous descriptor and the
+        // whole collision loop.
+        let g = self.collector.pin();
         let prev = self.rec.begin::<true>(pid);
-        {
-            let g = self.collector.pin();
-            if tag::untagged(prev) != 0 {
-                unsafe { g.retire_box(tag::untagged(prev) as *mut ExInfo<M>) };
-            }
+        if tag::untagged(prev) != 0 {
+            // Published in RD_q and possibly seen by a past partner: the
+            // pool's epoch delay applies.
+            unsafe { self.pool.retire(tag::untagged(prev) as *mut ExInfo<M>, &g) };
         }
+        let info = self.alloc_info(v);
         unsafe {
             M::pwb_obj(&*info);
             M::pfence();
         }
         self.rec.publish(pid, info as u64);
-        let g = self.collector.pin();
         let mut spins = 0;
         loop {
             let cur = self.slot.load();

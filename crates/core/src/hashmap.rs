@@ -19,8 +19,9 @@
 //! single-pending-op discipline per process.
 
 use crate::engine::RES_TRUE;
+use crate::pool::PoolCfg;
 use crate::recovery::{RecArea, Recovered};
-use crate::set_core::{self, Node, SetCore};
+use crate::set_core::{self, Node, SetCore, SetPools};
 use nvm::Persist;
 use reclaim::Collector;
 
@@ -38,7 +39,11 @@ pub struct RHashMap<M: Persist, const TUNED: bool = false> {
     /// Right-shift distance extracting the top `log2(shards)` hash bits.
     shift: u32,
     rec: RecArea<M>,
+    // `collector` must drop before `pools` (drop-time drain recycles into
+    // the free lists). ONE pool pair serves every shard: free lists are
+    // per-process, so cross-shard sharing adds no contention.
     collector: Collector,
+    pools: SetPools<M>,
 }
 
 unsafe impl<M: Persist, const TUNED: bool> Send for RHashMap<M, TUNED> {}
@@ -72,12 +77,24 @@ impl<M: Persist, const TUNED: bool> RHashMap<M, TUNED> {
     /// New empty map with `shards` buckets (power of two) and the given
     /// collector.
     pub fn with_shards_and_collector(shards: usize, collector: Collector) -> Self {
+        Self::with_shards_and_config(shards, collector, PoolCfg::default())
+    }
+
+    /// New empty map with pooling off (the fig9 "boxed" ablation arm).
+    pub fn boxed_with_shards(shards: usize) -> Self {
+        Self::with_shards_and_config(shards, Collector::new(), PoolCfg::boxed())
+    }
+
+    /// New empty map with `shards` buckets (power of two), the given
+    /// collector, and pool configuration.
+    pub fn with_shards_and_config(shards: usize, collector: Collector, pool: PoolCfg) -> Self {
         assert!(shards.is_power_of_two(), "shard count must be a power of two, got {shards}");
         let heads = (0..shards).map(|_| set_core::new_bucket()).collect();
         // For one shard every key maps to bucket 0; `min(63)` keeps the
         // shift in range and the mask in `shard_of` does the rest.
         let shift = (64 - shards.trailing_zeros()).min(63);
-        Self { heads, shift, rec: RecArea::new(), collector }
+        let pools = SetPools::new(pool, &collector);
+        Self { heads, shift, rec: RecArea::new(), collector, pools }
     }
 
     /// Number of shards (buckets).
@@ -100,8 +117,10 @@ impl<M: Persist, const TUNED: bool> RHashMap<M, TUNED> {
     #[inline]
     fn core_for(&self, key: u64) -> SetCore<'_, M, TUNED> {
         // SAFETY: every head is a live bucket owned by this map; all buckets
-        // share the map's single recovery area and collector.
-        unsafe { SetCore::new(self.heads[self.shard_of(key)], &self.rec, &self.collector) }
+        // share the map's single recovery area, collector and pools.
+        unsafe {
+            SetCore::new(self.heads[self.shard_of(key)], &self.rec, &self.collector, &self.pools)
+        }
     }
 
     /// The core view over bucket `shard` (recovery/diagnostics; the shard
@@ -110,7 +129,7 @@ impl<M: Persist, const TUNED: bool> RHashMap<M, TUNED> {
     #[inline]
     fn core_at(&self, shard: usize) -> SetCore<'_, M, TUNED> {
         // SAFETY: as in `core_for`.
-        unsafe { SetCore::new(self.heads[shard], &self.rec, &self.collector) }
+        unsafe { SetCore::new(self.heads[shard], &self.rec, &self.collector, &self.pools) }
     }
 
     /// Inserts `key`; returns `false` iff it was already present.

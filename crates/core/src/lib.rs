@@ -53,6 +53,7 @@ pub mod engine;
 pub mod exchanger;
 pub mod hashmap;
 pub mod list;
+pub mod pool;
 pub mod queue;
 pub mod recovery;
 pub mod set_core;

@@ -10,8 +10,9 @@
 //! sharded multi-bucket instantiation is [`crate::hashmap::RHashMap`].
 
 use crate::engine::RES_TRUE;
+use crate::pool::PoolCfg;
 use crate::recovery::{RecArea, Recovered};
-use crate::set_core::{self, SetCore};
+use crate::set_core::{self, SetCore, SetPools};
 use nvm::Persist;
 use reclaim::Collector;
 
@@ -23,7 +24,10 @@ pub use crate::set_core::{Node, KEY_MAX, KEY_MIN};
 pub struct RList<M: Persist, const TUNED: bool = false> {
     head: *mut Node<M>,
     rec: RecArea<M>,
+    // `collector` must drop before `pools`: pending garbage recycles into
+    // the pools' free lists when the collector drains on drop.
     collector: Collector,
+    pools: SetPools<M>,
 }
 
 unsafe impl<M: Persist, const TUNED: bool> Send for RList<M, TUNED> {}
@@ -36,15 +40,29 @@ impl<M: Persist, const TUNED: bool> Default for RList<M, TUNED> {
 }
 
 impl<M: Persist, const TUNED: bool> RList<M, TUNED> {
-    /// New empty list with a reclaiming collector.
+    /// New empty list with a reclaiming collector and pooled allocation.
     pub fn new() -> Self {
         Self::with_collector(Collector::new())
     }
 
+    /// New empty list with pooling off: every descriptor/node is a fresh
+    /// heap allocation, as pre-pool builds behaved. The fig9 ablation and
+    /// the persist-placement goldens run this side by side with [`new`].
+    pub fn boxed() -> Self {
+        Self::with_config(Collector::new(), PoolCfg::boxed())
+    }
+
     /// New empty list with the given collector. Crash-simulation runs pass
-    /// [`Collector::disabled`] (a crash must not free memory).
+    /// [`Collector::disabled`] (a crash must not free memory; pooling
+    /// drops to passthrough mode automatically).
     pub fn with_collector(collector: Collector) -> Self {
-        Self { head: set_core::new_bucket(), rec: RecArea::new(), collector }
+        Self::with_config(collector, PoolCfg::default())
+    }
+
+    /// New empty list with the given collector and pool configuration.
+    pub fn with_config(collector: Collector, pool: PoolCfg) -> Self {
+        let pools = SetPools::new(pool, &collector);
+        Self { head: set_core::new_bucket(), rec: RecArea::new(), collector, pools }
     }
 
     /// The list's collector (for diagnostics).
@@ -55,9 +73,11 @@ impl<M: Persist, const TUNED: bool> RList<M, TUNED> {
     /// The core view over the list's single bucket.
     #[inline]
     fn core(&self) -> SetCore<'_, M, TUNED> {
-        // SAFETY: `head` is this list's live bucket; `rec`/`collector` are
-        // the area and collector every operation on it goes through.
-        unsafe { SetCore::new(self.head, &self.rec, &self.collector) }
+        // SAFETY: `head` is this list's live bucket; `rec`/`collector`/
+        // `pools` are the area, collector and pools every operation on it
+        // goes through (pools declared after the collector, so they outlive
+        // its drop-time drain).
+        unsafe { SetCore::new(self.head, &self.rec, &self.collector, &self.pools) }
     }
 
     /// Inserts `key`; returns `false` iff it was already present.

@@ -30,6 +30,7 @@ use crate::engine::{
     help, res_val, val_of, HelpOutcome, Info, InfoFill, RES_EMPTY, RES_UNIT, RES_VAL_BASE,
 };
 use crate::optype;
+use crate::pool::{Pool, PoolCfg, PoolItem};
 use crate::recovery::{op_recover, RecArea, Recovered};
 use crate::tag;
 use nvm::{PWord, Persist, PersistWords};
@@ -60,6 +61,24 @@ impl<M: Persist> Node<M> {
             info: PWord::new(info),
         }))
     }
+
+    /// Re-initialize a pool-recycled node.
+    fn init(&self, val: u64, next: u64, info: u64) {
+        self.val.store(val);
+        self.next.store(next);
+        self.info.store(info);
+    }
+}
+
+impl<M: Persist> PoolItem for Node<M> {
+    fn fresh() -> Self {
+        counters::node_alloc();
+        Node { val: PWord::new(0), next: PWord::new(0), info: PWord::new(0) }
+    }
+
+    fn count_reuse() {
+        counters::node_reuse();
+    }
 }
 
 impl<M: Persist> Drop for Node<M> {
@@ -89,7 +108,10 @@ pub struct RQueue<M: Persist, const TUNED: bool = false> {
     head: Box<Anchor<M>>,
     tail: PWord<M>,
     rec: RecArea<M>,
+    // `collector` must drop before the pools (drop-time drain recycles).
     collector: Collector,
+    info_pool: Pool<Info<M>>,
+    node_pool: Pool<Node<M>>,
 }
 
 unsafe impl<M: Persist, const TUNED: bool> Send for RQueue<M, TUNED> {}
@@ -102,26 +124,58 @@ impl<M: Persist, const TUNED: bool> Default for RQueue<M, TUNED> {
 }
 
 impl<M: Persist, const TUNED: bool> RQueue<M, TUNED> {
-    /// New empty queue with a reclaiming collector.
+    /// New empty queue with a reclaiming collector and pooled allocation.
     pub fn new() -> Self {
         Self::with_collector(Collector::new())
     }
 
+    /// New empty queue with pooling off (the boxed ablation arm).
+    pub fn boxed() -> Self {
+        Self::with_config(Collector::new(), PoolCfg::boxed())
+    }
+
     /// New empty queue with the given collector (crash-sim runs pass
-    /// [`Collector::disabled`]).
+    /// [`Collector::disabled`]; pooling drops to passthrough mode).
     pub fn with_collector(collector: Collector) -> Self {
+        Self::with_config(collector, PoolCfg::default())
+    }
+
+    /// New empty queue with the given collector and pool configuration.
+    pub fn with_config(collector: Collector, pool: PoolCfg) -> Self {
         let s0: *mut Node<M> = Node::alloc(0, 0, 0);
+        let info_pool = Pool::new_for::<M>(pool, &collector);
+        let node_pool = Pool::new_for::<M>(pool, &collector);
         Self {
             head: Box::new(Anchor { ptr: PWord::new(s0 as u64), info: PWord::new(0) }),
             tail: PWord::new(s0 as u64),
             rec: RecArea::new(),
             collector,
+            info_pool,
+            node_pool,
         }
     }
 
     /// The queue's collector (diagnostics).
     pub fn collector(&self) -> &Collector {
         &self.collector
+    }
+
+    /// Draw a descriptor: pool hit, or heap in passthrough mode.
+    #[inline]
+    fn alloc_info(&self) -> *mut Info<M> {
+        self.info_pool.take().unwrap_or_else(Info::alloc)
+    }
+
+    /// Draw a node: pool hit (re-initialized), or heap in passthrough mode.
+    #[inline]
+    fn alloc_node(&self, val: u64, next: u64, info: u64) -> *mut Node<M> {
+        match self.node_pool.take() {
+            Some(p) => {
+                unsafe { (*p).init(val, next, info) };
+                p
+            }
+            None => Node::alloc(val, next, info),
+        }
     }
 
     fn publish(&self, pid: usize, info: *mut Info<M>, published: &mut u64, g: &Guard<'_>) {
@@ -136,7 +190,7 @@ impl<M: Persist, const TUNED: bool> RQueue<M, TUNED> {
         unsafe {
             let iv = (*node).info.load();
             Info::<M>::release(tag::ptr_of(iv), 1, g);
-            g.retire_box(node);
+            self.node_pool.retire(node, g);
         }
     }
 
@@ -161,17 +215,15 @@ impl<M: Persist, const TUNED: bool> RQueue<M, TUNED> {
     /// Enqueues `v` (always succeeds).
     pub fn enqueue(&self, pid: usize, v: u64) {
         assert!(v < u64::MAX - RES_VAL_BASE, "value too large for result encoding");
-        let newnd = Node::alloc(v, 0, 0);
-        let mut info = Info::<M>::alloc();
+        // ONE pin covers the whole operation (see set_core::insert).
+        let g = self.collector.pin();
+        let prev = self.rec.begin::<TUNED>(pid);
+        unsafe { Info::<M>::release(tag::ptr_of(prev), 1, &g) };
+        let newnd = self.alloc_node(v, 0, 0);
+        let mut info = self.alloc_info();
         let mut filled: u64 = 0;
         let mut published: u64 = 0;
-        let prev = self.rec.begin::<TUNED>(pid);
-        {
-            let g = self.collector.pin();
-            unsafe { Info::<M>::release(tag::ptr_of(prev), 1, &g) };
-        }
         loop {
-            let g = self.collector.pin();
             let (last, last_info, walk_start) = unsafe { self.find_last() };
             if tag::is_tagged(last_info) {
                 unsafe { help::<M, TUNED>(tag::ptr_of(last_info), false, &g) };
@@ -224,7 +276,7 @@ impl<M: Persist, const TUNED: bool> RQueue<M, TUNED> {
                 }
                 HelpOutcome::FailedAt(i) => {
                     unsafe { Info::<M>::release(info, (1 - i) as u32, &g) };
-                    info = Info::alloc();
+                    info = self.alloc_info();
                 }
             }
         }
@@ -232,15 +284,12 @@ impl<M: Persist, const TUNED: bool> RQueue<M, TUNED> {
 
     /// Dequeues; `None` iff the queue was observed empty.
     pub fn dequeue(&self, pid: usize) -> Option<u64> {
-        let mut info = Info::<M>::alloc();
-        let mut published: u64 = 0;
+        let g = self.collector.pin();
         let prev = self.rec.begin::<TUNED>(pid);
-        {
-            let g = self.collector.pin();
-            unsafe { Info::<M>::release(tag::ptr_of(prev), 1, &g) };
-        }
+        unsafe { Info::<M>::release(tag::ptr_of(prev), 1, &g) };
+        let mut info = self.alloc_info();
+        let mut published: u64 = 0;
         loop {
-            let g = self.collector.pin();
             // Gather order: anchor info, then sentinel, then its info, then next.
             let h_info = self.head.info.load();
             let s = self.head.ptr.load() as *mut Node<M>;
@@ -313,7 +362,7 @@ impl<M: Persist, const TUNED: bool> RQueue<M, TUNED> {
                 }
                 HelpOutcome::FailedAt(i) => {
                     unsafe { Info::<M>::release(info, (2 - i) as u32, &g) };
-                    info = Info::alloc();
+                    info = self.alloc_info();
                 }
             }
         }

@@ -50,6 +50,18 @@ impl<M: Persist> Default for RecArea<M> {
     }
 }
 
+/// Runs the system's (non-crashable) glue instructions: under the crash
+/// simulator they execute with injection suspended; the real modes skip the
+/// thread-local bookkeeping entirely (it sat on every operation's prologue).
+#[inline]
+fn system_glue<M: Persist>(f: impl FnOnce()) {
+    if M::SIMULATED {
+        nvm::sim::suspended(f)
+    } else {
+        f()
+    }
+}
+
 impl<M: Persist> RecArea<M> {
     /// Creates recovery slots for [`MAX_PROCS`] processes.
     pub fn new() -> Self {
@@ -69,7 +81,7 @@ impl<M: Persist> RecArea<M> {
         // System glue: CP_q := 0, persisted, before the operation starts.
         // The system itself does not crash (paper Section 2), so crash
         // injection is suspended for these two instructions.
-        nvm::sim::suspended(|| {
+        system_glue::<M>(|| {
             s.cp.store(0);
             M::pbarrier(&s.cp);
         });
@@ -99,7 +111,7 @@ impl<M: Persist> RecArea<M> {
         // (crashable) operation code — otherwise a crash on the operation's
         // first instruction would leave `CP_q = 1` pointing at the previous
         // operation's descriptor and recovery would return a stale response.
-        nvm::sim::suspended(|| {
+        system_glue::<M>(|| {
             s.cp.store(0);
             M::pbarrier(&s.cp);
         });

@@ -40,6 +40,7 @@
 use crate::counters;
 use crate::engine::{help, HelpOutcome, Info, InfoFill, RES_FALSE, RES_TRUE};
 use crate::optype;
+use crate::pool::{Pool, PoolCfg, PoolItem};
 use crate::recovery::{op_recover, RecArea, Recovered};
 use crate::tag;
 use nvm::{PWord, Persist, PersistWords};
@@ -74,6 +75,42 @@ impl<M: Persist> Node<M> {
             next: PWord::new(next),
             info: PWord::new(info),
         }))
+    }
+
+    /// Re-initialize a pool-recycled node (all fields — the node is dirty).
+    fn init(&self, key: u64, next: u64, info: u64) {
+        self.key.store(key);
+        self.next.store(next);
+        self.info.store(info);
+    }
+}
+
+impl<M: Persist> PoolItem for Node<M> {
+    fn fresh() -> Self {
+        counters::node_alloc();
+        Node { key: PWord::new(0), next: PWord::new(0), info: PWord::new(0) }
+    }
+
+    fn count_reuse() {
+        counters::node_reuse();
+    }
+}
+
+/// The descriptor/node pools shared by every bucket of one ordered-set
+/// structure (`RList` owns one pair; `RHashMap` shares one pair across all
+/// shards). Pooling is forced into passthrough mode under crash simulation
+/// and disabled collectors — see [`crate::pool`].
+pub struct SetPools<M: Persist> {
+    /// Info-descriptor pool.
+    pub info: Pool<Info<M>>,
+    /// List-node pool.
+    pub node: Pool<Node<M>>,
+}
+
+impl<M: Persist> SetPools<M> {
+    /// Pools per `cfg`, gated on the structure's collector mode.
+    pub fn new(cfg: PoolCfg, collector: &Collector) -> Self {
+        Self { info: Pool::new_for::<M>(cfg, collector), node: Pool::new_for::<M>(cfg, collector) }
     }
 }
 
@@ -110,6 +147,7 @@ pub struct SetCore<'a, M: Persist, const TUNED: bool> {
     head: *mut Node<M>,
     rec: &'a RecArea<M>,
     collector: &'a Collector,
+    pools: &'a SetPools<M>,
 }
 
 impl<'a, M: Persist, const TUNED: bool> SetCore<'a, M, TUNED> {
@@ -117,10 +155,35 @@ impl<'a, M: Persist, const TUNED: bool> SetCore<'a, M, TUNED> {
     ///
     /// # Safety
     /// `head` must point to a live bucket created by [`new_bucket`] whose
-    /// nodes are only reclaimed through `collector`, and `rec` must be the
-    /// recovery area every operation on this bucket publishes through.
-    pub unsafe fn new(head: *mut Node<M>, rec: &'a RecArea<M>, collector: &'a Collector) -> Self {
-        Self { head, rec, collector }
+    /// nodes are only reclaimed through `collector`, `rec` must be the
+    /// recovery area every operation on this bucket publishes through, and
+    /// `pools` must be the pools every operation on the structure draws
+    /// from (and must outlive `collector`).
+    pub unsafe fn new(
+        head: *mut Node<M>,
+        rec: &'a RecArea<M>,
+        collector: &'a Collector,
+        pools: &'a SetPools<M>,
+    ) -> Self {
+        Self { head, rec, collector, pools }
+    }
+
+    /// Draw a descriptor: pool hit, or heap in passthrough mode.
+    #[inline]
+    fn alloc_info(&self) -> *mut Info<M> {
+        self.pools.info.take().unwrap_or_else(Info::alloc)
+    }
+
+    /// Draw a node: pool hit (re-initialized), or heap in passthrough mode.
+    #[inline]
+    fn alloc_node(&self, key: u64, next: u64, info: u64) -> *mut Node<M> {
+        match self.pools.node.take() {
+            Some(p) => {
+                unsafe { (*p).init(key, next, info) };
+                p
+            }
+            None => Node::alloc(key, next, info),
+        }
     }
 
     fn assert_key(key: u64) {
@@ -184,15 +247,17 @@ impl<'a, M: Persist, const TUNED: bool> SetCore<'a, M, TUNED> {
     }
 
     /// Retire a node that left the structure, releasing its info reference.
+    /// The node was published, so reuse waits out the epoch delay.
     unsafe fn retire_node(&self, node: *mut Node<M>, g: &Guard<'_>) {
         unsafe {
             let iv = (*node).info.load();
             Info::<M>::release(tag::ptr_of(iv), 1, g);
-            g.retire_box(node);
+            self.pools.node.retire(node, g);
         }
     }
 
-    /// Drop never-published new nodes (and their info-cell references).
+    /// Return never-published new nodes straight to the pool (and release
+    /// their info-cell references) — the private-failure fast path.
     unsafe fn drop_pending(
         &self,
         newnd: *mut Node<M>,
@@ -204,8 +269,8 @@ impl<'a, M: Persist, const TUNED: bool> SetCore<'a, M, TUNED> {
             if filled != 0 {
                 Info::<M>::release(tag::ptr_of(filled), 2, g);
             }
-            drop(Box::from_raw(newnd));
-            drop(Box::from_raw(newcurr));
+            self.pools.node.give(newnd, g);
+            self.pools.node.give(newcurr, g);
         }
     }
 
@@ -213,19 +278,19 @@ impl<'a, M: Persist, const TUNED: bool> SetCore<'a, M, TUNED> {
     /// (Algorithm 3, `Insert`.)
     pub fn insert(&self, pid: usize, key: u64) -> bool {
         Self::assert_key(key);
+        // ONE pin covers the whole operation: the previous descriptor's
+        // release, every attempt, and all retirements (interior help calls
+        // re-pin through the collector's nested fast path).
+        let g = self.collector.pin();
+        let prev = self.rec.begin::<TUNED>(pid);
+        unsafe { Info::<M>::release(tag::ptr_of(prev), 1, &g) };
         // newnd → newcurr; newcurr refreshed per attempt as a copy of curr.
-        let newcurr = Node::alloc(0, 0, 0);
-        let newnd = Node::alloc(key, newcurr as u64, 0);
-        let mut info = Info::<M>::alloc();
+        let newcurr = self.alloc_node(0, 0, 0);
+        let newnd = self.alloc_node(key, newcurr as u64, 0);
+        let mut info = self.alloc_info();
         let mut filled: u64 = 0; // tagged-info value currently in the new nodes' cells
         let mut published: u64 = 0;
-        let prev = self.rec.begin::<TUNED>(pid);
-        {
-            let g = self.collector.pin();
-            unsafe { Info::<M>::release(tag::ptr_of(prev), 1, &g) };
-        }
         loop {
-            let g = self.collector.pin();
             let s = unsafe { self.search(key) };
             // Helping phase.
             if tag::is_tagged(s.pred_info) {
@@ -300,9 +365,11 @@ impl<'a, M: Persist, const TUNED: bool> SetCore<'a, M, TUNED> {
                 }
                 HelpOutcome::FailedAt(i) => {
                     // Abandon: release never-installed affect slots; fresh
-                    // descriptor for the next attempt (pointer freshness).
+                    // descriptor for the next attempt (pointer freshness —
+                    // the pool's epoch delay keeps the failed descriptor's
+                    // address out of circulation while it is still visible).
                     unsafe { Info::release(info, (2 - i) as u32, &g) };
-                    info = Info::alloc();
+                    info = self.alloc_info();
                 }
             }
         }
@@ -311,15 +378,12 @@ impl<'a, M: Persist, const TUNED: bool> SetCore<'a, M, TUNED> {
     /// Deletes `key`; returns `false` iff it was absent. (Algorithm 5.)
     pub fn delete(&self, pid: usize, key: u64) -> bool {
         Self::assert_key(key);
-        let mut info = Info::<M>::alloc();
-        let mut published: u64 = 0;
+        let g = self.collector.pin();
         let prev = self.rec.begin::<TUNED>(pid);
-        {
-            let g = self.collector.pin();
-            unsafe { Info::<M>::release(tag::ptr_of(prev), 1, &g) };
-        }
+        unsafe { Info::<M>::release(tag::ptr_of(prev), 1, &g) };
+        let mut info = self.alloc_info();
+        let mut published: u64 = 0;
         loop {
-            let g = self.collector.pin();
             let s = unsafe { self.search(key) };
             if tag::is_tagged(s.pred_info) {
                 unsafe { help::<M, TUNED>(tag::ptr_of(s.pred_info), false, &g) };
@@ -378,7 +442,7 @@ impl<'a, M: Persist, const TUNED: bool> SetCore<'a, M, TUNED> {
                 }
                 HelpOutcome::FailedAt(i) => {
                     unsafe { Info::release(info, (2 - i) as u32, &g) };
-                    info = Info::alloc();
+                    info = self.alloc_info();
                 }
             }
         }
@@ -390,11 +454,11 @@ impl<'a, M: Persist, const TUNED: bool> SetCore<'a, M, TUNED> {
     /// recoverability / nesting.)
     pub fn find(&self, pid: usize, key: u64) -> bool {
         Self::assert_key(key);
-        let info = Info::<M>::alloc();
+        let g = self.collector.pin();
         let prev = self.rec.begin_readonly(pid);
+        let info = self.alloc_info();
         let mut published = prev;
         loop {
-            let g = self.collector.pin();
             let s = unsafe { self.search(key) };
             if tag::is_tagged(s.curr_info) {
                 unsafe { help::<M, TUNED>(tag::ptr_of(s.curr_info), false, &g) };

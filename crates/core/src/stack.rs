@@ -19,6 +19,7 @@
 
 use crate::counters;
 use crate::exchanger::{ExchangeResult, RExchanger};
+use crate::pool::{Pool, PoolCfg, PoolItem};
 use nvm::{PWord, Persist, PersistWords};
 use reclaim::Collector;
 
@@ -48,6 +49,24 @@ impl<M: Persist> Node<M> {
             popped_by: PWord::new(0),
         }))
     }
+
+    /// Re-initialize a pool-recycled node (clears the claim stamp).
+    fn init(&self, val: u64, next: u64) {
+        self.val.store(val);
+        self.next.store(next);
+        self.popped_by.store(0);
+    }
+}
+
+impl<M: Persist> PoolItem for Node<M> {
+    fn fresh() -> Self {
+        counters::node_alloc();
+        Node { val: PWord::new(0), next: PWord::new(0), popped_by: PWord::new(0) }
+    }
+
+    fn count_reuse() {
+        counters::node_reuse();
+    }
 }
 
 impl<M: Persist> Drop for Node<M> {
@@ -64,7 +83,9 @@ const ELIM_POP: u64 = 1 << 61;
 pub struct RStack<M: Persist> {
     top: PWord<M>,
     exch: RExchanger<M>,
+    // `collector` must drop before `node_pool` (drop-time drain recycles).
     collector: Collector,
+    node_pool: Pool<Node<M>>,
     /// Spin budget offered to the elimination layer.
     elim_budget: usize,
 }
@@ -81,22 +102,43 @@ impl<M: Persist> Default for RStack<M> {
 impl<M: Persist> RStack<M> {
     /// New empty stack.
     pub fn new() -> Self {
+        Self::with_config(PoolCfg::default())
+    }
+
+    /// New empty stack with the given pool configuration (shared by the
+    /// node pool and the elimination exchanger's descriptor pool).
+    pub fn with_config(pool: PoolCfg) -> Self {
+        let collector = Collector::new();
+        let node_pool = Pool::new_for::<M>(pool, &collector);
         Self {
             top: PWord::new(0),
-            exch: RExchanger::new(),
-            collector: Collector::new(),
+            exch: RExchanger::with_config(Collector::new(), pool),
+            collector,
+            node_pool,
             elim_budget: 200,
+        }
+    }
+
+    /// Draw a node: pool hit (re-initialized), or heap in passthrough mode.
+    #[inline]
+    fn alloc_node(&self, val: u64, next: u64) -> *mut Node<M> {
+        match self.node_pool.take() {
+            Some(p) => {
+                unsafe { (*p).init(val, next) };
+                p
+            }
+            None => Node::alloc(val, next),
         }
     }
 
     /// Pushes `v`.
     pub fn push(&self, pid: usize, v: u64) {
         assert!(v < ELIM_POP - 16, "value too large");
-        let node = Node::<M>::alloc(v, 0);
+        let g = self.collector.pin();
+        let node = self.alloc_node(v, 0);
         unsafe {
             M::pwb_obj(&*node);
         }
-        let g = self.collector.pin();
         loop {
             let t = self.top.load();
             unsafe { (*node).next.store(t) };
@@ -112,8 +154,9 @@ impl<M: Persist> RStack<M> {
                 self.exch.exchange(pid, ELIM_PUSH | v, self.elim_budget)
             {
                 if other & ELIM_POP != 0 {
-                    // A pop took our value directly; the node is unused.
-                    unsafe { drop(Box::from_raw(node)) };
+                    // A pop took our value directly; the node was never
+                    // published — straight back to the pool.
+                    unsafe { self.node_pool.give(node, &g) };
                     drop(g);
                     return;
                 }
@@ -146,7 +189,7 @@ impl<M: Persist> RStack<M> {
                     let v = (*t).val.load();
                     if self.top.cas(t as u64, (*t).next.load()) == t as u64 {
                         M::pwb(&self.top);
-                        g.retire_box(t);
+                        self.node_pool.retire(t, &g);
                     }
                     M::psync();
                     return Some(v);

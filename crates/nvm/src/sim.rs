@@ -182,7 +182,12 @@ impl Persist for SimNvm {
         register(w);
         let seq = globals().seq.fetch_add(1, Relaxed);
         let snap = w.v.load(SeqCst);
-        commit(w as *const _ as usize, snap, seq);
+        OUTSTANDING.with(|o| o.borrow_mut().push((w as *const _ as usize, snap, seq)));
+        // The fence half of a pbarrier completes the write-backs it orders —
+        // including every *preceding* outstanding pwb (DESIGN.md §3; on real
+        // hardware the mfence drains all prior clflushes, not just this
+        // one). Draining front-to-back keeps the realistic mid-crash prefix.
+        commit_outstanding(true);
         stats::count_pbarrier(1);
     }
     fn pwb_obj<T: PersistWords<Self> + ?Sized>(obj: &T) {
@@ -200,9 +205,14 @@ impl Persist for SimNvm {
             register(w);
             let seq = globals().seq.fetch_add(1, Relaxed);
             let snap = w.v.load(SeqCst);
-            commit(w as *const _ as usize, snap, seq);
+            OUTSTANDING.with(|o| o.borrow_mut().push((w as *const _ as usize, snap, seq)));
             lines += 1;
         });
+        // Fence half: completes this object's write-backs AND every
+        // preceding outstanding pwb (see `pbarrier`) — the paper's
+        // `pbarrier(newcurr, newnd, *opInfo)` makes the *whole* attempt
+        // durable, not just the descriptor.
+        commit_outstanding(true);
         stats::count_pbarrier(lines);
     }
 

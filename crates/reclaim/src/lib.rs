@@ -35,17 +35,22 @@ use std::sync::Mutex;
 /// raw allocation plus the function that frees it (exactly once).
 pub type DeferredFree = (*mut u8, unsafe fn(*mut u8));
 
-/// A deferred deallocation.
-struct Garbage {
-    ptr: *mut u8,
-    drop_fn: unsafe fn(*mut u8),
+/// A deferred reclamation action: either a plain deallocation or a
+/// context-carrying recycle hook ([`Guard::retire_ctx`] — object pools route
+/// retirement back into their free lists through this).
+enum Garbage {
+    Plain { ptr: *mut u8, drop_fn: unsafe fn(*mut u8) },
+    Ctx { ptr: *mut u8, ctx: *mut u8, drop_fn: unsafe fn(*mut u8, *mut u8) },
 }
 
 unsafe impl Send for Garbage {}
 
 impl Garbage {
     unsafe fn free(self) {
-        unsafe { (self.drop_fn)(self.ptr) };
+        match self {
+            Garbage::Plain { ptr, drop_fn } => unsafe { drop_fn(ptr) },
+            Garbage::Ctx { ptr, ctx, drop_fn } => unsafe { drop_fn(ptr, ctx) },
+        }
     }
 }
 
@@ -133,6 +138,12 @@ impl Collector {
 
     /// Pins the calling thread; reclamation of anything retired afterwards
     /// is deferred until the returned guard (and any nested guards) drop.
+    ///
+    /// Nested pins take a fast path: a thread already pinned only bumps its
+    /// re-entrancy depth — no epoch-table traffic. Data structures exploit
+    /// this by holding **one** guard per operation and letting interior
+    /// helpers (`op_recover`, recursive helping) re-pin for free.
+    #[inline]
     pub fn pin(&self) -> Guard<'_> {
         let pid = tid::tid();
         if !self.enabled {
@@ -142,9 +153,15 @@ impl Collector {
         // SAFETY: `bags` is only touched by the thread owning slot `pid`.
         let bags = unsafe { &mut *slot.bags.get() };
         bags.depth += 1;
-        if bags.depth > 1 {
-            return Guard { c: self, pid, active: true };
+        if bags.depth == 1 {
+            self.pin_outermost(slot, bags);
         }
+        Guard { c: self, pid, active: true }
+    }
+
+    /// The outermost-pin slow path: announce an epoch, free ripe bags, and
+    /// periodically try to advance the global epoch.
+    fn pin_outermost(&self, slot: &Slot, bags: &mut Bags) {
         let mut epoch = self.global.load(SeqCst);
         loop {
             slot.state.store((epoch << 1) | 1, SeqCst);
@@ -157,10 +174,9 @@ impl Collector {
         bags.pin_epoch = epoch;
         bags.pins += 1;
         self.collect(bags, epoch);
-        if bags.pins % ADVANCE_PERIOD == 0 {
+        if bags.pins.is_multiple_of(ADVANCE_PERIOD) {
             self.try_advance(epoch);
         }
-        Guard { c: self, pid, active: true }
     }
 
     /// Frees bags at least two epochs old.
@@ -233,7 +249,12 @@ impl Collector {
             .get_mut()
             .unwrap_or_else(|e| e.into_inner())
             .drain(..)
-            .map(|g| (g.ptr, g.drop_fn))
+            .map(|g| match g {
+                Garbage::Plain { ptr, drop_fn } => (ptr, drop_fn),
+                // retire_ctx asserts the collector is enabled, so parked
+                // garbage is always plain.
+                Garbage::Ctx { .. } => unreachable!("ctx retire parked on a disabled collector"),
+            })
             .collect()
     }
 
@@ -281,7 +302,7 @@ impl Guard<'_> {
     /// `ptr` must be a valid `Box<T>` allocation, unreachable to any thread
     /// that pins after this call, and retired exactly once.
     pub unsafe fn retire_box<T>(&self, ptr: *mut T) {
-        self.c.retire_raw(self.pid, Garbage { ptr: ptr as *mut u8, drop_fn: drop_box::<T> });
+        self.c.retire_raw(self.pid, Garbage::Plain { ptr: ptr as *mut u8, drop_fn: drop_box::<T> });
     }
 
     /// Defers an arbitrary reclamation action (same contract as
@@ -291,7 +312,31 @@ impl Guard<'_> {
     /// See [`Guard::retire_box`]; additionally `drop_fn(ptr)` must be safe to
     /// call once `ptr` is unreachable.
     pub unsafe fn retire_with(&self, ptr: *mut u8, drop_fn: unsafe fn(*mut u8)) {
-        self.c.retire_raw(self.pid, Garbage { ptr, drop_fn });
+        self.c.retire_raw(self.pid, Garbage::Plain { ptr, drop_fn });
+    }
+
+    /// Defers a reclamation action that carries a context pointer —
+    /// `drop_fn(ptr, ctx)` runs once no pinned thread can still reference
+    /// `ptr` (two global epoch advances, like [`Guard::retire_box`]). Object
+    /// pools use this to route retirement back into a free list instead of
+    /// the allocator: the epoch delay is exactly what makes address reuse
+    /// safe under the same argument as deallocation.
+    ///
+    /// Only legal on an enabled collector: parked (crash-sim) garbage must
+    /// stay expressible as plain frees for [`Collector::take_parked`].
+    ///
+    /// # Safety
+    /// See [`Guard::retire_box`]; additionally `ctx` must stay valid until
+    /// the collector is dropped, and `drop_fn(ptr, ctx)` must be safe to
+    /// call once `ptr` is unreachable.
+    pub unsafe fn retire_ctx(
+        &self,
+        ptr: *mut u8,
+        ctx: *mut u8,
+        drop_fn: unsafe fn(*mut u8, *mut u8),
+    ) {
+        assert!(self.c.enabled, "retire_ctx on a disabled collector");
+        self.c.retire_raw(self.pid, Garbage::Ctx { ptr, ctx, drop_fn });
     }
 }
 
@@ -441,6 +486,42 @@ mod tests {
             }
         }
         assert_eq!(freed.load(Relaxed), 1, "object never freed after reader unpinned");
+    }
+
+    #[test]
+    fn retire_ctx_runs_with_context_after_epochs() {
+        tid::set_tid(0);
+        let c = Collector::new();
+        let sink: Box<Mutex<Vec<usize>>> = Box::new(Mutex::new(Vec::new()));
+        unsafe fn collect_into(p: *mut u8, ctx: *mut u8) {
+            let sink = unsafe { &*(ctx as *const Mutex<Vec<usize>>) };
+            sink.lock().unwrap().push(p as usize);
+            drop(unsafe { Box::from_raw(p as *mut u64) });
+        }
+        let p = Box::into_raw(Box::new(7u64));
+        {
+            let g = c.pin();
+            unsafe { g.retire_ctx(p as *mut u8, &*sink as *const _ as *mut u8, collect_into) };
+        }
+        // Not freed while the current epoch set could still reference it.
+        assert_eq!(c.pending(), 1);
+        for _ in 0..500 {
+            drop(c.pin());
+        }
+        drop(c);
+        assert_eq!(sink.lock().unwrap().as_slice(), &[p as usize]);
+    }
+
+    #[test]
+    #[should_panic(expected = "retire_ctx on a disabled collector")]
+    fn retire_ctx_rejects_disabled_collectors() {
+        unsafe fn nop(_p: *mut u8, _ctx: *mut u8) {}
+        tid::set_tid(0);
+        let c = Collector::disabled();
+        let g = c.pin();
+        let p = Box::into_raw(Box::new(1u64));
+        unsafe { g.retire_ctx(p as *mut u8, std::ptr::null_mut(), nop) };
+        drop(unsafe { Box::from_raw(p) }); // unreachable; keeps miri-style hygiene
     }
 
     #[test]

@@ -16,10 +16,17 @@
 //! Everything runs in ONE #[test]: the stats counters are process-global and
 //! this file is its own test binary, so a single test keeps the measurement
 //! interference-free.
+//!
+//! The table is checked for **pooled** (default) and **boxed** allocation,
+//! and again on a pooled list that was churned until its descriptors and
+//! nodes come from the recycle path — pooling must not change persist
+//! placement by a single instruction.
 
 use isb::hashmap::RHashMap;
 use isb::list::RList;
+use isb::pool::PoolCfg;
 use nvm::CountingNvm;
+use reclaim::Collector;
 
 /// `(pwb, pbarrier, pbarrier_lines, pfence, psync, response, node_flushes)`;
 /// `node_flushes` = number of fresh nodes flushed by the op (slack lines).
@@ -89,6 +96,7 @@ fn check_against(golden: &[(&str, Golden); 6], s: &SetUnderTest<'_>) {
 fn set_core_extraction_preserves_persist_placement() {
     nvm::tid::set_tid(0);
 
+    // Default (pooled) allocation, fresh structures.
     let list = RList::<CountingNvm, false>::new();
     check_against(
         &GOLDEN_ISB,
@@ -110,6 +118,71 @@ fn set_core_extraction_preserves_persist_placement() {
         },
     );
 
+    // Boxed (pre-pool) allocation must reproduce the same table bit-for-bit.
+    let list = RList::<CountingNvm, false>::boxed();
+    check_against(
+        &GOLDEN_ISB,
+        &SetUnderTest {
+            name: "RList<Isb>/boxed",
+            insert: Box::new(|k| list.insert(0, k)),
+            delete: Box::new(|k| list.delete(0, k)),
+            find: Box::new(|k| list.find(0, k)),
+        },
+    );
+    let list = RList::<CountingNvm, true>::boxed();
+    check_against(
+        &GOLDEN_OPT,
+        &SetUnderTest {
+            name: "RList<Isb-Opt>/boxed",
+            insert: Box::new(|k| list.insert(0, k)),
+            delete: Box::new(|k| list.delete(0, k)),
+            find: Box::new(|k| list.find(0, k)),
+        },
+    );
+
+    // Pooled with the recycle path HOT: a tiny pool churned until reuse is
+    // guaranteed (the leak counters prove it below). The scenario keys
+    // (5, 6) are untouched by the churn key (9), so every op still takes
+    // the same algorithm path over the same structure shape.
+    let reuse0 = isb::counters::info_reuses();
+    let warm = RList::<CountingNvm, false>::with_config(Collector::new(), PoolCfg::tiny(8));
+    for _ in 0..300 {
+        assert!(warm.insert(0, 9));
+        assert!(warm.delete(0, 9));
+    }
+    assert!(
+        isb::counters::info_reuses() > reuse0,
+        "warmup never hit the recycle path — the pooled golden run is vacuous"
+    );
+    check_against(
+        &GOLDEN_ISB,
+        &SetUnderTest {
+            name: "RList<Isb>/pooled-warm",
+            insert: Box::new(|k| warm.insert(0, k)),
+            delete: Box::new(|k| warm.delete(0, k)),
+            find: Box::new(|k| warm.find(0, k)),
+        },
+    );
+    let reuse0 = isb::counters::info_reuses();
+    let warm = RList::<CountingNvm, true>::with_config(Collector::new(), PoolCfg::tiny(8));
+    for _ in 0..300 {
+        assert!(warm.insert(0, 9));
+        assert!(warm.delete(0, 9));
+    }
+    assert!(
+        isb::counters::info_reuses() > reuse0,
+        "tuned warmup never hit the recycle path — the pooled golden run is vacuous"
+    );
+    check_against(
+        &GOLDEN_OPT,
+        &SetUnderTest {
+            name: "RList<Isb-Opt>/pooled-warm",
+            insert: Box::new(|k| warm.insert(0, k)),
+            delete: Box::new(|k| warm.delete(0, k)),
+            find: Box::new(|k| warm.find(0, k)),
+        },
+    );
+
     // A one-shard map is the same bucket algorithm behind a shard function
     // that performs no persistency instructions: identical placement.
     let map = RHashMap::<CountingNvm, false>::with_shards(1);
@@ -127,6 +200,16 @@ fn set_core_extraction_preserves_persist_placement() {
         &GOLDEN_OPT,
         &SetUnderTest {
             name: "RHashMap<Isb-Opt>/1",
+            insert: Box::new(|k| map.insert(0, k)),
+            delete: Box::new(|k| map.delete(0, k)),
+            find: Box::new(|k| map.find(0, k)),
+        },
+    );
+    let map = RHashMap::<CountingNvm, false>::boxed_with_shards(1);
+    check_against(
+        &GOLDEN_ISB,
+        &SetUnderTest {
+            name: "RHashMap<Isb>/1/boxed",
             insert: Box::new(|k| map.insert(0, k)),
             delete: Box::new(|k| map.delete(0, k)),
             find: Box::new(|k| map.find(0, k)),
