@@ -93,7 +93,7 @@ fn parse_args() -> Opts {
 
 const ALL_FIGS: &[&str] = &[
     "fig1a", "fig1b", "fig1c", "fig1d", "fig1e", "fig1f", "fig3", "fig4", "fig5", "fig6", "fig7",
-    "fig8", "fig9",
+    "fig8", "fig9", "fig10",
 ];
 
 /// The list algorithms of the figures, by paper name.
@@ -425,6 +425,95 @@ impl Ctx {
         }
         self.emit("fig9_map", &t_map);
     }
+
+    /// Mapped-backend attach latency + throughput — Figure 10 (beyond the
+    /// paper): how expensive is a *real* cross-process restart (remap +
+    /// Op-Recover replay + scrub + census/sweep) as the store grows, and
+    /// what running over a file-backed arena costs at runtime versus the
+    /// same structure on the process heap.
+    fn fig10(&self) {
+        use isb::hashmap::RHashMap as HM;
+        use nvm::MappedNvm;
+        use std::time::Instant;
+
+        nvm::tid::set_tid(nvm::MAX_PROCS - 1);
+        let dir = std::env::temp_dir().join(format!("isb_fig10_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+
+        // Attach latency vs store size (fresh process ≈ detach + re-attach).
+        let mut t_attach = Table::new(
+            "Figure 10: mapped-backend attach latency vs store size (16 shards, 64 MiB heap)"
+                .to_string(),
+            vec![
+                "fill ms".into(),
+                "attach ms".into(),
+                "committed blocks".into(),
+                "swept blocks".into(),
+            ],
+        );
+        for &n in &[1_000u64, 10_000, 50_000] {
+            let path = dir.join(format!("attach_{n}.heap"));
+            let _ = std::fs::remove_file(&path);
+            let t0 = Instant::now();
+            {
+                let (map, _) = HM::<MappedNvm, false>::attach(&path, 16).unwrap();
+                for k in 1..=n {
+                    map.insert(nvm::MAX_PROCS - 1, k);
+                }
+            }
+            let fill_ms = t0.elapsed().as_secs_f64() * 1e3;
+            let t1 = Instant::now();
+            let (map, summary) = HM::<MappedNvm, false>::attach(&path, 16).unwrap();
+            let attach_ms = t1.elapsed().as_secs_f64() * 1e3;
+            t_attach.row(
+                n.to_string(),
+                vec![fill_ms, attach_ms, summary.heap.committed as f64, summary.swept as f64],
+            );
+            drop(map);
+            let _ = std::fs::remove_file(&path);
+        }
+        self.emit("fig10_attach", &t_attach);
+
+        // Runtime throughput: mapped arena vs process heap, same structure,
+        // same RealNvm-style flush behaviour.
+        let range = 4096u64;
+        let mut t_tp = Table::new(
+            format!(
+                "Figure 10: mapped vs in-heap hash-map throughput (Mops/s; 16 shards, \
+                 keys [1,{range}], read-heavy)"
+            ),
+            vec!["Isb-HM/16-mapped".into(), "Isb-HM/16-heap".into()],
+        );
+        for &threads in &self.threads {
+            let cfg = SetCfg {
+                threads,
+                key_range: range,
+                mix: Mix::READ_INTENSIVE,
+                duration: self.dur,
+                seed: 42,
+            };
+            let mapped = {
+                let path = dir.join(format!("tp_{threads}.heap"));
+                let _ = std::fs::remove_file(&path);
+                let (map, _) = HM::<MappedNvm, false>::attach(&path, 16).unwrap();
+                let map = Arc::new(map);
+                prefill_set(&*map, range, 7);
+                nvm::stats::reset();
+                let r = run_set(map, cfg);
+                let _ = std::fs::remove_file(&path);
+                r
+            };
+            let heap = {
+                let m = Arc::new(HM::<RealNvm, false>::with_shards(16));
+                prefill_set(&*m, range, 7);
+                nvm::stats::reset();
+                run_set(m, cfg)
+            };
+            t_tp.row(threads.to_string(), vec![mapped.mops(), heap.mops()]);
+        }
+        self.emit("fig10_throughput", &t_tp);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
 }
 
 fn main() {
@@ -512,6 +601,7 @@ fn main() {
             "fig7" => ctx.fig7(),
             "fig8" => ctx.fig8(),
             "fig9" => ctx.fig9(),
+            "fig10" => ctx.fig10(),
             other => panic!("unknown figure {other}"),
         }
     }

@@ -216,6 +216,10 @@ fn set_apply_model(model: &mut std::collections::BTreeSet<u64>, op: SetOp) -> bo
 /// statistics.
 pub fn run_set_scenario<S: RecoverableSet>(cfg: CrashCfg) -> CrashReport {
     let _session = SESSION.lock().unwrap_or_else(|e| e.into_inner());
+    // Exclusive process-wide simulator session: a concurrent one (e.g. a
+    // test bypassing this harness) now panics cleanly instead of corrupting
+    // build_crash_image (nvm::sim registry contract).
+    let _sim = sim::begin_session();
     sim::quiet_crash_panics();
     sim::reset();
     let mut report = CrashReport::default();
@@ -433,6 +437,10 @@ type SimQueue = RQueue<SimNvm, false>;
 /// value spaces.
 pub fn run_queue_scenario(cfg: CrashCfg) -> CrashReport {
     let _session = SESSION.lock().unwrap_or_else(|e| e.into_inner());
+    // Exclusive process-wide simulator session: a concurrent one (e.g. a
+    // test bypassing this harness) now panics cleanly instead of corrupting
+    // build_crash_image (nvm::sim registry contract).
+    let _sim = sim::begin_session();
     sim::quiet_crash_panics();
     sim::reset();
     let mut report = CrashReport::default();

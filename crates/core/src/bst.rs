@@ -154,7 +154,7 @@ impl<M: Persist, const TUNED: bool> RBst<M, TUNED> {
         let inner: *mut Node<M> = Node::alloc(KEY_INF1, l0 as u64, l1 as u64, 0);
         let r2: *mut Node<M> = Node::alloc(KEY_INF2, 0, 0, 0);
         let root = Node::alloc(KEY_INF2, inner as u64, r2 as u64, 0);
-        let info_pool = Pool::new_for::<M>(pool, &collector);
+        let info_pool = Pool::new_for::<M>(pool.clone(), &collector);
         let node_pool = Pool::new_for::<M>(pool, &collector);
         Self { root, rec: RecArea::new(), collector, info_pool, node_pool }
     }

@@ -347,6 +347,14 @@ impl<M: Persist> Info<M> {
         if info.is_null() || n == 0 {
             return;
         }
+        if M::MAPPED && RELEASE_SUSPENDED.with(|c| c.get()) {
+            // Mapped-backend attach replay: the counts a killed process left
+            // behind are not trustworthy mid-recovery; the post-scrub census
+            // recomputes every live descriptor's count from scratch. The
+            // `M::MAPPED` guard compiles the TLS access out of every other
+            // model's hot path.
+            return;
+        }
         if M::SIMULATED {
             // Crash mode: the adversarial image can roll an info cell back to
             // a value whose reference was already released before the crash,
@@ -377,6 +385,84 @@ impl<M: Persist> Info<M> {
     pub fn installs(&self) -> u32 {
         self.installs.load(Ordering::Acquire)
     }
+
+    /// Attach-time bounds validation of a descriptor read from an
+    /// **untrusted** mapped image, before `help` may dereference any of its
+    /// cell addresses: the set sizes must be within the engine's capacities,
+    /// every used affect/write/newset cell address must satisfy `valid_cell`
+    /// (an in-arena 8-byte-span check — helping reads/CASes one word
+    /// there), and every write `new` value must satisfy `valid_install`
+    /// (callers pass a whole-node span check: `help` installs the value
+    /// into a cell the later census walk dereferences as a node). Returns
+    /// `false` on any violation.
+    pub fn validate_bounds(
+        &self,
+        valid_cell: impl Fn(u64) -> bool,
+        valid_install: impl Fn(u64) -> bool,
+    ) -> bool {
+        let (na, nw, nn, _) = self.counts();
+        if na == 0 || na > MAX_AFFECT || nw > MAX_WRITE || nn > MAX_NEW {
+            return false;
+        }
+        for k in 0..na {
+            if !valid_cell(M::load(&self.affect_slot(k)[0])) {
+                return false;
+            }
+        }
+        for k in 0..nw {
+            let w = self.write_slot(k);
+            if !valid_cell(M::load(&w[0])) || !valid_install(M::load(&w[2])) {
+                return false;
+            }
+        }
+        for k in 0..nn {
+            if !valid_cell(M::load(&self.newset[k])) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Attach-time census fix-up for a descriptor that survived a process
+    /// restart in a mapped arena: overwrites the volatile bookkeeping — the
+    /// reference count (recomputed from the quiescent structure), the owner
+    /// pool handle (the dead process's pool is gone), and the shared flag
+    /// (a surviving descriptor was published, so it must take the EBR path
+    /// when it is eventually released).
+    ///
+    /// # Safety
+    /// Quiescent exclusive access (attach-time recovery only); `count` must
+    /// equal the number of places that reference this descriptor (info
+    /// cells holding its address plus `RD_q` slots naming it), and `owner`
+    /// must be the new structure's Info-pool handle (or null).
+    pub unsafe fn reset_after_attach(&self, count: u32, owner: *const ()) {
+        self.installs.store(count, Ordering::Release);
+        self.owner.store(owner as *mut (), Ordering::Release);
+        self.shared.store(true, Ordering::Release);
+    }
+}
+
+thread_local! {
+    /// See [`with_release_suspended`].
+    static RELEASE_SUSPENDED: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+/// Runs `f` with [`Info::release`] turned into a no-op on this thread.
+///
+/// Used by the mapped backend's attach-time recovery replay: `help` releases
+/// references as a side effect (overwritten installs), but the counts a
+/// `SIGKILL`ed process persisted may already be partially decremented, so
+/// honouring them could double-release a descriptor into the arena free
+/// list. Attach instead suspends the bookkeeping, brings the structure to
+/// quiescence, and rebuilds every live descriptor's count with
+/// [`Info::reset_after_attach`].
+pub fn with_release_suspended<R>(f: impl FnOnce() -> R) -> R {
+    RELEASE_SUSPENDED.with(|c| {
+        let old = c.replace(true);
+        let r = f();
+        c.set(old);
+        r
+    })
 }
 
 /// Outcome of [`help`].

@@ -18,15 +18,26 @@
 //! cells and interact only through the shared recovery slots, which keep the
 //! single-pending-op discipline per process.
 
-use crate::engine::RES_TRUE;
+use crate::engine::{with_release_suspended, RES_TRUE};
 use crate::pool::PoolCfg;
-use crate::recovery::{RecArea, Recovered};
+use crate::recovery::{
+    census_epilogue, mapped_attach_prologue, published_infos, replay_all, rootkeys, validate_infos,
+    AttachSummary, MappedPrologue, RecArea, Recovered,
+};
 use crate::set_core::{self, Node, SetCore, SetPools};
+use crate::tag;
+use nvm::mapped::{MapError, MappedHeap, MappedNvm, DEFAULT_HEAP_BYTES};
 use nvm::Persist;
 use reclaim::Collector;
+use std::collections::{HashMap, HashSet};
+use std::path::Path;
+use std::sync::Arc;
 
 /// Default shard count for [`RHashMap::new`].
 pub const DEFAULT_SHARDS: usize = 16;
+
+/// Superblock structure-kind tag of a mapped `RHashMap`.
+pub const KIND_MAP: u64 = 1;
 
 /// 2⁶⁴ / φ, the fibonacci-hashing multiplier.
 const FIB: u64 = 0x9E37_79B9_7F4A_7C15;
@@ -34,6 +45,31 @@ const FIB: u64 = 0x9E37_79B9_7F4A_7C15;
 /// Sharded, detectably recoverable hash map. `TUNED` selects the persistency
 /// placement exactly as for [`crate::list::RList`] (false = "Isb", true =
 /// "Isb-Opt").
+///
+/// # Example: the detectable recovery flow
+///
+/// ```
+/// use isb::hashmap::RHashMap;
+/// use nvm::CountingNvm;
+///
+/// nvm::tid::set_tid(0);
+/// let map: RHashMap<CountingNvm> = RHashMap::with_shards(8);
+/// assert!(map.insert(0, 42));
+/// assert!(map.delete(0, 42));
+///
+/// // Crash "just after" the completed delete: recovery returns its
+/// // persisted response instead of deleting again (detectability)...
+/// assert!(map.recover_delete(0, 42));
+/// assert!(!map.find(0, 42));
+/// // ...while a process that crashed before *publishing* anything
+/// // (here: process 1 never ran an operation) simply re-invokes:
+/// assert!(map.recover_insert(1, 42));
+/// assert!(map.find(0, 42));
+/// ```
+///
+/// With the mapped backend ([`RHashMap::attach`]) the same flow runs across
+/// an actual process restart: the attach replays Op-Recover for every
+/// process id and reports the decisions in its [`AttachSummary`].
 pub struct RHashMap<M: Persist, const TUNED: bool = false> {
     heads: Box<[*mut Node<M>]>,
     /// Right-shift distance extracting the top `log2(shards)` hash bits.
@@ -44,6 +80,10 @@ pub struct RHashMap<M: Persist, const TUNED: bool = false> {
     // per-process, so cross-shard sharing adds no contention.
     collector: Collector,
     pools: SetPools<M>,
+    /// Mapped mode: the persistent heap every node/descriptor/head lives in.
+    /// `Some` suppresses drop-time teardown — the contents *are* the durable
+    /// state the next attach recovers.
+    mapped: Option<Arc<MappedHeap>>,
 }
 
 unsafe impl<M: Persist, const TUNED: bool> Send for RHashMap<M, TUNED> {}
@@ -94,7 +134,7 @@ impl<M: Persist, const TUNED: bool> RHashMap<M, TUNED> {
         // shift in range and the mask in `shard_of` does the rest.
         let shift = (64 - shards.trailing_zeros()).min(63);
         let pools = SetPools::new(pool, &collector);
-        Self { heads, shift, rec: RecArea::new(), collector, pools }
+        Self { heads, shift, rec: RecArea::new(), collector, pools, mapped: None }
     }
 
     /// Number of shards (buckets).
@@ -215,8 +255,163 @@ impl<M: Persist, const TUNED: bool> RHashMap<M, TUNED> {
     }
 }
 
+impl<const TUNED: bool> RHashMap<MappedNvm, TUNED> {
+    /// Attaches (or creates) a detectably recoverable hash map backed by the
+    /// file-backed persistent heap at `path`
+    /// ([`nvm::mapped::DEFAULT_HEAP_BYTES`] on creation).
+    ///
+    /// On an existing heap this runs the full restart-recovery sequence:
+    ///
+    /// 1. remap the arena ([`MappedHeap::attach`]: superblock validation,
+    ///    torn-tail poisoning, relocation fallback),
+    /// 2. replay the generic Op-Recover for every process id (the decisions
+    ///    are returned in the [`AttachSummary`] — `Completed(res)` carries
+    ///    the crashed operation's response, `Restart` means it provably did
+    ///    not take effect),
+    /// 3. [`RHashMap::scrub`] every shard to quiesce helping obligations,
+    /// 4. census + sweep: rebuild every live descriptor's reference count /
+    ///    owner, and garbage-collect blocks the dead process leaked (pool
+    ///    caches, limbo bags, unlinked allocations).
+    ///
+    /// The calling thread must be registered ([`nvm::tid::set_tid`]). One
+    /// process attaches a heap at a time; `shards` and `TUNED` must match
+    /// the heap's recorded configuration.
+    pub fn attach(
+        path: impl AsRef<Path>,
+        shards: usize,
+    ) -> Result<(Self, AttachSummary), MapError> {
+        Self::attach_sized(path, shards, DEFAULT_HEAP_BYTES)
+    }
+
+    /// [`RHashMap::attach`] with an explicit heap size for creation
+    /// (ignored when the heap already exists).
+    pub fn attach_sized(
+        path: impl AsRef<Path>,
+        shards: usize,
+        heap_bytes: usize,
+    ) -> Result<(Self, AttachSummary), MapError> {
+        assert!(shards.is_power_of_two(), "shard count must be a power of two, got {shards}");
+        let cfg_word = shards as u64 | (TUNED as u64) << 32;
+        let MappedPrologue { heap, rec, rec_ptr, meta_ptr, fresh } =
+            mapped_attach_prologue::<MappedNvm>(path.as_ref(), KIND_MAP, cfg_word, heap_bytes)?;
+        let collector = Collector::new();
+        let pools = SetPools::new(PoolCfg::mapped(Arc::clone(&heap)), &collector);
+        let (heads_blk, _) = heap.root_alloc(rootkeys::HEADS, shards * 8)?;
+        let heads_w = heads_blk as *mut u64;
+        let mut heads = Vec::with_capacity(shards);
+        for i in 0..shards {
+            // SAFETY: `shards`-word committed root block, single-threaded.
+            let existing = unsafe { heads_w.add(i).read() };
+            if existing != 0 {
+                heads.push(existing as *mut Node<MappedNvm>);
+            } else {
+                let b = set_core::new_bucket_in(&pools);
+                unsafe { heads_w.add(i).write(b as u64) };
+                heads.push(b);
+            }
+        }
+        if !fresh {
+            // Pre-recovery validation of the untrusted image: no pointer is
+            // dereferenced by the replay/scrub/census below unless the whole
+            // object graph stays inside the mapping and terminates. This is
+            // what turns a tampered superblock (e.g. a rewritten base) into
+            // a typed error instead of undefined behaviour.
+            let in_node = |a: u64| {
+                a & 7 == 0 && heap.contains_span(a as usize, std::mem::size_of::<Node<MappedNvm>>())
+            };
+            let max_nodes = heap.bump_granules() + 4;
+            let mut infos: HashSet<u64> = HashSet::new();
+            for &head in heads.iter() {
+                // SAFETY: `in_node` guarantees whole-node spans inside the
+                // mapping for every dereference.
+                unsafe { set_core::validate_bucket(head, &in_node, max_nodes, &mut infos) }
+                    .map_err(|addr| MapError::CorruptPointer { addr })?;
+            }
+            infos.extend(published_infos(&rec));
+            validate_infos::<MappedNvm>(&heap, &infos, in_node)?;
+        }
+        let shift = (64 - shards.trailing_zeros()).min(63);
+        let mut map = Self {
+            heads: heads.into_boxed_slice(),
+            shift,
+            rec,
+            collector,
+            pools,
+            mapped: Some(Arc::clone(&heap)),
+        };
+        let recovered = if fresh {
+            heap.set_kind(KIND_MAP);
+            Vec::new()
+        } else {
+            // Replay + scrub with refcount bookkeeping suspended: the counts
+            // the dead process persisted are recomputed from scratch below.
+            with_release_suspended(|| {
+                // SAFETY: quiescent single-threaded attach; every published
+                // descriptor lives in the arena (all Info allocation routes
+                // through the arena-backed pool).
+                let r = unsafe { replay_all::<MappedNvm, TUNED>(&map.rec, &map.collector) };
+                map.scrub();
+                r
+            })
+        };
+        // Census: the live set and the true reference count per descriptor.
+        let mut nodes = HashSet::new();
+        let mut info_refs: HashMap<usize, u32> = HashMap::new();
+        for &head in map.heads.iter() {
+            // SAFETY: quiescent exclusive access post-scrub.
+            unsafe { set_core::census_bucket(head, &mut nodes, &mut info_refs) };
+        }
+        map.rec.each_published(|rd| {
+            let p = tag::untagged(rd) as usize;
+            if p != 0 {
+                *info_refs.entry(p).or_insert(0) += 1;
+            }
+        });
+        let owner = map.pools.info.handle();
+        let mut live = nodes;
+        live.insert(rec_ptr);
+        live.insert(meta_ptr);
+        live.insert(heads_blk as usize);
+        // Blocks sitting in this attach's own pool caches are live too.
+        map.pools.node.each_idle(|p| {
+            live.insert(p as usize);
+        });
+        map.pools.info.each_idle(|p| {
+            live.insert(p as usize);
+        });
+        // SAFETY: quiescent; `info_refs` holds the recomputed true counts
+        // (cells + RD slots), and `live` covers everything reachable from
+        // the roots plus this process's caches.
+        let swept = unsafe { census_epilogue::<MappedNvm>(&heap, &info_refs, owner, &mut live) };
+        Ok((map, AttachSummary { heap: *heap.report(), recovered, swept }))
+    }
+
+    /// The persistent heap backing this map.
+    pub fn heap(&self) -> &Arc<MappedHeap> {
+        self.mapped.as_ref().expect("mapped-mode map")
+    }
+}
+
+impl<M: Persist, const TUNED: bool> RHashMap<M, TUNED> {
+    /// The *system* half of an invocation (`CP_q := 0`, persisted). Callers
+    /// that journal their own intent records around the map (write-ahead
+    /// logs driving a mapped heap) must call this **before** writing the
+    /// intent record — see [`RecArea::mark_invoked`] for the crash-window
+    /// argument. Plain in-process use never needs it: every operation's own
+    /// prologue re-runs it.
+    pub fn note_invocation(&self, pid: usize) {
+        self.rec.mark_invoked(pid);
+    }
+}
+
 impl<M: Persist, const TUNED: bool> Drop for RHashMap<M, TUNED> {
     fn drop(&mut self) {
+        if self.mapped.is_some() {
+            // Mapped mode: the arena contents are the durable state; the
+            // pools return their caches to the persistent free list when
+            // they drop, and everything else stays for the next attach.
+            return;
+        }
         // Quiescent teardown, as for `RList` but walking every shard: free
         // the deduplicated union of {reachable across all buckets} ∪
         // {parked} ∪ {published descriptors} exactly once (the shared
@@ -417,5 +612,78 @@ mod tests {
         assert!(map.recover_delete(0, 10));
         assert!(!map.find(0, 10));
         assert!(!map.recover_find(0, 10));
+    }
+
+    fn tmp_heap(name: &str) -> std::path::PathBuf {
+        let p = std::env::temp_dir().join(format!(
+            "isb_hm_{}_{}_{name}.heap",
+            std::process::id(),
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .unwrap()
+                .subsec_nanos()
+        ));
+        let _ = std::fs::remove_file(&p);
+        p
+    }
+
+    #[test]
+    fn mapped_attach_preserves_contents_across_detach() {
+        let _gate = crate::counters::gate_shared();
+        nvm::tid::set_tid(0);
+        let path = tmp_heap("roundtrip");
+        {
+            let (map, s) =
+                RHashMap::<nvm::MappedNvm, false>::attach_sized(&path, 8, 1 << 21).unwrap();
+            assert!(s.heap.created);
+            for k in 1..=200u64 {
+                assert!(map.insert(0, k));
+            }
+            for k in (1..=200u64).step_by(3) {
+                assert!(map.delete(0, k));
+            }
+        }
+        {
+            let (mut map, s) =
+                RHashMap::<nvm::MappedNvm, false>::attach_sized(&path, 8, 1 << 21).unwrap();
+            assert!(!s.heap.created);
+            assert_eq!(s.heap.poisoned, 0, "clean detach leaves no torn blocks");
+            for k in 1..=200u64 {
+                assert_eq!(map.find(0, k), k % 3 != 1, "key {k} after re-attach");
+            }
+            map.check_invariants();
+            // The recovered map stays fully operational.
+            assert!(map.insert(0, 1000));
+            assert!(map.delete(0, 2));
+        }
+        {
+            let (mut map, _) =
+                RHashMap::<nvm::MappedNvm, false>::attach_sized(&path, 8, 1 << 21).unwrap();
+            assert!(map.find(0, 1000));
+            assert!(!map.find(0, 2));
+            map.check_invariants();
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn mapped_attach_rejects_config_mismatch() {
+        let _gate = crate::counters::gate_shared();
+        nvm::tid::set_tid(0);
+        let path = tmp_heap("cfg");
+        drop(RHashMap::<nvm::MappedNvm, false>::attach_sized(&path, 8, 1 << 21).unwrap());
+        // Different shard count.
+        match RHashMap::<nvm::MappedNvm, false>::attach_sized(&path, 16, 1 << 21) {
+            Err(nvm::MapError::WrongKind { .. }) => {}
+            Err(e) => panic!("expected WrongKind, got {e}"),
+            Ok(_) => panic!("shard-count mismatch must fail"),
+        }
+        // Different tuning.
+        match RHashMap::<nvm::MappedNvm, true>::attach_sized(&path, 8, 1 << 21) {
+            Err(nvm::MapError::WrongKind { .. }) => {}
+            Err(e) => panic!("expected WrongKind, got {e}"),
+            Ok(_) => panic!("tuning mismatch must fail"),
+        }
+        let _ = std::fs::remove_file(&path);
     }
 }

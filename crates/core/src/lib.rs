@@ -26,10 +26,34 @@
 //! * [`exchanger::RExchanger`] — detectably recoverable exchanger (paper §6).
 //! * [`stack::RStack`] — direct-tracked elimination stack (paper §1/§5).
 //!
-//! Every structure is generic over the persistency model
-//! ([`nvm::Persist`]: real flushes, counting-only, private-cache, or the
-//! crash simulator) and over `TUNED` (false = the paper's general persistency
-//! placement, "Isb"; true = the hand-tuned placement, "Isb-Opt").
+//! ## Model parameters: `M` and `TUNED`
+//!
+//! Every structure is generic over two parameters that are monomorphised
+//! away:
+//!
+//! * `M:` [`nvm::Persist`] — the persistency model. [`nvm::RealNvm`]
+//!   executes and counts real flushes, [`nvm::CountingNvm`] only counts,
+//!   [`nvm::NoPersist`] is the private-cache model, [`nvm::SimNvm`] is the
+//!   adversarial crash simulator, and [`nvm::MappedNvm`] pairs real flushes
+//!   with a file-backed heap ([`nvm::mapped`]) so the structure survives an
+//!   actual process death — `RHashMap`/`RQueue` gain an `attach(path)`
+//!   constructor that remaps, replays Op-Recover per process, scrubs, and
+//!   garbage-collects crash leaks.
+//! * `TUNED: bool` — the persistency *placement*. `false` is the paper's
+//!   general ROpt-ISB placement ("Isb"); `true` is the hand-tuned one
+//!   ("Isb-Opt"), which defers the durability of `CP_q := 1` and batches
+//!   tag write-backs, saving one `psync` per operation (see
+//!   [`recovery`]'s module docs).
+//!
+//! ## Memory: pools and recycling
+//!
+//! Descriptors and nodes are drawn from per-thread, epoch-recycled pools
+//! ([`pool`]): retirement routes through the EBR collector, so an address
+//! re-enters circulation only after two global epoch advances — the same
+//! delay that makes deallocation safe, preserving the info-pointer ABA
+//! argument (DESIGN.md §5/§9). Never-published objects skip the EBR
+//! round-trip. Under the mapped backend the same pools draw from the
+//! persistent arena instead of the process heap.
 //!
 //! ## Quick start
 //! ```

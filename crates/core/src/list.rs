@@ -21,6 +21,30 @@ pub use crate::set_core::{Node, KEY_MAX, KEY_MIN};
 /// Detectably recoverable sorted linked list. `TUNED = false` is the paper's
 /// general persistency placement ("Isb"); `TUNED = true` is the hand-tuned
 /// one ("Isb-Opt").
+///
+/// # Example: the detectable recovery flow
+///
+/// After a crash, `recover_*` answers "did my interrupted operation take
+/// effect?" from the per-process recovery data — returning the operation's
+/// original response without re-applying it:
+///
+/// ```
+/// use isb::list::RList;
+/// use nvm::CountingNvm;
+///
+/// nvm::tid::set_tid(0); // register this thread as process 0
+/// let list: RList<CountingNvm> = RList::new();
+/// assert!(list.insert(0, 7));
+///
+/// // Suppose the crash hit after the insert took effect but before the
+/// // caller saw the response. Recovery returns the SAME response...
+/// assert!(list.recover_insert(0, 7));
+/// // ...and did not apply the insert twice:
+/// assert!(list.delete(0, 7));
+/// // The completed delete's response is likewise recoverable, exactly once:
+/// assert!(list.recover_delete(0, 7));
+/// assert!(!list.find(0, 7));
+/// ```
 pub struct RList<M: Persist, const TUNED: bool = false> {
     head: *mut Node<M>,
     rec: RecArea<M>,
@@ -47,7 +71,7 @@ impl<M: Persist, const TUNED: bool> RList<M, TUNED> {
 
     /// New empty list with pooling off: every descriptor/node is a fresh
     /// heap allocation, as pre-pool builds behaved. The fig9 ablation and
-    /// the persist-placement goldens run this side by side with [`new`].
+    /// the persist-placement goldens run this side by side with [`RList::new`].
     pub fn boxed() -> Self {
         Self::with_config(Collector::new(), PoolCfg::boxed())
     }

@@ -10,7 +10,7 @@
 //!   (tid), padded like the reclamation slots; `take`/`give` touch only the
 //!   calling thread's list.
 //! * Objects are ordinary `Box` allocations, refilled a fixed-size slab
-//!   ([`SLAB`]) at a time, so every teardown path (grave scan, parked-bag
+//!   (`SLAB`) at a time, so every teardown path (grave scan, parked-bag
 //!   dedup, leak counters) keeps working on individual allocations.
 //! * **Retirement routes through the EBR collector**: [`Pool::retire`] defers
 //!   a *recycle* (via [`reclaim::Guard::retire_ctx`]) exactly like a free, so
@@ -26,12 +26,23 @@
 //! pool in **passthrough** mode: every take is a heap allocation and every
 //! give/retire a real (or parked) free, so the adversarial harness and the
 //! grave-scan dedup keep seeing stable, unique addresses.
+//!
+//! **Mapped mode** ([`PoolCfg::mapped`]): refills allocate blocks from a
+//! persistent [`nvm::mapped::MappedHeap`] (committed only after full
+//! initialization), overflow and teardown return blocks to the arena's
+//! persistent free list, and the per-thread caches work unchanged on top.
+//! The EBR retirement path is identical — the epoch delay is what makes
+//! *address* reuse safe, regardless of which allocator owns the address.
+//! Arena objects never run Rust destructors: persistent objects are plain
+//! words with no owned resources.
 
+use nvm::mapped::MappedHeap;
 use nvm::pad::CachePadded;
 use nvm::tid;
 use nvm::MAX_PROCS;
 use reclaim::Guard;
 use std::cell::UnsafeCell;
+use std::sync::Arc;
 
 /// Objects a [`Pool`] can manage.
 ///
@@ -59,18 +70,23 @@ const SLAB: usize = 16;
 pub const DEFAULT_CAPACITY: usize = 256;
 
 /// Pool configuration, carried by the structures' `with_*` constructors.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct PoolCfg {
     /// Master switch; pooling is additionally forced off under crash
     /// simulation and disabled collectors (passthrough mode).
     pub enabled: bool,
     /// Per-process free-list capacity.
     pub capacity: usize,
+    /// Route every allocation through this persistent arena instead of the
+    /// process heap (the mapped backend). Arena-backed pools never run in
+    /// passthrough mode: a `Box` fallback would hand out volatile memory
+    /// that silently vanishes on restart.
+    pub arena: Option<Arc<MappedHeap>>,
 }
 
 impl Default for PoolCfg {
     fn default() -> Self {
-        Self { enabled: true, capacity: DEFAULT_CAPACITY }
+        Self { enabled: true, capacity: DEFAULT_CAPACITY, arena: None }
     }
 }
 
@@ -84,7 +100,13 @@ impl PoolCfg {
 
     /// Pooling with a small per-process capacity (reuse-stress tests).
     pub fn tiny(capacity: usize) -> Self {
-        Self { enabled: true, capacity }
+        Self { enabled: true, capacity, arena: None }
+    }
+
+    /// All allocations drawn from (and returned to) `heap`'s persistent
+    /// bump/free-list allocator; the per-thread caches layer on top.
+    pub fn mapped(heap: Arc<MappedHeap>) -> Self {
+        Self { enabled: true, capacity: DEFAULT_CAPACITY, arena: Some(heap) }
     }
 }
 
@@ -96,6 +118,9 @@ pub struct PoolInner<T: PoolItem> {
     /// (same discipline as the reclamation slots).
     lists: Vec<CachePadded<UnsafeCell<Vec<*mut T>>>>,
     capacity: usize,
+    /// Mapped mode: refills allocate from (and overflow/teardown frees to)
+    /// this persistent arena instead of the process heap.
+    arena: Option<Arc<MappedHeap>>,
 }
 
 unsafe impl<T: PoolItem> Send for PoolInner<T> {}
@@ -113,13 +138,27 @@ impl<T: PoolItem> PoolInner<T> {
     /// Push a reusable object, freeing it for real if the list is full.
     ///
     /// # Safety
-    /// `p` must be a live `Box<T>` allocation no thread can reach.
+    /// `p` must be a live allocation from this pool's backing allocator
+    /// (heap `Box` or its arena) that no thread can reach.
     unsafe fn recycle(&self, p: *mut T) {
         let list = self.my_list();
         if list.len() < self.capacity {
             list.push(p);
         } else {
-            drop(unsafe { Box::from_raw(p) });
+            unsafe { self.dealloc(p) };
+        }
+    }
+
+    /// Return `p` to the backing allocator. Arena blocks run no destructor:
+    /// persistent objects hold no owned resources (plain words), and their
+    /// bookkeeping counters are process-local anyway.
+    ///
+    /// # Safety
+    /// As [`PoolInner::recycle`].
+    unsafe fn dealloc(&self, p: *mut T) {
+        match &self.arena {
+            Some(h) => unsafe { h.free(p as *mut u8) },
+            None => drop(unsafe { Box::from_raw(p) }),
         }
     }
 }
@@ -142,6 +181,17 @@ impl<T: PoolItem> Pool<T> {
     /// structure builds its pools through this so the safety-critical gate
     /// lives in exactly one place.
     pub fn new_for<M: nvm::Persist>(cfg: PoolCfg, collector: &reclaim::Collector) -> Self {
+        if let Some(heap) = cfg.arena {
+            // An arena-backed pool must never fall back to `Box`: the
+            // fallback would hand out volatile memory whose addresses get
+            // persisted into the arena and dangle after a restart.
+            assert!(
+                cfg.enabled && collector.is_enabled() && !M::SIMULATED,
+                "arena-backed pools require pooling on, an enabled collector, \
+                 and a non-simulated persistency model"
+            );
+            return Self::with_arena(heap, cfg.capacity);
+        }
         Self::new(cfg.enabled && collector.is_enabled() && !M::SIMULATED, cfg.capacity)
     }
 
@@ -155,8 +205,23 @@ impl<T: PoolItem> Pool<T> {
                         .map(|_| CachePadded::new(UnsafeCell::new(Vec::new())))
                         .collect(),
                     capacity,
+                    arena: None,
                 })
             }),
+        }
+    }
+
+    /// A pool whose refills/overflows go through `heap` (the mapped
+    /// backend). Prefer [`Pool::new_for`] with [`PoolCfg::mapped`].
+    pub fn with_arena(heap: Arc<MappedHeap>, capacity: usize) -> Self {
+        Self {
+            inner: Some(Box::new(PoolInner {
+                lists: (0..MAX_PROCS)
+                    .map(|_| CachePadded::new(UnsafeCell::new(Vec::new())))
+                    .collect(),
+                capacity,
+                arena: Some(heap),
+            })),
         }
     }
 
@@ -186,6 +251,26 @@ impl<T: PoolItem> Pool<T> {
         }
         let owner = inner as *const PoolInner<T> as *const ();
         let refill = SLAB.min(inner.capacity.max(1));
+        if let Some(heap) = &inner.arena {
+            // Mapped mode: draw blocks from the persistent arena. Each block
+            // is committed only after `T::fresh()` fully initialized it, so
+            // a kill mid-refill leaves torn blocks the next attach poisons.
+            for _ in 0..refill {
+                let raw = heap
+                    .alloc(std::mem::size_of::<T>())
+                    .unwrap_or_else(|e| panic!("persistent arena refill failed: {e}"))
+                    as *mut T;
+                // SAFETY: freshly allocated, exclusively owned block large
+                // enough for a `T` (64-byte aligned payload).
+                unsafe {
+                    raw.write(T::fresh());
+                    (*raw).attach(owner);
+                }
+                heap.commit(raw as *mut u8);
+                list.push(raw);
+            }
+            return list.pop();
+        }
         for _ in 0..refill - 1 {
             let mut b = Box::new(T::fresh());
             b.attach(owner);
@@ -243,6 +328,19 @@ impl<T: PoolItem> Pool<T> {
     pub fn idle(&mut self) -> usize {
         self.inner.as_deref_mut().map_or(0, |i| i.lists.iter_mut().map(|l| l.get_mut().len()).sum())
     }
+
+    /// Visits every object currently idle on the free lists (`&mut self`
+    /// for the same reason as [`Pool::idle`]). The mapped backend's attach
+    /// uses this to keep cache-resident blocks out of its arena sweep.
+    pub fn each_idle(&mut self, mut f: impl FnMut(*mut T)) {
+        if let Some(i) = self.inner.as_deref_mut() {
+            for l in i.lists.iter_mut() {
+                for &p in l.get_mut().iter() {
+                    f(p);
+                }
+            }
+        }
+    }
 }
 
 /// Retire `p` into the pool identified by `owner` (a [`Pool::handle`]), or
@@ -280,7 +378,10 @@ impl<T: PoolItem> Drop for Pool<T> {
         if let Some(inner) = self.inner.as_deref() {
             for l in &inner.lists {
                 for p in unsafe { &mut *l.get() }.drain(..) {
-                    drop(unsafe { Box::from_raw(p) });
+                    // Mapped mode returns the idle objects to the arena's
+                    // persistent free list (so the next attach sees them as
+                    // FREE blocks); heap mode frees the boxes.
+                    unsafe { inner.dealloc(p) };
                 }
             }
         }

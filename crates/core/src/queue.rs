@@ -27,14 +27,25 @@
 
 use crate::counters;
 use crate::engine::{
-    help, res_val, val_of, HelpOutcome, Info, InfoFill, RES_EMPTY, RES_UNIT, RES_VAL_BASE,
+    help, res_val, val_of, with_release_suspended, HelpOutcome, Info, InfoFill, RES_EMPTY,
+    RES_UNIT, RES_VAL_BASE,
 };
 use crate::optype;
 use crate::pool::{Pool, PoolCfg, PoolItem};
-use crate::recovery::{op_recover, RecArea, Recovered};
+use crate::recovery::{
+    census_epilogue, mapped_attach_prologue, op_recover, published_infos, replay_all, rootkeys,
+    validate_infos, AttachSummary, MappedPrologue, RecArea, Recovered,
+};
 use crate::tag;
+use nvm::mapped::{MapError, MappedHeap, MappedNvm, DEFAULT_HEAP_BYTES};
 use nvm::{PWord, Persist, PersistWords};
 use reclaim::{Collector, Guard};
+use std::collections::{HashMap, HashSet};
+use std::path::Path;
+use std::sync::Arc;
+
+/// Superblock structure-kind tag of a mapped `RQueue`.
+pub const KIND_QUEUE: u64 = 2;
 
 /// A queue node.
 #[repr(C)]
@@ -102,16 +113,64 @@ unsafe impl<M: Persist> PersistWords<M> for Anchor<M> {
     }
 }
 
+/// Where the queue's anchor lives: owned on the process heap, or borrowed
+/// from the mapped backend's persistent arena (a root block that must
+/// survive the process).
+enum AnchorStore<M: Persist> {
+    Owned(Box<Anchor<M>>),
+    Arena(*const Anchor<M>),
+}
+
+impl<M: Persist> std::ops::Deref for AnchorStore<M> {
+    type Target = Anchor<M>;
+    #[inline]
+    fn deref(&self) -> &Anchor<M> {
+        match self {
+            AnchorStore::Owned(b) => b,
+            // SAFETY: the arena root block outlives the queue (which keeps
+            // its MappedHeap alive).
+            AnchorStore::Arena(p) => unsafe { &**p },
+        }
+    }
+}
+
 /// Detectably recoverable MS-queue (see module docs). Values must be below
 /// `u64::MAX - 16` (result-word encoding).
+///
+/// # Example: the detectable recovery flow
+///
+/// A dequeue's response is persisted inside its descriptor before the queue
+/// is unlocked, so recovery can return it without dequeuing twice:
+///
+/// ```
+/// use isb::queue::RQueue;
+/// use nvm::CountingNvm;
+///
+/// nvm::tid::set_tid(0);
+/// let mut q: RQueue<CountingNvm> = RQueue::new();
+/// q.enqueue(0, 5);
+/// assert_eq!(q.dequeue(0), Some(5));
+///
+/// // Crash "just after" the completed dequeue: same response, exactly once.
+/// assert_eq!(q.recover_dequeue(0), Some(5));
+/// assert_eq!(q.snapshot_vals(), vec![], "value was not dequeued twice");
+///
+/// // A process that never published anything (process 1) ⇒ recovery
+/// // re-invokes the operation.
+/// q.recover_enqueue(1, 9);
+/// assert_eq!(q.snapshot_vals(), vec![9]);
+/// ```
 pub struct RQueue<M: Persist, const TUNED: bool = false> {
-    head: Box<Anchor<M>>,
+    head: AnchorStore<M>,
     tail: PWord<M>,
     rec: RecArea<M>,
     // `collector` must drop before the pools (drop-time drain recycles).
     collector: Collector,
     info_pool: Pool<Info<M>>,
     node_pool: Pool<Node<M>>,
+    /// Mapped mode: the persistent heap everything lives in (`Some`
+    /// suppresses drop-time teardown).
+    mapped: Option<Arc<MappedHeap>>,
 }
 
 unsafe impl<M: Persist, const TUNED: bool> Send for RQueue<M, TUNED> {}
@@ -143,15 +202,19 @@ impl<M: Persist, const TUNED: bool> RQueue<M, TUNED> {
     /// New empty queue with the given collector and pool configuration.
     pub fn with_config(collector: Collector, pool: PoolCfg) -> Self {
         let s0: *mut Node<M> = Node::alloc(0, 0, 0);
-        let info_pool = Pool::new_for::<M>(pool, &collector);
+        let info_pool = Pool::new_for::<M>(pool.clone(), &collector);
         let node_pool = Pool::new_for::<M>(pool, &collector);
         Self {
-            head: Box::new(Anchor { ptr: PWord::new(s0 as u64), info: PWord::new(0) }),
+            head: AnchorStore::Owned(Box::new(Anchor {
+                ptr: PWord::new(s0 as u64),
+                info: PWord::new(0),
+            })),
             tail: PWord::new(s0 as u64),
             rec: RecArea::new(),
             collector,
             info_pool,
             node_pool,
+            mapped: None,
         }
     }
 
@@ -426,6 +489,45 @@ impl<M: Persist, const TUNED: bool> RQueue<M, TUNED> {
         }
     }
 
+    /// Completes helping obligations left visible by a crash: runs `Help`
+    /// on every tagged info reachable from the anchor or the sentinel chain
+    /// until a full pass finds none (the queue-side analogue of
+    /// [`crate::set_core::SetCore::scrub`]). Call after every process ran
+    /// its `recover_*` (the mapped backend's attach does).
+    pub fn scrub(&self) {
+        for _ in 0..64 {
+            let g = self.collector.pin();
+            let mut dirty = false;
+            unsafe {
+                let hv = self.head.info.load();
+                if tag::is_tagged(hv) {
+                    dirty = true;
+                    help::<M, TUNED>(tag::ptr_of(hv), false, &g);
+                }
+                let mut n = self.head.ptr.load() as *mut Node<M>;
+                while !n.is_null() {
+                    let iv = (*n).info.load();
+                    if tag::is_tagged(iv) {
+                        dirty = true;
+                        help::<M, TUNED>(tag::ptr_of(iv), false, &g);
+                    }
+                    n = (*n).next.load() as *mut Node<M>;
+                }
+            }
+            if !dirty {
+                return;
+            }
+        }
+        panic!("scrub did not quiesce the queue after 64 passes");
+    }
+
+    /// The *system* half of an invocation (`CP_q := 0`, persisted) — see
+    /// [`RecArea::mark_invoked`]: write-ahead-logging callers must run this
+    /// before writing their intent record.
+    pub fn note_invocation(&self, pid: usize) {
+        self.rec.mark_invoked(pid);
+    }
+
     /// Structural invariants for a quiescent queue.
     pub fn check_invariants(&mut self) {
         unsafe {
@@ -460,8 +562,157 @@ unsafe fn drop_info_raw<M: Persist>(p: *mut u8) {
     drop(unsafe { Box::from_raw(p as *mut Info<M>) });
 }
 
+impl<const TUNED: bool> RQueue<MappedNvm, TUNED> {
+    /// Attaches (or creates) a detectably recoverable queue backed by the
+    /// file-backed persistent heap at `path`. Same recovery sequence as
+    /// [`crate::hashmap::RHashMap::attach`] — remap, per-pid Op-Recover
+    /// replay, [`RQueue::scrub`], tail-hint heal, census + sweep. The
+    /// calling thread must be registered (`nvm::tid::set_tid`).
+    pub fn attach(path: impl AsRef<Path>) -> Result<(Self, AttachSummary), MapError> {
+        Self::attach_sized(path, DEFAULT_HEAP_BYTES)
+    }
+
+    /// [`RQueue::attach`] with an explicit heap size for creation.
+    pub fn attach_sized(
+        path: impl AsRef<Path>,
+        heap_bytes: usize,
+    ) -> Result<(Self, AttachSummary), MapError> {
+        let cfg_word = 0x51 | (TUNED as u64) << 32;
+        let MappedPrologue { heap, rec, rec_ptr, meta_ptr, fresh } =
+            mapped_attach_prologue::<MappedNvm>(path.as_ref(), KIND_QUEUE, cfg_word, heap_bytes)?;
+        let collector = Collector::new();
+        let pool_cfg = PoolCfg::mapped(Arc::clone(&heap));
+        let info_pool = Pool::new_for::<MappedNvm>(pool_cfg.clone(), &collector);
+        let node_pool = Pool::new_for::<MappedNvm>(pool_cfg, &collector);
+        let (anchor_blk, _) =
+            heap.root_alloc(rootkeys::ANCHOR, std::mem::size_of::<Anchor<MappedNvm>>())?;
+        let anchor = anchor_blk as *const Anchor<MappedNvm>;
+        // SAFETY: zeroed-on-creation committed root block of Anchor size.
+        unsafe {
+            if (*anchor).ptr.peek() == 0 {
+                // Fresh (or creation cut short): allocate the first sentinel.
+                let s0: *mut Node<MappedNvm> = node_pool.take().expect("arena pool always serves");
+                (*s0).init(0, 0, 0);
+                (*anchor).ptr.store(s0 as u64);
+                (*anchor).info.store(0);
+                MappedNvm::pbarrier_obj(&*anchor);
+            }
+        }
+        if !fresh {
+            // Pre-recovery validation of the untrusted image (see
+            // RHashMap::attach_sized): no dereference below leaves the
+            // mapping (whole-node spans), and the chain must terminate.
+            let in_node = |a: u64| {
+                a & 7 == 0 && heap.contains_span(a as usize, std::mem::size_of::<Node<MappedNvm>>())
+            };
+            let mut budget = heap.bump_granules() + 4;
+            let mut infos: HashSet<u64> = HashSet::new();
+            // SAFETY: anchor is a committed root block; every node is
+            // dereferenced only after its whole span passed in_node.
+            unsafe {
+                let hv = tag::untagged((*anchor).info.load());
+                if hv != 0 {
+                    infos.insert(hv);
+                }
+                let mut n = (*anchor).ptr.load();
+                if !in_node(n) {
+                    return Err(MapError::CorruptPointer { addr: n });
+                }
+                loop {
+                    if budget == 0 {
+                        return Err(MapError::CorruptPointer { addr: n });
+                    }
+                    budget -= 1;
+                    let node = n as *mut Node<MappedNvm>;
+                    let iv = tag::untagged((*node).info.load());
+                    if iv != 0 {
+                        infos.insert(iv);
+                    }
+                    let next = (*node).next.load();
+                    if next == 0 {
+                        break;
+                    }
+                    if !in_node(next) {
+                        return Err(MapError::CorruptPointer { addr: next });
+                    }
+                    n = next;
+                }
+            }
+            infos.extend(published_infos(&rec));
+            validate_infos::<MappedNvm>(&heap, &infos, in_node)?;
+        }
+        let tail0 = unsafe { (*anchor).ptr.peek() };
+        let mut q = Self {
+            head: AnchorStore::Arena(anchor),
+            tail: PWord::new(tail0),
+            rec,
+            collector,
+            info_pool,
+            node_pool,
+            mapped: Some(Arc::clone(&heap)),
+        };
+        let recovered = if fresh {
+            heap.set_kind(KIND_QUEUE);
+            Vec::new()
+        } else {
+            with_release_suspended(|| {
+                // SAFETY: quiescent single-threaded attach; published
+                // descriptors live in the arena.
+                let r = unsafe { replay_all::<MappedNvm, TUNED>(&q.rec, &q.collector) };
+                q.scrub();
+                r
+            })
+        };
+        q.heal_tail();
+        // Census + sweep (see RHashMap::attach_sized).
+        let mut live = HashSet::new();
+        let mut info_refs: HashMap<usize, u32> = HashMap::new();
+        let mut bump = |v: u64| {
+            let p = tag::untagged(v) as usize;
+            if p != 0 {
+                *info_refs.entry(p).or_insert(0) += 1;
+            }
+        };
+        unsafe {
+            bump((*anchor).info.load());
+            let mut n = q.head.ptr.load() as *mut Node<MappedNvm>;
+            while !n.is_null() {
+                live.insert(n as usize);
+                bump((*n).info.load());
+                n = (*n).next.load() as *mut Node<MappedNvm>;
+            }
+        }
+        q.rec.each_published(&mut bump);
+        let owner = q.info_pool.handle();
+        live.insert(rec_ptr);
+        live.insert(meta_ptr);
+        live.insert(anchor_blk as usize);
+        q.node_pool.each_idle(|p| {
+            live.insert(p as usize);
+        });
+        q.info_pool.each_idle(|p| {
+            live.insert(p as usize);
+        });
+        // SAFETY: quiescent; `info_refs` holds the recomputed true counts
+        // (cells + anchor + RD slots) and `live` covers roots, chain,
+        // descriptors and this process's caches.
+        let swept = unsafe { census_epilogue::<MappedNvm>(&heap, &info_refs, owner, &mut live) };
+        Ok((q, AttachSummary { heap: *heap.report(), recovered, swept }))
+    }
+
+    /// The persistent heap backing this queue.
+    pub fn heap(&self) -> &Arc<MappedHeap> {
+        self.mapped.as_ref().expect("mapped-mode queue")
+    }
+}
+
 impl<M: Persist, const TUNED: bool> Drop for RQueue<M, TUNED> {
     fn drop(&mut self) {
+        if self.mapped.is_some() {
+            // Mapped mode: the arena is the durable state; pools return
+            // their caches to the persistent free list on drop.
+            return;
+        }
         // See RList::drop — the union of reachable and parked objects is
         // freed exactly once (crash images can resurrect reachability).
         let mut grave: std::collections::HashMap<usize, unsafe fn(*mut u8)> =
@@ -624,6 +875,45 @@ mod tests {
             }
         }
         producer.join().unwrap();
+    }
+
+    #[test]
+    fn mapped_attach_queue_preserves_contents_across_detach() {
+        let _gate = crate::counters::gate_shared();
+        nvm::tid::set_tid(0);
+        let path = std::env::temp_dir().join(format!(
+            "isb_q_{}_{}.heap",
+            std::process::id(),
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .unwrap()
+                .subsec_nanos()
+        ));
+        let _ = std::fs::remove_file(&path);
+        {
+            let (q, s) = RQueue::<nvm::MappedNvm, false>::attach_sized(&path, 1 << 21).unwrap();
+            assert!(s.heap.created);
+            for v in 1..=50u64 {
+                q.enqueue(0, v);
+            }
+            assert_eq!(q.dequeue(0), Some(1));
+        }
+        {
+            let (mut q, s) = RQueue::<nvm::MappedNvm, false>::attach_sized(&path, 1 << 21).unwrap();
+            assert!(!s.heap.created);
+            assert_eq!(q.snapshot_vals(), (2..=50).collect::<Vec<_>>());
+            q.check_invariants();
+            assert_eq!(q.dequeue(0), Some(2));
+            q.enqueue(0, 99);
+        }
+        {
+            let (mut q, _) = RQueue::<nvm::MappedNvm, false>::attach_sized(&path, 1 << 21).unwrap();
+            let mut want: Vec<u64> = (3..=50).collect();
+            want.push(99);
+            assert_eq!(q.snapshot_vals(), want);
+            q.check_invariants();
+        }
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

@@ -39,10 +39,30 @@ impl<M: Persist> Default for ProcRec<M> {
     }
 }
 
+/// Where a [`RecArea`]'s slots live: owned on the process heap (the
+/// in-process backends) or borrowed from a persistent arena (the mapped
+/// backend, where `RD_q`/`CP_q` must survive the process).
+enum Slots<M: Persist> {
+    Owned(Vec<CachePadded<ProcRec<M>>>),
+    /// Base of [`MAX_PROCS`] slots at [`ARENA_SLOT_STRIDE`]-byte stride.
+    Arena(*const u8),
+}
+
+/// Byte stride of one arena-resident recovery slot: the padding of the
+/// owned layout without its 128-byte *alignment* demand (arena payloads are
+/// 64-byte aligned).
+pub const ARENA_SLOT_STRIDE: usize = 128;
+
 /// Per-process recovery areas for one data structure.
 pub struct RecArea<M: Persist> {
-    slots: Vec<CachePadded<ProcRec<M>>>,
+    slots: Slots<M>,
 }
+
+// SAFETY: all slot state is atomics behind `&self`; the arena pointer is
+// only dereferenced at fixed per-pid offsets inside a mapping the owning
+// structure keeps alive (attach_raw contract).
+unsafe impl<M: Persist> Send for RecArea<M> {}
+unsafe impl<M: Persist> Sync for RecArea<M> {}
 
 impl<M: Persist> Default for RecArea<M> {
     fn default() -> Self {
@@ -65,12 +85,46 @@ fn system_glue<M: Persist>(f: impl FnOnce()) {
 impl<M: Persist> RecArea<M> {
     /// Creates recovery slots for [`MAX_PROCS`] processes.
     pub fn new() -> Self {
-        Self { slots: (0..MAX_PROCS).map(|_| CachePadded::new(ProcRec::default())).collect() }
+        Self {
+            slots: Slots::Owned(
+                (0..MAX_PROCS).map(|_| CachePadded::new(ProcRec::default())).collect(),
+            ),
+        }
+    }
+
+    /// Bytes an arena-resident recovery area occupies
+    /// ([`MAX_PROCS`] × [`ARENA_SLOT_STRIDE`]).
+    pub const fn slots_bytes() -> usize {
+        MAX_PROCS * ARENA_SLOT_STRIDE
+    }
+
+    /// A recovery area over persistent slots at `base` (the mapped backend's
+    /// root block). Zeroed memory is a valid fresh state (`CP = 0`,
+    /// `RD = Null`); previously persisted slots are exactly what recovery
+    /// needs to read.
+    ///
+    /// # Safety
+    /// `base` must point to [`RecArea::slots_bytes`] bytes of 8-aligned
+    /// memory that outlives the returned area and is zeroed or holds a
+    /// previously persisted slot array; `M::Meta` must be zero-sized (the
+    /// mapped/real models — the crash simulator keeps its shadow state on
+    /// the process heap and cannot live in an arena).
+    pub unsafe fn attach_raw(base: *const u8) -> Self {
+        assert!(std::mem::size_of::<ProcRec<M>>() <= ARENA_SLOT_STRIDE);
+        assert_eq!(std::mem::size_of::<M::Meta>(), 0, "arena slots require metadata-free models");
+        Self { slots: Slots::Arena(base) }
     }
 
     #[inline]
     fn slot(&self, pid: usize) -> &ProcRec<M> {
-        &self.slots[pid]
+        match &self.slots {
+            Slots::Owned(v) => &v[pid],
+            Slots::Arena(base) => {
+                assert!(pid < MAX_PROCS);
+                // SAFETY: in-bounds fixed-stride slot per attach_raw.
+                unsafe { &*(base.add(pid * ARENA_SLOT_STRIDE) as *const ProcRec<M>) }
+            }
+        }
     }
 
     /// Steps 1–2 of the protocol (see module docs). Returns the *previous*
@@ -139,9 +193,27 @@ impl<M: Persist> RecArea<M> {
 
     /// Iterate all published info pointers (drop-time info scan).
     pub fn each_published(&self, mut f: impl FnMut(u64)) {
-        for s in &self.slots {
-            f(s.rd.load());
+        for pid in 0..MAX_PROCS {
+            f(self.slot(pid).rd.load());
         }
+    }
+
+    /// The *system* half of an invocation: `CP_q := 0`, persisted. The paper
+    /// models this as executing atomically **when the operation is invoked**
+    /// (Section 2) — the operations' own prologues re-run it, harmlessly.
+    ///
+    /// Callers that write their own intent records around a mapped structure
+    /// (write-ahead logs, request journals) must call this *before* logging
+    /// the intent: otherwise a crash between the log write and the
+    /// operation's first instruction leaves `CP_q = 1` pointing at the
+    /// *previous* operation's descriptor, and recovery would hand the new
+    /// operation a stale response.
+    pub fn mark_invoked(&self, pid: usize) {
+        let s = self.slot(pid);
+        system_glue::<M>(|| {
+            s.cp.store(0);
+            M::pbarrier(&s.cp);
+        });
     }
 }
 
@@ -179,6 +251,178 @@ pub unsafe fn op_recover<M: Persist, const TUNED: bool>(
         } else {
             Recovered::Restart
         }
+    }
+}
+
+/// Root-directory keys the mapped structures register in their heap's
+/// superblock. One heap hosts one structure, so the keys only need to be
+/// unique within this set.
+pub mod rootkeys {
+    /// The structure's [`super::RecArea`] slot array.
+    pub const RECAREA: u64 = 0x5245_4341; // "RECA"
+    /// Structure configuration (shards/tuning), validated on re-attach.
+    pub const META: u64 = 0x4D45_5441; // "META"
+    /// `RHashMap`: the array of bucket-head node addresses.
+    pub const HEADS: u64 = 0x4845_4144; // "HEAD"
+    /// `RQueue`: the head anchor (sentinel pointer + info cell).
+    pub const ANCHOR: u64 = 0x414E_4348; // "ANCH"
+}
+
+/// Replays the generic Op-Recover for **every** process id — the attach-time
+/// recovery pass of the mapped backend (`attach(path)` runs it, then
+/// `scrub`s). Returns the decision per pid; pids that had nothing pending
+/// report [`Recovered::Restart`].
+///
+/// # Safety
+/// As [`op_recover`], for every pid; the calling thread must be registered
+/// (`nvm::tid::set_tid`).
+pub unsafe fn replay_all<M: Persist, const TUNED: bool>(
+    rec: &RecArea<M>,
+    collector: &reclaim::Collector,
+) -> Vec<(usize, Recovered)> {
+    (0..MAX_PROCS)
+        .map(|pid| {
+            let g = collector.pin();
+            (pid, unsafe { op_recover::<M, TUNED>(rec, pid, &g) })
+        })
+        .collect()
+}
+
+/// The parts of a mapped structure's attach shared by every structure kind
+/// (see [`mapped_attach_prologue`]).
+pub struct MappedPrologue<M: Persist> {
+    /// The opened (or freshly created) heap.
+    pub heap: std::sync::Arc<nvm::mapped::MappedHeap>,
+    /// The recovery area over its arena root block.
+    pub rec: RecArea<M>,
+    /// Payload address of the recovery-area root block (live-set member).
+    pub rec_ptr: usize,
+    /// Payload address of the configuration root block (live-set member).
+    pub meta_ptr: usize,
+    /// `true` iff the heap hosts no completed structure yet: the caller
+    /// finishes creating its roots and then stamps the kind.
+    pub fresh: bool,
+}
+
+/// The common prologue of every mapped structure attach: open/create the
+/// heap, check the structure kind, attach the recovery-area root block, and
+/// check (or, on a fresh heap, record) the configuration word. Centralised
+/// so the safety-critical sequence exists once, not per structure.
+pub fn mapped_attach_prologue<M: Persist>(
+    path: &std::path::Path,
+    kind: u64,
+    cfg_word: u64,
+    heap_bytes: usize,
+) -> Result<MappedPrologue<M>, nvm::MapError> {
+    let heap = nvm::mapped::MappedHeap::open(path, heap_bytes)?;
+    // kind == 0 also covers a creation cut short before the final stamp:
+    // every init step is idempotent, so re-running completes it.
+    let fresh = heap.kind() == 0;
+    if !fresh && heap.kind() != kind {
+        return Err(nvm::MapError::WrongKind { expected: kind, found: heap.kind() });
+    }
+    let (rec_ptr, _) = heap.root_alloc(rootkeys::RECAREA, RecArea::<M>::slots_bytes())?;
+    // SAFETY: the root block is slots_bytes long, zeroed on creation, and
+    // outlives the structure (which keeps `heap` alive); mapped models
+    // carry no per-word metadata.
+    let rec = unsafe { RecArea::attach_raw(rec_ptr) };
+    let (meta_ptr, _) = heap.root_alloc(rootkeys::META, 16)?;
+    // SAFETY: single-threaded attach; committed 16-byte root block.
+    unsafe {
+        let meta = meta_ptr as *mut u64;
+        if fresh {
+            meta.write(cfg_word);
+        } else if meta.read() != cfg_word {
+            return Err(nvm::MapError::WrongKind { expected: cfg_word, found: meta.read() });
+        }
+    }
+    Ok(MappedPrologue { heap, rec, rec_ptr: rec_ptr as usize, meta_ptr: meta_ptr as usize, fresh })
+}
+
+/// The published (untagged, non-null) descriptor pointers of every process.
+pub fn published_infos<M: Persist>(rec: &RecArea<M>) -> Vec<u64> {
+    let mut out = Vec::new();
+    rec.each_published(|rd| {
+        let p = crate::tag::untagged(rd);
+        if p != 0 {
+            out.push(p);
+        }
+    });
+    out
+}
+
+/// Pre-recovery validation of every collected descriptor against the
+/// mapping: the descriptor's **whole span** must lie inside the heap, and
+/// (via [`Info::validate_bounds`]) every cell address it names must have an
+/// in-heap 8-byte span while every value it installs must satisfy
+/// `valid_install` (callers pass a node-span check — installed values are
+/// node pointers the census walk will dereference). Any violation is a
+/// typed [`nvm::MapError::CorruptPointer`], never a dereference.
+pub fn validate_infos<M: Persist>(
+    heap: &nvm::mapped::MappedHeap,
+    infos: &std::collections::HashSet<u64>,
+    valid_install: impl Fn(u64) -> bool + Copy,
+) -> Result<(), nvm::MapError> {
+    let cell_ok = |a: u64| a & 7 == 0 && heap.contains_span(a as usize, 8);
+    for &info in infos {
+        if info & 7 != 0 || !heap.contains_span(info as usize, std::mem::size_of::<Info<M>>()) {
+            return Err(nvm::MapError::CorruptPointer { addr: info });
+        }
+        // SAFETY: the descriptor's whole span is inside the mapping.
+        if !unsafe { (*(info as *const Info<M>)).validate_bounds(cell_ok, valid_install) } {
+            return Err(nvm::MapError::CorruptPointer { addr: info });
+        }
+    }
+    Ok(())
+}
+
+/// The census/sweep epilogue of a mapped attach: rewrite every live
+/// descriptor's volatile bookkeeping (recomputed reference count, this
+/// process's Info pool as `owner`, `shared` forced) and garbage-collect
+/// every committed block not in `live`. Returns the number swept.
+///
+/// # Safety
+/// Quiescent attach-time access; `info_refs` must hold the true reference
+/// count per descriptor, `owner` the new Info-pool handle, and `live` every
+/// payload address reachable from the structure's roots or this process's
+/// caches (the descriptors themselves are added here).
+pub unsafe fn census_epilogue<M: Persist>(
+    heap: &nvm::mapped::MappedHeap,
+    info_refs: &std::collections::HashMap<usize, u32>,
+    owner: *const (),
+    live: &mut std::collections::HashSet<usize>,
+) -> usize {
+    for (&info, &cnt) in info_refs {
+        // SAFETY: quiescent; count/owner per the contract above.
+        unsafe { (*(info as *const Info<M>)).reset_after_attach(cnt, owner) };
+        live.insert(info);
+    }
+    // SAFETY: `live` now covers roots, graph, descriptors and caches.
+    unsafe { heap.sweep_except(live) }
+}
+
+/// What a mapped-backend `attach(path)` found and did: the heap-level
+/// [`nvm::mapped::AttachReport`] plus the structure-level recovery outcome.
+#[derive(Debug)]
+pub struct AttachSummary {
+    /// Heap-level report (created / relocated / poisoned torn blocks / …).
+    pub heap: nvm::mapped::AttachReport,
+    /// Per-pid Op-Recover decisions of the replay pass (empty on a fresh
+    /// heap). `Completed(res)` carries the crashed operation's response.
+    pub recovered: Vec<(usize, Recovered)>,
+    /// Committed blocks swept by the attach-time garbage collection (blocks
+    /// the killed process leaked from pool caches and limbo bags).
+    pub swept: usize,
+}
+
+impl AttachSummary {
+    /// The replayed recovery decision for `pid` (`Restart` on a fresh heap).
+    pub fn decision(&self, pid: usize) -> Recovered {
+        self.recovered
+            .iter()
+            .find(|(p, _)| *p == pid)
+            .map(|(_, r)| *r)
+            .unwrap_or(Recovered::Restart)
     }
 }
 

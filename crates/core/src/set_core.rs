@@ -110,7 +110,10 @@ pub struct SetPools<M: Persist> {
 impl<M: Persist> SetPools<M> {
     /// Pools per `cfg`, gated on the structure's collector mode.
     pub fn new(cfg: PoolCfg, collector: &Collector) -> Self {
-        Self { info: Pool::new_for::<M>(cfg, collector), node: Pool::new_for::<M>(cfg, collector) }
+        Self {
+            info: Pool::new_for::<M>(cfg.clone(), collector),
+            node: Pool::new_for::<M>(cfg, collector),
+        }
     }
 }
 
@@ -126,6 +129,98 @@ impl<M: Persist> Drop for Node<M> {
 pub fn new_bucket<M: Persist>() -> *mut Node<M> {
     let tail: *mut Node<M> = Node::alloc(KEY_MAX, 0, 0);
     Node::alloc(KEY_MIN, tail as u64, 0)
+}
+
+/// Allocates a fresh empty bucket whose sentinels are drawn from `pools`:
+/// the mapped backend routes this through its persistent arena so bucket
+/// heads survive the process. Panics on a passthrough pool — a heap-`Box`
+/// sentinel whose address gets persisted into the arena would dangle after
+/// a restart, so there is deliberately no fallback.
+pub fn new_bucket_in<M: Persist>(pools: &SetPools<M>) -> *mut Node<M> {
+    let draw = |key: u64, next: u64| {
+        let p = pools.node.take().expect("mapped bucket sentinels require an arena-backed pool");
+        // SAFETY: a pool object is live and exclusively ours until
+        // published; init rewrites every (dirty) field.
+        unsafe { (*p).init(key, next, 0) };
+        p
+    };
+    let tail = draw(KEY_MAX, 0);
+    draw(KEY_MIN, tail as u64)
+}
+
+/// Bounds-checked pre-validation of a bucket read from an **untrusted**
+/// mapped image, run before any recovery code dereferences it: every node
+/// reached from `head` must lie inside the heap (per `in_node`, a
+/// whole-node span check), and the chain must terminate at a `+∞` sentinel
+/// within `max_nodes` steps (cycle guard). Referenced info descriptors are
+/// only *collected* into `infos`; the caller range-checks them with
+/// [`crate::recovery::validate_infos`]. Returns the offending pointer value
+/// on violation.
+///
+/// # Safety
+/// Every node is dereferenced only after `in_node` passes, so the caller
+/// must guarantee that `in_node(a)` implies the whole `Node<M>` at `a` is
+/// mapped (the mapped backend passes a `contains_span` check).
+pub unsafe fn validate_bucket<M: Persist>(
+    head: *mut Node<M>,
+    in_node: &impl Fn(u64) -> bool,
+    max_nodes: usize,
+    infos: &mut std::collections::HashSet<u64>,
+) -> Result<(), u64> {
+    if !in_node(head as u64) {
+        return Err(head as u64);
+    }
+    let mut n = head;
+    let mut budget = max_nodes;
+    loop {
+        if budget == 0 {
+            return Err(n as u64); // non-terminating chain (cycle/corruption)
+        }
+        budget -= 1;
+        unsafe {
+            let iv = tag::untagged((*n).info.load());
+            if iv != 0 {
+                infos.insert(iv);
+            }
+            if (*n).key.load() == KEY_MAX {
+                return Ok(());
+            }
+            let next = (*n).next.load();
+            if !in_node(next) {
+                return Err(next);
+            }
+            n = next as *mut Node<M>;
+        }
+    }
+}
+
+/// Census of one **quiescent** bucket: records every reachable node's
+/// address in `nodes` and, per info descriptor still referenced from a node
+/// cell, the number of referencing cells in `info_refs`. The mapped
+/// backend's attach uses this (after `scrub`) to rebuild descriptor
+/// reference counts and compute the live set for its arena sweep.
+///
+/// # Safety
+/// Requires quiescent exclusive access to a live bucket.
+pub unsafe fn census_bucket<M: Persist>(
+    head: *mut Node<M>,
+    nodes: &mut std::collections::HashSet<usize>,
+    info_refs: &mut std::collections::HashMap<usize, u32>,
+) {
+    unsafe {
+        let mut n = head;
+        loop {
+            nodes.insert(n as usize);
+            let iv = tag::untagged((*n).info.load());
+            if iv != 0 {
+                *info_refs.entry(iv as usize).or_insert(0) += 1;
+            }
+            if (*n).key.load() == KEY_MAX {
+                break;
+            }
+            n = (*n).next.load() as *mut Node<M>;
+        }
+    }
 }
 
 struct SearchRes<M: Persist> {

@@ -109,7 +109,7 @@ impl<M: Persist> RStack<M> {
     /// node pool and the elimination exchanger's descriptor pool).
     pub fn with_config(pool: PoolCfg) -> Self {
         let collector = Collector::new();
-        let node_pool = Pool::new_for::<M>(pool, &collector);
+        let node_pool = Pool::new_for::<M>(pool.clone(), &collector);
         Self {
             top: PWord::new(0),
             exch: RExchanger::with_config(Collector::new(), pool),

@@ -24,6 +24,23 @@
 //! | [`CountingNvm`] | stats only       | stats only| portable counting runs / CI  |
 //! | [`NoPersist`]   | nothing          | nothing   | private-cache model          |
 //! | [`SimNvm`]      | shadow tracking  | commit    | crash-injection testing      |
+//! | [`MappedNvm`]   | `clflush` + stats| `mfence`  | file-backed heap, restart    |
+//!
+//! The first four keep all persistent words on the process heap: a "crash"
+//! is simulated inside one address space. [`MappedNvm`] pairs the same
+//! instruction model with [`mapped::MappedHeap`], a file-backed `mmap` arena
+//! whose contents survive the death of the process — the backend real
+//! restart-recovery runs on (see [`mapped`]).
+//!
+//! ## Safety contracts worth knowing
+//!
+//! * [`PWord::peek`] / [`PWord::poke`] bypass the instrumented [`Persist`]
+//!   path. They are **only** for the crash simulator's image builder and for
+//!   quiescent teardown/diagnostics — using them on a live structure skips
+//!   shadow tracking and can invalidate a crash scenario.
+//! * [`flush::clflush`] / [`flush::clflush_range`] are `unsafe`: the caller
+//!   must pass addresses inside a live allocation (flushing an unmapped line
+//!   faults).
 //!
 //! Every word of persistent state is a [`PWord`]: an `AtomicU64` plus
 //! per-mode metadata (empty except under [`SimNvm`]). Pointers are stored in
@@ -38,6 +55,7 @@
 #![warn(missing_docs)]
 
 pub mod flush;
+pub mod mapped;
 pub mod pad;
 pub mod persist;
 pub mod pword;
@@ -45,6 +63,7 @@ pub mod sim;
 pub mod stats;
 pub mod tid;
 
+pub use mapped::{MapError, MappedHeap, MappedNvm};
 pub use pad::CachePadded;
 pub use persist::{CountingNvm, NoPersist, Persist, RealNvm};
 pub use pword::{PWord, PersistWords};

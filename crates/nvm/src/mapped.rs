@@ -1,0 +1,1153 @@
+//! [`MappedNvm`] + [`MappedHeap`]: a file-backed persistent heap with true
+//! cross-process restart recovery.
+//!
+//! The other persistency models ([`crate::RealNvm`], [`crate::CountingNvm`],
+//! [`crate::SimNvm`]) live entirely inside one process: a "crash" is a panic
+//! in the same address space, and all persistent words sit on the ordinary
+//! Rust heap. This module adds the third backend the evaluation stack needs:
+//! a **`mmap`-backed arena** whose contents survive the death of the process
+//! (`SIGKILL`, `abort`, power-independent kill), so detectable recovery can be
+//! exercised across an *actual* process restart — the deployment model of
+//! real persistent-memory pools (cf. memento's file-backed pool in PAPERS.md).
+//!
+//! ## Pieces
+//!
+//! * [`MappedNvm`] — a [`Persist`] implementation identical in spirit to
+//!   [`crate::RealNvm`] (counted `pwb` = `clflush`, `psync` = `mfence`).
+//!   Under kill-style crashes every completed *store* is durable (the page
+//!   cache survives the process), so flushes matter for the persist-count
+//!   experiments and for real-NVM deployments, not for `SIGKILL` testing.
+//! * [`MappedHeap`] — the arena itself: a superblock (magic / version /
+//!   base / sizes / attach epoch), a **commit bitmap**, a bump + per-size
+//!   free-list allocator handing out 64-byte-granular blocks, and a small
+//!   **root directory** mapping well-known keys to stable payload offsets
+//!   (recovery areas and structure heads live there).
+//! * [`AttachReport`] — what [`MappedHeap::attach`] found: whether the heap
+//!   was created fresh, whether it had to be **relocated** to a new base
+//!   address, and how many torn tail allocations were poisoned.
+//!
+//! ## Crash consistency
+//!
+//! Allocation state is reconstructible from the block headers plus the
+//! commit bitmap alone; the volatile free lists are rebuilt on every attach:
+//!
+//! 1. `alloc` writes the block header (`ALLOCATED`, size) **before**
+//!    publishing the new bump offset, so every granule below `bump` always
+//!    carries a valid header.
+//! 2. The caller initializes the payload, then `commit` sets the block's
+//!    bitmap bit **before** flipping the header to `COMMITTED`.
+//! 3. `free` flips the header to `FREE` **before** clearing the bitmap bit.
+//!
+//! The attach walk therefore classifies every torn state deterministically:
+//! an `ALLOCATED` block is a torn tail allocation (poisoned with [`POISON`]
+//! and freed), a `FREE` block with a set bit lost the bit-clear of step 3
+//! (healed), and any other header/bitmap disagreement is *corruption* and
+//! fails with a typed [`MapError`] — never undefined behaviour.
+//!
+//! ## Addressing
+//!
+//! Structures store **absolute pointers** in their persistent words (the
+//! same representation the in-process models use, so the entire engine is
+//! shared). The heap therefore asks the kernel for a fixed base address
+//! (`MAP_FIXED_NOREPLACE` at the base recorded in the superblock) on attach.
+//! When that address is taken, attach falls back to an **offset-relocation
+//! pass**: every word of every committed payload whose (tag-stripped) value
+//! lands inside the old mapping is rebased to the new one. This is sound
+//! because every persistent pointer in the ISB structures points into the
+//! arena, and *user payloads must not alias the arena's address range*
+//! (a 48-bit window; offset-based pointers à la memento would avoid the
+//! caveat at the cost of an indirection on every dereference — see
+//! DESIGN.md §10 for the trade-off discussion).
+
+use crate::flush;
+use crate::persist::{raw_cas, raw_load, raw_store, Persist};
+use crate::pword::{PWord, PersistWords};
+use crate::stats;
+use std::collections::{HashMap, HashSet};
+use std::fs::OpenOptions;
+use std::io::Read;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::AtomicU64;
+use std::sync::atomic::Ordering::{Acquire, Release, SeqCst};
+use std::sync::{Arc, Mutex};
+
+// ---------------------------------------------------------------------------
+// Raw mmap/munmap (no libc in this workspace; the build environment has no
+// registry access). Linux x86_64 + aarch64; other targets report Unsupported.
+// ---------------------------------------------------------------------------
+
+const PROT_READ: usize = 1;
+const PROT_WRITE: usize = 2;
+const MAP_SHARED: usize = 0x01;
+const MAP_FIXED_NOREPLACE: usize = 0x10_0000;
+
+#[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+unsafe fn sys_mmap(addr: usize, len: usize, prot: usize, flags: usize, fd: i32) -> isize {
+    let ret: isize;
+    unsafe {
+        core::arch::asm!(
+            "syscall",
+            inlateout("rax") 9isize => ret, // __NR_mmap
+            in("rdi") addr,
+            in("rsi") len,
+            in("rdx") prot,
+            in("r10") flags,
+            in("r8") fd as isize,
+            in("r9") 0usize,
+            lateout("rcx") _,
+            lateout("r11") _,
+            options(nostack)
+        );
+    }
+    ret
+}
+
+#[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+unsafe fn sys_munmap(addr: usize, len: usize) -> isize {
+    let ret: isize;
+    unsafe {
+        core::arch::asm!(
+            "syscall",
+            inlateout("rax") 11isize => ret, // __NR_munmap
+            in("rdi") addr,
+            in("rsi") len,
+            lateout("rcx") _,
+            lateout("r11") _,
+            options(nostack)
+        );
+    }
+    ret
+}
+
+#[cfg(all(target_os = "linux", target_arch = "aarch64"))]
+unsafe fn sys_mmap(addr: usize, len: usize, prot: usize, flags: usize, fd: i32) -> isize {
+    let ret: isize;
+    unsafe {
+        core::arch::asm!(
+            "svc 0",
+            in("x8") 222usize, // __NR_mmap
+            inlateout("x0") addr => ret,
+            in("x1") len,
+            in("x2") prot,
+            in("x3") flags,
+            in("x4") fd as isize,
+            in("x5") 0usize,
+            options(nostack)
+        );
+    }
+    ret
+}
+
+#[cfg(all(target_os = "linux", target_arch = "aarch64"))]
+unsafe fn sys_munmap(addr: usize, len: usize) -> isize {
+    let ret: isize;
+    unsafe {
+        core::arch::asm!(
+            "svc 0",
+            in("x8") 215usize, // __NR_munmap
+            inlateout("x0") addr => ret,
+            in("x1") len,
+            options(nostack)
+        );
+    }
+    ret
+}
+
+#[cfg(not(all(target_os = "linux", any(target_arch = "x86_64", target_arch = "aarch64"))))]
+unsafe fn sys_mmap(_addr: usize, _len: usize, _prot: usize, _flags: usize, _fd: i32) -> isize {
+    -38 // ENOSYS
+}
+
+#[cfg(not(all(target_os = "linux", any(target_arch = "x86_64", target_arch = "aarch64"))))]
+unsafe fn sys_munmap(_addr: usize, _len: usize) -> isize {
+    -38 // ENOSYS
+}
+
+/// `true` iff the raw-syscall return value is an error (`-errno`).
+fn is_sys_err(r: isize) -> bool {
+    (-4095..0).contains(&r)
+}
+
+// ---------------------------------------------------------------------------
+// Layout constants
+// ---------------------------------------------------------------------------
+
+/// Allocation granule (one cache line): blocks are sized and aligned to it,
+/// and the commit bitmap tracks one bit per granule.
+pub const GRANULE: usize = 64;
+const PAGE: usize = 4096;
+/// Superblock magic ("ISBMAP01").
+pub const MAGIC: u64 = 0x4953_424D_4150_3031;
+/// On-disk format version.
+pub const VERSION: u64 = 1;
+/// Base address requested for fresh heaps: high in the 47-bit user window,
+/// far from the default heap/mmap/stack regions of both parent and child
+/// processes, so cross-process re-attach almost always lands at the same
+/// address and the relocation pass stays a fallback.
+pub const PREFERRED_BASE: usize = 0x6000_0000_0000;
+/// Pattern written over the payload of torn (allocated-but-never-committed)
+/// tail blocks before they are returned to the free list.
+pub const POISON: u64 = 0xDEAD_BEEF_DEAD_BEEF;
+
+const HDR_MAGIC: u64 = 0xB10C;
+const ST_ALLOCATED: u64 = 1;
+const ST_COMMITTED: u64 = 2;
+const ST_FREE: u64 = 3;
+
+// Superblock word indices (u64 words from the start of the mapping).
+const W_MAGIC: usize = 0;
+const W_VERSION: usize = 1;
+const W_BASE: usize = 2;
+const W_SIZE: usize = 3;
+const W_EPOCH: usize = 4;
+const W_BUMP: usize = 5;
+const W_DATA_OFF: usize = 6;
+const W_BM_OFF: usize = 7;
+const W_GRANULES: usize = 8;
+const W_KIND: usize = 9;
+/// Number of root-directory slots.
+pub const ROOT_SLOTS: usize = 16;
+const W_ROOT0: usize = 16; // ROOT_SLOTS (key, payload-offset) pairs
+
+/// Smallest heap [`MappedHeap::create`] accepts.
+pub const MIN_HEAP_BYTES: usize = 64 * 1024;
+/// Default heap size used by the structures' `attach` constructors.
+pub const DEFAULT_HEAP_BYTES: usize = 64 * 1024 * 1024;
+
+#[inline]
+fn encode_hdr(state: u64, payload_granules: u64) -> u64 {
+    (HDR_MAGIC << 48) | (state << 40) | payload_granules
+}
+
+#[inline]
+fn decode_hdr(h: u64) -> Option<(u64, u64)> {
+    if h >> 48 != HDR_MAGIC {
+        return None;
+    }
+    Some(((h >> 40) & 0xFF, h & 0xFFFF_FFFF))
+}
+
+// ---------------------------------------------------------------------------
+// Errors and reports
+// ---------------------------------------------------------------------------
+
+/// Typed attach/allocation failures. Every corrupt-image shape the attach
+/// walk can encounter maps to one of these — attaching a damaged heap must
+/// fail cleanly, never exhibit undefined behaviour.
+#[derive(Debug)]
+pub enum MapError {
+    /// Filesystem error (open/create/metadata/resize).
+    Io(std::io::Error),
+    /// The platform has no mmap implementation in this build.
+    Unsupported,
+    /// `mmap` itself failed (`-errno`).
+    MapFailed(i32),
+    /// The file is shorter than its superblock claims (or than a superblock).
+    Truncated {
+        /// Bytes the superblock (or format) requires.
+        expected: u64,
+        /// Bytes actually present.
+        found: u64,
+    },
+    /// The superblock magic does not match [`MAGIC`].
+    BadMagic(u64),
+    /// The superblock version is not [`VERSION`].
+    BadVersion(u64),
+    /// Superblock geometry is inconsistent (unaligned/out-of-window base,
+    /// impossible offsets, bump beyond the data region, …).
+    BadSuperblock(&'static str),
+    /// A block header below the bump offset is not a valid header.
+    CorruptHeader {
+        /// Granule index of the bad header.
+        granule: usize,
+    },
+    /// The commit bitmap disagrees with the block headers in a way no crash
+    /// ordering can produce (a set bit with no committed block under it, or
+    /// a committed block whose bit is clear).
+    CorruptBitmap {
+        /// Granule index of the disagreement.
+        granule: usize,
+    },
+    /// The heap hosts a different structure kind (or configuration) than the
+    /// caller asked to attach.
+    WrongKind {
+        /// Kind/config expected by the caller.
+        expected: u64,
+        /// Kind/config recorded in the heap.
+        found: u64,
+    },
+    /// A persistent pointer read from the image points outside the mapping
+    /// (or the object graph does not terminate) — e.g. a superblock whose
+    /// recorded base was rewritten to a different address, so the structure's
+    /// absolute pointers no longer land inside the arena. Caught by the
+    /// structures' pre-recovery validation walk before any dereference.
+    CorruptPointer {
+        /// The offending pointer value.
+        addr: u64,
+    },
+    /// The arena is out of space.
+    Exhausted,
+}
+
+impl std::fmt::Display for MapError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MapError::Io(e) => write!(f, "persistent heap I/O error: {e}"),
+            MapError::Unsupported => write!(f, "mapped heaps are unsupported on this platform"),
+            MapError::MapFailed(e) => write!(f, "mmap failed (errno {e})"),
+            MapError::Truncated { expected, found } => {
+                write!(f, "heap file truncated: expected {expected} bytes, found {found}")
+            }
+            MapError::BadMagic(m) => write!(f, "bad superblock magic {m:#x}"),
+            MapError::BadVersion(v) => write!(f, "unsupported heap version {v}"),
+            MapError::BadSuperblock(why) => write!(f, "corrupt superblock: {why}"),
+            MapError::CorruptHeader { granule } => {
+                write!(f, "corrupt block header at granule {granule}")
+            }
+            MapError::CorruptBitmap { granule } => {
+                write!(f, "commit bitmap disagrees with headers at granule {granule}")
+            }
+            MapError::WrongKind { expected, found } => {
+                write!(f, "heap hosts kind/config {found}, expected {expected}")
+            }
+            MapError::CorruptPointer { addr } => {
+                write!(f, "persistent pointer {addr:#x} points outside the mapped arena")
+            }
+            MapError::Exhausted => write!(f, "persistent heap exhausted"),
+        }
+    }
+}
+
+impl std::error::Error for MapError {}
+
+impl From<std::io::Error> for MapError {
+    fn from(e: std::io::Error) -> Self {
+        MapError::Io(e)
+    }
+}
+
+/// What an attach found and did (see module docs).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AttachReport {
+    /// The heap file did not exist (or was empty) and was created fresh.
+    pub created: bool,
+    /// The recorded base address was unavailable; every in-arena pointer was
+    /// rebased by the offset-relocation pass.
+    pub relocated: bool,
+    /// Attach epoch after this attach (1 for a fresh heap).
+    pub attach_epoch: u64,
+    /// Torn tail allocations (allocated, never committed) that were poisoned
+    /// and returned to the free list.
+    pub poisoned: usize,
+    /// `FREE` blocks whose commit bit was still set (crash between the two
+    /// halves of a free) — healed by clearing the bit.
+    pub healed_bits: usize,
+    /// Committed (live) blocks found by the walk.
+    pub committed: usize,
+    /// Free blocks found by the walk.
+    pub free_blocks: usize,
+}
+
+// ---------------------------------------------------------------------------
+// The heap
+// ---------------------------------------------------------------------------
+
+struct AllocState {
+    /// payload-granule-count → header granule indices of FREE blocks.
+    free: HashMap<u32, Vec<u32>>,
+}
+
+/// A file-backed persistent heap (see module docs).
+///
+/// One `MappedHeap` hosts one data structure (plus its recovery area) and is
+/// attached by **one process at a time**; the structures' `attach`
+/// constructors enforce the kind via the superblock. All allocation routes
+/// through [`MappedHeap::alloc`] / [`MappedHeap::commit`] /
+/// [`MappedHeap::free`]; the object pools in `isb::pool` layer their
+/// per-thread caches on top.
+pub struct MappedHeap {
+    base: *mut u8,
+    size: usize,
+    data_off: usize,
+    granules: usize,
+    path: PathBuf,
+    alloc: Mutex<AllocState>,
+    report: AttachReport,
+}
+
+unsafe impl Send for MappedHeap {}
+unsafe impl Sync for MappedHeap {}
+
+impl std::fmt::Debug for MappedHeap {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MappedHeap")
+            .field("path", &self.path)
+            .field("base", &self.base)
+            .field("size", &self.size)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Drop for MappedHeap {
+    fn drop(&mut self) {
+        // The mapping is MAP_SHARED: all completed stores are already in the
+        // page cache and reach the file regardless of this munmap.
+        unsafe { sys_munmap(self.base as usize, self.size) };
+    }
+}
+
+impl MappedHeap {
+    // -- mapping ----------------------------------------------------------
+
+    /// Creates a fresh heap of (at least) `bytes` at `path`, truncating any
+    /// existing file. Prefer [`MappedHeap::open`].
+    pub fn create(path: &Path, bytes: usize) -> Result<Arc<Self>, MapError> {
+        let size = bytes.max(MIN_HEAP_BYTES).next_multiple_of(PAGE);
+        let file =
+            OpenOptions::new().read(true).write(true).create(true).truncate(true).open(path)?;
+        file.set_len(size as u64)?;
+        let fd = std::os::fd::AsRawFd::as_raw_fd(&file);
+
+        // Geometry: superblock page, then the bitmap (one bit per data
+        // granule, rounded to a granule), then the data region.
+        let data_guess = size - PAGE;
+        let bm_bytes = (data_guess / GRANULE).div_ceil(8).next_multiple_of(GRANULE);
+        let data_off = PAGE + bm_bytes;
+        let granules = (size - data_off) / GRANULE;
+
+        let base = map_file(fd, size, Some(PREFERRED_BASE))?;
+        let heap = MappedHeap {
+            base,
+            size,
+            data_off,
+            granules,
+            path: path.to_path_buf(),
+            alloc: Mutex::new(AllocState { free: HashMap::new() }),
+            report: AttachReport { created: true, attach_epoch: 1, ..Default::default() },
+        };
+        // Init order: every field first, the magic last — a creation cut
+        // short by a crash leaves a file that fails attach with BadMagic
+        // instead of a half-valid superblock.
+        heap.word(W_VERSION).store(VERSION, SeqCst);
+        heap.word(W_BASE).store(base as u64, SeqCst);
+        heap.word(W_SIZE).store(size as u64, SeqCst);
+        heap.word(W_EPOCH).store(1, SeqCst);
+        heap.word(W_BUMP).store(0, SeqCst);
+        heap.word(W_DATA_OFF).store(data_off as u64, SeqCst);
+        heap.word(W_BM_OFF).store(PAGE as u64, SeqCst);
+        heap.word(W_GRANULES).store(granules as u64, SeqCst);
+        heap.word(W_KIND).store(0, SeqCst);
+        heap.word(W_MAGIC).store(MAGIC, SeqCst);
+        Ok(Arc::new(heap))
+    }
+
+    /// Attaches an existing heap at its recorded base address, falling back
+    /// to the relocation pass (see module docs).
+    pub fn attach(path: &Path) -> Result<Arc<Self>, MapError> {
+        Self::attach_opts(path, false)
+    }
+
+    /// [`MappedHeap::attach`] with the fixed-base request suppressed, forcing
+    /// the offset-relocation pass (exercised directly by tests).
+    pub fn attach_opts(path: &Path, force_new_base: bool) -> Result<Arc<Self>, MapError> {
+        let mut file = OpenOptions::new().read(true).write(true).open(path)?;
+        let len = file.metadata()?.len();
+        if len < PAGE as u64 {
+            return Err(MapError::Truncated { expected: PAGE as u64, found: len });
+        }
+        // Validate the superblock from a plain read before mapping anything.
+        let mut sb = [0u8; PAGE];
+        file.read_exact(&mut sb)?;
+        let w = |i: usize| u64::from_le_bytes(sb[i * 8..i * 8 + 8].try_into().unwrap());
+        if w(W_MAGIC) != MAGIC {
+            return Err(MapError::BadMagic(w(W_MAGIC)));
+        }
+        if w(W_VERSION) != VERSION {
+            return Err(MapError::BadVersion(w(W_VERSION)));
+        }
+        let size = w(W_SIZE);
+        if size != len {
+            return Err(MapError::Truncated { expected: size, found: len });
+        }
+        let old_base = w(W_BASE) as usize;
+        if old_base == 0 || !old_base.is_multiple_of(PAGE) || old_base >= 1 << 47 {
+            return Err(MapError::BadSuperblock("recorded base address is not a valid mapping"));
+        }
+        let size = size as usize;
+        let data_off = w(W_DATA_OFF) as usize;
+        let granules = w(W_GRANULES) as usize;
+        if data_off < PAGE
+            || !data_off.is_multiple_of(GRANULE)
+            || data_off
+                .checked_add(
+                    granules.checked_mul(GRANULE).ok_or(MapError::BadSuperblock(
+                        "granule count overflows the data region",
+                    ))?,
+                )
+                .is_none_or(|end| end > size)
+        {
+            return Err(MapError::BadSuperblock("data region exceeds the file"));
+        }
+        if (w(W_BUMP) as usize) > granules {
+            return Err(MapError::BadSuperblock("bump offset beyond the data region"));
+        }
+        // The commit bitmap (one bit per data granule, starting at PAGE)
+        // must fit below the data region: otherwise bm_set/bm_clear would
+        // silently write inside the data blocks.
+        if w(W_BM_OFF) as usize != PAGE || PAGE + granules.div_ceil(64) * 8 > data_off {
+            return Err(MapError::BadSuperblock("commit bitmap does not fit its region"));
+        }
+
+        let fd = std::os::fd::AsRawFd::as_raw_fd(&file);
+        let (base, relocated) = if force_new_base {
+            (map_file(fd, size, None)?, true)
+        } else {
+            match map_file_fixed(fd, size, old_base) {
+                Some(b) => (b, false),
+                None => (map_file(fd, size, None)?, true),
+            }
+        };
+        let relocated = relocated && base as usize != old_base;
+
+        let mut heap = MappedHeap {
+            base,
+            size,
+            data_off,
+            granules,
+            path: path.to_path_buf(),
+            alloc: Mutex::new(AllocState { free: HashMap::new() }),
+            report: AttachReport { relocated, ..Default::default() },
+        };
+        let committed = heap.walk_and_heal()?;
+        if relocated {
+            heap.relocate(old_base, &committed);
+            heap.word(W_BASE).store(base as u64, SeqCst);
+        }
+        let epoch = heap.word(W_EPOCH).load(Acquire) + 1;
+        heap.word(W_EPOCH).store(epoch, SeqCst);
+        heap.report.attach_epoch = epoch;
+        Ok(Arc::new(heap))
+    }
+
+    /// Attach `path` if it exists (and is non-empty), otherwise create a
+    /// fresh heap of `bytes` there.
+    pub fn open(path: &Path, bytes: usize) -> Result<Arc<Self>, MapError> {
+        match std::fs::metadata(path) {
+            Ok(m) if m.len() > 0 => Self::attach(path),
+            _ => Self::create(path, bytes),
+        }
+    }
+
+    // -- words, headers, bitmap -------------------------------------------
+
+    #[inline]
+    fn word(&self, idx: usize) -> &AtomicU64 {
+        debug_assert!((idx + 1) * 8 <= PAGE);
+        // SAFETY: inside the live, 8-aligned mapping.
+        unsafe { &*(self.base.add(idx * 8) as *const AtomicU64) }
+    }
+
+    #[inline]
+    fn hdr(&self, g: usize) -> &AtomicU64 {
+        debug_assert!(g < self.granules);
+        // SAFETY: granule g starts inside the data region.
+        unsafe { &*(self.base.add(self.data_off + g * GRANULE) as *const AtomicU64) }
+    }
+
+    #[inline]
+    fn payload(&self, g: usize) -> *mut u8 {
+        // Payload starts one granule after the header granule.
+        unsafe { self.base.add(self.data_off + (g + 1) * GRANULE) }
+    }
+
+    /// Granule index of the block whose payload starts at `p`.
+    #[inline]
+    fn granule_of(&self, p: *mut u8) -> usize {
+        let off = p as usize - self.base as usize - self.data_off;
+        debug_assert!(off.is_multiple_of(GRANULE) && off >= GRANULE);
+        off / GRANULE - 1
+    }
+
+    #[inline]
+    fn bm_word(&self, g: usize) -> &AtomicU64 {
+        let bm_off = PAGE + (g / 64) * 8;
+        debug_assert!(bm_off + 8 <= self.data_off);
+        // SAFETY: inside the bitmap region.
+        unsafe { &*(self.base.add(bm_off) as *const AtomicU64) }
+    }
+
+    #[inline]
+    fn bm_test(&self, g: usize) -> bool {
+        self.bm_word(g).load(Acquire) & (1 << (g % 64)) != 0
+    }
+
+    #[inline]
+    fn bm_set(&self, g: usize) {
+        self.bm_word(g).fetch_or(1 << (g % 64), SeqCst);
+    }
+
+    #[inline]
+    fn bm_clear(&self, g: usize) {
+        self.bm_word(g).fetch_and(!(1 << (g % 64)), SeqCst);
+    }
+
+    // -- attach walk -------------------------------------------------------
+
+    /// Walks every block header up to the bump offset: rebuilds the free
+    /// lists, poisons torn tail allocations, heals benign bitmap bits, and
+    /// fails with a typed error on any state no crash ordering can produce.
+    /// Returns the committed blocks as `(granule, payload_granules)`.
+    fn walk_and_heal(&mut self) -> Result<Vec<(usize, usize)>, MapError> {
+        let bump = self.word(W_BUMP).load(Acquire) as usize;
+        let mut committed = Vec::new();
+        let mut committed_set: HashSet<usize> = HashSet::new();
+        let mut free: HashMap<u32, Vec<u32>> = HashMap::new();
+        let mut g = 0usize;
+        while g < bump {
+            let (state, pg) = decode_hdr(self.hdr(g).load(Acquire))
+                .ok_or(MapError::CorruptHeader { granule: g })?;
+            let pg = pg as usize;
+            if pg == 0 || g + 1 + pg > bump {
+                return Err(MapError::CorruptHeader { granule: g });
+            }
+            match state {
+                ST_COMMITTED => {
+                    if !self.bm_test(g) {
+                        return Err(MapError::CorruptBitmap { granule: g });
+                    }
+                    committed.push((g, pg));
+                    committed_set.insert(g);
+                }
+                ST_ALLOCATED => {
+                    // Torn tail allocation: the owning operation never
+                    // committed it, so nothing can reference it. Poison the
+                    // payload (so any stale use is loud) and recycle it.
+                    let p = self.payload(g) as *mut u64;
+                    for i in 0..pg * (GRANULE / 8) {
+                        // SAFETY: payload of a block wholly inside the arena.
+                        unsafe { p.add(i).write(POISON) };
+                    }
+                    self.hdr(g).store(encode_hdr(ST_FREE, pg as u64), Release);
+                    self.bm_clear(g);
+                    free.entry(pg as u32).or_default().push(g as u32);
+                    self.report.poisoned += 1;
+                }
+                ST_FREE => {
+                    if self.bm_test(g) {
+                        // Crash between the two halves of a free: benign.
+                        self.bm_clear(g);
+                        self.report.healed_bits += 1;
+                    }
+                    free.entry(pg as u32).or_default().push(g as u32);
+                    self.report.free_blocks += 1;
+                }
+                _ => return Err(MapError::CorruptHeader { granule: g }),
+            }
+            g += 1 + pg;
+        }
+        if g != bump {
+            return Err(MapError::CorruptHeader { granule: g });
+        }
+        // Cross-check: every set bitmap bit must sit under a committed
+        // header. A bit with no block under it cannot result from any crash
+        // ordering — it is corruption.
+        for wi in 0..self.granules.div_ceil(64) {
+            let mut bits = self.bm_word(wi * 64).load(Acquire);
+            while bits != 0 {
+                let b = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                let gran = wi * 64 + b;
+                if !committed_set.contains(&gran) {
+                    return Err(MapError::CorruptBitmap { granule: gran });
+                }
+            }
+        }
+        self.report.committed = committed.len();
+        self.report.free_blocks += self.report.poisoned;
+        self.alloc.get_mut().unwrap().free = free;
+        Ok(committed)
+    }
+
+    /// The offset-relocation pass: rebases every committed payload word that
+    /// points into the old mapping (see module docs for the aliasing caveat).
+    fn relocate(&self, old_base: usize, committed: &[(usize, usize)]) {
+        let new_base = self.base as usize;
+        let span = self.size;
+        for &(g, pg) in committed {
+            let p = self.payload(g) as *mut u64;
+            for i in 0..pg * (GRANULE / 8) {
+                // SAFETY: single-threaded attach; word inside the payload.
+                let v = unsafe { p.add(i).read() };
+                let t = v & !1; // strip the info-pointer tag bit
+                if t >= old_base as u64 && t < (old_base + span) as u64 {
+                    unsafe { p.add(i).write((t - old_base as u64 + new_base as u64) | (v & 1)) };
+                }
+            }
+        }
+    }
+
+    // -- allocation --------------------------------------------------------
+
+    /// Allocates a block with at least `bytes` of payload (64-byte aligned,
+    /// rounded up to whole granules). The block is `ALLOCATED`: the caller
+    /// must initialize the payload and then call [`MappedHeap::commit`];
+    /// until then an attach treats it as torn and poisons it.
+    pub fn alloc(&self, bytes: usize) -> Result<*mut u8, MapError> {
+        let pg = bytes.max(1).div_ceil(GRANULE);
+        let mut st = self.alloc.lock().unwrap();
+        if let Some(list) = st.free.get_mut(&(pg as u32)) {
+            if let Some(g) = list.pop() {
+                let g = g as usize;
+                self.hdr(g).store(encode_hdr(ST_ALLOCATED, pg as u64), Release);
+                return Ok(self.payload(g));
+            }
+        }
+        let bump = self.word(W_BUMP).load(Acquire) as usize;
+        if bump + 1 + pg > self.granules {
+            return Err(MapError::Exhausted);
+        }
+        // Header before bump: every granule below bump always has a header.
+        self.hdr(bump).store(encode_hdr(ST_ALLOCATED, pg as u64), Release);
+        self.word(W_BUMP).store((bump + 1 + pg) as u64, Release);
+        Ok(self.payload(bump))
+    }
+
+    /// Marks the block at payload `p` fully initialized. Bitmap bit before
+    /// header state (see module docs for the crash analysis).
+    pub fn commit(&self, p: *mut u8) {
+        let g = self.granule_of(p);
+        let (state, pg) = decode_hdr(self.hdr(g).load(Acquire)).expect("commit of a non-block");
+        debug_assert_eq!(state, ST_ALLOCATED, "commit of a block not in ALLOCATED state");
+        self.bm_set(g);
+        self.hdr(g).store(encode_hdr(ST_COMMITTED, pg), Release);
+    }
+
+    /// Returns the block at payload `p` to the free list (header to `FREE`
+    /// before the bitmap bit clears; no destructor runs).
+    ///
+    /// # Safety
+    /// `p` must be a payload pointer obtained from this heap's
+    /// [`MappedHeap::alloc`] whose block no thread can still reach, freed at
+    /// most once per allocation.
+    pub unsafe fn free(&self, p: *mut u8) {
+        let g = self.granule_of(p);
+        let (_, pg) = decode_hdr(self.hdr(g).load(Acquire)).expect("free of a non-block");
+        self.hdr(g).store(encode_hdr(ST_FREE, pg), Release);
+        self.bm_clear(g);
+        self.alloc.lock().unwrap().free.entry(pg as u32).or_default().push(g as u32);
+    }
+
+    /// Frees every committed block whose payload address is **not** in
+    /// `live` (attach-time garbage collection of blocks leaked by a crash:
+    /// pool caches, limbo bags, unlinked nodes). Returns the number swept.
+    ///
+    /// # Safety
+    /// Requires quiescent exclusive access, and `live` must contain every
+    /// payload address still reachable from the structure's roots.
+    pub unsafe fn sweep_except(&self, live: &HashSet<usize>) -> usize {
+        let bump = self.word(W_BUMP).load(Acquire) as usize;
+        let mut swept = 0;
+        let mut g = 0usize;
+        while g < bump {
+            let (state, pg) = decode_hdr(self.hdr(g).load(Acquire)).expect("swept a corrupt heap");
+            let pg = pg as usize;
+            if state == ST_COMMITTED && !live.contains(&(self.payload(g) as usize)) {
+                unsafe { self.free(self.payload(g)) };
+                swept += 1;
+            }
+            g += 1 + pg;
+        }
+        swept
+    }
+
+    // -- root directory and metadata --------------------------------------
+
+    /// Looks up a root-directory entry.
+    pub fn root_get(&self, key: u64) -> Option<*mut u8> {
+        debug_assert_ne!(key, 0, "root keys are nonzero");
+        for s in 0..ROOT_SLOTS {
+            if self.word(W_ROOT0 + 2 * s).load(Acquire) == key {
+                let off = self.word(W_ROOT0 + 2 * s + 1).load(Acquire) as usize;
+                // SAFETY: offsets are validated at registration.
+                return Some(unsafe { self.base.add(off) });
+            }
+        }
+        None
+    }
+
+    /// Returns the root block for `key`, allocating (zeroed) and registering
+    /// a committed block of `bytes` on first use. The `bool` is `true` iff
+    /// the block was created by this call.
+    pub fn root_alloc(&self, key: u64, bytes: usize) -> Result<(*mut u8, bool), MapError> {
+        if let Some(p) = self.root_get(key) {
+            return Ok((p, false));
+        }
+        let p = self.alloc(bytes)?;
+        // Blocks recycled from the free list carry stale payloads.
+        unsafe { std::ptr::write_bytes(p, 0, bytes.max(1).div_ceil(GRANULE) * GRANULE) };
+        self.commit(p);
+        let off = (p as usize - self.base as usize) as u64;
+        for s in 0..ROOT_SLOTS {
+            let kw = self.word(W_ROOT0 + 2 * s);
+            if kw.load(Acquire) == 0 {
+                // Offset first, key last: the key word is the valid flag.
+                self.word(W_ROOT0 + 2 * s + 1).store(off, SeqCst);
+                kw.store(key, SeqCst);
+                return Ok((p, true));
+            }
+        }
+        Err(MapError::BadSuperblock("root directory full"))
+    }
+
+    /// Structure kind recorded in the superblock (0 = none yet).
+    pub fn kind(&self) -> u64 {
+        self.word(W_KIND).load(Acquire)
+    }
+
+    /// Records the structure kind hosted by this heap.
+    pub fn set_kind(&self, kind: u64) {
+        self.word(W_KIND).store(kind, SeqCst);
+    }
+
+    /// Whether `addr` lies inside this heap's mapping.
+    pub fn contains(&self, addr: usize) -> bool {
+        addr >= self.base as usize && addr < self.base as usize + self.size
+    }
+
+    /// Whether the whole `len`-byte span starting at `addr` lies inside the
+    /// mapping — the check attach-time pointer validation must use before
+    /// dereferencing an object of that size (an object *starting* in the
+    /// last bytes of the mapping would otherwise be read past its end).
+    pub fn contains_span(&self, addr: usize, len: usize) -> bool {
+        addr >= self.base as usize
+            && addr.checked_add(len).is_some_and(|end| end <= self.base as usize + self.size)
+    }
+
+    /// Base address of the mapping.
+    pub fn base(&self) -> *mut u8 {
+        self.base
+    }
+
+    /// Mapped size in bytes.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Path of the backing file.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// What this attach found and did.
+    pub fn report(&self) -> &AttachReport {
+        &self.report
+    }
+
+    /// Granules currently allocated from the bump region (diagnostics).
+    pub fn bump_granules(&self) -> usize {
+        self.word(W_BUMP).load(Acquire) as usize
+    }
+}
+
+fn map_file(fd: i32, size: usize, preferred: Option<usize>) -> Result<*mut u8, MapError> {
+    if let Some(hint) = preferred {
+        if let Some(b) = map_file_fixed(fd, size, hint) {
+            return Ok(b);
+        }
+    }
+    let r = unsafe { sys_mmap(0, size, PROT_READ | PROT_WRITE, MAP_SHARED, fd) };
+    if is_sys_err(r) {
+        return if r == -38 {
+            Err(MapError::Unsupported)
+        } else {
+            Err(MapError::MapFailed(-r as i32))
+        };
+    }
+    Ok(r as *mut u8)
+}
+
+/// Maps `fd` at exactly `addr` (without evicting an existing mapping), or
+/// returns `None` when the range is unavailable.
+fn map_file_fixed(fd: i32, size: usize, addr: usize) -> Option<*mut u8> {
+    let r = unsafe {
+        sys_mmap(addr, size, PROT_READ | PROT_WRITE, MAP_SHARED | MAP_FIXED_NOREPLACE, fd)
+    };
+    if is_sys_err(r) || r as usize != addr {
+        if !is_sys_err(r) {
+            // Old kernels ignore NOREPLACE and map elsewhere: undo.
+            unsafe { sys_munmap(r as usize, size) };
+        }
+        return None;
+    }
+    Some(r as *mut u8)
+}
+
+// ---------------------------------------------------------------------------
+// The persistency model
+// ---------------------------------------------------------------------------
+
+/// Shared-cache persistency model over a [`MappedHeap`]: same instruction
+/// behaviour as [`crate::RealNvm`] (`pwb` = `clflush`, `psync` = `mfence`,
+/// all counted), but the persistent words live in a file-backed mapping, so
+/// the structure state survives the process. See the module docs for what
+/// `SIGKILL`-durability does and does not require.
+pub struct MappedNvm;
+
+impl Persist for MappedNvm {
+    const NAME: &'static str = "mapped";
+    const MAPPED: bool = true;
+    type Meta = ();
+
+    #[inline]
+    fn load(w: &PWord<Self>) -> u64 {
+        raw_load(w)
+    }
+    #[inline]
+    fn store(w: &PWord<Self>, v: u64) {
+        raw_store(w, v)
+    }
+    #[inline]
+    fn cas(w: &PWord<Self>, old: u64, new: u64) -> u64 {
+        raw_cas(w, old, new)
+    }
+
+    #[inline]
+    fn pwb(w: &PWord<Self>) {
+        // SAFETY: `w.addr()` points into the live `PWord` behind `w`.
+        unsafe { flush::clflush(w.addr()) };
+        stats::count_pwb(1);
+    }
+    #[inline]
+    fn pfence() {
+        stats::count_pfence();
+    }
+    #[inline]
+    fn psync() {
+        flush::mfence();
+        stats::count_psync();
+    }
+    #[inline]
+    fn pbarrier(w: &PWord<Self>) {
+        // SAFETY: as in `pwb`.
+        unsafe { flush::clflush(w.addr()) };
+        flush::mfence();
+        stats::count_pbarrier(1);
+    }
+    #[inline]
+    fn pwb_obj<T: PersistWords<Self> + ?Sized>(obj: &T) {
+        let (p, len) = obj.used_range();
+        // SAFETY: `used_range` is a sub-range of the live object behind `obj`.
+        let n = unsafe { flush::clflush_range(p, len) };
+        stats::count_pwb(n);
+    }
+    #[inline]
+    fn pbarrier_obj<T: PersistWords<Self> + ?Sized>(obj: &T) {
+        let (p, len) = obj.used_range();
+        // SAFETY: as in `pwb_obj`.
+        let n = unsafe { flush::clflush_range(p, len) };
+        flush::mfence();
+        stats::count_pbarrier(n);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        let p = std::env::temp_dir().join(format!(
+            "isb_mapped_{}_{}_{name}.heap",
+            std::process::id(),
+            rand_suffix()
+        ));
+        let _ = std::fs::remove_file(&p);
+        p
+    }
+
+    fn rand_suffix() -> u64 {
+        use std::time::{SystemTime, UNIX_EPOCH};
+        SystemTime::now().duration_since(UNIX_EPOCH).unwrap().subsec_nanos() as u64
+    }
+
+    #[test]
+    fn create_alloc_commit_reattach_roundtrip() {
+        let path = tmp("roundtrip");
+        let vals: Vec<u64> = (0..100).map(|i| 0x1234_5678 + i).collect();
+        let offs: Vec<usize> = {
+            let heap = MappedHeap::create(&path, MIN_HEAP_BYTES).unwrap();
+            assert!(heap.report().created);
+            vals.iter()
+                .map(|&v| {
+                    let p = heap.alloc(24).unwrap();
+                    unsafe { (p as *mut u64).write(v) };
+                    heap.commit(p);
+                    p as usize - heap.base() as usize
+                })
+                .collect()
+        }; // heap dropped: unmapped, file persists
+        let heap = MappedHeap::attach(&path).unwrap();
+        assert!(!heap.report().created);
+        assert_eq!(heap.report().committed, 100);
+        assert_eq!(heap.report().poisoned, 0);
+        for (off, &v) in offs.iter().zip(&vals) {
+            let p = unsafe { heap.base().add(*off) } as *const u64;
+            assert_eq!(unsafe { p.read() }, v);
+        }
+        drop(heap);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn torn_tail_allocation_is_poisoned_and_recycled() {
+        let path = tmp("torn");
+        {
+            let heap = MappedHeap::create(&path, MIN_HEAP_BYTES).unwrap();
+            let p = heap.alloc(64).unwrap();
+            unsafe { (p as *mut u64).write(7) };
+            heap.commit(p);
+            let torn = heap.alloc(64).unwrap();
+            unsafe { (torn as *mut u64).write(0xAAAA) };
+            // no commit: simulates a crash mid-allocation
+        }
+        let heap = MappedHeap::attach(&path).unwrap();
+        assert_eq!(heap.report().poisoned, 1);
+        assert_eq!(heap.report().committed, 1);
+        // The torn block was recycled: the next same-size alloc reuses it,
+        // and its payload was poisoned in between.
+        let p = heap.alloc(64).unwrap();
+        assert_eq!(unsafe { (p as *const u64).read() }, POISON);
+        drop(heap);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn free_and_reuse_across_attach() {
+        let path = tmp("freelist");
+        let (off_kept, off_freed) = {
+            let heap = MappedHeap::create(&path, MIN_HEAP_BYTES).unwrap();
+            let a = heap.alloc(16).unwrap();
+            heap.commit(a);
+            let b = heap.alloc(16).unwrap();
+            heap.commit(b);
+            unsafe { heap.free(b) };
+            (a as usize - heap.base() as usize, b as usize - heap.base() as usize)
+        };
+        let heap = MappedHeap::attach(&path).unwrap();
+        assert_eq!(heap.report().committed, 1);
+        assert_eq!(heap.report().free_blocks, 1);
+        // The freed block feeds the next allocation of its size class.
+        let c = heap.alloc(16).unwrap();
+        assert_eq!(c as usize - heap.base() as usize, off_freed);
+        let _ = off_kept;
+        drop(heap);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn root_directory_persists() {
+        let path = tmp("roots");
+        {
+            let heap = MappedHeap::create(&path, MIN_HEAP_BYTES).unwrap();
+            let (p, fresh) = heap.root_alloc(42, 128).unwrap();
+            assert!(fresh);
+            unsafe { (p as *mut u64).write(0xC0FFEE) };
+            heap.set_kind(7);
+        }
+        let heap = MappedHeap::attach(&path).unwrap();
+        assert_eq!(heap.kind(), 7);
+        let (p, fresh) = heap.root_alloc(42, 128).unwrap();
+        assert!(!fresh);
+        assert_eq!(unsafe { (p as *const u64).read() }, 0xC0FFEE);
+        assert!(heap.root_get(99).is_none());
+        drop(heap);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn exhaustion_is_a_typed_error() {
+        let path = tmp("exhaust");
+        let heap = MappedHeap::create(&path, MIN_HEAP_BYTES).unwrap();
+        let mut n = 0;
+        loop {
+            match heap.alloc(4096) {
+                Ok(p) => {
+                    heap.commit(p);
+                    n += 1;
+                }
+                Err(MapError::Exhausted) => break,
+                Err(e) => panic!("unexpected error {e}"),
+            }
+        }
+        assert!(n > 5, "only {n} blocks fit");
+        drop(heap);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn forced_relocation_rebases_in_arena_pointers() {
+        let path = tmp("reloc");
+        let (old_base, off_cell, off_target) = {
+            let heap = MappedHeap::create(&path, MIN_HEAP_BYTES).unwrap();
+            let target = heap.alloc(8).unwrap();
+            unsafe { (target as *mut u64).write(4242) };
+            heap.commit(target);
+            let cell = heap.alloc(16).unwrap();
+            // word 0: tagged in-arena pointer; word 1: user data that must
+            // NOT be rebased.
+            unsafe {
+                (cell as *mut u64).write(target as u64 | 1);
+                (cell as *mut u64).add(1).write(555);
+            }
+            heap.commit(cell);
+            (
+                heap.base() as usize,
+                cell as usize - heap.base() as usize,
+                target as usize - heap.base() as usize,
+            )
+        };
+        let heap = MappedHeap::attach_opts(&path, true).unwrap();
+        assert!(heap.report().relocated || heap.base() as usize == old_base);
+        let cell = unsafe { heap.base().add(off_cell) } as *const u64;
+        let want = (heap.base() as usize + off_target) as u64 | 1;
+        assert_eq!(unsafe { cell.read() }, want, "tagged pointer rebased, tag preserved");
+        assert_eq!(unsafe { cell.add(1).read() }, 555, "non-pointer word untouched");
+        // The rebased pointer dereferences to the original value.
+        let t = (unsafe { cell.read() } & !1) as *const u64;
+        assert_eq!(unsafe { t.read() }, 4242);
+        drop(heap);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn sweep_frees_unmarked_blocks() {
+        let path = tmp("sweep");
+        let heap = MappedHeap::create(&path, MIN_HEAP_BYTES).unwrap();
+        let keep = heap.alloc(32).unwrap();
+        heap.commit(keep);
+        let lost = heap.alloc(32).unwrap();
+        heap.commit(lost);
+        let mut live = HashSet::new();
+        live.insert(keep as usize);
+        assert_eq!(unsafe { heap.sweep_except(&live) }, 1);
+        // The swept block is reusable.
+        let again = heap.alloc(32).unwrap();
+        assert_eq!(again, lost);
+        drop(heap);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn mapped_nvm_counts_like_real() {
+        crate::tid::set_tid(0);
+        let before = stats::snapshot();
+        let w: PWord<MappedNvm> = PWord::new(9);
+        MappedNvm::pwb(&w);
+        MappedNvm::pbarrier(&w);
+        MappedNvm::psync();
+        assert_eq!(w.load(), 9);
+        let d = stats::snapshot().since(&before);
+        assert_eq!(d.pwb, 1);
+        assert_eq!(d.pbarrier, 1);
+        assert_eq!(d.psync, 1);
+    }
+}

@@ -13,6 +13,10 @@ pub trait Persist: Sized + Send + Sync + 'static {
     const NAME: &'static str;
     /// True for the crash simulator (enables extra bookkeeping in callers).
     const SIMULATED: bool = false;
+    /// True for the mapped (file-backed) backend: callers gate their
+    /// attach-time-only bookkeeping (e.g. release suspension during the
+    /// recovery replay) on this so every other model compiles it away.
+    const MAPPED: bool = false;
     /// Per-word metadata (empty except for the simulator).
     type Meta: Default + Send + Sync;
 
@@ -45,15 +49,15 @@ pub trait Persist: Sized + Send + Sync + 'static {
 }
 
 #[inline]
-fn raw_load<M: Persist>(w: &PWord<M>) -> u64 {
+pub(crate) fn raw_load<M: Persist>(w: &PWord<M>) -> u64 {
     w.v.load(Acquire)
 }
 #[inline]
-fn raw_store<M: Persist>(w: &PWord<M>, v: u64) {
+pub(crate) fn raw_store<M: Persist>(w: &PWord<M>, v: u64) {
     w.v.store(v, Release)
 }
 #[inline]
-fn raw_cas<M: Persist>(w: &PWord<M>, old: u64, new: u64) -> u64 {
+pub(crate) fn raw_cas<M: Persist>(w: &PWord<M>, old: u64, new: u64) -> u64 {
     match w.v.compare_exchange(old, new, SeqCst, SeqCst) {
         Ok(prev) => prev,
         Err(prev) => prev,

@@ -25,6 +25,14 @@
 //! simulated structure alive until [`reset`] is called, and (2) call
 //! [`reset`] after dropping them and before building new ones. The helpers
 //! in the test harness (`isb-bench::crash`) enforce this discipline.
+//!
+//! **The registry is process-global**: at most ONE crash-simulation session
+//! (structure lifetime + crash + [`build_crash_image`] + [`reset`]) may be
+//! active per process at a time. Two overlapping sessions would interleave
+//! their registered words, and `build_crash_image` would poke addresses the
+//! other session may already have freed — heap corruption, not a typed
+//! failure. Wrap every session in a [`begin_session`] guard: a second
+//! concurrent session then panics cleanly instead.
 
 use crate::persist::Persist;
 use crate::pword::{PWord, PersistWords};
@@ -62,6 +70,7 @@ struct Globals {
     seq: AtomicU64,
     crash_armed: AtomicBool,
     commit_locks: Vec<Mutex<()>>,
+    session_active: AtomicBool,
 }
 
 fn globals() -> &'static Globals {
@@ -72,7 +81,38 @@ fn globals() -> &'static Globals {
         seq: AtomicU64::new(1),
         crash_armed: AtomicBool::new(false),
         commit_locks: (0..64).map(|_| Mutex::new(())).collect(),
+        session_active: AtomicBool::new(false),
     })
+}
+
+/// RAII token for one exclusive crash-simulation session (see the module
+/// docs' registry contract). Dropping it resets the simulator.
+pub struct SimSession {
+    _private: (),
+}
+
+/// Claims the process-wide crash-simulation session. Panics — cleanly,
+/// before any registry state can interleave — if another session is already
+/// active: the registry is a process-global singleton, and two concurrent
+/// sessions would hand [`build_crash_image`] a mix of live and freed word
+/// addresses (silent heap corruption). The crash harness acquires this
+/// around every scenario; direct users of [`SimNvm`] structures should too.
+pub fn begin_session() -> SimSession {
+    let was_active = globals().session_active.swap(true, SeqCst);
+    assert!(
+        !was_active,
+        "a SimNvm crash-simulation session is already active in this process: \
+         the simulator registry is process-global, so concurrent sessions would \
+         corrupt build_crash_image (see nvm::sim's registry contract)"
+    );
+    SimSession { _private: () }
+}
+
+impl Drop for SimSession {
+    fn drop(&mut self) {
+        reset();
+        globals().session_active.store(false, SeqCst);
+    }
 }
 
 thread_local! {
@@ -363,6 +403,13 @@ pub fn registered_words() -> usize {
 
 /// Clears the registry and disarms crashes. Call after dropping all
 /// simulated structures and before building new ones.
+///
+/// # Single-session invariant
+/// `reset` assumes it tears down **the** process-wide session: it clears
+/// the whole global registry, so calling it while another thread's
+/// simulated structures are still live would unregister their words
+/// mid-scenario and desynchronize `build_crash_image`. Serialize sessions
+/// with [`begin_session`], which panics on overlap and resets on drop.
 pub fn reset() {
     let g = globals();
     g.registry.lock().unwrap().clear();
@@ -481,6 +528,17 @@ mod tests {
         w.store(3);
         assert_eq!(w.load(), 3);
         reset();
+    }
+
+    #[test]
+    fn concurrent_sessions_panic_cleanly() {
+        let _l = LOCK.lock().unwrap();
+        let s1 = begin_session();
+        let second = std::panic::catch_unwind(|| drop(begin_session()));
+        assert!(second.is_err(), "a second concurrent session must panic, not corrupt");
+        drop(s1);
+        // After the first session ends, a fresh one is fine again.
+        drop(begin_session());
     }
 
     #[test]

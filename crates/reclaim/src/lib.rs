@@ -20,6 +20,19 @@
 //!
 //! Each data structure owns its own `Collector`, so a stalled thread in one
 //! structure never blocks reclamation in another.
+//!
+//! ## Recycling rules (object pools)
+//!
+//! [`Guard::retire_ctx`] defers an arbitrary *recycle* action instead of a
+//! free: the `isb` object pools use it to route a retired descriptor/node
+//! back into a per-thread free list (or, under the mapped backend, back to
+//! the persistent arena). The contract is exactly that of a free — the
+//! action runs only after two global epoch advances, so an address re-enters
+//! circulation no earlier than deallocation would have allowed, and the
+//! ABA argument for tagged info pointers carries over unchanged. Only
+//! *enabled* collectors accept `retire_ctx`; disabled (crash-sim) collectors
+//! park plain frees so [`Collector::take_parked`] can deduplicate them
+//! against the post-crash reachable set.
 
 #![warn(missing_docs)]
 

@@ -1,0 +1,128 @@
+//! `restart_kv` — true cross-process restart recovery on the mapped backend.
+//!
+//! The binary re-executes itself as a **child process** that attaches a
+//! file-backed `RHashMap` heap, inserts keys while journaling acks, and then
+//! dies abruptly (`std::process::abort`, no destructors, no flushes) with
+//! one operation deliberately left un-acked. The parent re-attaches the same
+//! heap file **from its own address space**, reads the attach-time recovery
+//! report, resolves the in-flight operation detectably, verifies no acked
+//! key was lost, and keeps using the recovered map.
+//!
+//! ```text
+//! cargo run --release -p isb-examples --bin restart_kv
+//! ```
+
+use isb::hashmap::RHashMap;
+use isb::recovery::Recovered;
+use nvm::MappedNvm;
+use std::path::{Path, PathBuf};
+
+const SHARDS: usize = 16;
+const HEAP_BYTES: usize = 16 * 1024 * 1024;
+
+fn scale(n: u64) -> u64 {
+    let div: u64 = std::env::var("ISB_EXAMPLE_SCALE_DIV")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1)
+        .max(1);
+    (n / div).max(8)
+}
+
+fn heap_path(dir: &Path) -> PathBuf {
+    dir.join("kv.heap")
+}
+
+/// Child: insert keys 1..=crash_at, journal each ack, then die mid-flight —
+/// key `crash_at + 1` is inserted but never acked.
+fn child(dir: &Path, total: u64) {
+    nvm::tid::set_tid(0);
+    let (map, _) = RHashMap::<MappedNvm, false>::attach_sized(heap_path(dir), SHARDS, HEAP_BYTES)
+        .expect("child attach");
+    let crash_at = total / 2;
+    let mut acked = Vec::new();
+    for k in 1..=crash_at {
+        map.note_invocation(0);
+        assert!(map.insert(0, k));
+        acked.push(k.to_string());
+    }
+    std::fs::write(dir.join("acked"), acked.join("\n")).unwrap();
+    // One more insert, never acked: the op the parent must resolve.
+    map.note_invocation(0);
+    assert!(map.insert(0, crash_at + 1));
+    // Crash: no Drop runs, no flush happens, the process just dies.
+    std::process::abort();
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if args.get(1).map(String::as_str) == Some("child") {
+        child(Path::new(&args[2]), args[3].parse().unwrap());
+        return;
+    }
+
+    let total = scale(2000);
+    let crash_at = total / 2;
+    let dir = std::env::temp_dir().join(format!("isb_restart_kv_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+
+    println!("phase 1: child process fills the mapped KV store, then crashes hard");
+    let status = std::process::Command::new(std::env::current_exe().unwrap())
+        .args(["child", dir.to_str().unwrap(), &total.to_string()])
+        .stdout(std::process::Stdio::null())
+        .stderr(std::process::Stdio::null())
+        .status()
+        .expect("spawn child");
+    assert!(!status.success(), "the child is supposed to die abruptly");
+    println!("  child died (status: {status}) with one operation in flight");
+
+    println!("phase 2: parent re-attaches {} and recovers", heap_path(&dir).display());
+    nvm::tid::set_tid(0);
+    let (mut map, summary) =
+        RHashMap::<MappedNvm, false>::attach_sized(heap_path(&dir), SHARDS, HEAP_BYTES)
+            .expect("parent attach");
+    println!(
+        "  attach epoch {}, relocated: {}, torn blocks poisoned: {}, leaked blocks swept: {}",
+        summary.heap.attach_epoch, summary.heap.relocated, summary.heap.poisoned, summary.swept
+    );
+
+    // Every acked key must be present.
+    let acked: Vec<u64> = std::fs::read_to_string(dir.join("acked"))
+        .unwrap()
+        .lines()
+        .map(|l| l.parse().unwrap())
+        .collect();
+    for &k in &acked {
+        assert!(map.find(0, k), "acked key {k} lost");
+    }
+    println!("  no acked key lost ({} acked inserts verified)", acked.len());
+
+    // The in-flight insert of `crash_at + 1` is detectably resolved.
+    match summary.decision(0) {
+        Recovered::Completed(res) => {
+            println!(
+                "  in-flight insert({}) recovered as Completed(res={res}): it took effect",
+                crash_at + 1
+            );
+            assert!(map.find(0, crash_at + 1));
+        }
+        Recovered::Restart => {
+            println!("  in-flight insert({}) recovered as Restart: re-invoking", crash_at + 1);
+            assert!(map.insert(0, crash_at + 1));
+        }
+    }
+
+    println!("phase 3: the recovered store keeps serving");
+    for k in crash_at + 2..=total {
+        assert!(map.insert(0, k));
+    }
+    let keys = map.snapshot_keys();
+    assert_eq!(keys, (1..=total).collect::<Vec<u64>>());
+    map.check_invariants();
+    println!("  final store holds {} keys, invariants OK", keys.len());
+
+    drop(map);
+    let _ = std::fs::remove_dir_all(&dir);
+    println!("restart_kv: cross-process recovery complete");
+}

@@ -41,6 +41,13 @@ fn kv_index_runs() {
 }
 
 #[test]
+fn restart_kv_runs() {
+    let out = run_example(env!("CARGO_BIN_EXE_restart_kv"), &[]);
+    assert!(out.contains("no acked key lost"), "unexpected output:\n{out}");
+    assert!(out.contains("cross-process recovery complete"), "unexpected output:\n{out}");
+}
+
+#[test]
 fn pipeline_runs() {
     let out = run_example(env!("CARGO_BIN_EXE_pipeline"), &[]);
     assert!(out.contains("reconciled total"), "unexpected output:\n{out}");

@@ -1,0 +1,270 @@
+//! Attach-time corruption matrix for the mapped backend: every damaged-image
+//! shape must fail with a **typed** `MapError` — never undefined behaviour —
+//! and the benign torn states must heal. Complements the in-crate roundtrip
+//! tests (`isb::hashmap`/`isb::queue`) and the cross-process SIGKILL harness
+//! (`restart.rs`).
+
+use isb::hashmap::RHashMap;
+use nvm::mapped::MappedHeap;
+use nvm::{MapError, MappedNvm};
+use std::path::PathBuf;
+
+const SHARDS: usize = 4;
+const HEAP_BYTES: usize = 2 * 1024 * 1024;
+
+fn tmp(name: &str) -> PathBuf {
+    let p = std::env::temp_dir().join(format!(
+        "isb_corrupt_{}_{}_{name}.heap",
+        std::process::id(),
+        std::time::SystemTime::now().duration_since(std::time::UNIX_EPOCH).unwrap().subsec_nanos()
+    ));
+    let _ = std::fs::remove_file(&p);
+    p
+}
+
+/// Builds a populated map heap at `path` and detaches cleanly.
+fn mk_map(path: &PathBuf) {
+    nvm::tid::set_tid(0);
+    let (map, s) = RHashMap::<MappedNvm, false>::attach_sized(path, SHARDS, HEAP_BYTES).unwrap();
+    assert!(s.heap.created);
+    for k in 1..=128u64 {
+        assert!(map.insert(0, k));
+    }
+}
+
+/// Overwrites `bytes` at `offset` in the heap file.
+fn patch(path: &PathBuf, offset: u64, bytes: &[u8]) {
+    use std::io::{Seek, SeekFrom, Write};
+    let mut f = std::fs::OpenOptions::new().write(true).open(path).unwrap();
+    f.seek(SeekFrom::Start(offset)).unwrap();
+    f.write_all(bytes).unwrap();
+}
+
+fn read_at(path: &PathBuf, offset: u64) -> u64 {
+    use std::io::{Read, Seek, SeekFrom};
+    let mut f = std::fs::File::open(path).unwrap();
+    f.seek(SeekFrom::Start(offset)).unwrap();
+    let mut b = [0u8; 8];
+    f.read_exact(&mut b).unwrap();
+    u64::from_le_bytes(b)
+}
+
+fn read_word(path: &PathBuf, word: u64) -> u64 {
+    read_at(path, word * 8)
+}
+
+fn attach(path: &PathBuf) -> Result<(), MapError> {
+    RHashMap::<MappedNvm, false>::attach_sized(path, SHARDS, HEAP_BYTES).map(|_| ())
+}
+
+#[test]
+fn truncated_file_fails_typed() {
+    let path = tmp("trunc");
+    mk_map(&path);
+    let f = std::fs::OpenOptions::new().write(true).open(&path).unwrap();
+    f.set_len(HEAP_BYTES as u64 / 2).unwrap();
+    drop(f);
+    match attach(&path) {
+        Err(MapError::Truncated { expected, found }) => {
+            assert_eq!(expected, HEAP_BYTES as u64);
+            assert_eq!(found, HEAP_BYTES as u64 / 2);
+        }
+        Err(e) => panic!("expected Truncated, got {e}"),
+        Ok(()) => panic!("truncated heap must not attach"),
+    }
+    // Sub-superblock truncation as well.
+    let f = std::fs::OpenOptions::new().write(true).open(&path).unwrap();
+    f.set_len(100).unwrap();
+    drop(f);
+    assert!(matches!(attach(&path), Err(MapError::Truncated { .. })));
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn wrong_magic_fails_typed() {
+    let path = tmp("magic");
+    mk_map(&path);
+    patch(&path, 0, &0xBAD0_BAD0_BAD0_BAD0u64.to_le_bytes());
+    match attach(&path) {
+        Err(MapError::BadMagic(m)) => assert_eq!(m, 0xBAD0_BAD0_BAD0_BAD0),
+        Err(e) => panic!("expected BadMagic, got {e}"),
+        Ok(()) => panic!("bad magic must not attach"),
+    }
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn wrong_version_fails_typed() {
+    let path = tmp("version");
+    mk_map(&path);
+    patch(&path, 8, &99u64.to_le_bytes()); // word 1: version
+    match attach(&path) {
+        Err(MapError::BadVersion(v)) => assert_eq!(v, 99),
+        Err(e) => panic!("expected BadVersion, got {e}"),
+        Ok(()) => panic!("future version must not attach"),
+    }
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn invalid_base_fails_typed() {
+    let path = tmp("base");
+    mk_map(&path);
+    // Word 2: the recorded base. An unaligned/garbage base is rejected
+    // before anything is mapped.
+    patch(&path, 16, &0x0123_4567_u64.to_le_bytes());
+    assert!(matches!(attach(&path), Err(MapError::BadSuperblock(_))));
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn superblock_from_a_different_base_fails_typed_not_ub() {
+    let path = tmp("rebase");
+    mk_map(&path);
+    // Rewrite the recorded base to a *valid-looking but wrong* page-aligned
+    // address: the mapping then lands somewhere the structure's absolute
+    // pointers do not reference. The pre-recovery validation walk must turn
+    // this into a typed error instead of chasing wild pointers.
+    let old = read_word(&path, 2);
+    let wrong = old ^ 0x2000_0000_0000; // flip a high bit: stays aligned & canonical
+    patch(&path, 16, &wrong.to_le_bytes());
+    match attach(&path) {
+        Err(MapError::CorruptPointer { addr }) => {
+            // The first out-of-window pointer is reported verbatim.
+            assert_ne!(addr, 0);
+        }
+        // If the kernel could not map at `wrong` either, the relocation
+        // pass rebases *relative to the recorded base*, which scrambles the
+        // pointers the same way — still a typed CorruptPointer.
+        Err(e) => panic!("expected CorruptPointer, got {e}"),
+        Ok(()) => panic!("foreign-base superblock must not attach"),
+    }
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn pointer_at_mapping_end_fails_typed_not_oob() {
+    let path = tmp("oob");
+    mk_map(&path);
+    // Point the first bucket head at the very last 8-aligned address of the
+    // mapping: it is aligned and *starts* inside the arena, but reading a
+    // whole node there would run past the mapping end. The span-aware
+    // validation must reject it before any dereference.
+    let base = read_word(&path, 2);
+    let size = read_word(&path, 3);
+    let heads_off = {
+        // Scan the root directory (words 16..) for the HEADS key.
+        let mut off = None;
+        for s in 0..16u64 {
+            if read_word(&path, 16 + 2 * s) == 0x4845_4144 {
+                off = Some(read_word(&path, 16 + 2 * s + 1));
+            }
+        }
+        off.expect("heads root registered")
+    };
+    patch(&path, heads_off, &(base + size - 8).to_le_bytes());
+    match attach(&path) {
+        Err(MapError::CorruptPointer { addr }) => assert_eq!(addr, base + size - 8),
+        Err(e) => panic!("expected CorruptPointer, got {e}"),
+        Ok(()) => panic!("end-of-mapping pointer must not attach"),
+    }
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn bitmap_overlapping_data_region_fails_typed() {
+    let path = tmp("bmfit");
+    mk_map(&path);
+    // Shrink the recorded data offset to the superblock page: the commit
+    // bitmap would then overlap the data region, and bm_set/bm_clear would
+    // silently scribble over block payloads. Must be a typed error.
+    patch(&path, 6 * 8, &4096u64.to_le_bytes());
+    assert!(matches!(attach(&path), Err(MapError::BadSuperblock(_))));
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn torn_bitmap_fails_typed() {
+    let path = tmp("bitmap");
+    mk_map(&path);
+    // The commit bitmap starts at word 7's offset (PAGE = 4096). Set a bit
+    // in the middle of a committed block's payload: a set bit with no
+    // committed header under it cannot arise from any crash ordering.
+    let bm_off = read_word(&path, 7);
+    // Granule 1 is the first block's payload (granule 0 is its header):
+    // set its bit on top of the legitimate ones.
+    let word0 = read_at(&path, bm_off);
+    patch(&path, bm_off, &(word0 | 0b10).to_le_bytes());
+    match attach(&path) {
+        Err(MapError::CorruptBitmap { granule }) => assert_eq!(granule, 1),
+        Err(e) => panic!("expected CorruptBitmap, got {e}"),
+        Ok(()) => panic!("torn bitmap must not attach"),
+    }
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn committed_block_with_cleared_bit_fails_typed() {
+    let path = tmp("bitclear");
+    mk_map(&path);
+    // Clear the whole first bitmap word: every early committed block now has
+    // header COMMITTED but bit 0 — the other irreconcilable direction.
+    let bm_off = read_word(&path, 7);
+    patch(&path, bm_off, &0u64.to_le_bytes());
+    assert!(matches!(attach(&path), Err(MapError::CorruptBitmap { .. })));
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn smashed_block_header_fails_typed() {
+    let path = tmp("header");
+    mk_map(&path);
+    // First block header lives at data_off (superblock word 6).
+    let data_off = read_word(&path, 6);
+    patch(&path, data_off, &0xFFFF_FFFF_FFFF_FFFFu64.to_le_bytes());
+    match attach(&path) {
+        Err(MapError::CorruptHeader { granule }) => assert_eq!(granule, 0),
+        Err(e) => panic!("expected CorruptHeader, got {e}"),
+        Ok(()) => panic!("smashed header must not attach"),
+    }
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn wrong_structure_kind_fails_typed() {
+    let path = tmp("kind");
+    nvm::tid::set_tid(0);
+    // Create a QUEUE heap, then try to attach it as a map.
+    drop(isb::queue::RQueue::<MappedNvm, false>::attach_sized(&path, HEAP_BYTES).unwrap());
+    match attach(&path) {
+        Err(MapError::WrongKind { expected, found }) => {
+            assert_eq!(expected, isb::hashmap::KIND_MAP);
+            assert_eq!(found, isb::queue::KIND_QUEUE);
+        }
+        Err(e) => panic!("expected WrongKind, got {e}"),
+        Ok(()) => panic!("queue heap must not attach as a map"),
+    }
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn heap_level_torn_tail_is_poisoned_through_structure_attach() {
+    let path = tmp("torntail");
+    mk_map(&path);
+    {
+        // Re-open at heap level and abandon an uncommitted allocation —
+        // exactly the image a kill between `alloc` and `commit` leaves.
+        let heap = MappedHeap::attach(&path).unwrap();
+        let p = heap.alloc(192).unwrap();
+        unsafe { std::ptr::write_bytes(p, 0xAB, 192) };
+        // no commit
+    }
+    nvm::tid::set_tid(0);
+    let (mut map, s) = RHashMap::<MappedNvm, false>::attach_sized(&path, SHARDS, HEAP_BYTES)
+        .expect("torn tail must heal, not fail");
+    assert_eq!(s.heap.poisoned, 1, "exactly the abandoned block is poisoned");
+    assert_eq!(map.snapshot_keys(), (1..=128).collect::<Vec<u64>>());
+    map.check_invariants();
+    drop(map);
+    let _ = std::fs::remove_file(&path);
+}

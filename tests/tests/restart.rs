@@ -1,0 +1,387 @@
+//! True cross-process restart recovery: a child process hammers a mapped
+//! `RHashMap` with a write-ahead intent/ack journal, the parent `SIGKILL`s
+//! it mid-workload, re-attaches the heap **from the parent process**, and
+//! verifies
+//!
+//! 1. every **acked** operation is reflected in the recovered map (and its
+//!    acked response was correct at the time),
+//! 2. the at-most-one **unacked** in-flight operation per process is
+//!    *detectably* resolved: the attach-time Op-Recover replay either
+//!    reports `Completed(res)` (its durable response — applied to the
+//!    model) or `Restart` (it provably did not take effect — re-invoked),
+//! 3. a full equivalence pass against a `std::collections::HashMap` model
+//!    holds, plus the structural invariants.
+//!
+//! ## Journal protocol (per worker thread, one log file per pid)
+//!
+//! ```text
+//! note_invocation(pid)          // CP_q := 0, persisted — the "system" half
+//! write "S <seq> <op> <key>\n"  // intent record (one write syscall)
+//! res = map.op(pid, key)
+//! write "A <seq> <res>\n"       // ack record
+//! ```
+//!
+//! `note_invocation` *before* the intent record is what makes every kill
+//! point unambiguous: if the S record exists, `CP_q` was already cleared for
+//! this operation, so a recovery decision of `Completed` can only refer to
+//! *this* operation (never to the previous one), and `Restart` proves it
+//! did not take effect. If the S record is missing, the operation never ran.
+//!
+//! The child is this same test binary re-executed with `--exact
+//! restart_child_worker --include-ignored` and `ISB_RESTART_DIR` set.
+//!
+//! Seeds: `ISB_RESTART_SEEDS` (default 20) seeded kill points; every failure
+//! message includes the seed.
+
+use isb::hashmap::RHashMap;
+use isb::recovery::Recovered;
+use nvm::MappedNvm;
+use std::collections::HashMap;
+use std::fs::OpenOptions;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const SHARDS: usize = 8;
+const HEAP_BYTES: usize = 16 * 1024 * 1024;
+const WORKERS: usize = 3; // pids 1..=WORKERS, disjoint key ranges
+const KEYS_PER_WORKER: u64 = 1000;
+
+/// `RES_TRUE` of the result encoding (isb::engine::RES_TRUE).
+const RES_TRUE: u64 = 2;
+
+fn heap_path(dir: &Path) -> PathBuf {
+    dir.join("heap.img")
+}
+
+fn log_path(dir: &Path, pid: usize) -> PathBuf {
+    dir.join(format!("log_{pid}.txt"))
+}
+
+fn key_range(pid: usize) -> (u64, u64) {
+    let lo = 1 + (pid as u64 - 1) * KEYS_PER_WORKER;
+    (lo, lo + KEYS_PER_WORKER - 1)
+}
+
+/// Tiny deterministic PRNG (splitmix64) — keeps child and parent free of
+/// any shared-seed coupling beyond the seed value itself.
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+// ---------------------------------------------------------------------------
+// Child mode
+// ---------------------------------------------------------------------------
+
+/// The child workload. Ignored in normal runs; the parent spawns this test
+/// by name with `ISB_RESTART_DIR` set and kills it mid-loop.
+#[test]
+#[ignore = "child half of the restart harness; spawned by the parent test"]
+fn restart_child_worker() {
+    let Ok(dir) = std::env::var("ISB_RESTART_DIR") else { return };
+    let dir = PathBuf::from(dir);
+    let seed: u64 = std::env::var("ISB_RESTART_SEED").unwrap().parse().unwrap();
+
+    nvm::tid::set_tid(0);
+    let (map, _summary) =
+        RHashMap::<MappedNvm, false>::attach_sized(heap_path(&dir), SHARDS, HEAP_BYTES)
+            .expect("child attach");
+    let map = Arc::new(map);
+    // Signal readiness only once the heap is fully created.
+    std::fs::write(dir.join("ready"), b"ok").unwrap();
+
+    let handles: Vec<_> = (1..=WORKERS)
+        .map(|pid| {
+            let map = Arc::clone(&map);
+            let dir = dir.clone();
+            std::thread::spawn(move || {
+                nvm::tid::set_tid(pid);
+                let mut log =
+                    OpenOptions::new().create(true).append(true).open(log_path(&dir, pid)).unwrap();
+                let (lo, hi) = key_range(pid);
+                let mut rng = seed.wrapping_mul(31).wrapping_add(pid as u64);
+                let mut seq = 0u64;
+                loop {
+                    seq += 1;
+                    let key = lo + splitmix(&mut rng) % (hi - lo + 1);
+                    let op = match splitmix(&mut rng) % 10 {
+                        0..=3 => 'i',
+                        4..=6 => 'd',
+                        _ => 'f',
+                    };
+                    // System half of the invocation BEFORE the intent record
+                    // (see module docs).
+                    map.note_invocation(pid);
+                    log.write_all(format!("S {seq} {op} {key}\n").as_bytes()).unwrap();
+                    let res = match op {
+                        'i' => map.insert(pid, key),
+                        'd' => map.delete(pid, key),
+                        _ => map.find(pid, key),
+                    };
+                    log.write_all(format!("A {seq} {}\n", res as u8).as_bytes()).unwrap();
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        let _ = h.join(); // unreachable: the loop runs until SIGKILL
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Parent mode
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Op {
+    Insert,
+    Delete,
+    Find,
+}
+
+#[derive(Debug)]
+struct LogEntry {
+    seq: u64,
+    op: Op,
+    key: u64,
+    ack: Option<bool>,
+}
+
+/// Parses one pid's journal. Incomplete trailing lines (the kill landed
+/// mid-`write`) are ignored: a missing S means the op never ran; a missing
+/// A means the op is in flight.
+fn parse_log(path: &Path) -> Vec<LogEntry> {
+    let Ok(raw) = std::fs::read(path) else { return Vec::new() };
+    let text = String::from_utf8_lossy(&raw);
+    let mut entries: Vec<LogEntry> = Vec::new();
+    for line in text.split_inclusive('\n') {
+        if !line.ends_with('\n') {
+            break; // torn final record
+        }
+        let mut it = line.split_whitespace();
+        match it.next() {
+            Some("S") => {
+                let seq: u64 = it.next().unwrap().parse().unwrap();
+                let op = match it.next().unwrap() {
+                    "i" => Op::Insert,
+                    "d" => Op::Delete,
+                    _ => Op::Find,
+                };
+                let key: u64 = it.next().unwrap().parse().unwrap();
+                entries.push(LogEntry { seq, op, key, ack: None });
+            }
+            Some("A") => {
+                let seq: u64 = it.next().unwrap().parse().unwrap();
+                let res = it.next().unwrap() == "1";
+                let last = entries.last_mut().expect("A without S");
+                assert_eq!(last.seq, seq, "ack out of order in {path:?}");
+                last.ack = Some(res);
+            }
+            _ => panic!("malformed journal line {line:?} in {path:?}"),
+        }
+    }
+    entries
+}
+
+/// Applies `op` to the model; returns the expected (linearized) response.
+fn model_apply(model: &mut HashMap<u64, u64>, op: Op, key: u64, seq: u64) -> bool {
+    match op {
+        Op::Insert => model.insert(key, seq).is_none(),
+        Op::Delete => model.remove(&key).is_some(),
+        Op::Find => model.contains_key(&key),
+    }
+}
+
+fn run_one_seed(seed: u64) -> (u64, u64) {
+    let dir = std::env::temp_dir().join(format!("isb_restart_{}_{seed}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+
+    // Spawn the child: this test binary, child test only.
+    let mut child = std::process::Command::new(std::env::current_exe().unwrap())
+        .args(["--exact", "restart_child_worker", "--include-ignored", "--nocapture"])
+        .env("ISB_RESTART_DIR", &dir)
+        .env("ISB_RESTART_SEED", seed.to_string())
+        .stdout(std::process::Stdio::null())
+        .stderr(std::process::Stdio::null())
+        .spawn()
+        .expect("spawn child");
+
+    // Wait until the child created the heap, then let it run a seeded while.
+    let t0 = Instant::now();
+    while !dir.join("ready").exists() {
+        assert!(t0.elapsed() < Duration::from_secs(60), "seed {seed}: child never became ready");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    let kill_after = Duration::from_millis(30 + (seed * 37) % 170);
+    std::thread::sleep(kill_after);
+    child.kill().expect("SIGKILL child"); // SIGKILL on unix: no cleanup runs
+    child.wait().expect("reap child");
+
+    // Re-attach FROM THIS PROCESS and recover.
+    nvm::tid::set_tid(0);
+    let (mut map, summary) =
+        RHashMap::<MappedNvm, false>::attach_sized(heap_path(&dir), SHARDS, HEAP_BYTES)
+            .unwrap_or_else(|e| panic!("seed {seed}: parent attach failed: {e}"));
+
+    let mut union: HashMap<u64, u64> = HashMap::new();
+    let mut acked_ops = 0u64;
+    let mut inflight_ops = 0u64;
+    for pid in 1..=WORKERS {
+        let entries = parse_log(&log_path(&dir, pid));
+        let mut model: HashMap<u64, u64> = HashMap::new();
+        let n = entries.len();
+        for (i, e) in entries.iter().enumerate() {
+            match e.ack {
+                Some(res) => {
+                    // 1. Acked ops: the logged response must match the
+                    // sequential model of this pid's disjoint key range.
+                    let want = model_apply(&mut model, e.op, e.key, e.seq);
+                    assert_eq!(
+                        res, want,
+                        "seed {seed} pid {pid} seq {} ({:?} {}): acked response wrong",
+                        e.seq, e.op, e.key
+                    );
+                    acked_ops += 1;
+                }
+                None => {
+                    // 2. The in-flight op: must be the last record, and the
+                    // recovery decision resolves it detectably.
+                    assert_eq!(i, n - 1, "seed {seed} pid {pid}: unacked op not last");
+                    inflight_ops += 1;
+                    match summary.decision(pid) {
+                        Recovered::Completed(res) => {
+                            // The operation took effect; its durable response
+                            // must match the model exactly.
+                            let res = res == RES_TRUE;
+                            let want = model_apply(&mut model, e.op, e.key, e.seq);
+                            assert_eq!(
+                                res, want,
+                                "seed {seed} pid {pid} seq {} ({:?} {}): recovered response wrong",
+                                e.seq, e.op, e.key
+                            );
+                        }
+                        Recovered::Restart => {
+                            // The operation did not take effect: re-invoke it
+                            // with its original arguments (the paper's
+                            // re-invocation semantics) and then apply it.
+                            let res = match e.op {
+                                Op::Insert => map.insert(pid, e.key),
+                                Op::Delete => map.delete(pid, e.key),
+                                Op::Find => map.find(pid, e.key),
+                            };
+                            let want = model_apply(&mut model, e.op, e.key, e.seq);
+                            assert_eq!(
+                                res, want,
+                                "seed {seed} pid {pid} seq {} ({:?} {}): re-invoked response wrong",
+                                e.seq, e.op, e.key
+                            );
+                        }
+                    }
+                }
+            }
+        }
+        if entries.last().is_none_or(|e| e.ack.is_some()) {
+            // No op in flight for this pid. A `Completed` decision can then
+            // only name the last *published* (acked, mutating) operation —
+            // cross-check its durable response against the journal.
+            if let Recovered::Completed(res) = summary.decision(pid) {
+                let last_mut = entries.iter().rev().find(|e| e.op != Op::Find);
+                let logged = last_mut
+                    .unwrap_or_else(|| {
+                        panic!("seed {seed} pid {pid}: Completed with no mutating op logged")
+                    })
+                    .ack
+                    .unwrap();
+                assert_eq!(
+                    res == RES_TRUE,
+                    logged,
+                    "seed {seed} pid {pid}: stale Completed response diverges from journal"
+                );
+            }
+        }
+        union.extend(model);
+    }
+
+    // 3. Full equivalence pass against the std::HashMap model.
+    for pid in 1..=WORKERS {
+        let (lo, hi) = key_range(pid);
+        for k in lo..=hi {
+            assert_eq!(
+                map.find(0, k),
+                union.contains_key(&k),
+                "seed {seed}: equivalence diverges at key {k}"
+            );
+        }
+    }
+    let mut want: Vec<u64> = union.keys().copied().collect();
+    want.sort_unstable();
+    assert_eq!(map.snapshot_keys(), want, "seed {seed}: snapshot diverges from model");
+    map.check_invariants();
+
+    drop(map);
+    let _ = std::fs::remove_dir_all(&dir);
+    (acked_ops, inflight_ops)
+}
+
+/// The cross-process SIGKILL matrix: seeded kill points, zero lost acked
+/// ops, every in-flight op detectably resolved, full model equivalence.
+#[test]
+fn restart_sigkill_recovers_across_processes() {
+    let seeds: u64 =
+        std::env::var("ISB_RESTART_SEEDS").ok().and_then(|s| s.parse().ok()).unwrap_or(20);
+    let mut total_acked = 0;
+    let mut total_inflight = 0;
+    for seed in 0..seeds {
+        let (acked, inflight) = run_one_seed(seed);
+        total_acked += acked;
+        total_inflight += inflight;
+    }
+    println!(
+        "restart matrix: {seeds} kills, {total_acked} acked ops verified, \
+         {total_inflight} in-flight ops detectably resolved"
+    );
+    assert!(total_acked > 0, "no seed produced any acked work — kill timing broken");
+}
+
+/// Attach twice in a row without a crash: the second attach must be a
+/// no-op scrub — nothing poisoned, nothing swept, contents identical.
+#[test]
+fn reattach_is_idempotent() {
+    nvm::tid::set_tid(0);
+    let dir = std::env::temp_dir().join(format!("isb_reattach_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = heap_path(&dir);
+    {
+        let (map, _) =
+            RHashMap::<MappedNvm, false>::attach_sized(&path, SHARDS, HEAP_BYTES).unwrap();
+        for k in 1..=300u64 {
+            assert!(map.insert(0, k));
+        }
+        for k in (1..=300u64).step_by(2) {
+            assert!(map.delete(0, k));
+        }
+    }
+    let keys1 = {
+        let (mut map, s) =
+            RHashMap::<MappedNvm, false>::attach_sized(&path, SHARDS, HEAP_BYTES).unwrap();
+        assert_eq!(s.heap.poisoned, 0, "clean detach left torn blocks");
+        map.check_invariants();
+        map.snapshot_keys()
+    };
+    let (mut map, s) =
+        RHashMap::<MappedNvm, false>::attach_sized(&path, SHARDS, HEAP_BYTES).unwrap();
+    assert_eq!(s.heap.poisoned, 0);
+    assert_eq!(s.swept, 0, "second attach must have nothing left to sweep");
+    map.check_invariants();
+    assert_eq!(map.snapshot_keys(), keys1, "re-attach changed the contents");
+    assert_eq!(keys1, (2..=300).step_by(2).collect::<Vec<u64>>());
+    drop(map);
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -112,7 +112,7 @@ pub struct BenchmarkGroup<'c> {
 
 impl BenchmarkGroup<'_> {
     /// Accepted for API compatibility; the shim always takes
-    /// [`SHIM_SAMPLES`] samples.
+    /// `SHIM_SAMPLES` samples.
     pub fn sample_size(&mut self, _n: usize) -> &mut Self {
         self
     }
