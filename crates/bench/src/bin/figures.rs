@@ -93,7 +93,7 @@ fn parse_args() -> Opts {
 
 const ALL_FIGS: &[&str] = &[
     "fig1a", "fig1b", "fig1c", "fig1d", "fig1e", "fig1f", "fig3", "fig4", "fig5", "fig6", "fig7",
-    "fig8", "fig9", "fig10",
+    "fig8", "fig9", "fig10", "fig11",
 ];
 
 /// The list algorithms of the figures, by paper name.
@@ -514,6 +514,130 @@ impl Ctx {
         self.emit("fig10_throughput", &t_tp);
         let _ = std::fs::remove_dir_all(&dir);
     }
+
+    /// Multi-structure store — Figure 11 (beyond the paper): what the
+    /// catalog layer costs. (a) store attach latency as the number of
+    /// cataloged structures grows (the union census/sweep walks every
+    /// entry's live set), (b) per-structure throughput when a map and a
+    /// queue share ONE heap versus each owning a dedicated heap (shared
+    /// bump allocator + shared recovery area vs private ones).
+    fn fig11(&self) {
+        use isb::store::Store;
+        use nvm::MappedNvm;
+        use std::time::Instant;
+
+        nvm::tid::set_tid(nvm::MAX_PROCS - 1);
+        let pid = nvm::MAX_PROCS - 1;
+        let dir = std::env::temp_dir().join(format!("isb_fig11_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+
+        // (a) Attach latency vs catalog entries (4k-key map per entry).
+        let keys_per_entry = 4_000u64;
+        let mut t_attach = Table::new(
+            format!(
+                "Figure 11: store attach latency vs catalog entries \
+                 ({keys_per_entry} keys per entry, 8 shards each, 64 MiB heap)"
+            ),
+            vec![
+                "fill ms".into(),
+                "attach ms".into(),
+                "committed blocks".into(),
+                "swept blocks".into(),
+            ],
+        );
+        for &n in &[1usize, 2, 4, 8] {
+            let path = dir.join(format!("attach_{n}.heap"));
+            let _ = std::fs::remove_file(&path);
+            let t0 = Instant::now();
+            {
+                let store = Store::open(&path).unwrap();
+                for e in 0..n {
+                    let m = store.hashmap::<false>(&format!("m{e}"), 8).unwrap();
+                    for k in 1..=keys_per_entry {
+                        m.insert(pid, k);
+                    }
+                }
+            }
+            let fill_ms = t0.elapsed().as_secs_f64() * 1e3;
+            let t1 = Instant::now();
+            let store = Store::open(&path).unwrap();
+            let attach_ms = t1.elapsed().as_secs_f64() * 1e3;
+            let s = store.summary();
+            t_attach.row(
+                n.to_string(),
+                vec![fill_ms, attach_ms, s.heap.committed as f64, s.swept as f64],
+            );
+            drop(store);
+            let _ = std::fs::remove_file(&path);
+        }
+        self.emit("fig11_attach", &t_attach);
+
+        // (b) Shared vs dedicated heap throughput, per structure.
+        let range = 4096u64;
+        let mut t_tp = Table::new(
+            format!(
+                "Figure 11: shared-heap (store) vs dedicated-heap throughput \
+                 (Mops/s; map: 16 shards, keys [1,{range}], read-heavy; queue: 10k prefill)"
+            ),
+            vec![
+                "map shared".into(),
+                "map dedicated".into(),
+                "queue shared".into(),
+                "queue dedicated".into(),
+            ],
+        );
+        for &threads in &self.threads {
+            let cfg = SetCfg {
+                threads,
+                key_range: range,
+                mix: Mix::READ_INTENSIVE,
+                duration: self.dur,
+                seed: 42,
+            };
+            let qcfg = QueueCfg { threads, prefill: 10_000, duration: self.dur };
+            let (map_shared, queue_shared) = {
+                let path = dir.join(format!("shared_{threads}.heap"));
+                let _ = std::fs::remove_file(&path);
+                let store = Store::open(&path).unwrap();
+                let m = store.hashmap::<false>("users", 16).unwrap();
+                let q = store.queue::<false>("jobs").unwrap();
+                prefill_set(&*m, range, 7);
+                nvm::stats::reset();
+                let rm = run_set(Arc::clone(&m), cfg);
+                nvm::stats::reset();
+                let rq = run_queue(Arc::clone(&q), qcfg);
+                drop((m, q, store));
+                let _ = std::fs::remove_file(&path);
+                (rm.mops(), rq.mops())
+            };
+            let map_dedicated = {
+                let path = dir.join(format!("ded_map_{threads}.heap"));
+                let _ = std::fs::remove_file(&path);
+                let (map, _) = RHashMap::<MappedNvm, false>::attach(&path, 16).unwrap();
+                let map = Arc::new(map);
+                prefill_set(&*map, range, 7);
+                nvm::stats::reset();
+                let r = run_set(map, cfg);
+                let _ = std::fs::remove_file(&path);
+                r.mops()
+            };
+            let queue_dedicated = {
+                let path = dir.join(format!("ded_q_{threads}.heap"));
+                let _ = std::fs::remove_file(&path);
+                let (q, _) = RQueue::<MappedNvm, false>::attach(&path).unwrap();
+                nvm::stats::reset();
+                let r = run_queue(Arc::new(q), qcfg);
+                let _ = std::fs::remove_file(&path);
+                r.mops()
+            };
+            t_tp.row(
+                threads.to_string(),
+                vec![map_shared, map_dedicated, queue_shared, queue_dedicated],
+            );
+        }
+        self.emit("fig11_throughput", &t_tp);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
 }
 
 fn main() {
@@ -602,6 +726,7 @@ fn main() {
             "fig8" => ctx.fig8(),
             "fig9" => ctx.fig9(),
             "fig10" => ctx.fig10(),
+            "fig11" => ctx.fig11(),
             other => panic!("unknown figure {other}"),
         }
     }

@@ -26,10 +26,20 @@ use crate::counters;
 use crate::engine::{help, HelpOutcome, Info, InfoFill, RES_FALSE, RES_TRUE};
 use crate::optype;
 use crate::pool::{Pool, PoolCfg, PoolItem};
-use crate::recovery::{op_recover, RecArea, Recovered};
+use crate::recovery::{
+    attach_standalone, op_recover, release_prev, AttachEnv, AttachError, AttachSummary,
+    MappedLayout, RecArea, Recovered, SlotOps,
+};
 use crate::tag;
+use nvm::mapped::{MapError, MappedHeap, MappedNvm, DEFAULT_HEAP_BYTES};
 use nvm::{PWord, Persist, PersistWords};
 use reclaim::{Collector, Guard};
+use std::collections::{HashMap, HashSet};
+use std::path::Path;
+use std::sync::Arc;
+
+/// Superblock structure-kind tag of a mapped `RBst`.
+pub const KIND_BST: u64 = 4;
 
 /// `∞₁`: larger than every user key.
 pub const KEY_INF1: u64 = u64::MAX - 1;
@@ -116,6 +126,9 @@ pub struct RBst<M: Persist, const TUNED: bool = false> {
     collector: Collector,
     info_pool: Pool<Info<M>>,
     node_pool: Pool<Node<M>>,
+    /// Mapped mode: the persistent heap everything lives in (`Some`
+    /// suppresses drop-time teardown — the arena is the durable state).
+    mapped: Option<Arc<MappedHeap>>,
 }
 
 unsafe impl<M: Persist, const TUNED: bool> Send for RBst<M, TUNED> {}
@@ -156,7 +169,7 @@ impl<M: Persist, const TUNED: bool> RBst<M, TUNED> {
         let root = Node::alloc(KEY_INF2, inner as u64, r2 as u64, 0);
         let info_pool = Pool::new_for::<M>(pool.clone(), &collector);
         let node_pool = Pool::new_for::<M>(pool, &collector);
-        Self { root, rec: RecArea::new(), collector, info_pool, node_pool }
+        Self { root, rec: RecArea::new(), collector, info_pool, node_pool, mapped: None }
     }
 
     /// Draw a descriptor: pool hit, or heap in passthrough mode.
@@ -248,7 +261,7 @@ impl<M: Persist, const TUNED: bool> RBst<M, TUNED> {
         // ONE pin covers the whole operation (see set_core::insert).
         let g = self.collector.pin();
         let prev = self.rec.begin::<TUNED>(pid);
-        unsafe { Info::<M>::release(tag::ptr_of(prev), 1, &g) };
+        unsafe { release_prev::<M>(prev, &g) };
         let mut info = self.alloc_info();
         let mut published: u64 = 0;
         loop {
@@ -338,7 +351,7 @@ impl<M: Persist, const TUNED: bool> RBst<M, TUNED> {
         Self::assert_key(key);
         let g = self.collector.pin();
         let prev = self.rec.begin::<TUNED>(pid);
-        unsafe { Info::<M>::release(tag::ptr_of(prev), 1, &g) };
+        unsafe { release_prev::<M>(prev, &g) };
         let mut info = self.alloc_info();
         let mut published: u64 = 0;
         loop {
@@ -439,7 +452,9 @@ impl<M: Persist, const TUNED: bool> RBst<M, TUNED> {
         let g = self.collector.pin();
         let prev = self.rec.begin_readonly(pid);
         let info = self.alloc_info();
-        let mut published = prev;
+        // A DIRECT previous entry carries no descriptor reference to hand
+        // over (see `recovery::release_prev`).
+        let mut published = if tag::is_direct(prev) { 0 } else { prev };
         loop {
             let s = unsafe { self.search(key) };
             if tag::is_tagged(s.l_info) {
@@ -517,7 +532,15 @@ impl<M: Persist, const TUNED: bool> RBst<M, TUNED> {
     /// untag write-backs can roll back. Helping is idempotent, so eager
     /// re-helping can only untag/complete, never re-apply an effect.
     pub fn scrub(&self) {
-        for _ in 0..64 {
+        self.try_scrub().unwrap_or_else(|e| panic!("{e}"));
+    }
+
+    /// [`RBst::scrub`] with the pass budget surfaced as a typed
+    /// [`AttachError::ScrubStalled`] instead of a panic (the mapped attach
+    /// path).
+    pub fn try_scrub(&self) -> Result<(), AttachError> {
+        const PASSES: usize = 64;
+        for _ in 0..PASSES {
             let g = self.collector.pin();
             let mut dirty = false;
             // Iterative DFS: recursion depth is attacker-controlled here
@@ -537,10 +560,10 @@ impl<M: Persist, const TUNED: bool> RBst<M, TUNED> {
                 }
             }
             if !dirty {
-                return;
+                return Ok(());
             }
         }
-        panic!("scrub did not quiesce the tree after 64 passes");
+        Err(AttachError::ScrubStalled { kind: "bst", passes: PASSES })
     }
 
     /// Quiescent in-order snapshot of the user keys.
@@ -603,14 +626,173 @@ unsafe fn drop_info_raw<M: Persist>(p: *mut u8) {
     drop(unsafe { Box::from_raw(p as *mut Info<M>) });
 }
 
+impl<const TUNED: bool> RBst<MappedNvm, TUNED> {
+    /// Attaches (or creates) a detectably recoverable BST backed by the
+    /// file-backed persistent heap at `path`, running the generic restart
+    /// driver ([`crate::recovery::attach_standalone`]) on an existing heap.
+    /// The calling thread must be registered (`nvm::tid::set_tid`).
+    pub fn attach(path: impl AsRef<Path>) -> Result<(Self, AttachSummary), AttachError> {
+        Self::attach_sized(path, DEFAULT_HEAP_BYTES)
+    }
+
+    /// [`RBst::attach`] with an explicit heap size for creation.
+    pub fn attach_sized(
+        path: impl AsRef<Path>,
+        heap_bytes: usize,
+    ) -> Result<(Self, AttachSummary), AttachError> {
+        attach_standalone::<Self>(path.as_ref(), (), heap_bytes)
+    }
+
+    /// The persistent heap backing this tree.
+    pub fn heap(&self) -> &Arc<MappedHeap> {
+        self.mapped.as_ref().expect("mapped-mode tree")
+    }
+
+    /// Whole-node span check against the backing heap.
+    fn in_node(&self, a: u64) -> bool {
+        let heap = self.heap();
+        a & 7 == 0 && heap.contains_span(a as usize, std::mem::size_of::<Node<MappedNvm>>())
+    }
+}
+
+impl<const TUNED: bool> MappedLayout for RBst<MappedNvm, TUNED> {
+    const KIND: u64 = KIND_BST;
+    const KIND_NAME: &'static str = "bst";
+    type Cfg = ();
+
+    fn cfg_word(_cfg: ()) -> u64 {
+        0x42 | (TUNED as u64) << 32
+    }
+
+    fn root_bytes(_cfg: ()) -> usize {
+        8 // the root node's address
+    }
+
+    fn open(env: &AttachEnv, _cfg: (), root_blk: *mut u8) -> Result<Self, AttachError> {
+        let collector = Collector::new();
+        let info_pool = env.info_pool();
+        let node_pool = Pool::new_for::<MappedNvm>(env.pool_cfg(), &collector);
+        let root_w = root_blk as *mut u64;
+        // SAFETY: committed 8-byte root block, single-threaded attach.
+        let root = unsafe {
+            if root_w.read() == 0 {
+                // Fresh (or creation cut short — the root word is the last
+                // store, so re-running rebuilds the dummies; the abandoned
+                // blocks of a torn creation are swept once the heap attaches
+                // non-fresh). Same dummy shape as `with_config`.
+                let draw = |key: u64, left: u64, right: u64| {
+                    let p: *mut Node<MappedNvm> =
+                        node_pool.take().expect("arena pool always serves");
+                    (*p).init(key, left, right, 0);
+                    p
+                };
+                let l0 = draw(0, 0, 0);
+                let l1 = draw(KEY_INF1, 0, 0);
+                let inner = draw(KEY_INF1, l0 as u64, l1 as u64);
+                let r2 = draw(KEY_INF2, 0, 0);
+                let root = draw(KEY_INF2, inner as u64, r2 as u64);
+                root_w.write(root as u64);
+                MappedNvm::pbarrier(&*(root_w as *const nvm::PWord<MappedNvm>));
+                root
+            } else {
+                root_w.read() as *mut Node<MappedNvm>
+            }
+        };
+        Ok(Self {
+            root,
+            rec: env.rec_area(),
+            collector,
+            info_pool,
+            node_pool,
+            mapped: Some(Arc::clone(&env.heap)),
+        })
+    }
+}
+
+impl<const TUNED: bool> SlotOps for RBst<MappedNvm, TUNED> {
+    fn validate_image(&self, infos: &mut HashSet<u64>) -> Result<(), MapError> {
+        // Iterative DFS with a step budget (cycle guard); every node is
+        // dereferenced only after its whole span passed `in_node`.
+        let mut budget = self.heap().bump_granules() + 8;
+        if !self.in_node(self.root as u64) {
+            return Err(MapError::CorruptPointer { addr: self.root as u64 });
+        }
+        let mut stack = vec![self.root as u64];
+        while let Some(n) = stack.pop() {
+            if budget == 0 {
+                return Err(MapError::CorruptPointer { addr: n });
+            }
+            budget -= 1;
+            // SAFETY: span-validated before push.
+            unsafe {
+                let node = n as *mut Node<MappedNvm>;
+                let iv = tag::untagged((*node).info.load());
+                if iv != 0 {
+                    infos.insert(iv);
+                }
+                if (*node).is_leaf() {
+                    continue;
+                }
+                for child in [(*node).left.load(), (*node).right.load()] {
+                    if !self.in_node(child) {
+                        return Err(MapError::CorruptPointer { addr: child });
+                    }
+                    stack.push(child);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn valid_install(&self, addr: u64) -> bool {
+        self.in_node(addr)
+    }
+
+    fn try_scrub(&self) -> Result<(), AttachError> {
+        RBst::try_scrub(self)
+    }
+
+    unsafe fn census(&self, live: &mut HashSet<usize>, info_refs: &mut HashMap<usize, u32>) {
+        let mut stack = vec![self.root];
+        while let Some(n) = stack.pop() {
+            // SAFETY: quiescent exclusive access post-scrub (caller).
+            unsafe {
+                live.insert(n as usize);
+                let iv = tag::untagged((*n).info.load());
+                if iv != 0 {
+                    *info_refs.entry(iv as usize).or_insert(0) += 1;
+                }
+                if !(*n).is_leaf() {
+                    stack.push((*n).left.load() as *mut Node<MappedNvm>);
+                    stack.push((*n).right.load() as *mut Node<MappedNvm>);
+                }
+            }
+        }
+    }
+
+    fn each_cached(&mut self, f: &mut dyn FnMut(usize)) {
+        self.node_pool.each_idle(|p| f(p as usize));
+        self.info_pool.each_idle(|p| f(p as usize));
+    }
+
+    fn into_any(self: Box<Self>) -> Box<dyn std::any::Any + Send + Sync> {
+        self
+    }
+}
+
 impl<M: Persist, const TUNED: bool> Drop for RBst<M, TUNED> {
     fn drop(&mut self) {
+        if self.mapped.is_some() {
+            // Mapped mode: the arena is the durable state; pools return
+            // their caches to the persistent free list on drop.
+            return;
+        }
         // Same dedup-grave teardown as the list (crash images can resurrect
         // reachability of parked nodes).
         let mut grave: std::collections::HashMap<usize, unsafe fn(*mut u8)> =
             self.collector.take_parked().into_iter().map(|(p, f)| (p as usize, f)).collect();
         self.rec.each_published(|rd| {
-            if tag::untagged(rd) != 0 {
+            if !tag::is_direct(rd) && tag::untagged(rd) != 0 {
                 grave.insert(tag::untagged(rd) as usize, drop_info_raw::<M>);
             }
         });
@@ -787,5 +969,43 @@ mod tests {
         assert!(t.find(0, 42));
         assert!(t.recover_delete(0, 42));
         assert!(!t.find(0, 42));
+    }
+
+    #[test]
+    fn mapped_attach_bst_preserves_contents_across_detach() {
+        let _gate = crate::counters::gate_shared();
+        nvm::tid::set_tid(0);
+        let path = std::env::temp_dir().join(format!(
+            "isb_bst_{}_{}.heap",
+            std::process::id(),
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .unwrap()
+                .subsec_nanos()
+        ));
+        let _ = std::fs::remove_file(&path);
+        {
+            let (t, s) = RBst::<nvm::MappedNvm, false>::attach_sized(&path, 1 << 21).unwrap();
+            assert!(s.heap.created);
+            for k in [50u64, 20, 80, 10, 30, 70, 90, 25, 35] {
+                assert!(t.insert(0, k));
+            }
+            assert!(t.delete(0, 20));
+        }
+        {
+            let (mut t, s) = RBst::<nvm::MappedNvm, false>::attach_sized(&path, 1 << 21).unwrap();
+            assert!(!s.heap.created);
+            assert_eq!(s.heap.poisoned, 0, "clean detach leaves no torn blocks");
+            assert_eq!(t.snapshot_keys(), vec![10, 25, 30, 35, 50, 70, 80, 90]);
+            t.check_invariants();
+            assert!(t.insert(0, 60));
+            assert!(t.delete(0, 90));
+        }
+        {
+            let (mut t, _) = RBst::<nvm::MappedNvm, false>::attach_sized(&path, 1 << 21).unwrap();
+            assert_eq!(t.snapshot_keys(), vec![10, 25, 30, 35, 50, 60, 70, 80]);
+            t.check_invariants();
+        }
+        let _ = std::fs::remove_file(&path);
     }
 }

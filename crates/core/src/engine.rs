@@ -511,6 +511,30 @@ pub unsafe fn help<M: Persist, const TUNED: bool>(
             M::pwb(cell);
         }
         if res != expected && res != tagged_val {
+            // A foreign value. Two cases, discriminated by `result`
+            // (Algorithm 1's completion check):
+            //
+            // 1. `result` set ⇒ the operation ALREADY COMPLETED through a
+            //    helper: the helper finished tagging, ran the update, stored
+            //    the response, and its cleanup released this cell — which a
+            //    later operation then re-tagged. Pointer freshness makes the
+            //    discrimination sound: cell values never repeat, so a
+            //    genuine pre-completion conflict can never be followed by
+            //    the cell holding `expected`/our tag again, and the helper's
+            //    result store happens-before the cleanup release we are
+            //    reading through. Declaring failure here is the one
+            //    mistake an invoker must not make — it would re-initialize
+            //    its "never-published" nodes while they are reachable.
+            //    Re-run the idempotent cleanup (heals crash-resurrected
+            //    partial tags during scrub) and report completion.
+            // 2. `result` unset ⇒ the attempt genuinely failed: backtrack.
+            if M::load(&r.result) != RES_BOT {
+                cleanup::<M>(r, tagged_val, untagged_val, naffect, nnew, del_mask);
+                if !TUNED {
+                    M::psync();
+                }
+                return HelpOutcome::Done;
+            }
             // ---- Backtrack phase: untag the prefix, in reverse order ----
             let mut j = k;
             while j > 0 {
@@ -566,24 +590,41 @@ pub unsafe fn help<M: Persist, const TUNED: bool>(
     M::psync();
 
     // ---- Cleanup phase --------------------------------------------------
+    cleanup::<M>(r, tagged_val, untagged_val, naffect, nnew, del_mask);
+    if !TUNED {
+        M::psync();
+    }
+    HelpOutcome::Done
+}
+
+/// The idempotent cleanup phase of [`help`]: untag every affect/new cell
+/// still holding this operation's tag (deletion-tagged positions stay
+/// tagged forever, doubling as Harris mark bits). Shared by the normal
+/// epilogue and the completion-detected failure branch.
+fn cleanup<M: Persist>(
+    r: &Info<M>,
+    tagged_val: u64,
+    untagged_val: u64,
+    naffect: usize,
+    nnew: usize,
+    del_mask: u8,
+) {
     for k in 0..naffect {
         if del_mask & (1 << k) != 0 {
             continue; // deletion-tagged: stays tagged forever (mark bit)
         }
+        // SAFETY: descriptor cells stay live per the help() contract.
         let (cell, _) = unsafe { r.affect_at(k) };
         let _ = cell.cas(tagged_val, untagged_val);
         M::pwb(cell);
     }
     for n in 0..nnew {
         let cell = M::load(&r.newset[n]) as *const PWord<M>;
+        // SAFETY: as above.
         let cell = unsafe { &*cell };
         let _ = cell.cas(tagged_val, untagged_val);
         M::pwb(cell);
     }
-    if !TUNED {
-        M::psync();
-    }
-    HelpOutcome::Done
 }
 
 #[cfg(test)]
@@ -670,13 +711,55 @@ mod tests {
         assert_eq!(unsafe { help::<M, false>(info, true, &g) }, HelpOutcome::Done);
         w.store(777); // someone else moved the world on
 
-        // Re-execution (recovery): tag CAS on a0 fails (now untagged(info) ≠ 0),
-        // so help fails without re-running the write.
+        // Re-execution (recovery): the tag CAS on a0 fails (the cell now
+        // holds untagged(info) ≠ 0), and the completion check sees `result`
+        // set — the operation already took effect, so help reports Done
+        // WITHOUT re-running the write (Algorithm 1's completion check; an
+        // invoker that mistook this for failure would re-initialize nodes
+        // that are reachable).
         let out = unsafe { help::<M, false>(info, true, &g) };
-        assert_eq!(out, HelpOutcome::FailedAt(0));
+        assert_eq!(out, HelpOutcome::Done);
         assert_eq!(w.load(), 777, "idempotence: update not re-applied");
         assert_eq!(unsafe { &*info }.result.load(), RES_TRUE, "result survives");
         unsafe { Info::release(info, 3, &g) };
+    }
+
+    /// The completion check discriminates on `result`, not the cell value:
+    /// a *foreign* value (a later operation's tag over our released cell)
+    /// with `result` set is completion, with `result` unset it is failure.
+    #[test]
+    fn foreign_cell_value_is_completion_iff_result_set() {
+        let _gate = crate::counters::gate_shared();
+        let ctx = Ctx::new();
+        let g = ctx.c.pin();
+        // Completed op whose a0 was re-tagged by a later operation.
+        let a0 = cellv(0);
+        let a1 = cellv(0);
+        let w = cellv(100);
+        let info = unsafe { mk_info(&a0, 0, &a1, 0, &w, 100, 200, 0b10) };
+        assert_eq!(unsafe { help::<M, false>(info, true, &g) }, HelpOutcome::Done);
+        a0.store(0xF0F0); // later op's value in the released cell
+        w.store(777);
+        assert_eq!(
+            unsafe { help::<M, false>(info, true, &g) },
+            HelpOutcome::Done,
+            "foreign value + result set = the operation completed"
+        );
+        assert_eq!(w.load(), 777, "update not re-applied");
+        unsafe { Info::release(info, 3, &g) };
+
+        // Fresh op whose a0 changed before any tag landed: genuine failure.
+        let b0 = cellv(0xBAD0);
+        let b1 = cellv(0);
+        let w2 = cellv(100);
+        let info2 = unsafe { mk_info(&b0, 0, &b1, 0, &w2, 100, 200, 0) };
+        assert_eq!(
+            unsafe { help::<M, false>(info2, true, &g) },
+            HelpOutcome::FailedAt(0),
+            "foreign value + result unset = genuine failure"
+        );
+        assert_eq!(w2.load(), 100, "failed attempt applies nothing");
+        unsafe { Info::release(info2, 3, &g) };
     }
 
     #[test]

@@ -18,14 +18,13 @@
 //! cells and interact only through the shared recovery slots, which keep the
 //! single-pending-op discipline per process.
 
-use crate::engine::{with_release_suspended, RES_TRUE};
+use crate::engine::RES_TRUE;
 use crate::pool::PoolCfg;
 use crate::recovery::{
-    census_epilogue, mapped_attach_prologue, published_infos, replay_all, rootkeys, validate_infos,
-    AttachSummary, MappedPrologue, RecArea, Recovered,
+    attach_standalone, AttachEnv, AttachError, AttachSummary, MappedLayout, RecArea, Recovered,
+    SlotOps,
 };
 use crate::set_core::{self, Node, SetCore, SetPools};
-use crate::tag;
 use nvm::mapped::{MapError, MappedHeap, MappedNvm, DEFAULT_HEAP_BYTES};
 use nvm::Persist;
 use reclaim::Collector;
@@ -224,6 +223,15 @@ impl<M: Persist, const TUNED: bool> RHashMap<M, TUNED> {
         }
     }
 
+    /// [`RHashMap::scrub`] with the pass budget surfaced as a typed
+    /// [`AttachError`] instead of a panic (the mapped attach path).
+    pub fn try_scrub(&self) -> Result<(), AttachError> {
+        for shard in 0..self.heads.len() {
+            self.core_at(shard).try_scrub()?;
+        }
+        Ok(())
+    }
+
     /// Sorted snapshot of the user keys across all shards (requires
     /// exclusive access ⇒ quiescence).
     pub fn snapshot_keys(&mut self) -> Vec<u64> {
@@ -260,18 +268,10 @@ impl<const TUNED: bool> RHashMap<MappedNvm, TUNED> {
     /// file-backed persistent heap at `path`
     /// ([`nvm::mapped::DEFAULT_HEAP_BYTES`] on creation).
     ///
-    /// On an existing heap this runs the full restart-recovery sequence:
-    ///
-    /// 1. remap the arena ([`MappedHeap::attach`]: superblock validation,
-    ///    torn-tail poisoning, relocation fallback),
-    /// 2. replay the generic Op-Recover for every process id (the decisions
-    ///    are returned in the [`AttachSummary`] — `Completed(res)` carries
-    ///    the crashed operation's response, `Restart` means it provably did
-    ///    not take effect),
-    /// 3. [`RHashMap::scrub`] every shard to quiesce helping obligations,
-    /// 4. census + sweep: rebuild every live descriptor's reference count /
-    ///    owner, and garbage-collect blocks the dead process leaked (pool
-    ///    caches, limbo bags, unlinked allocations).
+    /// On an existing heap this runs the full restart-recovery sequence of
+    /// the generic driver ([`crate::recovery::attach_standalone`]): remap,
+    /// bounds-validated graph walk, per-pid Op-Recover replay (decisions in
+    /// the [`AttachSummary`]), scrub, census + sweep.
     ///
     /// The calling thread must be registered ([`nvm::tid::set_tid`]). One
     /// process attaches a heap at a time; `shards` and `TUNED` must match
@@ -279,7 +279,7 @@ impl<const TUNED: bool> RHashMap<MappedNvm, TUNED> {
     pub fn attach(
         path: impl AsRef<Path>,
         shards: usize,
-    ) -> Result<(Self, AttachSummary), MapError> {
+    ) -> Result<(Self, AttachSummary), AttachError> {
         Self::attach_sized(path, shards, DEFAULT_HEAP_BYTES)
     }
 
@@ -289,15 +289,51 @@ impl<const TUNED: bool> RHashMap<MappedNvm, TUNED> {
         path: impl AsRef<Path>,
         shards: usize,
         heap_bytes: usize,
-    ) -> Result<(Self, AttachSummary), MapError> {
+    ) -> Result<(Self, AttachSummary), AttachError> {
+        attach_standalone::<Self>(path.as_ref(), shards, heap_bytes)
+    }
+
+    /// The persistent heap backing this map.
+    pub fn heap(&self) -> &Arc<MappedHeap> {
+        self.mapped.as_ref().expect("mapped-mode map")
+    }
+
+    /// Whole-node span check against the backing heap.
+    fn in_node(&self, a: u64) -> bool {
+        let heap = self.heap();
+        a & 7 == 0 && heap.contains_span(a as usize, std::mem::size_of::<Node<MappedNvm>>())
+    }
+}
+
+impl<const TUNED: bool> MappedLayout for RHashMap<MappedNvm, TUNED> {
+    const KIND: u64 = KIND_MAP;
+    const KIND_NAME: &'static str = "hashmap";
+    type Cfg = usize; // shard count
+
+    fn validate_cfg(shards: usize) -> Result<(), AttachError> {
+        if shards.is_power_of_two() {
+            Ok(())
+        } else {
+            Err(AttachError::InvalidCfg {
+                kind: Self::KIND_NAME,
+                reason: format!("shard count must be a power of two, got {shards}"),
+            })
+        }
+    }
+
+    fn cfg_word(shards: usize) -> u64 {
+        shards as u64 | (TUNED as u64) << 32
+    }
+
+    fn root_bytes(shards: usize) -> usize {
+        shards * 8 // one bucket-head address per shard
+    }
+
+    fn open(env: &AttachEnv, shards: usize, root: *mut u8) -> Result<Self, AttachError> {
         assert!(shards.is_power_of_two(), "shard count must be a power of two, got {shards}");
-        let cfg_word = shards as u64 | (TUNED as u64) << 32;
-        let MappedPrologue { heap, rec, rec_ptr, meta_ptr, fresh } =
-            mapped_attach_prologue::<MappedNvm>(path.as_ref(), KIND_MAP, cfg_word, heap_bytes)?;
         let collector = Collector::new();
-        let pools = SetPools::new(PoolCfg::mapped(Arc::clone(&heap)), &collector);
-        let (heads_blk, _) = heap.root_alloc(rootkeys::HEADS, shards * 8)?;
-        let heads_w = heads_blk as *mut u64;
+        let pools = SetPools::with_shared_info(env.info_pool(), env.pool_cfg(), &collector);
+        let heads_w = root as *mut u64;
         let mut heads = Vec::with_capacity(shards);
         for i in 0..shards {
             // SAFETY: `shards`-word committed root block, single-threaded.
@@ -310,85 +346,52 @@ impl<const TUNED: bool> RHashMap<MappedNvm, TUNED> {
                 heads.push(b);
             }
         }
-        if !fresh {
-            // Pre-recovery validation of the untrusted image: no pointer is
-            // dereferenced by the replay/scrub/census below unless the whole
-            // object graph stays inside the mapping and terminates. This is
-            // what turns a tampered superblock (e.g. a rewritten base) into
-            // a typed error instead of undefined behaviour.
-            let in_node = |a: u64| {
-                a & 7 == 0 && heap.contains_span(a as usize, std::mem::size_of::<Node<MappedNvm>>())
-            };
-            let max_nodes = heap.bump_granules() + 4;
-            let mut infos: HashSet<u64> = HashSet::new();
-            for &head in heads.iter() {
-                // SAFETY: `in_node` guarantees whole-node spans inside the
-                // mapping for every dereference.
-                unsafe { set_core::validate_bucket(head, &in_node, max_nodes, &mut infos) }
-                    .map_err(|addr| MapError::CorruptPointer { addr })?;
-            }
-            infos.extend(published_infos(&rec));
-            validate_infos::<MappedNvm>(&heap, &infos, in_node)?;
-        }
         let shift = (64 - shards.trailing_zeros()).min(63);
-        let mut map = Self {
+        Ok(Self {
             heads: heads.into_boxed_slice(),
             shift,
-            rec,
+            rec: env.rec_area(),
             collector,
             pools,
-            mapped: Some(Arc::clone(&heap)),
-        };
-        let recovered = if fresh {
-            heap.set_kind(KIND_MAP);
-            Vec::new()
-        } else {
-            // Replay + scrub with refcount bookkeeping suspended: the counts
-            // the dead process persisted are recomputed from scratch below.
-            with_release_suspended(|| {
-                // SAFETY: quiescent single-threaded attach; every published
-                // descriptor lives in the arena (all Info allocation routes
-                // through the arena-backed pool).
-                let r = unsafe { replay_all::<MappedNvm, TUNED>(&map.rec, &map.collector) };
-                map.scrub();
-                r
-            })
-        };
-        // Census: the live set and the true reference count per descriptor.
-        let mut nodes = HashSet::new();
-        let mut info_refs: HashMap<usize, u32> = HashMap::new();
-        for &head in map.heads.iter() {
-            // SAFETY: quiescent exclusive access post-scrub.
-            unsafe { set_core::census_bucket(head, &mut nodes, &mut info_refs) };
+            mapped: Some(Arc::clone(&env.heap)),
+        })
+    }
+}
+
+impl<const TUNED: bool> SlotOps for RHashMap<MappedNvm, TUNED> {
+    fn validate_image(&self, infos: &mut HashSet<u64>) -> Result<(), MapError> {
+        let max_nodes = self.heap().bump_granules() + 4;
+        for &head in self.heads.iter() {
+            // SAFETY: `in_node` guarantees whole-node spans inside the
+            // mapping for every dereference.
+            unsafe { set_core::validate_bucket(head, &|a| self.in_node(a), max_nodes, infos) }
+                .map_err(|addr| MapError::CorruptPointer { addr })?;
         }
-        map.rec.each_published(|rd| {
-            let p = tag::untagged(rd) as usize;
-            if p != 0 {
-                *info_refs.entry(p).or_insert(0) += 1;
-            }
-        });
-        let owner = map.pools.info.handle();
-        let mut live = nodes;
-        live.insert(rec_ptr);
-        live.insert(meta_ptr);
-        live.insert(heads_blk as usize);
-        // Blocks sitting in this attach's own pool caches are live too.
-        map.pools.node.each_idle(|p| {
-            live.insert(p as usize);
-        });
-        map.pools.info.each_idle(|p| {
-            live.insert(p as usize);
-        });
-        // SAFETY: quiescent; `info_refs` holds the recomputed true counts
-        // (cells + RD slots), and `live` covers everything reachable from
-        // the roots plus this process's caches.
-        let swept = unsafe { census_epilogue::<MappedNvm>(&heap, &info_refs, owner, &mut live) };
-        Ok((map, AttachSummary { heap: *heap.report(), recovered, swept }))
+        Ok(())
     }
 
-    /// The persistent heap backing this map.
-    pub fn heap(&self) -> &Arc<MappedHeap> {
-        self.mapped.as_ref().expect("mapped-mode map")
+    fn valid_install(&self, addr: u64) -> bool {
+        self.in_node(addr)
+    }
+
+    fn try_scrub(&self) -> Result<(), AttachError> {
+        RHashMap::try_scrub(self)
+    }
+
+    unsafe fn census(&self, live: &mut HashSet<usize>, info_refs: &mut HashMap<usize, u32>) {
+        for &head in self.heads.iter() {
+            // SAFETY: quiescent exclusive access post-scrub (caller).
+            unsafe { set_core::census_bucket(head, live, info_refs) };
+        }
+    }
+
+    fn each_cached(&mut self, f: &mut dyn FnMut(usize)) {
+        self.pools.node.each_idle(|p| f(p as usize));
+        self.pools.info.each_idle(|p| f(p as usize));
+    }
+
+    fn into_any(self: Box<Self>) -> Box<dyn std::any::Any + Send + Sync> {
+        self
     }
 }
 
@@ -674,14 +677,14 @@ mod tests {
         drop(RHashMap::<nvm::MappedNvm, false>::attach_sized(&path, 8, 1 << 21).unwrap());
         // Different shard count.
         match RHashMap::<nvm::MappedNvm, false>::attach_sized(&path, 16, 1 << 21) {
-            Err(nvm::MapError::WrongKind { .. }) => {}
-            Err(e) => panic!("expected WrongKind, got {e}"),
+            Err(AttachError::CfgMismatch { .. }) => {}
+            Err(e) => panic!("expected CfgMismatch, got {e}"),
             Ok(_) => panic!("shard-count mismatch must fail"),
         }
         // Different tuning.
         match RHashMap::<nvm::MappedNvm, true>::attach_sized(&path, 8, 1 << 21) {
-            Err(nvm::MapError::WrongKind { .. }) => {}
-            Err(e) => panic!("expected WrongKind, got {e}"),
+            Err(AttachError::CfgMismatch { .. }) => {}
+            Err(e) => panic!("expected CfgMismatch, got {e}"),
             Ok(_) => panic!("tuning mismatch must fail"),
         }
         let _ = std::fs::remove_file(&path);

@@ -24,7 +24,11 @@
 //! * [`queue::RQueue`] — ISB-tracked MS-queue (paper §5 / supplementary B.2).
 //! * [`bst::RBst`] — detectably recoverable external BST (paper §6).
 //! * [`exchanger::RExchanger`] — detectably recoverable exchanger (paper §6).
-//! * [`stack::RStack`] — direct-tracked elimination stack (paper §1/§5).
+//! * [`stack::RStack`] — direct-tracked elimination stack (paper §1/§5):
+//!   `RD_q` announces *nodes* instead of descriptors, claim stamps
+//!   arbitrate pops across a crash.
+//! * [`store::Store`] — one mapped heap hosting many named structures
+//!   (catalog + shared recovery area + union census/sweep, DESIGN.md §11).
 //!
 //! ## Model parameters: `M` and `TUNED`
 //!
@@ -36,9 +40,10 @@
 //!   [`nvm::NoPersist`] is the private-cache model, [`nvm::SimNvm`] is the
 //!   adversarial crash simulator, and [`nvm::MappedNvm`] pairs real flushes
 //!   with a file-backed heap ([`nvm::mapped`]) so the structure survives an
-//!   actual process death — `RHashMap`/`RQueue` gain an `attach(path)`
-//!   constructor that remaps, replays Op-Recover per process, scrubs, and
-//!   garbage-collects crash leaks.
+//!   actual process death — **every** structure gains an `attach(path)`
+//!   constructor through the generic [`recovery::MappedLayout`] driver
+//!   (remap, Op-Recover replay per process, scrub, census + leak sweep),
+//!   and [`store::Store`] hosts many *named* structures in one heap.
 //! * `TUNED: bool` — the persistency *placement*. `false` is the paper's
 //!   general ROpt-ISB placement ("Isb"); `true` is the hand-tuned one
 //!   ("Isb-Opt"), which defers the durability of `CP_q := 1` and batches
@@ -82,6 +87,7 @@ pub mod queue;
 pub mod recovery;
 pub mod set_core;
 pub mod stack;
+pub mod store;
 pub mod tag;
 
 /// Operation type tags stored in Info descriptors (diagnostics only).

@@ -11,12 +11,22 @@
 
 use crate::engine::RES_TRUE;
 use crate::pool::PoolCfg;
-use crate::recovery::{RecArea, Recovered};
+use crate::recovery::{
+    attach_standalone, AttachEnv, AttachError, AttachSummary, MappedLayout, RecArea, Recovered,
+    SlotOps,
+};
 use crate::set_core::{self, SetCore, SetPools};
+use nvm::mapped::{MapError, MappedHeap, MappedNvm, DEFAULT_HEAP_BYTES};
 use nvm::Persist;
 use reclaim::Collector;
+use std::collections::{HashMap, HashSet};
+use std::path::Path;
+use std::sync::Arc;
 
 pub use crate::set_core::{Node, KEY_MAX, KEY_MIN};
+
+/// Superblock structure-kind tag of a mapped `RList`.
+pub const KIND_LIST: u64 = 3;
 
 /// Detectably recoverable sorted linked list. `TUNED = false` is the paper's
 /// general persistency placement ("Isb"); `TUNED = true` is the hand-tuned
@@ -52,6 +62,9 @@ pub struct RList<M: Persist, const TUNED: bool = false> {
     // the pools' free lists when the collector drains on drop.
     collector: Collector,
     pools: SetPools<M>,
+    /// Mapped mode: the persistent heap everything lives in (`Some`
+    /// suppresses drop-time teardown — the arena is the durable state).
+    mapped: Option<Arc<MappedHeap>>,
 }
 
 unsafe impl<M: Persist, const TUNED: bool> Send for RList<M, TUNED> {}
@@ -86,7 +99,7 @@ impl<M: Persist, const TUNED: bool> RList<M, TUNED> {
     /// New empty list with the given collector and pool configuration.
     pub fn with_config(collector: Collector, pool: PoolCfg) -> Self {
         let pools = SetPools::new(pool, &collector);
-        Self { head: set_core::new_bucket(), rec: RecArea::new(), collector, pools }
+        Self { head: set_core::new_bucket(), rec: RecArea::new(), collector, pools, mapped: None }
     }
 
     /// The list's collector (for diagnostics).
@@ -152,6 +165,12 @@ impl<M: Persist, const TUNED: bool> RList<M, TUNED> {
         self.core().scrub();
     }
 
+    /// [`RList::scrub`] with the pass budget surfaced as a typed
+    /// [`AttachError`] instead of a panic (the mapped attach path).
+    pub fn try_scrub(&self) -> Result<(), AttachError> {
+        self.core().try_scrub()
+    }
+
     /// Snapshot of the user keys (requires exclusive access ⇒ quiescence).
     pub fn snapshot_keys(&mut self) -> Vec<u64> {
         let mut out = Vec::new();
@@ -166,8 +185,113 @@ impl<M: Persist, const TUNED: bool> RList<M, TUNED> {
     }
 }
 
+impl<const TUNED: bool> RList<MappedNvm, TUNED> {
+    /// Attaches (or creates) a detectably recoverable sorted list backed by
+    /// the file-backed persistent heap at `path`, running the generic
+    /// restart driver ([`crate::recovery::attach_standalone`]) on an
+    /// existing heap. The calling thread must be registered
+    /// (`nvm::tid::set_tid`).
+    pub fn attach(path: impl AsRef<Path>) -> Result<(Self, AttachSummary), AttachError> {
+        Self::attach_sized(path, DEFAULT_HEAP_BYTES)
+    }
+
+    /// [`RList::attach`] with an explicit heap size for creation.
+    pub fn attach_sized(
+        path: impl AsRef<Path>,
+        heap_bytes: usize,
+    ) -> Result<(Self, AttachSummary), AttachError> {
+        attach_standalone::<Self>(path.as_ref(), (), heap_bytes)
+    }
+
+    /// The persistent heap backing this list.
+    pub fn heap(&self) -> &Arc<MappedHeap> {
+        self.mapped.as_ref().expect("mapped-mode list")
+    }
+
+    /// Whole-node span check against the backing heap.
+    fn in_node(&self, a: u64) -> bool {
+        let heap = self.heap();
+        a & 7 == 0 && heap.contains_span(a as usize, std::mem::size_of::<Node<MappedNvm>>())
+    }
+}
+
+impl<const TUNED: bool> MappedLayout for RList<MappedNvm, TUNED> {
+    const KIND: u64 = KIND_LIST;
+    const KIND_NAME: &'static str = "list";
+    type Cfg = ();
+
+    fn cfg_word(_cfg: ()) -> u64 {
+        0x4C | (TUNED as u64) << 32
+    }
+
+    fn root_bytes(_cfg: ()) -> usize {
+        8 // the bucket head's address
+    }
+
+    fn open(env: &AttachEnv, _cfg: (), root_blk: *mut u8) -> Result<Self, AttachError> {
+        let collector = Collector::new();
+        let pools = SetPools::with_shared_info(env.info_pool(), env.pool_cfg(), &collector);
+        let root_w = root_blk as *mut u64;
+        // SAFETY: committed 8-byte root block, single-threaded attach.
+        let head = unsafe {
+            if root_w.read() == 0 {
+                let b = set_core::new_bucket_in(&pools);
+                root_w.write(b as u64);
+                nvm::mapped::MappedNvm::pbarrier(&*(root_w as *const nvm::PWord<MappedNvm>));
+                b
+            } else {
+                root_w.read() as *mut Node<MappedNvm>
+            }
+        };
+        Ok(Self {
+            head,
+            rec: env.rec_area(),
+            collector,
+            pools,
+            mapped: Some(Arc::clone(&env.heap)),
+        })
+    }
+}
+
+impl<const TUNED: bool> SlotOps for RList<MappedNvm, TUNED> {
+    fn validate_image(&self, infos: &mut HashSet<u64>) -> Result<(), MapError> {
+        let max_nodes = self.heap().bump_granules() + 4;
+        // SAFETY: `in_node` guarantees whole-node spans inside the mapping
+        // for every dereference.
+        unsafe { set_core::validate_bucket(self.head, &|a| self.in_node(a), max_nodes, infos) }
+            .map_err(|addr| MapError::CorruptPointer { addr })
+    }
+
+    fn valid_install(&self, addr: u64) -> bool {
+        self.in_node(addr)
+    }
+
+    fn try_scrub(&self) -> Result<(), AttachError> {
+        RList::try_scrub(self)
+    }
+
+    unsafe fn census(&self, live: &mut HashSet<usize>, info_refs: &mut HashMap<usize, u32>) {
+        // SAFETY: quiescent exclusive access post-scrub (caller).
+        unsafe { set_core::census_bucket(self.head, live, info_refs) };
+    }
+
+    fn each_cached(&mut self, f: &mut dyn FnMut(usize)) {
+        self.pools.node.each_idle(|p| f(p as usize));
+        self.pools.info.each_idle(|p| f(p as usize));
+    }
+
+    fn into_any(self: Box<Self>) -> Box<dyn std::any::Any + Send + Sync> {
+        self
+    }
+}
+
 impl<M: Persist, const TUNED: bool> Drop for RList<M, TUNED> {
     fn drop(&mut self) {
+        if self.mapped.is_some() {
+            // Mapped mode: the arena is the durable state; pools return
+            // their caches to the persistent free list on drop.
+            return;
+        }
         // Quiescent teardown. After a simulated crash the NVM image may have
         // rolled pointers back, making *retired* (parked) nodes reachable
         // again — so the reachable scan and the collector's parked bag can
@@ -434,5 +558,50 @@ mod tests {
         assert!(list.recover_delete(0, 10));
         assert!(!list.find(0, 10));
         assert!(!list.recover_find(0, 10));
+    }
+
+    #[test]
+    fn mapped_attach_list_preserves_contents_across_detach() {
+        let _gate = crate::counters::gate_shared();
+        nvm::tid::set_tid(0);
+        let path = std::env::temp_dir().join(format!(
+            "isb_list_{}_{}.heap",
+            std::process::id(),
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .unwrap()
+                .subsec_nanos()
+        ));
+        let _ = std::fs::remove_file(&path);
+        {
+            let (list, s) = RList::<nvm::MappedNvm, false>::attach_sized(&path, 1 << 21).unwrap();
+            assert!(s.heap.created);
+            for k in 1..=120u64 {
+                assert!(list.insert(0, k));
+            }
+            for k in (1..=120u64).step_by(3) {
+                assert!(list.delete(0, k));
+            }
+        }
+        {
+            let (mut list, s) =
+                RList::<nvm::MappedNvm, false>::attach_sized(&path, 1 << 21).unwrap();
+            assert!(!s.heap.created);
+            assert_eq!(s.heap.poisoned, 0, "clean detach leaves no torn blocks");
+            for k in 1..=120u64 {
+                assert_eq!(list.find(0, k), k % 3 != 1, "key {k} after re-attach");
+            }
+            list.check_invariants();
+            assert!(list.insert(0, 1000));
+            assert!(list.delete(0, 2));
+        }
+        {
+            let (mut list, _) =
+                RList::<nvm::MappedNvm, false>::attach_sized(&path, 1 << 21).unwrap();
+            assert!(list.find(0, 1000));
+            assert!(!list.find(0, 2));
+            list.check_invariants();
+        }
+        let _ = std::fs::remove_file(&path);
     }
 }

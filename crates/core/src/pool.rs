@@ -110,9 +110,13 @@ impl PoolCfg {
     }
 }
 
-/// The shared pool state. Heap-allocated behind [`Pool`] so its address is
-/// stable across moves of the owning structure (retired garbage holds raw
-/// `PoolInner` pointers until the collector frees it).
+/// The shared pool state. Heap-allocated behind [`Pool`] (reference-counted,
+/// so clones of one pool — e.g. the Info pool a [`crate::store::Store`]
+/// shares across every structure in one heap — all feed the same free
+/// lists) so its address is stable across moves of the owning structure
+/// (retired garbage holds raw `PoolInner` pointers until the collector
+/// frees it; each structure's collector drops before its own pool clone,
+/// which keeps the inner alive through the drain).
 pub struct PoolInner<T: PoolItem> {
     /// Per-process free lists; each is touched only by its owning thread
     /// (same discipline as the reclamation slots).
@@ -163,15 +167,35 @@ impl<T: PoolItem> PoolInner<T> {
     }
 }
 
+impl<T: PoolItem> Drop for PoolInner<T> {
+    fn drop(&mut self) {
+        for l in &self.lists {
+            for p in unsafe { &mut *l.get() }.drain(..) {
+                // Mapped mode returns the idle objects to the arena's
+                // persistent free list (so the next attach sees them as
+                // FREE blocks); heap mode frees the boxes.
+                unsafe { self.dealloc(p) };
+            }
+        }
+    }
+}
+
 /// The EBR recycle hook: `ctx` is the `PoolInner` the object came from.
 unsafe fn recycle_thunk<T: PoolItem>(p: *mut u8, ctx: *mut u8) {
     unsafe { (*(ctx as *const PoolInner<T>)).recycle(p as *mut T) };
 }
 
-/// A per-thread, epoch-recycled object pool (see module docs).
+/// A per-thread, epoch-recycled object pool (see module docs). Clones share
+/// the same free lists (the underlying state is reference-counted).
 pub struct Pool<T: PoolItem> {
     /// `None` when pooling is off (passthrough mode).
-    inner: Option<Box<PoolInner<T>>>,
+    inner: Option<Arc<PoolInner<T>>>,
+}
+
+impl<T: PoolItem> Clone for Pool<T> {
+    fn clone(&self) -> Self {
+        Self { inner: self.inner.clone() }
+    }
 }
 
 impl<T: PoolItem> Pool<T> {
@@ -200,7 +224,7 @@ impl<T: PoolItem> Pool<T> {
     pub fn new(enabled: bool, capacity: usize) -> Self {
         Self {
             inner: enabled.then(|| {
-                Box::new(PoolInner {
+                Arc::new(PoolInner {
                     lists: (0..MAX_PROCS)
                         .map(|_| CachePadded::new(UnsafeCell::new(Vec::new())))
                         .collect(),
@@ -215,7 +239,7 @@ impl<T: PoolItem> Pool<T> {
     /// backend). Prefer [`Pool::new_for`] with [`PoolCfg::mapped`].
     pub fn with_arena(heap: Arc<MappedHeap>, capacity: usize) -> Self {
         Self {
-            inner: Some(Box::new(PoolInner {
+            inner: Some(Arc::new(PoolInner {
                 lists: (0..MAX_PROCS)
                     .map(|_| CachePadded::new(UnsafeCell::new(Vec::new())))
                     .collect(),
@@ -323,19 +347,24 @@ impl<T: PoolItem> Pool<T> {
 
     /// Objects currently waiting on free lists (diagnostics). `&mut self`
     /// because the per-thread lists are unsynchronized: reading them while
-    /// other threads take/give would be a data race, so exclusive access is
-    /// required, not merely recommended.
+    /// other threads take/give would be a data race, so quiescent exclusive
+    /// access (across every clone of this pool) is required, not merely
+    /// recommended.
     pub fn idle(&mut self) -> usize {
-        self.inner.as_deref_mut().map_or(0, |i| i.lists.iter_mut().map(|l| l.get_mut().len()).sum())
+        // SAFETY: quiescent exclusive access per the contract above.
+        self.inner
+            .as_deref()
+            .map_or(0, |i| i.lists.iter().map(|l| unsafe { (*l.get()).len() }).sum())
     }
 
     /// Visits every object currently idle on the free lists (`&mut self`
     /// for the same reason as [`Pool::idle`]). The mapped backend's attach
     /// uses this to keep cache-resident blocks out of its arena sweep.
     pub fn each_idle(&mut self, mut f: impl FnMut(*mut T)) {
-        if let Some(i) = self.inner.as_deref_mut() {
-            for l in i.lists.iter_mut() {
-                for &p in l.get_mut().iter() {
+        if let Some(i) = self.inner.as_deref() {
+            for l in i.lists.iter() {
+                // SAFETY: quiescent exclusive access per the contract above.
+                for &p in unsafe { &*l.get() }.iter() {
                     f(p);
                 }
             }
@@ -370,21 +399,6 @@ pub unsafe fn give_to<T: PoolItem>(owner: *const (), p: *mut T, g: &Guard<'_>) {
         unsafe { g.retire_box(p) };
     } else {
         unsafe { (*(owner as *const PoolInner<T>)).recycle(p) };
-    }
-}
-
-impl<T: PoolItem> Drop for Pool<T> {
-    fn drop(&mut self) {
-        if let Some(inner) = self.inner.as_deref() {
-            for l in &inner.lists {
-                for p in unsafe { &mut *l.get() }.drain(..) {
-                    // Mapped mode returns the idle objects to the arena's
-                    // persistent free list (so the next attach sees them as
-                    // FREE blocks); heap mode frees the boxes.
-                    unsafe { inner.dealloc(p) };
-                }
-            }
-        }
     }
 }
 

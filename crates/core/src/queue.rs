@@ -27,14 +27,13 @@
 
 use crate::counters;
 use crate::engine::{
-    help, res_val, val_of, with_release_suspended, HelpOutcome, Info, InfoFill, RES_EMPTY,
-    RES_UNIT, RES_VAL_BASE,
+    help, res_val, val_of, HelpOutcome, Info, InfoFill, RES_EMPTY, RES_UNIT, RES_VAL_BASE,
 };
 use crate::optype;
 use crate::pool::{Pool, PoolCfg, PoolItem};
 use crate::recovery::{
-    census_epilogue, mapped_attach_prologue, op_recover, published_infos, replay_all, rootkeys,
-    validate_infos, AttachSummary, MappedPrologue, RecArea, Recovered,
+    attach_standalone, op_recover, release_prev, AttachEnv, AttachError, AttachSummary,
+    MappedLayout, RecArea, Recovered, SlotOps,
 };
 use crate::tag;
 use nvm::mapped::{MapError, MappedHeap, MappedNvm, DEFAULT_HEAP_BYTES};
@@ -281,7 +280,7 @@ impl<M: Persist, const TUNED: bool> RQueue<M, TUNED> {
         // ONE pin covers the whole operation (see set_core::insert).
         let g = self.collector.pin();
         let prev = self.rec.begin::<TUNED>(pid);
-        unsafe { Info::<M>::release(tag::ptr_of(prev), 1, &g) };
+        unsafe { release_prev::<M>(prev, &g) };
         let newnd = self.alloc_node(v, 0, 0);
         let mut info = self.alloc_info();
         let mut filled: u64 = 0;
@@ -349,7 +348,7 @@ impl<M: Persist, const TUNED: bool> RQueue<M, TUNED> {
     pub fn dequeue(&self, pid: usize) -> Option<u64> {
         let g = self.collector.pin();
         let prev = self.rec.begin::<TUNED>(pid);
-        unsafe { Info::<M>::release(tag::ptr_of(prev), 1, &g) };
+        unsafe { release_prev::<M>(prev, &g) };
         let mut info = self.alloc_info();
         let mut published: u64 = 0;
         loop {
@@ -493,9 +492,18 @@ impl<M: Persist, const TUNED: bool> RQueue<M, TUNED> {
     /// on every tagged info reachable from the anchor or the sentinel chain
     /// until a full pass finds none (the queue-side analogue of
     /// [`crate::set_core::SetCore::scrub`]). Call after every process ran
-    /// its `recover_*` (the mapped backend's attach does).
+    /// its `recover_*` (the mapped backend's attach does, via
+    /// [`RQueue::try_scrub`] so a non-quiescing image surfaces as a typed
+    /// [`AttachError`] instead of killing the recovering process).
     pub fn scrub(&self) {
-        for _ in 0..64 {
+        self.try_scrub().unwrap_or_else(|e| panic!("{e}"));
+    }
+
+    /// [`RQueue::scrub`] with the pass budget surfaced as a typed
+    /// [`AttachError::ScrubStalled`] instead of a panic.
+    pub fn try_scrub(&self) -> Result<(), AttachError> {
+        const PASSES: usize = 64;
+        for _ in 0..PASSES {
             let g = self.collector.pin();
             let mut dirty = false;
             unsafe {
@@ -515,10 +523,10 @@ impl<M: Persist, const TUNED: bool> RQueue<M, TUNED> {
                 }
             }
             if !dirty {
-                return;
+                return Ok(());
             }
         }
-        panic!("scrub did not quiesce the queue after 64 passes");
+        Err(AttachError::ScrubStalled { kind: "queue", passes: PASSES })
     }
 
     /// The *system* half of an invocation (`CP_q := 0`, persisted) — see
@@ -565,10 +573,11 @@ unsafe fn drop_info_raw<M: Persist>(p: *mut u8) {
 impl<const TUNED: bool> RQueue<MappedNvm, TUNED> {
     /// Attaches (or creates) a detectably recoverable queue backed by the
     /// file-backed persistent heap at `path`. Same recovery sequence as
-    /// [`crate::hashmap::RHashMap::attach`] — remap, per-pid Op-Recover
-    /// replay, [`RQueue::scrub`], tail-hint heal, census + sweep. The
-    /// calling thread must be registered (`nvm::tid::set_tid`).
-    pub fn attach(path: impl AsRef<Path>) -> Result<(Self, AttachSummary), MapError> {
+    /// [`crate::hashmap::RHashMap::attach`] — the generic driver
+    /// ([`crate::recovery::attach_standalone`]) runs remap, per-pid
+    /// Op-Recover replay, [`RQueue::try_scrub`], tail-hint heal, census +
+    /// sweep. The calling thread must be registered (`nvm::tid::set_tid`).
+    pub fn attach(path: impl AsRef<Path>) -> Result<(Self, AttachSummary), AttachError> {
         Self::attach_sized(path, DEFAULT_HEAP_BYTES)
     }
 
@@ -576,17 +585,40 @@ impl<const TUNED: bool> RQueue<MappedNvm, TUNED> {
     pub fn attach_sized(
         path: impl AsRef<Path>,
         heap_bytes: usize,
-    ) -> Result<(Self, AttachSummary), MapError> {
-        let cfg_word = 0x51 | (TUNED as u64) << 32;
-        let MappedPrologue { heap, rec, rec_ptr, meta_ptr, fresh } =
-            mapped_attach_prologue::<MappedNvm>(path.as_ref(), KIND_QUEUE, cfg_word, heap_bytes)?;
+    ) -> Result<(Self, AttachSummary), AttachError> {
+        attach_standalone::<Self>(path.as_ref(), (), heap_bytes)
+    }
+
+    /// The persistent heap backing this queue.
+    pub fn heap(&self) -> &Arc<MappedHeap> {
+        self.mapped.as_ref().expect("mapped-mode queue")
+    }
+
+    /// Whole-node span check against the backing heap.
+    fn in_node(&self, a: u64) -> bool {
+        let heap = self.heap();
+        a & 7 == 0 && heap.contains_span(a as usize, std::mem::size_of::<Node<MappedNvm>>())
+    }
+}
+
+impl<const TUNED: bool> MappedLayout for RQueue<MappedNvm, TUNED> {
+    const KIND: u64 = KIND_QUEUE;
+    const KIND_NAME: &'static str = "queue";
+    type Cfg = ();
+
+    fn cfg_word(_cfg: ()) -> u64 {
+        0x51 | (TUNED as u64) << 32
+    }
+
+    fn root_bytes(_cfg: ()) -> usize {
+        std::mem::size_of::<Anchor<MappedNvm>>()
+    }
+
+    fn open(env: &AttachEnv, _cfg: (), root: *mut u8) -> Result<Self, AttachError> {
         let collector = Collector::new();
-        let pool_cfg = PoolCfg::mapped(Arc::clone(&heap));
-        let info_pool = Pool::new_for::<MappedNvm>(pool_cfg.clone(), &collector);
-        let node_pool = Pool::new_for::<MappedNvm>(pool_cfg, &collector);
-        let (anchor_blk, _) =
-            heap.root_alloc(rootkeys::ANCHOR, std::mem::size_of::<Anchor<MappedNvm>>())?;
-        let anchor = anchor_blk as *const Anchor<MappedNvm>;
+        let info_pool = env.info_pool();
+        let node_pool = Pool::new_for::<MappedNvm>(env.pool_cfg(), &collector);
+        let anchor = root as *const Anchor<MappedNvm>;
         // SAFETY: zeroed-on-creation committed root block of Anchor size.
         unsafe {
             if (*anchor).ptr.peek() == 0 {
@@ -598,111 +630,96 @@ impl<const TUNED: bool> RQueue<MappedNvm, TUNED> {
                 MappedNvm::pbarrier_obj(&*anchor);
             }
         }
-        if !fresh {
-            // Pre-recovery validation of the untrusted image (see
-            // RHashMap::attach_sized): no dereference below leaves the
-            // mapping (whole-node spans), and the chain must terminate.
-            let in_node = |a: u64| {
-                a & 7 == 0 && heap.contains_span(a as usize, std::mem::size_of::<Node<MappedNvm>>())
-            };
-            let mut budget = heap.bump_granules() + 4;
-            let mut infos: HashSet<u64> = HashSet::new();
-            // SAFETY: anchor is a committed root block; every node is
-            // dereferenced only after its whole span passed in_node.
-            unsafe {
-                let hv = tag::untagged((*anchor).info.load());
-                if hv != 0 {
-                    infos.insert(hv);
-                }
-                let mut n = (*anchor).ptr.load();
-                if !in_node(n) {
-                    return Err(MapError::CorruptPointer { addr: n });
-                }
-                loop {
-                    if budget == 0 {
-                        return Err(MapError::CorruptPointer { addr: n });
-                    }
-                    budget -= 1;
-                    let node = n as *mut Node<MappedNvm>;
-                    let iv = tag::untagged((*node).info.load());
-                    if iv != 0 {
-                        infos.insert(iv);
-                    }
-                    let next = (*node).next.load();
-                    if next == 0 {
-                        break;
-                    }
-                    if !in_node(next) {
-                        return Err(MapError::CorruptPointer { addr: next });
-                    }
-                    n = next;
-                }
-            }
-            infos.extend(published_infos(&rec));
-            validate_infos::<MappedNvm>(&heap, &infos, in_node)?;
-        }
         let tail0 = unsafe { (*anchor).ptr.peek() };
-        let mut q = Self {
+        Ok(Self {
             head: AnchorStore::Arena(anchor),
             tail: PWord::new(tail0),
-            rec,
+            rec: env.rec_area(),
             collector,
             info_pool,
             node_pool,
-            mapped: Some(Arc::clone(&heap)),
-        };
-        let recovered = if fresh {
-            heap.set_kind(KIND_QUEUE);
-            Vec::new()
-        } else {
-            with_release_suspended(|| {
-                // SAFETY: quiescent single-threaded attach; published
-                // descriptors live in the arena.
-                let r = unsafe { replay_all::<MappedNvm, TUNED>(&q.rec, &q.collector) };
-                q.scrub();
-                r
-            })
-        };
-        q.heal_tail();
-        // Census + sweep (see RHashMap::attach_sized).
-        let mut live = HashSet::new();
-        let mut info_refs: HashMap<usize, u32> = HashMap::new();
+            mapped: Some(Arc::clone(&env.heap)),
+        })
+    }
+}
+
+impl<const TUNED: bool> SlotOps for RQueue<MappedNvm, TUNED> {
+    fn validate_image(&self, infos: &mut HashSet<u64>) -> Result<(), MapError> {
+        // No dereference below leaves the mapping (whole-node spans), and
+        // the chain must terminate within the heap's block count.
+        let mut budget = self.heap().bump_granules() + 4;
+        // SAFETY: the anchor is a committed root block; every node is
+        // dereferenced only after its whole span passed `in_node`.
+        unsafe {
+            let hv = tag::untagged(self.head.info.load());
+            if hv != 0 {
+                infos.insert(hv);
+            }
+            let mut n = self.head.ptr.load();
+            if !self.in_node(n) {
+                return Err(MapError::CorruptPointer { addr: n });
+            }
+            loop {
+                if budget == 0 {
+                    return Err(MapError::CorruptPointer { addr: n });
+                }
+                budget -= 1;
+                let node = n as *mut Node<MappedNvm>;
+                let iv = tag::untagged((*node).info.load());
+                if iv != 0 {
+                    infos.insert(iv);
+                }
+                let next = (*node).next.load();
+                if next == 0 {
+                    break;
+                }
+                if !self.in_node(next) {
+                    return Err(MapError::CorruptPointer { addr: next });
+                }
+                n = next;
+            }
+        }
+        Ok(())
+    }
+
+    fn valid_install(&self, addr: u64) -> bool {
+        self.in_node(addr)
+    }
+
+    fn try_scrub(&self) -> Result<(), AttachError> {
+        RQueue::try_scrub(self)
+    }
+
+    fn heal(&mut self) {
+        self.heal_tail();
+    }
+
+    unsafe fn census(&self, live: &mut HashSet<usize>, info_refs: &mut HashMap<usize, u32>) {
         let mut bump = |v: u64| {
             let p = tag::untagged(v) as usize;
             if p != 0 {
                 *info_refs.entry(p).or_insert(0) += 1;
             }
         };
+        // SAFETY: quiescent exclusive access post-scrub (caller).
         unsafe {
-            bump((*anchor).info.load());
-            let mut n = q.head.ptr.load() as *mut Node<MappedNvm>;
+            bump(self.head.info.load());
+            let mut n = self.head.ptr.load() as *mut Node<MappedNvm>;
             while !n.is_null() {
                 live.insert(n as usize);
                 bump((*n).info.load());
                 n = (*n).next.load() as *mut Node<MappedNvm>;
             }
         }
-        q.rec.each_published(&mut bump);
-        let owner = q.info_pool.handle();
-        live.insert(rec_ptr);
-        live.insert(meta_ptr);
-        live.insert(anchor_blk as usize);
-        q.node_pool.each_idle(|p| {
-            live.insert(p as usize);
-        });
-        q.info_pool.each_idle(|p| {
-            live.insert(p as usize);
-        });
-        // SAFETY: quiescent; `info_refs` holds the recomputed true counts
-        // (cells + anchor + RD slots) and `live` covers roots, chain,
-        // descriptors and this process's caches.
-        let swept = unsafe { census_epilogue::<MappedNvm>(&heap, &info_refs, owner, &mut live) };
-        Ok((q, AttachSummary { heap: *heap.report(), recovered, swept }))
     }
 
-    /// The persistent heap backing this queue.
-    pub fn heap(&self) -> &Arc<MappedHeap> {
-        self.mapped.as_ref().expect("mapped-mode queue")
+    fn each_cached(&mut self, f: &mut dyn FnMut(usize)) {
+        self.node_pool.each_idle(|p| f(p as usize));
+        self.info_pool.each_idle(|p| f(p as usize));
+    }
+
+    fn into_any(self: Box<Self>) -> Box<dyn std::any::Any + Send + Sync> {
+        self
     }
 }
 
@@ -718,7 +735,7 @@ impl<M: Persist, const TUNED: bool> Drop for RQueue<M, TUNED> {
         let mut grave: std::collections::HashMap<usize, unsafe fn(*mut u8)> =
             self.collector.take_parked().into_iter().map(|(p, f)| (p as usize, f)).collect();
         self.rec.each_published(|rd| {
-            if tag::untagged(rd) != 0 {
+            if !tag::is_direct(rd) && tag::untagged(rd) != 0 {
                 grave.insert(tag::untagged(rd) as usize, drop_info_raw::<M>);
             }
         });

@@ -227,7 +227,11 @@ pub enum Recovered {
 }
 
 /// Generic Op-Recover: decide whether the pending operation of `pid` took
-/// effect, completing it via `Help` if necessary.
+/// effect, completing it via `Help` if necessary. A published value carrying
+/// the [`crate::tag::DIRECT`] annotation names a direct-tracked *node*, not
+/// a descriptor — it belongs to a different structure's pending operation
+/// (the caller's own operation therefore never began), so the decision is
+/// `Restart`; the direct structure's own recovery reads it instead.
 ///
 /// # Safety
 /// Must be called in a quiescent-or-recovering context where the published
@@ -239,7 +243,7 @@ pub unsafe fn op_recover<M: Persist, const TUNED: bool>(
     guard: &reclaim::Guard<'_>,
 ) -> Recovered {
     let (cp, rd) = rec.read(pid);
-    if cp != 1 || rd == 0 {
+    if cp != 1 || rd == 0 || crate::tag::is_direct(rd) {
         return Recovered::Restart;
     }
     let info = crate::tag::ptr_of::<Info<M>>(rd);
@@ -254,101 +258,501 @@ pub unsafe fn op_recover<M: Persist, const TUNED: bool>(
     }
 }
 
-/// Root-directory keys the mapped structures register in their heap's
-/// superblock. One heap hosts one structure, so the keys only need to be
-/// unique within this set.
-pub mod rootkeys {
-    /// The structure's [`super::RecArea`] slot array.
-    pub const RECAREA: u64 = 0x5245_4341; // "RECA"
-    /// Structure configuration (shards/tuning), validated on re-attach.
-    pub const META: u64 = 0x4D45_5441; // "META"
-    /// `RHashMap`: the array of bucket-head node addresses.
-    pub const HEADS: u64 = 0x4845_4144; // "HEAD"
-    /// `RQueue`: the head anchor (sentinel pointer + info cell).
-    pub const ANCHOR: u64 = 0x414E_4348; // "ANCH"
-}
-
-/// Replays the generic Op-Recover for **every** process id — the attach-time
-/// recovery pass of the mapped backend (`attach(path)` runs it, then
-/// `scrub`s). Returns the decision per pid; pids that had nothing pending
-/// report [`Recovered::Restart`].
+/// Releases the `RD_q` reference on the *previous* operation's published
+/// value (the word [`RecArea::begin`] returned). With one recovery area
+/// shared by several structures ([`crate::store::Store`]) the previous
+/// value may be a [`crate::tag::DIRECT`] node announcement instead of an
+/// Info pointer — those carry no descriptor reference (the direct-tracked
+/// structure reclaims its nodes through its own deferred-retire slots), so
+/// they are skipped.
 ///
 /// # Safety
-/// As [`op_recover`], for every pid; the calling thread must be registered
-/// (`nvm::tid::set_tid`).
-pub unsafe fn replay_all<M: Persist, const TUNED: bool>(
-    rec: &RecArea<M>,
-    collector: &reclaim::Collector,
-) -> Vec<(usize, Recovered)> {
-    (0..MAX_PROCS)
-        .map(|pid| {
-            let g = collector.pin();
-            (pid, unsafe { op_recover::<M, TUNED>(rec, pid, &g) })
-        })
-        .collect()
+/// As [`Info::release`]: `prev` must be the value `begin` returned for an
+/// operation the caller owns, released exactly once.
+pub unsafe fn release_prev<M: Persist>(prev: u64, g: &reclaim::Guard<'_>) {
+    if crate::tag::is_direct(prev) {
+        return;
+    }
+    unsafe { Info::<M>::release(crate::tag::ptr_of(prev), 1, g) };
 }
 
-/// The parts of a mapped structure's attach shared by every structure kind
-/// (see [`mapped_attach_prologue`]).
-pub struct MappedPrologue<M: Persist> {
+/// Root-directory keys the mapped backend registers in a heap's superblock.
+/// One heap hosts one structure (or one [`crate::store::Store`] catalog), so
+/// the keys only need to be unique within this set.
+pub mod rootkeys {
+    /// The heap-wide [`super::RecArea`] slot array (shared by every
+    /// structure in a store: one pending operation per process).
+    pub const RECAREA: u64 = 0x5245_4341; // "RECA"
+    /// Structure configuration word, validated on re-attach (standalone
+    /// heaps; store entries record their cfg in the catalog instead).
+    pub const META: u64 = 0x4D45_5441; // "META"
+    /// The structure's root block (standalone heaps; store entries' root
+    /// blocks are named by the catalog).
+    pub const STRUCT: u64 = 0x5354_5543; // "STUC"
+    /// The [`crate::store::Store`] catalog block.
+    pub const CATALOG: u64 = 0x4341_5441; // "CATA"
+}
+
+use nvm::mapped::{MapError, MappedHeap, MappedNvm};
+use reclaim::Collector;
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+/// Typed failures of the mapped attach path ([`MappedLayout`] driver and
+/// [`crate::store::Store`]). Every shape of damaged image, mismatched
+/// configuration or non-quiescing recovery surfaces here — attach never
+/// panics the process and never exhibits undefined behaviour.
+#[derive(Debug)]
+pub enum AttachError {
+    /// Heap-level failure (I/O, corruption, exhaustion, superblock kind).
+    Map(MapError),
+    /// The post-replay scrub did not quiesce within its pass budget: some
+    /// tagged descriptor could not be helped to completion, which no crash
+    /// of a correct execution can produce (a diagnosis, not a panic).
+    ScrubStalled {
+        /// Structure kind name ([`MappedLayout::KIND_NAME`]).
+        kind: &'static str,
+        /// Passes attempted before giving up.
+        passes: usize,
+    },
+    /// The named entry (or standalone heap) hosts a different structure
+    /// kind than the caller asked for.
+    WrongKind {
+        /// Entry name (empty for a standalone heap).
+        name: String,
+        /// Kind tag the caller expected.
+        expected: u64,
+        /// Kind tag recorded in the image.
+        found: u64,
+    },
+    /// The entry exists with a different configuration word (shard count /
+    /// tuning) than the caller asked for.
+    CfgMismatch {
+        /// Entry name (empty for a standalone heap).
+        name: String,
+        /// Configuration word the caller expected.
+        expected: u64,
+        /// Configuration word recorded in the image.
+        found: u64,
+    },
+    /// The caller passed an unusable configuration (e.g. a non-power-of-two
+    /// shard count). Rejected **before** anything durable happens — a bad
+    /// config must never reach the catalog, where it would brick the heap.
+    InvalidCfg {
+        /// Structure kind name.
+        kind: &'static str,
+        /// What was wrong.
+        reason: String,
+    },
+    /// The caller passed an unusable entry name (empty, or longer than the
+    /// catalog's inline name buffer). Rejected before anything durable
+    /// happens.
+    InvalidName {
+        /// The offending name.
+        name: String,
+    },
+}
+
+impl std::fmt::Display for AttachError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AttachError::Map(e) => write!(f, "{e}"),
+            AttachError::ScrubStalled { kind, passes } => {
+                write!(f, "{kind}: attach scrub did not quiesce after {passes} passes")
+            }
+            AttachError::WrongKind { name, expected, found } if name.is_empty() => {
+                write!(f, "heap hosts structure kind {found}, expected {expected}")
+            }
+            AttachError::WrongKind { name, expected, found } => {
+                write!(f, "entry {name:?} hosts structure kind {found}, expected {expected}")
+            }
+            AttachError::CfgMismatch { name, expected, found } if name.is_empty() => {
+                write!(f, "heap records configuration {found:#x}, expected {expected:#x}")
+            }
+            AttachError::CfgMismatch { name, expected, found } => {
+                write!(f, "entry {name:?} records configuration {found:#x}, expected {expected:#x}")
+            }
+            AttachError::InvalidCfg { kind, reason } => {
+                write!(f, "unusable {kind} configuration: {reason}")
+            }
+            AttachError::InvalidName { name } => {
+                write!(
+                    f,
+                    "unusable entry name {name:?} (must be 1..={} bytes)",
+                    nvm::mapped::CATALOG_NAME_BYTES
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for AttachError {}
+
+impl From<MapError> for AttachError {
+    fn from(e: MapError) -> Self {
+        AttachError::Map(e)
+    }
+}
+
+/// What the generic driver hands a [`MappedLayout::open`] implementation:
+/// the attached heap, the shared recovery-slot block, and the heap-wide
+/// Info-descriptor pool (shared across every structure in a store, because
+/// `RD_q` hand-over on [`RecArea::begin`] releases the *previous*
+/// operation's descriptor regardless of which structure it belonged to).
+pub struct AttachEnv {
     /// The opened (or freshly created) heap.
-    pub heap: std::sync::Arc<nvm::mapped::MappedHeap>,
-    /// The recovery area over its arena root block.
-    pub rec: RecArea<M>,
-    /// Payload address of the recovery-area root block (live-set member).
-    pub rec_ptr: usize,
-    /// Payload address of the configuration root block (live-set member).
-    pub meta_ptr: usize,
-    /// `true` iff the heap hosts no completed structure yet: the caller
-    /// finishes creating its roots and then stamps the kind.
-    pub fresh: bool,
+    pub heap: Arc<MappedHeap>,
+    rec_base: *const u8,
+    info_pool: crate::pool::Pool<Info<MappedNvm>>,
 }
 
-/// The common prologue of every mapped structure attach: open/create the
-/// heap, check the structure kind, attach the recovery-area root block, and
-/// check (or, on a fresh heap, record) the configuration word. Centralised
-/// so the safety-critical sequence exists once, not per structure.
-pub fn mapped_attach_prologue<M: Persist>(
+impl AttachEnv {
+    /// Builds the environment over an attached heap (driver / store use).
+    pub(crate) fn new(heap: Arc<MappedHeap>, rec_base: *const u8) -> Self {
+        let info_pool =
+            crate::pool::Pool::with_arena(Arc::clone(&heap), crate::pool::DEFAULT_CAPACITY);
+        Self::with_pool(heap, rec_base, info_pool)
+    }
+
+    /// As [`AttachEnv::new`], reusing an existing shared Info pool (the
+    /// store's handle-creation path).
+    pub(crate) fn with_pool(
+        heap: Arc<MappedHeap>,
+        rec_base: *const u8,
+        info_pool: crate::pool::Pool<Info<MappedNvm>>,
+    ) -> Self {
+        Self { heap, rec_base, info_pool }
+    }
+
+    /// A recovery-area view over the heap's shared slot block. Every
+    /// structure in the heap gets its own view of the **same** slots.
+    pub fn rec_area(&self) -> RecArea<MappedNvm> {
+        // SAFETY: the slot block is a committed root block of
+        // `RecArea::slots_bytes()` zero-initialised bytes that lives as long
+        // as the heap; the structure keeps `heap` alive via `pool_cfg`.
+        unsafe { RecArea::attach_raw(self.rec_base) }
+    }
+
+    /// A clone of the heap-wide Info-descriptor pool.
+    pub fn info_pool(&self) -> crate::pool::Pool<Info<MappedNvm>> {
+        self.info_pool.clone()
+    }
+
+    /// The pool configuration structure node pools must use (all allocation
+    /// routed through the persistent arena).
+    pub fn pool_cfg(&self) -> crate::pool::PoolCfg {
+        crate::pool::PoolCfg::mapped(Arc::clone(&self.heap))
+    }
+}
+
+/// The attach-time operations the generic driver invokes on an already
+/// constructed mapped structure — the object-safe half of [`MappedLayout`]
+/// (a [`crate::store::Store`] drives a heterogeneous set of these).
+///
+/// All methods run during the single-threaded, quiescent attach sequence.
+pub trait SlotOps: Send + Sync {
+    /// Bounds-checked pre-recovery validation of the structure's graph in
+    /// the **untrusted** image: every reachable node must have a whole-node
+    /// span inside the mapping and the graph must terminate; referenced
+    /// descriptors are only *collected* into `infos` (the driver
+    /// range-checks them with [`validate_infos`]). No pointer may be
+    /// dereferenced before its span check. Typed error on violation.
+    fn validate_image(&self, infos: &mut HashSet<u64>) -> Result<(), MapError>;
+
+    /// Whether `addr` is a plausible node of this structure (whole-span
+    /// check) — the driver validates descriptor WriteSet install values
+    /// against the union of the heap's structures.
+    fn valid_install(&self, addr: u64) -> bool;
+
+    /// Completes helping obligations left visible by the crash (bounded;
+    /// [`AttachError::ScrubStalled`] instead of a panic when the budget is
+    /// exhausted). Runs after the Op-Recover replay.
+    fn try_scrub(&self) -> Result<(), AttachError>;
+
+    /// Post-scrub structural repair (e.g. the queue's tail-hint heal).
+    fn heal(&mut self) {}
+
+    /// Census of the quiescent structure: every reachable node's payload
+    /// address into `live`, and per descriptor still referenced from a node
+    /// cell the number of referencing cells into `info_refs`.
+    ///
+    /// # Safety
+    /// Quiescent exclusive attach-time access.
+    unsafe fn census(&self, live: &mut HashSet<usize>, info_refs: &mut HashMap<usize, u32>);
+
+    /// Every arena block currently cached in this structure's pools (kept
+    /// out of the sweep).
+    fn each_cached(&mut self, f: &mut dyn FnMut(usize));
+
+    /// Direct tracking only: whether the node at `addr` is reachable from
+    /// this structure's roots (decides a crashed push's recovery).
+    fn direct_reachable(&self, _addr: u64) -> bool {
+        false
+    }
+
+    /// Type-erase for the store's handle cache.
+    fn into_any(self: Box<Self>) -> Box<dyn std::any::Any + Send + Sync>;
+}
+
+/// A mapped structure kind: everything the generic attach driver needs to
+/// create, re-open and recover one detectably recoverable structure inside
+/// a [`MappedHeap`] — the per-kind constants and constructor on top of the
+/// attach-time operations of [`SlotOps`].
+///
+/// Implementations are thin: the whole remap → validate → replay → scrub →
+/// census → sweep lifecycle lives once in [`attach_standalone`] /
+/// [`finish_attach`], shared by every structure and by the multi-structure
+/// [`crate::store::Store`].
+pub trait MappedLayout: SlotOps + Sized + std::any::Any {
+    /// Structure-kind tag (superblock kind for standalone heaps, catalog
+    /// entry kind inside a store). Tuning variants share a kind; the
+    /// configuration word carries the tuning bit.
+    const KIND: u64;
+    /// Human-readable kind name (errors/diagnostics).
+    const KIND_NAME: &'static str;
+    /// Construction parameters beyond the heap (e.g. shard count).
+    type Cfg: Copy;
+
+    /// Rejects unusable configurations with a typed error **before**
+    /// anything durable happens — once a config reaches the superblock or
+    /// the catalog it is permanent, so a bad one must never get that far.
+    fn validate_cfg(_cfg: Self::Cfg) -> Result<(), AttachError> {
+        Ok(())
+    }
+
+    /// Encodes `cfg` (plus the tuning) into the persisted configuration
+    /// word checked on re-attach.
+    fn cfg_word(cfg: Self::Cfg) -> u64;
+
+    /// Size of the structure's persistent root block.
+    fn root_bytes(cfg: Self::Cfg) -> usize;
+
+    /// Constructs the structure over `root` (a committed, zero-initialised
+    /// on first use root block of [`MappedLayout::root_bytes`] bytes inside
+    /// `env.heap`): installs fresh roots when the block is still zeroed,
+    /// loads them otherwise. Must be idempotent — a creation cut short by a
+    /// kill re-runs it.
+    fn open(env: &AttachEnv, cfg: Self::Cfg, root: *mut u8) -> Result<Self, AttachError>;
+}
+
+/// Attaches (or creates) a standalone single-structure heap at `path` and
+/// runs the full restart-recovery sequence (see [`finish_attach`]). This is
+/// the one generic driver behind every structure's `attach(path)`.
+///
+/// The calling thread must be registered ([`nvm::tid::set_tid`]); one
+/// process attaches a heap at a time.
+pub fn attach_standalone<L: MappedLayout>(
     path: &std::path::Path,
-    kind: u64,
-    cfg_word: u64,
+    cfg: L::Cfg,
     heap_bytes: usize,
-) -> Result<MappedPrologue<M>, nvm::MapError> {
-    let heap = nvm::mapped::MappedHeap::open(path, heap_bytes)?;
+) -> Result<(L, AttachSummary), AttachError> {
+    L::validate_cfg(cfg)?;
+    let heap = MappedHeap::open(path, heap_bytes)?;
     // kind == 0 also covers a creation cut short before the final stamp:
     // every init step is idempotent, so re-running completes it.
     let fresh = heap.kind() == 0;
-    if !fresh && heap.kind() != kind {
-        return Err(nvm::MapError::WrongKind { expected: kind, found: heap.kind() });
+    if !fresh && heap.kind() != L::KIND {
+        return Err(AttachError::WrongKind {
+            name: String::new(),
+            expected: L::KIND,
+            found: heap.kind(),
+        });
     }
-    let (rec_ptr, _) = heap.root_alloc(rootkeys::RECAREA, RecArea::<M>::slots_bytes())?;
-    // SAFETY: the root block is slots_bytes long, zeroed on creation, and
-    // outlives the structure (which keeps `heap` alive); mapped models
-    // carry no per-word metadata.
-    let rec = unsafe { RecArea::attach_raw(rec_ptr) };
+    let (rec_ptr, _) = heap.root_alloc(rootkeys::RECAREA, RecArea::<MappedNvm>::slots_bytes())?;
     let (meta_ptr, _) = heap.root_alloc(rootkeys::META, 16)?;
+    let cfg_word = L::cfg_word(cfg);
     // SAFETY: single-threaded attach; committed 16-byte root block.
     unsafe {
         let meta = meta_ptr as *mut u64;
         if fresh {
             meta.write(cfg_word);
         } else if meta.read() != cfg_word {
-            return Err(nvm::MapError::WrongKind { expected: cfg_word, found: meta.read() });
+            return Err(AttachError::CfgMismatch {
+                name: String::new(),
+                expected: cfg_word,
+                found: meta.read(),
+            });
         }
     }
-    Ok(MappedPrologue { heap, rec, rec_ptr: rec_ptr as usize, meta_ptr: meta_ptr as usize, fresh })
+    let (root_ptr, _) = heap.root_alloc(rootkeys::STRUCT, L::root_bytes(cfg))?;
+    let env = AttachEnv::new(Arc::clone(&heap), rec_ptr);
+    let s = L::open(&env, cfg, root_ptr)?;
+    if fresh {
+        heap.set_kind(L::KIND);
+        return Ok((s, AttachSummary { heap: *heap.report(), recovered: Vec::new(), swept: 0 }));
+    }
+    let rec = env.rec_area();
+    let extra_live = [rec_ptr as usize, meta_ptr as usize, root_ptr as usize];
+    let mut slots: Vec<Box<dyn SlotOps>> = vec![Box::new(s)];
+    // SAFETY: quiescent single-threaded attach over a validated image; the
+    // slot list covers every structure in the heap (standalone: exactly one).
+    let (recovered, swept) =
+        unsafe { finish_attach(&heap, &rec, &mut slots, &extra_live, env.info_pool.handle())? };
+    let s = *slots
+        .pop()
+        .expect("one slot")
+        .into_any()
+        .downcast::<L>()
+        .expect("slot type is L by construction");
+    Ok((s, AttachSummary { heap: *heap.report(), recovered, swept }))
 }
 
-/// The published (untagged, non-null) descriptor pointers of every process.
-pub fn published_infos<M: Persist>(rec: &RecArea<M>) -> Vec<u64> {
-    let mut out = Vec::new();
+/// The shared restart-recovery epilogue over an already re-attached heap:
+///
+/// 1. **validate** every structure's graph and every referenced descriptor
+///    against the mapping (typed [`MapError::CorruptPointer`], never UB),
+/// 2. **replay** the per-pid recovery decision over the shared recovery
+///    area — generic Op-Recover for descriptor-tracked entries, the
+///    direct-tracking decision (reachability / claim stamp) for
+///    [`crate::tag::DIRECT`] entries — with refcount bookkeeping suspended,
+/// 3. **scrub** every structure to quiescence (typed
+///    [`AttachError::ScrubStalled`] on a non-quiescing image) and run
+///    structural heals,
+/// 4. **census + sweep** over the **union** of all structures' live sets:
+///    rebuild every surviving descriptor's volatile bookkeeping and
+///    garbage-collect blocks the dead process leaked.
+///
+/// # Safety
+/// Quiescent single-threaded attach; `slots` must cover **every** structure
+/// hosted by `heap` (a missing one would have its blocks swept), `rec` must
+/// be the heap's shared recovery area, `extra_live` every root/metadata
+/// block address, and `owner` the heap-wide Info pool handle. The calling
+/// thread must be registered.
+pub unsafe fn finish_attach(
+    heap: &MappedHeap,
+    rec: &RecArea<MappedNvm>,
+    slots: &mut [Box<dyn SlotOps>],
+    extra_live: &[usize],
+    owner: *const (),
+) -> Result<(Vec<(usize, Recovered)>, usize), AttachError> {
+    // 1. Pre-recovery validation of the untrusted image: no pointer is
+    // dereferenced by the replay/scrub/census below unless the whole object
+    // graph stays inside the mapping and terminates. This is what turns a
+    // tampered superblock (e.g. a rewritten base) into a typed error
+    // instead of undefined behaviour.
+    let mut infos: HashSet<u64> = HashSet::new();
+    for s in slots.iter() {
+        s.validate_image(&mut infos)?;
+    }
+    let mut bad_rd = None;
     rec.each_published(|rd| {
-        let p = crate::tag::untagged(rd);
-        if p != 0 {
-            out.push(p);
+        let p = crate::tag::addr_of(rd);
+        if p == 0 {
+            return;
+        }
+        if crate::tag::is_direct(rd) {
+            // Direct entries name nodes; whole-granule span (every arena
+            // object occupies at least one committed 64-byte granule).
+            if p & 7 != 0 || !heap.contains_span(p as usize, nvm::mapped::GRANULE) {
+                bad_rd = Some(p);
+            }
+        } else {
+            infos.insert(p);
         }
     });
-    out
+    if let Some(addr) = bad_rd {
+        return Err(MapError::CorruptPointer { addr }.into());
+    }
+    validate_infos::<MappedNvm>(heap, &infos, |a| slots.iter().any(|s| s.valid_install(a)))?;
+
+    // 2. Replay + scrub with refcount bookkeeping suspended: the counts the
+    // dead process persisted are recomputed from scratch below.
+    let recovered = crate::engine::with_release_suspended(|| {
+        let col = Collector::new();
+        let decisions = (0..MAX_PROCS)
+            .map(|pid| {
+                let g = col.pin();
+                // SAFETY (op_recover): quiescent attach; every published
+                // descriptor was validated above. Replay runs the untuned
+                // placement — sound for both tunings (strictly more
+                // persistency instructions, identical decisions).
+                let d = {
+                    let (cp, rd) = rec.read(pid);
+                    if cp != 1 || crate::tag::addr_of(rd) == 0 {
+                        Recovered::Restart
+                    } else if crate::tag::is_direct(rd) {
+                        // SAFETY: span-validated direct node.
+                        unsafe { direct_decide(rd, pid, slots) }
+                    } else {
+                        unsafe { op_recover::<MappedNvm, false>(rec, pid, &g) }
+                    }
+                };
+                (pid, d)
+            })
+            .collect::<Vec<_>>();
+        for s in slots.iter() {
+            s.try_scrub()?;
+        }
+        Ok::<_, AttachError>(decisions)
+    })?;
+    for s in slots.iter_mut() {
+        s.heal();
+    }
+
+    // 3. Census: the union live set and the true reference count per
+    // descriptor across every structure plus the RD slots.
+    let mut live: HashSet<usize> = HashSet::new();
+    let mut info_refs: HashMap<usize, u32> = HashMap::new();
+    for s in slots.iter() {
+        // SAFETY: quiescent exclusive access post-scrub.
+        unsafe { s.census(&mut live, &mut info_refs) };
+    }
+    rec.each_published(|rd| {
+        let p = crate::tag::addr_of(rd) as usize;
+        if p == 0 {
+            return;
+        }
+        if crate::tag::is_direct(rd) {
+            // An announced direct node must survive the sweep even when it
+            // was already unlinked: the announcing process's recovery reads
+            // its claim stamp.
+            live.insert(p);
+        } else {
+            *info_refs.entry(p).or_insert(0) += 1;
+        }
+    });
+    live.extend(extra_live.iter().copied());
+    for s in slots.iter_mut() {
+        s.each_cached(&mut |p| {
+            live.insert(p);
+        });
+    }
+    // SAFETY: quiescent; `info_refs` holds the recomputed true counts
+    // (cells + RD slots) and `live` covers roots, graphs, descriptors and
+    // this process's caches across every structure in the heap.
+    let swept = unsafe { census_epilogue::<MappedNvm>(heap, &info_refs, owner, &mut live) };
+    Ok((recovered, swept))
+}
+
+/// The direct-tracking recovery decision (paper §1/§5, "direct tracking"):
+/// a pop's claim announcement completed iff the claim stamp names the
+/// claimant; a push's node announcement completed iff the node is reachable
+/// from some structure's roots or carries any claim stamp (pushed, then
+/// popped).
+///
+/// # Safety
+/// `rd` must be a span-validated direct entry over a quiescent image.
+unsafe fn direct_decide(rd: u64, pid: usize, slots: &[Box<dyn SlotOps>]) -> Recovered {
+    let node = crate::tag::addr_of(rd);
+    // Direct nodes lead with (val, next, popped_by) persistent words — the
+    // stack's layout; see `RStack`'s `MappedLayout` impl.
+    let stamp = unsafe { crate::stack::direct_stamp::<MappedNvm>(node) };
+    if crate::tag::is_tagged(rd) {
+        // Pop claim: the CAS on the stamp is the arbitration.
+        if stamp == pid as u64 + 1 {
+            let v = unsafe { crate::stack::direct_val::<MappedNvm>(node) };
+            Recovered::Completed(crate::engine::res_val(v))
+        } else {
+            Recovered::Restart
+        }
+    } else {
+        // Push announcement.
+        if stamp != 0 || slots.iter().any(|s| s.direct_reachable(node)) {
+            Recovered::Completed(crate::engine::RES_UNIT)
+        } else {
+            Recovered::Restart
+        }
+    }
 }
 
 /// Pre-recovery validation of every collected descriptor against the

@@ -115,6 +115,14 @@ impl<M: Persist> SetPools<M> {
             node: Pool::new_for::<M>(cfg, collector),
         }
     }
+
+    /// Pools whose Info half is a clone of an existing (shared) pool — the
+    /// mapped backend hands every structure in one heap the same descriptor
+    /// pool, because `RD_q` hand-over releases the *previous* operation's
+    /// descriptor regardless of which structure it belonged to.
+    pub fn with_shared_info(info: Pool<Info<M>>, cfg: PoolCfg, collector: &Collector) -> Self {
+        Self { info, node: Pool::new_for::<M>(cfg, collector) }
+    }
 }
 
 impl<M: Persist> Drop for Node<M> {
@@ -378,7 +386,7 @@ impl<'a, M: Persist, const TUNED: bool> SetCore<'a, M, TUNED> {
         // re-pin through the collector's nested fast path).
         let g = self.collector.pin();
         let prev = self.rec.begin::<TUNED>(pid);
-        unsafe { Info::<M>::release(tag::ptr_of(prev), 1, &g) };
+        unsafe { crate::recovery::release_prev::<M>(prev, &g) };
         // newnd → newcurr; newcurr refreshed per attempt as a copy of curr.
         let newcurr = self.alloc_node(0, 0, 0);
         let newnd = self.alloc_node(key, newcurr as u64, 0);
@@ -475,7 +483,7 @@ impl<'a, M: Persist, const TUNED: bool> SetCore<'a, M, TUNED> {
         Self::assert_key(key);
         let g = self.collector.pin();
         let prev = self.rec.begin::<TUNED>(pid);
-        unsafe { Info::<M>::release(tag::ptr_of(prev), 1, &g) };
+        unsafe { crate::recovery::release_prev::<M>(prev, &g) };
         let mut info = self.alloc_info();
         let mut published: u64 = 0;
         loop {
@@ -552,7 +560,9 @@ impl<'a, M: Persist, const TUNED: bool> SetCore<'a, M, TUNED> {
         let g = self.collector.pin();
         let prev = self.rec.begin_readonly(pid);
         let info = self.alloc_info();
-        let mut published = prev;
+        // A DIRECT previous entry carries no descriptor reference to hand
+        // over (see `recovery::release_prev`).
+        let mut published = if tag::is_direct(prev) { 0 } else { prev };
         loop {
             let s = unsafe { self.search(key) };
             if tag::is_tagged(s.curr_info) {
@@ -603,10 +613,18 @@ impl<'a, M: Persist, const TUNED: bool> SetCore<'a, M, TUNED> {
     /// roll back — an operation only reports completion after the update
     /// phase's `psync` — so re-helping can only untag, never re-apply.
     pub fn scrub(&self) {
+        self.try_scrub().unwrap_or_else(|e| panic!("{e}"));
+    }
+
+    /// [`SetCore::scrub`] with the pass budget surfaced as a typed
+    /// [`crate::recovery::AttachError::ScrubStalled`] instead of a panic —
+    /// the mapped attach path reports non-quiescing images as errors.
+    pub fn try_scrub(&self) -> Result<(), crate::recovery::AttachError> {
         // Each pass helps every descriptor visible in it; descriptors are
         // finite (≤ one per process) and helping never re-tags, so a couple
         // of passes quiesce. The bound turns a logic bug into a diagnosis.
-        for _ in 0..64 {
+        const PASSES: usize = 64;
+        for _ in 0..PASSES {
             let g = self.collector.pin();
             let mut dirty = false;
             unsafe {
@@ -624,10 +642,13 @@ impl<'a, M: Persist, const TUNED: bool> SetCore<'a, M, TUNED> {
                 }
             }
             if !dirty {
-                return;
+                return Ok(());
             }
         }
-        panic!("scrub did not quiesce the bucket after 64 passes");
+        Err(crate::recovery::AttachError::ScrubStalled {
+            kind: "ordered-set bucket",
+            passes: PASSES,
+        })
     }
 
     /// Appends this bucket's user keys to `out` in bucket order (requires
@@ -685,9 +706,11 @@ unsafe fn drop_info_raw<M: Persist>(p: *mut u8) {
 /// free each object exactly once.
 pub type Grave = std::collections::HashMap<usize, unsafe fn(*mut u8)>;
 
-/// Records a published `RD_q` descriptor in the grave map.
+/// Records a published `RD_q` descriptor in the grave map ([`crate::tag::DIRECT`]
+/// node announcements are not descriptors and are skipped — the direct
+/// structure owns those nodes).
 pub fn grave_published_info<M: Persist>(grave: &mut Grave, rd: u64) {
-    if tag::untagged(rd) != 0 {
+    if !tag::is_direct(rd) && tag::untagged(rd) != 0 {
         grave.insert(tag::untagged(rd) as usize, drop_info_raw::<M>);
     }
 }

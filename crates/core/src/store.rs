@@ -1,0 +1,510 @@
+//! Multi-structure persistent store: one [`MappedHeap`], many **named**
+//! detectably recoverable structures.
+//!
+//! The mapped backend's per-structure `attach(path)` dedicates a whole heap
+//! file to one structure. Real persistent-memory pools (memento's typed
+//! pool roots, PAPERS.md) host *several* root objects per pool; this module
+//! is that shape for the ISB stack:
+//!
+//! * a **catalog** root block maps names to `(kind, cfg, root block)`
+//!   entries ([`nvm::mapped::CatalogEntry`]; entry creation stamps the kind
+//!   word last, so a torn creation leaves an empty slot plus an orphaned —
+//!   and swept — root block, never a half-valid entry);
+//! * **one shared recovery area** serves every structure: the tracking
+//!   model allows a single pending operation per process, regardless of
+//!   which structure it touches, so `RD_q`/`CP_q` are per-*process*, not
+//!   per-structure (descriptor hand-over across structures routes through
+//!   one shared Info pool);
+//! * attach-time recovery is the same generic driver the standalone path
+//!   uses ([`crate::recovery::finish_attach`]): validation, one Op-Recover
+//!   replay over the shared area (descriptor entries and the stack's
+//!   [`crate::tag::DIRECT`] entries alike), per-structure scrub, and a
+//!   census/sweep computed over the **union** of every entry's live set.
+//!
+//! ```no_run
+//! use isb::store::Store;
+//!
+//! nvm::tid::set_tid(0);
+//! let store = Store::open("/tmp/app.heap").unwrap();
+//! let users = store.hashmap::<false>("users", 8).unwrap();
+//! let jobs = store.queue::<false>("jobs").unwrap();
+//! users.insert(0, 42);
+//! jobs.enqueue(0, 7);
+//! // After a kill, Store::open replays recovery for every structure and
+//! // store.summary().decision(pid) resolves the in-flight operation.
+//! ```
+
+use crate::bst::RBst;
+use crate::engine::Info;
+use crate::hashmap::RHashMap;
+use crate::list::RList;
+use crate::queue::RQueue;
+use crate::recovery::{
+    finish_attach, rootkeys, AttachEnv, AttachError, AttachSummary, MappedLayout, RecArea, SlotOps,
+};
+use crate::stack::RStack;
+use nvm::mapped::{CatalogEntry, MapError, MappedHeap, MappedNvm, DEFAULT_HEAP_BYTES};
+use std::any::Any;
+use std::collections::HashMap;
+use std::path::Path;
+use std::sync::{Arc, Mutex};
+
+/// Superblock structure-kind tag of a multi-structure store heap.
+pub const KIND_STORE: u64 = 6;
+
+/// A constructed, type-erased catalog entry.
+struct Entry {
+    kind: u64,
+    cfg: u64,
+    handle: Arc<dyn Any + Send + Sync>,
+}
+
+/// One mapped heap hosting many named recoverable structures (see module
+/// docs). Handles returned by the typed accessors are `Arc`s that keep the
+/// heap alive independently of the `Store`.
+pub struct Store {
+    heap: Arc<MappedHeap>,
+    rec_base: *const u8,
+    info_pool: crate::pool::Pool<Info<MappedNvm>>,
+    catalog: *mut u8,
+    entries: Mutex<HashMap<String, Entry>>,
+    summary: AttachSummary,
+}
+
+// SAFETY: the raw pointers are into the heap mapping, which `heap` keeps
+// alive; all mutation goes through the entries mutex or the (internally
+// synchronized) catalog/allocator.
+unsafe impl Send for Store {}
+unsafe impl Sync for Store {}
+
+impl Store {
+    /// Opens (or creates, at [`DEFAULT_HEAP_BYTES`]) the store heap at
+    /// `path`, constructing every cataloged structure and running the full
+    /// generic restart-recovery sequence over the union of them. The
+    /// calling thread must be registered ([`nvm::tid::set_tid`]); one
+    /// process attaches a heap at a time.
+    pub fn open(path: impl AsRef<Path>) -> Result<Self, AttachError> {
+        Self::open_sized(path, DEFAULT_HEAP_BYTES)
+    }
+
+    /// [`Store::open`] with an explicit heap size for creation (ignored
+    /// when the heap already exists).
+    pub fn open_sized(path: impl AsRef<Path>, heap_bytes: usize) -> Result<Self, AttachError> {
+        let heap = MappedHeap::open(path.as_ref(), heap_bytes)?;
+        let fresh = heap.kind() == 0;
+        if !fresh && heap.kind() != KIND_STORE {
+            return Err(AttachError::WrongKind {
+                name: String::new(),
+                expected: KIND_STORE,
+                found: heap.kind(),
+            });
+        }
+        let (rec_base, _) =
+            heap.root_alloc(rootkeys::RECAREA, RecArea::<MappedNvm>::slots_bytes())?;
+        let catalog = heap.catalog_root(rootkeys::CATALOG)?;
+        let env = AttachEnv::new(Arc::clone(&heap), rec_base);
+        // SAFETY: `catalog` is this heap's committed catalog block.
+        let cataloged = unsafe { heap.catalog_entries(catalog) }?;
+        // Construct every existing entry (kind-dispatched) so recovery can
+        // run over the complete structure set.
+        let mut metas: Vec<CatalogEntry> = Vec::new();
+        let mut slots: Vec<Box<dyn SlotOps>> = Vec::new();
+        for e in cataloged {
+            slots.push(construct_entry(&env, &e)?);
+            metas.push(e);
+        }
+        let summary = if fresh {
+            heap.set_kind(KIND_STORE);
+            AttachSummary { heap: *heap.report(), recovered: Vec::new(), swept: 0 }
+        } else {
+            let rec = env.rec_area();
+            let mut extra_live = vec![rec_base as usize, catalog as usize];
+            extra_live.extend(metas.iter().map(|e| e.root as usize));
+            // SAFETY: quiescent single-threaded attach; `slots` covers every
+            // structure in the heap (the complete catalog), `extra_live`
+            // every root/metadata block.
+            let (recovered, swept) = unsafe {
+                finish_attach(&heap, &rec, &mut slots, &extra_live, env.info_pool().handle())?
+            };
+            AttachSummary { heap: *heap.report(), recovered, swept }
+        };
+        let entries = metas
+            .into_iter()
+            .zip(slots)
+            .map(|(e, s)| {
+                (e.name, Entry { kind: e.kind, cfg: e.cfg, handle: Arc::from(s.into_any()) })
+            })
+            .collect();
+        Ok(Self {
+            heap,
+            rec_base,
+            info_pool: env.info_pool(),
+            catalog,
+            entries: Mutex::new(entries),
+            summary,
+        })
+    }
+
+    /// What this attach found and did: the heap-level report, the per-pid
+    /// recovery decisions of the shared replay (spanning every structure),
+    /// and the union sweep count.
+    pub fn summary(&self) -> &AttachSummary {
+        &self.summary
+    }
+
+    /// The persistent heap backing this store.
+    pub fn heap(&self) -> &Arc<MappedHeap> {
+        &self.heap
+    }
+
+    /// Names, kinds and configuration words of every cataloged structure.
+    pub fn entries(&self) -> Vec<(String, u64, u64)> {
+        self.entries.lock().unwrap().iter().map(|(n, e)| (n.clone(), e.kind, e.cfg)).collect()
+    }
+
+    /// Opens (or creates) the named structure with layout `L`. Typed
+    /// errors: [`AttachError::WrongKind`] when the name exists with a
+    /// different kind, [`AttachError::CfgMismatch`] when it exists with a
+    /// different configuration (shards/tuning).
+    pub fn get<L: MappedLayout + Send + Sync>(
+        &self,
+        name: &str,
+        cfg: L::Cfg,
+    ) -> Result<Arc<L>, AttachError> {
+        // Reject unusable arguments BEFORE anything durable happens: a bad
+        // name/config must never reach the catalog, where it would be
+        // permanent (and fail every future Store::open of this heap).
+        if name.is_empty() || name.len() > nvm::mapped::CATALOG_NAME_BYTES {
+            return Err(AttachError::InvalidName { name: name.to_string() });
+        }
+        L::validate_cfg(cfg)?;
+        let mut entries = self.entries.lock().unwrap();
+        let cfg_word = L::cfg_word(cfg);
+        if let Some(e) = entries.get(name) {
+            if e.kind != L::KIND {
+                return Err(AttachError::WrongKind {
+                    name: name.to_string(),
+                    expected: L::KIND,
+                    found: e.kind,
+                });
+            }
+            if e.cfg != cfg_word {
+                return Err(AttachError::CfgMismatch {
+                    name: name.to_string(),
+                    expected: cfg_word,
+                    found: e.cfg,
+                });
+            }
+            return Ok(Arc::clone(&e.handle).downcast::<L>().expect("kind/cfg imply the type"));
+        }
+        // New entry: root block + catalog record (kind word last), then the
+        // structure's own idempotent root install. No recovery needed — the
+        // entry cannot predate this attach.
+        // SAFETY: committed catalog block; single attach-owner discipline.
+        let root = unsafe {
+            self.heap.catalog_append(self.catalog, name, L::KIND, cfg_word, L::root_bytes(cfg))
+        }?;
+        let env = self.env();
+        let s = Arc::new(L::open(&env, cfg, root)?);
+        entries.insert(
+            name.to_string(),
+            Entry {
+                kind: L::KIND,
+                cfg: cfg_word,
+                handle: Arc::clone(&s) as Arc<dyn Any + Send + Sync>,
+            },
+        );
+        Ok(s)
+    }
+
+    /// Typed handle: sharded hash map (`shards` must match on re-open).
+    pub fn hashmap<const TUNED: bool>(
+        &self,
+        name: &str,
+        shards: usize,
+    ) -> Result<Arc<RHashMap<MappedNvm, TUNED>>, AttachError> {
+        self.get(name, shards)
+    }
+
+    /// Typed handle: FIFO queue.
+    pub fn queue<const TUNED: bool>(
+        &self,
+        name: &str,
+    ) -> Result<Arc<RQueue<MappedNvm, TUNED>>, AttachError> {
+        self.get(name, ())
+    }
+
+    /// Typed handle: sorted list.
+    pub fn list<const TUNED: bool>(
+        &self,
+        name: &str,
+    ) -> Result<Arc<RList<MappedNvm, TUNED>>, AttachError> {
+        self.get(name, ())
+    }
+
+    /// Typed handle: external BST.
+    pub fn bst<const TUNED: bool>(
+        &self,
+        name: &str,
+    ) -> Result<Arc<RBst<MappedNvm, TUNED>>, AttachError> {
+        self.get(name, ())
+    }
+
+    /// Typed handle: direct-tracked stack (elimination disabled — mapped).
+    pub fn stack(&self, name: &str) -> Result<Arc<RStack<MappedNvm>>, AttachError> {
+        self.get(name, ())
+    }
+
+    fn env(&self) -> AttachEnv {
+        AttachEnv::with_pool(Arc::clone(&self.heap), self.rec_base, self.info_pool.clone())
+    }
+}
+
+/// Kind-dispatched construction of an existing catalog entry (the tuning
+/// bit lives in the configuration word).
+fn construct_entry(env: &AttachEnv, e: &CatalogEntry) -> Result<Box<dyn SlotOps>, AttachError> {
+    fn open_as<L: MappedLayout>(
+        env: &AttachEnv,
+        cfg: L::Cfg,
+        root: *mut u8,
+    ) -> Result<Box<dyn SlotOps>, AttachError> {
+        Ok(Box::new(L::open(env, cfg, root)?))
+    }
+    let tuned = e.cfg >> 32 & 1 == 1;
+    match e.kind {
+        crate::hashmap::KIND_MAP => {
+            let shards = (e.cfg & 0xFFFF_FFFF) as usize;
+            if !shards.is_power_of_two() {
+                return Err(MapError::CorruptCatalog { slot: e.slot }.into());
+            }
+            if tuned {
+                open_as::<RHashMap<MappedNvm, true>>(env, shards, e.root)
+            } else {
+                open_as::<RHashMap<MappedNvm, false>>(env, shards, e.root)
+            }
+        }
+        crate::queue::KIND_QUEUE => {
+            if tuned {
+                open_as::<RQueue<MappedNvm, true>>(env, (), e.root)
+            } else {
+                open_as::<RQueue<MappedNvm, false>>(env, (), e.root)
+            }
+        }
+        crate::list::KIND_LIST => {
+            if tuned {
+                open_as::<RList<MappedNvm, true>>(env, (), e.root)
+            } else {
+                open_as::<RList<MappedNvm, false>>(env, (), e.root)
+            }
+        }
+        crate::bst::KIND_BST => {
+            if tuned {
+                open_as::<RBst<MappedNvm, true>>(env, (), e.root)
+            } else {
+                open_as::<RBst<MappedNvm, false>>(env, (), e.root)
+            }
+        }
+        crate::stack::KIND_STACK => open_as::<RStack<MappedNvm>>(env, (), e.root),
+        _ => Err(MapError::CorruptCatalog { slot: e.slot }.into()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recovery::Recovered;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let p = std::env::temp_dir().join(format!(
+            "isb_store_{}_{}_{name}.heap",
+            std::process::id(),
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .unwrap()
+                .subsec_nanos()
+        ));
+        let _ = std::fs::remove_file(&p);
+        p
+    }
+
+    #[test]
+    fn five_kinds_roundtrip_one_heap() {
+        let _gate = crate::counters::gate_shared();
+        nvm::tid::set_tid(0);
+        let path = tmp("five");
+        {
+            let store = Store::open_sized(&path, 8 << 20).unwrap();
+            let m = store.hashmap::<false>("users", 4).unwrap();
+            let q = store.queue::<false>("jobs").unwrap();
+            let l = store.list::<true>("index").unwrap();
+            let t = store.bst::<false>("tree").unwrap();
+            let s = store.stack("undo").unwrap();
+            for k in 1..=100u64 {
+                assert!(m.insert(0, k));
+            }
+            for v in 1..=50u64 {
+                q.enqueue(0, v);
+            }
+            assert_eq!(q.dequeue(0), Some(1));
+            for k in (1..=40u64).step_by(2) {
+                assert!(l.insert(0, k));
+            }
+            for k in [9u64, 3, 12, 7] {
+                assert!(t.insert(0, k));
+            }
+            s.push(0, 11);
+            s.push(0, 22);
+            assert_eq!(s.pop(0), Some(22));
+        }
+        {
+            let store = Store::open_sized(&path, 8 << 20).unwrap();
+            assert_eq!(store.entries().len(), 5);
+            let m = store.hashmap::<false>("users", 4).unwrap();
+            let q = store.queue::<false>("jobs").unwrap();
+            let l = store.list::<true>("index").unwrap();
+            let t = store.bst::<false>("tree").unwrap();
+            let s = store.stack("undo").unwrap();
+            for k in 1..=100u64 {
+                assert!(m.find(0, k), "map key {k} lost");
+            }
+            for v in 2..=50u64 {
+                assert_eq!(q.dequeue(0), Some(v), "queue order after re-attach");
+            }
+            assert_eq!(q.dequeue(0), None);
+            for k in 1..=40u64 {
+                assert_eq!(l.find(0, k), k % 2 == 1, "list key {k}");
+            }
+            for k in [9u64, 3, 12, 7] {
+                assert!(t.find(0, k), "bst key {k} lost");
+            }
+            assert_eq!(s.pop(0), Some(11));
+            assert_eq!(s.pop(0), None);
+            // The recovered store keeps serving.
+            assert!(m.insert(0, 1000));
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn wrong_kind_and_cfg_mismatch_are_typed() {
+        let _gate = crate::counters::gate_shared();
+        nvm::tid::set_tid(0);
+        let path = tmp("typed");
+        let store = Store::open_sized(&path, 4 << 20).unwrap();
+        store.hashmap::<false>("users", 4).unwrap();
+        match store.queue::<false>("users") {
+            Err(AttachError::WrongKind { name, expected, found }) => {
+                assert_eq!(name, "users");
+                assert_eq!(expected, crate::queue::KIND_QUEUE);
+                assert_eq!(found, crate::hashmap::KIND_MAP);
+            }
+            other => panic!("expected WrongKind, got {other:?}", other = other.err()),
+        }
+        match store.hashmap::<false>("users", 8) {
+            Err(AttachError::CfgMismatch { name, .. }) => assert_eq!(name, "users"),
+            other => panic!("expected CfgMismatch, got {other:?}", other = other.err()),
+        }
+        match store.hashmap::<true>("users", 4) {
+            Err(AttachError::CfgMismatch { .. }) => {}
+            other => panic!("expected CfgMismatch (tuning), got {other:?}", other = other.err()),
+        }
+        // The matching handle still opens, and is the same object.
+        let a = store.hashmap::<false>("users", 4).unwrap();
+        let b = store.hashmap::<false>("users", 4).unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+        drop((a, b, store));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    /// Unusable arguments are rejected BEFORE anything durable happens: no
+    /// catalog entry is stamped, and the heap stays fully usable.
+    #[test]
+    fn invalid_cfg_and_name_are_rejected_before_the_catalog() {
+        let _gate = crate::counters::gate_shared();
+        nvm::tid::set_tid(0);
+        let path = tmp("precheck");
+        {
+            let store = Store::open_sized(&path, 4 << 20).unwrap();
+            match store.hashmap::<false>("m", 3) {
+                Err(AttachError::InvalidCfg { kind, .. }) => assert_eq!(kind, "hashmap"),
+                other => panic!("expected InvalidCfg, got {:?}", other.err()),
+            }
+            let long = "x".repeat(nvm::mapped::CATALOG_NAME_BYTES + 1);
+            match store.queue::<false>(&long) {
+                Err(AttachError::InvalidName { .. }) => {}
+                other => panic!("expected InvalidName, got {:?}", other.err()),
+            }
+            match store.queue::<false>("") {
+                Err(AttachError::InvalidName { .. }) => {}
+                other => panic!("expected InvalidName, got {:?}", other.err()),
+            }
+            assert!(store.entries().is_empty(), "nothing durable was written");
+            // A valid handle still works after the rejections.
+            store.hashmap::<false>("m", 4).unwrap().insert(0, 7);
+        }
+        // ...and the heap re-opens cleanly (a durable bad entry would brick
+        // every future open with CorruptCatalog).
+        let store = Store::open_sized(&path, 4 << 20).unwrap();
+        assert!(store.hashmap::<false>("m", 4).unwrap().find(0, 7));
+        // Standalone attach pre-checks too, before even touching the file.
+        match RHashMap::<MappedNvm, false>::attach_sized(tmp("precheck2"), 6, 4 << 20) {
+            Err(AttachError::InvalidCfg { .. }) => {}
+            other => panic!("expected InvalidCfg, got {:?}", other.err()),
+        }
+        drop(store);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn store_heap_rejects_standalone_attach_and_vice_versa() {
+        let _gate = crate::counters::gate_shared();
+        nvm::tid::set_tid(0);
+        let path = tmp("crosskind");
+        drop(Store::open_sized(&path, 4 << 20).unwrap());
+        match RHashMap::<MappedNvm, false>::attach_sized(&path, 4, 4 << 20) {
+            Err(AttachError::WrongKind { expected, found, .. }) => {
+                assert_eq!(expected, crate::hashmap::KIND_MAP);
+                assert_eq!(found, KIND_STORE);
+            }
+            other => panic!("expected WrongKind, got {:?}", other.err()),
+        }
+        let _ = std::fs::remove_file(&path);
+        drop(RQueue::<MappedNvm, false>::attach_sized(&path, 4 << 20).unwrap());
+        match Store::open_sized(&path, 4 << 20) {
+            Err(AttachError::WrongKind { expected, found, .. }) => {
+                assert_eq!(expected, KIND_STORE);
+                assert_eq!(found, crate::queue::KIND_QUEUE);
+            }
+            other => panic!("expected WrongKind, got {:?}", other.err()),
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn shared_recovery_area_spans_structures() {
+        let _gate = crate::counters::gate_shared();
+        nvm::tid::set_tid(0);
+        let path = tmp("sharedrec");
+        {
+            let store = Store::open_sized(&path, 4 << 20).unwrap();
+            let m = store.hashmap::<false>("m", 2).unwrap();
+            let q = store.queue::<false>("q").unwrap();
+            // Alternating ops hand the shared RD_q across structures.
+            for i in 1..=50u64 {
+                assert!(m.insert(0, i));
+                q.enqueue(0, i);
+                assert_eq!(q.dequeue(0), Some(i));
+            }
+            // Last mutating op was a dequeue: its response is recoverable.
+            assert_eq!(q.recover_dequeue(0), Some(50));
+        }
+        {
+            // Across a restart, the shared replay resolves the last op too.
+            let store = Store::open_sized(&path, 4 << 20).unwrap();
+            match store.summary().decision(0) {
+                Recovered::Completed(_) | Recovered::Restart => {}
+            }
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -178,8 +178,11 @@ pub const GRANULE: usize = 64;
 const PAGE: usize = 4096;
 /// Superblock magic ("ISBMAP01").
 pub const MAGIC: u64 = 0x4953_424D_4150_3031;
-/// On-disk format version.
-pub const VERSION: u64 = 1;
+/// On-disk format version. v2: the root directory's per-structure keys
+/// (`HEADS`/`ANCHOR`) were replaced by the generic `STRUCT` key and the
+/// named-structure catalog was added — v1 heaps must fail typed
+/// (`BadVersion`) rather than silently attach with empty roots.
+pub const VERSION: u64 = 2;
 /// Base address requested for fresh heaps: high in the 47-bit user window,
 /// far from the default heap/mmap/stack regions of both parent and child
 /// processes, so cross-process re-attach almost always lands at the same
@@ -285,6 +288,16 @@ pub enum MapError {
         /// The offending pointer value.
         addr: u64,
     },
+    /// A catalog entry is inconsistent: unknown structure kind, impossible
+    /// root offset, or a malformed name. No crash ordering produces this —
+    /// entry creation stamps the kind word last, so a torn creation leaves
+    /// the slot invisible, not damaged.
+    CorruptCatalog {
+        /// Catalog slot index of the bad entry.
+        slot: usize,
+    },
+    /// The catalog has no free slot for another named structure.
+    CatalogFull,
     /// The arena is out of space.
     Exhausted,
 }
@@ -312,6 +325,12 @@ impl std::fmt::Display for MapError {
             }
             MapError::CorruptPointer { addr } => {
                 write!(f, "persistent pointer {addr:#x} points outside the mapped arena")
+            }
+            MapError::CorruptCatalog { slot } => {
+                write!(f, "corrupt catalog entry in slot {slot}")
+            }
+            MapError::CatalogFull => {
+                write!(f, "catalog full ({CATALOG_SLOTS} named structures per heap)")
             }
             MapError::Exhausted => write!(f, "persistent heap exhausted"),
         }
@@ -847,6 +866,160 @@ impl MappedHeap {
     pub fn bump_granules(&self) -> usize {
         self.word(W_BUMP).load(Acquire) as usize
     }
+
+    // -- named-structure catalog -------------------------------------------
+
+    /// Returns (allocating on first use) the catalog block: a fixed array
+    /// of [`CATALOG_SLOTS`] entries mapping *names* to
+    /// `(kind, cfg, root block)` so one heap can host many structures
+    /// (the store layer). The caller registers it under its own root key.
+    pub fn catalog_root(&self, key: u64) -> Result<*mut u8, MapError> {
+        let (p, _) = self.root_alloc(key, CATALOG_SLOTS * CATALOG_ENTRY_BYTES)?;
+        Ok(p)
+    }
+
+    /// Entry slot `i` of the catalog block at `cat`.
+    ///
+    /// # Safety
+    /// `cat` must be the committed catalog block of this heap.
+    unsafe fn catalog_word(&self, cat: *mut u8, slot: usize, word: usize) -> &AtomicU64 {
+        debug_assert!(slot < CATALOG_SLOTS && word < CATALOG_ENTRY_BYTES / 8);
+        // SAFETY: in-bounds word of the committed catalog block.
+        unsafe { &*(cat.add(slot * CATALOG_ENTRY_BYTES + word * 8) as *const AtomicU64) }
+    }
+
+    /// Decodes every valid catalog entry. Returns a typed
+    /// [`MapError::CorruptCatalog`] for any slot whose kind word is set but
+    /// whose fields are inconsistent (root offset out of bounds, oversized
+    /// or non-UTF-8 name) — shapes no crash ordering can produce.
+    ///
+    /// # Safety
+    /// `cat` must be the committed catalog block of this heap.
+    pub unsafe fn catalog_entries(&self, cat: *mut u8) -> Result<Vec<CatalogEntry>, MapError> {
+        let mut out = Vec::new();
+        for slot in 0..CATALOG_SLOTS {
+            // SAFETY: in-bounds catalog words.
+            let e = unsafe { self.catalog_read(cat, slot) }?;
+            if let Some(e) = e {
+                out.push(e);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Decodes one catalog slot (`None` when empty).
+    ///
+    /// # Safety
+    /// As [`MappedHeap::catalog_entries`].
+    unsafe fn catalog_read(
+        &self,
+        cat: *mut u8,
+        slot: usize,
+    ) -> Result<Option<CatalogEntry>, MapError> {
+        // SAFETY: in-bounds catalog words per CATALOG_SLOTS.
+        let w = |i: usize| unsafe { self.catalog_word(cat, slot, i) }.load(Acquire);
+        let kind = w(0);
+        if kind == 0 {
+            return Ok(None);
+        }
+        let cfg = w(1);
+        let root_off = w(2) as usize;
+        let name_len = w(3) as usize;
+        if name_len == 0
+            || name_len > CATALOG_NAME_BYTES
+            || root_off < self.data_off
+            || root_off >= self.size
+        {
+            return Err(MapError::CorruptCatalog { slot });
+        }
+        let mut raw = [0u8; CATALOG_NAME_BYTES];
+        for (i, chunk) in raw.chunks_mut(8).enumerate() {
+            chunk.copy_from_slice(&w(4 + i).to_le_bytes());
+        }
+        let Ok(name) = std::str::from_utf8(&raw[..name_len]) else {
+            return Err(MapError::CorruptCatalog { slot });
+        };
+        Ok(Some(CatalogEntry {
+            slot,
+            name: name.to_string(),
+            kind,
+            cfg,
+            // SAFETY: offset bounds-checked above.
+            root: unsafe { self.base.add(root_off) },
+        }))
+    }
+
+    /// Appends a named entry: allocates a zeroed, committed root block of
+    /// `root_bytes`, writes the entry fields, and stamps the kind word
+    /// **last** (the valid flag) — a creation cut short by a kill leaves
+    /// the slot empty and the orphaned root block unreferenced, which the
+    /// next attach sweeps. The caller must have checked the name is not
+    /// already present.
+    ///
+    /// # Safety
+    /// `cat` must be the committed catalog block of this heap; single
+    /// attach-owner discipline (no concurrent catalog writers).
+    pub unsafe fn catalog_append(
+        &self,
+        cat: *mut u8,
+        name: &str,
+        kind: u64,
+        cfg: u64,
+        root_bytes: usize,
+    ) -> Result<*mut u8, MapError> {
+        assert!(kind != 0, "kind 0 is the empty-slot marker");
+        assert!(
+            !name.is_empty() && name.len() <= CATALOG_NAME_BYTES,
+            "catalog names must be 1..={CATALOG_NAME_BYTES} bytes, got {:?}",
+            name
+        );
+        let slot = (0..CATALOG_SLOTS)
+            // SAFETY: in-bounds catalog words.
+            .find(|&s| unsafe { self.catalog_word(cat, s, 0) }.load(Acquire) == 0)
+            .ok_or(MapError::CatalogFull)?;
+        let root = self.alloc(root_bytes)?;
+        // Blocks recycled from the free list carry stale payloads.
+        // SAFETY: freshly allocated block of at least root_bytes.
+        unsafe { std::ptr::write_bytes(root, 0, root_bytes.max(1).div_ceil(GRANULE) * GRANULE) };
+        self.commit(root);
+        let mut raw = [0u8; CATALOG_NAME_BYTES];
+        raw[..name.len()].copy_from_slice(name.as_bytes());
+        // SAFETY: in-bounds catalog words; fields first, kind (valid) last.
+        unsafe {
+            self.catalog_word(cat, slot, 1).store(cfg, SeqCst);
+            self.catalog_word(cat, slot, 2)
+                .store((root as usize - self.base as usize) as u64, SeqCst);
+            self.catalog_word(cat, slot, 3).store(name.len() as u64, SeqCst);
+            for (i, chunk) in raw.chunks(8).enumerate() {
+                self.catalog_word(cat, slot, 4 + i)
+                    .store(u64::from_le_bytes(chunk.try_into().unwrap()), SeqCst);
+            }
+            self.catalog_word(cat, slot, 0).store(kind, SeqCst);
+        }
+        Ok(root)
+    }
+}
+
+/// Catalog geometry: entries per heap and bytes per entry / name.
+pub const CATALOG_SLOTS: usize = 16;
+/// Bytes of one catalog entry (one allocation granule).
+pub const CATALOG_ENTRY_BYTES: usize = 64;
+/// Maximum name length in bytes (UTF-8).
+pub const CATALOG_NAME_BYTES: usize = 32;
+
+/// One decoded catalog entry: a named structure hosted by the heap.
+#[derive(Debug, Clone)]
+pub struct CatalogEntry {
+    /// Catalog slot index (error reporting).
+    pub slot: usize,
+    /// The structure's name (unique per heap).
+    pub name: String,
+    /// Structure-kind tag (the store layer interprets it).
+    pub kind: u64,
+    /// Configuration word recorded at creation.
+    pub cfg: u64,
+    /// The structure's root block payload.
+    pub root: *mut u8,
 }
 
 fn map_file(fd: i32, size: usize, preferred: Option<usize>) -> Result<*mut u8, MapError> {

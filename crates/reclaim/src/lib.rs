@@ -79,7 +79,6 @@ const ADVANCE_PERIOD: u64 = 64;
 /// Thread-private reclamation state (owned exclusively by the slot's thread).
 struct Bags {
     depth: u32,
-    pin_epoch: u64,
     pins: u64,
     bags: [Vec<Garbage>; GENS],
     bag_epochs: [u64; GENS],
@@ -87,13 +86,7 @@ struct Bags {
 
 impl Default for Bags {
     fn default() -> Self {
-        Self {
-            depth: 0,
-            pin_epoch: 0,
-            pins: 0,
-            bags: Default::default(),
-            bag_epochs: [u64::MAX; GENS],
-        }
+        Self { depth: 0, pins: 0, bags: Default::default(), bag_epochs: [u64::MAX; GENS] }
     }
 }
 
@@ -184,7 +177,6 @@ impl Collector {
             }
             epoch = now;
         }
-        bags.pin_epoch = epoch;
         bags.pins += 1;
         self.collect(bags, epoch);
         if bags.pins.is_multiple_of(ADVANCE_PERIOD) {
@@ -237,7 +229,20 @@ impl Collector {
         // SAFETY: slot owner; retire is only legal while pinned.
         let bags = unsafe { &mut *slot.bags.get() };
         debug_assert!(bags.depth > 0, "retire outside of a pin");
-        let e = bags.pin_epoch;
+        // Seal with the CURRENT global epoch, not the epoch this thread
+        // pinned at. The global may have advanced one step during our pin
+        // (advancement only waits for threads announcing OLDER epochs), so
+        // a reader pinned at `pin_epoch + 1` may have obtained a reference
+        // to this object before we unlinked it. Sealing with `pin_epoch`
+        // would free at global `pin_epoch + 2` — an advancement that reader
+        // does NOT block (it announces `pin_epoch + 1`) — a one-epoch-early
+        // use-after-free. Sealing with the epoch loaded here (SeqCst,
+        // strictly after the unlink) is airtight: in the SeqCst total order
+        // every reader that obtained the pointer before the unlink pinned
+        // no later than this load, so it announced at most `e` and blocks
+        // advancement beyond `e + 1`, while the bag is freed only once the
+        // global reaches `e + 2`.
+        let e = self.global.load(SeqCst);
         let idx = (e % GENS as u64) as usize;
         if bags.bag_epochs[idx] != e {
             // The slot cycled to a new epoch: its old content is ≥3 epochs old.

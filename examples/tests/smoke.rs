@@ -43,8 +43,12 @@ fn kv_index_runs() {
 #[test]
 fn restart_kv_runs() {
     let out = run_example(env!("CARGO_BIN_EXE_restart_kv"), &[]);
-    assert!(out.contains("no acked key lost"), "unexpected output:\n{out}");
-    assert!(out.contains("cross-process recovery complete"), "unexpected output:\n{out}");
+    assert!(out.contains("2 cataloged structures"), "unexpected output:\n{out}");
+    assert!(out.contains("no acked work lost"), "unexpected output:\n{out}");
+    assert!(
+        out.contains("cross-process multi-structure recovery complete"),
+        "unexpected output:\n{out}"
+    );
 }
 
 #[test]

@@ -1,10 +1,18 @@
 //! Attach-time corruption matrix for the mapped backend: every damaged-image
-//! shape must fail with a **typed** `MapError` — never undefined behaviour —
-//! and the benign torn states must heal. Complements the in-crate roundtrip
-//! tests (`isb::hashmap`/`isb::queue`) and the cross-process SIGKILL harness
-//! (`restart.rs`).
+//! shape must fail with a **typed** error (`MapError` via `AttachError`) —
+//! never undefined behaviour — and the benign torn states must heal. Covers
+//! the superblock/bitmap/header shapes, cross-kind opens across all five
+//! structure kinds plus the multi-structure store, and catalog-entry
+//! corruption. Complements the in-crate roundtrip tests and the
+//! cross-process SIGKILL harness (`restart.rs`).
 
+use isb::bst::RBst;
 use isb::hashmap::RHashMap;
+use isb::list::RList;
+use isb::queue::RQueue;
+use isb::recovery::AttachError;
+use isb::stack::RStack;
+use isb::store::Store;
 use nvm::mapped::MappedHeap;
 use nvm::{MapError, MappedNvm};
 use std::path::PathBuf;
@@ -53,8 +61,27 @@ fn read_word(path: &PathBuf, word: u64) -> u64 {
     read_at(path, word * 8)
 }
 
-fn attach(path: &PathBuf) -> Result<(), MapError> {
+/// Root-directory scan (superblock words 16..): payload offset for `key`.
+fn root_offset(path: &PathBuf, key: u64) -> u64 {
+    for s in 0..16u64 {
+        if read_word(path, 16 + 2 * s) == key {
+            return read_word(path, 16 + 2 * s + 1);
+        }
+    }
+    panic!("root key {key:#x} not registered");
+}
+
+fn attach(path: &PathBuf) -> Result<(), AttachError> {
     RHashMap::<MappedNvm, false>::attach_sized(path, SHARDS, HEAP_BYTES).map(|_| ())
+}
+
+/// Unwraps the heap-level error inside an `AttachError`.
+fn map_err(r: Result<(), AttachError>) -> MapError {
+    match r {
+        Err(AttachError::Map(e)) => e,
+        Err(e) => panic!("expected a heap-level MapError, got {e}"),
+        Ok(()) => panic!("damaged heap must not attach"),
+    }
 }
 
 #[test]
@@ -64,19 +91,18 @@ fn truncated_file_fails_typed() {
     let f = std::fs::OpenOptions::new().write(true).open(&path).unwrap();
     f.set_len(HEAP_BYTES as u64 / 2).unwrap();
     drop(f);
-    match attach(&path) {
-        Err(MapError::Truncated { expected, found }) => {
+    match map_err(attach(&path)) {
+        MapError::Truncated { expected, found } => {
             assert_eq!(expected, HEAP_BYTES as u64);
             assert_eq!(found, HEAP_BYTES as u64 / 2);
         }
-        Err(e) => panic!("expected Truncated, got {e}"),
-        Ok(()) => panic!("truncated heap must not attach"),
+        e => panic!("expected Truncated, got {e}"),
     }
     // Sub-superblock truncation as well.
     let f = std::fs::OpenOptions::new().write(true).open(&path).unwrap();
     f.set_len(100).unwrap();
     drop(f);
-    assert!(matches!(attach(&path), Err(MapError::Truncated { .. })));
+    assert!(matches!(map_err(attach(&path)), MapError::Truncated { .. }));
     let _ = std::fs::remove_file(&path);
 }
 
@@ -85,10 +111,9 @@ fn wrong_magic_fails_typed() {
     let path = tmp("magic");
     mk_map(&path);
     patch(&path, 0, &0xBAD0_BAD0_BAD0_BAD0u64.to_le_bytes());
-    match attach(&path) {
-        Err(MapError::BadMagic(m)) => assert_eq!(m, 0xBAD0_BAD0_BAD0_BAD0),
-        Err(e) => panic!("expected BadMagic, got {e}"),
-        Ok(()) => panic!("bad magic must not attach"),
+    match map_err(attach(&path)) {
+        MapError::BadMagic(m) => assert_eq!(m, 0xBAD0_BAD0_BAD0_BAD0),
+        e => panic!("expected BadMagic, got {e}"),
     }
     let _ = std::fs::remove_file(&path);
 }
@@ -98,10 +123,9 @@ fn wrong_version_fails_typed() {
     let path = tmp("version");
     mk_map(&path);
     patch(&path, 8, &99u64.to_le_bytes()); // word 1: version
-    match attach(&path) {
-        Err(MapError::BadVersion(v)) => assert_eq!(v, 99),
-        Err(e) => panic!("expected BadVersion, got {e}"),
-        Ok(()) => panic!("future version must not attach"),
+    match map_err(attach(&path)) {
+        MapError::BadVersion(v) => assert_eq!(v, 99),
+        e => panic!("expected BadVersion, got {e}"),
     }
     let _ = std::fs::remove_file(&path);
 }
@@ -113,7 +137,7 @@ fn invalid_base_fails_typed() {
     // Word 2: the recorded base. An unaligned/garbage base is rejected
     // before anything is mapped.
     patch(&path, 16, &0x0123_4567_u64.to_le_bytes());
-    assert!(matches!(attach(&path), Err(MapError::BadSuperblock(_))));
+    assert!(matches!(map_err(attach(&path)), MapError::BadSuperblock(_)));
     let _ = std::fs::remove_file(&path);
 }
 
@@ -128,16 +152,15 @@ fn superblock_from_a_different_base_fails_typed_not_ub() {
     let old = read_word(&path, 2);
     let wrong = old ^ 0x2000_0000_0000; // flip a high bit: stays aligned & canonical
     patch(&path, 16, &wrong.to_le_bytes());
-    match attach(&path) {
-        Err(MapError::CorruptPointer { addr }) => {
+    match map_err(attach(&path)) {
+        MapError::CorruptPointer { addr } => {
             // The first out-of-window pointer is reported verbatim.
             assert_ne!(addr, 0);
         }
         // If the kernel could not map at `wrong` either, the relocation
         // pass rebases *relative to the recorded base*, which scrambles the
         // pointers the same way — still a typed CorruptPointer.
-        Err(e) => panic!("expected CorruptPointer, got {e}"),
-        Ok(()) => panic!("foreign-base superblock must not attach"),
+        e => panic!("expected CorruptPointer, got {e}"),
     }
     let _ = std::fs::remove_file(&path);
 }
@@ -146,27 +169,18 @@ fn superblock_from_a_different_base_fails_typed_not_ub() {
 fn pointer_at_mapping_end_fails_typed_not_oob() {
     let path = tmp("oob");
     mk_map(&path);
-    // Point the first bucket head at the very last 8-aligned address of the
-    // mapping: it is aligned and *starts* inside the arena, but reading a
-    // whole node there would run past the mapping end. The span-aware
+    // Point the map's root block (the bucket-head array, registered under
+    // the generic STRUCT root key) at the very last 8-aligned address of
+    // the mapping: it is aligned and *starts* inside the arena, but reading
+    // a whole node there would run past the mapping end. The span-aware
     // validation must reject it before any dereference.
     let base = read_word(&path, 2);
     let size = read_word(&path, 3);
-    let heads_off = {
-        // Scan the root directory (words 16..) for the HEADS key.
-        let mut off = None;
-        for s in 0..16u64 {
-            if read_word(&path, 16 + 2 * s) == 0x4845_4144 {
-                off = Some(read_word(&path, 16 + 2 * s + 1));
-            }
-        }
-        off.expect("heads root registered")
-    };
+    let heads_off = root_offset(&path, 0x5354_5543); // rootkeys::STRUCT
     patch(&path, heads_off, &(base + size - 8).to_le_bytes());
-    match attach(&path) {
-        Err(MapError::CorruptPointer { addr }) => assert_eq!(addr, base + size - 8),
-        Err(e) => panic!("expected CorruptPointer, got {e}"),
-        Ok(()) => panic!("end-of-mapping pointer must not attach"),
+    match map_err(attach(&path)) {
+        MapError::CorruptPointer { addr } => assert_eq!(addr, base + size - 8),
+        e => panic!("expected CorruptPointer, got {e}"),
     }
     let _ = std::fs::remove_file(&path);
 }
@@ -179,7 +193,7 @@ fn bitmap_overlapping_data_region_fails_typed() {
     // bitmap would then overlap the data region, and bm_set/bm_clear would
     // silently scribble over block payloads. Must be a typed error.
     patch(&path, 6 * 8, &4096u64.to_le_bytes());
-    assert!(matches!(attach(&path), Err(MapError::BadSuperblock(_))));
+    assert!(matches!(map_err(attach(&path)), MapError::BadSuperblock(_)));
     let _ = std::fs::remove_file(&path);
 }
 
@@ -195,10 +209,9 @@ fn torn_bitmap_fails_typed() {
     // set its bit on top of the legitimate ones.
     let word0 = read_at(&path, bm_off);
     patch(&path, bm_off, &(word0 | 0b10).to_le_bytes());
-    match attach(&path) {
-        Err(MapError::CorruptBitmap { granule }) => assert_eq!(granule, 1),
-        Err(e) => panic!("expected CorruptBitmap, got {e}"),
-        Ok(()) => panic!("torn bitmap must not attach"),
+    match map_err(attach(&path)) {
+        MapError::CorruptBitmap { granule } => assert_eq!(granule, 1),
+        e => panic!("expected CorruptBitmap, got {e}"),
     }
     let _ = std::fs::remove_file(&path);
 }
@@ -211,7 +224,7 @@ fn committed_block_with_cleared_bit_fails_typed() {
     // header COMMITTED but bit 0 — the other irreconcilable direction.
     let bm_off = read_word(&path, 7);
     patch(&path, bm_off, &0u64.to_le_bytes());
-    assert!(matches!(attach(&path), Err(MapError::CorruptBitmap { .. })));
+    assert!(matches!(map_err(attach(&path)), MapError::CorruptBitmap { .. }));
     let _ = std::fs::remove_file(&path);
 }
 
@@ -222,29 +235,75 @@ fn smashed_block_header_fails_typed() {
     // First block header lives at data_off (superblock word 6).
     let data_off = read_word(&path, 6);
     patch(&path, data_off, &0xFFFF_FFFF_FFFF_FFFFu64.to_le_bytes());
-    match attach(&path) {
-        Err(MapError::CorruptHeader { granule }) => assert_eq!(granule, 0),
-        Err(e) => panic!("expected CorruptHeader, got {e}"),
-        Ok(()) => panic!("smashed header must not attach"),
+    match map_err(attach(&path)) {
+        MapError::CorruptHeader { granule } => assert_eq!(granule, 0),
+        e => panic!("expected CorruptHeader, got {e}"),
     }
     let _ = std::fs::remove_file(&path);
 }
 
+/// Every structure kind refuses every other kind's heap with a typed
+/// `WrongKind` carrying both kind tags — the full cross-kind matrix,
+/// including the store.
 #[test]
-fn wrong_structure_kind_fails_typed() {
-    let path = tmp("kind");
+fn cross_kind_opens_fail_typed() {
     nvm::tid::set_tid(0);
-    // Create a QUEUE heap, then try to attach it as a map.
-    drop(isb::queue::RQueue::<MappedNvm, false>::attach_sized(&path, HEAP_BYTES).unwrap());
-    match attach(&path) {
-        Err(MapError::WrongKind { expected, found }) => {
-            assert_eq!(expected, isb::hashmap::KIND_MAP);
-            assert_eq!(found, isb::queue::KIND_QUEUE);
+
+    // One creator per kind.
+    type Mk = fn(&PathBuf);
+    let creators: &[(u64, Mk)] = &[
+        (isb::hashmap::KIND_MAP, |p| {
+            drop(RHashMap::<MappedNvm, false>::attach_sized(p, SHARDS, HEAP_BYTES).unwrap())
+        }),
+        (isb::queue::KIND_QUEUE, |p| {
+            drop(RQueue::<MappedNvm, false>::attach_sized(p, HEAP_BYTES).unwrap())
+        }),
+        (isb::list::KIND_LIST, |p| {
+            drop(RList::<MappedNvm, false>::attach_sized(p, HEAP_BYTES).unwrap())
+        }),
+        (isb::bst::KIND_BST, |p| {
+            drop(RBst::<MappedNvm, false>::attach_sized(p, HEAP_BYTES).unwrap())
+        }),
+        (isb::stack::KIND_STACK, |p| {
+            drop(RStack::<MappedNvm>::attach_sized(p, HEAP_BYTES).unwrap())
+        }),
+        (isb::store::KIND_STORE, |p| drop(Store::open_sized(p, HEAP_BYTES).unwrap())),
+    ];
+    // One opener per kind.
+    type Open = fn(&PathBuf) -> Result<(), AttachError>;
+    let openers: &[(u64, Open)] = &[
+        (isb::hashmap::KIND_MAP, |p| {
+            RHashMap::<MappedNvm, false>::attach_sized(p, SHARDS, HEAP_BYTES).map(|_| ())
+        }),
+        (isb::queue::KIND_QUEUE, |p| {
+            RQueue::<MappedNvm, false>::attach_sized(p, HEAP_BYTES).map(|_| ())
+        }),
+        (isb::list::KIND_LIST, |p| {
+            RList::<MappedNvm, false>::attach_sized(p, HEAP_BYTES).map(|_| ())
+        }),
+        (isb::bst::KIND_BST, |p| RBst::<MappedNvm, false>::attach_sized(p, HEAP_BYTES).map(|_| ())),
+        (isb::stack::KIND_STACK, |p| RStack::<MappedNvm>::attach_sized(p, HEAP_BYTES).map(|_| ())),
+        (isb::store::KIND_STORE, |p| Store::open_sized(p, HEAP_BYTES).map(|_| ())),
+    ];
+
+    for &(made, mk) in creators {
+        let path = tmp(&format!("cross_{made}"));
+        mk(&path);
+        for &(want, open) in openers {
+            if want == made {
+                continue;
+            }
+            match open(&path) {
+                Err(AttachError::WrongKind { expected, found, .. }) => {
+                    assert_eq!(expected, want, "opener kind");
+                    assert_eq!(found, made, "creator kind");
+                }
+                Err(e) => panic!("kind {made} opened as {want}: expected WrongKind, got {e}"),
+                Ok(()) => panic!("kind {made} must not open as kind {want}"),
+            }
         }
-        Err(e) => panic!("expected WrongKind, got {e}"),
-        Ok(()) => panic!("queue heap must not attach as a map"),
+        let _ = std::fs::remove_file(&path);
     }
-    let _ = std::fs::remove_file(&path);
 }
 
 #[test]
@@ -266,5 +325,98 @@ fn heap_level_torn_tail_is_poisoned_through_structure_attach() {
     assert_eq!(map.snapshot_keys(), (1..=128).collect::<Vec<u64>>());
     map.check_invariants();
     drop(map);
+    let _ = std::fs::remove_file(&path);
+}
+
+// ---------------------------------------------------------------------------
+// Catalog corruption (multi-structure store)
+// ---------------------------------------------------------------------------
+
+/// Builds a two-structure store and returns the catalog block's file offset.
+fn mk_store(path: &PathBuf) -> u64 {
+    nvm::tid::set_tid(0);
+    {
+        let store = Store::open_sized(path, HEAP_BYTES).unwrap();
+        let m = store.hashmap::<false>("users", SHARDS).unwrap();
+        let q = store.queue::<false>("jobs").unwrap();
+        for k in 1..=64u64 {
+            assert!(m.insert(0, k));
+        }
+        for v in 1..=32u64 {
+            q.enqueue(0, v);
+        }
+    }
+    root_offset(path, 0x4341_5441) // rootkeys::CATALOG
+}
+
+fn store_err(path: &PathBuf) -> AttachError {
+    match Store::open_sized(path, HEAP_BYTES) {
+        Err(e) => e,
+        Ok(_) => panic!("corrupt catalog must not attach"),
+    }
+}
+
+#[test]
+fn catalog_root_offset_out_of_bounds_fails_typed() {
+    let path = tmp("cat_root");
+    let cat = mk_store(&path);
+    // Entry word 2 is the root offset; point slot 0's outside the file.
+    let size = read_word(&path, 3);
+    patch(&path, cat + 16, &(size + 4096).to_le_bytes());
+    match store_err(&path) {
+        AttachError::Map(MapError::CorruptCatalog { slot }) => assert_eq!(slot, 0),
+        e => panic!("expected CorruptCatalog, got {e}"),
+    }
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn catalog_oversized_name_fails_typed() {
+    let path = tmp("cat_name");
+    let cat = mk_store(&path);
+    // Entry word 3 is the name length; 33 exceeds the inline name buffer.
+    patch(&path, cat + 24, &33u64.to_le_bytes());
+    assert!(matches!(store_err(&path), AttachError::Map(MapError::CorruptCatalog { slot: 0 })));
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn catalog_unknown_kind_fails_typed() {
+    let path = tmp("cat_kind");
+    let cat = mk_store(&path);
+    // Entry word 0 is the kind (valid flag); 0xEE is no known structure.
+    patch(&path, cat, &0xEEu64.to_le_bytes());
+    assert!(matches!(store_err(&path), AttachError::Map(MapError::CorruptCatalog { slot: 0 })));
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn catalog_second_entry_corruption_reports_its_slot() {
+    let path = tmp("cat_slot1");
+    let cat = mk_store(&path);
+    // Slot 1 ("jobs", 64 bytes after slot 0): zero name length.
+    patch(&path, cat + 64 + 24, &0u64.to_le_bytes());
+    assert!(matches!(store_err(&path), AttachError::Map(MapError::CorruptCatalog { slot: 1 })));
+    let _ = std::fs::remove_file(&path);
+}
+
+/// A cleared kind word is indistinguishable from a torn entry creation:
+/// the slot is simply invisible, the orphaned blocks are swept, and the
+/// rest of the store attaches fine.
+#[test]
+fn catalog_cleared_kind_word_is_a_benign_empty_slot() {
+    let path = tmp("cat_torn");
+    let cat = mk_store(&path);
+    patch(&path, cat + 64, &0u64.to_le_bytes()); // slot 1's kind := 0
+    nvm::tid::set_tid(0);
+    let store = Store::open_sized(&path, HEAP_BYTES).unwrap();
+    let names: Vec<String> = store.entries().into_iter().map(|(n, _, _)| n).collect();
+    assert_eq!(names, vec!["users".to_string()], "slot 1 invisible, slot 0 intact");
+    assert!(store.summary().swept > 0, "the orphaned entry's blocks are reclaimed");
+    let m = store.hashmap::<false>("users", SHARDS).unwrap();
+    for k in 1..=64u64 {
+        assert!(m.find(0, k), "surviving entry damaged by the sweep");
+    }
+    drop((m, store));
     let _ = std::fs::remove_file(&path);
 }

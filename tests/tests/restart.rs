@@ -35,8 +35,9 @@
 
 use isb::hashmap::RHashMap;
 use isb::recovery::Recovered;
+use isb::store::Store;
 use nvm::MappedNvm;
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::fs::OpenOptions;
 use std::io::Write;
 use std::path::{Path, PathBuf};
@@ -349,6 +350,294 @@ fn restart_sigkill_recovers_across_processes() {
     assert!(total_acked > 0, "no seed produced any acked work — kill timing broken");
 }
 
+// ---------------------------------------------------------------------------
+// Multi-structure store scenario: one heap, a map AND a queue, SIGKILL
+// ---------------------------------------------------------------------------
+
+const STORE_HEAP_BYTES: usize = 32 * 1024 * 1024;
+const QUEUE_PID: usize = 3; // map workers are pids 1..=2
+
+/// `RES_UNIT` / `RES_EMPTY` / `RES_VAL_BASE` of the result encoding.
+const RES_UNIT: u64 = 3;
+const RES_EMPTY: u64 = 4;
+const RES_VAL_BASE: u64 = 16;
+
+/// Child: two map workers plus one queue worker hammer ONE store heap with
+/// per-pid journals until the parent kills them.
+#[test]
+#[ignore = "child half of the store restart harness; spawned by the parent test"]
+fn store_restart_child_worker() {
+    let Ok(dir) = std::env::var("ISB_RESTART_DIR") else { return };
+    let dir = PathBuf::from(dir);
+    let seed: u64 = std::env::var("ISB_RESTART_SEED").unwrap().parse().unwrap();
+
+    nvm::tid::set_tid(0);
+    let store = Arc::new(Store::open_sized(heap_path(&dir), STORE_HEAP_BYTES).expect("child open"));
+    let map = store.hashmap::<false>("users", SHARDS).expect("users handle");
+    let queue = store.queue::<false>("jobs").expect("jobs handle");
+    std::fs::write(dir.join("ready"), b"ok").unwrap();
+
+    let mut handles = Vec::new();
+    for pid in 1..=2usize {
+        let map = Arc::clone(&map);
+        let dir = dir.clone();
+        handles.push(std::thread::spawn(move || {
+            nvm::tid::set_tid(pid);
+            let mut log =
+                OpenOptions::new().create(true).append(true).open(log_path(&dir, pid)).unwrap();
+            let (lo, hi) = key_range(pid);
+            let mut rng = seed.wrapping_mul(31).wrapping_add(pid as u64);
+            let mut seq = 0u64;
+            loop {
+                seq += 1;
+                let key = lo + splitmix(&mut rng) % (hi - lo + 1);
+                let op = match splitmix(&mut rng) % 10 {
+                    0..=3 => 'i',
+                    4..=6 => 'd',
+                    _ => 'f',
+                };
+                map.note_invocation(pid);
+                log.write_all(format!("S {seq} {op} {key}\n").as_bytes()).unwrap();
+                let res = match op {
+                    'i' => map.insert(pid, key),
+                    'd' => map.delete(pid, key),
+                    _ => map.find(pid, key),
+                };
+                log.write_all(format!("A {seq} {}\n", res as u8).as_bytes()).unwrap();
+            }
+        }));
+    }
+    {
+        let queue = Arc::clone(&queue);
+        let dir = dir.clone();
+        handles.push(std::thread::spawn(move || {
+            nvm::tid::set_tid(QUEUE_PID);
+            let mut log = OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(log_path(&dir, QUEUE_PID))
+                .unwrap();
+            let mut rng = seed.wrapping_mul(131).wrapping_add(QUEUE_PID as u64);
+            let mut seq = 0u64;
+            loop {
+                seq += 1;
+                queue.note_invocation(QUEUE_PID);
+                if splitmix(&mut rng).is_multiple_of(2) {
+                    log.write_all(format!("S {seq} e {seq}\n").as_bytes()).unwrap();
+                    queue.enqueue(QUEUE_PID, seq);
+                    log.write_all(format!("A {seq} 1\n").as_bytes()).unwrap();
+                } else {
+                    log.write_all(format!("S {seq} d 0\n").as_bytes()).unwrap();
+                    let got = queue.dequeue(QUEUE_PID);
+                    let enc = got.map_or("E".to_string(), |v| v.to_string());
+                    log.write_all(format!("A {seq} {enc}\n").as_bytes()).unwrap();
+                }
+            }
+        }));
+    }
+    for h in handles {
+        let _ = h.join(); // unreachable: the loop runs until SIGKILL
+    }
+}
+
+/// One queue journal record.
+#[derive(Debug)]
+struct QLogEntry {
+    enqueue: bool,
+    val: u64,
+    /// `None` = in flight; `Some(None)` = acked Empty; `Some(Some(v))`.
+    ack: Option<Option<u64>>,
+}
+
+fn parse_queue_log(path: &Path) -> Vec<QLogEntry> {
+    let Ok(raw) = std::fs::read(path) else { return Vec::new() };
+    let text = String::from_utf8_lossy(&raw);
+    let mut entries: Vec<QLogEntry> = Vec::new();
+    for line in text.split_inclusive('\n') {
+        if !line.ends_with('\n') {
+            break; // torn final record
+        }
+        let mut it = line.split_whitespace();
+        match it.next() {
+            Some("S") => {
+                let _seq: u64 = it.next().unwrap().parse().unwrap();
+                let enqueue = it.next().unwrap() == "e";
+                let val: u64 = it.next().unwrap().parse().unwrap();
+                entries.push(QLogEntry { enqueue, val, ack: None });
+            }
+            Some("A") => {
+                let _seq: u64 = it.next().unwrap().parse().unwrap();
+                let tok = it.next().unwrap();
+                let last = entries.last_mut().expect("A without S");
+                last.ack = Some(if last.enqueue {
+                    Some(last.val)
+                } else if tok == "E" {
+                    None
+                } else {
+                    Some(tok.parse().unwrap())
+                });
+            }
+            _ => panic!("malformed queue journal line {line:?}"),
+        }
+    }
+    entries
+}
+
+fn run_one_store_seed(seed: u64) -> (u64, u64) {
+    let dir = std::env::temp_dir().join(format!("isb_store_restart_{}_{seed}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+
+    let mut child = std::process::Command::new(std::env::current_exe().unwrap())
+        .args(["--exact", "store_restart_child_worker", "--include-ignored", "--nocapture"])
+        .env("ISB_RESTART_DIR", &dir)
+        .env("ISB_RESTART_SEED", seed.to_string())
+        .stdout(std::process::Stdio::null())
+        .stderr(std::process::Stdio::null())
+        .spawn()
+        .expect("spawn child");
+    let t0 = Instant::now();
+    while !dir.join("ready").exists() {
+        assert!(t0.elapsed() < Duration::from_secs(60), "seed {seed}: child never became ready");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    std::thread::sleep(Duration::from_millis(30 + (seed * 41) % 170));
+    child.kill().expect("SIGKILL child");
+    child.wait().expect("reap child");
+
+    // Re-open the WHOLE store from this process: one shared replay resolves
+    // every structure's pending operation.
+    nvm::tid::set_tid(0);
+    let store = Store::open_sized(heap_path(&dir), STORE_HEAP_BYTES)
+        .unwrap_or_else(|e| panic!("seed {seed}: parent store open failed: {e}"));
+    let summary = store.summary();
+    let map = store.hashmap::<false>("users", SHARDS).expect("users handle");
+    let queue = store.queue::<false>("jobs").expect("jobs handle");
+
+    let mut acked = 0u64;
+    let mut inflight = 0u64;
+
+    // Map workers: identical acked/in-flight verification as the
+    // single-structure matrix.
+    let mut union: HashMap<u64, u64> = HashMap::new();
+    for pid in 1..=2usize {
+        let entries = parse_log(&log_path(&dir, pid));
+        let mut model: HashMap<u64, u64> = HashMap::new();
+        let n = entries.len();
+        for (i, e) in entries.iter().enumerate() {
+            match e.ack {
+                Some(res) => {
+                    let want = model_apply(&mut model, e.op, e.key, e.seq);
+                    assert_eq!(res, want, "seed {seed} pid {pid} seq {}: acked map op", e.seq);
+                    acked += 1;
+                }
+                None => {
+                    assert_eq!(i, n - 1, "seed {seed} pid {pid}: unacked op not last");
+                    inflight += 1;
+                    match summary.decision(pid) {
+                        Recovered::Completed(res) => {
+                            let want = model_apply(&mut model, e.op, e.key, e.seq);
+                            assert_eq!(res == RES_TRUE, want, "seed {seed} pid {pid}: recovered");
+                        }
+                        Recovered::Restart => {
+                            let res = match e.op {
+                                Op::Insert => map.insert(pid, e.key),
+                                Op::Delete => map.delete(pid, e.key),
+                                Op::Find => map.find(pid, e.key),
+                            };
+                            let want = model_apply(&mut model, e.op, e.key, e.seq);
+                            assert_eq!(res, want, "seed {seed} pid {pid}: re-invoked");
+                        }
+                    }
+                }
+            }
+        }
+        union.extend(model);
+    }
+    for pid in 1..=2usize {
+        let (lo, hi) = key_range(pid);
+        for k in lo..=hi {
+            assert_eq!(
+                map.find(0, k),
+                union.contains_key(&k),
+                "seed {seed}: map equivalence diverges at key {k}"
+            );
+        }
+    }
+
+    // Queue worker: FIFO model replay, in-flight op resolved detectably.
+    let entries = parse_queue_log(&log_path(&dir, QUEUE_PID));
+    let mut model: VecDeque<u64> = VecDeque::new();
+    let n = entries.len();
+    for (i, e) in entries.iter().enumerate() {
+        match &e.ack {
+            Some(res) => {
+                let want = if e.enqueue {
+                    model.push_back(e.val);
+                    Some(e.val)
+                } else {
+                    model.pop_front()
+                };
+                assert_eq!(*res, want, "seed {seed} queue entry {i}: acked response wrong");
+                acked += 1;
+            }
+            None => {
+                assert_eq!(i, n - 1, "seed {seed}: unacked queue op not last");
+                inflight += 1;
+                match summary.decision(QUEUE_PID) {
+                    Recovered::Completed(res) if e.enqueue => {
+                        assert_eq!(res, RES_UNIT, "seed {seed}: enqueue response");
+                        model.push_back(e.val);
+                    }
+                    Recovered::Completed(res) => {
+                        let want = model.pop_front();
+                        let got = if res == RES_EMPTY { None } else { Some(res - RES_VAL_BASE) };
+                        assert_eq!(got, want, "seed {seed}: recovered dequeue response");
+                    }
+                    Recovered::Restart if e.enqueue => {
+                        queue.enqueue(QUEUE_PID, e.val);
+                        model.push_back(e.val);
+                    }
+                    Recovered::Restart => {
+                        let got = queue.dequeue(QUEUE_PID);
+                        assert_eq!(got, model.pop_front(), "seed {seed}: re-invoked dequeue");
+                    }
+                }
+            }
+        }
+    }
+    // Drain: the recovered queue must match the model exactly, in order.
+    while let Some(want) = model.pop_front() {
+        assert_eq!(queue.dequeue(0), Some(want), "seed {seed}: queue contents diverge");
+    }
+    assert_eq!(queue.dequeue(0), None, "seed {seed}: queue longer than model");
+
+    drop((map, queue, store));
+    let _ = std::fs::remove_dir_all(&dir);
+    (acked, inflight)
+}
+
+/// The multi-structure store matrix: SIGKILL a child mutating a map AND a
+/// queue in ONE heap at seeded points; zero lost acked ops, every in-flight
+/// op detectably resolved per structure, model equivalence for both.
+#[test]
+fn store_restart_sigkill_recovers_across_processes() {
+    let seeds: u64 =
+        std::env::var("ISB_RESTART_SEEDS").ok().and_then(|s| s.parse().ok()).unwrap_or(10);
+    let mut total_acked = 0;
+    let mut total_inflight = 0;
+    for seed in 0..seeds {
+        let (acked, inflight) = run_one_store_seed(seed);
+        total_acked += acked;
+        total_inflight += inflight;
+    }
+    println!(
+        "store restart matrix: {seeds} kills, {total_acked} acked ops verified, \
+         {total_inflight} in-flight ops detectably resolved"
+    );
+    assert!(total_acked > 0, "no seed produced any acked work — kill timing broken");
+}
+
 /// Attach twice in a row without a crash: the second attach must be a
 /// no-op scrub — nothing poisoned, nothing swept, contents identical.
 #[test]
@@ -384,4 +673,266 @@ fn reattach_is_idempotent() {
     assert_eq!(keys1, (2..=300).step_by(2).collect::<Vec<u64>>());
     drop(map);
     let _ = std::fs::remove_dir_all(&dir);
+}
+
+// ---------------------------------------------------------------------------
+// Five-kinds scenario: every structure kind in ONE store, one worker, SIGKILL
+// ---------------------------------------------------------------------------
+
+const FIVE_PID: usize = 1;
+const FIVE_MAP_KEYS: u64 = 100;
+const FIVE_SET_KEYS: u64 = 48;
+
+/// Child: a single worker cycles random operations across a map, queue,
+/// list, BST and stack hosted by ONE store heap, journaling every op.
+#[test]
+#[ignore = "child half of the five-kinds restart harness; spawned by the parent test"]
+fn five_kinds_child_worker() {
+    let Ok(dir) = std::env::var("ISB_RESTART_DIR") else { return };
+    let dir = PathBuf::from(dir);
+    let seed: u64 = std::env::var("ISB_RESTART_SEED").unwrap().parse().unwrap();
+
+    nvm::tid::set_tid(FIVE_PID);
+    let store = Store::open_sized(heap_path(&dir), STORE_HEAP_BYTES).expect("child open");
+    let m = store.hashmap::<false>("m", 4).unwrap();
+    let q = store.queue::<false>("q").unwrap();
+    let l = store.list::<true>("l").unwrap();
+    let t = store.bst::<false>("t").unwrap();
+    let s = store.stack("s").unwrap();
+    std::fs::write(dir.join("ready"), b"ok").unwrap();
+
+    let mut log =
+        OpenOptions::new().create(true).append(true).open(log_path(&dir, FIVE_PID)).unwrap();
+    let mut rng = seed.wrapping_mul(77).wrapping_add(5);
+    let mut seq = 0u64;
+    loop {
+        seq += 1;
+        let r = splitmix(&mut rng);
+        let (st, op, key) = match r % 5 {
+            0 => ('m', ['i', 'd', 'f'][(r >> 8) as usize % 3], 1 + (r >> 16) % FIVE_MAP_KEYS),
+            1 => ('q', ['e', 'd'][(r >> 8) as usize % 2], seq),
+            2 => ('l', ['i', 'd', 'f'][(r >> 8) as usize % 3], 1 + (r >> 16) % FIVE_SET_KEYS),
+            3 => ('t', ['i', 'd', 'f'][(r >> 8) as usize % 3], 1 + (r >> 16) % FIVE_SET_KEYS),
+            _ => ('s', ['u', 'o'][(r >> 8) as usize % 2], seq),
+        };
+        // System half of the invocation BEFORE the intent record.
+        m.note_invocation(FIVE_PID);
+        log.write_all(format!("S {seq} {st} {op} {key}\n").as_bytes()).unwrap();
+        let ack = match (st, op) {
+            ('m', 'i') => (m.insert(FIVE_PID, key) as u8).to_string(),
+            ('m', 'd') => (m.delete(FIVE_PID, key) as u8).to_string(),
+            ('m', _) => (m.find(FIVE_PID, key) as u8).to_string(),
+            ('q', 'e') => {
+                q.enqueue(FIVE_PID, key);
+                "1".to_string()
+            }
+            ('q', _) => q.dequeue(FIVE_PID).map_or("E".to_string(), |v| v.to_string()),
+            ('l', 'i') => (l.insert(FIVE_PID, key) as u8).to_string(),
+            ('l', 'd') => (l.delete(FIVE_PID, key) as u8).to_string(),
+            ('l', _) => (l.find(FIVE_PID, key) as u8).to_string(),
+            ('t', 'i') => (t.insert(FIVE_PID, key) as u8).to_string(),
+            ('t', 'd') => (t.delete(FIVE_PID, key) as u8).to_string(),
+            ('t', _) => (t.find(FIVE_PID, key) as u8).to_string(),
+            ('s', 'u') => {
+                s.push(FIVE_PID, key);
+                "1".to_string()
+            }
+            _ => s.pop(FIVE_PID).map_or("E".to_string(), |v| v.to_string()),
+        };
+        log.write_all(format!("A {seq} {ack}\n").as_bytes()).unwrap();
+    }
+}
+
+/// Sequential model of the five structures.
+#[derive(Default)]
+struct FiveModel {
+    map: std::collections::HashSet<u64>,
+    queue: VecDeque<u64>,
+    list: std::collections::HashSet<u64>,
+    bst: std::collections::HashSet<u64>,
+    stack: Vec<u64>,
+}
+
+impl FiveModel {
+    /// Applies one journaled op; returns the expected ack token.
+    fn apply(&mut self, st: char, op: char, key: u64) -> String {
+        let set = |s: &mut std::collections::HashSet<u64>| match op {
+            'i' => (s.insert(key) as u8).to_string(),
+            'd' => (s.remove(&key) as u8).to_string(),
+            _ => (s.contains(&key) as u8).to_string(),
+        };
+        match (st, op) {
+            ('m', _) => set(&mut self.map),
+            ('l', _) => set(&mut self.list),
+            ('t', _) => set(&mut self.bst),
+            ('q', 'e') => {
+                self.queue.push_back(key);
+                "1".to_string()
+            }
+            ('q', _) => self.queue.pop_front().map_or("E".to_string(), |v| v.to_string()),
+            ('s', 'u') => {
+                self.stack.push(key);
+                "1".to_string()
+            }
+            _ => self.stack.pop().map_or("E".to_string(), |v| v.to_string()),
+        }
+    }
+}
+
+fn run_one_five_kinds_seed(seed: u64) -> (u64, u64) {
+    let dir = std::env::temp_dir().join(format!("isb_five_restart_{}_{seed}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+
+    let mut child = std::process::Command::new(std::env::current_exe().unwrap())
+        .args(["--exact", "five_kinds_child_worker", "--include-ignored", "--nocapture"])
+        .env("ISB_RESTART_DIR", &dir)
+        .env("ISB_RESTART_SEED", seed.to_string())
+        .stdout(std::process::Stdio::null())
+        .stderr(std::process::Stdio::null())
+        .spawn()
+        .expect("spawn child");
+    let t0 = Instant::now();
+    while !dir.join("ready").exists() {
+        assert!(t0.elapsed() < Duration::from_secs(60), "seed {seed}: child never became ready");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    std::thread::sleep(Duration::from_millis(25 + (seed * 53) % 160));
+    child.kill().expect("SIGKILL child");
+    child.wait().expect("reap child");
+
+    nvm::tid::set_tid(0);
+    let store = Store::open_sized(heap_path(&dir), STORE_HEAP_BYTES)
+        .unwrap_or_else(|e| panic!("seed {seed}: parent store open failed: {e}"));
+    let m = store.hashmap::<false>("m", 4).unwrap();
+    let q = store.queue::<false>("q").unwrap();
+    let l = store.list::<true>("l").unwrap();
+    let t = store.bst::<false>("t").unwrap();
+    let s = store.stack("s").unwrap();
+
+    // Replay the journal against the sequential model.
+    let raw = std::fs::read(log_path(&dir, FIVE_PID)).unwrap_or_default();
+    let text = String::from_utf8_lossy(&raw);
+    let mut model = FiveModel::default();
+    let mut acked = 0u64;
+    let mut pending: Option<(char, char, u64)> = None;
+    for line in text.split_inclusive('\n') {
+        if !line.ends_with('\n') {
+            break; // torn final record
+        }
+        let mut it = line.split_whitespace();
+        match it.next() {
+            Some("S") => {
+                assert!(pending.is_none(), "seed {seed}: two ops in flight");
+                let _seq: u64 = it.next().unwrap().parse().unwrap();
+                let st = it.next().unwrap().chars().next().unwrap();
+                let op = it.next().unwrap().chars().next().unwrap();
+                let key: u64 = it.next().unwrap().parse().unwrap();
+                pending = Some((st, op, key));
+            }
+            Some("A") => {
+                let _seq: u64 = it.next().unwrap().parse().unwrap();
+                let got = it.next().unwrap();
+                let (st, op, key) = pending.take().expect("A without S");
+                let want = model.apply(st, op, key);
+                assert_eq!(got, want, "seed {seed}: acked {st}/{op}/{key} response wrong");
+                acked += 1;
+            }
+            _ => panic!("malformed journal line {line:?}"),
+        }
+    }
+    // Resolve the at-most-one in-flight op through the store-wide decision.
+    let mut inflight = 0u64;
+    if let Some((st, op, key)) = pending {
+        inflight = 1;
+        match store.summary().decision(FIVE_PID) {
+            Recovered::Completed(res) => {
+                // The op took effect: its durable response must match the
+                // model's expected response for this structure kind.
+                let want = model.apply(st, op, key);
+                let got = match (st, op) {
+                    ('q', 'e') | ('s', 'u') => {
+                        assert_eq!(res, RES_UNIT, "seed {seed}: ack-op response");
+                        "1".to_string()
+                    }
+                    ('q', _) | ('s', _) => {
+                        if res == RES_EMPTY {
+                            "E".to_string()
+                        } else {
+                            (res - RES_VAL_BASE).to_string()
+                        }
+                    }
+                    _ => ((res == RES_TRUE) as u8).to_string(),
+                };
+                assert_eq!(got, want, "seed {seed}: recovered {st}/{op}/{key} response wrong");
+            }
+            Recovered::Restart => {
+                // Re-invoke with the original arguments, then apply.
+                let got = match (st, op) {
+                    ('m', 'i') => (m.insert(FIVE_PID, key) as u8).to_string(),
+                    ('m', 'd') => (m.delete(FIVE_PID, key) as u8).to_string(),
+                    ('m', _) => (m.find(FIVE_PID, key) as u8).to_string(),
+                    ('q', 'e') => {
+                        q.enqueue(FIVE_PID, key);
+                        "1".to_string()
+                    }
+                    ('q', _) => q.dequeue(FIVE_PID).map_or("E".to_string(), |v| v.to_string()),
+                    ('l', 'i') => (l.insert(FIVE_PID, key) as u8).to_string(),
+                    ('l', 'd') => (l.delete(FIVE_PID, key) as u8).to_string(),
+                    ('l', _) => (l.find(FIVE_PID, key) as u8).to_string(),
+                    ('t', 'i') => (t.insert(FIVE_PID, key) as u8).to_string(),
+                    ('t', 'd') => (t.delete(FIVE_PID, key) as u8).to_string(),
+                    ('t', _) => (t.find(FIVE_PID, key) as u8).to_string(),
+                    ('s', 'u') => {
+                        s.push(FIVE_PID, key);
+                        "1".to_string()
+                    }
+                    _ => s.pop(FIVE_PID).map_or("E".to_string(), |v| v.to_string()),
+                };
+                let want = model.apply(st, op, key);
+                assert_eq!(got, want, "seed {seed}: re-invoked {st}/{op}/{key} response wrong");
+            }
+        }
+    }
+
+    // Full equivalence per structure.
+    for k in 1..=FIVE_MAP_KEYS {
+        assert_eq!(m.find(0, k), model.map.contains(&k), "seed {seed}: map diverges at {k}");
+    }
+    for k in 1..=FIVE_SET_KEYS {
+        assert_eq!(l.find(0, k), model.list.contains(&k), "seed {seed}: list diverges at {k}");
+        assert_eq!(t.find(0, k), model.bst.contains(&k), "seed {seed}: bst diverges at {k}");
+    }
+    while let Some(want) = model.queue.pop_front() {
+        assert_eq!(q.dequeue(0), Some(want), "seed {seed}: queue diverges");
+    }
+    assert_eq!(q.dequeue(0), None, "seed {seed}: queue longer than model");
+    while let Some(want) = model.stack.pop() {
+        assert_eq!(s.pop(0), Some(want), "seed {seed}: stack diverges");
+    }
+    assert_eq!(s.pop(0), None, "seed {seed}: stack longer than model");
+
+    drop((m, q, l, t, s, store));
+    let _ = std::fs::remove_dir_all(&dir);
+    (acked, inflight)
+}
+
+/// The acceptance matrix: all FIVE structure kinds in one heap pass a
+/// SIGKILL/recover round-trip through the same generic attach driver.
+#[test]
+fn five_kinds_sigkill_recovers_through_one_driver() {
+    let seeds: u64 =
+        std::env::var("ISB_RESTART_SEEDS").ok().and_then(|s| s.parse().ok()).unwrap_or(10);
+    let mut total_acked = 0;
+    let mut total_inflight = 0;
+    for seed in 0..seeds {
+        let (acked, inflight) = run_one_five_kinds_seed(seed);
+        total_acked += acked;
+        total_inflight += inflight;
+    }
+    println!(
+        "five-kinds matrix: {seeds} kills, {total_acked} acked ops verified, \
+         {total_inflight} in-flight ops detectably resolved"
+    );
+    assert!(total_acked > 0, "no seed produced any acked work — kill timing broken");
 }
