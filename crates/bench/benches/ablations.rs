@@ -36,23 +36,23 @@ fn bench_modes(c: &mut Criterion) {
     let mut g = c.benchmark_group("ablation_persistency_mode");
     g.sample_size(10);
     g.bench_function(BenchmarkId::from_parameter("real-flushes"), |b| {
-        b.iter_custom(|iters| time_per_op(Arc::new(RList::<RealNvm, true>::new()), iters))
+        b.iter_custom(|iters| time_per_op(Arc::new(RList::<RealNvm, 1>::new()), iters))
     });
     g.bench_function(BenchmarkId::from_parameter("counting-only"), |b| {
-        b.iter_custom(|iters| time_per_op(Arc::new(RList::<CountingNvm, true>::new()), iters))
+        b.iter_custom(|iters| time_per_op(Arc::new(RList::<CountingNvm, 1>::new()), iters))
     });
     g.bench_function(BenchmarkId::from_parameter("private-cache"), |b| {
-        b.iter_custom(|iters| time_per_op(Arc::new(RList::<NoPersist, true>::new()), iters))
+        b.iter_custom(|iters| time_per_op(Arc::new(RList::<NoPersist, 1>::new()), iters))
     });
     g.finish();
 
     let mut g = c.benchmark_group("ablation_tuned_placement");
     g.sample_size(10);
     g.bench_function(BenchmarkId::from_parameter("paper-placement"), |b| {
-        b.iter_custom(|iters| time_per_op(Arc::new(RList::<RealNvm, false>::new()), iters))
+        b.iter_custom(|iters| time_per_op(Arc::new(RList::<RealNvm, 0>::new()), iters))
     });
     g.bench_function(BenchmarkId::from_parameter("hand-tuned"), |b| {
-        b.iter_custom(|iters| time_per_op(Arc::new(RList::<RealNvm, true>::new()), iters))
+        b.iter_custom(|iters| time_per_op(Arc::new(RList::<RealNvm, 1>::new()), iters))
     });
     g.finish();
 }

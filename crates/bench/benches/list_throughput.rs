@@ -40,12 +40,12 @@ fn bench(c: &mut Criterion) {
         g.sample_size(10);
         g.bench_function(BenchmarkId::from_parameter("Isb"), |b| {
             b.iter_custom(|iters| {
-                time_per_op(Arc::new(RList::<RealNvm, false>::new()), mix, 500, iters)
+                time_per_op(Arc::new(RList::<RealNvm, 0>::new()), mix, 500, iters)
             })
         });
         g.bench_function(BenchmarkId::from_parameter("Isb-Opt"), |b| {
             b.iter_custom(|iters| {
-                time_per_op(Arc::new(RList::<RealNvm, true>::new()), mix, 500, iters)
+                time_per_op(Arc::new(RList::<RealNvm, 1>::new()), mix, 500, iters)
             })
         });
         g.bench_function(BenchmarkId::from_parameter("Capsules-Opt"), |b| {
@@ -69,7 +69,7 @@ fn bench(c: &mut Criterion) {
         g.bench_function(BenchmarkId::from_parameter("Isb-pooled"), |b| {
             b.iter_custom(|iters| {
                 time_per_op_at(
-                    Arc::new(RList::<CountingNvm, false>::new()),
+                    Arc::new(RList::<CountingNvm, 0>::new()),
                     threads,
                     Mix::READ_INTENSIVE,
                     500,
@@ -80,7 +80,7 @@ fn bench(c: &mut Criterion) {
         g.bench_function(BenchmarkId::from_parameter("Isb-boxed"), |b| {
             b.iter_custom(|iters| {
                 time_per_op_at(
-                    Arc::new(RList::<CountingNvm, false>::boxed()),
+                    Arc::new(RList::<CountingNvm, 0>::boxed()),
                     threads,
                     Mix::READ_INTENSIVE,
                     500,

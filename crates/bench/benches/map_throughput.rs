@@ -49,33 +49,31 @@ fn mops<B: SetBench + 'static>(s: Arc<B>) -> f64 {
 fn bench(c: &mut Criterion) {
     // Shard-scaling summary first (the number the sweep exists to show).
     for shards in [1usize, 4, 16, 64] {
-        let m = mops(Arc::new(RHashMap::<RealNvm, false>::with_shards(shards)));
+        let m = mops(Arc::new(RHashMap::<RealNvm, 0>::with_shards(shards)));
         println!("[map_throughput] {THREADS} threads, {shards:>2} shards: {m:.3} Mops/s");
     }
 
     let mut g = c.benchmark_group(format!("map_shard_sweep_{THREADS}t_range{RANGE}"));
     g.sample_size(10);
     g.bench_function(BenchmarkId::from_parameter("Isb-list"), |b| {
-        b.iter_custom(|iters| time_per_op(Arc::new(RList::<RealNvm, false>::new()), iters))
+        b.iter_custom(|iters| time_per_op(Arc::new(RList::<RealNvm, 0>::new()), iters))
     });
     for shards in [1usize, 4, 16, 64] {
         g.bench_function(BenchmarkId::from_parameter(format!("Isb-HM/{shards}")), |b| {
             b.iter_custom(|iters| {
-                time_per_op(Arc::new(RHashMap::<RealNvm, false>::with_shards(shards)), iters)
+                time_per_op(Arc::new(RHashMap::<RealNvm, 0>::with_shards(shards)), iters)
             })
         });
     }
     g.bench_function(BenchmarkId::from_parameter("Isb-HM-Opt/16"), |b| {
-        b.iter_custom(|iters| {
-            time_per_op(Arc::new(RHashMap::<RealNvm, true>::with_shards(16)), iters)
-        })
+        b.iter_custom(|iters| time_per_op(Arc::new(RHashMap::<RealNvm, 1>::with_shards(16)), iters))
     });
     // fig9 allocation-ablation arm: the same sweep point with pooling off
     // (pre-pool heap allocation per descriptor/node), for the pooled-vs-
     // boxed comparison at the default shard count.
     g.bench_function(BenchmarkId::from_parameter("Isb-HM/16-boxed"), |b| {
         b.iter_custom(|iters| {
-            time_per_op(Arc::new(RHashMap::<RealNvm, false>::boxed_with_shards(16)), iters)
+            time_per_op(Arc::new(RHashMap::<RealNvm, 0>::boxed_with_shards(16)), iters)
         })
     });
     g.finish();

@@ -35,8 +35,8 @@ fn bench(c: &mut Criterion) {
     // Print the paper-figure counters once per algorithm, then benchmark the
     // counting-mode run itself (its cost ≈ algorithmic cost minus flushes).
     let algos: Vec<(&str, AlgoFactory)> = vec![
-        ("Isb", Box::new(|| Arc::new(RList::<CountingNvm, false>::new()))),
-        ("Isb-Opt", Box::new(|| Arc::new(RList::<CountingNvm, true>::new()))),
+        ("Isb", Box::new(|| Arc::new(RList::<CountingNvm, 0>::new()))),
+        ("Isb-Opt", Box::new(|| Arc::new(RList::<CountingNvm, 1>::new()))),
         ("Capsules-Opt", Box::new(|| Arc::new(CapsulesList::<CountingNvm, true>::new()))),
         ("DT-Opt", Box::new(|| Arc::new(DtList::<CountingNvm>::new()))),
     ];

@@ -41,10 +41,10 @@ fn bench(c: &mut Criterion) {
         b.iter_custom(|iters| time_per_op(Arc::new(CapsulesList::<NoPersist, true>::new()), iters))
     });
     g.bench_function(BenchmarkId::from_parameter("Isb"), |b| {
-        b.iter_custom(|iters| time_per_op(Arc::new(RList::<NoPersist, false>::new()), iters))
+        b.iter_custom(|iters| time_per_op(Arc::new(RList::<NoPersist, 0>::new()), iters))
     });
     g.bench_function(BenchmarkId::from_parameter("Isb-Opt"), |b| {
-        b.iter_custom(|iters| time_per_op(Arc::new(RList::<NoPersist, true>::new()), iters))
+        b.iter_custom(|iters| time_per_op(Arc::new(RList::<NoPersist, 1>::new()), iters))
     });
     g.finish();
 }

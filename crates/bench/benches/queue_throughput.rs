@@ -24,7 +24,7 @@ fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig7_queue_shared_cache");
     g.sample_size(10);
     g.bench_function(BenchmarkId::from_parameter("Isb-Q"), |b| {
-        b.iter_custom(|iters| time_per_op(Arc::new(RQueue::<RealNvm, true>::new()), iters))
+        b.iter_custom(|iters| time_per_op(Arc::new(RQueue::<RealNvm, 1>::new()), iters))
     });
     g.bench_function(BenchmarkId::from_parameter("Log-Queue"), |b| {
         b.iter_custom(|iters| time_per_op(Arc::new(LogQueue::<RealNvm>::new()), iters))
@@ -43,7 +43,7 @@ fn bench(c: &mut Criterion) {
         b.iter_custom(|iters| time_per_op(Arc::new(MsQueue::<NoPersist>::new()), iters))
     });
     g.bench_function(BenchmarkId::from_parameter("Isb-Q"), |b| {
-        b.iter_custom(|iters| time_per_op(Arc::new(RQueue::<NoPersist, true>::new()), iters))
+        b.iter_custom(|iters| time_per_op(Arc::new(RQueue::<NoPersist, 1>::new()), iters))
     });
     g.bench_function(BenchmarkId::from_parameter("Log-Queue"), |b| {
         b.iter_custom(|iters| time_per_op(Arc::new(LogQueue::<NoPersist>::new()), iters))

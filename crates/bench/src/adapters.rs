@@ -97,7 +97,7 @@ impl<M: Persist, const N: bool> QueueBench for baselines::capsules_queue::Capsul
     }
 }
 
-impl<M: Persist, const TUNED: bool> SetBench for RList<M, TUNED> {
+impl<M: Persist, const ARM: u8> SetBench for RList<M, ARM> {
     fn insert(&self, pid: usize, k: u64) -> bool {
         RList::insert(self, pid, k)
     }
@@ -109,7 +109,7 @@ impl<M: Persist, const TUNED: bool> SetBench for RList<M, TUNED> {
     }
 }
 
-impl<M: Persist, const TUNED: bool> SetBench for RHashMap<M, TUNED> {
+impl<M: Persist, const ARM: u8> SetBench for RHashMap<M, ARM> {
     fn insert(&self, pid: usize, k: u64) -> bool {
         RHashMap::insert(self, pid, k)
     }
@@ -121,13 +121,13 @@ impl<M: Persist, const TUNED: bool> SetBench for RHashMap<M, TUNED> {
     }
 }
 
-impl<M: Persist, const TUNED: bool> MapBench for RHashMap<M, TUNED> {
+impl<M: Persist, const ARM: u8> MapBench for RHashMap<M, ARM> {
     fn shard_count(&self) -> usize {
         self.shards()
     }
 }
 
-impl<M: Persist, const TUNED: bool> QueueBench for RQueue<M, TUNED> {
+impl<M: Persist, const ARM: u8> QueueBench for RQueue<M, ARM> {
     fn enqueue(&self, pid: usize, v: u64) {
         RQueue::enqueue(self, pid, v)
     }

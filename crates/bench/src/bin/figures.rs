@@ -93,14 +93,14 @@ fn parse_args() -> Opts {
 
 const ALL_FIGS: &[&str] = &[
     "fig1a", "fig1b", "fig1c", "fig1d", "fig1e", "fig1f", "fig3", "fig4", "fig5", "fig6", "fig7",
-    "fig8", "fig9", "fig10", "fig11",
+    "fig8", "fig9", "fig10", "fig11", "fig12",
 ];
 
 /// The list algorithms of the figures, by paper name.
 fn make_list<M: Persist>(name: &str) -> Arc<dyn SetBench> {
     match name {
-        "Isb" => Arc::new(RList::<M, false>::new()),
-        "Isb-Opt" => Arc::new(RList::<M, true>::new()),
+        "Isb" => Arc::new(RList::<M, 0>::new()),
+        "Isb-Opt" => Arc::new(RList::<M, 1>::new()),
         "Capsules" => Arc::new(CapsulesList::<M, false>::new()),
         "Capsules-Opt" => Arc::new(CapsulesList::<M, true>::new()),
         "DT-Opt" => Arc::new(DtList::<M>::new()),
@@ -111,7 +111,7 @@ fn make_list<M: Persist>(name: &str) -> Arc<dyn SetBench> {
 
 fn make_queue<M: Persist>(name: &str) -> Arc<dyn QueueBench> {
     match name {
-        "Isb-Q" => Arc::new(RQueue::<M, true>::new()),
+        "Isb-Q" => Arc::new(RQueue::<M, 1>::new()),
         "Log-Queue" => Arc::new(LogQueue::<M>::new()),
         "Capsules-General" => Arc::new(CapsulesQueue::<M, false>::new()),
         "Capsules-Normal" => Arc::new(CapsulesQueue::<M, true>::new()),
@@ -291,7 +291,7 @@ impl Ctx {
                 let mut vals: Vec<f64> = run_shard_sweep(
                     |s| {
                         nvm::stats::reset();
-                        Arc::new(RHashMap::<RealNvm, false>::with_shards(s))
+                        Arc::new(RHashMap::<RealNvm, 0>::with_shards(s))
                     },
                     SHARDS,
                     cfg,
@@ -301,7 +301,7 @@ impl Ctx {
                 .collect();
                 let opt = {
                     nvm::stats::reset();
-                    let m = Arc::new(RHashMap::<RealNvm, true>::with_shards(16));
+                    let m = Arc::new(RHashMap::<RealNvm, 1>::with_shards(16));
                     prefill_set(&*m, range, 43);
                     run_set(m, cfg).mops()
                 };
@@ -336,7 +336,7 @@ impl Ctx {
         fn pair_for<M: Persist>(threads: usize, range: u64, mix: Mix, dur: Duration) -> Pair {
             let cfg = SetCfg { threads, key_range: range, mix, duration: dur, seed: 42 };
             let (pooled, reused) = {
-                let s = Arc::new(RList::<M, false>::new());
+                let s = Arc::new(RList::<M, 0>::new());
                 prefill_set(&*s, range, 7);
                 // Snapshot AFTER prefill so reuses/op relates the timed
                 // run's reuses to the timed run's operations only.
@@ -346,7 +346,7 @@ impl Ctx {
                 (r, isb::counters::info_reuses() + isb::counters::node_reuses() - reuse0)
             };
             let boxed = {
-                let s = Arc::new(RList::<M, false>::boxed());
+                let s = Arc::new(RList::<M, 0>::boxed());
                 prefill_set(&*s, range, 7);
                 nvm::stats::reset();
                 run_set(s, cfg)
@@ -410,13 +410,13 @@ impl Ctx {
         for &n in &self.threads {
             let cfg = SetCfg { threads: n, key_range: 4096, mix, duration: self.dur, seed: 42 };
             let pooled = {
-                let m = Arc::new(RHashMap::<CountingNvm, false>::with_shards(16));
+                let m = Arc::new(RHashMap::<CountingNvm, 0>::with_shards(16));
                 prefill_set(&*m, 4096, 7);
                 nvm::stats::reset();
                 run_set(m, cfg)
             };
             let boxed = {
-                let m = Arc::new(RHashMap::<CountingNvm, false>::boxed_with_shards(16));
+                let m = Arc::new(RHashMap::<CountingNvm, 0>::boxed_with_shards(16));
                 prefill_set(&*m, 4096, 7);
                 nvm::stats::reset();
                 run_set(m, cfg)
@@ -456,14 +456,14 @@ impl Ctx {
             let _ = std::fs::remove_file(&path);
             let t0 = Instant::now();
             {
-                let (map, _) = HM::<MappedNvm, false>::attach(&path, 16).unwrap();
+                let (map, _) = HM::<MappedNvm, 0>::attach(&path, 16).unwrap();
                 for k in 1..=n {
                     map.insert(nvm::MAX_PROCS - 1, k);
                 }
             }
             let fill_ms = t0.elapsed().as_secs_f64() * 1e3;
             let t1 = Instant::now();
-            let (map, summary) = HM::<MappedNvm, false>::attach(&path, 16).unwrap();
+            let (map, summary) = HM::<MappedNvm, 0>::attach(&path, 16).unwrap();
             let attach_ms = t1.elapsed().as_secs_f64() * 1e3;
             t_attach.row(
                 n.to_string(),
@@ -495,7 +495,7 @@ impl Ctx {
             let mapped = {
                 let path = dir.join(format!("tp_{threads}.heap"));
                 let _ = std::fs::remove_file(&path);
-                let (map, _) = HM::<MappedNvm, false>::attach(&path, 16).unwrap();
+                let (map, _) = HM::<MappedNvm, 0>::attach(&path, 16).unwrap();
                 let map = Arc::new(map);
                 prefill_set(&*map, range, 7);
                 nvm::stats::reset();
@@ -504,7 +504,7 @@ impl Ctx {
                 r
             };
             let heap = {
-                let m = Arc::new(HM::<RealNvm, false>::with_shards(16));
+                let m = Arc::new(HM::<RealNvm, 0>::with_shards(16));
                 prefill_set(&*m, range, 7);
                 nvm::stats::reset();
                 run_set(m, cfg)
@@ -552,7 +552,7 @@ impl Ctx {
             {
                 let store = Store::open(&path).unwrap();
                 for e in 0..n {
-                    let m = store.hashmap::<false>(&format!("m{e}"), 8).unwrap();
+                    let m = store.hashmap::<0>(&format!("m{e}"), 8).unwrap();
                     for k in 1..=keys_per_entry {
                         m.insert(pid, k);
                     }
@@ -599,8 +599,8 @@ impl Ctx {
                 let path = dir.join(format!("shared_{threads}.heap"));
                 let _ = std::fs::remove_file(&path);
                 let store = Store::open(&path).unwrap();
-                let m = store.hashmap::<false>("users", 16).unwrap();
-                let q = store.queue::<false>("jobs").unwrap();
+                let m = store.hashmap::<0>("users", 16).unwrap();
+                let q = store.queue::<0>("jobs").unwrap();
                 prefill_set(&*m, range, 7);
                 nvm::stats::reset();
                 let rm = run_set(Arc::clone(&m), cfg);
@@ -613,7 +613,7 @@ impl Ctx {
             let map_dedicated = {
                 let path = dir.join(format!("ded_map_{threads}.heap"));
                 let _ = std::fs::remove_file(&path);
-                let (map, _) = RHashMap::<MappedNvm, false>::attach(&path, 16).unwrap();
+                let (map, _) = RHashMap::<MappedNvm, 0>::attach(&path, 16).unwrap();
                 let map = Arc::new(map);
                 prefill_set(&*map, range, 7);
                 nvm::stats::reset();
@@ -624,7 +624,7 @@ impl Ctx {
             let queue_dedicated = {
                 let path = dir.join(format!("ded_q_{threads}.heap"));
                 let _ = std::fs::remove_file(&path);
-                let (q, _) = RQueue::<MappedNvm, false>::attach(&path).unwrap();
+                let (q, _) = RQueue::<MappedNvm, 0>::attach(&path).unwrap();
                 nvm::stats::reset();
                 let r = run_queue(Arc::new(q), qcfg);
                 let _ = std::fs::remove_file(&path);
@@ -637,6 +637,135 @@ impl Ctx {
         }
         self.emit("fig11_throughput", &t_tp);
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Flush-coalescing tuning arms — Figure 12 (beyond the paper, PR 6):
+    /// the full arm ladder (`Isb` → `Isb-Opt` → `Isb-Coal` → `Isb-LP`) on
+    /// the sharded hash map and the queue, under both the counting model
+    /// (pwb-equivalents, elided write-backs and drained lines per op — the
+    /// hardware-independent placement picture) and real flushes (Mops/s —
+    /// what the saved `clflush`/`psync` traffic buys end-to-end).
+    fn fig12(&self) {
+        const ARM_NAMES: &[&str] = &["Isb", "Isb-Opt", "Isb-Coal", "Isb-LP"];
+        fn map_for<M: Persist>(arm: u8) -> Arc<dyn SetBench> {
+            match arm {
+                0 => Arc::new(RHashMap::<M, 0>::with_shards(16)),
+                1 => Arc::new(RHashMap::<M, 1>::with_shards(16)),
+                2 => Arc::new(RHashMap::<M, 2>::with_shards(16)),
+                _ => Arc::new(RHashMap::<M, 3>::with_shards(16)),
+            }
+        }
+        fn queue_for<M: Persist>(arm: u8) -> Arc<dyn QueueBench> {
+            match arm {
+                0 => Arc::new(RQueue::<M, 0>::new()),
+                1 => Arc::new(RQueue::<M, 1>::new()),
+                2 => Arc::new(RQueue::<M, 2>::new()),
+                _ => Arc::new(RQueue::<M, 3>::new()),
+            }
+        }
+        let arm_cols = || ARM_NAMES.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+        let coal_cols = |what: &str| vec![format!("Isb-Coal {what}"), format!("Isb-LP {what}")];
+
+        // Map: update-intensive (the arms tune the mutating hot path).
+        let range = 4096u64;
+        let mix = Mix::UPDATE_INTENSIVE;
+        let mut t_pwb = Table::new(
+            format!("Figure 12: hash-map pwb-equivalents/op by tuning arm (counting model; 16 shards, keys [1,{range}], update-intensive)"),
+            arm_cols(),
+        );
+        let mut t_coal = Table::new(
+            "Figure 12: hash-map coalescing traffic per op (counting model)".to_string(),
+            [coal_cols("elided/op"), coal_cols("drained/op")].concat(),
+        );
+        let mut t_real = Table::new(
+            format!("Figure 12: hash-map throughput by tuning arm, real flushes (Mops/s; 16 shards, keys [1,{range}], update-intensive)"),
+            arm_cols(),
+        );
+        for &n in &self.threads {
+            let cfg = SetCfg { threads: n, key_range: range, mix, duration: self.dur, seed: 42 };
+            let counting: Vec<RunResult> = (0u8..4)
+                .map(|arm| {
+                    let m = map_for::<CountingNvm>(arm);
+                    prefill_set(&*m, range, 7);
+                    nvm::stats::reset();
+                    run_set(m, cfg)
+                })
+                .collect();
+            t_pwb.row(n.to_string(), counting.iter().map(|r| r.flushes_per_op()).collect());
+            t_coal.row(
+                n.to_string(),
+                vec![
+                    counting[2].elided_per_op(),
+                    counting[3].elided_per_op(),
+                    counting[2].coalesced_per_op(),
+                    counting[3].coalesced_per_op(),
+                ],
+            );
+            let real: Vec<f64> = (0u8..4)
+                .map(|arm| {
+                    let m = map_for::<RealNvm>(arm);
+                    prefill_set(&*m, range, 7);
+                    nvm::stats::reset();
+                    run_set(m, cfg).mops()
+                })
+                .collect();
+            t_real.row(n.to_string(), real);
+        }
+        self.emit("fig12_map_pwb", &t_pwb);
+        self.emit("fig12_map_coal", &t_coal);
+        self.emit("fig12_map_real", &t_real);
+
+        // Queue: same ladder; the LP arm also merges a whole psync on
+        // enqueue, so the psync column is reported alongside.
+        let mut t_pwb = Table::new(
+            "Figure 12: queue pwb-equivalents/op by tuning arm (counting model)".to_string(),
+            arm_cols(),
+        );
+        let mut t_psync = Table::new(
+            "Figure 12: queue psyncs/op by tuning arm (counting model)".to_string(),
+            arm_cols(),
+        );
+        let mut t_coal = Table::new(
+            "Figure 12: queue coalescing traffic per op (counting model)".to_string(),
+            [coal_cols("elided/op"), coal_cols("drained/op")].concat(),
+        );
+        let mut t_real = Table::new(
+            "Figure 12: queue throughput by tuning arm, real flushes (Mops/s)".to_string(),
+            arm_cols(),
+        );
+        for &n in &self.threads {
+            let qcfg = QueueCfg { threads: n, prefill: self.queue_prefill, duration: self.dur };
+            let counting: Vec<RunResult> = (0u8..4)
+                .map(|arm| {
+                    let q = queue_for::<CountingNvm>(arm);
+                    nvm::stats::reset();
+                    run_queue(q, qcfg)
+                })
+                .collect();
+            t_pwb.row(n.to_string(), counting.iter().map(|r| r.flushes_per_op()).collect());
+            t_psync.row(n.to_string(), counting.iter().map(|r| r.psyncs_per_op()).collect());
+            t_coal.row(
+                n.to_string(),
+                vec![
+                    counting[2].elided_per_op(),
+                    counting[3].elided_per_op(),
+                    counting[2].coalesced_per_op(),
+                    counting[3].coalesced_per_op(),
+                ],
+            );
+            let real: Vec<f64> = (0u8..4)
+                .map(|arm| {
+                    let q = queue_for::<RealNvm>(arm);
+                    nvm::stats::reset();
+                    run_queue(q, qcfg).mops()
+                })
+                .collect();
+            t_real.row(n.to_string(), real);
+        }
+        self.emit("fig12_queue_pwb", &t_pwb);
+        self.emit("fig12_queue_psync", &t_psync);
+        self.emit("fig12_queue_coal", &t_coal);
+        self.emit("fig12_queue_real", &t_real);
     }
 }
 
@@ -727,6 +856,7 @@ fn main() {
             "fig9" => ctx.fig9(),
             "fig10" => ctx.fig10(),
             "fig11" => ctx.fig11(),
+            "fig12" => ctx.fig12(),
             other => panic!("unknown figure {other}"),
         }
     }

@@ -186,15 +186,23 @@ macro_rules! impl_recoverable_set {
     };
 }
 
-impl_recoverable_set!(RList<SimNvm, false>, "RList", scrub);
+impl_recoverable_set!(RList<SimNvm, 0>, "RList", scrub);
 // The BST scrubs too: a failed attempt whose earlier affect cells rolled
 // back past their expected values leaves its later tags for (eager) helping.
-impl_recoverable_set!(RBst<SimNvm, false>, "RBst", scrub);
+impl_recoverable_set!(RBst<SimNvm, 0>, "RBst", scrub);
 // The sharded map in both persistency placements; `with_collector` builds
 // the default 16 shards, so seeded crashes land in different buckets while
 // all pending descriptors live in the one shared recovery area.
-impl_recoverable_set!(RHashMap<SimNvm, false>, "RHashMap", scrub);
-impl_recoverable_set!(RHashMap<SimNvm, true>, "RHashMap-Opt", scrub);
+impl_recoverable_set!(RHashMap<SimNvm, 0>, "RHashMap", scrub);
+impl_recoverable_set!(RHashMap<SimNvm, 1>, "RHashMap-Opt", scrub);
+// The coalescing arms against the same per-word adversary: `SimNvm` keeps its
+// default `pwb_coal = pwb` (a noted line is simply an outstanding word until
+// the next fence — exactly the crash-visibility window coalescing introduces),
+// while the write-backs the arms *elide* (deferred `CP_q := 1`, LP's cleanup
+// untag flushes, the merged enqueue `psync`) genuinely never happen, so the
+// image builder is free to roll those words back and recovery must cope.
+impl_recoverable_set!(RHashMap<SimNvm, 2>, "RHashMap-Coal", scrub);
+impl_recoverable_set!(RHashMap<SimNvm, 3>, "RHashMap-LP", scrub);
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum SetOp {
@@ -407,35 +415,63 @@ pub fn run_set_scenario<S: RecoverableSet>(cfg: CrashCfg) -> CrashReport {
 
 /// Runs one seeded list crash scenario (see [`run_set_scenario`]).
 pub fn run_list_scenario(cfg: CrashCfg) -> CrashReport {
-    run_set_scenario::<RList<SimNvm, false>>(cfg)
+    run_set_scenario::<RList<SimNvm, 0>>(cfg)
 }
 
 /// Runs one seeded BST crash scenario (see [`run_set_scenario`]).
 pub fn run_bst_scenario(cfg: CrashCfg) -> CrashReport {
-    run_set_scenario::<RBst<SimNvm, false>>(cfg)
+    run_set_scenario::<RBst<SimNvm, 0>>(cfg)
 }
 
 /// Runs one seeded sharded-hash-map crash scenario, untuned placement
 /// (see [`run_set_scenario`]).
 pub fn run_hashmap_scenario(cfg: CrashCfg) -> CrashReport {
-    run_set_scenario::<RHashMap<SimNvm, false>>(cfg)
+    run_set_scenario::<RHashMap<SimNvm, 0>>(cfg)
 }
 
 /// Runs one seeded sharded-hash-map crash scenario, hand-tuned placement.
 pub fn run_hashmap_opt_scenario(cfg: CrashCfg) -> CrashReport {
-    run_set_scenario::<RHashMap<SimNvm, true>>(cfg)
+    run_set_scenario::<RHashMap<SimNvm, 1>>(cfg)
+}
+
+/// Runs one seeded sharded-hash-map crash scenario, coalescing placement.
+pub fn run_hashmap_coal_scenario(cfg: CrashCfg) -> CrashReport {
+    run_set_scenario::<RHashMap<SimNvm, 2>>(cfg)
+}
+
+/// Runs one seeded sharded-hash-map crash scenario, link-persist placement.
+pub fn run_hashmap_lp_scenario(cfg: CrashCfg) -> CrashReport {
+    run_set_scenario::<RHashMap<SimNvm, 3>>(cfg)
 }
 
 // ---------------------------------------------------------------------------
 // Queue scenario
 // ---------------------------------------------------------------------------
 
-type SimQueue = RQueue<SimNvm, false>;
+/// Runs one seeded queue crash scenario, paper placement
+/// (see [`run_queue_scenario_arm`]).
+pub fn run_queue_scenario(cfg: CrashCfg) -> CrashReport {
+    run_queue_scenario_arm::<0>(cfg)
+}
+
+/// Runs one seeded queue crash scenario, coalescing placement.
+pub fn run_queue_coal_scenario(cfg: CrashCfg) -> CrashReport {
+    run_queue_scenario_arm::<2>(cfg)
+}
+
+/// Runs one seeded queue crash scenario, link-persist placement — the arm
+/// whose enqueue merges the tag-phase `psync` into the update-phase one, so
+/// the adversarial image may roll the tag CAS back independently of the
+/// descriptor state it points at.
+pub fn run_queue_lp_scenario(cfg: CrashCfg) -> CrashReport {
+    run_queue_scenario_arm::<3>(cfg)
+}
 
 /// Runs one seeded queue crash scenario; panics on violations (duplicate or
 /// lost values across the crash). Producers/consumers use disjoint pid and
 /// value spaces.
-pub fn run_queue_scenario(cfg: CrashCfg) -> CrashReport {
+pub fn run_queue_scenario_arm<const ARM: u8>(cfg: CrashCfg) -> CrashReport {
+    type SimQueue<const ARM: u8> = RQueue<SimNvm, ARM>;
     let _session = SESSION.lock().unwrap_or_else(|e| e.into_inner());
     // Exclusive process-wide simulator session: a concurrent one (e.g. a
     // test bypassing this harness) now panics cleanly instead of corrupting
@@ -446,7 +482,7 @@ pub fn run_queue_scenario(cfg: CrashCfg) -> CrashReport {
     let mut report = CrashReport::default();
     {
         nvm::tid::set_tid(nvm::MAX_PROCS - 1);
-        let q = Arc::new(SimQueue::with_collector(Collector::disabled()));
+        let q = Arc::new(SimQueue::<ARM>::with_collector(Collector::disabled()));
         let prefill = cfg.keys_per_proc;
         for i in 0..prefill {
             q.enqueue(nvm::MAX_PROCS - 1, 1_000_000_000 + i);
@@ -570,6 +606,11 @@ pub fn run_queue_scenario(cfg: CrashCfg) -> CrashReport {
 
         // ---- Validation --------------------------------------------------
         let mut q = Arc::into_inner(q).expect("all workers joined");
+        // Post-recovery scrub, as in the set driver: the LP arm elides the
+        // cleanup untag flushes entirely, so the adversarial image can
+        // resurrect tags of *completed* operations — at runtime lazy helping
+        // heals them, but the harness validates a quiescent queue now.
+        q.scrub();
         q.heal_tail();
         q.check_invariants();
         let remaining = q.snapshot_vals();

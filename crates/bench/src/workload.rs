@@ -82,6 +82,16 @@ impl RunResult {
     pub fn psyncs_per_op(&self) -> f64 {
         self.stats.psync as f64 / self.ops.max(1) as f64
     }
+    /// Write-backs elided by the coalescing set per operation (zero on the
+    /// non-coalescing arms and under models without `pwb_coal` overrides).
+    pub fn elided_per_op(&self) -> f64 {
+        self.stats.pwb_elided as f64 / self.ops.max(1) as f64
+    }
+    /// Unique cache lines drained out of the coalescing set at fences, per
+    /// operation.
+    pub fn coalesced_per_op(&self) -> f64 {
+        self.stats.lines_coalesced as f64 / self.ops.max(1) as f64
+    }
 }
 
 fn xorshift(x: &mut u64) -> u64 {

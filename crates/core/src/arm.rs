@@ -1,0 +1,99 @@
+//! Tuning arms: the persistence-placement variants a structure can be
+//! instantiated with.
+//!
+//! Every structure takes a `const ARM: u8` parameter selecting how persist
+//! instructions are placed. Arms are **cumulative** — each level keeps
+//! everything below it:
+//!
+//! | arm | name | adds |
+//! |-----|------|------|
+//! | [`PAPER`]     | `Isb`      | the paper's per-CAS `pwb` + per-phase `psync` placement |
+//! | [`TUNED`]     | `Isb-Opt`  | batched tag-loop flushes, merged barriers (PR 2) |
+//! | [`COALESCED`] | `Isb-Coal` | per-op cache-line dedupe via [`nvm::coalesce`]; `CP_q := 1` folded into `publish` so the `RD_q`/`CP_q` line is flushed once |
+//! | [`LP`]        | `Isb-LP`   | link-persist: cleanup write-backs elided (re-swept by scrub / lazy helping) and, for single-affect ops (enqueue), the tag-phase `psync` merged into the update-phase `psync` |
+//!
+//! The `u8` encoding (rather than a second `bool`) exists because stable
+//! Rust cannot derive one const generic from another; call sites write the
+//! level directly (`RQueue<M, { arm::LP }>` or simply `RQueue<M, 3>`).
+//! Arms `0`/`1` are bit-for-bit the old `TUNED = false`/`true` placements —
+//! including the mapped-heap config word, which stores the arm in the same
+//! byte the bool used to occupy.
+//!
+//! Soundness arguments for the two new arms are in `DESIGN.md` §12.
+
+/// The paper's placement (`Isb`): `pwb` after every CAS, `psync` per phase.
+pub const PAPER: u8 = 0;
+/// Hand-tuned placement (`Isb-Opt`): batched tag flushes, merged barriers.
+pub const TUNED: u8 = 1;
+/// `Isb-Coal`: TUNED plus per-operation cache-line flush coalescing.
+pub const COALESCED: u8 = 2;
+/// `Isb-LP`: COALESCED plus link-persist elisions (see module docs).
+pub const LP: u8 = 3;
+
+/// Does `arm` use the hand-tuned (batched) placement?
+#[inline]
+pub const fn is_tuned(arm: u8) -> bool {
+    arm >= TUNED
+}
+
+/// Does `arm` route batched flushes through the coalescing line set?
+#[inline]
+pub const fn coalesces(arm: u8) -> bool {
+    arm >= COALESCED
+}
+
+/// Does `arm` apply the link-persist elisions?
+#[inline]
+pub const fn is_lp(arm: u8) -> bool {
+    arm >= LP
+}
+
+/// Display name of the arm (benchmark legends, diagnostics).
+pub const fn name(arm: u8) -> &'static str {
+    match arm {
+        PAPER => "Isb",
+        TUNED => "Isb-Opt",
+        COALESCED => "Isb-Coal",
+        _ => "Isb-LP",
+    }
+}
+
+use nvm::{PWord, Persist, PersistWords};
+
+/// Arm-dispatched stand-alone flush: coalescing arms defer into the line
+/// set, lower arms flush immediately. Monomorphises to one call either way.
+#[inline]
+pub(crate) fn pwb_arm<M: Persist, const ARM: u8>(w: &PWord<M>) {
+    if coalesces(ARM) {
+        M::pwb_coal(w);
+    } else {
+        M::pwb(w);
+    }
+}
+
+/// Arm-dispatched whole-object flush (see [`pwb_arm`]).
+#[inline]
+pub(crate) fn pwb_obj_arm<M: Persist, T: PersistWords<M> + ?Sized, const ARM: u8>(obj: &T) {
+    if coalesces(ARM) {
+        M::pwb_obj_coal(obj);
+    } else {
+        M::pwb_obj(obj);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levels_are_cumulative() {
+        assert!(!is_tuned(PAPER) && !coalesces(PAPER) && !is_lp(PAPER));
+        assert!(is_tuned(TUNED) && !coalesces(TUNED));
+        assert!(is_tuned(COALESCED) && coalesces(COALESCED) && !is_lp(COALESCED));
+        assert!(is_tuned(LP) && coalesces(LP) && is_lp(LP));
+        assert_eq!(name(PAPER), "Isb");
+        assert_eq!(name(TUNED), "Isb-Opt");
+        assert_eq!(name(COALESCED), "Isb-Coal");
+        assert_eq!(name(LP), "Isb-LP");
+    }
+}

@@ -22,6 +22,7 @@
 //! The copies preserve pointer freshness exactly as in the list: a node
 //! leaves a child pointer only by being retired.
 
+use crate::arm;
 use crate::counters;
 use crate::engine::{help, HelpOutcome, Info, InfoFill, RES_FALSE, RES_TRUE};
 use crate::optype;
@@ -119,7 +120,7 @@ struct SearchRes<M: Persist> {
 }
 
 /// Detectably recoverable external BST (see module docs).
-pub struct RBst<M: Persist, const TUNED: bool = false> {
+pub struct RBst<M: Persist, const ARM: u8 = 0> {
     root: *mut Node<M>,
     rec: RecArea<M>,
     // `collector` must drop before the pools (drop-time drain recycles).
@@ -131,16 +132,16 @@ pub struct RBst<M: Persist, const TUNED: bool = false> {
     mapped: Option<Arc<MappedHeap>>,
 }
 
-unsafe impl<M: Persist, const TUNED: bool> Send for RBst<M, TUNED> {}
-unsafe impl<M: Persist, const TUNED: bool> Sync for RBst<M, TUNED> {}
+unsafe impl<M: Persist, const ARM: u8> Send for RBst<M, ARM> {}
+unsafe impl<M: Persist, const ARM: u8> Sync for RBst<M, ARM> {}
 
-impl<M: Persist, const TUNED: bool> Default for RBst<M, TUNED> {
+impl<M: Persist, const ARM: u8> Default for RBst<M, ARM> {
     fn default() -> Self {
         Self::new()
     }
 }
 
-impl<M: Persist, const TUNED: bool> RBst<M, TUNED> {
+impl<M: Persist, const ARM: u8> RBst<M, ARM> {
     /// New empty tree.
     pub fn new() -> Self {
         Self::with_collector(Collector::new())
@@ -226,6 +227,16 @@ impl<M: Persist, const TUNED: bool> RBst<M, TUNED> {
     }
 
     fn publish(&self, pid: usize, info: *mut Info<M>, published: &mut u64, g: &Guard<'_>) {
+        self.rec.publish_arm::<ARM>(pid, info as u64);
+        if *published != 0 && *published != info as u64 {
+            unsafe { Info::<M>::release(tag::ptr_of(*published), 1, g) };
+        }
+        *published = info as u64;
+    }
+
+    /// Publish for the read-only `find` path: never touches `CP_q` (see
+    /// `SetCore::publish_ro`).
+    fn publish_ro(&self, pid: usize, info: *mut Info<M>, published: &mut u64, g: &Guard<'_>) {
         self.rec.publish(pid, info as u64);
         if *published != 0 && *published != info as u64 {
             unsafe { Info::<M>::release(tag::ptr_of(*published), 1, g) };
@@ -244,10 +255,10 @@ impl<M: Persist, const TUNED: bool> RBst<M, TUNED> {
     unsafe fn persist_attempt(&self, info: *mut Info<M>, news: &[*mut Node<M>]) {
         unsafe {
             for &n in news {
-                M::pwb_obj(&*n);
+                arm::pwb_obj_arm::<M, _, ARM>(&*n);
             }
-            if TUNED {
-                M::pwb_obj(&*info);
+            if arm::is_tuned(ARM) {
+                arm::pwb_obj_arm::<M, _, ARM>(&*info);
                 M::pfence();
             } else {
                 M::pbarrier_obj(&*info);
@@ -260,18 +271,18 @@ impl<M: Persist, const TUNED: bool> RBst<M, TUNED> {
         Self::assert_key(key);
         // ONE pin covers the whole operation (see set_core::insert).
         let g = self.collector.pin();
-        let prev = self.rec.begin::<TUNED>(pid);
+        let prev = self.rec.begin::<ARM>(pid);
         unsafe { release_prev::<M>(prev, &g) };
         let mut info = self.alloc_info();
         let mut published: u64 = 0;
         loop {
             let s = unsafe { self.search(key) };
             if tag::is_tagged(s.p_info) {
-                unsafe { help::<M, TUNED>(tag::ptr_of(s.p_info), false, &g) };
+                unsafe { help::<M, ARM>(tag::ptr_of(s.p_info), false, &g) };
                 continue;
             }
             if tag::is_tagged(s.l_info) {
-                unsafe { help::<M, TUNED>(tag::ptr_of(s.l_info), false, &g) };
+                unsafe { help::<M, ARM>(tag::ptr_of(s.l_info), false, &g) };
                 continue;
             }
             let l_key = unsafe { (*s.l).key.load() };
@@ -325,7 +336,7 @@ impl<M: Persist, const TUNED: bool> RBst<M, TUNED> {
                 self.persist_attempt(info, &[internal, new_leaf, l_copy]);
             }
             self.publish(pid, info, &mut published, &g);
-            match unsafe { help::<M, TUNED>(info, true, &g) } {
+            match unsafe { help::<M, ARM>(info, true, &g) } {
                 HelpOutcome::Done => {
                     unsafe { self.retire_node(s.l, &g) };
                     return true;
@@ -350,22 +361,22 @@ impl<M: Persist, const TUNED: bool> RBst<M, TUNED> {
     pub fn delete(&self, pid: usize, key: u64) -> bool {
         Self::assert_key(key);
         let g = self.collector.pin();
-        let prev = self.rec.begin::<TUNED>(pid);
+        let prev = self.rec.begin::<ARM>(pid);
         unsafe { release_prev::<M>(prev, &g) };
         let mut info = self.alloc_info();
         let mut published: u64 = 0;
         loop {
             let s = unsafe { self.search(key) };
             if tag::is_tagged(s.gp_info) {
-                unsafe { help::<M, TUNED>(tag::ptr_of(s.gp_info), false, &g) };
+                unsafe { help::<M, ARM>(tag::ptr_of(s.gp_info), false, &g) };
                 continue;
             }
             if tag::is_tagged(s.p_info) {
-                unsafe { help::<M, TUNED>(tag::ptr_of(s.p_info), false, &g) };
+                unsafe { help::<M, ARM>(tag::ptr_of(s.p_info), false, &g) };
                 continue;
             }
             if tag::is_tagged(s.l_info) {
-                unsafe { help::<M, TUNED>(tag::ptr_of(s.l_info), false, &g) };
+                unsafe { help::<M, ARM>(tag::ptr_of(s.l_info), false, &g) };
                 continue;
             }
             let l_key = unsafe { (*s.l).key.load() };
@@ -398,7 +409,7 @@ impl<M: Persist, const TUNED: bool> RBst<M, TUNED> {
                 (sib, si, (*sib).key.load(), (*sib).left.load(), (*sib).right.load())
             };
             if tag::is_tagged(sib_info) {
-                unsafe { help::<M, TUNED>(tag::ptr_of(sib_info), false, &g) };
+                unsafe { help::<M, ARM>(tag::ptr_of(sib_info), false, &g) };
                 continue;
             }
             let t = tag::tagged(info as u64);
@@ -425,7 +436,7 @@ impl<M: Persist, const TUNED: bool> RBst<M, TUNED> {
                 self.persist_attempt(info, &[sib_copy]);
             }
             self.publish(pid, info, &mut published, &g);
-            match unsafe { help::<M, TUNED>(info, true, &g) } {
+            match unsafe { help::<M, ARM>(info, true, &g) } {
                 HelpOutcome::Done => {
                     unsafe {
                         self.retire_node(s.p, &g);
@@ -458,7 +469,7 @@ impl<M: Persist, const TUNED: bool> RBst<M, TUNED> {
         loop {
             let s = unsafe { self.search(key) };
             if tag::is_tagged(s.l_info) {
-                unsafe { help::<M, TUNED>(tag::ptr_of(s.l_info), false, &g) };
+                unsafe { help::<M, ARM>(tag::ptr_of(s.l_info), false, &g) };
                 continue;
             }
             let res = unsafe { (*s.l).key.load() } == key;
@@ -478,7 +489,7 @@ impl<M: Persist, const TUNED: bool> RBst<M, TUNED> {
                 M::store(&(*info).result, enc);
                 self.persist_attempt(info, &[]);
             }
-            self.publish(pid, info, &mut published, &g);
+            self.publish_ro(pid, info, &mut published, &g);
             unsafe { Info::<M>::release(info, 1, &g) };
             return res;
         }
@@ -488,7 +499,7 @@ impl<M: Persist, const TUNED: bool> RBst<M, TUNED> {
     pub fn recover_insert(&self, pid: usize, key: u64) -> bool {
         let r = {
             let g = self.collector.pin();
-            unsafe { op_recover::<M, TUNED>(&self.rec, pid, &g) }
+            unsafe { op_recover::<M, ARM>(&self.rec, pid, &g) }
         };
         match r {
             Recovered::Completed(v) => v == RES_TRUE,
@@ -500,7 +511,7 @@ impl<M: Persist, const TUNED: bool> RBst<M, TUNED> {
     pub fn recover_delete(&self, pid: usize, key: u64) -> bool {
         let r = {
             let g = self.collector.pin();
-            unsafe { op_recover::<M, TUNED>(&self.rec, pid, &g) }
+            unsafe { op_recover::<M, ARM>(&self.rec, pid, &g) }
         };
         match r {
             Recovered::Completed(v) => v == RES_TRUE,
@@ -512,7 +523,7 @@ impl<M: Persist, const TUNED: bool> RBst<M, TUNED> {
     pub fn recover_find(&self, pid: usize, key: u64) -> bool {
         let r = {
             let g = self.collector.pin();
-            unsafe { op_recover::<M, TUNED>(&self.rec, pid, &g) }
+            unsafe { op_recover::<M, ARM>(&self.rec, pid, &g) }
         };
         match r {
             Recovered::Completed(v) => v == RES_TRUE,
@@ -551,7 +562,7 @@ impl<M: Persist, const TUNED: bool> RBst<M, TUNED> {
                     let iv = (*n).info.load();
                     if tag::is_tagged(iv) {
                         dirty = true;
-                        help::<M, TUNED>(tag::ptr_of(iv), false, &g);
+                        help::<M, ARM>(tag::ptr_of(iv), false, &g);
                     }
                     if !(*n).is_leaf() {
                         stack.push((*n).left.load() as *mut Node<M>);
@@ -626,7 +637,7 @@ unsafe fn drop_info_raw<M: Persist>(p: *mut u8) {
     drop(unsafe { Box::from_raw(p as *mut Info<M>) });
 }
 
-impl<const TUNED: bool> RBst<MappedNvm, TUNED> {
+impl<const ARM: u8> RBst<MappedNvm, ARM> {
     /// Attaches (or creates) a detectably recoverable BST backed by the
     /// file-backed persistent heap at `path`, running the generic restart
     /// driver ([`crate::recovery::attach_standalone`]) on an existing heap.
@@ -655,13 +666,13 @@ impl<const TUNED: bool> RBst<MappedNvm, TUNED> {
     }
 }
 
-impl<const TUNED: bool> MappedLayout for RBst<MappedNvm, TUNED> {
+impl<const ARM: u8> MappedLayout for RBst<MappedNvm, ARM> {
     const KIND: u64 = KIND_BST;
     const KIND_NAME: &'static str = "bst";
     type Cfg = ();
 
     fn cfg_word(_cfg: ()) -> u64 {
-        0x42 | (TUNED as u64) << 32
+        0x42 | (ARM as u64) << 32
     }
 
     fn root_bytes(_cfg: ()) -> usize {
@@ -709,7 +720,7 @@ impl<const TUNED: bool> MappedLayout for RBst<MappedNvm, TUNED> {
     }
 }
 
-impl<const TUNED: bool> SlotOps for RBst<MappedNvm, TUNED> {
+impl<const ARM: u8> SlotOps for RBst<MappedNvm, ARM> {
     fn validate_image(&self, infos: &mut HashSet<u64>) -> Result<(), MapError> {
         // Iterative DFS with a step budget (cycle guard); every node is
         // dereferenced only after its whole span passed `in_node`.
@@ -780,7 +791,7 @@ impl<const TUNED: bool> SlotOps for RBst<MappedNvm, TUNED> {
     }
 }
 
-impl<M: Persist, const TUNED: bool> Drop for RBst<M, TUNED> {
+impl<M: Persist, const ARM: u8> Drop for RBst<M, ARM> {
     fn drop(&mut self) {
         if self.mapped.is_some() {
             // Mapped mode: the arena is the durable state; pools return
@@ -830,8 +841,8 @@ mod tests {
     use nvm::CountingNvm;
     use std::sync::Arc;
 
-    type T = RBst<CountingNvm, false>;
-    type TOpt = RBst<CountingNvm, true>;
+    type T = RBst<CountingNvm, 0>;
+    type TOpt = RBst<CountingNvm, 1>;
 
     #[test]
     fn sequential_set_semantics() {
@@ -985,7 +996,7 @@ mod tests {
         ));
         let _ = std::fs::remove_file(&path);
         {
-            let (t, s) = RBst::<nvm::MappedNvm, false>::attach_sized(&path, 1 << 21).unwrap();
+            let (t, s) = RBst::<nvm::MappedNvm, 0>::attach_sized(&path, 1 << 21).unwrap();
             assert!(s.heap.created);
             for k in [50u64, 20, 80, 10, 30, 70, 90, 25, 35] {
                 assert!(t.insert(0, k));
@@ -993,7 +1004,7 @@ mod tests {
             assert!(t.delete(0, 20));
         }
         {
-            let (mut t, s) = RBst::<nvm::MappedNvm, false>::attach_sized(&path, 1 << 21).unwrap();
+            let (mut t, s) = RBst::<nvm::MappedNvm, 0>::attach_sized(&path, 1 << 21).unwrap();
             assert!(!s.heap.created);
             assert_eq!(s.heap.poisoned, 0, "clean detach leaves no torn blocks");
             assert_eq!(t.snapshot_keys(), vec![10, 25, 30, 35, 50, 70, 80, 90]);
@@ -1002,7 +1013,7 @@ mod tests {
             assert!(t.delete(0, 90));
         }
         {
-            let (mut t, _) = RBst::<nvm::MappedNvm, false>::attach_sized(&path, 1 << 21).unwrap();
+            let (mut t, _) = RBst::<nvm::MappedNvm, 0>::attach_sized(&path, 1 << 21).unwrap();
             assert_eq!(t.snapshot_keys(), vec![10, 25, 30, 35, 50, 60, 70, 80]);
             t.check_invariants();
         }

@@ -33,6 +33,7 @@
 //! zero, the Info is retired through EBR, which prevents info-pointer ABA
 //! through address reuse (see DESIGN.md §5).
 
+use crate::arm;
 use crate::pool::PoolItem;
 use crate::tag;
 use nvm::{PWord, Persist, PersistWords};
@@ -486,7 +487,7 @@ pub enum HelpOutcome {
 /// `info` must point to a filled, live `Info` reachable per the protocol;
 /// the caller must hold an EBR pin (`guard`) covering every node in the
 /// descriptor.
-pub unsafe fn help<M: Persist, const TUNED: bool>(
+pub unsafe fn help<M: Persist, const ARM: u8>(
     info: *mut Info<M>,
     invoker: bool,
     guard: &Guard<'_>,
@@ -507,7 +508,7 @@ pub unsafe fn help<M: Persist, const TUNED: bool>(
         let (cell, expected) = unsafe { r.affect_at(k) };
         debug_assert!(!tag::is_tagged(expected), "expected info values are untagged");
         let res = cell.cas(expected, tagged_val);
-        if !TUNED {
+        if !arm::is_tuned(ARM) {
             M::pwb(cell);
         }
         if res != expected && res != tagged_val {
@@ -529,9 +530,11 @@ pub unsafe fn help<M: Persist, const TUNED: bool>(
             //    partial tags during scrub) and report completion.
             // 2. `result` unset ⇒ the attempt genuinely failed: backtrack.
             if M::load(&r.result) != RES_BOT {
-                cleanup::<M>(r, tagged_val, untagged_val, naffect, nnew, del_mask);
-                if !TUNED {
+                cleanup::<M, ARM>(r, tagged_val, untagged_val, naffect, nnew, del_mask);
+                if !arm::is_tuned(ARM) {
                     M::psync();
+                } else if arm::coalesces(ARM) && !arm::is_lp(ARM) {
+                    M::coal_drain();
                 }
                 return HelpOutcome::Done;
             }
@@ -541,7 +544,7 @@ pub unsafe fn help<M: Persist, const TUNED: bool>(
                 j -= 1;
                 let (c, _) = unsafe { r.affect_at(j) };
                 let _ = c.cas(tagged_val, untagged_val);
-                M::pwb(c);
+                arm::pwb_arm::<M, ARM>(c);
             }
             M::psync();
             return HelpOutcome::FailedAt(k);
@@ -555,11 +558,11 @@ pub unsafe fn help<M: Persist, const TUNED: bool>(
         }
         k += 1;
     }
-    if TUNED {
+    if arm::is_tuned(ARM) {
         // Batched write-backs of all tags before the phase-ending psync.
         for k in 0..naffect {
             let (cell, _) = unsafe { r.affect_at(k) };
-            M::pwb(cell);
+            arm::pwb_arm::<M, ARM>(cell);
         }
     } else {
         // Hardening beyond the paper's pseudocode: positions this caller did
@@ -571,7 +574,17 @@ pub unsafe fn help<M: Persist, const TUNED: bool>(
             M::pwb(cell);
         }
     }
-    M::psync();
+    // Link-persist: for a single-affect operation (the queue's enqueue) the
+    // tag-phase psync is merged into the update-phase psync below — the tag
+    // line stays in the coalescing set and is written back together with the
+    // link and the result. Sound because the descriptor and RD_q are already
+    // durable (publish psync'd before help), so a crash image holding any
+    // subset of {tag, link, result} re-runs this idempotent help from
+    // op_recover; see DESIGN.md §12. Multi-affect ops keep the barrier: their
+    // updates must never be durable before the full tag prefix is.
+    if !(arm::is_lp(ARM) && naffect == 1) {
+        M::psync();
+    }
 
     // ---- Update phase ---------------------------------------------------
     for w in 0..nwrite {
@@ -581,18 +594,24 @@ pub unsafe fn help<M: Persist, const TUNED: bool>(
         let new = M::load(&slot[2]);
         let cell = unsafe { &*cell };
         let _ = cell.cas(old, new); // idempotent: fails silently on re-execution
-        M::pwb(cell);
+        arm::pwb_arm::<M, ARM>(cell);
     }
     let presult = M::load(&r.presult);
     debug_assert_ne!(presult, RES_BOT, "presult must be precomputed before publication");
     M::store(&r.result, presult);
-    M::pwb(&r.result);
+    arm::pwb_arm::<M, ARM>(&r.result);
     M::psync();
 
     // ---- Cleanup phase --------------------------------------------------
-    cleanup::<M>(r, tagged_val, untagged_val, naffect, nnew, del_mask);
-    if !TUNED {
+    cleanup::<M, ARM>(r, tagged_val, untagged_val, naffect, nnew, del_mask);
+    if !arm::is_tuned(ARM) {
         M::psync();
+    } else if arm::coalesces(ARM) && !arm::is_lp(ARM) {
+        // The coalesced cleanup lines must be written back before the op
+        // returns: the untag CAS released the descriptor's cells, so the
+        // noted nodes may be retired/recycled once we return. No fence —
+        // cleanup durability stays opportunistic exactly as in TUNED.
+        M::coal_drain();
     }
     HelpOutcome::Done
 }
@@ -601,7 +620,14 @@ pub unsafe fn help<M: Persist, const TUNED: bool>(
 /// still holding this operation's tag (deletion-tagged positions stay
 /// tagged forever, doubling as Harris mark bits). Shared by the normal
 /// epilogue and the completion-detected failure branch.
-fn cleanup<M: Persist>(
+///
+/// Under the `LP` arm the untag write-backs are elided entirely: they run
+/// after the update-phase psync with no fence of their own, so no arm ever
+/// *guarantees* their durability — a crash may resurrect the tag either way,
+/// and the same re-sweep (scrub / lazy helping on encounter) heals it. The
+/// elision only widens the window, never the set of recovery behaviours
+/// (DESIGN.md §12).
+fn cleanup<M: Persist, const ARM: u8>(
     r: &Info<M>,
     tagged_val: u64,
     untagged_val: u64,
@@ -616,14 +642,18 @@ fn cleanup<M: Persist>(
         // SAFETY: descriptor cells stay live per the help() contract.
         let (cell, _) = unsafe { r.affect_at(k) };
         let _ = cell.cas(tagged_val, untagged_val);
-        M::pwb(cell);
+        if !arm::is_lp(ARM) {
+            arm::pwb_arm::<M, ARM>(cell);
+        }
     }
     for n in 0..nnew {
         let cell = M::load(&r.newset[n]) as *const PWord<M>;
         // SAFETY: as above.
         let cell = unsafe { &*cell };
         let _ = cell.cas(tagged_val, untagged_val);
-        M::pwb(cell);
+        if !arm::is_lp(ARM) {
+            arm::pwb_arm::<M, ARM>(cell);
+        }
     }
 }
 
@@ -687,7 +717,7 @@ mod tests {
         let a1 = cellv(0);
         let w = cellv(100);
         let info = unsafe { mk_info(&a0, 0, &a1, 0, &w, 100, 200, 0b10) };
-        let out = unsafe { help::<M, false>(info, true, &g) };
+        let out = unsafe { help::<M, 0>(info, true, &g) };
         assert_eq!(out, HelpOutcome::Done);
         assert_eq!(w.load(), 200, "write applied");
         assert_eq!(unsafe { &*info }.result.load(), RES_TRUE);
@@ -708,7 +738,7 @@ mod tests {
         let a1 = cellv(0);
         let w = cellv(100);
         let info = unsafe { mk_info(&a0, 0, &a1, 0, &w, 100, 200, 0b10) };
-        assert_eq!(unsafe { help::<M, false>(info, true, &g) }, HelpOutcome::Done);
+        assert_eq!(unsafe { help::<M, 0>(info, true, &g) }, HelpOutcome::Done);
         w.store(777); // someone else moved the world on
 
         // Re-execution (recovery): the tag CAS on a0 fails (the cell now
@@ -717,7 +747,7 @@ mod tests {
         // WITHOUT re-running the write (Algorithm 1's completion check; an
         // invoker that mistook this for failure would re-initialize nodes
         // that are reachable).
-        let out = unsafe { help::<M, false>(info, true, &g) };
+        let out = unsafe { help::<M, 0>(info, true, &g) };
         assert_eq!(out, HelpOutcome::Done);
         assert_eq!(w.load(), 777, "idempotence: update not re-applied");
         assert_eq!(unsafe { &*info }.result.load(), RES_TRUE, "result survives");
@@ -737,11 +767,11 @@ mod tests {
         let a1 = cellv(0);
         let w = cellv(100);
         let info = unsafe { mk_info(&a0, 0, &a1, 0, &w, 100, 200, 0b10) };
-        assert_eq!(unsafe { help::<M, false>(info, true, &g) }, HelpOutcome::Done);
+        assert_eq!(unsafe { help::<M, 0>(info, true, &g) }, HelpOutcome::Done);
         a0.store(0xF0F0); // later op's value in the released cell
         w.store(777);
         assert_eq!(
-            unsafe { help::<M, false>(info, true, &g) },
+            unsafe { help::<M, 0>(info, true, &g) },
             HelpOutcome::Done,
             "foreign value + result set = the operation completed"
         );
@@ -754,7 +784,7 @@ mod tests {
         let w2 = cellv(100);
         let info2 = unsafe { mk_info(&b0, 0, &b1, 0, &w2, 100, 200, 0) };
         assert_eq!(
-            unsafe { help::<M, false>(info2, true, &g) },
+            unsafe { help::<M, 0>(info2, true, &g) },
             HelpOutcome::FailedAt(0),
             "foreign value + result unset = genuine failure"
         );
@@ -774,7 +804,7 @@ mod tests {
         // Simulate a crash after tagging both nodes but before the update:
         a0.store(tag::tagged(info as u64));
         a1.store(tag::tagged(info as u64));
-        let out = unsafe { help::<M, false>(info, true, &g) };
+        let out = unsafe { help::<M, 0>(info, true, &g) };
         assert_eq!(out, HelpOutcome::Done, "re-tagging treats tagged(info) as success");
         assert_eq!(w.load(), 200);
         // Releases happened for... no prior values (tag CAS saw res == tagged).
@@ -791,7 +821,7 @@ mod tests {
         let a1 = cellv(0xdead0); // does not match expected 0
         let w = cellv(100);
         let info = unsafe { mk_info(&a0, 0, &a1, 0, &w, 100, 200, 0b10) };
-        let out = unsafe { help::<M, false>(info, true, &g) };
+        let out = unsafe { help::<M, 0>(info, true, &g) };
         assert_eq!(out, HelpOutcome::FailedAt(1));
         assert_eq!(a0.load(), tag::untagged(info as u64), "prefix untagged");
         assert_eq!(a1.load(), 0xdead0, "conflicting cell untouched");
@@ -811,7 +841,7 @@ mod tests {
         let info = unsafe { mk_info(&a0, 0, &a1, 0, &w, 100, 200, 0b10) };
         // Invoker tagged a0, then stalled; a helper picks it up.
         a0.store(tag::tagged(info as u64));
-        let out = unsafe { help::<M, false>(info, false, &g) };
+        let out = unsafe { help::<M, 0>(info, false, &g) };
         assert_eq!(out, HelpOutcome::Done);
         assert_eq!(w.load(), 200);
         assert_eq!(a0.load(), tag::untagged(info as u64), "helper's cleanup untags position 0");
@@ -828,7 +858,7 @@ mod tests {
         let w = cellv(100);
         let info = unsafe { mk_info(&a0, 0, &a1, 0, &w, 100, 200, 0b10) };
         a0.store(tag::tagged(info as u64)); // invoker got this far, then died
-        let out = unsafe { help::<M, false>(info, false, &g) };
+        let out = unsafe { help::<M, 0>(info, false, &g) };
         assert_eq!(out, HelpOutcome::FailedAt(1));
         assert_eq!(a0.load(), tag::untagged(info as u64), "helper backtracks the invoker's tag");
         unsafe { Info::release(info, 3, &g) };
@@ -860,7 +890,7 @@ mod tests {
         let a1 = cellv(0);
         let w = cellv(1);
         let info = unsafe { mk_info(&a0, tag::untagged(old as u64), &a1, 0, &w, 1, 2, 0b10) };
-        assert_eq!(unsafe { help::<M, false>(info, true, &g) }, HelpOutcome::Done);
+        assert_eq!(unsafe { help::<M, 0>(info, true, &g) }, HelpOutcome::Done);
         // The winning tag CAS over `old`'s value released its last reference:
         // old has been retired (freed when the collector drains) — we can't
         // touch it; absence of double-free is checked by the collector drop.
@@ -907,7 +937,7 @@ mod tests {
         let before = nvm::stats::snapshot();
         {
             let g = ctx.c.pin();
-            unsafe { help::<M, false>(info, true, &g) };
+            unsafe { help::<M, 0>(info, true, &g) };
         }
         let paper = nvm::stats::snapshot().since(&before);
 
@@ -916,7 +946,7 @@ mod tests {
         let before = nvm::stats::snapshot();
         {
             let g = ctx.c.pin();
-            unsafe { help::<M, true>(info2, true, &g) };
+            unsafe { help::<M, 1>(info2, true, &g) };
         }
         let tuned = nvm::stats::snapshot().since(&before);
         assert!(tuned.psync < paper.psync, "tuned {tuned:?} vs paper {paper:?}");

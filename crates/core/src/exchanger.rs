@@ -134,7 +134,7 @@ impl<M: Persist> RExchanger<M> {
         // ONE pin covers the retirement of the previous descriptor and the
         // whole collision loop.
         let g = self.collector.pin();
-        let prev = self.rec.begin::<true>(pid);
+        let prev = self.rec.begin::<1>(pid);
         if tag::untagged(prev) != 0 {
             // Published in RD_q and possibly seen by a past partner: the
             // pool's epoch delay applies.

@@ -41,7 +41,7 @@ pub const KIND_MAP: u64 = 1;
 /// 2⁶⁴ / φ, the fibonacci-hashing multiplier.
 const FIB: u64 = 0x9E37_79B9_7F4A_7C15;
 
-/// Sharded, detectably recoverable hash map. `TUNED` selects the persistency
+/// Sharded, detectably recoverable hash map. `ARM` selects the persistency
 /// placement exactly as for [`crate::list::RList`] (false = "Isb", true =
 /// "Isb-Opt").
 ///
@@ -69,7 +69,7 @@ const FIB: u64 = 0x9E37_79B9_7F4A_7C15;
 /// With the mapped backend ([`RHashMap::attach`]) the same flow runs across
 /// an actual process restart: the attach replays Op-Recover for every
 /// process id and reports the decisions in its [`AttachSummary`].
-pub struct RHashMap<M: Persist, const TUNED: bool = false> {
+pub struct RHashMap<M: Persist, const ARM: u8 = 0> {
     heads: Box<[*mut Node<M>]>,
     /// Right-shift distance extracting the top `log2(shards)` hash bits.
     shift: u32,
@@ -85,16 +85,16 @@ pub struct RHashMap<M: Persist, const TUNED: bool = false> {
     mapped: Option<Arc<MappedHeap>>,
 }
 
-unsafe impl<M: Persist, const TUNED: bool> Send for RHashMap<M, TUNED> {}
-unsafe impl<M: Persist, const TUNED: bool> Sync for RHashMap<M, TUNED> {}
+unsafe impl<M: Persist, const ARM: u8> Send for RHashMap<M, ARM> {}
+unsafe impl<M: Persist, const ARM: u8> Sync for RHashMap<M, ARM> {}
 
-impl<M: Persist, const TUNED: bool> Default for RHashMap<M, TUNED> {
+impl<M: Persist, const ARM: u8> Default for RHashMap<M, ARM> {
     fn default() -> Self {
         Self::new()
     }
 }
 
-impl<M: Persist, const TUNED: bool> RHashMap<M, TUNED> {
+impl<M: Persist, const ARM: u8> RHashMap<M, ARM> {
     /// New empty map with [`DEFAULT_SHARDS`] shards and a reclaiming
     /// collector.
     pub fn new() -> Self {
@@ -154,7 +154,7 @@ impl<M: Persist, const TUNED: bool> RHashMap<M, TUNED> {
 
     /// The core view over `key`'s bucket.
     #[inline]
-    fn core_for(&self, key: u64) -> SetCore<'_, M, TUNED> {
+    fn core_for(&self, key: u64) -> SetCore<'_, M, ARM> {
         // SAFETY: every head is a live bucket owned by this map; all buckets
         // share the map's single recovery area, collector and pools.
         unsafe {
@@ -166,7 +166,7 @@ impl<M: Persist, const TUNED: bool> RHashMap<M, TUNED> {
     /// choice does not matter for [`SetCore::op_recover`], which only reads
     /// the shared recovery area).
     #[inline]
-    fn core_at(&self, shard: usize) -> SetCore<'_, M, TUNED> {
+    fn core_at(&self, shard: usize) -> SetCore<'_, M, ARM> {
         // SAFETY: as in `core_for`.
         unsafe { SetCore::new(self.heads[shard], &self.rec, &self.collector, &self.pools) }
     }
@@ -263,7 +263,7 @@ impl<M: Persist, const TUNED: bool> RHashMap<M, TUNED> {
     }
 }
 
-impl<const TUNED: bool> RHashMap<MappedNvm, TUNED> {
+impl<const ARM: u8> RHashMap<MappedNvm, ARM> {
     /// Attaches (or creates) a detectably recoverable hash map backed by the
     /// file-backed persistent heap at `path`
     /// ([`nvm::mapped::DEFAULT_HEAP_BYTES`] on creation).
@@ -274,7 +274,7 @@ impl<const TUNED: bool> RHashMap<MappedNvm, TUNED> {
     /// the [`AttachSummary`]), scrub, census + sweep.
     ///
     /// The calling thread must be registered ([`nvm::tid::set_tid`]). One
-    /// process attaches a heap at a time; `shards` and `TUNED` must match
+    /// process attaches a heap at a time; `shards` and `ARM` must match
     /// the heap's recorded configuration.
     pub fn attach(
         path: impl AsRef<Path>,
@@ -305,7 +305,7 @@ impl<const TUNED: bool> RHashMap<MappedNvm, TUNED> {
     }
 }
 
-impl<const TUNED: bool> MappedLayout for RHashMap<MappedNvm, TUNED> {
+impl<const ARM: u8> MappedLayout for RHashMap<MappedNvm, ARM> {
     const KIND: u64 = KIND_MAP;
     const KIND_NAME: &'static str = "hashmap";
     type Cfg = usize; // shard count
@@ -322,7 +322,7 @@ impl<const TUNED: bool> MappedLayout for RHashMap<MappedNvm, TUNED> {
     }
 
     fn cfg_word(shards: usize) -> u64 {
-        shards as u64 | (TUNED as u64) << 32
+        shards as u64 | (ARM as u64) << 32
     }
 
     fn root_bytes(shards: usize) -> usize {
@@ -358,7 +358,7 @@ impl<const TUNED: bool> MappedLayout for RHashMap<MappedNvm, TUNED> {
     }
 }
 
-impl<const TUNED: bool> SlotOps for RHashMap<MappedNvm, TUNED> {
+impl<const ARM: u8> SlotOps for RHashMap<MappedNvm, ARM> {
     fn validate_image(&self, infos: &mut HashSet<u64>) -> Result<(), MapError> {
         let max_nodes = self.heap().bump_granules() + 4;
         for &head in self.heads.iter() {
@@ -395,7 +395,7 @@ impl<const TUNED: bool> SlotOps for RHashMap<MappedNvm, TUNED> {
     }
 }
 
-impl<M: Persist, const TUNED: bool> RHashMap<M, TUNED> {
+impl<M: Persist, const ARM: u8> RHashMap<M, ARM> {
     /// The *system* half of an invocation (`CP_q := 0`, persisted). Callers
     /// that journal their own intent records around the map (write-ahead
     /// logs driving a mapped heap) must call this **before** writing the
@@ -407,7 +407,7 @@ impl<M: Persist, const TUNED: bool> RHashMap<M, TUNED> {
     }
 }
 
-impl<M: Persist, const TUNED: bool> Drop for RHashMap<M, TUNED> {
+impl<M: Persist, const ARM: u8> Drop for RHashMap<M, ARM> {
     fn drop(&mut self) {
         if self.mapped.is_some() {
             // Mapped mode: the arena contents are the durable state; the
@@ -437,8 +437,8 @@ mod tests {
     use nvm::CountingNvm;
     use std::sync::Arc;
 
-    type H = RHashMap<CountingNvm, false>;
-    type HOpt = RHashMap<CountingNvm, true>;
+    type H = RHashMap<CountingNvm, 0>;
+    type HOpt = RHashMap<CountingNvm, 1>;
 
     #[test]
     fn sequential_set_semantics() {
@@ -636,8 +636,7 @@ mod tests {
         nvm::tid::set_tid(0);
         let path = tmp_heap("roundtrip");
         {
-            let (map, s) =
-                RHashMap::<nvm::MappedNvm, false>::attach_sized(&path, 8, 1 << 21).unwrap();
+            let (map, s) = RHashMap::<nvm::MappedNvm, 0>::attach_sized(&path, 8, 1 << 21).unwrap();
             assert!(s.heap.created);
             for k in 1..=200u64 {
                 assert!(map.insert(0, k));
@@ -648,7 +647,7 @@ mod tests {
         }
         {
             let (mut map, s) =
-                RHashMap::<nvm::MappedNvm, false>::attach_sized(&path, 8, 1 << 21).unwrap();
+                RHashMap::<nvm::MappedNvm, 0>::attach_sized(&path, 8, 1 << 21).unwrap();
             assert!(!s.heap.created);
             assert_eq!(s.heap.poisoned, 0, "clean detach leaves no torn blocks");
             for k in 1..=200u64 {
@@ -661,7 +660,7 @@ mod tests {
         }
         {
             let (mut map, _) =
-                RHashMap::<nvm::MappedNvm, false>::attach_sized(&path, 8, 1 << 21).unwrap();
+                RHashMap::<nvm::MappedNvm, 0>::attach_sized(&path, 8, 1 << 21).unwrap();
             assert!(map.find(0, 1000));
             assert!(!map.find(0, 2));
             map.check_invariants();
@@ -674,15 +673,15 @@ mod tests {
         let _gate = crate::counters::gate_shared();
         nvm::tid::set_tid(0);
         let path = tmp_heap("cfg");
-        drop(RHashMap::<nvm::MappedNvm, false>::attach_sized(&path, 8, 1 << 21).unwrap());
+        drop(RHashMap::<nvm::MappedNvm, 0>::attach_sized(&path, 8, 1 << 21).unwrap());
         // Different shard count.
-        match RHashMap::<nvm::MappedNvm, false>::attach_sized(&path, 16, 1 << 21) {
+        match RHashMap::<nvm::MappedNvm, 0>::attach_sized(&path, 16, 1 << 21) {
             Err(AttachError::CfgMismatch { .. }) => {}
             Err(e) => panic!("expected CfgMismatch, got {e}"),
             Ok(_) => panic!("shard-count mismatch must fail"),
         }
         // Different tuning.
-        match RHashMap::<nvm::MappedNvm, true>::attach_sized(&path, 8, 1 << 21) {
+        match RHashMap::<nvm::MappedNvm, 1>::attach_sized(&path, 8, 1 << 21) {
             Err(AttachError::CfgMismatch { .. }) => {}
             Err(e) => panic!("expected CfgMismatch, got {e}"),
             Ok(_) => panic!("tuning mismatch must fail"),

@@ -30,7 +30,7 @@
 //! * [`store::Store`] — one mapped heap hosting many named structures
 //!   (catalog + shared recovery area + union census/sweep, DESIGN.md §11).
 //!
-//! ## Model parameters: `M` and `TUNED`
+//! ## Model parameters: `M` and `ARM`
 //!
 //! Every structure is generic over two parameters that are monomorphised
 //! away:
@@ -44,7 +44,7 @@
 //!   constructor through the generic [`recovery::MappedLayout`] driver
 //!   (remap, Op-Recover replay per process, scrub, census + leak sweep),
 //!   and [`store::Store`] hosts many *named* structures in one heap.
-//! * `TUNED: bool` — the persistency *placement*. `false` is the paper's
+//! * `ARM: bool` — the persistency *placement*. `false` is the paper's
 //!   general ROpt-ISB placement ("Isb"); `true` is the hand-tuned one
 //!   ("Isb-Opt"), which defers the durability of `CP_q := 1` and batches
 //!   tag write-backs, saving one `psync` per operation (see
@@ -76,6 +76,7 @@
 
 #![warn(missing_docs)]
 
+pub mod arm;
 pub mod bst;
 pub mod counters;
 pub mod engine;

@@ -28,8 +28,8 @@ pub use crate::set_core::{Node, KEY_MAX, KEY_MIN};
 /// Superblock structure-kind tag of a mapped `RList`.
 pub const KIND_LIST: u64 = 3;
 
-/// Detectably recoverable sorted linked list. `TUNED = false` is the paper's
-/// general persistency placement ("Isb"); `TUNED = true` is the hand-tuned
+/// Detectably recoverable sorted linked list. `ARM = false` is the paper's
+/// general persistency placement ("Isb"); `ARM = true` is the hand-tuned
 /// one ("Isb-Opt").
 ///
 /// # Example: the detectable recovery flow
@@ -55,7 +55,7 @@ pub const KIND_LIST: u64 = 3;
 /// assert!(list.recover_delete(0, 7));
 /// assert!(!list.find(0, 7));
 /// ```
-pub struct RList<M: Persist, const TUNED: bool = false> {
+pub struct RList<M: Persist, const ARM: u8 = 0> {
     head: *mut Node<M>,
     rec: RecArea<M>,
     // `collector` must drop before `pools`: pending garbage recycles into
@@ -67,16 +67,16 @@ pub struct RList<M: Persist, const TUNED: bool = false> {
     mapped: Option<Arc<MappedHeap>>,
 }
 
-unsafe impl<M: Persist, const TUNED: bool> Send for RList<M, TUNED> {}
-unsafe impl<M: Persist, const TUNED: bool> Sync for RList<M, TUNED> {}
+unsafe impl<M: Persist, const ARM: u8> Send for RList<M, ARM> {}
+unsafe impl<M: Persist, const ARM: u8> Sync for RList<M, ARM> {}
 
-impl<M: Persist, const TUNED: bool> Default for RList<M, TUNED> {
+impl<M: Persist, const ARM: u8> Default for RList<M, ARM> {
     fn default() -> Self {
         Self::new()
     }
 }
 
-impl<M: Persist, const TUNED: bool> RList<M, TUNED> {
+impl<M: Persist, const ARM: u8> RList<M, ARM> {
     /// New empty list with a reclaiming collector and pooled allocation.
     pub fn new() -> Self {
         Self::with_collector(Collector::new())
@@ -109,7 +109,7 @@ impl<M: Persist, const TUNED: bool> RList<M, TUNED> {
 
     /// The core view over the list's single bucket.
     #[inline]
-    fn core(&self) -> SetCore<'_, M, TUNED> {
+    fn core(&self) -> SetCore<'_, M, ARM> {
         // SAFETY: `head` is this list's live bucket; `rec`/`collector`/
         // `pools` are the area, collector and pools every operation on it
         // goes through (pools declared after the collector, so they outlive
@@ -185,7 +185,7 @@ impl<M: Persist, const TUNED: bool> RList<M, TUNED> {
     }
 }
 
-impl<const TUNED: bool> RList<MappedNvm, TUNED> {
+impl<const ARM: u8> RList<MappedNvm, ARM> {
     /// Attaches (or creates) a detectably recoverable sorted list backed by
     /// the file-backed persistent heap at `path`, running the generic
     /// restart driver ([`crate::recovery::attach_standalone`]) on an
@@ -215,13 +215,13 @@ impl<const TUNED: bool> RList<MappedNvm, TUNED> {
     }
 }
 
-impl<const TUNED: bool> MappedLayout for RList<MappedNvm, TUNED> {
+impl<const ARM: u8> MappedLayout for RList<MappedNvm, ARM> {
     const KIND: u64 = KIND_LIST;
     const KIND_NAME: &'static str = "list";
     type Cfg = ();
 
     fn cfg_word(_cfg: ()) -> u64 {
-        0x4C | (TUNED as u64) << 32
+        0x4C | (ARM as u64) << 32
     }
 
     fn root_bytes(_cfg: ()) -> usize {
@@ -253,7 +253,7 @@ impl<const TUNED: bool> MappedLayout for RList<MappedNvm, TUNED> {
     }
 }
 
-impl<const TUNED: bool> SlotOps for RList<MappedNvm, TUNED> {
+impl<const ARM: u8> SlotOps for RList<MappedNvm, ARM> {
     fn validate_image(&self, infos: &mut HashSet<u64>) -> Result<(), MapError> {
         let max_nodes = self.heap().bump_granules() + 4;
         // SAFETY: `in_node` guarantees whole-node spans inside the mapping
@@ -285,7 +285,7 @@ impl<const TUNED: bool> SlotOps for RList<MappedNvm, TUNED> {
     }
 }
 
-impl<M: Persist, const TUNED: bool> Drop for RList<M, TUNED> {
+impl<M: Persist, const ARM: u8> Drop for RList<M, ARM> {
     fn drop(&mut self) {
         if self.mapped.is_some() {
             // Mapped mode: the arena is the durable state; pools return
@@ -312,8 +312,8 @@ mod tests {
     use nvm::CountingNvm;
     use std::sync::Arc;
 
-    type L = RList<CountingNvm, false>;
-    type LOpt = RList<CountingNvm, true>;
+    type L = RList<CountingNvm, 0>;
+    type LOpt = RList<CountingNvm, 1>;
 
     #[test]
     fn sequential_set_semantics() {
@@ -574,7 +574,7 @@ mod tests {
         ));
         let _ = std::fs::remove_file(&path);
         {
-            let (list, s) = RList::<nvm::MappedNvm, false>::attach_sized(&path, 1 << 21).unwrap();
+            let (list, s) = RList::<nvm::MappedNvm, 0>::attach_sized(&path, 1 << 21).unwrap();
             assert!(s.heap.created);
             for k in 1..=120u64 {
                 assert!(list.insert(0, k));
@@ -584,8 +584,7 @@ mod tests {
             }
         }
         {
-            let (mut list, s) =
-                RList::<nvm::MappedNvm, false>::attach_sized(&path, 1 << 21).unwrap();
+            let (mut list, s) = RList::<nvm::MappedNvm, 0>::attach_sized(&path, 1 << 21).unwrap();
             assert!(!s.heap.created);
             assert_eq!(s.heap.poisoned, 0, "clean detach leaves no torn blocks");
             for k in 1..=120u64 {
@@ -596,8 +595,7 @@ mod tests {
             assert!(list.delete(0, 2));
         }
         {
-            let (mut list, _) =
-                RList::<nvm::MappedNvm, false>::attach_sized(&path, 1 << 21).unwrap();
+            let (mut list, _) = RList::<nvm::MappedNvm, 0>::attach_sized(&path, 1 << 21).unwrap();
             assert!(list.find(0, 1000));
             assert!(!list.find(0, 2));
             list.check_invariants();

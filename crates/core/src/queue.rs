@@ -25,6 +25,7 @@
 //! value when the node holding/named by it is retired, so stale helper
 //! CASes fail silently (same argument as the list).
 
+use crate::arm;
 use crate::counters;
 use crate::engine::{
     help, res_val, val_of, HelpOutcome, Info, InfoFill, RES_EMPTY, RES_UNIT, RES_VAL_BASE,
@@ -159,7 +160,7 @@ impl<M: Persist> std::ops::Deref for AnchorStore<M> {
 /// q.recover_enqueue(1, 9);
 /// assert_eq!(q.snapshot_vals(), vec![9]);
 /// ```
-pub struct RQueue<M: Persist, const TUNED: bool = false> {
+pub struct RQueue<M: Persist, const ARM: u8 = 0> {
     head: AnchorStore<M>,
     tail: PWord<M>,
     rec: RecArea<M>,
@@ -172,16 +173,16 @@ pub struct RQueue<M: Persist, const TUNED: bool = false> {
     mapped: Option<Arc<MappedHeap>>,
 }
 
-unsafe impl<M: Persist, const TUNED: bool> Send for RQueue<M, TUNED> {}
-unsafe impl<M: Persist, const TUNED: bool> Sync for RQueue<M, TUNED> {}
+unsafe impl<M: Persist, const ARM: u8> Send for RQueue<M, ARM> {}
+unsafe impl<M: Persist, const ARM: u8> Sync for RQueue<M, ARM> {}
 
-impl<M: Persist, const TUNED: bool> Default for RQueue<M, TUNED> {
+impl<M: Persist, const ARM: u8> Default for RQueue<M, ARM> {
     fn default() -> Self {
         Self::new()
     }
 }
 
-impl<M: Persist, const TUNED: bool> RQueue<M, TUNED> {
+impl<M: Persist, const ARM: u8> RQueue<M, ARM> {
     /// New empty queue with a reclaiming collector and pooled allocation.
     pub fn new() -> Self {
         Self::with_collector(Collector::new())
@@ -241,7 +242,7 @@ impl<M: Persist, const TUNED: bool> RQueue<M, TUNED> {
     }
 
     fn publish(&self, pid: usize, info: *mut Info<M>, published: &mut u64, g: &Guard<'_>) {
-        self.rec.publish(pid, info as u64);
+        self.rec.publish_arm::<ARM>(pid, info as u64);
         if *published != 0 && *published != info as u64 {
             unsafe { Info::<M>::release(tag::ptr_of(*published), 1, g) };
         }
@@ -279,7 +280,7 @@ impl<M: Persist, const TUNED: bool> RQueue<M, TUNED> {
         assert!(v < u64::MAX - RES_VAL_BASE, "value too large for result encoding");
         // ONE pin covers the whole operation (see set_core::insert).
         let g = self.collector.pin();
-        let prev = self.rec.begin::<TUNED>(pid);
+        let prev = self.rec.begin::<ARM>(pid);
         unsafe { release_prev::<M>(prev, &g) };
         let newnd = self.alloc_node(v, 0, 0);
         let mut info = self.alloc_info();
@@ -288,7 +289,7 @@ impl<M: Persist, const TUNED: bool> RQueue<M, TUNED> {
         loop {
             let (last, last_info, walk_start) = unsafe { self.find_last() };
             if tag::is_tagged(last_info) {
-                unsafe { help::<M, TUNED>(tag::ptr_of(last_info), false, &g) };
+                unsafe { help::<M, ARM>(tag::ptr_of(last_info), false, &g) };
                 continue;
             }
             unsafe {
@@ -311,16 +312,16 @@ impl<M: Persist, const TUNED: bool> RQueue<M, TUNED> {
                         presult: RES_UNIT,
                     },
                 );
-                M::pwb_obj(&*newnd);
-                if TUNED {
-                    M::pwb_obj(&*info);
+                arm::pwb_obj_arm::<M, _, ARM>(&*newnd);
+                if arm::is_tuned(ARM) {
+                    arm::pwb_obj_arm::<M, _, ARM>(&*info);
                     M::pfence();
                 } else {
                     M::pbarrier_obj(&*info);
                 }
             }
             self.publish(pid, info, &mut published, &g);
-            match unsafe { help::<M, TUNED>(info, true, &g) } {
+            match unsafe { help::<M, ARM>(info, true, &g) } {
                 HelpOutcome::Done => {
                     // Swing the tail hint; newnd's linkage is durable by now.
                     // Using the walk's starting value also heals a hint left
@@ -347,7 +348,7 @@ impl<M: Persist, const TUNED: bool> RQueue<M, TUNED> {
     /// Dequeues; `None` iff the queue was observed empty.
     pub fn dequeue(&self, pid: usize) -> Option<u64> {
         let g = self.collector.pin();
-        let prev = self.rec.begin::<TUNED>(pid);
+        let prev = self.rec.begin::<ARM>(pid);
         unsafe { release_prev::<M>(prev, &g) };
         let mut info = self.alloc_info();
         let mut published: u64 = 0;
@@ -358,11 +359,11 @@ impl<M: Persist, const TUNED: bool> RQueue<M, TUNED> {
             let s_info = unsafe { (*s).info.load() };
             let f = unsafe { (*s).next.load() };
             if tag::is_tagged(h_info) {
-                unsafe { help::<M, TUNED>(tag::ptr_of(h_info), false, &g) };
+                unsafe { help::<M, ARM>(tag::ptr_of(h_info), false, &g) };
                 continue;
             }
             if tag::is_tagged(s_info) {
-                unsafe { help::<M, TUNED>(tag::ptr_of(s_info), false, &g) };
+                unsafe { help::<M, ARM>(tag::ptr_of(s_info), false, &g) };
                 continue;
             }
             if f == 0 {
@@ -380,8 +381,8 @@ impl<M: Persist, const TUNED: bool> RQueue<M, TUNED> {
                         },
                     );
                     M::store(&(*info).result, RES_EMPTY);
-                    if TUNED {
-                        M::pwb_obj(&*info);
+                    if arm::is_tuned(ARM) {
+                        arm::pwb_obj_arm::<M, _, ARM>(&*info);
                         M::pfence();
                     } else {
                         M::pbarrier_obj(&*info);
@@ -407,15 +408,15 @@ impl<M: Persist, const TUNED: bool> RQueue<M, TUNED> {
                         presult: res_val(fval),
                     },
                 );
-                if TUNED {
-                    M::pwb_obj(&*info);
+                if arm::is_tuned(ARM) {
+                    arm::pwb_obj_arm::<M, _, ARM>(&*info);
                     M::pfence();
                 } else {
                     M::pbarrier_obj(&*info);
                 }
             }
             self.publish(pid, info, &mut published, &g);
-            match unsafe { help::<M, TUNED>(info, true, &g) } {
+            match unsafe { help::<M, ARM>(info, true, &g) } {
                 HelpOutcome::Done => {
                     // Never leave the tail hint pointing at the retired sentinel.
                     let _ = self.tail.cas(s as u64, f);
@@ -434,7 +435,7 @@ impl<M: Persist, const TUNED: bool> RQueue<M, TUNED> {
     pub fn recover_enqueue(&self, pid: usize, v: u64) {
         let r = {
             let g = self.collector.pin();
-            unsafe { op_recover::<M, TUNED>(&self.rec, pid, &g) }
+            unsafe { op_recover::<M, ARM>(&self.rec, pid, &g) }
         };
         match r {
             Recovered::Completed(_) => {}
@@ -446,7 +447,7 @@ impl<M: Persist, const TUNED: bool> RQueue<M, TUNED> {
     pub fn recover_dequeue(&self, pid: usize) -> Option<u64> {
         let r = {
             let g = self.collector.pin();
-            unsafe { op_recover::<M, TUNED>(&self.rec, pid, &g) }
+            unsafe { op_recover::<M, ARM>(&self.rec, pid, &g) }
         };
         match r {
             Recovered::Completed(RES_EMPTY) => None,
@@ -510,14 +511,14 @@ impl<M: Persist, const TUNED: bool> RQueue<M, TUNED> {
                 let hv = self.head.info.load();
                 if tag::is_tagged(hv) {
                     dirty = true;
-                    help::<M, TUNED>(tag::ptr_of(hv), false, &g);
+                    help::<M, ARM>(tag::ptr_of(hv), false, &g);
                 }
                 let mut n = self.head.ptr.load() as *mut Node<M>;
                 while !n.is_null() {
                     let iv = (*n).info.load();
                     if tag::is_tagged(iv) {
                         dirty = true;
-                        help::<M, TUNED>(tag::ptr_of(iv), false, &g);
+                        help::<M, ARM>(tag::ptr_of(iv), false, &g);
                     }
                     n = (*n).next.load() as *mut Node<M>;
                 }
@@ -570,7 +571,7 @@ unsafe fn drop_info_raw<M: Persist>(p: *mut u8) {
     drop(unsafe { Box::from_raw(p as *mut Info<M>) });
 }
 
-impl<const TUNED: bool> RQueue<MappedNvm, TUNED> {
+impl<const ARM: u8> RQueue<MappedNvm, ARM> {
     /// Attaches (or creates) a detectably recoverable queue backed by the
     /// file-backed persistent heap at `path`. Same recovery sequence as
     /// [`crate::hashmap::RHashMap::attach`] — the generic driver
@@ -601,13 +602,13 @@ impl<const TUNED: bool> RQueue<MappedNvm, TUNED> {
     }
 }
 
-impl<const TUNED: bool> MappedLayout for RQueue<MappedNvm, TUNED> {
+impl<const ARM: u8> MappedLayout for RQueue<MappedNvm, ARM> {
     const KIND: u64 = KIND_QUEUE;
     const KIND_NAME: &'static str = "queue";
     type Cfg = ();
 
     fn cfg_word(_cfg: ()) -> u64 {
-        0x51 | (TUNED as u64) << 32
+        0x51 | (ARM as u64) << 32
     }
 
     fn root_bytes(_cfg: ()) -> usize {
@@ -643,7 +644,7 @@ impl<const TUNED: bool> MappedLayout for RQueue<MappedNvm, TUNED> {
     }
 }
 
-impl<const TUNED: bool> SlotOps for RQueue<MappedNvm, TUNED> {
+impl<const ARM: u8> SlotOps for RQueue<MappedNvm, ARM> {
     fn validate_image(&self, infos: &mut HashSet<u64>) -> Result<(), MapError> {
         // No dereference below leaves the mapping (whole-node spans), and
         // the chain must terminate within the heap's block count.
@@ -723,7 +724,7 @@ impl<const TUNED: bool> SlotOps for RQueue<MappedNvm, TUNED> {
     }
 }
 
-impl<M: Persist, const TUNED: bool> Drop for RQueue<M, TUNED> {
+impl<M: Persist, const ARM: u8> Drop for RQueue<M, ARM> {
     fn drop(&mut self) {
         if self.mapped.is_some() {
             // Mapped mode: the arena is the durable state; pools return
@@ -767,8 +768,8 @@ mod tests {
     use nvm::CountingNvm;
     use std::sync::Arc;
 
-    type Q = RQueue<CountingNvm, false>;
-    type QOpt = RQueue<CountingNvm, true>;
+    type Q = RQueue<CountingNvm, 0>;
+    type QOpt = RQueue<CountingNvm, 1>;
 
     #[test]
     fn fifo_semantics() {
@@ -908,7 +909,7 @@ mod tests {
         ));
         let _ = std::fs::remove_file(&path);
         {
-            let (q, s) = RQueue::<nvm::MappedNvm, false>::attach_sized(&path, 1 << 21).unwrap();
+            let (q, s) = RQueue::<nvm::MappedNvm, 0>::attach_sized(&path, 1 << 21).unwrap();
             assert!(s.heap.created);
             for v in 1..=50u64 {
                 q.enqueue(0, v);
@@ -916,7 +917,7 @@ mod tests {
             assert_eq!(q.dequeue(0), Some(1));
         }
         {
-            let (mut q, s) = RQueue::<nvm::MappedNvm, false>::attach_sized(&path, 1 << 21).unwrap();
+            let (mut q, s) = RQueue::<nvm::MappedNvm, 0>::attach_sized(&path, 1 << 21).unwrap();
             assert!(!s.heap.created);
             assert_eq!(q.snapshot_vals(), (2..=50).collect::<Vec<_>>());
             q.check_invariants();
@@ -924,7 +925,7 @@ mod tests {
             q.enqueue(0, 99);
         }
         {
-            let (mut q, _) = RQueue::<nvm::MappedNvm, false>::attach_sized(&path, 1 << 21).unwrap();
+            let (mut q, _) = RQueue::<nvm::MappedNvm, 0>::attach_sized(&path, 1 << 21).unwrap();
             let mut want: Vec<u64> = (3..=50).collect();
             want.push(99);
             assert_eq!(q.snapshot_vals(), want);

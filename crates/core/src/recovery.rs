@@ -16,7 +16,7 @@
 //!    and the Info's `result` decides: set ⇒ the operation took effect and
 //!    this is its response; unset ⇒ it did not take effect and is re-invoked.
 //!
-//! The hand-tuned variant (`TUNED = true`, "Isb-Opt" in the evaluation)
+//! The hand-tuned variant (`ARM = true`, "Isb-Opt" in the evaluation)
 //! defers the durability of `CP_q = 1` to the attempt's publish `psync`
 //! (ordering is still enforced with a `pfence`), saving one `psync` per
 //! operation.
@@ -130,7 +130,12 @@ impl<M: Persist> RecArea<M> {
     /// Steps 1–2 of the protocol (see module docs). Returns the *previous*
     /// operation's published info pointer so the caller can release its
     /// reference-count hold on it.
-    pub fn begin<const TUNED: bool>(&self, pid: usize) -> u64 {
+    pub fn begin<const ARM: u8>(&self, pid: usize) -> u64 {
+        // Coalescing arms route every batched flush through the line set, so
+        // a duplicate stand-alone pwb inside one fence window is a flush-diet
+        // regression; arm the (feature-gated) lint. Lower arms legitimately
+        // re-flush lines, so disarm.
+        nvm::coalesce::lint::set_armed(crate::arm::coalesces(ARM));
         let s = self.slot(pid);
         // System glue: CP_q := 0, persisted, before the operation starts.
         // The system itself does not crash (paper Section 2), so crash
@@ -141,7 +146,17 @@ impl<M: Persist> RecArea<M> {
         });
         let prev = s.rd.load();
         s.rd.store(0);
-        if TUNED {
+        if crate::arm::coalesces(ARM) {
+            // Coalescing arms: flush RD=Null (the pfence drains the line —
+            // RD=Null must be durable before CP=1 can be), but defer the
+            // `CP_q := 1` *store* into `publish_arm`, where it shares the
+            // slot's cache line with the RD_q flush. Between begin and
+            // publish CP_q stays 0 (durably, via the glue barrier), so a
+            // crash in that window decides Restart exactly as it does when
+            // CP=1 with RD=Null. See DESIGN.md §12.
+            crate::arm::pwb_arm::<M, ARM>(&s.rd);
+            M::pfence();
+        } else if crate::arm::is_tuned(ARM) {
             M::pwb(&s.rd);
             M::pfence(); // order RD=Null before CP=1 durability
             s.cp.store(1);
@@ -177,6 +192,25 @@ impl<M: Persist> RecArea<M> {
         let s = self.slot(pid);
         s.rd.store(info);
         M::pwb(&s.rd);
+        M::psync();
+    }
+
+    /// Arm-aware [`RecArea::publish`] for descriptor-tracked mutating
+    /// operations. Coalescing arms complete the `CP_q := 1` deferred by
+    /// [`RecArea::begin`] here: CP and RD live in one cache line
+    /// ([`ProcRec`]), so noting both in the line set makes the publish flush
+    /// a single write-back where TUNED pays one in begin and one here.
+    /// Read-only paths (`find`) must keep using plain `publish` — they never
+    /// set `CP_q`.
+    pub fn publish_arm<const ARM: u8>(&self, pid: usize, info: u64) {
+        if !crate::arm::coalesces(ARM) {
+            return self.publish(pid, info);
+        }
+        let s = self.slot(pid);
+        s.cp.store(1);
+        crate::arm::pwb_arm::<M, ARM>(&s.cp);
+        s.rd.store(info);
+        crate::arm::pwb_arm::<M, ARM>(&s.rd); // same line: elided
         M::psync();
     }
 
@@ -237,7 +271,7 @@ pub enum Recovered {
 /// Must be called in a quiescent-or-recovering context where the published
 /// info pointer, if any, is a valid `Info<M>` (guaranteed by the protocol:
 /// infos are persisted before publication and never freed in crash mode).
-pub unsafe fn op_recover<M: Persist, const TUNED: bool>(
+pub unsafe fn op_recover<M: Persist, const ARM: u8>(
     rec: &RecArea<M>,
     pid: usize,
     guard: &reclaim::Guard<'_>,
@@ -248,7 +282,7 @@ pub unsafe fn op_recover<M: Persist, const TUNED: bool>(
     }
     let info = crate::tag::ptr_of::<Info<M>>(rd);
     unsafe {
-        let _ = crate::engine::help::<M, TUNED>(info, true, guard);
+        let _ = crate::engine::help::<M, ARM>(info, true, guard);
         let res = M::load(&(*info).result);
         if res != crate::engine::RES_BOT {
             Recovered::Completed(res)
@@ -674,7 +708,7 @@ pub unsafe fn finish_attach(
                         // SAFETY: span-validated direct node.
                         unsafe { direct_decide(rd, pid, slots) }
                     } else {
-                        unsafe { op_recover::<MappedNvm, false>(rec, pid, &g) }
+                        unsafe { op_recover::<MappedNvm, 0>(rec, pid, &g) }
                     }
                 };
                 (pid, d)
@@ -845,13 +879,13 @@ mod tests {
         nvm::tid::set_tid(0);
         let rec: RecArea<M> = RecArea::new();
         assert_eq!(rec.read(3), (0, 0), "fresh slot");
-        let prev = rec.begin::<false>(3);
+        let prev = rec.begin::<0>(3);
         assert_eq!(prev, 0);
         assert_eq!(rec.read(3), (1, 0), "CP set, RD null");
         rec.publish(3, 0xABC0);
         assert_eq!(rec.read(3), (1, 0xABC0));
         // Next operation: begin returns the previous RD and resets.
-        let prev = rec.begin::<true>(3);
+        let prev = rec.begin::<1>(3);
         assert_eq!(prev, 0xABC0);
         assert_eq!(rec.read(3), (1, 0));
     }
@@ -861,7 +895,7 @@ mod tests {
         let _gate = crate::counters::gate_shared();
         nvm::tid::set_tid(0);
         let rec: RecArea<M> = RecArea::new();
-        rec.begin::<false>(1);
+        rec.begin::<0>(1);
         rec.publish(1, 0x1230);
         let prev = rec.begin_readonly(1);
         assert_eq!(prev, 0x1230, "RD untouched by the read-only prologue");
@@ -879,13 +913,13 @@ mod tests {
         // CP = 0 ⇒ restart, regardless of RD.
         {
             let g = c.pin();
-            assert_eq!(unsafe { op_recover::<M, false>(&rec, 0, &g) }, Recovered::Restart);
+            assert_eq!(unsafe { op_recover::<M, 0>(&rec, 0, &g) }, Recovered::Restart);
         }
         // CP = 1, RD = Null ⇒ restart.
-        rec.begin::<false>(0);
+        rec.begin::<0>(0);
         {
             let g = c.pin();
-            assert_eq!(unsafe { op_recover::<M, false>(&rec, 0, &g) }, Recovered::Restart);
+            assert_eq!(unsafe { op_recover::<M, 0>(&rec, 0, &g) }, Recovered::Restart);
         }
         // CP = 1, RD → info whose help cannot proceed and result = ⊥ ⇒ restart.
         let cell: nvm::PWord<M> = nvm::PWord::new(0xDEAD0);
@@ -906,7 +940,7 @@ mod tests {
         rec.publish(0, info as u64);
         {
             let g = c.pin();
-            assert_eq!(unsafe { op_recover::<M, false>(&rec, 0, &g) }, Recovered::Restart);
+            assert_eq!(unsafe { op_recover::<M, 0>(&rec, 0, &g) }, Recovered::Restart);
         }
         // CP = 1, RD → info whose help completes ⇒ Completed(result).
         let cell2: nvm::PWord<M> = nvm::PWord::new(0);
@@ -927,10 +961,7 @@ mod tests {
         rec.publish(0, info2 as u64);
         {
             let g = c.pin();
-            assert_eq!(
-                unsafe { op_recover::<M, false>(&rec, 0, &g) },
-                Recovered::Completed(RES_TRUE)
-            );
+            assert_eq!(unsafe { op_recover::<M, 0>(&rec, 0, &g) }, Recovered::Completed(RES_TRUE));
         }
         // Drop the descriptors (test owns them).
         unsafe {
@@ -944,9 +975,9 @@ mod tests {
         let _gate = crate::counters::gate_shared();
         nvm::tid::set_tid(0);
         let rec: RecArea<M> = RecArea::new();
-        rec.begin::<false>(0);
+        rec.begin::<0>(0);
         rec.publish(0, 0x10);
-        rec.begin::<false>(7);
+        rec.begin::<0>(7);
         rec.publish(7, 0x70);
         assert_eq!(rec.read(0), (1, 0x10));
         assert_eq!(rec.read(7), (1, 0x70));

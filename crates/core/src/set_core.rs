@@ -37,6 +37,7 @@
 //! could be helped during recovery). The single-attempt fast path is
 //! unchanged.
 
+use crate::arm;
 use crate::counters;
 use crate::engine::{help, HelpOutcome, Info, InfoFill, RES_FALSE, RES_TRUE};
 use crate::optype;
@@ -240,20 +241,20 @@ struct SearchRes<M: Persist> {
 
 /// A borrowed view of one ordered-set bucket plus the structure-wide
 /// recovery area and collector — everything the ISB set algorithm needs.
-/// `TUNED = false` is the paper's general persistency placement ("Isb");
-/// `TUNED = true` is the hand-tuned one ("Isb-Opt").
+/// `ARM = false` is the paper's general persistency placement ("Isb");
+/// `ARM = true` is the hand-tuned one ("Isb-Opt").
 ///
 /// `SetCore` is constructed per call by the owning structure; it holds no
 /// state of its own and performs no allocation besides the operation's
 /// nodes/descriptors.
-pub struct SetCore<'a, M: Persist, const TUNED: bool> {
+pub struct SetCore<'a, M: Persist, const ARM: u8> {
     head: *mut Node<M>,
     rec: &'a RecArea<M>,
     collector: &'a Collector,
     pools: &'a SetPools<M>,
 }
 
-impl<'a, M: Persist, const TUNED: bool> SetCore<'a, M, TUNED> {
+impl<'a, M: Persist, const ARM: u8> SetCore<'a, M, ARM> {
     /// A view over the bucket rooted at `head`.
     ///
     /// # Safety
@@ -325,13 +326,13 @@ impl<'a, M: Persist, const TUNED: bool> SetCore<'a, M, TUNED> {
     ) {
         unsafe {
             if !newnd.is_null() {
-                M::pwb_obj(&*newnd);
+                arm::pwb_obj_arm::<M, _, ARM>(&*newnd);
             }
             if !newcurr.is_null() {
-                M::pwb_obj(&*newcurr);
+                arm::pwb_obj_arm::<M, _, ARM>(&*newcurr);
             }
-            if TUNED {
-                M::pwb_obj(&*info);
+            if arm::is_tuned(ARM) {
+                arm::pwb_obj_arm::<M, _, ARM>(&*info);
                 M::pfence(); // order descriptor write-backs before RD_q's
             } else {
                 M::pbarrier_obj(&*info);
@@ -342,6 +343,17 @@ impl<'a, M: Persist, const TUNED: bool> SetCore<'a, M, TUNED> {
     /// Publish `info` in `RD_q`, releasing the hold on the previously
     /// published descriptor.
     fn publish(&self, pid: usize, info: *mut Info<M>, published: &mut u64, g: &Guard<'_>) {
+        self.rec.publish_arm::<ARM>(pid, info as u64);
+        if *published != 0 && *published != info as u64 {
+            unsafe { Info::<M>::release(tag::ptr_of(*published), 1, g) };
+        }
+        *published = info as u64;
+    }
+
+    /// Publish for the read-only `find` path: never touches `CP_q` (finds
+    /// always restart), so it must not use the arm-aware publish that folds
+    /// the coalescing arms' deferred `CP_q := 1` in.
+    fn publish_ro(&self, pid: usize, info: *mut Info<M>, published: &mut u64, g: &Guard<'_>) {
         self.rec.publish(pid, info as u64);
         if *published != 0 && *published != info as u64 {
             unsafe { Info::<M>::release(tag::ptr_of(*published), 1, g) };
@@ -385,7 +397,7 @@ impl<'a, M: Persist, const TUNED: bool> SetCore<'a, M, TUNED> {
         // release, every attempt, and all retirements (interior help calls
         // re-pin through the collector's nested fast path).
         let g = self.collector.pin();
-        let prev = self.rec.begin::<TUNED>(pid);
+        let prev = self.rec.begin::<ARM>(pid);
         unsafe { crate::recovery::release_prev::<M>(prev, &g) };
         // newnd → newcurr; newcurr refreshed per attempt as a copy of curr.
         let newcurr = self.alloc_node(0, 0, 0);
@@ -397,11 +409,11 @@ impl<'a, M: Persist, const TUNED: bool> SetCore<'a, M, TUNED> {
             let s = unsafe { self.search(key) };
             // Helping phase.
             if tag::is_tagged(s.pred_info) {
-                unsafe { help::<M, TUNED>(tag::ptr_of(s.pred_info), false, &g) };
+                unsafe { help::<M, ARM>(tag::ptr_of(s.pred_info), false, &g) };
                 continue;
             }
             if tag::is_tagged(s.curr_info) {
-                unsafe { help::<M, TUNED>(tag::ptr_of(s.curr_info), false, &g) };
+                unsafe { help::<M, ARM>(tag::ptr_of(s.curr_info), false, &g) };
                 continue;
             }
             let curr_key = unsafe { (*s.curr).key.load() };
@@ -461,7 +473,7 @@ impl<'a, M: Persist, const TUNED: bool> SetCore<'a, M, TUNED> {
                 self.persist_attempt(info, newnd, newcurr);
             }
             self.publish(pid, info, &mut published, &g);
-            match unsafe { help::<M, TUNED>(info, true, &g) } {
+            match unsafe { help::<M, ARM>(info, true, &g) } {
                 HelpOutcome::Done => {
                     unsafe { self.retire_node(s.curr, &g) };
                     return true;
@@ -482,18 +494,18 @@ impl<'a, M: Persist, const TUNED: bool> SetCore<'a, M, TUNED> {
     pub fn delete(&self, pid: usize, key: u64) -> bool {
         Self::assert_key(key);
         let g = self.collector.pin();
-        let prev = self.rec.begin::<TUNED>(pid);
+        let prev = self.rec.begin::<ARM>(pid);
         unsafe { crate::recovery::release_prev::<M>(prev, &g) };
         let mut info = self.alloc_info();
         let mut published: u64 = 0;
         loop {
             let s = unsafe { self.search(key) };
             if tag::is_tagged(s.pred_info) {
-                unsafe { help::<M, TUNED>(tag::ptr_of(s.pred_info), false, &g) };
+                unsafe { help::<M, ARM>(tag::ptr_of(s.pred_info), false, &g) };
                 continue;
             }
             if tag::is_tagged(s.curr_info) {
-                unsafe { help::<M, TUNED>(tag::ptr_of(s.curr_info), false, &g) };
+                unsafe { help::<M, ARM>(tag::ptr_of(s.curr_info), false, &g) };
                 continue;
             }
             let curr_key = unsafe { (*s.curr).key.load() };
@@ -538,7 +550,7 @@ impl<'a, M: Persist, const TUNED: bool> SetCore<'a, M, TUNED> {
                 self.persist_attempt(info, std::ptr::null_mut(), std::ptr::null_mut());
             }
             self.publish(pid, info, &mut published, &g);
-            match unsafe { help::<M, TUNED>(info, true, &g) } {
+            match unsafe { help::<M, ARM>(info, true, &g) } {
                 HelpOutcome::Done => {
                     unsafe { self.retire_node(s.curr, &g) };
                     return true;
@@ -566,7 +578,7 @@ impl<'a, M: Persist, const TUNED: bool> SetCore<'a, M, TUNED> {
         loop {
             let s = unsafe { self.search(key) };
             if tag::is_tagged(s.curr_info) {
-                unsafe { help::<M, TUNED>(tag::ptr_of(s.curr_info), false, &g) };
+                unsafe { help::<M, ARM>(tag::ptr_of(s.curr_info), false, &g) };
                 continue;
             }
             let res = unsafe { (*s.curr).key.load() } == key;
@@ -586,7 +598,7 @@ impl<'a, M: Persist, const TUNED: bool> SetCore<'a, M, TUNED> {
                 M::store(&(*info).result, enc);
                 self.persist_attempt(info, std::ptr::null_mut(), std::ptr::null_mut());
             }
-            self.publish(pid, info, &mut published, &g);
+            self.publish_ro(pid, info, &mut published, &g);
             unsafe { Info::release(info, 1, &g) };
             return res;
         }
@@ -597,7 +609,7 @@ impl<'a, M: Persist, const TUNED: bool> SetCore<'a, M, TUNED> {
     /// the caller must re-invoke the operation with its original arguments.
     pub fn op_recover(&self, pid: usize) -> Recovered {
         let g = self.collector.pin();
-        unsafe { op_recover::<M, TUNED>(self.rec, pid, &g) }
+        unsafe { op_recover::<M, ARM>(self.rec, pid, &g) }
     }
 
     /// Completes helping obligations left *visible* in this bucket by a
@@ -633,7 +645,7 @@ impl<'a, M: Persist, const TUNED: bool> SetCore<'a, M, TUNED> {
                     let iv = (*n).info.load();
                     if tag::is_tagged(iv) {
                         dirty = true;
-                        help::<M, TUNED>(tag::ptr_of(iv), false, &g);
+                        help::<M, ARM>(tag::ptr_of(iv), false, &g);
                     }
                     if (*n).key.load() == KEY_MAX {
                         break;

@@ -269,7 +269,7 @@ impl<M: Persist> RStack<M> {
     pub fn push(&self, pid: usize, v: u64) {
         assert!(v < ELIM_POP - 16, "value too large");
         let g = self.collector.pin();
-        let prev = self.rec.begin::<false>(pid);
+        let prev = self.rec.begin::<0>(pid);
         unsafe { release_prev::<M>(prev, &g) };
         self.flush_pending(pid, &g);
         let node = self.alloc_node(v, 0);
@@ -312,7 +312,7 @@ impl<M: Persist> RStack<M> {
     /// Pops; `None` when empty.
     pub fn pop(&self, pid: usize) -> Option<u64> {
         let g = self.collector.pin();
-        let prev = self.rec.begin::<false>(pid);
+        let prev = self.rec.begin::<0>(pid);
         unsafe { release_prev::<M>(prev, &g) };
         self.flush_pending(pid, &g);
         loop {

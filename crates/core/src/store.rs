@@ -26,8 +26,8 @@
 //!
 //! nvm::tid::set_tid(0);
 //! let store = Store::open("/tmp/app.heap").unwrap();
-//! let users = store.hashmap::<false>("users", 8).unwrap();
-//! let jobs = store.queue::<false>("jobs").unwrap();
+//! let users = store.hashmap::<0>("users", 8).unwrap();
+//! let jobs = store.queue::<0>("jobs").unwrap();
 //! users.insert(0, 42);
 //! jobs.enqueue(0, 7);
 //! // After a kill, Store::open replays recovery for every structure and
@@ -218,35 +218,32 @@ impl Store {
     }
 
     /// Typed handle: sharded hash map (`shards` must match on re-open).
-    pub fn hashmap<const TUNED: bool>(
+    pub fn hashmap<const ARM: u8>(
         &self,
         name: &str,
         shards: usize,
-    ) -> Result<Arc<RHashMap<MappedNvm, TUNED>>, AttachError> {
+    ) -> Result<Arc<RHashMap<MappedNvm, ARM>>, AttachError> {
         self.get(name, shards)
     }
 
     /// Typed handle: FIFO queue.
-    pub fn queue<const TUNED: bool>(
+    pub fn queue<const ARM: u8>(
         &self,
         name: &str,
-    ) -> Result<Arc<RQueue<MappedNvm, TUNED>>, AttachError> {
+    ) -> Result<Arc<RQueue<MappedNvm, ARM>>, AttachError> {
         self.get(name, ())
     }
 
     /// Typed handle: sorted list.
-    pub fn list<const TUNED: bool>(
+    pub fn list<const ARM: u8>(
         &self,
         name: &str,
-    ) -> Result<Arc<RList<MappedNvm, TUNED>>, AttachError> {
+    ) -> Result<Arc<RList<MappedNvm, ARM>>, AttachError> {
         self.get(name, ())
     }
 
     /// Typed handle: external BST.
-    pub fn bst<const TUNED: bool>(
-        &self,
-        name: &str,
-    ) -> Result<Arc<RBst<MappedNvm, TUNED>>, AttachError> {
+    pub fn bst<const ARM: u8>(&self, name: &str) -> Result<Arc<RBst<MappedNvm, ARM>>, AttachError> {
         self.get(name, ())
     }
 
@@ -270,40 +267,32 @@ fn construct_entry(env: &AttachEnv, e: &CatalogEntry) -> Result<Box<dyn SlotOps>
     ) -> Result<Box<dyn SlotOps>, AttachError> {
         Ok(Box::new(L::open(env, cfg, root)?))
     }
-    let tuned = e.cfg >> 32 & 1 == 1;
+    // The tuning arm rides in bits 32..40 of the configuration word; a value
+    // outside the known ladder means the catalog record was written by an
+    // incompatible (newer) build — reject rather than guess a placement.
+    let arm = (e.cfg >> 32) & 0xFF;
+    macro_rules! open_armed {
+        ($ty:ident, $cfg:expr) => {
+            match arm {
+                0 => open_as::<$ty<MappedNvm, 0>>(env, $cfg, e.root),
+                1 => open_as::<$ty<MappedNvm, 1>>(env, $cfg, e.root),
+                2 => open_as::<$ty<MappedNvm, 2>>(env, $cfg, e.root),
+                3 => open_as::<$ty<MappedNvm, 3>>(env, $cfg, e.root),
+                _ => Err(MapError::CorruptCatalog { slot: e.slot }.into()),
+            }
+        };
+    }
     match e.kind {
         crate::hashmap::KIND_MAP => {
             let shards = (e.cfg & 0xFFFF_FFFF) as usize;
             if !shards.is_power_of_two() {
                 return Err(MapError::CorruptCatalog { slot: e.slot }.into());
             }
-            if tuned {
-                open_as::<RHashMap<MappedNvm, true>>(env, shards, e.root)
-            } else {
-                open_as::<RHashMap<MappedNvm, false>>(env, shards, e.root)
-            }
+            open_armed!(RHashMap, shards)
         }
-        crate::queue::KIND_QUEUE => {
-            if tuned {
-                open_as::<RQueue<MappedNvm, true>>(env, (), e.root)
-            } else {
-                open_as::<RQueue<MappedNvm, false>>(env, (), e.root)
-            }
-        }
-        crate::list::KIND_LIST => {
-            if tuned {
-                open_as::<RList<MappedNvm, true>>(env, (), e.root)
-            } else {
-                open_as::<RList<MappedNvm, false>>(env, (), e.root)
-            }
-        }
-        crate::bst::KIND_BST => {
-            if tuned {
-                open_as::<RBst<MappedNvm, true>>(env, (), e.root)
-            } else {
-                open_as::<RBst<MappedNvm, false>>(env, (), e.root)
-            }
-        }
+        crate::queue::KIND_QUEUE => open_armed!(RQueue, ()),
+        crate::list::KIND_LIST => open_armed!(RList, ()),
+        crate::bst::KIND_BST => open_armed!(RBst, ()),
         crate::stack::KIND_STACK => open_as::<RStack<MappedNvm>>(env, (), e.root),
         _ => Err(MapError::CorruptCatalog { slot: e.slot }.into()),
     }
@@ -334,10 +323,10 @@ mod tests {
         let path = tmp("five");
         {
             let store = Store::open_sized(&path, 8 << 20).unwrap();
-            let m = store.hashmap::<false>("users", 4).unwrap();
-            let q = store.queue::<false>("jobs").unwrap();
-            let l = store.list::<true>("index").unwrap();
-            let t = store.bst::<false>("tree").unwrap();
+            let m = store.hashmap::<0>("users", 4).unwrap();
+            let q = store.queue::<0>("jobs").unwrap();
+            let l = store.list::<1>("index").unwrap();
+            let t = store.bst::<0>("tree").unwrap();
             let s = store.stack("undo").unwrap();
             for k in 1..=100u64 {
                 assert!(m.insert(0, k));
@@ -359,10 +348,10 @@ mod tests {
         {
             let store = Store::open_sized(&path, 8 << 20).unwrap();
             assert_eq!(store.entries().len(), 5);
-            let m = store.hashmap::<false>("users", 4).unwrap();
-            let q = store.queue::<false>("jobs").unwrap();
-            let l = store.list::<true>("index").unwrap();
-            let t = store.bst::<false>("tree").unwrap();
+            let m = store.hashmap::<0>("users", 4).unwrap();
+            let q = store.queue::<0>("jobs").unwrap();
+            let l = store.list::<1>("index").unwrap();
+            let t = store.bst::<0>("tree").unwrap();
             let s = store.stack("undo").unwrap();
             for k in 1..=100u64 {
                 assert!(m.find(0, k), "map key {k} lost");
@@ -391,8 +380,8 @@ mod tests {
         nvm::tid::set_tid(0);
         let path = tmp("typed");
         let store = Store::open_sized(&path, 4 << 20).unwrap();
-        store.hashmap::<false>("users", 4).unwrap();
-        match store.queue::<false>("users") {
+        store.hashmap::<0>("users", 4).unwrap();
+        match store.queue::<0>("users") {
             Err(AttachError::WrongKind { name, expected, found }) => {
                 assert_eq!(name, "users");
                 assert_eq!(expected, crate::queue::KIND_QUEUE);
@@ -400,17 +389,17 @@ mod tests {
             }
             other => panic!("expected WrongKind, got {other:?}", other = other.err()),
         }
-        match store.hashmap::<false>("users", 8) {
+        match store.hashmap::<0>("users", 8) {
             Err(AttachError::CfgMismatch { name, .. }) => assert_eq!(name, "users"),
             other => panic!("expected CfgMismatch, got {other:?}", other = other.err()),
         }
-        match store.hashmap::<true>("users", 4) {
+        match store.hashmap::<1>("users", 4) {
             Err(AttachError::CfgMismatch { .. }) => {}
             other => panic!("expected CfgMismatch (tuning), got {other:?}", other = other.err()),
         }
         // The matching handle still opens, and is the same object.
-        let a = store.hashmap::<false>("users", 4).unwrap();
-        let b = store.hashmap::<false>("users", 4).unwrap();
+        let a = store.hashmap::<0>("users", 4).unwrap();
+        let b = store.hashmap::<0>("users", 4).unwrap();
         assert!(Arc::ptr_eq(&a, &b));
         drop((a, b, store));
         let _ = std::fs::remove_file(&path);
@@ -425,29 +414,29 @@ mod tests {
         let path = tmp("precheck");
         {
             let store = Store::open_sized(&path, 4 << 20).unwrap();
-            match store.hashmap::<false>("m", 3) {
+            match store.hashmap::<0>("m", 3) {
                 Err(AttachError::InvalidCfg { kind, .. }) => assert_eq!(kind, "hashmap"),
                 other => panic!("expected InvalidCfg, got {:?}", other.err()),
             }
             let long = "x".repeat(nvm::mapped::CATALOG_NAME_BYTES + 1);
-            match store.queue::<false>(&long) {
+            match store.queue::<0>(&long) {
                 Err(AttachError::InvalidName { .. }) => {}
                 other => panic!("expected InvalidName, got {:?}", other.err()),
             }
-            match store.queue::<false>("") {
+            match store.queue::<0>("") {
                 Err(AttachError::InvalidName { .. }) => {}
                 other => panic!("expected InvalidName, got {:?}", other.err()),
             }
             assert!(store.entries().is_empty(), "nothing durable was written");
             // A valid handle still works after the rejections.
-            store.hashmap::<false>("m", 4).unwrap().insert(0, 7);
+            store.hashmap::<0>("m", 4).unwrap().insert(0, 7);
         }
         // ...and the heap re-opens cleanly (a durable bad entry would brick
         // every future open with CorruptCatalog).
         let store = Store::open_sized(&path, 4 << 20).unwrap();
-        assert!(store.hashmap::<false>("m", 4).unwrap().find(0, 7));
+        assert!(store.hashmap::<0>("m", 4).unwrap().find(0, 7));
         // Standalone attach pre-checks too, before even touching the file.
-        match RHashMap::<MappedNvm, false>::attach_sized(tmp("precheck2"), 6, 4 << 20) {
+        match RHashMap::<MappedNvm, 0>::attach_sized(tmp("precheck2"), 6, 4 << 20) {
             Err(AttachError::InvalidCfg { .. }) => {}
             other => panic!("expected InvalidCfg, got {:?}", other.err()),
         }
@@ -461,7 +450,7 @@ mod tests {
         nvm::tid::set_tid(0);
         let path = tmp("crosskind");
         drop(Store::open_sized(&path, 4 << 20).unwrap());
-        match RHashMap::<MappedNvm, false>::attach_sized(&path, 4, 4 << 20) {
+        match RHashMap::<MappedNvm, 0>::attach_sized(&path, 4, 4 << 20) {
             Err(AttachError::WrongKind { expected, found, .. }) => {
                 assert_eq!(expected, crate::hashmap::KIND_MAP);
                 assert_eq!(found, KIND_STORE);
@@ -469,7 +458,7 @@ mod tests {
             other => panic!("expected WrongKind, got {:?}", other.err()),
         }
         let _ = std::fs::remove_file(&path);
-        drop(RQueue::<MappedNvm, false>::attach_sized(&path, 4 << 20).unwrap());
+        drop(RQueue::<MappedNvm, 0>::attach_sized(&path, 4 << 20).unwrap());
         match Store::open_sized(&path, 4 << 20) {
             Err(AttachError::WrongKind { expected, found, .. }) => {
                 assert_eq!(expected, KIND_STORE);
@@ -487,8 +476,8 @@ mod tests {
         let path = tmp("sharedrec");
         {
             let store = Store::open_sized(&path, 4 << 20).unwrap();
-            let m = store.hashmap::<false>("m", 2).unwrap();
-            let q = store.queue::<false>("q").unwrap();
+            let m = store.hashmap::<0>("m", 2).unwrap();
+            let q = store.queue::<0>("q").unwrap();
             // Alternating ops hand the shared RD_q across structures.
             for i in 1..=50u64 {
                 assert!(m.insert(0, i));

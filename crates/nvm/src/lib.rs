@@ -51,9 +51,21 @@
 //! [`sim::build_crash_image`] reconstructs an adversarial NVM image (per
 //! word: last guaranteed-persisted value or latest volatile value) before
 //! recovery code runs. See `DESIGN.md` §3 for semantics and limitations.
+//!
+//! ## Flush coalescing
+//!
+//! [`Persist::pwb_coal`] / [`Persist::pwb_obj_coal`] are coalescing entry
+//! points used by the batched persist phases of the data-structure layer:
+//! instead of flushing immediately they note the target cache line in a
+//! per-thread dedupe set ([`coalesce`]), and the phase-ending fence writes
+//! each unique line back once. Durability is unchanged — an un-fenced `pwb`
+//! is outstanding until the next fence in every model, which is also exactly
+//! how [`SimNvm`] shadows it — so coalescing alters flush *counts*, never
+//! the set of reachable crash images. See `DESIGN.md` §12.
 
 #![warn(missing_docs)]
 
+pub mod coalesce;
 pub mod flush;
 pub mod mapped;
 pub mod pad;

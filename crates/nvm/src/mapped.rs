@@ -1086,21 +1086,30 @@ impl Persist for MappedNvm {
 
     #[inline]
     fn pwb(w: &PWord<Self>) {
+        crate::coalesce::lint::note_pwb(w.addr());
         // SAFETY: `w.addr()` points into the live `PWord` behind `w`.
         unsafe { flush::clflush(w.addr()) };
         stats::count_pwb(1);
     }
     #[inline]
     fn pfence() {
+        // Pending coalesced lines must be written back before post-fence
+        // flushes (same TSO argument as RealNvm).
+        Self::coal_drain();
+        crate::coalesce::lint::fence();
         stats::count_pfence();
     }
     #[inline]
     fn psync() {
+        Self::coal_drain();
+        crate::coalesce::lint::fence();
         flush::mfence();
         stats::count_psync();
     }
     #[inline]
     fn pbarrier(w: &PWord<Self>) {
+        Self::coal_drain();
+        crate::coalesce::lint::fence();
         // SAFETY: as in `pwb`.
         unsafe { flush::clflush(w.addr()) };
         flush::mfence();
@@ -1115,11 +1124,54 @@ impl Persist for MappedNvm {
     }
     #[inline]
     fn pbarrier_obj<T: PersistWords<Self> + ?Sized>(obj: &T) {
+        Self::coal_drain();
+        crate::coalesce::lint::fence();
         let (p, len) = obj.used_range();
         // SAFETY: as in `pwb_obj`.
         let n = unsafe { flush::clflush_range(p, len) };
         flush::mfence();
         stats::count_pbarrier(n);
+    }
+
+    #[inline]
+    fn pwb_coal(w: &PWord<Self>) {
+        match crate::coalesce::note(w.addr()) {
+            crate::coalesce::Note::New => stats::count_pwb(1),
+            crate::coalesce::Note::Dup => stats::count_pwb_elided(1),
+            crate::coalesce::Note::Full => {
+                // SAFETY: live `PWord` behind `w`.
+                unsafe { flush::clflush(w.addr()) };
+                stats::count_pwb(1);
+            }
+        }
+    }
+    #[inline]
+    fn pwb_obj_coal<T: PersistWords<Self> + ?Sized>(obj: &T) {
+        let (p, len) = obj.used_range();
+        let mut line = crate::coalesce::line_of(p);
+        let end = p as u64 + len as u64;
+        while line < end {
+            match crate::coalesce::note(line as *const u8) {
+                crate::coalesce::Note::New => stats::count_pwb(1),
+                crate::coalesce::Note::Dup => stats::count_pwb_elided(1),
+                crate::coalesce::Note::Full => {
+                    // SAFETY: the line lies inside the live object.
+                    unsafe { flush::clflush(line as *const u8) };
+                    stats::count_pwb(1);
+                }
+            }
+            line += crate::CACHE_LINE as u64;
+        }
+    }
+    #[inline]
+    fn coal_drain() {
+        // SAFETY: pending lines were noted from objects still live at the
+        // draining fence (`pwb_coal` contract); mapped-heap objects are
+        // additionally never unmapped while the structure is attached.
+        let n = crate::coalesce::drain(|line| unsafe { flush::clflush(line as *const u8) });
+        if n > 0 {
+            stats::count_lines_coalesced(n);
+        }
     }
 }
 

@@ -1,8 +1,11 @@
 //! The [`Persist`] trait and its real-machine implementations.
 
+use crate::coalesce;
+use crate::coalesce::lint;
 use crate::flush;
 use crate::pword::{PWord, PersistWords};
 use crate::stats;
+use crate::CACHE_LINE;
 use std::sync::atomic::Ordering::{Acquire, Release, SeqCst};
 
 /// A persistency model (see crate docs). Monomorphised into every data
@@ -43,6 +46,31 @@ pub trait Persist: Sized + Send + Sync + 'static {
     /// `pbarrier(*opInfo, NewSet)`; counted as one barrier event.
     fn pbarrier_obj<T: PersistWords<Self> + ?Sized>(obj: &T);
 
+    /// Coalescing `pwb`: durability-equivalent to [`Persist::pwb`] (the
+    /// write-back is outstanding until the next fence either way), but modes
+    /// with a physical flush may defer it into the per-thread
+    /// [`crate::coalesce`] line set and write each unique line back once when
+    /// the phase-ending fence drains the set. Callers must ensure a drain
+    /// (any fence, or [`Persist::coal_drain`]) runs before a noted object can
+    /// be freed. Defaults to plain `pwb` for modes without deferral
+    /// (simulator, private-cache).
+    #[inline]
+    fn pwb_coal(w: &PWord<Self>) {
+        Self::pwb(w);
+    }
+    /// Coalescing variant of [`Persist::pwb_obj`]: every line of `obj` is
+    /// noted in (or elided against) the pending set instead of being flushed
+    /// immediately.
+    #[inline]
+    fn pwb_obj_coal<T: PersistWords<Self> + ?Sized>(obj: &T) {
+        Self::pwb_obj(obj);
+    }
+    /// Write back all pending coalesced lines *without* fencing. For phases
+    /// that end without a fence (the engine's deferred cleanup) but whose
+    /// noted objects may be recycled after the operation returns.
+    #[inline]
+    fn coal_drain() {}
+
     /// Crash-injection hook; no-op outside the simulator.
     #[inline]
     fn check_crash() {}
@@ -61,6 +89,26 @@ pub(crate) fn raw_cas<M: Persist>(w: &PWord<M>, old: u64, new: u64) -> u64 {
     match w.v.compare_exchange(old, new, SeqCst, SeqCst) {
         Ok(prev) => prev,
         Err(prev) => prev,
+    }
+}
+
+/// Note every cache line of `[p, p+len)` in the coalescing set, counting New
+/// lines as issued `pwb`s and duplicates as elisions; `flush_through` handles
+/// capacity overflow (immediate write-back).
+#[inline]
+fn coal_note_range(p: *const u8, len: usize, mut flush_through: impl FnMut(u64)) {
+    let mut line = coalesce::line_of(p);
+    let end = p as u64 + len as u64;
+    while line < end {
+        match coalesce::note(line as *const u8) {
+            coalesce::Note::New => stats::count_pwb(1),
+            coalesce::Note::Dup => stats::count_pwb_elided(1),
+            coalesce::Note::Full => {
+                flush_through(line);
+                stats::count_pwb(1);
+            }
+        }
+        line += CACHE_LINE as u64;
     }
 }
 
@@ -88,22 +136,31 @@ impl Persist for RealNvm {
 
     #[inline]
     fn pwb(w: &PWord<Self>) {
+        lint::note_pwb(w.addr());
         // SAFETY: `w.addr()` points into the live `PWord` behind `w`.
         unsafe { flush::clflush(w.addr()) };
         stats::count_pwb(1);
     }
     #[inline]
     fn pfence() {
-        // TSO: flushes of this implementation are already ordered; counted only.
+        // TSO: flushes of this implementation are already ordered; counted
+        // only. Pending coalesced lines must still be written back here so
+        // they are ordered before post-fence flushes.
+        Self::coal_drain();
+        lint::fence();
         stats::count_pfence();
     }
     #[inline]
     fn psync() {
+        Self::coal_drain();
+        lint::fence();
         flush::mfence();
         stats::count_psync();
     }
     #[inline]
     fn pbarrier(w: &PWord<Self>) {
+        Self::coal_drain();
+        lint::fence();
         // SAFETY: `w.addr()` points into the live `PWord` behind `w`.
         unsafe { flush::clflush(w.addr()) };
         flush::mfence();
@@ -119,11 +176,42 @@ impl Persist for RealNvm {
     }
     #[inline]
     fn pbarrier_obj<T: PersistWords<Self> + ?Sized>(obj: &T) {
+        Self::coal_drain();
+        lint::fence();
         let (p, len) = obj.used_range();
         // SAFETY: as in `pwb_obj`.
         let n = unsafe { flush::clflush_range(p, len) };
         flush::mfence();
         stats::count_pbarrier(n);
+    }
+
+    #[inline]
+    fn pwb_coal(w: &PWord<Self>) {
+        match coalesce::note(w.addr()) {
+            coalesce::Note::New => stats::count_pwb(1),
+            coalesce::Note::Dup => stats::count_pwb_elided(1),
+            coalesce::Note::Full => {
+                // SAFETY: live `PWord` behind `w`.
+                unsafe { flush::clflush(w.addr()) };
+                stats::count_pwb(1);
+            }
+        }
+    }
+    #[inline]
+    fn pwb_obj_coal<T: PersistWords<Self> + ?Sized>(obj: &T) {
+        let (p, len) = obj.used_range();
+        // SAFETY: overflow lines lie inside the live object (PersistWords
+        // safety contract).
+        coal_note_range(p, len, |line| unsafe { flush::clflush(line as *const u8) });
+    }
+    #[inline]
+    fn coal_drain() {
+        // SAFETY: every pending line was noted from an object that is, per
+        // the `pwb_coal` contract, still live at the draining fence.
+        let n = coalesce::drain(|line| unsafe { flush::clflush(line as *const u8) });
+        if n > 0 {
+            stats::count_lines_coalesced(n);
+        }
     }
 }
 
@@ -150,19 +238,26 @@ impl Persist for CountingNvm {
     }
 
     #[inline]
-    fn pwb(_w: &PWord<Self>) {
+    fn pwb(w: &PWord<Self>) {
+        lint::note_pwb(w.addr());
         stats::count_pwb(1);
     }
     #[inline]
     fn pfence() {
+        Self::coal_drain();
+        lint::fence();
         stats::count_pfence();
     }
     #[inline]
     fn psync() {
+        Self::coal_drain();
+        lint::fence();
         stats::count_psync();
     }
     #[inline]
     fn pbarrier(_w: &PWord<Self>) {
+        Self::coal_drain();
+        lint::fence();
         stats::count_pbarrier(1);
     }
     #[inline]
@@ -172,8 +267,30 @@ impl Persist for CountingNvm {
     }
     #[inline]
     fn pbarrier_obj<T: PersistWords<Self> + ?Sized>(obj: &T) {
+        Self::coal_drain();
+        lint::fence();
         let (p, len) = obj.used_range();
         stats::count_pbarrier(flush::lines_in_range(p, len));
+    }
+
+    #[inline]
+    fn pwb_coal(w: &PWord<Self>) {
+        match coalesce::note(w.addr()) {
+            coalesce::Note::New | coalesce::Note::Full => stats::count_pwb(1),
+            coalesce::Note::Dup => stats::count_pwb_elided(1),
+        }
+    }
+    #[inline]
+    fn pwb_obj_coal<T: PersistWords<Self> + ?Sized>(obj: &T) {
+        let (p, len) = obj.used_range();
+        coal_note_range(p, len, |_| {});
+    }
+    #[inline]
+    fn coal_drain() {
+        let n = coalesce::drain(|_| {});
+        if n > 0 {
+            stats::count_lines_coalesced(n);
+        }
     }
 }
 
@@ -255,6 +372,48 @@ mod tests {
         let d = stats::snapshot().since(&before);
         assert_eq!(d.pwb, 1);
         assert_eq!(d.psync, 1);
+    }
+
+    #[test]
+    fn coalesced_pwb_counts_at_issue_and_drains_at_fence() {
+        tid::set_tid(0);
+        for_real_and_counting();
+
+        fn one<M: Persist>() {
+            // Two words in the same line (ProcRec-style layout).
+            #[repr(C, align(64))]
+            struct Pair<M: Persist>(PWord<M>, PWord<M>);
+            let pair: Pair<M> = Pair(PWord::new(1), PWord::new(2));
+
+            let before = stats::snapshot();
+            M::pwb_coal(&pair.0);
+            M::pwb_coal(&pair.1); // same line: elided
+            let d = stats::snapshot().since(&before);
+            assert_eq!(d.pwb, 1, "{}: first note counts as a pwb", M::NAME);
+            assert_eq!(d.pwb_elided, 1, "{}: duplicate line elided", M::NAME);
+            assert_eq!(d.lines_coalesced, 0, "{}: nothing drained yet", M::NAME);
+
+            M::psync();
+            let d = stats::snapshot().since(&before);
+            assert_eq!(d.pwb, 1, "{}: drain adds no pwb", M::NAME);
+            assert_eq!(d.lines_coalesced, 1, "{}: one line drained", M::NAME);
+            assert_eq!(d.psync, 1);
+            assert_eq!(pair.0.load(), 1, "flush must not corrupt");
+            assert_eq!(pair.1.load(), 2);
+
+            // After the drain the same line counts fresh again, and a pfence
+            // also drains (ordering would be lost otherwise).
+            let before = stats::snapshot();
+            M::pwb_coal(&pair.0);
+            M::pfence();
+            let d = stats::snapshot().since(&before);
+            assert_eq!(d.pwb, 1, "{}", M::NAME);
+            assert_eq!(d.lines_coalesced, 1, "{}: pfence drains too", M::NAME);
+        }
+        fn for_real_and_counting() {
+            one::<RealNvm>();
+            one::<CountingNvm>();
+        }
     }
 
     #[test]

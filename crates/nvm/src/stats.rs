@@ -24,6 +24,14 @@ pub struct Slot {
     pub pfence: AtomicU64,
     /// `psync` calls.
     pub psync: AtomicU64,
+    /// Coalesced `pwb`s elided as duplicates of an already-pending line
+    /// (see [`crate::coalesce`]); these issued no write-back and are *not*
+    /// included in `pwb`.
+    pub pwb_elided: AtomicU64,
+    /// Lines written back by fence-time drains of the coalescing set. Each
+    /// was already counted in `pwb` when noted; this tracks how much traffic
+    /// went through the deferred path.
+    pub lines_coalesced: AtomicU64,
 }
 
 struct Table {
@@ -73,6 +81,18 @@ pub fn count_psync() {
     my_slot().psync.fetch_add(1, Relaxed);
 }
 
+/// Record `n` coalesced-away (duplicate-line) `pwb`s.
+#[inline]
+pub fn count_pwb_elided(n: u64) {
+    my_slot().pwb_elided.fetch_add(n, Relaxed);
+}
+
+/// Record `n` lines drained from the coalescing set at a fence.
+#[inline]
+pub fn count_lines_coalesced(n: u64) {
+    my_slot().lines_coalesced.fetch_add(n, Relaxed);
+}
+
 /// Aggregated snapshot of all per-process counters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct Snapshot {
@@ -86,6 +106,10 @@ pub struct Snapshot {
     pub pfence: u64,
     /// Syncs.
     pub psync: u64,
+    /// Duplicate-line `pwb`s elided by coalescing.
+    pub pwb_elided: u64,
+    /// Lines drained from the coalescing set at fences.
+    pub lines_coalesced: u64,
 }
 
 impl Snapshot {
@@ -97,6 +121,8 @@ impl Snapshot {
             pbarrier_lines: self.pbarrier_lines.saturating_sub(earlier.pbarrier_lines),
             pfence: self.pfence.saturating_sub(earlier.pfence),
             psync: self.psync.saturating_sub(earlier.psync),
+            pwb_elided: self.pwb_elided.saturating_sub(earlier.pwb_elided),
+            lines_coalesced: self.lines_coalesced.saturating_sub(earlier.lines_coalesced),
         }
     }
 }
@@ -110,6 +136,8 @@ pub fn snapshot() -> Snapshot {
         s.pbarrier_lines += slot.pbarrier_lines.load(Relaxed);
         s.pfence += slot.pfence.load(Relaxed);
         s.psync += slot.psync.load(Relaxed);
+        s.pwb_elided += slot.pwb_elided.load(Relaxed);
+        s.lines_coalesced += slot.lines_coalesced.load(Relaxed);
     }
     s
 }
@@ -122,6 +150,8 @@ pub fn reset() {
         slot.pbarrier_lines.store(0, Relaxed);
         slot.pfence.store(0, Relaxed);
         slot.psync.store(0, Relaxed);
+        slot.pwb_elided.store(0, Relaxed);
+        slot.lines_coalesced.store(0, Relaxed);
     }
 }
 

@@ -16,7 +16,7 @@ use std::time::Instant;
 fn main() {
     nvm::tid::set_tid(0);
     // Isb-Opt tuning, 64 shards sharing one recovery area and collector.
-    let index: Arc<RHashMap<RealNvm, true>> = Arc::new(RHashMap::with_shards(64));
+    let index: Arc<RHashMap<RealNvm, 1>> = Arc::new(RHashMap::with_shards(64));
 
     // Bulk-load a key population.
     let start = Instant::now();

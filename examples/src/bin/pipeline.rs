@@ -14,7 +14,7 @@ use std::sync::Arc;
 
 fn main() {
     nvm::tid::set_tid(0);
-    let queue: Arc<RQueue<RealNvm, true>> = Arc::new(RQueue::new());
+    let queue: Arc<RQueue<RealNvm, 1>> = Arc::new(RQueue::new());
     let exch: Arc<RExchanger<RealNvm>> = Arc::new(RExchanger::new());
 
     // Stage 1: two producers enqueue jobs.

@@ -30,11 +30,11 @@ fn op_stream(seed: u64, n: usize, keys: u64) -> Vec<Op> {
 
 fn run_all(ops: &[Op]) -> Vec<Vec<bool>> {
     nvm::tid::set_tid(0);
-    let isb_list = isb::list::RList::<M, false>::new();
-    let isb_opt = isb::list::RList::<M, true>::new();
-    let isb_bst = isb::bst::RBst::<M, false>::new();
-    let isb_hm = isb::hashmap::RHashMap::<M, false>::with_shards(8);
-    let isb_hm_opt = isb::hashmap::RHashMap::<M, true>::with_shards(4);
+    let isb_list = isb::list::RList::<M, 0>::new();
+    let isb_opt = isb::list::RList::<M, 1>::new();
+    let isb_bst = isb::bst::RBst::<M, 0>::new();
+    let isb_hm = isb::hashmap::RHashMap::<M, 0>::with_shards(8);
+    let isb_hm_opt = isb::hashmap::RHashMap::<M, 1>::with_shards(4);
     let harris = baselines::harris::HarrisList::<M>::new();
     let dt = baselines::dt_list::DtList::<M>::new();
     let caps = baselines::capsules_list::CapsulesList::<M, false>::new();
@@ -118,9 +118,9 @@ fn persistence_modes_do_not_change_semantics() {
     let _gate = isb::counters::gate_shared();
     nvm::tid::set_tid(0);
     let ops = op_stream(99, 600, 24);
-    let real = isb::list::RList::<nvm::RealNvm, false>::new();
-    let none = isb::list::RList::<nvm::NoPersist, false>::new();
-    let count = isb::list::RList::<CountingNvm, false>::new();
+    let real = isb::list::RList::<nvm::RealNvm, 0>::new();
+    let none = isb::list::RList::<nvm::NoPersist, 0>::new();
+    let count = isb::list::RList::<CountingNvm, 0>::new();
     for op in &ops {
         match *op {
             Op::Ins(k) => {
@@ -147,7 +147,7 @@ fn queues_agree_on_random_streams() {
     let _gate = isb::counters::gate_shared();
     nvm::tid::set_tid(0);
     let mut rng = rand::rngs::StdRng::seed_from_u64(5);
-    let isb_q = isb::queue::RQueue::<M, false>::new();
+    let isb_q = isb::queue::RQueue::<M, 0>::new();
     let ms = baselines::ms_queue::MsQueue::<M>::new();
     let log = baselines::log_queue::LogQueue::<M>::new();
     let capsg = baselines::capsules_queue::CapsulesQueue::<M, false>::new();
@@ -179,9 +179,9 @@ fn no_leaks_across_collection_cycles() {
     let nodes0 = isb::counters::live_nodes();
     let infos0 = isb::counters::live_infos();
     {
-        let list = isb::list::RList::<M, false>::new();
-        let bst = isb::bst::RBst::<M, false>::new();
-        let q = isb::queue::RQueue::<M, false>::new();
+        let list = isb::list::RList::<M, 0>::new();
+        let bst = isb::bst::RBst::<M, 0>::new();
+        let q = isb::queue::RQueue::<M, 0>::new();
         let mut rng = rand::rngs::StdRng::seed_from_u64(3);
         for i in 0..4000u64 {
             let k = rng.gen_range(1..64u64);

@@ -60,7 +60,7 @@ fn set_history<S: Send + Sync + 'static>(
 #[test]
 fn isb_list_histories_are_linearizable() {
     for seed in 0..25 {
-        let list = Arc::new(isb::list::RList::<M, false>::new());
+        let list = Arc::new(isb::list::RList::<M, 0>::new());
         let h = set_history(
             list,
             seed,
@@ -77,7 +77,7 @@ fn isb_list_histories_are_linearizable() {
 #[test]
 fn isb_list_tuned_histories_are_linearizable() {
     for seed in 100..115 {
-        let list = Arc::new(isb::list::RList::<M, true>::new());
+        let list = Arc::new(isb::list::RList::<M, 1>::new());
         let h = set_history(
             list,
             seed,
@@ -97,7 +97,7 @@ fn isb_hashmap_histories_are_linearizable() {
     // shared RecArea sees concurrent publications from every process while
     // helping crosses threads within a bucket.
     for seed in 400..415 {
-        let map = Arc::new(isb::hashmap::RHashMap::<M, false>::with_shards(2));
+        let map = Arc::new(isb::hashmap::RHashMap::<M, 0>::with_shards(2));
         let h = set_history(
             map,
             seed,
@@ -114,7 +114,7 @@ fn isb_hashmap_histories_are_linearizable() {
 #[test]
 fn isb_bst_histories_are_linearizable() {
     for seed in 200..220 {
-        let bst = Arc::new(isb::bst::RBst::<M, false>::new());
+        let bst = Arc::new(isb::bst::RBst::<M, 0>::new());
         let h = set_history(
             bst,
             seed,
@@ -160,7 +160,7 @@ fn baseline_lists_histories_are_linearizable() {
 #[test]
 fn isb_queue_histories_are_linearizable() {
     for seed in 0..25u64 {
-        let q = Arc::new(isb::queue::RQueue::<M, false>::new());
+        let q = Arc::new(isb::queue::RQueue::<M, 0>::new());
         let log = Arc::new(Mutex::new(Vec::new()));
         let hs: Vec<_> = (0..3)
             .map(|t| {

@@ -33,7 +33,7 @@ fn tmp(name: &str) -> PathBuf {
 /// Builds a populated map heap at `path` and detaches cleanly.
 fn mk_map(path: &PathBuf) {
     nvm::tid::set_tid(0);
-    let (map, s) = RHashMap::<MappedNvm, false>::attach_sized(path, SHARDS, HEAP_BYTES).unwrap();
+    let (map, s) = RHashMap::<MappedNvm, 0>::attach_sized(path, SHARDS, HEAP_BYTES).unwrap();
     assert!(s.heap.created);
     for k in 1..=128u64 {
         assert!(map.insert(0, k));
@@ -72,7 +72,7 @@ fn root_offset(path: &PathBuf, key: u64) -> u64 {
 }
 
 fn attach(path: &PathBuf) -> Result<(), AttachError> {
-    RHashMap::<MappedNvm, false>::attach_sized(path, SHARDS, HEAP_BYTES).map(|_| ())
+    RHashMap::<MappedNvm, 0>::attach_sized(path, SHARDS, HEAP_BYTES).map(|_| ())
 }
 
 /// Unwraps the heap-level error inside an `AttachError`.
@@ -253,17 +253,15 @@ fn cross_kind_opens_fail_typed() {
     type Mk = fn(&PathBuf);
     let creators: &[(u64, Mk)] = &[
         (isb::hashmap::KIND_MAP, |p| {
-            drop(RHashMap::<MappedNvm, false>::attach_sized(p, SHARDS, HEAP_BYTES).unwrap())
+            drop(RHashMap::<MappedNvm, 0>::attach_sized(p, SHARDS, HEAP_BYTES).unwrap())
         }),
         (isb::queue::KIND_QUEUE, |p| {
-            drop(RQueue::<MappedNvm, false>::attach_sized(p, HEAP_BYTES).unwrap())
+            drop(RQueue::<MappedNvm, 0>::attach_sized(p, HEAP_BYTES).unwrap())
         }),
         (isb::list::KIND_LIST, |p| {
-            drop(RList::<MappedNvm, false>::attach_sized(p, HEAP_BYTES).unwrap())
+            drop(RList::<MappedNvm, 0>::attach_sized(p, HEAP_BYTES).unwrap())
         }),
-        (isb::bst::KIND_BST, |p| {
-            drop(RBst::<MappedNvm, false>::attach_sized(p, HEAP_BYTES).unwrap())
-        }),
+        (isb::bst::KIND_BST, |p| drop(RBst::<MappedNvm, 0>::attach_sized(p, HEAP_BYTES).unwrap())),
         (isb::stack::KIND_STACK, |p| {
             drop(RStack::<MappedNvm>::attach_sized(p, HEAP_BYTES).unwrap())
         }),
@@ -273,15 +271,13 @@ fn cross_kind_opens_fail_typed() {
     type Open = fn(&PathBuf) -> Result<(), AttachError>;
     let openers: &[(u64, Open)] = &[
         (isb::hashmap::KIND_MAP, |p| {
-            RHashMap::<MappedNvm, false>::attach_sized(p, SHARDS, HEAP_BYTES).map(|_| ())
+            RHashMap::<MappedNvm, 0>::attach_sized(p, SHARDS, HEAP_BYTES).map(|_| ())
         }),
         (isb::queue::KIND_QUEUE, |p| {
-            RQueue::<MappedNvm, false>::attach_sized(p, HEAP_BYTES).map(|_| ())
+            RQueue::<MappedNvm, 0>::attach_sized(p, HEAP_BYTES).map(|_| ())
         }),
-        (isb::list::KIND_LIST, |p| {
-            RList::<MappedNvm, false>::attach_sized(p, HEAP_BYTES).map(|_| ())
-        }),
-        (isb::bst::KIND_BST, |p| RBst::<MappedNvm, false>::attach_sized(p, HEAP_BYTES).map(|_| ())),
+        (isb::list::KIND_LIST, |p| RList::<MappedNvm, 0>::attach_sized(p, HEAP_BYTES).map(|_| ())),
+        (isb::bst::KIND_BST, |p| RBst::<MappedNvm, 0>::attach_sized(p, HEAP_BYTES).map(|_| ())),
         (isb::stack::KIND_STACK, |p| RStack::<MappedNvm>::attach_sized(p, HEAP_BYTES).map(|_| ())),
         (isb::store::KIND_STORE, |p| Store::open_sized(p, HEAP_BYTES).map(|_| ())),
     ];
@@ -319,7 +315,7 @@ fn heap_level_torn_tail_is_poisoned_through_structure_attach() {
         // no commit
     }
     nvm::tid::set_tid(0);
-    let (mut map, s) = RHashMap::<MappedNvm, false>::attach_sized(&path, SHARDS, HEAP_BYTES)
+    let (mut map, s) = RHashMap::<MappedNvm, 0>::attach_sized(&path, SHARDS, HEAP_BYTES)
         .expect("torn tail must heal, not fail");
     assert_eq!(s.heap.poisoned, 1, "exactly the abandoned block is poisoned");
     assert_eq!(map.snapshot_keys(), (1..=128).collect::<Vec<u64>>());
@@ -337,8 +333,8 @@ fn mk_store(path: &PathBuf) -> u64 {
     nvm::tid::set_tid(0);
     {
         let store = Store::open_sized(path, HEAP_BYTES).unwrap();
-        let m = store.hashmap::<false>("users", SHARDS).unwrap();
-        let q = store.queue::<false>("jobs").unwrap();
+        let m = store.hashmap::<0>("users", SHARDS).unwrap();
+        let q = store.queue::<0>("jobs").unwrap();
         for k in 1..=64u64 {
             assert!(m.insert(0, k));
         }
@@ -413,7 +409,7 @@ fn catalog_cleared_kind_word_is_a_benign_empty_slot() {
     let names: Vec<String> = store.entries().into_iter().map(|(n, _, _)| n).collect();
     assert_eq!(names, vec!["users".to_string()], "slot 1 invisible, slot 0 intact");
     assert!(store.summary().swept > 0, "the orphaned entry's blocks are reclaimed");
-    let m = store.hashmap::<false>("users", SHARDS).unwrap();
+    let m = store.hashmap::<0>("users", SHARDS).unwrap();
     for k in 1..=64u64 {
         assert!(m.find(0, k), "surviving entry damaged by the sweep");
     }

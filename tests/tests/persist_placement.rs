@@ -25,6 +25,7 @@
 use isb::hashmap::RHashMap;
 use isb::list::RList;
 use isb::pool::PoolCfg;
+use isb::queue::RQueue;
 use nvm::CountingNvm;
 use reclaim::Collector;
 
@@ -52,6 +53,81 @@ const GOLDEN_OPT: [(&str, Golden); 6] = [
     ("delete-miss", (4, 1, 1, 2, 1, false, 0)),
 ];
 
+/// Golden row for the coalescing arms: `(pwb, elided_min, pbarrier,
+/// pbarrier_lines, pfence, psync, response, pwb_slack)`.
+///
+/// Under `CountingNvm` the `pwb` column counts *pwb-equivalents*: coalesced
+/// write-backs are counted at issue (when the line enters the [`nvm::coalesce`]
+/// set) and a duplicate line bumps `pwb_elided` instead. `pwb_slack` widens
+/// the `pwb` assertion in BOTH directions: each fresh node line may straddle
+/// a cache-line boundary (+1 pwb) or land on a line another fresh object
+/// already noted (−1 pwb, +1 elided) depending on heap placement, so the
+/// dedupe outcome — unlike everything else in the table — is not placement-
+/// independent. `elided_min` is a lower bound: every mutating op must elide
+/// at least the `RD_q` write-back that `publish_arm` dedupes against the
+/// same-line `CP_q` flush. Fence/sync/barrier columns stay exact.
+type GoldenCoal = (u64, u64, u64, u64, u64, u64, bool, u64);
+
+/// Coalescing placement ("Isb-Coal", `ARM = 2`) for the ordered-set core.
+const GOLDEN_COAL: [(&str, GoldenCoal); 6] = [
+    ("insert-new", (13, 1, 1, 1, 2, 3, true, 2)),
+    ("insert-dup", (3, 1, 1, 1, 2, 1, false, 0)),
+    ("find-hit", (2, 0, 1, 1, 1, 1, true, 0)),
+    ("find-miss", (2, 0, 1, 1, 1, 1, false, 0)),
+    ("delete-hit", (9, 1, 1, 1, 2, 3, true, 0)),
+    ("delete-miss", (3, 1, 1, 1, 2, 1, false, 0)),
+];
+
+/// Link-persist placement ("Isb-LP", `ARM = 3`) for the ordered-set core.
+const GOLDEN_LP: [(&str, GoldenCoal); 6] = [
+    ("insert-new", (10, 1, 1, 1, 2, 3, true, 2)),
+    ("insert-dup", (3, 1, 1, 1, 2, 1, false, 0)),
+    ("find-hit", (2, 0, 1, 1, 1, 1, true, 0)),
+    ("find-miss", (2, 0, 1, 1, 1, 1, false, 0)),
+    ("delete-hit", (8, 1, 1, 1, 2, 3, true, 0)),
+    ("delete-miss", (3, 1, 1, 1, 2, 1, false, 0)),
+];
+
+/// Queue goldens, one row per scenario step (two enqueues, two successful
+/// dequeues, one empty dequeue). The tuned arm's second enqueue pays one
+/// extra `pwb` for the lagging-tail fix-up, so the steps are kept distinct.
+/// Enqueue `pwb` nominals assume the fresh 24-byte node occupies one cache
+/// line; the `node_flushes` slack absorbs a straddle (+1 line), which DOES
+/// occur in some build configurations (heap placement shifts with features).
+const QUEUE_ISB: [(&str, Golden); 5] = [
+    ("enqueue-1", (9, 3, 4, 0, 5, true, 1)),
+    ("enqueue-2", (9, 3, 4, 0, 5, true, 1)),
+    ("dequeue-1", (7, 3, 4, 0, 5, true, 0)),
+    ("dequeue-2", (7, 3, 4, 0, 5, true, 0)),
+    ("dequeue-empty", (2, 3, 3, 0, 2, false, 0)),
+];
+
+const QUEUE_OPT: [(&str, Golden); 5] = [
+    ("enqueue-1", (11, 1, 1, 2, 3, true, 1)),
+    ("enqueue-2", (12, 1, 1, 2, 3, true, 1)),
+    ("dequeue-1", (10, 1, 1, 2, 3, true, 0)),
+    ("dequeue-2", (10, 1, 1, 2, 3, true, 0)),
+    ("dequeue-empty", (4, 1, 1, 2, 1, false, 0)),
+];
+
+const QUEUE_COAL: [(&str, GoldenCoal); 5] = [
+    ("enqueue-1", (10, 1, 1, 1, 2, 3, true, 1)),
+    ("enqueue-2", (10, 1, 1, 1, 2, 3, true, 1)),
+    ("dequeue-1", (9, 1, 1, 1, 2, 3, true, 0)),
+    ("dequeue-2", (9, 1, 1, 1, 2, 3, true, 0)),
+    ("dequeue-empty", (3, 1, 1, 1, 2, 1, false, 0)),
+];
+
+/// The LP queue merges the tag-phase `psync` into the update-phase one on
+/// enqueue (single-affect help), dropping a whole round trip: `psync` 3 → 2.
+const QUEUE_LP: [(&str, GoldenCoal); 5] = [
+    ("enqueue-1", (8, 1, 1, 1, 2, 2, true, 1)),
+    ("enqueue-2", (8, 1, 1, 1, 2, 2, true, 1)),
+    ("dequeue-1", (8, 1, 1, 1, 2, 3, true, 0)),
+    ("dequeue-2", (8, 1, 1, 1, 2, 3, true, 0)),
+    ("dequeue-empty", (3, 1, 1, 1, 2, 1, false, 0)),
+];
+
 struct SetUnderTest<'a> {
     name: &'a str,
     insert: Box<dyn Fn(u64) -> bool + 'a>,
@@ -59,24 +135,53 @@ struct SetUnderTest<'a> {
     find: Box<dyn Fn(u64) -> bool + 'a>,
 }
 
-fn check_against(golden: &[(&str, Golden); 6], s: &SetUnderTest<'_>) {
-    // The fixed scenario: every op hits a deterministic algorithm path on a
-    // set whose only mutation history is this sequence.
-    let ops: [(&str, &dyn Fn() -> bool); 6] = [
-        ("insert-new", &|| (s.insert)(5)),
-        ("insert-dup", &|| (s.insert)(5)),
-        ("find-hit", &|| (s.find)(5)),
-        ("find-miss", &|| (s.find)(6)),
-        ("delete-hit", &|| (s.delete)(5)),
-        ("delete-miss", &|| (s.delete)(5)),
-    ];
+/// One named, ready-to-run operation whose `bool` result is golden-checked.
+type OpRow<'a> = (&'static str, Box<dyn Fn() -> bool + 'a>);
+
+fn set_ops<'a>(s: &'a SetUnderTest<'a>) -> [OpRow<'a>; 6] {
+    [
+        ("insert-new", Box::new(|| (s.insert)(5))),
+        ("insert-dup", Box::new(|| (s.insert)(5))),
+        ("find-hit", Box::new(|| (s.find)(5))),
+        ("find-miss", Box::new(|| (s.find)(6))),
+        ("delete-hit", Box::new(|| (s.delete)(5))),
+        ("delete-miss", Box::new(|| (s.delete)(5))),
+    ]
+}
+
+fn queue_ops<M, const ARM: u8>(q: &RQueue<M, ARM>) -> [OpRow<'_>; 5]
+where
+    M: nvm::Persist,
+{
+    [
+        (
+            "enqueue-1",
+            Box::new(|| {
+                q.enqueue(0, 7);
+                true
+            }),
+        ),
+        (
+            "enqueue-2",
+            Box::new(|| {
+                q.enqueue(0, 8);
+                true
+            }),
+        ),
+        ("dequeue-1", Box::new(|| q.dequeue(0) == Some(7))),
+        ("dequeue-2", Box::new(|| q.dequeue(0) == Some(8))),
+        ("dequeue-empty", Box::new(|| q.dequeue(0).is_some())),
+    ]
+}
+
+fn check_rows(name: &str, ops: &[OpRow<'_>], golden: &[(&str, Golden)]) {
     for ((opname, op), (gname, g)) in ops.iter().zip(golden.iter()) {
         assert_eq!(opname, gname);
         let before = nvm::stats::snapshot();
         let resp = op();
         let d = nvm::stats::snapshot().since(&before);
         let (pwb, pbarrier, pblines, pfence, psync, want_resp, node_flushes) = *g;
-        let ctx = format!("{} {opname}", s.name);
+        let ctx = format!("{name} {opname}");
         assert_eq!(resp, want_resp, "{ctx}: response changed");
         assert!(
             (pwb..=pwb + node_flushes).contains(&d.pwb),
@@ -92,12 +197,58 @@ fn check_against(golden: &[(&str, Golden); 6], s: &SetUnderTest<'_>) {
     }
 }
 
+fn check_rows_coal(name: &str, ops: &[OpRow<'_>], golden: &[(&str, GoldenCoal)]) {
+    for ((opname, op), (gname, g)) in ops.iter().zip(golden.iter()) {
+        assert_eq!(opname, gname);
+        let before = nvm::stats::snapshot();
+        let resp = op();
+        let d = nvm::stats::snapshot().since(&before);
+        let (pwb, elided_min, pbarrier, pblines, pfence, psync, want_resp, slack) = *g;
+        let ctx = format!("{name} {opname}");
+        assert_eq!(resp, want_resp, "{ctx}: response changed");
+        assert!(
+            (pwb.saturating_sub(slack)..=pwb + slack).contains(&d.pwb),
+            "{ctx}: pwb {} outside [{}, {}]",
+            d.pwb,
+            pwb.saturating_sub(slack),
+            pwb + slack
+        );
+        assert!(
+            d.pwb_elided >= elided_min,
+            "{ctx}: pwb_elided {} < {elided_min} — the coalescing set never deduped",
+            d.pwb_elided
+        );
+        // Every pwb-equivalent the coalescing arms issue must eventually hit
+        // a physical flush path: drained at a fence or evicted on overflow.
+        assert!(
+            d.lines_coalesced <= d.pwb,
+            "{ctx}: drained more lines ({}) than pwbs issued ({})",
+            d.lines_coalesced,
+            d.pwb
+        );
+        assert_eq!(d.pbarrier, pbarrier, "{ctx}: pbarrier count changed");
+        assert_eq!(d.pbarrier_lines, pblines, "{ctx}: pbarrier lines changed");
+        assert_eq!(d.pfence, pfence, "{ctx}: pfence count changed");
+        assert_eq!(d.psync, psync, "{ctx}: psync count changed");
+    }
+}
+
+fn check_against(golden: &[(&str, Golden); 6], s: &SetUnderTest<'_>) {
+    // The fixed scenario: every op hits a deterministic algorithm path on a
+    // set whose only mutation history is this sequence.
+    check_rows(s.name, &set_ops(s), golden);
+}
+
+fn check_against_coal(golden: &[(&str, GoldenCoal); 6], s: &SetUnderTest<'_>) {
+    check_rows_coal(s.name, &set_ops(s), golden);
+}
+
 #[test]
 fn set_core_extraction_preserves_persist_placement() {
     nvm::tid::set_tid(0);
 
     // Default (pooled) allocation, fresh structures.
-    let list = RList::<CountingNvm, false>::new();
+    let list = RList::<CountingNvm, 0>::new();
     check_against(
         &GOLDEN_ISB,
         &SetUnderTest {
@@ -107,7 +258,7 @@ fn set_core_extraction_preserves_persist_placement() {
             find: Box::new(|k| list.find(0, k)),
         },
     );
-    let list = RList::<CountingNvm, true>::new();
+    let list = RList::<CountingNvm, 1>::new();
     check_against(
         &GOLDEN_OPT,
         &SetUnderTest {
@@ -119,7 +270,7 @@ fn set_core_extraction_preserves_persist_placement() {
     );
 
     // Boxed (pre-pool) allocation must reproduce the same table bit-for-bit.
-    let list = RList::<CountingNvm, false>::boxed();
+    let list = RList::<CountingNvm, 0>::boxed();
     check_against(
         &GOLDEN_ISB,
         &SetUnderTest {
@@ -129,7 +280,7 @@ fn set_core_extraction_preserves_persist_placement() {
             find: Box::new(|k| list.find(0, k)),
         },
     );
-    let list = RList::<CountingNvm, true>::boxed();
+    let list = RList::<CountingNvm, 1>::boxed();
     check_against(
         &GOLDEN_OPT,
         &SetUnderTest {
@@ -145,7 +296,7 @@ fn set_core_extraction_preserves_persist_placement() {
     // (5, 6) are untouched by the churn key (9), so every op still takes
     // the same algorithm path over the same structure shape.
     let reuse0 = isb::counters::info_reuses();
-    let warm = RList::<CountingNvm, false>::with_config(Collector::new(), PoolCfg::tiny(8));
+    let warm = RList::<CountingNvm, 0>::with_config(Collector::new(), PoolCfg::tiny(8));
     for _ in 0..300 {
         assert!(warm.insert(0, 9));
         assert!(warm.delete(0, 9));
@@ -164,7 +315,7 @@ fn set_core_extraction_preserves_persist_placement() {
         },
     );
     let reuse0 = isb::counters::info_reuses();
-    let warm = RList::<CountingNvm, true>::with_config(Collector::new(), PoolCfg::tiny(8));
+    let warm = RList::<CountingNvm, 1>::with_config(Collector::new(), PoolCfg::tiny(8));
     for _ in 0..300 {
         assert!(warm.insert(0, 9));
         assert!(warm.delete(0, 9));
@@ -185,7 +336,7 @@ fn set_core_extraction_preserves_persist_placement() {
 
     // A one-shard map is the same bucket algorithm behind a shard function
     // that performs no persistency instructions: identical placement.
-    let map = RHashMap::<CountingNvm, false>::with_shards(1);
+    let map = RHashMap::<CountingNvm, 0>::with_shards(1);
     check_against(
         &GOLDEN_ISB,
         &SetUnderTest {
@@ -195,7 +346,7 @@ fn set_core_extraction_preserves_persist_placement() {
             find: Box::new(|k| map.find(0, k)),
         },
     );
-    let map = RHashMap::<CountingNvm, true>::with_shards(1);
+    let map = RHashMap::<CountingNvm, 1>::with_shards(1);
     check_against(
         &GOLDEN_OPT,
         &SetUnderTest {
@@ -205,7 +356,7 @@ fn set_core_extraction_preserves_persist_placement() {
             find: Box::new(|k| map.find(0, k)),
         },
     );
-    let map = RHashMap::<CountingNvm, false>::boxed_with_shards(1);
+    let map = RHashMap::<CountingNvm, 0>::boxed_with_shards(1);
     check_against(
         &GOLDEN_ISB,
         &SetUnderTest {
@@ -214,5 +365,156 @@ fn set_core_extraction_preserves_persist_placement() {
             delete: Box::new(|k| map.delete(0, k)),
             find: Box::new(|k| map.find(0, k)),
         },
+    );
+
+    // ---- Coalescing arms (PR 6) --------------------------------------
+    //
+    // Same scenario, arms 2 (Isb-Coal) and 3 (Isb-LP): pooled and boxed
+    // lists, a one-shard map, and a recycle-hot LP list.
+    let list = RList::<CountingNvm, 2>::new();
+    check_against_coal(
+        &GOLDEN_COAL,
+        &SetUnderTest {
+            name: "RList<Isb-Coal>",
+            insert: Box::new(|k| list.insert(0, k)),
+            delete: Box::new(|k| list.delete(0, k)),
+            find: Box::new(|k| list.find(0, k)),
+        },
+    );
+    let list = RList::<CountingNvm, 2>::boxed();
+    check_against_coal(
+        &GOLDEN_COAL,
+        &SetUnderTest {
+            name: "RList<Isb-Coal>/boxed",
+            insert: Box::new(|k| list.insert(0, k)),
+            delete: Box::new(|k| list.delete(0, k)),
+            find: Box::new(|k| list.find(0, k)),
+        },
+    );
+    let list = RList::<CountingNvm, 3>::new();
+    check_against_coal(
+        &GOLDEN_LP,
+        &SetUnderTest {
+            name: "RList<Isb-LP>",
+            insert: Box::new(|k| list.insert(0, k)),
+            delete: Box::new(|k| list.delete(0, k)),
+            find: Box::new(|k| list.find(0, k)),
+        },
+    );
+    let list = RList::<CountingNvm, 3>::boxed();
+    check_against_coal(
+        &GOLDEN_LP,
+        &SetUnderTest {
+            name: "RList<Isb-LP>/boxed",
+            insert: Box::new(|k| list.insert(0, k)),
+            delete: Box::new(|k| list.delete(0, k)),
+            find: Box::new(|k| list.find(0, k)),
+        },
+    );
+    let map = RHashMap::<CountingNvm, 2>::with_shards(1);
+    check_against_coal(
+        &GOLDEN_COAL,
+        &SetUnderTest {
+            name: "RHashMap<Isb-Coal>/1",
+            insert: Box::new(|k| map.insert(0, k)),
+            delete: Box::new(|k| map.delete(0, k)),
+            find: Box::new(|k| map.find(0, k)),
+        },
+    );
+    let map = RHashMap::<CountingNvm, 3>::with_shards(1);
+    check_against_coal(
+        &GOLDEN_LP,
+        &SetUnderTest {
+            name: "RHashMap<Isb-LP>/1",
+            insert: Box::new(|k| map.insert(0, k)),
+            delete: Box::new(|k| map.delete(0, k)),
+            find: Box::new(|k| map.find(0, k)),
+        },
+    );
+    let reuse0 = isb::counters::info_reuses();
+    let warm = RList::<CountingNvm, 3>::with_config(Collector::new(), PoolCfg::tiny(8));
+    for _ in 0..300 {
+        assert!(warm.insert(0, 9));
+        assert!(warm.delete(0, 9));
+    }
+    assert!(
+        isb::counters::info_reuses() > reuse0,
+        "LP warmup never hit the recycle path — the pooled golden run is vacuous"
+    );
+    check_against_coal(
+        &GOLDEN_LP,
+        &SetUnderTest {
+            name: "RList<Isb-LP>/pooled-warm",
+            insert: Box::new(|k| warm.insert(0, k)),
+            delete: Box::new(|k| warm.delete(0, k)),
+            find: Box::new(|k| warm.find(0, k)),
+        },
+    );
+
+    // ---- Queue goldens ------------------------------------------------
+    let q = RQueue::<CountingNvm, 0>::new();
+    check_rows("RQueue<Isb>", &queue_ops(&q), &QUEUE_ISB);
+    let q = RQueue::<CountingNvm, 1>::new();
+    check_rows("RQueue<Isb-Opt>", &queue_ops(&q), &QUEUE_OPT);
+    let q = RQueue::<CountingNvm, 2>::new();
+    check_rows_coal("RQueue<Isb-Coal>", &queue_ops(&q), &QUEUE_COAL);
+    let q = RQueue::<CountingNvm, 3>::new();
+    check_rows_coal("RQueue<Isb-LP>", &queue_ops(&q), &QUEUE_LP);
+}
+
+/// The tuning arms must form a monotone ladder on the nominal tables, the
+/// untouched read-only placement must be bit-for-bit identical across arms,
+/// and the LP arm must clear the ≥20% pwb-equivalent reduction bar on the
+/// tuned hash-map and queue hot paths. Asserted on the golden CONSTANTS so
+/// the claim is placement-noise-free; the measured runs above tie the
+/// constants to reality.
+#[test]
+fn coalescing_arms_strictly_reduce_pwb_traffic() {
+    // Mutating set ops: insert-new, insert-dup, delete-hit, delete-miss.
+    for i in [0usize, 1, 4, 5] {
+        let opt = GOLDEN_OPT[i].1 .0;
+        let coal = GOLDEN_COAL[i].1 .0;
+        let lp = GOLDEN_LP[i].1 .0;
+        assert!(coal < opt, "{}: coal pwb {coal} !< opt {opt}", GOLDEN_OPT[i].0);
+        assert!(lp <= coal, "{}: lp pwb {lp} !<= coal {coal}", GOLDEN_OPT[i].0);
+    }
+    // LP's cleanup elision must show up on the ops that untag nodes.
+    for i in [0usize, 4] {
+        assert!(GOLDEN_LP[i].1 .0 < GOLDEN_COAL[i].1 .0, "{}: LP saved nothing", GOLDEN_OPT[i].0);
+    }
+    // Read-only placement is untouched: find rows identical across tuned arms.
+    for i in [2usize, 3] {
+        let (opt, coal, lp) = (GOLDEN_OPT[i].1, GOLDEN_COAL[i].1, GOLDEN_LP[i].1);
+        assert_eq!((opt.0, opt.3, opt.4), (coal.0, coal.4, coal.5), "find parity (coal)");
+        assert_eq!((opt.0, opt.3, opt.4), (lp.0, lp.4, lp.5), "find parity (lp)");
+    }
+    // Queue ladder, per scenario step.
+    for i in 0..5 {
+        let opt = QUEUE_OPT[i].1 .0;
+        let coal = QUEUE_COAL[i].1 .0;
+        let lp = QUEUE_LP[i].1 .0;
+        assert!(coal < opt, "{}: coal pwb {coal} !< opt {opt}", QUEUE_OPT[i].0);
+        assert!(lp <= coal, "{}: lp pwb {lp} !<= coal {coal}", QUEUE_OPT[i].0);
+    }
+    for i in 0..4 {
+        assert!(QUEUE_LP[i].1 .0 < QUEUE_COAL[i].1 .0, "{}: LP saved nothing", QUEUE_OPT[i].0);
+    }
+    // LP enqueue drops a whole psync (3 -> 2).
+    assert_eq!(QUEUE_OPT[0].1 .4, 3);
+    assert_eq!(QUEUE_LP[0].1 .5, 2);
+
+    // >= 20% fewer pwb-equivalents on the tuned hash-map mutating hot path...
+    let opt_sum: u64 = [0usize, 1, 4, 5].iter().map(|&i| GOLDEN_OPT[i].1 .0).sum();
+    let lp_sum: u64 = [0usize, 1, 4, 5].iter().map(|&i| GOLDEN_LP[i].1 .0).sum();
+    assert!(
+        lp_sum * 5 <= opt_sum * 4,
+        "map hot path: LP {lp_sum} pwb-eq vs tuned {opt_sum} — under 20% reduction"
+    );
+    // ...and across the whole queue scenario.
+    let opt_sum: u64 = QUEUE_OPT.iter().map(|r| r.1 .0).sum();
+    let lp_sum: u64 = QUEUE_LP.iter().map(|r| r.1 .0).sum();
+    assert!(
+        lp_sum * 5 <= opt_sum * 4,
+        "queue hot path: LP {lp_sum} pwb-eq vs tuned {opt_sum} — under 20% reduction"
     );
 }

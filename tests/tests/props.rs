@@ -31,7 +31,7 @@ proptest! {
     #[test]
     fn isb_list_equals_btreeset(ops in set_ops()) {
         nvm::tid::set_tid(0);
-        let mut list = isb::list::RList::<M, false>::new();
+        let mut list = isb::list::RList::<M, 0>::new();
         let mut model = std::collections::BTreeSet::new();
         for op in &ops {
             match *op {
@@ -47,7 +47,7 @@ proptest! {
     #[test]
     fn isb_bst_equals_btreeset(ops in set_ops()) {
         nvm::tid::set_tid(0);
-        let mut bst = isb::bst::RBst::<M, true>::new();
+        let mut bst = isb::bst::RBst::<M, 1>::new();
         let mut model = std::collections::BTreeSet::new();
         for op in &ops {
             match *op {
@@ -95,16 +95,16 @@ proptest! {
             }};
         }
         if tuned {
-            drive!(isb::hashmap::RHashMap::<M, true>::with_shards(shards));
+            drive!(isb::hashmap::RHashMap::<M, 1>::with_shards(shards));
         } else {
-            drive!(isb::hashmap::RHashMap::<M, false>::with_shards(shards));
+            drive!(isb::hashmap::RHashMap::<M, 0>::with_shards(shards));
         }
     }
 
     #[test]
     fn isb_queue_equals_vecdeque(ops in prop::collection::vec((0..2u8, 0..1000u64), 0..150)) {
         nvm::tid::set_tid(0);
-        let mut q = isb::queue::RQueue::<M, false>::new();
+        let mut q = isb::queue::RQueue::<M, 0>::new();
         let mut model = std::collections::VecDeque::new();
         for &(o, v) in &ops {
             if o == 0 {

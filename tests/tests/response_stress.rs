@@ -74,7 +74,7 @@ where
 
 #[test]
 fn hashmap_responses_match_disjoint_models() {
-    let map: Arc<RHashMap<nvm::CountingNvm, false>> = Arc::new(RHashMap::with_shards(8));
+    let map: Arc<RHashMap<nvm::CountingNvm, 0>> = Arc::new(RHashMap::with_shards(8));
     run_disjoint(
         map,
         3,
@@ -86,7 +86,7 @@ fn hashmap_responses_match_disjoint_models() {
 
 #[test]
 fn tuned_hashmap_responses_match_disjoint_models() {
-    let map: Arc<RHashMap<nvm::CountingNvm, true>> = Arc::new(RHashMap::with_shards(4));
+    let map: Arc<RHashMap<nvm::CountingNvm, 1>> = Arc::new(RHashMap::with_shards(4));
     run_disjoint(
         map,
         3,
@@ -99,7 +99,7 @@ fn tuned_hashmap_responses_match_disjoint_models() {
 #[test]
 fn list_responses_match_disjoint_models() {
     // One bucket: maximal cross-range interference inside a single chain.
-    let list: Arc<RList<nvm::CountingNvm, false>> = Arc::new(RList::new());
+    let list: Arc<RList<nvm::CountingNvm, 0>> = Arc::new(RList::new());
     run_disjoint(
         list,
         3,

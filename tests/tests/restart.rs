@@ -90,7 +90,7 @@ fn restart_child_worker() {
 
     nvm::tid::set_tid(0);
     let (map, _summary) =
-        RHashMap::<MappedNvm, false>::attach_sized(heap_path(&dir), SHARDS, HEAP_BYTES)
+        RHashMap::<MappedNvm, 0>::attach_sized(heap_path(&dir), SHARDS, HEAP_BYTES)
             .expect("child attach");
     let map = Arc::new(map);
     // Signal readiness only once the heap is fully created.
@@ -227,7 +227,7 @@ fn run_one_seed(seed: u64) -> (u64, u64) {
     // Re-attach FROM THIS PROCESS and recover.
     nvm::tid::set_tid(0);
     let (mut map, summary) =
-        RHashMap::<MappedNvm, false>::attach_sized(heap_path(&dir), SHARDS, HEAP_BYTES)
+        RHashMap::<MappedNvm, 0>::attach_sized(heap_path(&dir), SHARDS, HEAP_BYTES)
             .unwrap_or_else(|e| panic!("seed {seed}: parent attach failed: {e}"));
 
     let mut union: HashMap<u64, u64> = HashMap::new();
@@ -367,14 +367,29 @@ const RES_VAL_BASE: u64 = 16;
 #[test]
 #[ignore = "child half of the store restart harness; spawned by the parent test"]
 fn store_restart_child_worker() {
+    store_child_body::<0, 0>();
+}
+
+/// Same child workload over the PR-6 tuning arms: coalesced map (`ARM = 2`)
+/// and link-persist queue (`ARM = 3`). A SIGKILL is the one crash the NVM
+/// simulator cannot model — the mapped heap's surviving bytes are whatever
+/// the kernel saw, so the elided/deferred flushes of these arms face a real
+/// (if friendly: the page cache persists CPU stores without clflush) restart.
+#[test]
+#[ignore = "child half of the store restart harness; spawned by the parent test"]
+fn store_restart_child_worker_coal_lp() {
+    store_child_body::<2, 3>();
+}
+
+fn store_child_body<const MAP_ARM: u8, const QUEUE_ARM: u8>() {
     let Ok(dir) = std::env::var("ISB_RESTART_DIR") else { return };
     let dir = PathBuf::from(dir);
     let seed: u64 = std::env::var("ISB_RESTART_SEED").unwrap().parse().unwrap();
 
     nvm::tid::set_tid(0);
     let store = Arc::new(Store::open_sized(heap_path(&dir), STORE_HEAP_BYTES).expect("child open"));
-    let map = store.hashmap::<false>("users", SHARDS).expect("users handle");
-    let queue = store.queue::<false>("jobs").expect("jobs handle");
+    let map = store.hashmap::<MAP_ARM>("users", SHARDS).expect("users handle");
+    let queue = store.queue::<QUEUE_ARM>("jobs").expect("jobs handle");
     std::fs::write(dir.join("ready"), b"ok").unwrap();
 
     let mut handles = Vec::new();
@@ -484,12 +499,20 @@ fn parse_queue_log(path: &Path) -> Vec<QLogEntry> {
 }
 
 fn run_one_store_seed(seed: u64) -> (u64, u64) {
-    let dir = std::env::temp_dir().join(format!("isb_store_restart_{}_{seed}", std::process::id()));
+    run_one_store_seed_arm::<0, 0>(seed, "store_restart_child_worker")
+}
+
+fn run_one_store_seed_arm<const MAP_ARM: u8, const QUEUE_ARM: u8>(
+    seed: u64,
+    child_test: &str,
+) -> (u64, u64) {
+    let dir = std::env::temp_dir()
+        .join(format!("isb_store_restart_m{MAP_ARM}q{QUEUE_ARM}_{}_{seed}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
     std::fs::create_dir_all(&dir).unwrap();
 
     let mut child = std::process::Command::new(std::env::current_exe().unwrap())
-        .args(["--exact", "store_restart_child_worker", "--include-ignored", "--nocapture"])
+        .args(["--exact", child_test, "--include-ignored", "--nocapture"])
         .env("ISB_RESTART_DIR", &dir)
         .env("ISB_RESTART_SEED", seed.to_string())
         .stdout(std::process::Stdio::null())
@@ -511,8 +534,8 @@ fn run_one_store_seed(seed: u64) -> (u64, u64) {
     let store = Store::open_sized(heap_path(&dir), STORE_HEAP_BYTES)
         .unwrap_or_else(|e| panic!("seed {seed}: parent store open failed: {e}"));
     let summary = store.summary();
-    let map = store.hashmap::<false>("users", SHARDS).expect("users handle");
-    let queue = store.queue::<false>("jobs").expect("jobs handle");
+    let map = store.hashmap::<MAP_ARM>("users", SHARDS).expect("users handle");
+    let queue = store.queue::<QUEUE_ARM>("jobs").expect("jobs handle");
 
     let mut acked = 0u64;
     let mut inflight = 0u64;
@@ -638,6 +661,30 @@ fn store_restart_sigkill_recovers_across_processes() {
     assert!(total_acked > 0, "no seed produced any acked work — kill timing broken");
 }
 
+/// The PR-6 tuning-arm leg of the store matrix: SIGKILL a child mutating a
+/// *coalesced* map (`ARM = 2`) and a *link-persist* queue (`ARM = 3`) in one
+/// heap; same zero-lost-acked / detectable-in-flight / model-equivalence
+/// bars. The arms ride in the catalog's cfg word, so a parent attaching with
+/// the wrong arm would be rejected before replay.
+#[test]
+fn store_restart_sigkill_recovers_coalesced_arms() {
+    let seeds: u64 =
+        std::env::var("ISB_RESTART_SEEDS").ok().and_then(|s| s.parse().ok()).unwrap_or(10);
+    let mut total_acked = 0;
+    let mut total_inflight = 0;
+    for seed in 0..seeds {
+        let (acked, inflight) =
+            run_one_store_seed_arm::<2, 3>(seed, "store_restart_child_worker_coal_lp");
+        total_acked += acked;
+        total_inflight += inflight;
+    }
+    println!(
+        "coal/LP store restart matrix: {seeds} kills, {total_acked} acked ops verified, \
+         {total_inflight} in-flight ops detectably resolved"
+    );
+    assert!(total_acked > 0, "no seed produced any acked work — kill timing broken");
+}
+
 /// Attach twice in a row without a crash: the second attach must be a
 /// no-op scrub — nothing poisoned, nothing swept, contents identical.
 #[test]
@@ -648,8 +695,7 @@ fn reattach_is_idempotent() {
     std::fs::create_dir_all(&dir).unwrap();
     let path = heap_path(&dir);
     {
-        let (map, _) =
-            RHashMap::<MappedNvm, false>::attach_sized(&path, SHARDS, HEAP_BYTES).unwrap();
+        let (map, _) = RHashMap::<MappedNvm, 0>::attach_sized(&path, SHARDS, HEAP_BYTES).unwrap();
         for k in 1..=300u64 {
             assert!(map.insert(0, k));
         }
@@ -659,13 +705,12 @@ fn reattach_is_idempotent() {
     }
     let keys1 = {
         let (mut map, s) =
-            RHashMap::<MappedNvm, false>::attach_sized(&path, SHARDS, HEAP_BYTES).unwrap();
+            RHashMap::<MappedNvm, 0>::attach_sized(&path, SHARDS, HEAP_BYTES).unwrap();
         assert_eq!(s.heap.poisoned, 0, "clean detach left torn blocks");
         map.check_invariants();
         map.snapshot_keys()
     };
-    let (mut map, s) =
-        RHashMap::<MappedNvm, false>::attach_sized(&path, SHARDS, HEAP_BYTES).unwrap();
+    let (mut map, s) = RHashMap::<MappedNvm, 0>::attach_sized(&path, SHARDS, HEAP_BYTES).unwrap();
     assert_eq!(s.heap.poisoned, 0);
     assert_eq!(s.swept, 0, "second attach must have nothing left to sweep");
     map.check_invariants();
@@ -694,10 +739,10 @@ fn five_kinds_child_worker() {
 
     nvm::tid::set_tid(FIVE_PID);
     let store = Store::open_sized(heap_path(&dir), STORE_HEAP_BYTES).expect("child open");
-    let m = store.hashmap::<false>("m", 4).unwrap();
-    let q = store.queue::<false>("q").unwrap();
-    let l = store.list::<true>("l").unwrap();
-    let t = store.bst::<false>("t").unwrap();
+    let m = store.hashmap::<0>("m", 4).unwrap();
+    let q = store.queue::<0>("q").unwrap();
+    let l = store.list::<1>("l").unwrap();
+    let t = store.bst::<0>("t").unwrap();
     let s = store.stack("s").unwrap();
     std::fs::write(dir.join("ready"), b"ok").unwrap();
 
@@ -804,10 +849,10 @@ fn run_one_five_kinds_seed(seed: u64) -> (u64, u64) {
     nvm::tid::set_tid(0);
     let store = Store::open_sized(heap_path(&dir), STORE_HEAP_BYTES)
         .unwrap_or_else(|e| panic!("seed {seed}: parent store open failed: {e}"));
-    let m = store.hashmap::<false>("m", 4).unwrap();
-    let q = store.queue::<false>("q").unwrap();
-    let l = store.list::<true>("l").unwrap();
-    let t = store.bst::<false>("t").unwrap();
+    let m = store.hashmap::<0>("m", 4).unwrap();
+    let q = store.queue::<0>("q").unwrap();
+    let l = store.list::<1>("l").unwrap();
+    let t = store.bst::<0>("t").unwrap();
     let s = store.stack("s").unwrap();
 
     // Replay the journal against the sequential model.
