@@ -93,7 +93,7 @@ fn parse_args() -> Opts {
 
 const ALL_FIGS: &[&str] = &[
     "fig1a", "fig1b", "fig1c", "fig1d", "fig1e", "fig1f", "fig3", "fig4", "fig5", "fig6", "fig7",
-    "fig8", "fig9", "fig10", "fig11", "fig12",
+    "fig8", "fig9", "fig10", "fig11", "fig12", "fig13",
 ];
 
 /// The list algorithms of the figures, by paper name.
@@ -767,6 +767,152 @@ impl Ctx {
         self.emit("fig12_queue_coal", &t_coal);
         self.emit("fig12_queue_real", &t_real);
     }
+
+    /// Production-scale heap — Figure 13 (beyond the paper, PR 7): what the
+    /// multi-segment arena, the sharded allocator and the parallel attach
+    /// pipeline buy. (a) Attach wall-clock vs live keys with 1 vs 4 attach
+    /// worker threads (the heap starts at 4 MiB and grows segments under the
+    /// fill, so segment remapping is part of every measured attach); (b) an
+    /// alloc/free microbench of the legacy single-mutex allocator vs the
+    /// sharded per-thread free lists; (c) the new observability counters for
+    /// each arm. On a single-vCPU host the 4-thread attach shows scheduling
+    /// overhead, not speedup — see `bench_results/README.md`.
+    fn fig13(&self) {
+        use isb::hashmap::RHashMap as HM;
+        use nvm::mapped::MappedHeap;
+        use nvm::MappedNvm;
+        use std::time::Instant;
+
+        nvm::tid::set_tid(nvm::MAX_PROCS - 1);
+        let pid = nvm::MAX_PROCS - 1;
+        let dir = std::env::temp_dir().join(format!("isb_fig13_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let initial_bytes = 1 << 22; // 4 MiB: every fill below grows the heap
+        let shards = 64;
+
+        // (a) Attach latency vs live keys, sequential vs 4 attach threads.
+        let mut t_attach = Table::new(
+            format!(
+                "Figure 13: mapped attach wall-clock vs live keys, 1 vs 4 attach threads \
+                 ({shards} shards, {initial_bytes}-byte initial segment, grown under fill)"
+            ),
+            vec![
+                "attach ms (1 thread)".into(),
+                "attach ms (4 threads)".into(),
+                "parallel-phase ms (4t)".into(),
+                "committed blocks".into(),
+                "segments".into(),
+            ],
+        );
+        for &n in &[10_000u64, 65_536, 262_144] {
+            let path = dir.join(format!("attach_{n}.heap"));
+            let _ = std::fs::remove_file(&path);
+            {
+                let (map, _) =
+                    HM::<MappedNvm, 0>::attach_sized(&path, shards, initial_bytes).unwrap();
+                for k in 1..=n {
+                    map.insert(pid, k);
+                }
+            }
+            let mut attach_ms = [0.0f64; 2];
+            let mut par_ms = 0.0;
+            let mut committed = 0usize;
+            let mut segments = 0usize;
+            for (i, &threads) in [1usize, 4].iter().enumerate() {
+                nvm::mapped::set_attach_threads(threads);
+                let before = nvm::stats::snapshot();
+                let t0 = Instant::now();
+                let (map, summary) =
+                    HM::<MappedNvm, 0>::attach_sized(&path, shards, initial_bytes).unwrap();
+                attach_ms[i] = t0.elapsed().as_secs_f64() * 1e3;
+                if threads == 4 {
+                    par_ms = nvm::stats::snapshot().since(&before).attach_par_ms as f64;
+                }
+                committed = summary.heap.committed;
+                segments = summary.heap.segments;
+                drop(map);
+            }
+            nvm::mapped::set_attach_threads(0);
+            t_attach.row(
+                n.to_string(),
+                vec![attach_ms[0], attach_ms[1], par_ms, committed as f64, segments as f64],
+            );
+            let _ = std::fs::remove_file(&path);
+        }
+        self.emit("fig13_attach", &t_attach);
+
+        // (b)+(c) Allocator microbench: alloc/free pairs per second through
+        // the legacy global-mutex path vs the sharded per-thread free lists,
+        // with the counters that explain the difference. Blocks are 64-byte
+        // payloads (one granule — the node size class).
+        let mut t_alloc = Table::new(
+            "Figure 13: persistent-arena allocator, global mutex vs sharded free lists \
+             (alloc+free pairs, Mops/s)"
+                .to_string(),
+            vec!["mutex".into(), "sharded".into()],
+        );
+        let mut t_ctr = Table::new(
+            "Figure 13: allocator/attach observability counters for the sharded arm \
+             (per whole run)"
+                .to_string(),
+            vec![
+                "heap_allocs".into(),
+                "free_list_hits".into(),
+                "slab_refills".into(),
+                "segments_grown".into(),
+            ],
+        );
+        for &threads in &self.threads {
+            let per = 100_000usize;
+            let mut mops = [0.0f64; 2];
+            for (i, sharded) in [false, true].into_iter().enumerate() {
+                let path = dir.join(format!("alloc_{threads}_{sharded}.heap"));
+                let _ = std::fs::remove_file(&path);
+                let heap = MappedHeap::create(&path, initial_bytes).unwrap();
+                heap.set_use_sharded(sharded);
+                let before = nvm::stats::snapshot();
+                let t0 = Instant::now();
+                std::thread::scope(|s| {
+                    for t in 0..threads {
+                        let heap = &heap;
+                        s.spawn(move || {
+                            nvm::tid::set_tid(t);
+                            for j in 0..per {
+                                let p = heap.alloc(64).unwrap();
+                                heap.commit(p);
+                                // Keep every 8th block: pure alloc/free of
+                                // one address would serialize on one line.
+                                if j % 8 != 0 {
+                                    // SAFETY: freshly committed, exclusively
+                                    // owned, never referenced.
+                                    unsafe { heap.free(p) };
+                                }
+                            }
+                        });
+                    }
+                });
+                mops[i] = (threads * per) as f64 / t0.elapsed().as_secs_f64() / 1e6;
+                if sharded {
+                    let d = nvm::stats::snapshot().since(&before);
+                    t_ctr.row(
+                        threads.to_string(),
+                        vec![
+                            d.heap_allocs as f64,
+                            d.free_list_hits as f64,
+                            d.slab_refills as f64,
+                            d.segments_grown as f64,
+                        ],
+                    );
+                }
+                drop(heap);
+                let _ = std::fs::remove_file(&path);
+            }
+            t_alloc.row(threads.to_string(), vec![mops[0], mops[1]]);
+        }
+        self.emit("fig13_alloc", &t_alloc);
+        self.emit("fig13_counters", &t_ctr);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
 }
 
 fn main() {
@@ -857,6 +1003,7 @@ fn main() {
             "fig10" => ctx.fig10(),
             "fig11" => ctx.fig11(),
             "fig12" => ctx.fig12(),
+            "fig13" => ctx.fig13(),
             other => panic!("unknown figure {other}"),
         }
     }

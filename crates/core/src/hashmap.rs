@@ -73,6 +73,13 @@ pub struct RHashMap<M: Persist, const ARM: u8 = 0> {
     heads: Box<[*mut Node<M>]>,
     /// Right-shift distance extracting the top `log2(shards)` hash bits.
     shift: u32,
+    /// Lazy post-attach scrub: shard `s`'s flag is set when attach deferred
+    /// its tag-healing pass. The first operation routed to the shard drains
+    /// it ([`RHashMap::ensure_scrubbed`]); snapshot/invariant entry points
+    /// drain all. Deferral is sound because helping is part of the normal
+    /// operation paths — a leftover tag is healed on first contact either
+    /// way; the flag only bounds *when* the eager pass happens.
+    pending_scrub: Box<[std::sync::atomic::AtomicBool]>,
     rec: RecArea<M>,
     // `collector` must drop before `pools` (drop-time drain recycles into
     // the free lists). ONE pool pair serves every shard: free lists are
@@ -133,7 +140,15 @@ impl<M: Persist, const ARM: u8> RHashMap<M, ARM> {
         // shift in range and the mask in `shard_of` does the rest.
         let shift = (64 - shards.trailing_zeros()).min(63);
         let pools = SetPools::new(pool, &collector);
-        Self { heads, shift, rec: RecArea::new(), collector, pools, mapped: None }
+        Self {
+            heads,
+            shift,
+            pending_scrub: (0..shards).map(|_| std::sync::atomic::AtomicBool::new(false)).collect(),
+            rec: RecArea::new(),
+            collector,
+            pools,
+            mapped: None,
+        }
     }
 
     /// Number of shards (buckets).
@@ -152,38 +167,56 @@ impl<M: Persist, const ARM: u8> RHashMap<M, ARM> {
         (key.wrapping_mul(FIB) >> self.shift) as usize & (self.heads.len() - 1)
     }
 
-    /// The core view over `key`'s bucket.
+    /// The core view over bucket `shard` (the shard choice does not matter
+    /// for [`SetCore::op_recover`], which only reads the shared recovery
+    /// area).
     #[inline]
-    fn core_for(&self, key: u64) -> SetCore<'_, M, ARM> {
+    fn core_at(&self, shard: usize) -> SetCore<'_, M, ARM> {
         // SAFETY: every head is a live bucket owned by this map; all buckets
         // share the map's single recovery area, collector and pools.
-        unsafe {
-            SetCore::new(self.heads[self.shard_of(key)], &self.rec, &self.collector, &self.pools)
+        unsafe { SetCore::new(self.heads[shard], &self.rec, &self.collector, &self.pools) }
+    }
+
+    /// Drains a deferred post-attach scrub of `shard`, if one is pending.
+    /// One relaxed load on the hot path; the swap runs at most once per
+    /// shard per attach. Concurrent operations on the shard are fine — the
+    /// eager pass is the same idempotent helping they perform themselves.
+    #[inline]
+    fn ensure_scrubbed(&self, shard: usize) {
+        use std::sync::atomic::Ordering;
+        if self.pending_scrub[shard].load(Ordering::Relaxed)
+            && self.pending_scrub[shard].swap(false, Ordering::Acquire)
+        {
+            self.core_at(shard).scrub();
         }
     }
 
-    /// The core view over bucket `shard` (recovery/diagnostics; the shard
-    /// choice does not matter for [`SetCore::op_recover`], which only reads
-    /// the shared recovery area).
-    #[inline]
-    fn core_at(&self, shard: usize) -> SetCore<'_, M, ARM> {
-        // SAFETY: as in `core_for`.
-        unsafe { SetCore::new(self.heads[shard], &self.rec, &self.collector, &self.pools) }
+    /// Drains every shard's deferred scrub (quiescent entry points).
+    fn drain_pending_scrub(&self) {
+        for shard in 0..self.heads.len() {
+            self.ensure_scrubbed(shard);
+        }
     }
 
     /// Inserts `key`; returns `false` iff it was already present.
     pub fn insert(&self, pid: usize, key: u64) -> bool {
-        self.core_for(key).insert(pid, key)
+        let shard = self.shard_of(key);
+        self.ensure_scrubbed(shard);
+        self.core_at(shard).insert(pid, key)
     }
 
     /// Deletes `key`; returns `false` iff it was absent.
     pub fn delete(&self, pid: usize, key: u64) -> bool {
-        self.core_for(key).delete(pid, key)
+        let shard = self.shard_of(key);
+        self.ensure_scrubbed(shard);
+        self.core_at(shard).delete(pid, key)
     }
 
     /// Whether `key` is present.
     pub fn find(&self, pid: usize, key: u64) -> bool {
-        self.core_for(key).find(pid, key)
+        let shard = self.shard_of(key);
+        self.ensure_scrubbed(shard);
+        self.core_at(shard).find(pid, key)
     }
 
     /// `Insert.Recover` (generic Op-Recover on the shared recovery area,
@@ -219,6 +252,7 @@ impl<M: Persist, const ARM: u8> RHashMap<M, ARM> {
     /// [`crate::set_core::SetCore::scrub`].
     pub fn scrub(&self) {
         for shard in 0..self.heads.len() {
+            self.pending_scrub[shard].store(false, std::sync::atomic::Ordering::Relaxed);
             self.core_at(shard).scrub();
         }
     }
@@ -227,6 +261,7 @@ impl<M: Persist, const ARM: u8> RHashMap<M, ARM> {
     /// [`AttachError`] instead of a panic (the mapped attach path).
     pub fn try_scrub(&self) -> Result<(), AttachError> {
         for shard in 0..self.heads.len() {
+            self.pending_scrub[shard].store(false, std::sync::atomic::Ordering::Relaxed);
             self.core_at(shard).try_scrub()?;
         }
         Ok(())
@@ -235,6 +270,7 @@ impl<M: Persist, const ARM: u8> RHashMap<M, ARM> {
     /// Sorted snapshot of the user keys across all shards (requires
     /// exclusive access ⇒ quiescence).
     pub fn snapshot_keys(&mut self) -> Vec<u64> {
+        self.drain_pending_scrub();
         let mut out = Vec::new();
         for shard in 0..self.heads.len() {
             self.core_at(shard).snapshot_keys_into(&mut out);
@@ -247,6 +283,7 @@ impl<M: Persist, const ARM: u8> RHashMap<M, ARM> {
     /// each reachable key must live in the bucket the shard function routes
     /// it to. Panics on violation.
     pub fn check_invariants(&mut self) {
+        self.drain_pending_scrub();
         for shard in 0..self.heads.len() {
             self.core_at(shard).check_invariants();
             let mut keys = Vec::new();
@@ -350,6 +387,7 @@ impl<const ARM: u8> MappedLayout for RHashMap<MappedNvm, ARM> {
         Ok(Self {
             heads: heads.into_boxed_slice(),
             shift,
+            pending_scrub: (0..shards).map(|_| std::sync::atomic::AtomicBool::new(false)).collect(),
             rec: env.rec_area(),
             collector,
             pools,
@@ -360,14 +398,27 @@ impl<const ARM: u8> MappedLayout for RHashMap<MappedNvm, ARM> {
 
 impl<const ARM: u8> SlotOps for RHashMap<MappedNvm, ARM> {
     fn validate_image(&self, infos: &mut HashSet<u64>) -> Result<(), MapError> {
-        let max_nodes = self.heap().bump_granules() + 4;
-        for &head in self.heads.iter() {
-            // SAFETY: `in_node` guarantees whole-node spans inside the
-            // mapping for every dereference.
-            unsafe { set_core::validate_bucket(head, &|a| self.in_node(a), max_nodes, infos) }
-                .map_err(|addr| MapError::CorruptPointer { addr })?;
+        for shard in 0..self.heads.len() {
+            self.validate_unit(shard, infos)?;
         }
         Ok(())
+    }
+
+    // Attach parallelism: each bucket is an independent work unit — the
+    // buckets partition every node and cell, so per-shard validation and
+    // census walks never touch the same memory.
+    fn work_units(&self) -> usize {
+        self.heads.len()
+    }
+
+    fn validate_unit(&self, unit: usize, infos: &mut HashSet<u64>) -> Result<(), MapError> {
+        let max_nodes = self.heap().bump_granules() + 4;
+        // SAFETY: `in_node` guarantees whole-node spans inside the mapping
+        // for every dereference.
+        unsafe {
+            set_core::validate_bucket(self.heads[unit], &|a| self.in_node(a), max_nodes, infos)
+        }
+        .map_err(|addr| MapError::CorruptPointer { addr })
     }
 
     fn valid_install(&self, addr: u64) -> bool {
@@ -375,14 +426,35 @@ impl<const ARM: u8> SlotOps for RHashMap<MappedNvm, ARM> {
     }
 
     fn try_scrub(&self) -> Result<(), AttachError> {
-        RHashMap::try_scrub(self)
+        // Deferred: mark every shard pending instead of an O(structure)
+        // eager pass during attach. Sound because (a) runtime operations
+        // help any tagged descriptor they encounter — the eager pass is the
+        // same idempotent helping, merely batched — and (b) the census below
+        // counts descriptor references through *tagged* cells too
+        // (`census_bucket` untags before counting), so a descriptor kept
+        // alive only by an unscrubbed tag survives the sweep.
+        for flag in self.pending_scrub.iter() {
+            flag.store(true, std::sync::atomic::Ordering::Release);
+        }
+        Ok(())
     }
 
     unsafe fn census(&self, live: &mut HashSet<usize>, info_refs: &mut HashMap<usize, u32>) {
-        for &head in self.heads.iter() {
-            // SAFETY: quiescent exclusive access post-scrub (caller).
-            unsafe { set_core::census_bucket(head, live, info_refs) };
+        for shard in 0..self.heads.len() {
+            // SAFETY: forwarded contract.
+            unsafe { self.census_unit(shard, live, info_refs) };
         }
+    }
+
+    unsafe fn census_unit(
+        &self,
+        unit: usize,
+        live: &mut HashSet<usize>,
+        info_refs: &mut HashMap<usize, u32>,
+    ) {
+        // SAFETY: quiescent exclusive access (caller); units are disjoint
+        // buckets.
+        unsafe { set_core::census_bucket(self.heads[unit], live, info_refs) };
     }
 
     fn each_cached(&mut self, f: &mut dyn FnMut(usize)) {

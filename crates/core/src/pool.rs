@@ -279,6 +279,9 @@ impl<T: PoolItem> Pool<T> {
             // Mapped mode: draw blocks from the persistent arena. Each block
             // is committed only after `T::fresh()` fully initialized it, so
             // a kill mid-refill leaves torn blocks the next attach poisons.
+            // The arena grows new segments on demand, so this panic now
+            // means the VA reservation (or a `create_bounded` cap) is
+            // genuinely exhausted, not that the initial size was guessed low.
             for _ in 0..refill {
                 let raw = heap
                     .alloc(std::mem::size_of::<T>())

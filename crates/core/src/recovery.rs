@@ -483,7 +483,11 @@ impl AttachEnv {
 /// constructed mapped structure — the object-safe half of [`MappedLayout`]
 /// (a [`crate::store::Store`] drives a heterogeneous set of these).
 ///
-/// All methods run during the single-threaded, quiescent attach sequence.
+/// All methods run during the quiescent attach sequence: no structure
+/// operation runs concurrently. Validation and census may be split into
+/// [`SlotOps::work_units`] and run on attach-scoped worker threads (the
+/// units partition the graph, so per-unit runs never touch the same node);
+/// everything else stays on the attaching thread.
 pub trait SlotOps: Send + Sync {
     /// Bounds-checked pre-recovery validation of the structure's graph in
     /// the **untrusted** image: every reachable node must have a whole-node
@@ -492,6 +496,41 @@ pub trait SlotOps: Send + Sync {
     /// range-checks them with [`validate_infos`]). No pointer may be
     /// dereferenced before its span check. Typed error on violation.
     fn validate_image(&self, infos: &mut HashSet<u64>) -> Result<(), MapError>;
+
+    /// Number of independent work units the parallel attach driver may
+    /// split this structure's validation and census into (e.g. one per
+    /// hash-map shard). Units must partition the structure's graph; the
+    /// default is one unit — the whole structure.
+    fn work_units(&self) -> usize {
+        1
+    }
+
+    /// As [`SlotOps::validate_image`], restricted to work unit `unit`
+    /// (`0..work_units()`). Units run concurrently on scoped threads, each
+    /// with its own `infos` set; the driver merges them. The default
+    /// delegates to `validate_image` (single unit).
+    fn validate_unit(&self, unit: usize, infos: &mut HashSet<u64>) -> Result<(), MapError> {
+        debug_assert_eq!(unit, 0);
+        self.validate_image(infos)
+    }
+
+    /// As [`SlotOps::census`], restricted to work unit `unit`. Each unit
+    /// gets private `live`/`info_refs` maps; the driver merges by union and
+    /// by summing reference counts, which equals the serial census because
+    /// units partition the cells.
+    ///
+    /// # Safety
+    /// Quiescent exclusive attach-time access (as `census`).
+    unsafe fn census_unit(
+        &self,
+        unit: usize,
+        live: &mut HashSet<usize>,
+        info_refs: &mut HashMap<usize, u32>,
+    ) {
+        debug_assert_eq!(unit, 0);
+        // SAFETY: forwarded contract.
+        unsafe { self.census(live, info_refs) }
+    }
 
     /// Whether `addr` is a plausible node of this structure (whole-span
     /// check) — the driver validates descriptor WriteSet install values
@@ -663,11 +702,48 @@ pub unsafe fn finish_attach(
     // dereferenced by the replay/scrub/census below unless the whole object
     // graph stays inside the mapping and terminates. This is what turns a
     // tampered superblock (e.g. a rewritten base) into a typed error
-    // instead of undefined behaviour.
+    // instead of undefined behaviour. Split into per-structure work units
+    // and run on scoped threads — units partition the graphs, so the walks
+    // are independent.
+    let par_start = std::time::Instant::now();
+    let units: Vec<(usize, usize)> = slots
+        .iter()
+        .enumerate()
+        .flat_map(|(i, s)| (0..s.work_units().max(1)).map(move |u| (i, u)))
+        .collect();
+    let threads = nvm::mapped::attach_threads().clamp(1, units.len().max(1));
     let mut infos: HashSet<u64> = HashSet::new();
-    for s in slots.iter() {
-        s.validate_image(&mut infos)?;
+    if threads <= 1 {
+        for &(i, u) in &units {
+            slots[i].validate_unit(u, &mut infos)?;
+        }
+    } else {
+        let slots_ref: &[Box<dyn SlotOps>] = slots;
+        let next = std::sync::atomic::AtomicUsize::new(0);
+        let locals = std::thread::scope(|sc| {
+            let handles: Vec<_> = (0..threads)
+                .map(|_| {
+                    sc.spawn(|| {
+                        let mut local: HashSet<u64> = HashSet::new();
+                        loop {
+                            let k = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                            let Some(&(i, u)) = units.get(k) else { break };
+                            slots_ref[i].validate_unit(u, &mut local)?;
+                        }
+                        Ok::<_, MapError>(local)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("validate worker panicked"))
+                .collect::<Vec<_>>()
+        });
+        for l in locals {
+            infos.extend(l?);
+        }
     }
+    let validate_elapsed = par_start.elapsed();
     let mut bad_rd = None;
     rec.each_published(|rd| {
         let p = crate::tag::addr_of(rd);
@@ -724,13 +800,54 @@ pub unsafe fn finish_attach(
     }
 
     // 3. Census: the union live set and the true reference count per
-    // descriptor across every structure plus the RD slots.
+    // descriptor across every structure plus the RD slots. Same work-unit
+    // fan-out as validation; merging unions the live sets and sums the
+    // per-descriptor counts, which equals the serial census because units
+    // partition the referencing cells.
+    let census_start = std::time::Instant::now();
     let mut live: HashSet<usize> = HashSet::new();
     let mut info_refs: HashMap<usize, u32> = HashMap::new();
-    for s in slots.iter() {
-        // SAFETY: quiescent exclusive access post-scrub.
-        unsafe { s.census(&mut live, &mut info_refs) };
+    if threads <= 1 {
+        for &(i, u) in &units {
+            // SAFETY: quiescent exclusive access post-scrub.
+            unsafe { slots[i].census_unit(u, &mut live, &mut info_refs) };
+        }
+    } else {
+        let slots_ref: &[Box<dyn SlotOps>] = slots;
+        let next = std::sync::atomic::AtomicUsize::new(0);
+        let locals = std::thread::scope(|sc| {
+            let handles: Vec<_> = (0..threads)
+                .map(|_| {
+                    sc.spawn(|| {
+                        let mut l_live: HashSet<usize> = HashSet::new();
+                        let mut l_refs: HashMap<usize, u32> = HashMap::new();
+                        loop {
+                            let k = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                            let Some(&(i, u)) = units.get(k) else { break };
+                            // SAFETY: quiescent exclusive access post-scrub;
+                            // units partition the graph, so no two workers
+                            // visit the same node.
+                            unsafe { slots_ref[i].census_unit(u, &mut l_live, &mut l_refs) };
+                        }
+                        (l_live, l_refs)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("census worker panicked"))
+                .collect::<Vec<_>>()
+        });
+        for (l_live, l_refs) in locals {
+            live.extend(l_live);
+            for (k, v) in l_refs {
+                *info_refs.entry(k).or_insert(0) += v;
+            }
+        }
     }
+    // Parallel-phase wall clock: validation up front plus the census here
+    // (replay and scrub between them are serial by design).
+    nvm::stats::count_attach_par_ms((validate_elapsed + census_start.elapsed()).as_millis() as u64);
     rec.each_published(|rd| {
         let p = crate::tag::addr_of(rd) as usize;
         if p == 0 {

@@ -120,7 +120,9 @@ impl Store {
             let rec = env.rec_area();
             let mut extra_live = vec![rec_base as usize, catalog as usize];
             extra_live.extend(metas.iter().map(|e| e.root as usize));
-            // SAFETY: quiescent single-threaded attach; `slots` covers every
+            // SAFETY: quiescent attach (no structure operation runs); the
+            // driver may fan validation/census out over attach-scoped worker
+            // threads per structure work unit. `slots` covers every
             // structure in the heap (the complete catalog), `extra_live`
             // every root/metadata block.
             let (recovered, swept) = unsafe {

@@ -18,22 +18,65 @@
 //!   cache survives the process), so flushes matter for the persist-count
 //!   experiments and for real-NVM deployments, not for `SIGKILL` testing.
 //! * [`MappedHeap`] — the arena itself: a superblock (magic / version /
-//!   base / sizes / attach epoch), a **commit bitmap**, a bump + per-size
-//!   free-list allocator handing out 64-byte-granular blocks, and a small
-//!   **root directory** mapping well-known keys to stable payload offsets
+//!   base / sizes / attach epoch / **segment directory**), per-segment
+//!   **commit bitmaps**, a sharded size-class allocator over a lock-free
+//!   bump cursor handing out 64-byte-granular blocks, and a small **root
+//!   directory** mapping well-known keys to stable payload offsets
 //!   (recovery areas and structure heads live there).
 //! * [`AttachReport`] — what [`MappedHeap::attach`] found: whether the heap
 //!   was created fresh, whether it had to be **relocated** to a new base
-//!   address, and how many torn tail allocations were poisoned.
+//!   address, how many segments it spans, and how many torn tail
+//!   allocations were poisoned.
+//!
+//! ## Growable multi-segment arena (format v3)
+//!
+//! A fresh heap reserves a large contiguous virtual-address window (`PROT_NONE`
+//! anonymous mapping, recorded in the superblock) and maps **segment 0** — the
+//! superblock page, its bitmap, and its data region — over the front of it.
+//! When allocation exhausts the mapped space the heap *grows*: the file is
+//! extended, the new byte range is mapped (`MAP_FIXED`) directly after the
+//! previous segments inside the reservation (file offset == VA offset, so the
+//! arena stays contiguous), and the new segment is published in the
+//! superblock's **segment directory**. Each extra segment is self-describing
+//! from its byte length alone: `[commit bitmap][data]`, no superblock page.
+//!
+//! Growth publication is crash-ordered like every other heap mutation:
+//!
+//! 1. `ftruncate` extends the file (zero-filled = a valid, empty segment);
+//! 2. the directory entry (the segment's byte length) is stamped and flushed;
+//! 3. the **segment count is bumped last** and flushed — the count is the
+//!    valid flag, mirroring the header-before-bump discipline below.
+//!
+//! A crash between (1)/(2) and (3) leaves a file longer than the directory
+//! total — benign: attach maps exactly the published total and ignores the
+//! tail (the next growth re-truncates and re-stamps). A file *shorter* than
+//! the published total is typed corruption ([`MapError::Truncated`]).
+//!
+//! ## Sharded allocation
+//!
+//! Blocks of 1..=[`MAX_CLASS`] payload granules (the node/descriptor sizes on
+//! every hot path) are served from per-thread (tid-indexed, cache-padded)
+//! free lists, refilled [`SLAB_BLOCKS`] at a time from the bump cursor and
+//! spilled to per-class **lock-free global stacks** (version-counted Treiber
+//! stacks whose next-links live in the spare words of the free blocks'
+//! header granules — volatile state in persistent space, rebuilt on every
+//! attach). Larger blocks (recovery areas, roots, catalogs — cold paths) go
+//! through a small non-poisoning mutex. The bump cursor itself is lock-free:
+//! a volatile reservation cursor is advanced by CAS, and the persistent bump
+//! word is published in reservation order so the header-before-bump invariant
+//! below is preserved without a lock.
 //!
 //! ## Crash consistency
 //!
 //! Allocation state is reconstructible from the block headers plus the
-//! commit bitmap alone; the volatile free lists are rebuilt on every attach:
+//! commit bitmaps alone; the volatile free lists are rebuilt on every attach:
 //!
 //! 1. `alloc` writes the block header (`ALLOCATED`, size) **before**
 //!    publishing the new bump offset, so every granule below `bump` always
-//!    carries a valid header.
+//!    carries a valid header. (With the lock-free cursor this holds
+//!    transitively: a reservation publishes the bump word only after all
+//!    earlier reservations published theirs, and only after its own headers
+//!    — including segment-tail `PAD` fillers — are written.)
 //! 2. The caller initializes the payload, then `commit` sets the block's
 //!    bitmap bit **before** flipping the header to `COMMITTED`.
 //! 3. `free` flips the header to `FREE` **before** clearing the bitmap bit.
@@ -42,7 +85,10 @@
 //! an `ALLOCATED` block is a torn tail allocation (poisoned with [`POISON`]
 //! and freed), a `FREE` block with a set bit lost the bit-clear of step 3
 //! (healed), and any other header/bitmap disagreement is *corruption* and
-//! fails with a typed [`MapError`] — never undefined behaviour.
+//! fails with a typed [`MapError`] — never undefined behaviour. Blocks never
+//! straddle a segment boundary (the reservation path pads the tail with a
+//! header-only `PAD` block), which is what makes the walk — and the sweep —
+//! **embarrassingly parallel over segments** (see [`set_attach_threads`]).
 //!
 //! ## Addressing
 //!
@@ -60,40 +106,56 @@
 //! DESIGN.md §10 for the trade-off discussion).
 
 use crate::flush;
+use crate::pad::CachePadded;
 use crate::persist::{raw_cas, raw_load, raw_store, Persist};
 use crate::pword::{PWord, PersistWords};
 use crate::stats;
+use crate::tid;
+use crate::MAX_PROCS;
+use std::cell::UnsafeCell;
 use std::collections::{HashMap, HashSet};
 use std::fs::OpenOptions;
 use std::io::Read;
 use std::path::{Path, PathBuf};
-use std::sync::atomic::AtomicU64;
-use std::sync::atomic::Ordering::{Acquire, Release, SeqCst};
-use std::sync::{Arc, Mutex};
+use std::sync::atomic::Ordering::{AcqRel, Acquire, Relaxed, Release, SeqCst};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
 
 // ---------------------------------------------------------------------------
 // Raw mmap/munmap (no libc in this workspace; the build environment has no
 // registry access). Linux x86_64 + aarch64; other targets report Unsupported.
 // ---------------------------------------------------------------------------
 
+const PROT_NONE: usize = 0;
 const PROT_READ: usize = 1;
 const PROT_WRITE: usize = 2;
 const MAP_SHARED: usize = 0x01;
+const MAP_PRIVATE: usize = 0x02;
+const MAP_FIXED: usize = 0x10;
+const MAP_ANONYMOUS: usize = 0x20;
+const MAP_NORESERVE: usize = 0x4000;
 const MAP_FIXED_NOREPLACE: usize = 0x10_0000;
 
 #[cfg(all(target_os = "linux", target_arch = "x86_64"))]
-unsafe fn sys_mmap(addr: usize, len: usize, prot: usize, flags: usize, fd: i32) -> isize {
+unsafe fn sys_mmap(
+    addr: usize,
+    len: usize,
+    prot: usize,
+    flags: usize,
+    fd: i32,
+    off: usize,
+) -> isize {
     let ret: isize;
     unsafe {
         core::arch::asm!(
             "syscall",
-            inlateout("rax") 9isize => ret, // __NR_mmap
+            inlateout("rax") 9isize => ret, // __NR_mmap (takes a byte offset)
             in("rdi") addr,
             in("rsi") len,
             in("rdx") prot,
             in("r10") flags,
             in("r8") fd as isize,
-            in("r9") 0usize,
+            in("r9") off,
             lateout("rcx") _,
             lateout("r11") _,
             options(nostack)
@@ -120,18 +182,25 @@ unsafe fn sys_munmap(addr: usize, len: usize) -> isize {
 }
 
 #[cfg(all(target_os = "linux", target_arch = "aarch64"))]
-unsafe fn sys_mmap(addr: usize, len: usize, prot: usize, flags: usize, fd: i32) -> isize {
+unsafe fn sys_mmap(
+    addr: usize,
+    len: usize,
+    prot: usize,
+    flags: usize,
+    fd: i32,
+    off: usize,
+) -> isize {
     let ret: isize;
     unsafe {
         core::arch::asm!(
             "svc 0",
-            in("x8") 222usize, // __NR_mmap
+            in("x8") 222usize, // __NR_mmap (takes a byte offset)
             inlateout("x0") addr => ret,
             in("x1") len,
             in("x2") prot,
             in("x3") flags,
             in("x4") fd as isize,
-            in("x5") 0usize,
+            in("x5") off,
             options(nostack)
         );
     }
@@ -154,7 +223,14 @@ unsafe fn sys_munmap(addr: usize, len: usize) -> isize {
 }
 
 #[cfg(not(all(target_os = "linux", any(target_arch = "x86_64", target_arch = "aarch64"))))]
-unsafe fn sys_mmap(_addr: usize, _len: usize, _prot: usize, _flags: usize, _fd: i32) -> isize {
+unsafe fn sys_mmap(
+    _addr: usize,
+    _len: usize,
+    _prot: usize,
+    _flags: usize,
+    _fd: i32,
+    _off: usize,
+) -> isize {
     -38 // ENOSYS
 }
 
@@ -168,21 +244,32 @@ fn is_sys_err(r: isize) -> bool {
     (-4095..0).contains(&r)
 }
 
+fn sys_to_err(r: isize) -> MapError {
+    if r == -38 {
+        MapError::Unsupported
+    } else {
+        MapError::MapFailed(-r as i32)
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Layout constants
 // ---------------------------------------------------------------------------
 
 /// Allocation granule (one cache line): blocks are sized and aligned to it,
-/// and the commit bitmap tracks one bit per granule.
+/// and the commit bitmaps track one bit per granule.
 pub const GRANULE: usize = 64;
 const PAGE: usize = 4096;
 /// Superblock magic ("ISBMAP01").
 pub const MAGIC: u64 = 0x4953_424D_4150_3031;
 /// On-disk format version. v2: the root directory's per-structure keys
 /// (`HEADS`/`ANCHOR`) were replaced by the generic `STRUCT` key and the
-/// named-structure catalog was added — v1 heaps must fail typed
-/// (`BadVersion`) rather than silently attach with empty roots.
-pub const VERSION: u64 = 2;
+/// named-structure catalog was added. v3: the growable multi-segment arena —
+/// segment directory (`W_SEG_COUNT`, per-segment byte lengths) and the VA
+/// reservation size joined the superblock, and the `PAD` block state was
+/// added for segment-tail filler. Pre-v3 heaps must fail typed
+/// (`BadVersion`) rather than silently attach with an empty directory.
+pub const VERSION: u64 = 3;
 /// Base address requested for fresh heaps: high in the 47-bit user window,
 /// far from the default heap/mmap/stack regions of both parent and child
 /// processes, so cross-process re-attach almost always lands at the same
@@ -196,26 +283,45 @@ const HDR_MAGIC: u64 = 0xB10C;
 const ST_ALLOCATED: u64 = 1;
 const ST_COMMITTED: u64 = 2;
 const ST_FREE: u64 = 3;
+/// Segment-tail filler written by the reservation path so blocks never
+/// straddle a segment boundary. Header-only: the payload-granule count may
+/// be zero, the commit bit is never set, and pads never enter a free list.
+const ST_PAD: u64 = 4;
 
 // Superblock word indices (u64 words from the start of the mapping).
 const W_MAGIC: usize = 0;
 const W_VERSION: usize = 1;
 const W_BASE: usize = 2;
-const W_SIZE: usize = 3;
+const W_SIZE: usize = 3; // bytes of segment 0 (the full file for a 1-segment heap)
 const W_EPOCH: usize = 4;
-const W_BUMP: usize = 5;
+const W_BUMP: usize = 5; // global granule-space bump (all segments)
 const W_DATA_OFF: usize = 6;
 const W_BM_OFF: usize = 7;
-const W_GRANULES: usize = 8;
+const W_GRANULES: usize = 8; // granules of segment 0
 const W_KIND: usize = 9;
+const W_SEG_COUNT: usize = 10; // number of *extra* segments (the valid flag)
+const W_RESERVE: usize = 11; // VA reservation bytes (growth ceiling)
 /// Number of root-directory slots.
 pub const ROOT_SLOTS: usize = 16;
 const W_ROOT0: usize = 16; // ROOT_SLOTS (key, payload-offset) pairs
+/// Maximum number of *extra* segments a heap can grow (directory capacity).
+pub const MAX_SEGMENTS: usize = 32;
+const W_SEG0: usize = W_ROOT0 + 2 * ROOT_SLOTS; // MAX_SEGMENTS byte-length words
 
 /// Smallest heap [`MappedHeap::create`] accepts.
 pub const MIN_HEAP_BYTES: usize = 64 * 1024;
-/// Default heap size used by the structures' `attach` constructors.
+/// Default heap size used by the structures' `attach` constructors (the
+/// *initial* segment; the arena grows on demand up to its VA reservation).
 pub const DEFAULT_HEAP_BYTES: usize = 64 * 1024 * 1024;
+
+/// Largest size class (payload granules) served by the sharded free lists;
+/// larger blocks take the cold mutex path.
+pub const MAX_CLASS: usize = 8;
+/// Blocks carved from the bump region per sharded free-list refill.
+pub const SLAB_BLOCKS: usize = 8;
+/// Per-thread free-list capacity per class; overflow spills to the global
+/// lock-free stack.
+const CACHE_CAP: usize = 64;
 
 #[inline]
 fn encode_hdr(state: u64, payload_granules: u64) -> u64 {
@@ -228,6 +334,52 @@ fn decode_hdr(h: u64) -> Option<(u64, u64)> {
         return None;
     }
     Some(((h >> 40) & 0xFF, h & 0xFFFF_FFFF))
+}
+
+/// Geometry of an extra (non-0) segment of `bytes`: `[bitmap][data]`, both
+/// granule-aligned, derived deterministically from the byte length alone.
+/// Returns `(bitmap_bytes, data_granules)`.
+fn seg_geometry(bytes: usize) -> (usize, usize) {
+    let bm_bytes = (bytes / GRANULE).div_ceil(8).next_multiple_of(GRANULE);
+    (bm_bytes, bytes.saturating_sub(bm_bytes) / GRANULE)
+}
+
+/// Non-poisoning lock. The allocator/growth mutexes guard coordination state
+/// that is consistent between operations; if a holder panics (e.g. an
+/// assertion in unrelated caller code while an alloc is on the stack), later
+/// operations must see the state, not a cascading `PoisonError` panic.
+fn lock_np<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+// ---------------------------------------------------------------------------
+// Attach parallelism knob
+// ---------------------------------------------------------------------------
+
+static ATTACH_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+/// Sets the number of worker threads used by the parallel attach phases
+/// (segment walk, relocation, sweep — and the structure-level validate and
+/// census drivers in `isb::recovery`). `0` restores the default
+/// (`ISB_ATTACH_THREADS` env var, else `available_parallelism`).
+pub fn set_attach_threads(n: usize) {
+    ATTACH_THREADS.store(n, Relaxed);
+}
+
+/// Current attach worker-thread count (≥ 1). See [`set_attach_threads`].
+pub fn attach_threads() -> usize {
+    let n = ATTACH_THREADS.load(Relaxed);
+    if n != 0 {
+        return n;
+    }
+    static DEFAULT: OnceLock<usize> = OnceLock::new();
+    *DEFAULT.get_or_init(|| {
+        std::env::var("ISB_ATTACH_THREADS")
+            .ok()
+            .and_then(|s| s.parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
+    })
 }
 
 // ---------------------------------------------------------------------------
@@ -245,7 +397,10 @@ pub enum MapError {
     Unsupported,
     /// `mmap` itself failed (`-errno`).
     MapFailed(i32),
-    /// The file is shorter than its superblock claims (or than a superblock).
+    /// The file is shorter than its superblock + segment directory claim
+    /// (or than a superblock). A file *longer* than the directory total is
+    /// benign — a crash inside a growth extended the file before the new
+    /// segment's directory entry was published.
     Truncated {
         /// Bytes the superblock (or format) requires.
         expected: u64,
@@ -257,7 +412,8 @@ pub enum MapError {
     /// The superblock version is not [`VERSION`].
     BadVersion(u64),
     /// Superblock geometry is inconsistent (unaligned/out-of-window base,
-    /// impossible offsets, bump beyond the data region, …).
+    /// impossible offsets, bump beyond the data region, an impossible
+    /// segment-directory entry, …).
     BadSuperblock(&'static str),
     /// A block header below the bump offset is not a valid header.
     CorruptHeader {
@@ -298,7 +454,7 @@ pub enum MapError {
     },
     /// The catalog has no free slot for another named structure.
     CatalogFull,
-    /// The arena is out of space.
+    /// The arena is out of space (VA reservation or segment directory full).
     Exhausted,
 }
 
@@ -365,15 +521,52 @@ pub struct AttachReport {
     pub committed: usize,
     /// Free blocks found by the walk.
     pub free_blocks: usize,
+    /// Segments mapped (1 = the heap never grew past its initial segment).
+    pub segments: usize,
 }
 
 // ---------------------------------------------------------------------------
 // The heap
 // ---------------------------------------------------------------------------
 
-struct AllocState {
-    /// payload-granule-count → header granule indices of FREE blocks.
+/// Volatile descriptor of one mapped segment. Slots are append-only: fields
+/// are written, then the segment count is `Release`-published, so readers
+/// that `Acquire`-load the count see fully initialized slots.
+#[derive(Default)]
+struct SegSlot {
+    /// First global granule index served by this segment.
+    g_start: AtomicUsize,
+    /// Data granules in this segment.
+    granules: AtomicUsize,
+    /// VA offset (from `base`) of this segment's commit bitmap.
+    bm_off: AtomicUsize,
+    /// VA offset (from `base`) of this segment's data region.
+    data_off: AtomicUsize,
+}
+
+/// Per-thread size-class free lists (header granule indices). Indexed by the
+/// registered tid and only ever touched by that thread, which is what makes
+/// the `UnsafeCell` sound (same discipline as `isb::pool`).
+type ThreadCache = [Vec<u32>; MAX_CLASS];
+
+/// Per-segment result of the (parallel) attach walk.
+#[derive(Default)]
+struct SegWalk {
+    committed: Vec<(usize, usize)>,
     free: HashMap<u32, Vec<u32>>,
+    poisoned: usize,
+    healed: usize,
+    free_blocks: usize,
+}
+
+/// A won bump reservation: granules `[from, end)` belong to the caller;
+/// usable blocks start at `start` (pads, if any, were written to
+/// `[from, start)`). The caller must write headers for every granule in
+/// `[start, end)` and then call `publish_bump(from, end)`.
+struct Resv {
+    from: usize,
+    start: usize,
+    end: usize,
 }
 
 /// A file-backed persistent heap (see module docs).
@@ -386,11 +579,33 @@ struct AllocState {
 /// per-thread caches on top.
 pub struct MappedHeap {
     base: *mut u8,
-    size: usize,
+    /// VA reservation length — the munmap span and the growth ceiling.
+    reserve: usize,
+    /// Total mapped file bytes (all segments); grows.
+    size: AtomicUsize,
+    /// Published segment slots (including segment 0).
+    n_segs: AtomicUsize,
+    segs: [SegSlot; MAX_SEGMENTS + 1],
+    /// Total data granules across published segments.
+    total_granules: AtomicUsize,
+    /// Volatile reservation cursor over the global granule space; the
+    /// persistent `W_BUMP` trails it and is published in reservation order.
+    bump_resv: AtomicU64,
+    /// Segment 0 data offset (superblock validation/catalog bounds).
     data_off: usize,
-    granules: usize,
     path: PathBuf,
-    alloc: Mutex<AllocState>,
+    file: std::fs::File,
+    /// Serializes growth (cold path).
+    grow_lock: Mutex<()>,
+    /// Free lists for blocks above `MAX_CLASS` payload granules, and for
+    /// everything when `use_sharded` is off (the pre-sharding allocator
+    /// shape, kept for the fig13 microbench).
+    cold: Mutex<HashMap<u32, Vec<u32>>>,
+    /// Per-class lock-free global stacks: `(version << 32) | (granule + 1)`,
+    /// next-links in the free blocks' header granules.
+    global: [AtomicU64; MAX_CLASS],
+    caches: Vec<CachePadded<UnsafeCell<ThreadCache>>>,
+    use_sharded: AtomicBool,
     report: AttachReport,
 }
 
@@ -402,7 +617,8 @@ impl std::fmt::Debug for MappedHeap {
         f.debug_struct("MappedHeap")
             .field("path", &self.path)
             .field("base", &self.base)
-            .field("size", &self.size)
+            .field("size", &self.size.load(Relaxed))
+            .field("segments", &self.n_segs.load(Relaxed))
             .finish_non_exhaustive()
     }
 }
@@ -410,40 +626,147 @@ impl std::fmt::Debug for MappedHeap {
 impl Drop for MappedHeap {
     fn drop(&mut self) {
         // The mapping is MAP_SHARED: all completed stores are already in the
-        // page cache and reach the file regardless of this munmap.
-        unsafe { sys_munmap(self.base as usize, self.size) };
+        // page cache and reach the file regardless of this munmap. Unmapping
+        // the whole reservation drops the PROT_NONE tail too.
+        unsafe { sys_munmap(self.base as usize, self.reserve) };
     }
+}
+
+/// Reserves `len` bytes of PROT_NONE address space, preferably at `hint`.
+/// Returns the reservation base, or `None` when the hinted range is taken.
+fn reserve_va(len: usize, hint: Option<usize>) -> Result<Option<*mut u8>, MapError> {
+    let anon = MAP_PRIVATE | MAP_ANONYMOUS | MAP_NORESERVE;
+    match hint {
+        Some(h) => {
+            let r = unsafe { sys_mmap(h, len, PROT_NONE, anon | MAP_FIXED_NOREPLACE, -1, 0) };
+            if is_sys_err(r) {
+                if r == -38 {
+                    return Err(MapError::Unsupported);
+                }
+                return Ok(None); // range taken (EEXIST) or otherwise refused
+            }
+            if r as usize != h {
+                // Old kernels ignore NOREPLACE and map elsewhere: undo.
+                unsafe { sys_munmap(r as usize, len) };
+                return Ok(None);
+            }
+            Ok(Some(r as *mut u8))
+        }
+        None => {
+            let r = unsafe { sys_mmap(0, len, PROT_NONE, anon, -1, 0) };
+            if is_sys_err(r) {
+                return Err(sys_to_err(r));
+            }
+            Ok(Some(r as *mut u8))
+        }
+    }
+}
+
+/// Maps `len` bytes of `fd` at file offset `off` to exactly `addr` (inside a
+/// reservation this heap owns, so plain `MAP_FIXED` is safe).
+fn map_file_at(fd: i32, len: usize, addr: usize, off: usize) -> Result<(), MapError> {
+    let r = unsafe { sys_mmap(addr, len, PROT_READ | PROT_WRITE, MAP_SHARED | MAP_FIXED, fd, off) };
+    if is_sys_err(r) {
+        return Err(sys_to_err(r));
+    }
+    debug_assert_eq!(r as usize, addr);
+    Ok(())
+}
+
+/// Reserves a VA window of `reserve` bytes (at `preferred` when possible) and
+/// maps every `(file_offset, len)` segment contiguously over its front.
+/// Returns `(base, relocated)`.
+fn reserve_and_map(
+    fd: i32,
+    segs: &[(usize, usize)],
+    reserve: usize,
+    preferred: Option<usize>,
+) -> Result<(*mut u8, bool), MapError> {
+    let (base, relocated) = match preferred.and_then(|h| reserve_va(reserve, Some(h)).transpose()) {
+        Some(r) => (r?, false),
+        None => {
+            let b = reserve_va(reserve, None)?.expect("hint-less reservation cannot be refused");
+            (b, true)
+        }
+    };
+    for &(off, len) in segs {
+        if let Err(e) = map_file_at(fd, len, base as usize + off, off) {
+            unsafe { sys_munmap(base as usize, reserve) };
+            return Err(e);
+        }
+    }
+    Ok((base, relocated))
+}
+
+fn empty_caches() -> Vec<CachePadded<UnsafeCell<ThreadCache>>> {
+    (0..MAX_PROCS).map(|_| CachePadded::new(UnsafeCell::new(ThreadCache::default()))).collect()
 }
 
 impl MappedHeap {
     // -- mapping ----------------------------------------------------------
 
-    /// Creates a fresh heap of (at least) `bytes` at `path`, truncating any
-    /// existing file. Prefer [`MappedHeap::open`].
+    /// Creates a fresh heap whose *initial segment* holds (at least) `bytes`
+    /// at `path`, truncating any existing file. The arena grows on demand up
+    /// to a default VA reservation of `max(16 × bytes, 256 MiB)`. Prefer
+    /// [`MappedHeap::open`].
     pub fn create(path: &Path, bytes: usize) -> Result<Arc<Self>, MapError> {
+        Self::create_bounded(path, bytes, 0)
+    }
+
+    /// [`MappedHeap::create`] with an explicit growth ceiling: the arena
+    /// never exceeds `max_bytes` in total (`max_bytes == bytes` disables
+    /// growth entirely — used by exhaustion tests). `0` selects the default
+    /// reservation.
+    pub fn create_bounded(
+        path: &Path,
+        bytes: usize,
+        max_bytes: usize,
+    ) -> Result<Arc<Self>, MapError> {
         let size = bytes.max(MIN_HEAP_BYTES).next_multiple_of(PAGE);
+        let reserve = if max_bytes == 0 {
+            (size * 16).max(256 * 1024 * 1024)
+        } else {
+            max_bytes.max(size).next_multiple_of(PAGE)
+        };
         let file =
             OpenOptions::new().read(true).write(true).create(true).truncate(true).open(path)?;
         file.set_len(size as u64)?;
         let fd = std::os::fd::AsRawFd::as_raw_fd(&file);
 
-        // Geometry: superblock page, then the bitmap (one bit per data
-        // granule, rounded to a granule), then the data region.
+        // Segment-0 geometry: superblock page, then the bitmap (one bit per
+        // data granule, rounded to a granule), then the data region.
         let data_guess = size - PAGE;
         let bm_bytes = (data_guess / GRANULE).div_ceil(8).next_multiple_of(GRANULE);
         let data_off = PAGE + bm_bytes;
         let granules = (size - data_off) / GRANULE;
 
-        let base = map_file(fd, size, Some(PREFERRED_BASE))?;
+        let (base, _) = reserve_and_map(fd, &[(0, size)], reserve, Some(PREFERRED_BASE))?;
         let heap = MappedHeap {
             base,
-            size,
+            reserve,
+            size: AtomicUsize::new(size),
+            n_segs: AtomicUsize::new(1),
+            segs: std::array::from_fn(|_| SegSlot::default()),
+            total_granules: AtomicUsize::new(granules),
+            bump_resv: AtomicU64::new(0),
             data_off,
-            granules,
             path: path.to_path_buf(),
-            alloc: Mutex::new(AllocState { free: HashMap::new() }),
-            report: AttachReport { created: true, attach_epoch: 1, ..Default::default() },
+            file,
+            grow_lock: Mutex::new(()),
+            cold: Mutex::new(HashMap::new()),
+            global: Default::default(),
+            caches: empty_caches(),
+            use_sharded: AtomicBool::new(true),
+            report: AttachReport {
+                created: true,
+                attach_epoch: 1,
+                segments: 1,
+                ..Default::default()
+            },
         };
+        heap.segs[0].granules.store(granules, Relaxed);
+        heap.segs[0].bm_off.store(PAGE, Relaxed);
+        heap.segs[0].data_off.store(data_off, Relaxed);
         // Init order: every field first, the magic last — a creation cut
         // short by a crash leaves a file that fails attach with BadMagic
         // instead of a half-valid superblock.
@@ -456,6 +779,8 @@ impl MappedHeap {
         heap.word(W_BM_OFF).store(PAGE as u64, SeqCst);
         heap.word(W_GRANULES).store(granules as u64, SeqCst);
         heap.word(W_KIND).store(0, SeqCst);
+        heap.word(W_SEG_COUNT).store(0, SeqCst);
+        heap.word(W_RESERVE).store(reserve as u64, SeqCst);
         heap.word(W_MAGIC).store(MAGIC, SeqCst);
         Ok(Arc::new(heap))
     }
@@ -485,8 +810,35 @@ impl MappedHeap {
             return Err(MapError::BadVersion(w(W_VERSION)));
         }
         let size = w(W_SIZE);
-        if size != len {
-            return Err(MapError::Truncated { expected: size, found: len });
+        if size < PAGE as u64 || !(size as usize).is_multiple_of(PAGE) {
+            return Err(MapError::BadSuperblock("segment-0 size is not a page multiple"));
+        }
+        // Segment directory: the count is the valid flag; each entry is the
+        // segment's byte length. The published total must fit in the file
+        // (a *longer* file is benign torn growth — see module docs).
+        let seg_count = w(W_SEG_COUNT) as usize;
+        if seg_count > MAX_SEGMENTS {
+            return Err(MapError::BadSuperblock("segment count exceeds the directory"));
+        }
+        let mut seg_lens = Vec::with_capacity(seg_count);
+        let mut total = size;
+        for k in 0..seg_count {
+            let b = w(W_SEG0 + k);
+            if b < PAGE as u64 || !(b as usize).is_multiple_of(PAGE) || b >= 1 << 46 {
+                return Err(MapError::BadSuperblock("impossible segment-directory entry"));
+            }
+            seg_lens.push(b as usize);
+            total = total
+                .checked_add(b)
+                .ok_or(MapError::BadSuperblock("segment directory overflows"))?;
+        }
+        if len < total {
+            return Err(MapError::Truncated { expected: total, found: len });
+        }
+        let total = total as usize;
+        let reserve = w(W_RESERVE) as usize;
+        if reserve < total || !reserve.is_multiple_of(PAGE) || reserve >= 1 << 47 {
+            return Err(MapError::BadSuperblock("VA reservation does not cover the segments"));
         }
         let old_base = w(W_BASE) as usize;
         if old_base == 0 || !old_base.is_multiple_of(PAGE) || old_base >= 1 << 47 {
@@ -507,36 +859,63 @@ impl MappedHeap {
         {
             return Err(MapError::BadSuperblock("data region exceeds the file"));
         }
-        if (w(W_BUMP) as usize) > granules {
-            return Err(MapError::BadSuperblock("bump offset beyond the data region"));
-        }
         // The commit bitmap (one bit per data granule, starting at PAGE)
         // must fit below the data region: otherwise bm_set/bm_clear would
         // silently write inside the data blocks.
         if w(W_BM_OFF) as usize != PAGE || PAGE + granules.div_ceil(64) * 8 > data_off {
             return Err(MapError::BadSuperblock("commit bitmap does not fit its region"));
         }
+        let mut total_granules = granules;
+        for &b in &seg_lens {
+            total_granules += seg_geometry(b).1;
+        }
+        if (w(W_BUMP) as usize) > total_granules {
+            return Err(MapError::BadSuperblock("bump offset beyond the data region"));
+        }
 
         let fd = std::os::fd::AsRawFd::as_raw_fd(&file);
-        let (base, relocated) = if force_new_base {
-            (map_file(fd, size, None)?, true)
-        } else {
-            match map_file_fixed(fd, size, old_base) {
-                Some(b) => (b, false),
-                None => (map_file(fd, size, None)?, true),
-            }
-        };
-        let relocated = relocated && base as usize != old_base;
+        let mut spans = Vec::with_capacity(1 + seg_lens.len());
+        spans.push((0usize, size));
+        let mut off = size;
+        for &b in &seg_lens {
+            spans.push((off, b));
+            off += b;
+        }
+        let preferred = if force_new_base { None } else { Some(old_base) };
+        let (base, _) = reserve_and_map(fd, &spans, reserve, preferred)?;
+        let relocated = base as usize != old_base;
 
         let mut heap = MappedHeap {
             base,
-            size,
+            reserve,
+            size: AtomicUsize::new(total),
+            n_segs: AtomicUsize::new(1 + seg_lens.len()),
+            segs: std::array::from_fn(|_| SegSlot::default()),
+            total_granules: AtomicUsize::new(total_granules),
+            bump_resv: AtomicU64::new(w(W_BUMP)),
             data_off,
-            granules,
             path: path.to_path_buf(),
-            alloc: Mutex::new(AllocState { free: HashMap::new() }),
+            file,
+            grow_lock: Mutex::new(()),
+            cold: Mutex::new(HashMap::new()),
+            global: Default::default(),
+            caches: empty_caches(),
+            use_sharded: AtomicBool::new(true),
             report: AttachReport { relocated, ..Default::default() },
         };
+        heap.segs[0].granules.store(granules, Relaxed);
+        heap.segs[0].bm_off.store(PAGE, Relaxed);
+        heap.segs[0].data_off.store(data_off, Relaxed);
+        let mut g_start = granules;
+        for (k, &b) in seg_lens.iter().enumerate() {
+            let (bm_bytes, gr) = seg_geometry(b);
+            let s = &heap.segs[1 + k];
+            s.g_start.store(g_start, Relaxed);
+            s.granules.store(gr, Relaxed);
+            s.bm_off.store(spans[1 + k].0, Relaxed);
+            s.data_off.store(spans[1 + k].0 + bm_bytes, Relaxed);
+            g_start += gr;
+        }
         let committed = heap.walk_and_heal()?;
         if relocated {
             heap.relocate(old_base, &committed);
@@ -566,48 +945,93 @@ impl MappedHeap {
         unsafe { &*(self.base.add(idx * 8) as *const AtomicU64) }
     }
 
+    /// Index of the published segment holding global granule `g`.
+    #[inline]
+    fn seg_of_granule(&self, g: usize) -> Option<usize> {
+        let n = self.n_segs.load(Acquire);
+        // Newest segment first: the bump cursor lives there.
+        for i in (0..n).rev() {
+            let s = &self.segs[i];
+            let start = s.g_start.load(Relaxed);
+            if g >= start && g < start + s.granules.load(Relaxed) {
+                return Some(i);
+            }
+        }
+        None
+    }
+
+    /// VA offset of the *header granule* of global granule `g`.
+    #[inline]
+    fn granule_off(&self, g: usize) -> usize {
+        let i = self.seg_of_granule(g).expect("granule inside the mapped arena");
+        let s = &self.segs[i];
+        s.data_off.load(Relaxed) + (g - s.g_start.load(Relaxed)) * GRANULE
+    }
+
     #[inline]
     fn hdr(&self, g: usize) -> &AtomicU64 {
-        debug_assert!(g < self.granules);
-        // SAFETY: granule g starts inside the data region.
-        unsafe { &*(self.base.add(self.data_off + g * GRANULE) as *const AtomicU64) }
+        // SAFETY: granule g starts inside a mapped data region.
+        unsafe { &*(self.base.add(self.granule_off(g)) as *const AtomicU64) }
+    }
+
+    /// Second word of the header granule: the free-list next-link (volatile
+    /// state in persistent space, rebuilt on attach; torn values harmless).
+    #[inline]
+    fn link_word(&self, g: usize) -> &AtomicU64 {
+        // SAFETY: word 1 of the 8-word header granule.
+        unsafe { &*(self.base.add(self.granule_off(g) + 8) as *const AtomicU64) }
     }
 
     #[inline]
     fn payload(&self, g: usize) -> *mut u8 {
         // Payload starts one granule after the header granule.
-        unsafe { self.base.add(self.data_off + (g + 1) * GRANULE) }
+        unsafe { self.base.add(self.granule_off(g) + GRANULE) }
     }
 
     /// Granule index of the block whose payload starts at `p`.
     #[inline]
     fn granule_of(&self, p: *mut u8) -> usize {
-        let off = p as usize - self.base as usize - self.data_off;
-        debug_assert!(off.is_multiple_of(GRANULE) && off >= GRANULE);
-        off / GRANULE - 1
+        let off = p as usize - self.base as usize;
+        let n = self.n_segs.load(Acquire);
+        for i in (0..n).rev() {
+            let s = &self.segs[i];
+            let doff = s.data_off.load(Relaxed);
+            if off >= doff && off < doff + s.granules.load(Relaxed) * GRANULE {
+                debug_assert!(off.is_multiple_of(GRANULE) && off >= doff + GRANULE);
+                return s.g_start.load(Relaxed) + (off - doff) / GRANULE - 1;
+            }
+        }
+        panic!("payload pointer outside every mapped segment");
     }
 
+    /// Bitmap word + bit index covering global granule `g`.
     #[inline]
-    fn bm_word(&self, g: usize) -> &AtomicU64 {
-        let bm_off = PAGE + (g / 64) * 8;
-        debug_assert!(bm_off + 8 <= self.data_off);
-        // SAFETY: inside the bitmap region.
-        unsafe { &*(self.base.add(bm_off) as *const AtomicU64) }
+    fn bm_word(&self, g: usize) -> (&AtomicU64, u32) {
+        let i = self.seg_of_granule(g).expect("granule inside the mapped arena");
+        let s = &self.segs[i];
+        let local = g - s.g_start.load(Relaxed);
+        let off = s.bm_off.load(Relaxed) + (local / 64) * 8;
+        debug_assert!(off + 8 <= s.data_off.load(Relaxed));
+        // SAFETY: inside the segment's bitmap region.
+        (unsafe { &*(self.base.add(off) as *const AtomicU64) }, (local % 64) as u32)
     }
 
     #[inline]
     fn bm_test(&self, g: usize) -> bool {
-        self.bm_word(g).load(Acquire) & (1 << (g % 64)) != 0
+        let (w, b) = self.bm_word(g);
+        w.load(Acquire) & (1 << b) != 0
     }
 
     #[inline]
     fn bm_set(&self, g: usize) {
-        self.bm_word(g).fetch_or(1 << (g % 64), SeqCst);
+        let (w, b) = self.bm_word(g);
+        w.fetch_or(1 << b, SeqCst);
     }
 
     #[inline]
     fn bm_clear(&self, g: usize) {
-        self.bm_word(g).fetch_and(!(1 << (g % 64)), SeqCst);
+        let (w, b) = self.bm_word(g);
+        w.fetch_and(!(1 << b), SeqCst);
     }
 
     // -- attach walk -------------------------------------------------------
@@ -615,26 +1039,101 @@ impl MappedHeap {
     /// Walks every block header up to the bump offset: rebuilds the free
     /// lists, poisons torn tail allocations, heals benign bitmap bits, and
     /// fails with a typed error on any state no crash ordering can produce.
-    /// Returns the committed blocks as `(granule, payload_granules)`.
+    /// Blocks never straddle segments, so the walk runs **per segment on
+    /// [`attach_threads`] scoped workers**. Returns the committed blocks as
+    /// `(granule, payload_granules)`.
     fn walk_and_heal(&mut self) -> Result<Vec<(usize, usize)>, MapError> {
         let bump = self.word(W_BUMP).load(Acquire) as usize;
+        self.bump_resv.store(bump as u64, SeqCst);
+        let n = self.n_segs.load(Acquire);
+        let threads = attach_threads().min(n).max(1);
+        let this = &*self;
+        let results: Vec<Result<SegWalk, MapError>> = if threads <= 1 {
+            (0..n).map(|i| this.walk_segment(i, bump)).collect()
+        } else {
+            let next = AtomicUsize::new(0);
+            std::thread::scope(|sc| {
+                let handles: Vec<_> = (0..threads)
+                    .map(|_| {
+                        let next = &next;
+                        sc.spawn(move || {
+                            let mut out = Vec::new();
+                            loop {
+                                let i = next.fetch_add(1, SeqCst);
+                                if i >= n {
+                                    break;
+                                }
+                                out.push((i, this.walk_segment(i, bump)));
+                            }
+                            out
+                        })
+                    })
+                    .collect();
+                let mut merged: Vec<Option<Result<SegWalk, MapError>>> =
+                    (0..n).map(|_| None).collect();
+                for h in handles {
+                    for (i, r) in h.join().expect("attach walk worker panicked") {
+                        merged[i] = Some(r);
+                    }
+                }
+                merged.into_iter().map(|o| o.expect("every segment walked")).collect()
+            })
+        };
         let mut committed = Vec::new();
-        let mut committed_set: HashSet<usize> = HashSet::new();
         let mut free: HashMap<u32, Vec<u32>> = HashMap::new();
-        let mut g = 0usize;
-        while g < bump {
+        for r in results {
+            let sw = r?;
+            committed.extend(sw.committed);
+            for (pg, mut list) in sw.free {
+                free.entry(pg).or_default().append(&mut list);
+            }
+            self.report.poisoned += sw.poisoned;
+            self.report.healed_bits += sw.healed;
+            self.report.free_blocks += sw.free_blocks;
+        }
+        self.report.committed = committed.len();
+        self.report.free_blocks += self.report.poisoned;
+        self.report.segments = n;
+        // Stock the allocator: hot classes into the lock-free stacks, the
+        // rest into the cold map.
+        for (pg, list) in free {
+            if (pg as usize) <= MAX_CLASS {
+                for g in list {
+                    self.global_push(pg as usize - 1, g as usize);
+                }
+            } else {
+                lock_np(&self.cold).entry(pg).or_default().extend(list);
+            }
+        }
+        Ok(committed)
+    }
+
+    /// Walks one segment's slice of the granule space (see `walk_and_heal`).
+    fn walk_segment(&self, i: usize, bump: usize) -> Result<SegWalk, MapError> {
+        let s = &self.segs[i];
+        let g0 = s.g_start.load(Relaxed);
+        let granules = s.granules.load(Relaxed);
+        let limit = bump.min(g0 + granules);
+        let mut w = SegWalk::default();
+        let mut committed_set: HashSet<usize> = HashSet::new();
+        let mut g = g0;
+        while g < limit {
             let (state, pg) = decode_hdr(self.hdr(g).load(Acquire))
                 .ok_or(MapError::CorruptHeader { granule: g })?;
             let pg = pg as usize;
-            if pg == 0 || g + 1 + pg > bump {
+            if (state != ST_PAD && pg == 0) || g + 1 + pg > limit {
                 return Err(MapError::CorruptHeader { granule: g });
             }
             match state {
+                ST_PAD => {
+                    // Segment-tail filler: skipped; its bits must be clear
+                    // (enforced by the bitmap cross-check below).
+                }
                 ST_COMMITTED => {
                     if !self.bm_test(g) {
                         return Err(MapError::CorruptBitmap { granule: g });
                     }
-                    committed.push((g, pg));
+                    w.committed.push((g, pg));
                     committed_set.insert(g);
                 }
                 ST_ALLOCATED => {
@@ -642,60 +1141,74 @@ impl MappedHeap {
                     // committed it, so nothing can reference it. Poison the
                     // payload (so any stale use is loud) and recycle it.
                     let p = self.payload(g) as *mut u64;
-                    for i in 0..pg * (GRANULE / 8) {
+                    for k in 0..pg * (GRANULE / 8) {
                         // SAFETY: payload of a block wholly inside the arena.
-                        unsafe { p.add(i).write(POISON) };
+                        unsafe { p.add(k).write(POISON) };
                     }
                     self.hdr(g).store(encode_hdr(ST_FREE, pg as u64), Release);
                     self.bm_clear(g);
-                    free.entry(pg as u32).or_default().push(g as u32);
-                    self.report.poisoned += 1;
+                    w.free.entry(pg as u32).or_default().push(g as u32);
+                    w.poisoned += 1;
                 }
                 ST_FREE => {
                     if self.bm_test(g) {
                         // Crash between the two halves of a free: benign.
                         self.bm_clear(g);
-                        self.report.healed_bits += 1;
+                        w.healed += 1;
                     }
-                    free.entry(pg as u32).or_default().push(g as u32);
-                    self.report.free_blocks += 1;
+                    w.free.entry(pg as u32).or_default().push(g as u32);
+                    w.free_blocks += 1;
                 }
                 _ => return Err(MapError::CorruptHeader { granule: g }),
             }
             g += 1 + pg;
         }
-        if g != bump {
+        if g != limit {
             return Err(MapError::CorruptHeader { granule: g });
         }
         // Cross-check: every set bitmap bit must sit under a committed
         // header. A bit with no block under it cannot result from any crash
         // ordering — it is corruption.
-        for wi in 0..self.granules.div_ceil(64) {
-            let mut bits = self.bm_word(wi * 64).load(Acquire);
+        for wi in 0..granules.div_ceil(64) {
+            let (word, _) = self.bm_word(g0 + wi * 64);
+            let mut bits = word.load(Acquire);
             while bits != 0 {
                 let b = bits.trailing_zeros() as usize;
                 bits &= bits - 1;
-                let gran = wi * 64 + b;
+                let gran = g0 + wi * 64 + b;
                 if !committed_set.contains(&gran) {
                     return Err(MapError::CorruptBitmap { granule: gran });
                 }
             }
         }
-        self.report.committed = committed.len();
-        self.report.free_blocks += self.report.poisoned;
-        self.alloc.get_mut().unwrap().free = free;
-        Ok(committed)
+        Ok(w)
     }
 
     /// The offset-relocation pass: rebases every committed payload word that
     /// points into the old mapping (see module docs for the aliasing caveat).
+    /// Chunked over [`attach_threads`] workers — blocks are disjoint, so the
+    /// chunks race on nothing.
     fn relocate(&self, old_base: usize, committed: &[(usize, usize)]) {
+        let threads = attach_threads().max(1);
+        if threads <= 1 || committed.len() < 1024 {
+            self.relocate_chunk(old_base, committed);
+            return;
+        }
+        let chunk = committed.len().div_ceil(threads);
+        std::thread::scope(|sc| {
+            for part in committed.chunks(chunk) {
+                sc.spawn(move || self.relocate_chunk(old_base, part));
+            }
+        });
+    }
+
+    fn relocate_chunk(&self, old_base: usize, committed: &[(usize, usize)]) {
         let new_base = self.base as usize;
-        let span = self.size;
+        let span = self.size.load(Acquire);
         for &(g, pg) in committed {
             let p = self.payload(g) as *mut u64;
             for i in 0..pg * (GRANULE / 8) {
-                // SAFETY: single-threaded attach; word inside the payload.
+                // SAFETY: exclusive attach; chunks hold disjoint blocks.
                 let v = unsafe { p.add(i).read() };
                 let t = v & !1; // strip the info-pointer tag bit
                 if t >= old_base as u64 && t < (old_base + span) as u64 {
@@ -705,30 +1218,245 @@ impl MappedHeap {
         }
     }
 
+    // -- growth and the lock-free bump cursor ------------------------------
+
+    /// Extends the arena by a new segment (double the current total, at
+    /// least enough for `need_granules`, capped by the VA reservation).
+    /// Returns `Ok` without growing when a concurrent grower already made
+    /// room. See the module docs for the crash-ordering argument.
+    fn grow(&self, need_granules: usize) -> Result<(), MapError> {
+        let _guard = lock_np(&self.grow_lock);
+        // Re-check under the lock: another thread may have grown while we
+        // waited, or freed bump space past a pad.
+        let cur = self.bump_resv.load(Acquire) as usize;
+        let mut pos = cur;
+        while let Some(i) = self.seg_of_granule(pos) {
+            let s = &self.segs[i];
+            let end = s.g_start.load(Relaxed) + s.granules.load(Relaxed);
+            if pos + need_granules <= end {
+                return Ok(());
+            }
+            pos = end;
+        }
+        let n = self.n_segs.load(Acquire);
+        let count = n - 1;
+        if count >= MAX_SEGMENTS {
+            return Err(MapError::Exhausted);
+        }
+        let total = self.size.load(Acquire);
+        // Double the heap, but at least enough for the request; the VA
+        // reservation is the hard ceiling.
+        let min_bytes = ((need_granules + 2) * GRANULE * 2).next_multiple_of(PAGE);
+        let mut new_bytes = total.max(min_bytes);
+        if total.checked_add(new_bytes).is_none_or(|t| t > self.reserve) {
+            new_bytes = self.reserve - total;
+        }
+        let (bm_bytes, granules) = seg_geometry(new_bytes);
+        if new_bytes < PAGE || granules < need_granules {
+            return Err(MapError::Exhausted);
+        }
+        // (1) Extend the file: the new range is zero-filled, i.e. a valid,
+        // empty segment. (A longer leftover from a torn growth is truncated
+        // away first — it was never published, so nothing points there.)
+        self.file.set_len((total + new_bytes) as u64)?;
+        let fd = std::os::fd::AsRawFd::as_raw_fd(&self.file);
+        map_file_at(fd, new_bytes, self.base as usize + total, total)?;
+        // (2) Stamp the directory entry, (3) publish the count last. The
+        // flushes make the ordering hold on real NVM as well; they are
+        // deliberately *uncounted* — allocator-internal durability, not part
+        // of the measured op-level persistency protocol (persist-placement
+        // goldens must not move).
+        self.word(W_SEG0 + count).store(new_bytes as u64, SeqCst);
+        // SAFETY: superblock word inside the live mapping.
+        unsafe { flush::clflush(self.base.add((W_SEG0 + count) * 8) as *const u8) };
+        flush::mfence();
+        self.word(W_SEG_COUNT).store((count + 1) as u64, SeqCst);
+        // SAFETY: superblock word inside the live mapping.
+        unsafe { flush::clflush(self.base.add(W_SEG_COUNT * 8) as *const u8) };
+        flush::mfence();
+        // Volatile publication: slot fields first, slot count (Release) last.
+        let g_start = self.total_granules.load(Acquire);
+        let slot = &self.segs[n];
+        slot.g_start.store(g_start, Relaxed);
+        slot.granules.store(granules, Relaxed);
+        slot.bm_off.store(total, Relaxed);
+        slot.data_off.store(total + bm_bytes, Relaxed);
+        self.total_granules.store(g_start + granules, Release);
+        self.size.store(total + new_bytes, Release);
+        self.n_segs.store(n + 1, Release);
+        stats::count_segments_grown(1);
+        Ok(())
+    }
+
+    /// Reserves `need` contiguous granules from the bump region (growing the
+    /// arena when exhausted). Lock-free: CASes the volatile reservation
+    /// cursor forward, writing `PAD` filler over any segment tail it skips.
+    fn bump_reserve(&self, need: usize) -> Result<Resv, MapError> {
+        loop {
+            let cur = self.bump_resv.load(Acquire) as usize;
+            let mut pads: Vec<(usize, usize)> = Vec::new();
+            let mut pos = cur;
+            let start = loop {
+                let Some(i) = self.seg_of_granule(pos) else { break None };
+                let s = &self.segs[i];
+                let seg_end = s.g_start.load(Relaxed) + s.granules.load(Relaxed);
+                if pos + need <= seg_end {
+                    break Some(pos);
+                }
+                pads.push((pos, seg_end - pos - 1));
+                pos = seg_end;
+            };
+            let Some(start) = start else {
+                self.grow(need)?;
+                continue;
+            };
+            let end = start + need;
+            if self.bump_resv.compare_exchange(cur as u64, end as u64, AcqRel, Acquire).is_err() {
+                continue;
+            }
+            // Won [cur, end): write the pad headers now; the caller writes
+            // the block headers and then publishes the persistent bump.
+            for (g, ppg) in pads {
+                self.hdr(g).store(encode_hdr(ST_PAD, ppg as u64), Release);
+            }
+            return Ok(Resv { from: cur, start, end });
+        }
+    }
+
+    /// Publishes the persistent bump word for the reservation `[from, to)`,
+    /// **in reservation order**: waits until every earlier reservation has
+    /// published (and therefore written its headers), preserving the
+    /// header-before-bump invariant across threads.
+    fn publish_bump(&self, from: usize, to: usize) {
+        let w = self.word(W_BUMP);
+        let mut spins = 0u32;
+        while w.load(Acquire) != from as u64 {
+            spins += 1;
+            if spins > 128 {
+                std::thread::yield_now();
+            } else {
+                std::hint::spin_loop();
+            }
+        }
+        w.store(to as u64, Release);
+    }
+
     // -- allocation --------------------------------------------------------
+
+    /// Pops from / pushes to the per-class global lock-free stack.
+    fn global_pop(&self, cls: usize) -> Option<usize> {
+        let head = &self.global[cls];
+        loop {
+            let h = head.load(Acquire);
+            let g1 = h & 0xFFFF_FFFF;
+            if g1 == 0 {
+                return None;
+            }
+            let g = (g1 - 1) as usize;
+            let next = self.link_word(g).load(Acquire) & 0xFFFF_FFFF;
+            let ver = (h >> 32).wrapping_add(1) & 0xFFFF_FFFF;
+            if head.compare_exchange_weak(h, (ver << 32) | next, AcqRel, Acquire).is_ok() {
+                return Some(g);
+            }
+        }
+    }
+
+    fn global_push(&self, cls: usize, g: usize) {
+        let head = &self.global[cls];
+        loop {
+            let h = head.load(Acquire);
+            self.link_word(g).store(h & 0xFFFF_FFFF, Release);
+            let ver = (h >> 32).wrapping_add(1) & 0xFFFF_FFFF;
+            if head.compare_exchange_weak(h, (ver << 32) | (g as u64 + 1), AcqRel, Acquire).is_ok()
+            {
+                return;
+            }
+        }
+    }
+
+    /// This thread's size-class cache, when it has a registered tid.
+    ///
+    /// SAFETY (of the cell access): the slot is indexed by the caller's own
+    /// tid and only ever touched by that thread.
+    #[allow(clippy::mut_from_ref)]
+    fn my_cache(&self) -> Option<&mut ThreadCache> {
+        let t = tid::try_tid()?;
+        Some(unsafe { &mut *self.caches[t].get() })
+    }
 
     /// Allocates a block with at least `bytes` of payload (64-byte aligned,
     /// rounded up to whole granules). The block is `ALLOCATED`: the caller
     /// must initialize the payload and then call [`MappedHeap::commit`];
     /// until then an attach treats it as torn and poisons it.
     pub fn alloc(&self, bytes: usize) -> Result<*mut u8, MapError> {
+        stats::count_heap_allocs(1);
         let pg = bytes.max(1).div_ceil(GRANULE);
-        let mut st = self.alloc.lock().unwrap();
-        if let Some(list) = st.free.get_mut(&(pg as u32)) {
-            if let Some(g) = list.pop() {
-                let g = g as usize;
-                self.hdr(g).store(encode_hdr(ST_ALLOCATED, pg as u64), Release);
-                return Ok(self.payload(g));
+        if pg <= MAX_CLASS && self.use_sharded.load(Relaxed) {
+            self.alloc_sharded(pg)
+        } else {
+            self.alloc_cold(pg)
+        }
+    }
+
+    /// Flips a free-list block back to `ALLOCATED` and returns its payload.
+    fn take_block(&self, g: usize, pg: usize) -> *mut u8 {
+        self.hdr(g).store(encode_hdr(ST_ALLOCATED, pg as u64), Release);
+        self.payload(g)
+    }
+
+    fn alloc_sharded(&self, pg: usize) -> Result<*mut u8, MapError> {
+        let cls = pg - 1;
+        if let Some(cache) = self.my_cache() {
+            if let Some(g) = cache[cls].pop() {
+                stats::count_free_list_hits(1);
+                return Ok(self.take_block(g as usize, pg));
             }
         }
-        let bump = self.word(W_BUMP).load(Acquire) as usize;
-        if bump + 1 + pg > self.granules {
-            return Err(MapError::Exhausted);
+        if let Some(g) = self.global_pop(cls) {
+            stats::count_free_list_hits(1);
+            return Ok(self.take_block(g, pg));
         }
-        // Header before bump: every granule below bump always has a header.
-        self.hdr(bump).store(encode_hdr(ST_ALLOCATED, pg as u64), Release);
-        self.word(W_BUMP).store((bump + 1 + pg) as u64, Release);
-        Ok(self.payload(bump))
+        // Slab refill: carve SLAB_BLOCKS same-class blocks out of one bump
+        // reservation. Block 0 is returned ALLOCATED; the rest are stocked
+        // FREE (crash-safe: a lost cache is rebuilt from their headers).
+        stats::count_slab_refills(1);
+        let stride = 1 + pg;
+        let r = self.bump_reserve(stride * SLAB_BLOCKS)?;
+        self.hdr(r.start).store(encode_hdr(ST_ALLOCATED, pg as u64), Release);
+        for i in 1..SLAB_BLOCKS {
+            self.hdr(r.start + i * stride).store(encode_hdr(ST_FREE, pg as u64), Release);
+        }
+        self.publish_bump(r.from, r.end);
+        if let Some(cache) = self.my_cache() {
+            for i in 1..SLAB_BLOCKS {
+                cache[cls].push((r.start + i * stride) as u32);
+            }
+        } else {
+            for i in 1..SLAB_BLOCKS {
+                self.global_push(cls, r.start + i * stride);
+            }
+        }
+        Ok(self.payload(r.start))
+    }
+
+    /// The mutex path: blocks above `MAX_CLASS` (recovery areas, roots,
+    /// catalogs), plus everything when sharding is disabled — this is
+    /// exactly the pre-v3 global-mutex allocator, kept reachable so fig13
+    /// can measure old-vs-new on the same binary.
+    fn alloc_cold(&self, pg: usize) -> Result<*mut u8, MapError> {
+        let mut cold = lock_np(&self.cold);
+        if let Some(list) = cold.get_mut(&(pg as u32)) {
+            if let Some(g) = list.pop() {
+                stats::count_free_list_hits(1);
+                return Ok(self.take_block(g as usize, pg));
+            }
+        }
+        // Held across the bump on purpose: models the old allocator's
+        // serialization when sharding is off; large blocks are rare.
+        let r = self.bump_reserve(1 + pg)?;
+        self.hdr(r.start).store(encode_hdr(ST_ALLOCATED, pg as u64), Release);
+        self.publish_bump(r.from, r.end);
+        Ok(self.payload(r.start))
     }
 
     /// Marks the block at payload `p` fully initialized. Bitmap bit before
@@ -741,7 +1469,7 @@ impl MappedHeap {
         self.hdr(g).store(encode_hdr(ST_COMMITTED, pg), Release);
     }
 
-    /// Returns the block at payload `p` to the free list (header to `FREE`
+    /// Returns the block at payload `p` to the free lists (header to `FREE`
     /// before the bitmap bit clears; no destructor runs).
     ///
     /// # Safety
@@ -753,21 +1481,69 @@ impl MappedHeap {
         let (_, pg) = decode_hdr(self.hdr(g).load(Acquire)).expect("free of a non-block");
         self.hdr(g).store(encode_hdr(ST_FREE, pg), Release);
         self.bm_clear(g);
-        self.alloc.lock().unwrap().free.entry(pg as u32).or_default().push(g as u32);
+        let pg = pg as usize;
+        if pg <= MAX_CLASS && self.use_sharded.load(Relaxed) {
+            let cls = pg - 1;
+            if let Some(cache) = self.my_cache() {
+                if cache[cls].len() < CACHE_CAP {
+                    cache[cls].push(g as u32);
+                    return;
+                }
+            }
+            self.global_push(cls, g);
+        } else {
+            lock_np(&self.cold).entry(pg as u32).or_default().push(g as u32);
+        }
     }
 
     /// Frees every committed block whose payload address is **not** in
     /// `live` (attach-time garbage collection of blocks leaked by a crash:
-    /// pool caches, limbo bags, unlinked nodes). Returns the number swept.
+    /// pool caches, limbo bags, unlinked nodes). Runs per segment on
+    /// [`attach_threads`] workers; the frees land in the lock-free stacks /
+    /// cold map, which are safe under that concurrency. Returns the number
+    /// swept.
     ///
     /// # Safety
     /// Requires quiescent exclusive access, and `live` must contain every
     /// payload address still reachable from the structure's roots.
     pub unsafe fn sweep_except(&self, live: &HashSet<usize>) -> usize {
         let bump = self.word(W_BUMP).load(Acquire) as usize;
+        let n = self.n_segs.load(Acquire);
+        let threads = attach_threads().min(n).max(1);
+        if threads <= 1 {
+            let mut swept = 0;
+            for i in 0..n {
+                swept += unsafe { self.sweep_segment(i, bump, live) };
+            }
+            return swept;
+        }
+        let next = AtomicUsize::new(0);
+        let swept = AtomicUsize::new(0);
+        std::thread::scope(|sc| {
+            for _ in 0..threads {
+                let next = &next;
+                let swept = &swept;
+                sc.spawn(move || loop {
+                    let i = next.fetch_add(1, SeqCst);
+                    if i >= n {
+                        break;
+                    }
+                    swept.fetch_add(unsafe { self.sweep_segment(i, bump, live) }, SeqCst);
+                });
+            }
+        });
+        swept.load(SeqCst)
+    }
+
+    /// # Safety
+    /// As [`MappedHeap::sweep_except`] (one segment's slice).
+    unsafe fn sweep_segment(&self, i: usize, bump: usize, live: &HashSet<usize>) -> usize {
+        let s = &self.segs[i];
+        let g0 = s.g_start.load(Relaxed);
+        let limit = bump.min(g0 + s.granules.load(Relaxed));
         let mut swept = 0;
-        let mut g = 0usize;
-        while g < bump {
+        let mut g = g0;
+        while g < limit {
             let (state, pg) = decode_hdr(self.hdr(g).load(Acquire)).expect("swept a corrupt heap");
             let pg = pg as usize;
             if state == ST_COMMITTED && !live.contains(&(self.payload(g) as usize)) {
@@ -830,7 +1606,7 @@ impl MappedHeap {
 
     /// Whether `addr` lies inside this heap's mapping.
     pub fn contains(&self, addr: usize) -> bool {
-        addr >= self.base as usize && addr < self.base as usize + self.size
+        addr >= self.base as usize && addr < self.base as usize + self.size.load(Acquire)
     }
 
     /// Whether the whole `len`-byte span starting at `addr` lies inside the
@@ -839,7 +1615,9 @@ impl MappedHeap {
     /// last bytes of the mapping would otherwise be read past its end).
     pub fn contains_span(&self, addr: usize, len: usize) -> bool {
         addr >= self.base as usize
-            && addr.checked_add(len).is_some_and(|end| end <= self.base as usize + self.size)
+            && addr
+                .checked_add(len)
+                .is_some_and(|end| end <= self.base as usize + self.size.load(Acquire))
     }
 
     /// Base address of the mapping.
@@ -847,9 +1625,14 @@ impl MappedHeap {
         self.base
     }
 
-    /// Mapped size in bytes.
+    /// Mapped size in bytes (all segments; grows).
     pub fn size(&self) -> usize {
-        self.size
+        self.size.load(Acquire)
+    }
+
+    /// Mapped segments (1 until the heap first grows).
+    pub fn segments(&self) -> usize {
+        self.n_segs.load(Acquire)
     }
 
     /// Path of the backing file.
@@ -865,6 +1648,15 @@ impl MappedHeap {
     /// Granules currently allocated from the bump region (diagnostics).
     pub fn bump_granules(&self) -> usize {
         self.word(W_BUMP).load(Acquire) as usize
+    }
+
+    /// Routes **all** allocation through the single-mutex cold path,
+    /// modelling the pre-v3 allocator (fig13's old-vs-sharded microbench).
+    /// Call on a freshly created heap before its first allocation; blocks
+    /// already stocked in the sharded lists are ignored until the next
+    /// attach rebuilds the free lists.
+    pub fn set_use_sharded(&self, on: bool) {
+        self.use_sharded.store(on, Relaxed);
     }
 
     // -- named-structure catalog -------------------------------------------
@@ -928,7 +1720,7 @@ impl MappedHeap {
         if name_len == 0
             || name_len > CATALOG_NAME_BYTES
             || root_off < self.data_off
-            || root_off >= self.size
+            || root_off >= self.size.load(Acquire)
         {
             return Err(MapError::CorruptCatalog { slot });
         }
@@ -1020,39 +1812,6 @@ pub struct CatalogEntry {
     pub cfg: u64,
     /// The structure's root block payload.
     pub root: *mut u8,
-}
-
-fn map_file(fd: i32, size: usize, preferred: Option<usize>) -> Result<*mut u8, MapError> {
-    if let Some(hint) = preferred {
-        if let Some(b) = map_file_fixed(fd, size, hint) {
-            return Ok(b);
-        }
-    }
-    let r = unsafe { sys_mmap(0, size, PROT_READ | PROT_WRITE, MAP_SHARED, fd) };
-    if is_sys_err(r) {
-        return if r == -38 {
-            Err(MapError::Unsupported)
-        } else {
-            Err(MapError::MapFailed(-r as i32))
-        };
-    }
-    Ok(r as *mut u8)
-}
-
-/// Maps `fd` at exactly `addr` (without evicting an existing mapping), or
-/// returns `None` when the range is unavailable.
-fn map_file_fixed(fd: i32, size: usize, addr: usize) -> Option<*mut u8> {
-    let r = unsafe {
-        sys_mmap(addr, size, PROT_READ | PROT_WRITE, MAP_SHARED | MAP_FIXED_NOREPLACE, fd)
-    };
-    if is_sys_err(r) || r as usize != addr {
-        if !is_sys_err(r) {
-            // Old kernels ignore NOREPLACE and map elsewhere: undo.
-            unsafe { sys_munmap(r as usize, size) };
-        }
-        return None;
-    }
-    Some(r as *mut u8)
 }
 
 // ---------------------------------------------------------------------------
@@ -1259,11 +2018,15 @@ mod tests {
         };
         let heap = MappedHeap::attach(&path).unwrap();
         assert_eq!(heap.report().committed, 1);
-        assert_eq!(heap.report().free_blocks, 1);
-        // The freed block feeds the next allocation of its size class.
+        // The slab refill carved extra FREE blocks besides the one we freed.
+        assert!(heap.report().free_blocks >= 1);
+        // Free blocks feed later allocations of their size class: the next
+        // alloc comes off a rebuilt free list, not the bump cursor.
+        let bump = heap.bump_granules();
         let c = heap.alloc(16).unwrap();
-        assert_eq!(c as usize - heap.base() as usize, off_freed);
-        let _ = off_kept;
+        assert!(c as usize - heap.base() as usize != off_kept);
+        assert_eq!(heap.bump_granules(), bump, "allocation bypassed the free lists");
+        let _ = off_freed;
         drop(heap);
         let _ = std::fs::remove_file(&path);
     }
@@ -1291,7 +2054,8 @@ mod tests {
     #[test]
     fn exhaustion_is_a_typed_error() {
         let path = tmp("exhaust");
-        let heap = MappedHeap::create(&path, MIN_HEAP_BYTES).unwrap();
+        // Growth disabled: the reservation equals the initial segment.
+        let heap = MappedHeap::create_bounded(&path, MIN_HEAP_BYTES, MIN_HEAP_BYTES).unwrap();
         let mut n = 0;
         loop {
             match heap.alloc(4096) {
@@ -1304,6 +2068,69 @@ mod tests {
             }
         }
         assert!(n > 5, "only {n} blocks fit");
+        assert_eq!(heap.segments(), 1);
+        drop(heap);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn heap_grows_past_initial_segment_and_reattaches() {
+        let path = tmp("grow");
+        let offs: Vec<usize> = {
+            let heap = MappedHeap::create(&path, MIN_HEAP_BYTES).unwrap();
+            // ~4096 blocks of 2 payload granules ≈ 768 KiB of data — far
+            // beyond the 64 KiB initial segment.
+            let offs = (0..4096u64)
+                .map(|i| {
+                    let p = heap.alloc(120).unwrap();
+                    unsafe { (p as *mut u64).write(i) };
+                    heap.commit(p);
+                    p as usize - heap.base() as usize
+                })
+                .collect();
+            assert!(heap.segments() > 1, "heap never grew");
+            offs
+        };
+        let heap = MappedHeap::attach(&path).unwrap();
+        assert!(heap.report().segments > 1);
+        assert_eq!(heap.report().committed, 4096);
+        assert_eq!(heap.report().poisoned, 0);
+        for (i, off) in offs.iter().enumerate() {
+            let p = unsafe { heap.base().add(*off) } as *const u64;
+            assert_eq!(unsafe { p.read() }, i as u64);
+        }
+        // The grown arena keeps allocating without error.
+        let p = heap.alloc(120).unwrap();
+        heap.commit(p);
+        drop(heap);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn grown_heap_relocates_across_segments() {
+        let path = tmp("grow_reloc");
+        let (off_cell, off_target) = {
+            let heap = MappedHeap::create(&path, MIN_HEAP_BYTES).unwrap();
+            // Fill past the first segment, then store a cross-segment
+            // pointer: a late (segment-1) cell pointing at an early
+            // (segment-0) target.
+            let target = heap.alloc(8).unwrap();
+            unsafe { (target as *mut u64).write(4242) };
+            heap.commit(target);
+            for _ in 0..2048 {
+                let p = heap.alloc(120).unwrap();
+                heap.commit(p);
+            }
+            assert!(heap.segments() > 1);
+            let cell = heap.alloc(16).unwrap();
+            unsafe { (cell as *mut u64).write(target as u64 | 1) };
+            heap.commit(cell);
+            (cell as usize - heap.base() as usize, target as usize - heap.base() as usize)
+        };
+        let heap = MappedHeap::attach_opts(&path, true).unwrap();
+        let cell = unsafe { heap.base().add(off_cell) } as *const u64;
+        let want = (heap.base() as usize + off_target) as u64 | 1;
+        assert_eq!(unsafe { cell.read() }, want, "cross-segment pointer rebased");
         drop(heap);
         let _ = std::fs::remove_file(&path);
     }
@@ -1357,6 +2184,52 @@ mod tests {
         // The swept block is reusable.
         let again = heap.alloc(32).unwrap();
         assert_eq!(again, lost);
+        drop(heap);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn sharded_allocator_round_trips_across_threads() {
+        let path = tmp("sharded");
+        let heap = MappedHeap::create(&path, MIN_HEAP_BYTES).unwrap();
+        let mut handles = Vec::new();
+        for t in 0..4usize {
+            let heap = Arc::clone(&heap);
+            handles.push(std::thread::spawn(move || {
+                tid::set_tid(MAX_PROCS - 8 + t);
+                let mut ptrs = Vec::new();
+                for i in 0..200u64 {
+                    let p = heap.alloc(48).unwrap();
+                    unsafe { (p as *mut u64).write((t as u64) << 32 | i) };
+                    heap.commit(p);
+                    ptrs.push((p, (t as u64) << 32 | i));
+                    if i % 3 == 0 {
+                        let (q, _) = ptrs.swap_remove(ptrs.len() / 2);
+                        unsafe { heap.free(q) };
+                    }
+                }
+                for (p, v) in ptrs {
+                    assert_eq!(unsafe { (p as *const u64).read() }, v);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        drop(heap);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn unsharded_knob_still_allocates() {
+        let path = tmp("unsharded");
+        let heap = MappedHeap::create(&path, MIN_HEAP_BYTES).unwrap();
+        heap.set_use_sharded(false);
+        let a = heap.alloc(64).unwrap();
+        heap.commit(a);
+        unsafe { heap.free(a) };
+        let b = heap.alloc(64).unwrap();
+        assert_eq!(a, b, "cold free list reuses the freed block");
         drop(heap);
         let _ = std::fs::remove_file(&path);
     }

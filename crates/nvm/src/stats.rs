@@ -32,6 +32,19 @@ pub struct Slot {
     /// was already counted in `pwb` when noted; this tracks how much traffic
     /// went through the deferred path.
     pub lines_coalesced: AtomicU64,
+    /// Persistent-heap block allocations ([`crate::MappedHeap::alloc`]).
+    pub heap_allocs: AtomicU64,
+    /// Heap allocations served from a free list (per-thread cache, global
+    /// stack, or cold map) rather than the bump cursor.
+    pub free_list_hits: AtomicU64,
+    /// Slab refills: bump-cursor reservations that carved a batch of blocks
+    /// for a per-thread cache.
+    pub slab_refills: AtomicU64,
+    /// Heap segments added by growth past the initial mapping.
+    pub segments_grown: AtomicU64,
+    /// Milliseconds spent in the parallel phases of attach (validate walk,
+    /// census, sweep). Wall-clock, summed across attaches.
+    pub attach_par_ms: AtomicU64,
 }
 
 struct Table {
@@ -93,6 +106,36 @@ pub fn count_lines_coalesced(n: u64) {
     my_slot().lines_coalesced.fetch_add(n, Relaxed);
 }
 
+/// Record `n` persistent-heap allocations.
+#[inline]
+pub fn count_heap_allocs(n: u64) {
+    my_slot().heap_allocs.fetch_add(n, Relaxed);
+}
+
+/// Record `n` allocations served from a free list.
+#[inline]
+pub fn count_free_list_hits(n: u64) {
+    my_slot().free_list_hits.fetch_add(n, Relaxed);
+}
+
+/// Record `n` per-thread slab refills from the bump cursor.
+#[inline]
+pub fn count_slab_refills(n: u64) {
+    my_slot().slab_refills.fetch_add(n, Relaxed);
+}
+
+/// Record `n` heap segments added by growth.
+#[inline]
+pub fn count_segments_grown(n: u64) {
+    my_slot().segments_grown.fetch_add(n, Relaxed);
+}
+
+/// Record `ms` milliseconds spent in parallel attach phases.
+#[inline]
+pub fn count_attach_par_ms(ms: u64) {
+    my_slot().attach_par_ms.fetch_add(ms, Relaxed);
+}
+
 /// Aggregated snapshot of all per-process counters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct Snapshot {
@@ -110,6 +153,16 @@ pub struct Snapshot {
     pub pwb_elided: u64,
     /// Lines drained from the coalescing set at fences.
     pub lines_coalesced: u64,
+    /// Persistent-heap allocations.
+    pub heap_allocs: u64,
+    /// Allocations served from a free list.
+    pub free_list_hits: u64,
+    /// Per-thread slab refills from the bump cursor.
+    pub slab_refills: u64,
+    /// Heap segments added by growth.
+    pub segments_grown: u64,
+    /// Milliseconds spent in parallel attach phases.
+    pub attach_par_ms: u64,
 }
 
 impl Snapshot {
@@ -123,6 +176,11 @@ impl Snapshot {
             psync: self.psync.saturating_sub(earlier.psync),
             pwb_elided: self.pwb_elided.saturating_sub(earlier.pwb_elided),
             lines_coalesced: self.lines_coalesced.saturating_sub(earlier.lines_coalesced),
+            heap_allocs: self.heap_allocs.saturating_sub(earlier.heap_allocs),
+            free_list_hits: self.free_list_hits.saturating_sub(earlier.free_list_hits),
+            slab_refills: self.slab_refills.saturating_sub(earlier.slab_refills),
+            segments_grown: self.segments_grown.saturating_sub(earlier.segments_grown),
+            attach_par_ms: self.attach_par_ms.saturating_sub(earlier.attach_par_ms),
         }
     }
 }
@@ -138,6 +196,11 @@ pub fn snapshot() -> Snapshot {
         s.psync += slot.psync.load(Relaxed);
         s.pwb_elided += slot.pwb_elided.load(Relaxed);
         s.lines_coalesced += slot.lines_coalesced.load(Relaxed);
+        s.heap_allocs += slot.heap_allocs.load(Relaxed);
+        s.free_list_hits += slot.free_list_hits.load(Relaxed);
+        s.slab_refills += slot.slab_refills.load(Relaxed);
+        s.segments_grown += slot.segments_grown.load(Relaxed);
+        s.attach_par_ms += slot.attach_par_ms.load(Relaxed);
     }
     s
 }
@@ -152,6 +215,11 @@ pub fn reset() {
         slot.psync.store(0, Relaxed);
         slot.pwb_elided.store(0, Relaxed);
         slot.lines_coalesced.store(0, Relaxed);
+        slot.heap_allocs.store(0, Relaxed);
+        slot.free_list_hits.store(0, Relaxed);
+        slot.slab_refills.store(0, Relaxed);
+        slot.segments_grown.store(0, Relaxed);
+        slot.attach_par_ms.store(0, Relaxed);
     }
 }
 

@@ -31,7 +31,9 @@
 //! restart_child_worker --include-ignored` and `ISB_RESTART_DIR` set.
 //!
 //! Seeds: `ISB_RESTART_SEEDS` (default 20) seeded kill points; every failure
-//! message includes the seed.
+//! message includes the seed. The mid-growth matrix sizes itself from
+//! `ISB_RESTART_GROWTH_SEEDS` (default 12) instead, so smoke runs can
+//! shrink the main matrix without starving the growth-window assert.
 
 use isb::hashmap::RHashMap;
 use isb::recovery::Recovered;
@@ -89,8 +91,13 @@ fn restart_child_worker() {
     let seed: u64 = std::env::var("ISB_RESTART_SEED").unwrap().parse().unwrap();
 
     nvm::tid::set_tid(0);
+    // The growth leg shrinks the initial segment so the fill outgrows it.
+    let heap_bytes: usize = std::env::var("ISB_RESTART_HEAP_BYTES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(HEAP_BYTES);
     let (map, _summary) =
-        RHashMap::<MappedNvm, 0>::attach_sized(heap_path(&dir), SHARDS, HEAP_BYTES)
+        RHashMap::<MappedNvm, 0>::attach_sized(heap_path(&dir), SHARDS, heap_bytes)
             .expect("child attach");
     let map = Arc::new(map);
     // Signal readiness only once the heap is fully created.
@@ -199,6 +206,14 @@ fn model_apply(model: &mut HashMap<u64, u64>, op: Op, key: u64, seq: u64) -> boo
 }
 
 fn run_one_seed(seed: u64) -> (u64, u64) {
+    let kill_after = Duration::from_millis(30 + (seed * 37) % 170);
+    let (acked, inflight, _segments) = run_one_seed_with(seed, HEAP_BYTES, kill_after);
+    (acked, inflight)
+}
+
+/// One SIGKILL round: returns (acked ops verified, in-flight ops resolved,
+/// heap segments after the parent's re-attach).
+fn run_one_seed_with(seed: u64, heap_bytes: usize, kill_after: Duration) -> (u64, u64, usize) {
     let dir = std::env::temp_dir().join(format!("isb_restart_{}_{seed}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
     std::fs::create_dir_all(&dir).unwrap();
@@ -208,6 +223,7 @@ fn run_one_seed(seed: u64) -> (u64, u64) {
         .args(["--exact", "restart_child_worker", "--include-ignored", "--nocapture"])
         .env("ISB_RESTART_DIR", &dir)
         .env("ISB_RESTART_SEED", seed.to_string())
+        .env("ISB_RESTART_HEAP_BYTES", heap_bytes.to_string())
         .stdout(std::process::Stdio::null())
         .stderr(std::process::Stdio::null())
         .spawn()
@@ -219,7 +235,6 @@ fn run_one_seed(seed: u64) -> (u64, u64) {
         assert!(t0.elapsed() < Duration::from_secs(60), "seed {seed}: child never became ready");
         std::thread::sleep(Duration::from_millis(2));
     }
-    let kill_after = Duration::from_millis(30 + (seed * 37) % 170);
     std::thread::sleep(kill_after);
     child.kill().expect("SIGKILL child"); // SIGKILL on unix: no cleanup runs
     child.wait().expect("reap child");
@@ -227,7 +242,7 @@ fn run_one_seed(seed: u64) -> (u64, u64) {
     // Re-attach FROM THIS PROCESS and recover.
     nvm::tid::set_tid(0);
     let (mut map, summary) =
-        RHashMap::<MappedNvm, 0>::attach_sized(heap_path(&dir), SHARDS, HEAP_BYTES)
+        RHashMap::<MappedNvm, 0>::attach_sized(heap_path(&dir), SHARDS, heap_bytes)
             .unwrap_or_else(|e| panic!("seed {seed}: parent attach failed: {e}"));
 
     let mut union: HashMap<u64, u64> = HashMap::new();
@@ -327,7 +342,7 @@ fn run_one_seed(seed: u64) -> (u64, u64) {
 
     drop(map);
     let _ = std::fs::remove_dir_all(&dir);
-    (acked_ops, inflight_ops)
+    (acked_ops, inflight_ops, summary.heap.segments)
 }
 
 /// The cross-process SIGKILL matrix: seeded kill points, zero lost acked
@@ -348,6 +363,45 @@ fn restart_sigkill_recovers_across_processes() {
          {total_inflight} in-flight ops detectably resolved"
     );
     assert!(total_acked > 0, "no seed produced any acked work — kill timing broken");
+}
+
+/// The growth crash window: the same SIGKILL matrix over a heap whose
+/// initial segment (64 KiB) is far smaller than the working set, so every
+/// run with meaningful progress extends the file, stamps segment-directory
+/// entries and publishes new segments while the workload hammers it — and
+/// kill points are drawn tighter around that early growth phase. Zero lost
+/// acked ops, every in-flight op detectably resolved, and the matrix as a
+/// whole must actually have grown past segment 0 (single seeds may die
+/// before the first growth; that window is the point).
+#[test]
+fn restart_sigkill_mid_growth_recovers() {
+    // Deliberately NOT `ISB_RESTART_SEEDS`: the matrix-wide growth assert
+    // below needs enough kill points that at least one lands after the
+    // first segment growth, so a 1-seed smoke setting must not shrink it.
+    let seeds: u64 =
+        std::env::var("ISB_RESTART_GROWTH_SEEDS").ok().and_then(|s| s.parse().ok()).unwrap_or(12);
+    let mut total_acked = 0;
+    let mut total_inflight = 0;
+    let mut max_segments = 0;
+    for seed in 0..seeds {
+        // 1..=56 ms after readiness: clustered on the fill ramp, where the
+        // allocation rate (and thus growth) is highest.
+        let kill_after = Duration::from_millis(1 + (seed * 5) % 56);
+        let (acked, inflight, segments) =
+            run_one_seed_with(seed, nvm::mapped::MIN_HEAP_BYTES, kill_after);
+        total_acked += acked;
+        total_inflight += inflight;
+        max_segments = max_segments.max(segments);
+    }
+    println!(
+        "mid-growth matrix: {seeds} kills, {total_acked} acked ops verified, \
+         {total_inflight} in-flight ops detectably resolved, max {max_segments} segments"
+    );
+    assert!(total_acked > 0, "no seed produced any acked work — kill timing broken");
+    assert!(
+        max_segments > 1,
+        "no seed ever outgrew the 64 KiB initial segment — the growth window was not exercised"
+    );
 }
 
 // ---------------------------------------------------------------------------
