@@ -93,7 +93,7 @@ fn parse_args() -> Opts {
 
 const ALL_FIGS: &[&str] = &[
     "fig1a", "fig1b", "fig1c", "fig1d", "fig1e", "fig1f", "fig3", "fig4", "fig5", "fig6", "fig7",
-    "fig8", "fig9", "fig10", "fig11", "fig12", "fig13",
+    "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14",
 ];
 
 /// The list algorithms of the figures, by paper name.
@@ -913,9 +913,217 @@ impl Ctx {
         self.emit("fig13_counters", &t_ctr);
         let _ = std::fs::remove_dir_all(&dir);
     }
+
+    /// Live peer kill — Figure 14 (beyond the paper, PR 8): the service-level
+    /// cost of losing one of two live processes sharing a heap. The parent
+    /// hammers the shared map in 10 ms buckets while a child process (same
+    /// binary, `ISB_FIG14_CHILD`) hammers it too; mid-run the child is
+    /// SIGKILLed and the parent's healer thread detects the dead pid, claims
+    /// the recovery lease, replays the dead band, releases its epoch pins and
+    /// frees the slot — all while the parent's workload thread keeps serving.
+    /// Reported per store size: steady-state vs dip vs post-recovery
+    /// throughput, detection and recovery latency, and the recovery counters
+    /// (`peers_recovered` / `leases_stolen` / `epoch_stalls`).
+    fn fig14(&self) {
+        use isb::store::Store;
+        use nvm::mapped::MappedHeap;
+        use std::sync::atomic::{AtomicU64, Ordering};
+        use std::time::Instant;
+
+        const BUCKET: Duration = Duration::from_millis(10);
+        const PRE: Duration = Duration::from_millis(150);
+        const POST: Duration = Duration::from_millis(150);
+        const CAP: Duration = Duration::from_secs(5);
+
+        let dir = std::env::temp_dir().join(format!("isb_fig14_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut t_tp = Table::new(
+            "Figure 14: throughput across a live peer SIGKILL (16 shards, 64 MiB shared heap, \
+             parent + 1 child, 10 ms buckets)"
+                .to_string(),
+            vec![
+                "baseline Mops/s".into(),
+                "dip Mops/s".into(),
+                "dip %".into(),
+                "post Mops/s".into(),
+                "detect ms".into(),
+                "recover ms".into(),
+            ],
+        );
+        let mut t_ctr = Table::new(
+            "Figure 14: online-recovery counters (parent process, per run)".to_string(),
+            vec!["peers_recovered".into(), "leases_stolen".into(), "epoch_stalls".into()],
+        );
+        for &keys in &[1_000u64, 10_000, 50_000] {
+            let path = dir.join(format!("kill_{keys}.heap"));
+            let _ = std::fs::remove_file(&path);
+            let ready = dir.join(format!("ready_{keys}"));
+
+            nvm::tid::set_tid(0);
+            let store =
+                Arc::new(Store::open_shared_sized(&path, FIG14_HEAP_BYTES).expect("parent open"));
+            let slot = store.heap().my_participant().expect("parent slot");
+            let band = MappedHeap::tid_band(slot);
+            nvm::tid::set_tid(band.start);
+            let map = store.hashmap::<0>("users", 16).expect("users");
+            for k in 1..=keys {
+                map.insert(band.start, k);
+            }
+
+            let mut child = std::process::Command::new(std::env::current_exe().unwrap())
+                .env("ISB_FIG14_CHILD", &dir)
+                .env("ISB_FIG14_HEAP", &path)
+                .env("ISB_FIG14_READY", &ready)
+                .env("ISB_FIG14_KEYS", keys.to_string())
+                .stdout(std::process::Stdio::null())
+                .stderr(std::process::Stdio::null())
+                .spawn()
+                .expect("spawn fig14 child");
+            while !ready.exists() {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+
+            // detect/done instants as nanos-from-t0 (0 = not yet).
+            let detect_ns = AtomicU64::new(0);
+            let done_ns = AtomicU64::new(0);
+            let s0 = nvm::stats::snapshot();
+            let t0 = Instant::now();
+            let mut buckets: Vec<u64> = Vec::new();
+            std::thread::scope(|s| {
+                let healer = {
+                    let store = Arc::clone(&store);
+                    let (detect_ns, done_ns) = (&detect_ns, &done_ns);
+                    let healer_tid = band.start + 1;
+                    s.spawn(move || {
+                        nvm::tid::set_tid(healer_tid);
+                        loop {
+                            if let Some(&dead) = store.dead_peers().first() {
+                                detect_ns.store(t0.elapsed().as_nanos() as u64, Ordering::SeqCst);
+                                if store.claim_recovery(dead) {
+                                    store.recover_peer(dead).expect("recover dead peer");
+                                }
+                                done_ns.store(t0.elapsed().as_nanos() as u64, Ordering::SeqCst);
+                                return;
+                            }
+                            if t0.elapsed() > CAP {
+                                return;
+                            }
+                            std::thread::sleep(Duration::from_micros(500));
+                        }
+                    })
+                };
+
+                // Workload loop: per-bucket op counts; the child is killed at
+                // the end of the PRE window, and the loop runs until POST past
+                // the healer's completion (or the cap).
+                let mut rng = 0x9e37_79b9_7f4a_7c15u64 ^ keys;
+                let mut killed = false;
+                let mut ops_in_bucket = 0u64;
+                let mut bucket_end = BUCKET;
+                loop {
+                    let el = t0.elapsed();
+                    if el >= bucket_end {
+                        buckets.push(ops_in_bucket);
+                        ops_in_bucket = 0;
+                        bucket_end += BUCKET;
+                    }
+                    if !killed && el >= PRE {
+                        child.kill().expect("SIGKILL fig14 child");
+                        killed = true;
+                    }
+                    let done = done_ns.load(Ordering::SeqCst);
+                    if (done != 0 && el >= Duration::from_nanos(done) + POST) || el > CAP {
+                        buckets.push(ops_in_bucket);
+                        break;
+                    }
+                    let r = splitmix(&mut rng);
+                    let k = 1 + splitmix(&mut rng) % keys;
+                    match r % 4 {
+                        0 => map.insert(band.start, k),
+                        1 => map.delete(band.start, k),
+                        _ => map.find(band.start, k),
+                    };
+                    ops_in_bucket += 1;
+                }
+                healer.join().unwrap();
+            });
+            let _ = child.wait();
+            let d = nvm::stats::snapshot().since(&s0);
+
+            let detect = Duration::from_nanos(detect_ns.load(Ordering::SeqCst));
+            let done = Duration::from_nanos(done_ns.load(Ordering::SeqCst));
+            assert!(done > Duration::ZERO, "fig14: the dead peer was never recovered");
+            let rate = |b: u64| b as f64 / BUCKET.as_secs_f64() / 1e6;
+            let b_of = |t: Duration| (t.as_nanos() / BUCKET.as_nanos()) as usize;
+            let (kill_b, done_b) = (b_of(PRE), b_of(done).min(buckets.len() - 1));
+            let mean = |r: &[u64]| r.iter().map(|&b| rate(b)).sum::<f64>() / r.len().max(1) as f64;
+            let baseline = mean(&buckets[..kill_b.max(1)]);
+            let dip =
+                buckets[kill_b..=done_b].iter().map(|&b| rate(b)).fold(f64::INFINITY, f64::min);
+            let post = mean(&buckets[(done_b + 1).min(buckets.len() - 1)..]);
+            t_tp.row(
+                keys.to_string(),
+                vec![
+                    baseline,
+                    dip,
+                    100.0 * dip / baseline.max(f64::MIN_POSITIVE),
+                    post,
+                    (detect - PRE).as_secs_f64() * 1e3,
+                    (done - PRE).as_secs_f64() * 1e3,
+                ],
+            );
+            t_ctr.row(
+                keys.to_string(),
+                vec![d.peers_recovered as f64, d.leases_stolen as f64, d.epoch_stalls as f64],
+            );
+            drop((map, store));
+            let _ = std::fs::remove_file(&path);
+        }
+        self.emit("fig14_timeline", &t_tp);
+        self.emit("fig14_counters", &t_ctr);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+const FIG14_HEAP_BYTES: usize = 64 << 20;
+
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// The fig14 child: joins the shared heap and hammers the map until the
+/// parent SIGKILLs it (it never exits on its own).
+fn fig14_child() -> ! {
+    use isb::store::Store;
+    let path = std::env::var("ISB_FIG14_HEAP").unwrap();
+    let keys: u64 = std::env::var("ISB_FIG14_KEYS").unwrap().parse().unwrap();
+    nvm::tid::set_tid(0);
+    let store = Store::open_shared_sized(&path, FIG14_HEAP_BYTES).expect("child shared open");
+    let slot = store.heap().my_participant().expect("child slot");
+    let t = nvm::mapped::MappedHeap::tid_band(slot).start;
+    nvm::tid::set_tid(t);
+    let map = store.hashmap::<0>("users", 16).expect("users");
+    std::fs::write(std::env::var("ISB_FIG14_READY").unwrap(), b"").unwrap();
+    let mut rng = 0xdead_beef_cafe_f00du64;
+    loop {
+        let r = splitmix(&mut rng);
+        let k = 1 + splitmix(&mut rng) % keys;
+        match r % 4 {
+            0 => map.insert(t, k),
+            1 => map.delete(t, k),
+            _ => map.find(t, k),
+        };
+    }
 }
 
 fn main() {
+    if std::env::var_os("ISB_FIG14_CHILD").is_some() {
+        fig14_child();
+    }
     let opts = parse_args();
     println!(
         "pwb/psync in RealNvm: {} (shared-cache figures are only comparable \
@@ -1004,6 +1212,7 @@ fn main() {
             "fig11" => ctx.fig11(),
             "fig12" => ctx.fig12(),
             "fig13" => ctx.fig13(),
+            "fig14" => ctx.fig14(),
             other => panic!("unknown figure {other}"),
         }
     }

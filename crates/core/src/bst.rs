@@ -680,7 +680,7 @@ impl<const ARM: u8> MappedLayout for RBst<MappedNvm, ARM> {
     }
 
     fn open(env: &AttachEnv, _cfg: (), root_blk: *mut u8) -> Result<Self, AttachError> {
-        let collector = Collector::new();
+        let collector = env.collector();
         let info_pool = env.info_pool();
         let node_pool = Pool::new_for::<MappedNvm>(env.pool_cfg(), &collector);
         let root_w = root_blk as *mut u64;

@@ -131,6 +131,13 @@ pub struct Info<M: Persist> {
     /// Volatile: handle of the owning [`crate::pool::Pool`] (null ⇒ plain
     /// heap allocation). Written once at pool refill, read at retirement.
     owner: AtomicPtr<()>,
+    /// Volatile: participant slot + 1 of the process whose pool owns this
+    /// descriptor (0 ⇒ exclusive heap / plain allocation — no cross-process
+    /// ambiguity). In a *shared* mapped heap the `owner` pointer above is
+    /// only meaningful inside the owning process's address space: a peer
+    /// performing the final release must not dereference it. Written at
+    /// pool refill, read at retirement.
+    owner_slot: AtomicU32,
     /// Volatile: set by [`help`] before its first tag CAS. While false the
     /// descriptor is provably private — its address was never installed in
     /// a shared cell, so at refcount zero it can re-enter the pool without
@@ -158,12 +165,17 @@ impl<M: Persist> PoolItem for Info<M> {
             w1: Default::default(),
             installs: AtomicU32::new(0),
             owner: AtomicPtr::new(std::ptr::null_mut()),
+            owner_slot: AtomicU32::new(0),
             shared: AtomicBool::new(false),
         }
     }
 
     fn attach(&mut self, pool: *const ()) {
         *self.owner.get_mut() = pool as *mut ();
+    }
+
+    fn attach_slot(&mut self, slot: u32) {
+        *self.owner_slot.get_mut() = slot;
     }
 
     fn count_reuse() {
@@ -368,6 +380,18 @@ impl<M: Persist> Info<M> {
         let prev = i.installs.fetch_sub(n, Ordering::AcqRel);
         debug_assert!(prev >= n, "info reference-count underflow ({prev} - {n})");
         if prev == n {
+            let oslot = i.owner_slot.load(Ordering::Relaxed);
+            if oslot != 0 && oslot != my_participant_slot() {
+                // Shared heap, and the descriptor's pool belongs to ANOTHER
+                // process (a peer, possibly dead): its `owner` pointer is an
+                // address in that process's heap — dereferencing it here
+                // would be arbitrary-memory corruption. Leak the descriptor
+                // instead; the block stays allocated in the arena and the
+                // next full (exclusive) attach sweeps it. Bounded: final
+                // releases of foreign descriptors only happen when a peer
+                // died mid-operation or handed off helping.
+                return;
+            }
             let owner = i.owner.load(Ordering::Relaxed) as *const ();
             if !owner.is_null() && !i.shared.load(Ordering::Acquire) {
                 // Never passed through `help` ⇒ never installed in a shared
@@ -434,13 +458,27 @@ impl<M: Persist> Info<M> {
     /// # Safety
     /// Quiescent exclusive access (attach-time recovery only); `count` must
     /// equal the number of places that reference this descriptor (info
-    /// cells holding its address plus `RD_q` slots naming it), and `owner`
-    /// must be the new structure's Info-pool handle (or null).
-    pub unsafe fn reset_after_attach(&self, count: u32, owner: *const ()) {
+    /// cells holding its address plus `RD_q` slots naming it), `owner`
+    /// must be the new structure's Info-pool handle (or null), and
+    /// `owner_slot` the attaching process's participant slot + 1 (0 for an
+    /// exclusive attach).
+    pub unsafe fn reset_after_attach(&self, count: u32, owner: *const (), owner_slot: u32) {
         self.installs.store(count, Ordering::Release);
         self.owner.store(owner as *mut (), Ordering::Release);
+        self.owner_slot.store(owner_slot, Ordering::Release);
         self.shared.store(true, Ordering::Release);
     }
+}
+
+/// The calling thread's participant slot + 1, derived from the tid-banding
+/// convention of shared heaps: participant slot `s` owns tids
+/// `s * PART_TIDS .. (s + 1) * PART_TIDS` (see
+/// [`nvm::mapped::MappedHeap::tid_band`]). Exclusive-mode descriptors carry
+/// `owner_slot == 0` and never reach the comparison, so the convention only
+/// binds processes that joined a shared heap.
+#[inline]
+fn my_participant_slot() -> u32 {
+    (nvm::tid::tid() / nvm::mapped::PART_TIDS) as u32 + 1
 }
 
 thread_local! {

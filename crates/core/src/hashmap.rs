@@ -368,7 +368,7 @@ impl<const ARM: u8> MappedLayout for RHashMap<MappedNvm, ARM> {
 
     fn open(env: &AttachEnv, shards: usize, root: *mut u8) -> Result<Self, AttachError> {
         assert!(shards.is_power_of_two(), "shard count must be a power of two, got {shards}");
-        let collector = Collector::new();
+        let collector = env.collector();
         let pools = SetPools::with_shared_info(env.info_pool(), env.pool_cfg(), &collector);
         let heads_w = root as *mut u64;
         let mut heads = Vec::with_capacity(shards);

@@ -229,7 +229,7 @@ impl<const ARM: u8> MappedLayout for RList<MappedNvm, ARM> {
     }
 
     fn open(env: &AttachEnv, _cfg: (), root_blk: *mut u8) -> Result<Self, AttachError> {
-        let collector = Collector::new();
+        let collector = env.collector();
         let pools = SetPools::with_shared_info(env.info_pool(), env.pool_cfg(), &collector);
         let root_w = root_blk as *mut u64;
         // SAFETY: committed 8-byte root block, single-threaded attach.

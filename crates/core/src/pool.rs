@@ -58,6 +58,11 @@ pub trait PoolItem: Send + Sized + 'static {
     /// (structures whose retirement site cannot see the pool — the Info
     /// descriptor released inside the engine — store it; nodes ignore it).
     fn attach(&mut self, _pool: *const ()) {}
+    /// Called once per object with the owning process's participant slot + 1
+    /// (0 ⇒ exclusive heap). On *shared* mapped heaps the Info descriptor
+    /// stores it so a peer performing the final release can recognise a
+    /// foreign pool handle and leak instead of dereferencing it.
+    fn attach_slot(&mut self, _slot: u32) {}
     /// Counter hook: the object was served from a free list.
     fn count_reuse() {}
 }
@@ -282,6 +287,11 @@ impl<T: PoolItem> Pool<T> {
             // The arena grows new segments on demand, so this panic now
             // means the VA reservation (or a `create_bounded` cap) is
             // genuinely exhausted, not that the initial size was guessed low.
+            let oslot = if heap.is_shared() {
+                heap.my_participant().map_or(0, |s| s as u32 + 1)
+            } else {
+                0
+            };
             for _ in 0..refill {
                 let raw = heap
                     .alloc(std::mem::size_of::<T>())
@@ -292,6 +302,7 @@ impl<T: PoolItem> Pool<T> {
                 unsafe {
                     raw.write(T::fresh());
                     (*raw).attach(owner);
+                    (*raw).attach_slot(oslot);
                 }
                 heap.commit(raw as *mut u8);
                 list.push(raw);

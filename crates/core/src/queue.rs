@@ -9,6 +9,19 @@
 //! whose linkage is already durable, so it can never point past the
 //! persisted frontier after a crash (it may lag; walking `next` heals it).
 //!
+//! The tail hint lives **in the anchor**, shared by every thread *and every
+//! process* attached to the heap — never cached per attachment. This is
+//! load-bearing for reclamation: a dequeue heals the hint away from the old
+//! sentinel *before* retiring it, so any walk that starts from the hint
+//! either began inside an epoch pin that predates the retirement (EBR keeps
+//! the node alive) or reads the healed value. A per-process copy of the
+//! hint would break that argument — the hint is carried *across* pins, so a
+//! peer's dequeue+retire+recycle can leave a private copy pointing at
+//! recycled memory, and a walk starting there reads a node mid-reuse (in
+//! the worst case the walker's *own* fresh allocation, whose `next == 0`
+//! makes `find_last` return it as "last" and the enqueue link it to
+//! itself).
+//!
 //! * **Enqueue(v)**: locate the last node `l` (tail hint + chase);
 //!   AffectSet = `{l}` (update), WriteSet = `{⟨l.next, Null, newnd⟩}`,
 //!   NewSet = `{newnd}`; response = ack. After `Help` completes, swing
@@ -99,17 +112,21 @@ impl<M: Persist> Drop for Node<M> {
 }
 
 /// The head anchor: a pseudo-node holding the sentinel pointer and an info
-/// cell so dequeues can tag "the head position" like any node.
+/// cell so dequeues can tag "the head position" like any node, plus the
+/// shared tail hint (see module docs for why the hint must not be cached
+/// per process).
 #[repr(C)]
 struct Anchor<M: Persist> {
     ptr: PWord<M>,
     info: PWord<M>,
+    tail: PWord<M>,
 }
 
 unsafe impl<M: Persist> PersistWords<M> for Anchor<M> {
     fn each_word(&self, f: &mut dyn FnMut(&PWord<M>)) {
         f(&self.ptr);
         f(&self.info);
+        f(&self.tail);
     }
 }
 
@@ -162,7 +179,6 @@ impl<M: Persist> std::ops::Deref for AnchorStore<M> {
 /// ```
 pub struct RQueue<M: Persist, const ARM: u8 = 0> {
     head: AnchorStore<M>,
-    tail: PWord<M>,
     rec: RecArea<M>,
     // `collector` must drop before the pools (drop-time drain recycles).
     collector: Collector,
@@ -208,8 +224,8 @@ impl<M: Persist, const ARM: u8> RQueue<M, ARM> {
             head: AnchorStore::Owned(Box::new(Anchor {
                 ptr: PWord::new(s0 as u64),
                 info: PWord::new(0),
+                tail: PWord::new(s0 as u64),
             })),
-            tail: PWord::new(s0 as u64),
             rec: RecArea::new(),
             collector,
             info_pool,
@@ -262,7 +278,7 @@ impl<M: Persist, const ARM: u8> RQueue<M, ARM> {
     /// `last.next == Null` (gather order matters for freshness).
     unsafe fn find_last(&self) -> (*mut Node<M>, u64, u64) {
         unsafe {
-            let start = self.tail.load();
+            let start = self.head.tail.load();
             let mut n = start as *mut Node<M>;
             loop {
                 let info = (*n).info.load();
@@ -328,13 +344,13 @@ impl<M: Persist, const ARM: u8> RQueue<M, ARM> {
                     // stale by a crash image (never moves the hint backward:
                     // success implies the hint still equals walk_start, and
                     // newnd is strictly ahead of it).
-                    let t = if self.tail.cas(walk_start, newnd as u64) == walk_start {
+                    let t = if self.head.tail.cas(walk_start, newnd as u64) == walk_start {
                         walk_start
                     } else {
-                        self.tail.cas(last as u64, newnd as u64)
+                        self.head.tail.cas(last as u64, newnd as u64)
                     };
                     let _ = t;
-                    M::pwb(&self.tail);
+                    M::pwb(&self.head.tail);
                     return;
                 }
                 HelpOutcome::FailedAt(i) => {
@@ -419,7 +435,7 @@ impl<M: Persist, const ARM: u8> RQueue<M, ARM> {
             match unsafe { help::<M, ARM>(info, true, &g) } {
                 HelpOutcome::Done => {
                     // Never leave the tail hint pointing at the retired sentinel.
-                    let _ = self.tail.cas(s as u64, f);
+                    let _ = self.head.tail.cas(s as u64, f);
                     unsafe { self.retire_node(s, &g) };
                     return Some(fval);
                 }
@@ -484,8 +500,8 @@ impl<M: Persist, const ARM: u8> RQueue<M, ARM> {
                 }
                 n = next as *mut Node<M>;
             }
-            self.tail.store(n as u64);
-            M::pwb(&self.tail);
+            self.head.tail.store(n as u64);
+            M::pwb(&self.head.tail);
         }
     }
 
@@ -544,7 +560,7 @@ impl<M: Persist, const ARM: u8> RQueue<M, ARM> {
             assert!(!s.is_null(), "sentinel must exist");
             assert!(!tag::is_tagged((*s).info.load()), "sentinel tagged at quiescence");
             // The tail hint must point to a node on the sentinel chain.
-            let t = self.tail.load();
+            let t = self.head.tail.load();
             let mut n = s;
             let mut on_chain = false;
             while !n.is_null() {
@@ -616,7 +632,7 @@ impl<const ARM: u8> MappedLayout for RQueue<MappedNvm, ARM> {
     }
 
     fn open(env: &AttachEnv, _cfg: (), root: *mut u8) -> Result<Self, AttachError> {
-        let collector = Collector::new();
+        let collector = env.collector();
         let info_pool = env.info_pool();
         let node_pool = Pool::new_for::<MappedNvm>(env.pool_cfg(), &collector);
         let anchor = root as *const Anchor<MappedNvm>;
@@ -628,13 +644,20 @@ impl<const ARM: u8> MappedLayout for RQueue<MappedNvm, ARM> {
                 (*s0).init(0, 0, 0);
                 (*anchor).ptr.store(s0 as u64);
                 (*anchor).info.store(0);
+                (*anchor).tail.store(s0 as u64);
                 MappedNvm::pbarrier_obj(&*anchor);
             }
+            // Images written before the hint moved into the anchor have a
+            // zero third word (root blocks are zeroed at creation, granule-
+            // rounded, so the slot exists). Seed it from the sentinel —
+            // idempotent, and any stale seed is healed by the first walk.
+            if (*anchor).tail.peek() == 0 {
+                (*anchor).tail.store((*anchor).ptr.peek());
+                MappedNvm::pwb(&(*anchor).tail);
+            }
         }
-        let tail0 = unsafe { (*anchor).ptr.peek() };
         Ok(Self {
             head: AnchorStore::Arena(anchor),
-            tail: PWord::new(tail0),
             rec: env.rec_area(),
             collector,
             info_pool,

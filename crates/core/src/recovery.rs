@@ -249,6 +249,21 @@ impl<M: Persist> RecArea<M> {
             M::pbarrier(&s.cp);
         });
     }
+
+    /// Durably resets a dead peer's slot to the fresh state (`CP = 0`,
+    /// `RD = Null`) after a survivor resolved its pending operation
+    /// ([`recover_dead_pid`]). `CP` is cleared (and persisted) **first**: a
+    /// superseding recoverer that reads the slot mid-clear sees `CP = 0`,
+    /// decides `Restart`, and releases the still-published `RD` reference
+    /// exactly as the dead recoverer would have — never a double help of a
+    /// half-torn decision.
+    pub fn clear_slot(&self, pid: usize) {
+        let s = self.slot(pid);
+        s.cp.store(0);
+        M::pbarrier(&s.cp);
+        s.rd.store(0);
+        M::pbarrier(&s.rd);
+    }
 }
 
 /// Outcome of the generic recovery decision (Op-Recover, lines 22–26).
@@ -310,6 +325,60 @@ pub unsafe fn release_prev<M: Persist>(prev: u64, g: &reclaim::Guard<'_>) {
     unsafe { Info::<M>::release(crate::tag::ptr_of(prev), 1, g) };
 }
 
+/// **Online** per-pid recovery: a *survivor* of a shared heap resolves the
+/// pending operation of a SIGKILLed peer while every structure keeps
+/// serving. This is Op-Recover for exactly one pid — `Help` is lock-free
+/// and idempotent, so replaying it concurrently with live traffic is the
+/// ordinary helping path, not a special mode — followed by a durable slot
+/// reset and the release of the slot's descriptor reference.
+///
+/// Direct-tracked announcements ([`crate::tag::DIRECT`]) are left in place
+/// and decided `Restart`: their resolution needs the owning structure's
+/// roots (reachability / claim-stamp reads), which the next full attach
+/// performs; the untouched slot keeps the announced node alive for it.
+///
+/// The sequence is crash-ordered for a recoverer that itself dies: the
+/// reference release runs only *after* `RD` is durably nulled, so a
+/// superseding recoverer either sees the old `RD` (predecessor had not
+/// released — it releases) or `RD = Null` (nothing left to do). A death
+/// between the slot clear and the release leaks one reference; the next
+/// full attach recomputes true counts and sweeps it.
+///
+/// # Safety
+/// `pid` must belong to a participant that is **dead** (liveness-probed)
+/// and whose recovery lease the caller holds
+/// ([`nvm::mapped::MappedHeap::lease_try_claim_for`]) — the lease is what
+/// makes "at most one resolver at a time" true. The published descriptor,
+/// if any, must be a valid `Info` (protocol invariant: persisted before
+/// publication, never freed while published).
+pub unsafe fn recover_dead_pid(
+    rec: &RecArea<MappedNvm>,
+    pid: usize,
+    guard: &reclaim::Guard<'_>,
+) -> Recovered {
+    let (cp, rd) = rec.read(pid);
+    let addr = crate::tag::addr_of(rd);
+    if crate::tag::is_direct(rd) && addr != 0 {
+        return Recovered::Restart;
+    }
+    let decision = if cp != 1 || addr == 0 {
+        Recovered::Restart
+    } else {
+        // SAFETY: caller holds the recovery lease over a validated published
+        // descriptor; help is the ordinary concurrent helping path.
+        unsafe { op_recover::<MappedNvm, 0>(rec, pid, guard) }
+    };
+    rec.clear_slot(pid);
+    if addr != 0 {
+        // SAFETY: the RD slot held one reference on the descriptor and was
+        // durably cleared above, so this release runs at most once across
+        // recoverer supersessions. A foreign-owned final release leaks the
+        // block by design (engine owner-slot guard); full attach sweeps it.
+        unsafe { Info::<MappedNvm>::release(crate::tag::ptr_of(rd), 1, guard) };
+    }
+    decision
+}
+
 /// Root-directory keys the mapped backend registers in a heap's superblock.
 /// One heap hosts one structure (or one [`crate::store::Store`] catalog), so
 /// the keys only need to be unique within this set.
@@ -325,6 +394,9 @@ pub mod rootkeys {
     pub const STRUCT: u64 = 0x5354_5543; // "STUC"
     /// The [`crate::store::Store`] catalog block.
     pub const CATALOG: u64 = 0x4341_5441; // "CATA"
+    /// The shared cross-process epoch region ([`reclaim::Collector::attach_shared`]):
+    /// global epoch + per-participant announce words, one domain per heap.
+    pub const EPOCHS: u64 = 0x4550_4F43; // "EPOC"
 }
 
 use nvm::mapped::{MapError, MappedHeap, MappedNvm};
@@ -437,6 +509,9 @@ pub struct AttachEnv {
     /// The opened (or freshly created) heap.
     pub heap: Arc<MappedHeap>,
     rec_base: *const u8,
+    /// Shared cross-process epoch region (null ⇒ exclusive heap, collectors
+    /// keep private epochs). See [`AttachEnv::collector`].
+    epoch_region: *mut u8,
     info_pool: crate::pool::Pool<Info<MappedNvm>>,
 }
 
@@ -455,7 +530,31 @@ impl AttachEnv {
         rec_base: *const u8,
         info_pool: crate::pool::Pool<Info<MappedNvm>>,
     ) -> Self {
-        Self { heap, rec_base, info_pool }
+        Self { heap, rec_base, epoch_region: std::ptr::null_mut(), info_pool }
+    }
+
+    /// Routes every collector built by [`AttachEnv::collector`] through the
+    /// heap's shared epoch region (the store's shared-mode open does this
+    /// after allocating/initialising the [`rootkeys::EPOCHS`] root block).
+    pub(crate) fn set_epochs(&mut self, region: *mut u8) {
+        self.epoch_region = region;
+    }
+
+    /// A collector for one structure: a plain private-epoch collector on an
+    /// exclusive heap, or one attached to the heap's shared epoch region in
+    /// multi-process mode (every structure and process then forms a single
+    /// epoch domain — required, since a node retired by one process may be
+    /// read by any peer).
+    pub fn collector(&self) -> Collector {
+        let mut c = Collector::new();
+        if !self.epoch_region.is_null() {
+            // SAFETY: the region is the heap's committed EPOCHS root block
+            // (shared_region_bytes() long, 64-aligned), initialised by the
+            // initial attacher before any joiner builds structures, and kept
+            // alive by the heap Arc every structure holds via pool_cfg.
+            unsafe { c.attach_shared(self.epoch_region) };
+        }
+        c
     }
 
     /// A recovery-area view over the heap's shared slot block. Every
@@ -632,6 +731,10 @@ pub fn attach_standalone<L: MappedLayout>(
         });
     }
     let (rec_ptr, _) = heap.root_alloc(rootkeys::RECAREA, RecArea::<MappedNvm>::slots_bytes())?;
+    // Record (fresh) or validate (re-attach) the recovery-area geometry in
+    // the superblock: a binary compiled with different MAX_PROCS / slot
+    // stride must fail typed instead of misreading a peer's slots.
+    heap.validate_rec_geometry(MAX_PROCS as u64, ARENA_SLOT_STRIDE as u64)?;
     let (meta_ptr, _) = heap.root_alloc(rootkeys::META, 16)?;
     let cfg_word = L::cfg_word(cfg);
     // SAFETY: single-threaded attach; committed 16-byte root block.
@@ -868,10 +971,15 @@ pub unsafe fn finish_attach(
             live.insert(p);
         });
     }
+    // Shared heaps: descriptors this attach reclaims are re-owned by *this*
+    // process's pool, so stamp our participant slot (exclusive heaps keep 0).
+    let owner_slot =
+        if heap.is_shared() { heap.my_participant().map_or(0, |s| s as u32 + 1) } else { 0 };
     // SAFETY: quiescent; `info_refs` holds the recomputed true counts
     // (cells + RD slots) and `live` covers roots, graphs, descriptors and
     // this process's caches across every structure in the heap.
-    let swept = unsafe { census_epilogue::<MappedNvm>(heap, &info_refs, owner, &mut live) };
+    let swept =
+        unsafe { census_epilogue::<MappedNvm>(heap, &info_refs, owner, owner_slot, &mut live) };
     Ok((recovered, swept))
 }
 
@@ -945,11 +1053,12 @@ pub unsafe fn census_epilogue<M: Persist>(
     heap: &nvm::mapped::MappedHeap,
     info_refs: &std::collections::HashMap<usize, u32>,
     owner: *const (),
+    owner_slot: u32,
     live: &mut std::collections::HashSet<usize>,
 ) -> usize {
     for (&info, &cnt) in info_refs {
         // SAFETY: quiescent; count/owner per the contract above.
-        unsafe { (*(info as *const Info<M>)).reset_after_attach(cnt, owner) };
+        unsafe { (*(info as *const Info<M>)).reset_after_attach(cnt, owner, owner_slot) };
         live.insert(info);
     }
     // SAFETY: `live` now covers roots, graph, descriptors and caches.

@@ -523,7 +523,7 @@ impl MappedLayout for RStack<MappedNvm> {
     }
 
     fn open(env: &AttachEnv, _cfg: (), root: *mut u8) -> Result<Self, AttachError> {
-        let collector = Collector::new();
+        let collector = env.collector();
         let node_pool = Pool::new_for::<MappedNvm>(env.pool_cfg(), &collector);
         Ok(Self {
             top: TopStore::Arena(root as *const PWord<MappedNvm>),

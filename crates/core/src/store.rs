@@ -40,10 +40,14 @@ use crate::hashmap::RHashMap;
 use crate::list::RList;
 use crate::queue::RQueue;
 use crate::recovery::{
-    finish_attach, rootkeys, AttachEnv, AttachError, AttachSummary, MappedLayout, RecArea, SlotOps,
+    finish_attach, recover_dead_pid, rootkeys, AttachEnv, AttachError, AttachSummary, MappedLayout,
+    RecArea, SlotOps,
 };
 use crate::stack::RStack;
-use nvm::mapped::{CatalogEntry, MapError, MappedHeap, MappedNvm, DEFAULT_HEAP_BYTES};
+use nvm::mapped::{
+    CatalogEntry, LeaseOutcome, MapError, MappedHeap, MappedNvm, DEFAULT_HEAP_BYTES,
+};
+use reclaim::Collector;
 use std::any::Any;
 use std::collections::HashMap;
 use std::path::Path;
@@ -67,6 +71,10 @@ pub struct Store {
     rec_base: *const u8,
     info_pool: crate::pool::Pool<Info<MappedNvm>>,
     catalog: *mut u8,
+    /// Shared cross-process epoch region (null on an exclusive heap): every
+    /// structure's collector attaches here, forming one epoch domain across
+    /// processes.
+    epochs: *mut u8,
     entries: Mutex<HashMap<String, Entry>>,
     summary: AttachSummary,
 }
@@ -91,6 +99,59 @@ impl Store {
     /// when the heap already exists).
     pub fn open_sized(path: impl AsRef<Path>, heap_bytes: usize) -> Result<Self, AttachError> {
         let heap = MappedHeap::open(path.as_ref(), heap_bytes)?;
+        Self::attach_heap(heap)
+    }
+
+    /// Opens the store heap at `path` for **shared multi-process** use
+    /// (at [`DEFAULT_HEAP_BYTES`] on creation): up to
+    /// [`nvm::mapped::PART_SLOTS`] processes attach the same heap
+    /// concurrently. The *initial* attacher (file absent, or no live
+    /// participant registered) runs the full restart-recovery sequence
+    /// under the heap file's attach lock before admitting joiners; a
+    /// *joiner* adopts the already-recovered image without replaying.
+    ///
+    /// Every thread of a shared-mode process must register a tid inside the
+    /// process's participant band ([`MappedHeap::tid_band`] of
+    /// [`MappedHeap::my_participant`]) so recovery slots, epoch announce
+    /// words and allocator caches stay per-process disjoint.
+    pub fn open_shared(path: impl AsRef<Path>) -> Result<Self, AttachError> {
+        Self::open_shared_sized(path, DEFAULT_HEAP_BYTES)
+    }
+
+    /// [`Store::open_shared`] with an explicit creation size.
+    pub fn open_shared_sized(
+        path: impl AsRef<Path>,
+        heap_bytes: usize,
+    ) -> Result<Self, AttachError> {
+        Self::open_shared_with(path, heap_bytes, nvm::liveness::default_probe())
+    }
+
+    /// [`Store::open_shared`] with an injected pid-liveness probe (tests
+    /// drive "falsely dead" / pid-reuse verdicts through this).
+    pub fn open_shared_with(
+        path: impl AsRef<Path>,
+        heap_bytes: usize,
+        live: Arc<dyn nvm::liveness::PidLiveness>,
+    ) -> Result<Self, AttachError> {
+        let heap = MappedHeap::open_shared_with(path.as_ref(), heap_bytes, live)?;
+        if heap.report().joined {
+            return Self::join_shared(heap);
+        }
+        // Initial attacher: full recovery runs while the attach flock is
+        // still held, so joiners only ever see a recovered, serviceable
+        // image. Release it even when recovery fails — a wedged lock would
+        // otherwise block every future open until this process exits.
+        let store = Self::attach_heap(Arc::clone(&heap));
+        heap.release_attach_lock();
+        store
+    }
+
+    /// The common single-owner attach body: construct every cataloged
+    /// entry, then (unless fresh) run the full recovery sequence. Works for
+    /// exclusive heaps and for the shared-mode *initial* attacher (which at
+    /// this point is the sole live participant, serialized by the attach
+    /// flock).
+    fn attach_heap(heap: Arc<MappedHeap>) -> Result<Self, AttachError> {
         let fresh = heap.kind() == 0;
         if !fresh && heap.kind() != KIND_STORE {
             return Err(AttachError::WrongKind {
@@ -101,8 +162,24 @@ impl Store {
         }
         let (rec_base, _) =
             heap.root_alloc(rootkeys::RECAREA, RecArea::<MappedNvm>::slots_bytes())?;
+        heap.validate_rec_geometry(
+            nvm::MAX_PROCS as u64,
+            crate::recovery::ARENA_SLOT_STRIDE as u64,
+        )?;
         let catalog = heap.catalog_root(rootkeys::CATALOG)?;
-        let env = AttachEnv::new(Arc::clone(&heap), rec_base);
+        let mut env = AttachEnv::new(Arc::clone(&heap), rec_base);
+        let epochs = if heap.is_shared() {
+            let (e, _) = heap.root_alloc(rootkeys::EPOCHS, reclaim::shared_region_bytes())?;
+            // SAFETY: committed root block of the required size; we are the
+            // sole live participant (attach flock held), so re-initialising
+            // over a prior run's stale pins is safe — and required, since a
+            // SIGKILLed fleet leaves announce words pinned forever.
+            unsafe { Collector::init_shared_region(e) };
+            env.set_epochs(e);
+            e
+        } else {
+            std::ptr::null_mut()
+        };
         // SAFETY: `catalog` is this heap's committed catalog block.
         let cataloged = unsafe { heap.catalog_entries(catalog) }?;
         // Construct every existing entry (kind-dispatched) so recovery can
@@ -119,6 +196,9 @@ impl Store {
         } else {
             let rec = env.rec_area();
             let mut extra_live = vec![rec_base as usize, catalog as usize];
+            if !epochs.is_null() {
+                extra_live.push(epochs as usize);
+            }
             extra_live.extend(metas.iter().map(|e| e.root as usize));
             // SAFETY: quiescent attach (no structure operation runs); the
             // driver may fan validation/census out over attach-scoped worker
@@ -142,6 +222,61 @@ impl Store {
             rec_base,
             info_pool: env.info_pool(),
             catalog,
+            epochs,
+            entries: Mutex::new(entries),
+            summary,
+        })
+    }
+
+    /// A joiner's attach: the heap is live and already recovered (the
+    /// initial attacher held the attach lock through recovery), so this
+    /// builds per-process volatile state only — no replay, no scrub, no
+    /// sweep — and adopts every cataloged structure.
+    fn join_shared(heap: Arc<MappedHeap>) -> Result<Self, AttachError> {
+        if heap.kind() != KIND_STORE {
+            return Err(AttachError::WrongKind {
+                name: String::new(),
+                expected: KIND_STORE,
+                found: heap.kind(),
+            });
+        }
+        let (rec_base, _) =
+            heap.root_alloc(rootkeys::RECAREA, RecArea::<MappedNvm>::slots_bytes())?;
+        heap.validate_rec_geometry(
+            nvm::MAX_PROCS as u64,
+            crate::recovery::ARENA_SLOT_STRIDE as u64,
+        )?;
+        let catalog = heap.catalog_root(rootkeys::CATALOG)?;
+        let (epochs, epochs_fresh) =
+            heap.root_alloc(rootkeys::EPOCHS, reclaim::shared_region_bytes())?;
+        if epochs_fresh {
+            // A live store heap always carries the epoch region (the initial
+            // attacher installs it before releasing the lock); its absence
+            // means the image predates shared mode.
+            return Err(MapError::BadSuperblock("shared store without an epoch region").into());
+        }
+        let mut env = AttachEnv::new(Arc::clone(&heap), rec_base);
+        env.set_epochs(epochs);
+        // Peers may have grown the heap past what join mapped; make every
+        // published segment visible before following catalog pointers.
+        heap.refresh_segments()?;
+        // SAFETY: `catalog` is this heap's committed catalog block.
+        let cataloged = unsafe { heap.catalog_entries(catalog) }?;
+        let mut entries = HashMap::new();
+        for e in cataloged {
+            let s = construct_entry(&env, &e)?;
+            entries.insert(
+                e.name,
+                Entry { kind: e.kind, cfg: e.cfg, handle: Arc::from(s.into_any()) },
+            );
+        }
+        let summary = AttachSummary { heap: *heap.report(), recovered: Vec::new(), swept: 0 };
+        Ok(Self {
+            heap,
+            rec_base,
+            info_pool: env.info_pool(),
+            catalog,
+            epochs,
             entries: Mutex::new(entries),
             summary,
         })
@@ -199,15 +334,59 @@ impl Store {
             }
             return Ok(Arc::clone(&e.handle).downcast::<L>().expect("kind/cfg imply the type"));
         }
-        // New entry: root block + catalog record (kind word last), then the
-        // structure's own idempotent root install. No recovery needed — the
-        // entry cannot predate this attach.
-        // SAFETY: committed catalog block; single attach-owner discipline.
-        let root = unsafe {
-            self.heap.catalog_append(self.catalog, name, L::KIND, cfg_word, L::root_bytes(cfg))
-        }?;
         let env = self.env();
-        let s = Arc::new(L::open(&env, cfg, root)?);
+        let s = if self.heap.is_shared() {
+            // Shared heaps: a peer may have created this entry since our
+            // attach. Creation (catalog append + root install) is serialized
+            // under the cross-process file lock, and the catalog is
+            // re-scanned under it — so two processes racing on one name
+            // produce exactly one entry, and the loser adopts it fully
+            // installed.
+            self.heap.with_file_lock(|| -> Result<Arc<L>, AttachError> {
+                self.heap.refresh_segments()?;
+                // SAFETY: committed catalog block.
+                let cataloged = unsafe { self.heap.catalog_entries(self.catalog) }?;
+                if let Some(e) = cataloged.into_iter().find(|e| e.name == name) {
+                    if e.kind != L::KIND {
+                        return Err(AttachError::WrongKind {
+                            name: name.to_string(),
+                            expected: L::KIND,
+                            found: e.kind,
+                        });
+                    }
+                    if e.cfg != cfg_word {
+                        return Err(AttachError::CfgMismatch {
+                            name: name.to_string(),
+                            expected: cfg_word,
+                            found: e.cfg,
+                        });
+                    }
+                    return Ok(Arc::new(L::open(&env, cfg, e.root)?));
+                }
+                // SAFETY: committed catalog block; mutation serialized by
+                // the file lock we hold.
+                let root = unsafe {
+                    self.heap.catalog_append(
+                        self.catalog,
+                        name,
+                        L::KIND,
+                        cfg_word,
+                        L::root_bytes(cfg),
+                    )
+                }?;
+                Ok(Arc::new(L::open(&env, cfg, root)?))
+            })??
+        } else {
+            // New entry: root block + catalog record (kind word last), then
+            // the structure's own idempotent root install. No recovery
+            // needed — the entry cannot predate this attach.
+            // SAFETY: committed catalog block; single attach-owner
+            // discipline.
+            let root = unsafe {
+                self.heap.catalog_append(self.catalog, name, L::KIND, cfg_word, L::root_bytes(cfg))
+            }?;
+            Arc::new(L::open(&env, cfg, root)?)
+        };
         entries.insert(
             name.to_string(),
             Entry {
@@ -255,7 +434,100 @@ impl Store {
     }
 
     fn env(&self) -> AttachEnv {
-        AttachEnv::with_pool(Arc::clone(&self.heap), self.rec_base, self.info_pool.clone())
+        let mut env =
+            AttachEnv::with_pool(Arc::clone(&self.heap), self.rec_base, self.info_pool.clone());
+        if !self.epochs.is_null() {
+            env.set_epochs(self.epochs);
+        }
+        env
+    }
+
+    // -- online peer recovery (shared heaps) --------------------------------
+
+    /// Participant slots whose process is dead (SIGKILLed, pid recycled,
+    /// zombie, or a claim torn mid-flight). Empty on an exclusive heap.
+    pub fn dead_peers(&self) -> Vec<usize> {
+        if !self.heap.is_shared() {
+            return Vec::new();
+        }
+        self.heap.dead_participants()
+    }
+
+    /// Tries to take the recovery lease on dead participant `slot` without
+    /// recovering yet (test harnesses use the split to widen the window in
+    /// which the recoverer itself can be killed; production code calls
+    /// [`Store::recover_peer`]). Re-entrant for the current holder. Returns
+    /// `false` when another *live* survivor holds the lease or the slot is
+    /// already reclaimed.
+    pub fn claim_recovery(&self, slot: usize) -> bool {
+        matches!(self.heap.lease_try_claim(slot), LeaseOutcome::Won { .. })
+    }
+
+    /// Recovers dead participant `slot` under a CAS-claimed recovery lease,
+    /// **while this process keeps serving**: replays Op-Recover for every
+    /// recovery slot in the dead process's tid band, releases its pinned
+    /// epochs (un-wedging reclamation), and reclaims its registry slot.
+    /// Returns the per-tid recovery decisions on success, or `None` when
+    /// another live survivor holds the lease (it will finish the job — a
+    /// recoverer that dies mid-lease is detected and superseded by the next
+    /// caller) or the slot is already reclaimed.
+    pub fn recover_peer(
+        &self,
+        slot: usize,
+    ) -> Result<Option<Vec<(usize, crate::recovery::Recovered)>>, AttachError> {
+        if !self.claim_recovery(slot) {
+            return Ok(None);
+        }
+        // Replay the dead process's (at most one per thread) pending
+        // operations. Help is the ordinary lock-free helping path, so this
+        // runs against live traffic from every survivor.
+        let rec = self.rec_area();
+        let col = self.env().collector();
+        let mut decisions = Vec::new();
+        for pid in MappedHeap::tid_band(slot) {
+            let g = col.pin();
+            // SAFETY: `slot` is liveness-probed dead and we hold its
+            // recovery lease; published descriptors are valid per the
+            // tracking protocol (persisted before publication, never freed
+            // while published).
+            decisions.push((pid, unsafe { recover_dead_pid(&rec, pid, &g) }));
+        }
+        // The dead process can no longer be inside a read-side critical
+        // section: drop its pinned epochs so reclamation advances again.
+        if !self.epochs.is_null() {
+            // SAFETY: the band's announce words belong exclusively to the
+            // dead process's threads.
+            let stalls =
+                unsafe { Collector::release_shared_band(self.epochs, MappedHeap::tid_band(slot)) };
+            nvm::stats::count_epoch_stalls(stalls as u64);
+        }
+        // Registry slot last: clearing it retires the lease with it, and
+        // only a fully-resolved slot may be re-claimed by a new process.
+        self.heap.clear_participant(slot);
+        nvm::stats::count_peers_recovered(1);
+        Ok(Some(decisions))
+    }
+
+    /// Probes for dead peers and recovers each under a lease (the
+    /// "survivor notices a SIGKILLed neighbour" entry point — call it
+    /// periodically, or when an operation observes suspicious stalls).
+    /// Returns the slots this process recovered.
+    pub fn heal_peers(&self) -> Result<Vec<usize>, AttachError> {
+        let mut healed = Vec::new();
+        for slot in self.dead_peers() {
+            if self.recover_peer(slot)?.is_some() {
+                healed.push(slot);
+            }
+        }
+        Ok(healed)
+    }
+
+    /// This process's view of the shared recovery area (per-tid slots).
+    fn rec_area(&self) -> RecArea<MappedNvm> {
+        // SAFETY: `rec_base` is the heap's committed recovery-area root
+        // block, geometry-validated at attach; the heap Arc outlives the
+        // returned area's use inside this call graph.
+        unsafe { RecArea::attach_raw(self.rec_base) }
     }
 }
 
@@ -468,6 +740,92 @@ mod tests {
             }
             other => panic!("expected WrongKind, got {:?}", other.err()),
         }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    /// Shared open → fake dead peer with a published pending operation →
+    /// a survivor's `heal_peers` resolves it online (service never stops)
+    /// and reclaims the registry slot; the data survives a full reopen.
+    #[test]
+    fn shared_heal_recovers_fake_dead_peer_online() {
+        let _gate = crate::counters::gate_shared();
+        nvm::tid::set_tid(0);
+        let path = tmp("sharedheal");
+        let before = nvm::stats::snapshot();
+        {
+            let store = Store::open_shared_sized(&path, 8 << 20).unwrap();
+            assert!(store.heap().is_shared());
+            let slot = store.heap().my_participant().expect("registered");
+            nvm::tid::set_tid(MappedHeap::tid_band(slot).start);
+            let m = store.hashmap::<0>("m", 2).unwrap();
+            let q = store.queue::<0>("q").unwrap();
+            for i in 1..=20u64 {
+                assert!(m.insert(nvm::tid::tid(), i));
+                q.enqueue(nvm::tid::tid(), i);
+            }
+            // A "peer" that died with a pending operation: claim a second
+            // registry slot for a dead pid and publish an operation under a
+            // tid in ITS band (the completed dequeue leaves RD_q holding the
+            // descriptor reference a real SIGKILLed peer would leave).
+            let dead_slot = store.heap().debug_register_peer(u32::MAX as u64 - 7, 1).unwrap();
+            let dead_tid = MappedHeap::tid_band(dead_slot).start;
+            nvm::tid::set_tid(dead_tid);
+            assert_eq!(q.dequeue(dead_tid), Some(1));
+            nvm::tid::set_tid(MappedHeap::tid_band(slot).start);
+            assert_eq!(store.dead_peers(), vec![dead_slot]);
+            let healed = store.heal_peers().unwrap();
+            assert_eq!(healed, vec![dead_slot], "survivor recovered the dead peer");
+            assert!(store.dead_peers().is_empty(), "registry slot reclaimed");
+            assert!(
+                !store.heap().participants().iter().any(|&(s, _, _)| s == dead_slot),
+                "dead peer's slot is free again"
+            );
+            // Service continued throughout: the survivor keeps mutating.
+            assert!(m.insert(nvm::tid::tid(), 1000));
+            // Recovering an already-reclaimed slot is a no-op, not an error.
+            assert!(store.recover_peer(dead_slot).unwrap().is_none());
+        }
+        let after = nvm::stats::snapshot();
+        assert!(after.since(&before).peers_recovered >= 1, "counter surfaced the recovery");
+        {
+            // Full reopen (initial attacher again: no live participants).
+            let store = Store::open_shared_sized(&path, 8 << 20).unwrap();
+            assert!(!store.summary().heap.joined, "no live peers: full attach");
+            let slot = store.heap().my_participant().unwrap();
+            let t = MappedHeap::tid_band(slot).start;
+            nvm::tid::set_tid(t);
+            let m = store.hashmap::<0>("m", 2).unwrap();
+            let q = store.queue::<0>("q").unwrap();
+            for i in 1..=20u64 {
+                assert!(m.find(t, i), "map key {i} lost");
+            }
+            assert!(m.find(t, 1000));
+            // Queue: 1 was dequeued by the dead peer (resolved); 2.. remain.
+            for i in 2..=20u64 {
+                assert_eq!(q.dequeue(t), Some(i), "queue order after heal + reopen");
+            }
+            assert_eq!(q.dequeue(t), None);
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    /// The lease split: `claim_recovery` is re-entrant for its holder, and
+    /// `recover_peer` finishes under an already-held lease.
+    #[test]
+    fn claim_then_recover_is_reentrant() {
+        let _gate = crate::counters::gate_shared();
+        nvm::tid::set_tid(0);
+        let path = tmp("lease");
+        let store = Store::open_shared_sized(&path, 4 << 20).unwrap();
+        let slot = store.heap().my_participant().unwrap();
+        nvm::tid::set_tid(MappedHeap::tid_band(slot).start);
+        let dead = store.heap().debug_register_peer(u32::MAX as u64 - 9, 1).unwrap();
+        assert!(store.claim_recovery(dead));
+        assert!(store.claim_recovery(dead), "re-entrant for the holder");
+        let decisions = store.recover_peer(dead).unwrap().expect("recovery under the held lease");
+        assert_eq!(decisions.len(), nvm::mapped::PART_TIDS, "one decision per band tid");
+        assert!(!store.claim_recovery(dead), "slot reclaimed: lease is gone");
+        drop(store);
         let _ = std::fs::remove_file(&path);
     }
 

@@ -67,6 +67,7 @@
 
 pub mod coalesce;
 pub mod flush;
+pub mod liveness;
 pub mod mapped;
 pub mod pad;
 pub mod persist;
@@ -75,6 +76,7 @@ pub mod sim;
 pub mod stats;
 pub mod tid;
 
+pub use liveness::{PidLiveness, ProcProbe};
 pub use mapped::{MapError, MappedHeap, MappedNvm};
 pub use pad::CachePadded;
 pub use persist::{CountingNvm, NoPersist, Persist, RealNvm};

@@ -1,0 +1,96 @@
+//! Pid-liveness probing for multi-process shared heaps.
+//!
+//! A participant registered in a [`crate::mapped::MappedHeap`] is identified
+//! by its pid **plus a birth stamp** (the process start time from
+//! `/proc/<pid>/stat`, in clock ticks since boot). The pair defeats pid
+//! reuse: a recycled pid gets a fresh start time, so a registry slot whose
+//! recorded birth disagrees with the live process's birth belongs to a dead
+//! peer, even though a process with that pid exists right now.
+//!
+//! The probe sits behind the [`PidLiveness`] trait so tests can inject
+//! adversarial answers — "falsely dead" (a live peer reported dead, which
+//! the recovery-lease CAS must tolerate without double recovery) and
+//! "zombie" (a dead-but-unreaped child, which must count as dead).
+
+use std::sync::Arc;
+
+/// Verdict source for "is the participant `(pid, birth)` still alive?".
+///
+/// Implementations must be cheap enough to call on recovery/arbitration
+/// paths (a few times per lease decision, not per operation).
+pub trait PidLiveness: Send + Sync {
+    /// `true` iff a process with this pid is currently running (not a
+    /// zombie) **and** its start time matches `birth`. `birth == 0` (a slot
+    /// claimed but never fully stamped) never matches a real process.
+    fn is_alive(&self, pid: u64, birth: u64) -> bool;
+}
+
+/// The real probe: parses `/proc/<pid>/stat`.
+///
+/// * missing file → dead (no such process);
+/// * state `Z` (zombie) or `X` (dead) → dead;
+/// * start time (field 22) ≠ `birth` → dead (pid was recycled).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct ProcProbe;
+
+impl PidLiveness for ProcProbe {
+    fn is_alive(&self, pid: u64, birth: u64) -> bool {
+        match proc_stat(pid) {
+            Some((state, start)) => state != 'Z' && state != 'X' && start == birth && birth != 0,
+            None => false,
+        }
+    }
+}
+
+/// Boxed default probe (the attach paths use this unless a test injects).
+pub fn default_probe() -> Arc<dyn PidLiveness> {
+    Arc::new(ProcProbe)
+}
+
+/// `(state, starttime)` of `/proc/<pid>/stat`, or `None` when unreadable.
+///
+/// The comm field (2) is parenthesized and may contain spaces, so parsing
+/// anchors on the **last** `)`: the state is the first token after it and
+/// the start time is token 20 after it (field 22 overall).
+fn proc_stat(pid: u64) -> Option<(char, u64)> {
+    let s = std::fs::read_to_string(format!("/proc/{pid}/stat")).ok()?;
+    let rest = &s[s.rfind(')')? + 1..];
+    let mut toks = rest.split_ascii_whitespace();
+    let state = toks.next()?.chars().next()?;
+    let start = toks.nth(18)?.parse::<u64>().ok()?;
+    Some((state, start))
+}
+
+/// Birth stamp of the calling process (0 when `/proc` is unavailable — on
+/// such platforms mapped heaps are `Unsupported` anyway, so the value is
+/// never compared against a live registry).
+pub fn self_birth() -> u64 {
+    proc_stat(std::process::id() as u64).map_or(0, |(_, start)| start)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn self_is_alive_under_real_probe() {
+        let birth = self_birth();
+        assert_ne!(birth, 0, "/proc should be readable in the test environment");
+        assert!(ProcProbe.is_alive(std::process::id() as u64, birth));
+    }
+
+    #[test]
+    fn wrong_birth_is_dead_pid_reuse() {
+        let birth = self_birth();
+        // Same (live) pid, different birth stamp: the slot belongs to a
+        // previous incarnation — must read as dead.
+        assert!(!ProcProbe.is_alive(std::process::id() as u64, birth + 1));
+        assert!(!ProcProbe.is_alive(std::process::id() as u64, 0));
+    }
+
+    #[test]
+    fn nonexistent_pid_is_dead() {
+        // Linux pids are bounded well below 2^22 by default.
+        assert!(!ProcProbe.is_alive(u32::MAX as u64, 12345));
+    }
+}

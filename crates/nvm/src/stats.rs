@@ -45,6 +45,15 @@ pub struct Slot {
     /// Milliseconds spent in the parallel phases of attach (validate walk,
     /// census, sweep). Wall-clock, summed across attaches.
     pub attach_par_ms: AtomicU64,
+    /// Dead participants of a shared heap recovered online by this process
+    /// (per-pid replay completed and the registry slot reclaimed).
+    pub peers_recovered: AtomicU64,
+    /// Recovery leases taken over from a recoverer that itself died
+    /// mid-recovery (lease CAS supersession).
+    pub leases_stolen: AtomicU64,
+    /// Pinned epoch announcements of dead participants released by the
+    /// recovery path — each one was wedging cross-process reclamation.
+    pub epoch_stalls: AtomicU64,
 }
 
 struct Table {
@@ -136,6 +145,24 @@ pub fn count_attach_par_ms(ms: u64) {
     my_slot().attach_par_ms.fetch_add(ms, Relaxed);
 }
 
+/// Record `n` dead peers recovered online.
+#[inline]
+pub fn count_peers_recovered(n: u64) {
+    my_slot().peers_recovered.fetch_add(n, Relaxed);
+}
+
+/// Record `n` recovery leases stolen from a dead recoverer.
+#[inline]
+pub fn count_leases_stolen(n: u64) {
+    my_slot().leases_stolen.fetch_add(n, Relaxed);
+}
+
+/// Record `n` dead-peer pinned epochs released (reclamation stalls cleared).
+#[inline]
+pub fn count_epoch_stalls(n: u64) {
+    my_slot().epoch_stalls.fetch_add(n, Relaxed);
+}
+
 /// Aggregated snapshot of all per-process counters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct Snapshot {
@@ -163,6 +190,12 @@ pub struct Snapshot {
     pub segments_grown: u64,
     /// Milliseconds spent in parallel attach phases.
     pub attach_par_ms: u64,
+    /// Dead peers recovered online.
+    pub peers_recovered: u64,
+    /// Recovery leases stolen from dead recoverers.
+    pub leases_stolen: u64,
+    /// Dead-peer pinned epochs released by recovery.
+    pub epoch_stalls: u64,
 }
 
 impl Snapshot {
@@ -181,6 +214,9 @@ impl Snapshot {
             slab_refills: self.slab_refills.saturating_sub(earlier.slab_refills),
             segments_grown: self.segments_grown.saturating_sub(earlier.segments_grown),
             attach_par_ms: self.attach_par_ms.saturating_sub(earlier.attach_par_ms),
+            peers_recovered: self.peers_recovered.saturating_sub(earlier.peers_recovered),
+            leases_stolen: self.leases_stolen.saturating_sub(earlier.leases_stolen),
+            epoch_stalls: self.epoch_stalls.saturating_sub(earlier.epoch_stalls),
         }
     }
 }
@@ -201,6 +237,9 @@ pub fn snapshot() -> Snapshot {
         s.slab_refills += slot.slab_refills.load(Relaxed);
         s.segments_grown += slot.segments_grown.load(Relaxed);
         s.attach_par_ms += slot.attach_par_ms.load(Relaxed);
+        s.peers_recovered += slot.peers_recovered.load(Relaxed);
+        s.leases_stolen += slot.leases_stolen.load(Relaxed);
+        s.epoch_stalls += slot.epoch_stalls.load(Relaxed);
     }
     s
 }
@@ -220,6 +259,9 @@ pub fn reset() {
         slot.slab_refills.store(0, Relaxed);
         slot.segments_grown.store(0, Relaxed);
         slot.attach_par_ms.store(0, Relaxed);
+        slot.peers_recovered.store(0, Relaxed);
+        slot.leases_stolen.store(0, Relaxed);
+        slot.epoch_stalls.store(0, Relaxed);
     }
 }
 

@@ -21,6 +21,20 @@
 //! Each data structure owns its own `Collector`, so a stalled thread in one
 //! structure never blocks reclamation in another.
 //!
+//! ## Cross-process epochs (shared mapped heaps)
+//!
+//! When several processes attach one `MappedHeap`, their collectors must
+//! agree on epochs — an address retired by one process may still be read by
+//! another. [`Collector::attach_shared`] redirects the global epoch and the
+//! per-process *announce* words into a caller-provided region of the shared
+//! arena (layout: one cache line for the global epoch, then one line per
+//! process slot holding its announce word and a cross-collector pin depth).
+//! Limbo bags stay process-local: each process frees only what *it* retired,
+//! once the shared epoch has advanced past every announced pin — including
+//! the announcements of peer processes. A SIGKILLed peer leaves its announce
+//! word pinned, which stalls (never corrupts) reclamation until the recovery
+//! path calls [`Collector::release_shared_band`] for the dead slot.
+//!
 //! ## Recycling rules (object pools)
 //!
 //! [`Guard::retire_ctx`] defers an arbitrary *recycle* action instead of a
@@ -76,6 +90,44 @@ const GENS: usize = 3;
 /// How many pins between attempts to advance the global epoch.
 const ADVANCE_PERIOD: u64 = 64;
 
+/// Bytes a shared epoch region occupies: one cache line for the global epoch
+/// plus one per process slot (announce word at offset 0, cross-collector pin
+/// depth at offset 8). See [`Collector::attach_shared`].
+pub const fn shared_region_bytes() -> usize {
+    (1 + MAX_PROCS) * nvm::CACHE_LINE
+}
+
+/// Pointer into a shared epoch region (see [`Collector::attach_shared`]).
+struct SharedEpochs {
+    base: *mut u8,
+}
+
+unsafe impl Send for SharedEpochs {}
+unsafe impl Sync for SharedEpochs {}
+
+impl SharedEpochs {
+    #[inline]
+    fn global(&self) -> &AtomicU64 {
+        // SAFETY: attach contract — `base` points to `shared_region_bytes()`
+        // valid bytes, 8-aligned, outliving the collector.
+        unsafe { &*(self.base as *const AtomicU64) }
+    }
+
+    #[inline]
+    fn announce(&self, pid: usize) -> &AtomicU64 {
+        // SAFETY: as above; `pid < MAX_PROCS` (tid() is bounded).
+        unsafe { &*(self.base.add((1 + pid) * nvm::CACHE_LINE) as *const AtomicU64) }
+    }
+
+    /// Cross-collector pin depth for `pid` — written only by the owning
+    /// process's thread (and by recovery once that process is dead).
+    #[inline]
+    fn depth(&self, pid: usize) -> &AtomicU64 {
+        // SAFETY: as above.
+        unsafe { &*(self.base.add((1 + pid) * nvm::CACHE_LINE + 8) as *const AtomicU64) }
+    }
+}
+
 /// Thread-private reclamation state (owned exclusively by the slot's thread).
 struct Bags {
     depth: u32,
@@ -103,6 +155,9 @@ unsafe impl Sync for Slot {}
 pub struct Collector {
     global: CachePadded<AtomicU64>,
     slots: Vec<CachePadded<Slot>>,
+    /// When `Some`, the global epoch and announce words live in this shared
+    /// region instead of the two fields above ([`Collector::attach_shared`]).
+    shared: Option<SharedEpochs>,
     enabled: bool,
     /// Retired-but-never-freed garbage in disabled mode (freed on drop).
     parked: Mutex<Vec<Garbage>>,
@@ -132,6 +187,7 @@ impl Collector {
         Self {
             global: CachePadded::new(AtomicU64::new(1)),
             slots: (0..MAX_PROCS).map(|_| CachePadded::new(Slot::default())).collect(),
+            shared: None,
             enabled,
             parked: Mutex::new(Vec::new()),
         }
@@ -140,6 +196,95 @@ impl Collector {
     /// Whether this collector actually frees memory.
     pub fn is_enabled(&self) -> bool {
         self.enabled
+    }
+
+    /// Whether this collector's epochs live in a shared region.
+    pub fn is_shared(&self) -> bool {
+        self.shared.is_some()
+    }
+
+    /// Redirects this collector's global epoch and announce words into a
+    /// shared memory region (typically a mapped-heap root block), making
+    /// every collector attached to the same region — across structures *and*
+    /// processes — one epoch domain.
+    ///
+    /// Limbo bags stay process-local: objects retired through this collector
+    /// are freed by this process once the shared epoch advances two steps,
+    /// which requires every live participant to unpin. On drop a shared
+    /// collector **leaks** still-deferred garbage instead of freeing it — a
+    /// peer process may still be pinned reading it, and the blocks live in
+    /// the persistent arena anyway; the sweep of the next full (exclusive)
+    /// attach reclaims them.
+    ///
+    /// Within one process, several collectors (one per structure) may attach
+    /// the same region. They share one announce word per process slot; a
+    /// per-slot depth word makes the announcement re-entrant across
+    /// collectors, so interleaved guards from different structures cannot
+    /// clear each other's pin.
+    ///
+    /// # Safety
+    /// `region` must point to [`shared_region_bytes`] bytes of 8-aligned
+    /// memory shared by all participants, initialised exactly once via
+    /// [`Collector::init_shared_region`], and outliving this collector. Must
+    /// be called before the collector is used (no live guards, nothing
+    /// retired). All participants must agree on [`MAX_PROCS`] and process
+    /// slot assignment.
+    pub unsafe fn attach_shared(&mut self, region: *mut u8) {
+        assert!(self.enabled, "shared epochs require an enabled collector");
+        self.shared = Some(SharedEpochs { base: region });
+    }
+
+    /// Zeroes a shared epoch region and seeds the global epoch to 1 (the
+    /// same starting epoch as a fresh owned collector). The *initial*
+    /// attacher of a shared heap calls this exactly once, before any
+    /// collector attaches; joiners must not (a live region holds peers'
+    /// pins).
+    ///
+    /// # Safety
+    /// `region` must point to [`shared_region_bytes`] writable, 8-aligned
+    /// bytes not currently in use by any collector.
+    pub unsafe fn init_shared_region(region: *mut u8) {
+        unsafe { std::ptr::write_bytes(region, 0, shared_region_bytes()) };
+        let sh = SharedEpochs { base: region };
+        sh.global().store(1, SeqCst);
+    }
+
+    /// Releases the announce words of the process slots in `band` — the
+    /// recovery path calls this for a dead participant's tid band, so an
+    /// epoch pinned at the moment of death stops wedging reclamation.
+    /// Returns how many words were actually found pinned (each was stalling
+    /// global advance).
+    ///
+    /// # Safety
+    /// `region` must be a live shared epoch region and every slot in `band`
+    /// must belong to a dead (or never-started) process: releasing a live
+    /// process's pin would expose it to use-after-free.
+    pub unsafe fn release_shared_band(region: *mut u8, band: std::ops::Range<usize>) -> usize {
+        let sh = SharedEpochs { base: region };
+        let mut stalled = 0;
+        for pid in band {
+            if sh.announce(pid).swap(UNPINNED, SeqCst) != UNPINNED {
+                stalled += 1;
+            }
+            sh.depth(pid).store(0, SeqCst);
+        }
+        stalled
+    }
+
+    #[inline]
+    fn global_word(&self) -> &AtomicU64 {
+        match &self.shared {
+            Some(sh) => sh.global(),
+            None => &self.global,
+        }
+    }
+
+    #[inline]
+    fn announce_of(&self, pid: usize) -> &AtomicU64 {
+        match &self.shared {
+            Some(sh) => sh.announce(pid),
+            None => &self.slots[pid].state,
+        }
     }
 
     /// Pins the calling thread; reclamation of anything retired afterwards
@@ -160,27 +305,50 @@ impl Collector {
         let bags = unsafe { &mut *slot.bags.get() };
         bags.depth += 1;
         if bags.depth == 1 {
-            self.pin_outermost(slot, bags);
+            self.pin_outermost(pid, bags);
         }
         Guard { c: self, pid, active: true }
     }
 
     /// The outermost-pin slow path: announce an epoch, free ripe bags, and
     /// periodically try to advance the global epoch.
-    fn pin_outermost(&self, slot: &Slot, bags: &mut Bags) {
-        let mut epoch = self.global.load(SeqCst);
-        loop {
-            slot.state.store((epoch << 1) | 1, SeqCst);
-            let now = self.global.load(SeqCst);
-            if now == epoch {
-                break;
+    fn pin_outermost(&self, pid: usize, bags: &mut Bags) {
+        let epoch = if let Some(sh) = &self.shared {
+            // Collectors attached to the same region share one announce word
+            // per process slot. Only the first outermost pin across all of
+            // them announces; later ones adopt the already-announced epoch
+            // (older or equal — strictly more conservative for `collect`).
+            // The depth word is written only by the owning thread, so plain
+            // load/store pairs are race-free.
+            let d = sh.depth(pid).load(SeqCst);
+            sh.depth(pid).store(d + 1, SeqCst);
+            if d == 0 {
+                self.announce(sh.announce(pid))
+            } else {
+                sh.announce(pid).load(SeqCst) >> 1
             }
-            epoch = now;
-        }
+        } else {
+            self.announce(&self.slots[pid].state)
+        };
         bags.pins += 1;
         self.collect(bags, epoch);
         if bags.pins.is_multiple_of(ADVANCE_PERIOD) {
             self.try_advance(epoch);
+        }
+    }
+
+    /// Announce-and-stabilise: publish a pin at the current global epoch,
+    /// re-reading until the announced value is the epoch the global held
+    /// *after* the store became visible.
+    fn announce(&self, state: &AtomicU64) -> u64 {
+        let mut epoch = self.global_word().load(SeqCst);
+        loop {
+            state.store((epoch << 1) | 1, SeqCst);
+            let now = self.global_word().load(SeqCst);
+            if now == epoch {
+                return epoch;
+            }
+            epoch = now;
         }
     }
 
@@ -200,13 +368,13 @@ impl Collector {
     }
 
     fn try_advance(&self, epoch: u64) {
-        for slot in &self.slots {
-            let s = slot.state.load(SeqCst);
+        for pid in 0..MAX_PROCS {
+            let s = self.announce_of(pid).load(SeqCst);
             if s != UNPINNED && (s >> 1) != epoch {
                 return;
             }
         }
-        let _ = self.global.compare_exchange(epoch, epoch + 1, SeqCst, SeqCst);
+        let _ = self.global_word().compare_exchange(epoch, epoch + 1, SeqCst, SeqCst);
     }
 
     fn unpin(&self, pid: usize) {
@@ -216,7 +384,18 @@ impl Collector {
         debug_assert!(bags.depth > 0);
         bags.depth -= 1;
         if bags.depth == 0 {
-            slot.state.store(UNPINNED, SeqCst);
+            if let Some(sh) = &self.shared {
+                // Mirror of the shared pin path: only the last collector of
+                // this process to unpin clears the shared announce word.
+                let d = sh.depth(pid).load(SeqCst);
+                debug_assert!(d > 0, "shared unpin without a shared pin");
+                sh.depth(pid).store(d.saturating_sub(1), SeqCst);
+                if d <= 1 {
+                    sh.announce(pid).store(UNPINNED, SeqCst);
+                }
+            } else {
+                slot.state.store(UNPINNED, SeqCst);
+            }
         }
     }
 
@@ -241,8 +420,10 @@ impl Collector {
         // every reader that obtained the pointer before the unlink pinned
         // no later than this load, so it announced at most `e` and blocks
         // advancement beyond `e + 1`, while the bag is freed only once the
-        // global reaches `e + 2`.
-        let e = self.global.load(SeqCst);
+        // global reaches `e + 2`. The same argument carries to shared
+        // regions verbatim: announce words and the global live in memory
+        // with SeqCst semantics regardless of which process wrote them.
+        let e = self.global_word().load(SeqCst);
         let idx = (e % GENS as u64) as usize;
         if bags.bag_epochs[idx] != e {
             // The slot cycled to a new epoch: its old content is ≥3 epochs old.
@@ -291,11 +472,17 @@ impl Collector {
 
 impl Drop for Collector {
     fn drop(&mut self) {
-        for slot in &self.slots {
-            let bags = unsafe { &mut *slot.bags.get() };
-            for bag in &mut bags.bags {
-                for g in bag.drain(..) {
-                    unsafe { g.free() };
+        // Shared mode LEAKS still-deferred garbage instead of force-freeing:
+        // a peer process may still be pinned reading it, and the objects are
+        // persistent-arena blocks — the sweep of the next full (exclusive)
+        // attach reclaims anything unreachable.
+        if self.shared.is_none() {
+            for slot in &self.slots {
+                let bags = unsafe { &mut *slot.bags.get() };
+                for bag in &mut bags.bags {
+                    for g in bag.drain(..) {
+                        unsafe { g.free() };
+                    }
                 }
             }
         }
@@ -540,6 +727,143 @@ mod tests {
         let p = Box::into_raw(Box::new(1u64));
         unsafe { g.retire_ctx(p as *mut u8, std::ptr::null_mut(), nop) };
         drop(unsafe { Box::from_raw(p) }); // unreachable; keeps miri-style hygiene
+    }
+
+    /// An 8-aligned scratch buffer standing in for a mapped-heap root block.
+    fn scratch_region() -> Vec<u64> {
+        vec![0u64; shared_region_bytes() / 8]
+    }
+
+    #[test]
+    fn shared_announce_is_reentrant_across_collectors() {
+        tid::set_tid(0);
+        let mut region = scratch_region();
+        let base = region.as_mut_ptr() as *mut u8;
+        unsafe { Collector::init_shared_region(base) };
+        let (mut a, mut b) = (Collector::new(), Collector::new());
+        unsafe { a.attach_shared(base) };
+        unsafe { b.attach_shared(base) };
+        assert!(a.is_shared());
+
+        // Announce word of process slot 0 (line 1 of the region).
+        let announce0 =
+            || unsafe { &*(base.add(nvm::CACHE_LINE) as *const AtomicU64) }.load(SeqCst);
+        let ga = a.pin();
+        assert_ne!(announce0(), UNPINNED, "pin must announce");
+        let gb = b.pin();
+        drop(gb);
+        // The interleaved guard from the *other* structure must not clear
+        // this process's announcement while `ga` is still live.
+        assert_ne!(announce0(), UNPINNED, "cross-collector unpin cleared a live pin");
+        drop(ga);
+        assert_eq!(announce0(), UNPINNED);
+        drop(a);
+        drop(b);
+    }
+
+    #[test]
+    fn shared_collectors_form_one_epoch_domain() {
+        tid::set_tid(0);
+        let mut region = scratch_region();
+        let base = region.as_mut_ptr() as *mut u8;
+        unsafe { Collector::init_shared_region(base) };
+        let drops = Arc::new(AtomicUsize::new(0));
+        let (mut a, mut b) = (Collector::new(), Collector::new());
+        unsafe { a.attach_shared(base) };
+        unsafe { b.attach_shared(base) };
+
+        {
+            let g = a.pin();
+            let p = Box::into_raw(Box::new(Tracked(Arc::clone(&drops))));
+            unsafe { g.retire_box(p) };
+        }
+        // Churn on B advances the SHARED global epoch...
+        for _ in 0..500 {
+            drop(b.pin());
+        }
+        // ...so a couple of pins on A suffice to collect A's ripe bag.
+        for _ in 0..4 {
+            drop(a.pin());
+        }
+        assert_eq!(drops.load(Relaxed), 1, "peer-collector churn did not ripen the bag");
+        drop(a);
+        drop(b);
+    }
+
+    #[test]
+    fn shared_drop_leaks_deferred_garbage() {
+        tid::set_tid(0);
+        let mut region = scratch_region();
+        let base = region.as_mut_ptr() as *mut u8;
+        unsafe { Collector::init_shared_region(base) };
+        let drops = Arc::new(AtomicUsize::new(0));
+        let mut c = Collector::new();
+        unsafe { c.attach_shared(base) };
+        {
+            let g = c.pin();
+            let p = Box::into_raw(Box::new(Tracked(Arc::clone(&drops))));
+            unsafe { g.retire_box(p) };
+        }
+        drop(c);
+        // Intentional leak: a peer may still be pinned; the next full attach
+        // sweeps. (The test leaks one heap Box — bounded and deliberate.)
+        assert_eq!(drops.load(Relaxed), 0, "shared drop must not force-free");
+    }
+
+    #[test]
+    fn release_shared_band_clears_dead_pins_and_counts_stalls() {
+        let mut region = scratch_region();
+        let base = region.as_mut_ptr() as *mut u8;
+        unsafe { Collector::init_shared_region(base) };
+        let base_addr = base as usize;
+        let drops = Arc::new(AtomicUsize::new(0));
+
+        // A "dead peer": pins on slot 5 and never unpins (guard forgotten —
+        // exactly what a SIGKILL mid-operation leaves behind).
+        {
+            let mut dead = Collector::new();
+            unsafe { dead.attach_shared(base) };
+            std::thread::spawn(move || {
+                tid::set_tid(5);
+                std::mem::forget(dead.pin());
+                dead
+            })
+            .join()
+            .map(drop) // shared drop: leaks bags, leaves the announce pinned
+            .unwrap();
+        }
+
+        // A survivor retires an object; churn cannot ripen it because the
+        // dead peer's announce wedges the global epoch.
+        std::thread::spawn({
+            let drops = Arc::clone(&drops);
+            move || {
+                tid::set_tid(0);
+                let base = base_addr as *mut u8;
+                let mut s = Collector::new();
+                unsafe { s.attach_shared(base) };
+                {
+                    let g = s.pin();
+                    let p = Box::into_raw(Box::new(Tracked(Arc::clone(&drops))));
+                    unsafe { g.retire_box(p) };
+                }
+                for _ in 0..500 {
+                    drop(s.pin());
+                }
+                assert_eq!(drops.load(Relaxed), 0, "advanced past a pinned dead peer");
+                // Recovery releases the dead band: exactly one stall cleared,
+                // and a second release is a no-op.
+                assert_eq!(unsafe { Collector::release_shared_band(base, 5..6) }, 1);
+                assert_eq!(unsafe { Collector::release_shared_band(base, 5..6) }, 0);
+                for _ in 0..500 {
+                    drop(s.pin());
+                }
+                assert_eq!(drops.load(Relaxed), 1, "release did not unwedge reclamation");
+            }
+        })
+        .join()
+        .unwrap();
+        drop(region); // outlived every collector above
     }
 
     #[test]

@@ -1016,6 +1016,537 @@ fn run_one_five_kinds_seed(seed: u64) -> (u64, u64) {
     (acked, inflight)
 }
 
+// ---------------------------------------------------------------------------
+// Kill-one-of-N: N live processes share ONE heap; a SIGKILLed peer is
+// recovered ONLINE by a survivor while service continues
+// ---------------------------------------------------------------------------
+
+const SHARED_PROCS: usize = 3;
+const SHARED_HEAP_BYTES: usize = 32 * 1024 * 1024;
+/// Queue values are `(idx + 1) * QVAL_STRIDE + seq`: globally unique and
+/// attributable to their producer for the per-producer FIFO check.
+const QVAL_STRIDE: u64 = 10_000_000;
+
+fn shared_log_path(dir: &Path, idx: usize) -> PathBuf {
+    dir.join(format!("slog_{idx}.txt"))
+}
+
+/// Child: joins (or creates) the SHARED store heap, spawns a healer thread
+/// that recovers dead peers under a lease (holding it `ISB_RECOVERY_HOLD_MS`
+/// first, so the parent can observe service during recovery — and kill the
+/// recoverer mid-lease), and hammers the shared map + queue with a journal
+/// until the parent writes the stop file.
+#[test]
+#[ignore = "child half of the shared-heap kill matrix; spawned by the parent test"]
+fn shared_child_worker() {
+    let Ok(dir) = std::env::var("ISB_RESTART_DIR") else { return };
+    let dir = PathBuf::from(dir);
+    let idx: usize = std::env::var("ISB_CHILD_IDX").unwrap().parse().unwrap();
+    let seed: u64 = std::env::var("ISB_RESTART_SEED").unwrap().parse().unwrap();
+    let hold = Duration::from_millis(
+        std::env::var("ISB_RECOVERY_HOLD_MS").ok().and_then(|s| s.parse().ok()).unwrap_or(0),
+    );
+
+    nvm::tid::set_tid(0);
+    let store = Arc::new(
+        Store::open_shared_sized(heap_path(&dir), SHARED_HEAP_BYTES).expect("child shared open"),
+    );
+    let slot = store.heap().my_participant().expect("participant slot");
+    let band = nvm::mapped::MappedHeap::tid_band(slot);
+    // Every thread of this process registers a tid inside its band.
+    nvm::tid::set_tid(band.start);
+    let map = store.hashmap::<0>("users", SHARDS).expect("users handle");
+    let queue = store.queue::<0>("jobs").expect("jobs handle");
+    std::fs::write(dir.join(format!("ready_{idx}")), format!("{} {slot}", std::process::id()))
+        .unwrap();
+
+    let stop = dir.join("stop");
+    let healer = {
+        let store = Arc::clone(&store);
+        let dir = dir.clone();
+        let stop = stop.clone();
+        let healer_tid = band.start + 1;
+        std::thread::spawn(move || {
+            nvm::tid::set_tid(healer_tid);
+            while !stop.exists() {
+                for s in store.dead_peers() {
+                    if store.claim_recovery(s) {
+                        // Lease held: the parent observes this marker, then
+                        // asserts survivors (this process included) keep
+                        // acking operations before rec_done appears.
+                        std::fs::write(dir.join(format!("rec_start_{idx}_{s}")), b"").unwrap();
+                        std::thread::sleep(hold);
+                        if let Ok(Some(decisions)) = store.recover_peer(s) {
+                            let body: String = decisions
+                                .iter()
+                                .map(|(pid, d)| match d {
+                                    Recovered::Completed(r) => format!("{pid} C {r}\n"),
+                                    Recovered::Restart => format!("{pid} R\n"),
+                                })
+                                .collect();
+                            std::fs::write(dir.join(format!("rec_done_{idx}_{s}")), body).unwrap();
+                        }
+                    }
+                }
+                std::thread::sleep(Duration::from_millis(10));
+            }
+        })
+    };
+
+    let mut log =
+        OpenOptions::new().create(true).append(true).open(shared_log_path(&dir, idx)).unwrap();
+    let (lo, hi) = key_range(idx + 1); // disjoint 1000-key range per child
+    let mut rng = seed.wrapping_mul(97).wrapping_add(idx as u64 + 1);
+    let mut seq = 0u64;
+    let t = band.start;
+    // Stop is checked BEFORE each op: a graceful exit never leaves an
+    // in-flight record, so unacked journal tails only come from SIGKILLs.
+    while !stop.exists() {
+        seq += 1;
+        let r = splitmix(&mut rng);
+        // System half of the invocation BEFORE the intent record.
+        map.note_invocation(t);
+        if r.is_multiple_of(3) {
+            if (r >> 8).is_multiple_of(2) {
+                let val = (idx as u64 + 1) * QVAL_STRIDE + seq;
+                log.write_all(format!("S {seq} q e {val}\n").as_bytes()).unwrap();
+                queue.enqueue(t, val);
+                log.write_all(format!("A {seq} 1\n").as_bytes()).unwrap();
+            } else {
+                log.write_all(format!("S {seq} q d 0\n").as_bytes()).unwrap();
+                let enc = queue.dequeue(t).map_or("E".to_string(), |v| v.to_string());
+                log.write_all(format!("A {seq} {enc}\n").as_bytes()).unwrap();
+            }
+        } else {
+            let key = lo + splitmix(&mut rng) % (hi - lo + 1);
+            let op = match (r >> 16) % 10 {
+                0..=3 => 'i',
+                4..=6 => 'd',
+                _ => 'f',
+            };
+            log.write_all(format!("S {seq} m {op} {key}\n").as_bytes()).unwrap();
+            let res = match op {
+                'i' => map.insert(t, key),
+                'd' => map.delete(t, key),
+                _ => map.find(t, key),
+            };
+            log.write_all(format!("A {seq} {}\n", res as u8).as_bytes()).unwrap();
+        }
+    }
+    let _ = healer.join();
+}
+
+/// One parsed record of the shared-heap journal.
+#[derive(Debug)]
+struct SharedEntry {
+    seq: u64,
+    /// 'i'/'d'/'f' map ops, 'e'/'x' queue enqueue/dequeue.
+    op: char,
+    /// Map key or enqueue value (0 for dequeues).
+    arg: u64,
+    /// Ack token as written (`"0"`/`"1"`, a value, or `"E"`); `None` = in flight.
+    ack: Option<String>,
+}
+
+fn parse_shared_log(path: &Path) -> Vec<SharedEntry> {
+    let Ok(raw) = std::fs::read(path) else { return Vec::new() };
+    let text = String::from_utf8_lossy(&raw);
+    let mut entries: Vec<SharedEntry> = Vec::new();
+    for line in text.split_inclusive('\n') {
+        if !line.ends_with('\n') {
+            break; // torn final record
+        }
+        let mut it = line.split_whitespace();
+        match it.next() {
+            Some("S") => {
+                let seq: u64 = it.next().unwrap().parse().unwrap();
+                let st = it.next().unwrap();
+                let op = it.next().unwrap().chars().next().unwrap();
+                let arg: u64 = it.next().unwrap().parse().unwrap();
+                let op = if st == "q" {
+                    if op == 'e' {
+                        'e'
+                    } else {
+                        'x'
+                    }
+                } else {
+                    op
+                };
+                entries.push(SharedEntry { seq, op, arg, ack: None });
+            }
+            Some("A") => {
+                let seq: u64 = it.next().unwrap().parse().unwrap();
+                let tok = it.next().unwrap().to_string();
+                let last = entries.last_mut().expect("A without S");
+                assert_eq!(last.seq, seq, "ack out of order in {path:?}");
+                last.ack = Some(tok);
+            }
+            _ => panic!("malformed shared journal line {line:?} in {path:?}"),
+        }
+    }
+    entries
+}
+
+/// Reads the survivor-journaled recovery decision for `tid` out of a
+/// `rec_done_<idx>_<slot>` marker.
+fn marker_decision(dir: &Path, slot: usize, tid: usize) -> Recovered {
+    for idx in 0..SHARED_PROCS {
+        let p = dir.join(format!("rec_done_{idx}_{slot}"));
+        let Ok(body) = std::fs::read_to_string(&p) else { continue };
+        for line in body.lines() {
+            let mut it = line.split_whitespace();
+            let pid: usize = it.next().unwrap().parse().unwrap();
+            if pid != tid {
+                continue;
+            }
+            return match it.next().unwrap() {
+                "C" => Recovered::Completed(it.next().unwrap().parse().unwrap()),
+                _ => Recovered::Restart,
+            };
+        }
+    }
+    panic!("no rec_done marker covers slot {slot} tid {tid}");
+}
+
+fn wait_for(seed: u64, what: &str, mut cond: impl FnMut() -> bool) {
+    let t0 = Instant::now();
+    while !cond() {
+        assert!(t0.elapsed() < Duration::from_secs(60), "seed {seed}: timed out waiting: {what}");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+/// One kill-one-of-N round. `second_kill` additionally SIGKILLs the
+/// *recoverer* mid-lease, so the last survivor must steal the lease and
+/// recover BOTH dead peers. Returns (acked ops verified, in-flight ops
+/// resolved by survivors, progress-during-recovery observed).
+fn run_one_shared_seed(seed: u64, second_kill: bool) -> (u64, u64, bool) {
+    let dir = std::env::temp_dir().join(format!(
+        "isb_shared_restart_{}_{}_{seed}",
+        if second_kill { "kill2" } else { "kill1" },
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+
+    let hold_ms: u64 = if second_kill { 400 } else { 250 };
+    let mut children: Vec<Option<std::process::Child>> = (0..SHARED_PROCS)
+        .map(|idx| {
+            Some(
+                std::process::Command::new(std::env::current_exe().unwrap())
+                    .args(["--exact", "shared_child_worker", "--include-ignored", "--nocapture"])
+                    .env("ISB_RESTART_DIR", &dir)
+                    .env("ISB_CHILD_IDX", idx.to_string())
+                    .env("ISB_RESTART_SEED", seed.to_string())
+                    .env("ISB_RECOVERY_HOLD_MS", hold_ms.to_string())
+                    .stdout(std::process::Stdio::null())
+                    .stderr(std::process::Stdio::null())
+                    .spawn()
+                    .expect("spawn shared child"),
+            )
+        })
+        .collect();
+
+    // idx -> participant slot, from the ready files.
+    let mut slots = [usize::MAX; SHARED_PROCS];
+    for (idx, slot) in slots.iter_mut().enumerate() {
+        let ready = dir.join(format!("ready_{idx}"));
+        wait_for(seed, "child readiness", || ready.exists());
+        *slot = std::fs::read_to_string(&ready)
+            .unwrap()
+            .split_whitespace()
+            .nth(1)
+            .unwrap()
+            .parse()
+            .unwrap();
+    }
+    assert_eq!(
+        {
+            let mut s = slots.to_vec();
+            s.sort_unstable();
+            s.dedup();
+            s.len()
+        },
+        SHARED_PROCS,
+        "seed {seed}: participant slots must be distinct"
+    );
+
+    std::thread::sleep(Duration::from_millis(30 + (seed * 37) % 170));
+    let victim = (seed as usize) % SHARED_PROCS;
+    let mut killed: Vec<usize> = vec![victim];
+    let mut c = children[victim].take().unwrap();
+    c.kill().expect("SIGKILL victim");
+    c.wait().expect("reap victim");
+
+    let rec_start_for = |slot: usize| -> Option<usize> {
+        (0..SHARED_PROCS).find(|idx| dir.join(format!("rec_start_{idx}_{slot}")).exists())
+    };
+    wait_for(seed, "a survivor claiming the victim's recovery lease", || {
+        rec_start_for(slots[victim]).is_some()
+    });
+    let recoverer = rec_start_for(slots[victim]).unwrap();
+    assert_ne!(recoverer, victim, "seed {seed}: the victim cannot recover itself");
+
+    if second_kill {
+        // Kill the recoverer while it holds the lease; the last survivor
+        // must detect it, STEAL the lease, and recover both dead peers.
+        let mut c = children[recoverer].take().unwrap();
+        c.kill().expect("SIGKILL recoverer");
+        c.wait().expect("reap recoverer");
+        killed.push(recoverer);
+    }
+
+    // Progress DURING recovery: while some recovery lease is claimed but not
+    // finished, every remaining survivor must keep acking operations.
+    let live: Vec<usize> = (0..SHARED_PROCS).filter(|i| !killed.contains(i)).collect();
+    let all_done = |killed: &[usize]| {
+        killed.iter().all(|&k| {
+            (0..SHARED_PROCS).any(|idx| dir.join(format!("rec_done_{idx}_{}", slots[k])).exists())
+        })
+    };
+    let sizes: Vec<u64> = live
+        .iter()
+        .map(|&i| std::fs::metadata(shared_log_path(&dir, i)).map_or(0, |m| m.len()))
+        .collect();
+    let recovery_in_flight = !all_done(&killed);
+    std::thread::sleep(Duration::from_millis(120));
+    let mut progress_observed = false;
+    if recovery_in_flight {
+        for (&i, &before) in live.iter().zip(&sizes) {
+            let after = std::fs::metadata(shared_log_path(&dir, i)).map_or(0, |m| m.len());
+            assert!(after > before, "seed {seed}: survivor {i} stalled during a peer's recovery");
+        }
+        progress_observed = true;
+    }
+
+    wait_for(seed, "all dead peers recovered by survivors", || all_done(&killed));
+    std::fs::write(dir.join("stop"), b"").unwrap();
+    for idx in live {
+        let mut c = children[idx].take().unwrap();
+        let status = c.wait().expect("reap survivor");
+        assert!(status.success(), "seed {seed}: survivor {idx} exited dirty: {status:?}");
+    }
+
+    // Final full attach FROM THIS PROCESS (no live participants remain) and
+    // journal verification.
+    nvm::tid::set_tid(0);
+    let store = Store::open_shared_sized(heap_path(&dir), SHARED_HEAP_BYTES)
+        .unwrap_or_else(|e| panic!("seed {seed}: parent shared open failed: {e}"));
+    assert!(!store.summary().heap.joined, "seed {seed}: parent must be the initial attacher");
+    let pslot = store.heap().my_participant().unwrap();
+    let t0 = nvm::mapped::MappedHeap::tid_band(pslot).start;
+    nvm::tid::set_tid(t0);
+    let map = store.hashmap::<0>("users", SHARDS).expect("users handle");
+    let queue = store.queue::<0>("jobs").expect("jobs handle");
+
+    let mut acked = 0u64;
+    let mut inflight = 0u64;
+    // Queue bookkeeping across ALL journals: enqueue order per producer,
+    // globally-observed dequeues, values proven NOT enqueued (Restart).
+    let mut enq_order: HashMap<u64, usize> = HashMap::new(); // val -> per-producer index
+    let mut enq_count = [0usize; SHARED_PROCS];
+    let mut dequeued: Vec<u64> = Vec::new();
+    let mut forbidden: Vec<u64> = Vec::new();
+
+    for idx in 0..SHARED_PROCS {
+        let entries = parse_shared_log(&shared_log_path(&dir, idx));
+        let mut model: std::collections::HashSet<u64> = std::collections::HashSet::new();
+        let n = entries.len();
+        for (i, e) in entries.iter().enumerate() {
+            match &e.ack {
+                Some(tok) => {
+                    acked += 1;
+                    match e.op {
+                        'i' => assert_eq!(
+                            tok == "1",
+                            model.insert(e.arg),
+                            "seed {seed} child {idx} seq {}: acked insert response",
+                            e.seq
+                        ),
+                        'd' => assert_eq!(
+                            tok == "1",
+                            model.remove(&e.arg),
+                            "seed {seed} child {idx} seq {}: acked delete response",
+                            e.seq
+                        ),
+                        'f' => assert_eq!(
+                            tok == "1",
+                            model.contains(&e.arg),
+                            "seed {seed} child {idx} seq {}: acked find response",
+                            e.seq
+                        ),
+                        'e' => {
+                            enq_order.insert(e.arg, enq_count[idx]);
+                            enq_count[idx] += 1;
+                        }
+                        _ => {
+                            if tok != "E" {
+                                dequeued.push(tok.parse().unwrap());
+                            }
+                        }
+                    }
+                }
+                None => {
+                    // In-flight op: only a SIGKILLed child can leave one, it
+                    // must be the journal tail, and a survivor must have
+                    // resolved it detectably (the rec_done marker).
+                    assert!(
+                        killed.contains(&idx),
+                        "seed {seed}: survivor {idx} left an in-flight op"
+                    );
+                    assert_eq!(i, n - 1, "seed {seed} child {idx}: unacked op not last");
+                    inflight += 1;
+                    let band = nvm::mapped::MappedHeap::tid_band(slots[idx]);
+                    let decision = marker_decision(&dir, slots[idx], band.start);
+                    match (decision, e.op) {
+                        (Recovered::Completed(r), 'i') => assert_eq!(
+                            r == RES_TRUE,
+                            model.insert(e.arg),
+                            "seed {seed} child {idx}: recovered insert response"
+                        ),
+                        (Recovered::Completed(r), 'd') => assert_eq!(
+                            r == RES_TRUE,
+                            model.remove(&e.arg),
+                            "seed {seed} child {idx}: recovered delete response"
+                        ),
+                        (Recovered::Completed(r), 'e') => {
+                            assert_eq!(r, RES_UNIT, "seed {seed}: recovered enqueue response");
+                            enq_order.insert(e.arg, enq_count[idx]);
+                            enq_count[idx] += 1;
+                        }
+                        (Recovered::Completed(r), 'x') => {
+                            if r != RES_EMPTY {
+                                dequeued.push(r - RES_VAL_BASE);
+                            }
+                        }
+                        (Recovered::Completed(_), 'f') => {
+                            panic!("seed {seed}: a read-only find cannot recover Completed")
+                        }
+                        (Recovered::Restart, 'e') => forbidden.push(e.arg),
+                        (Recovered::Restart, _) => {} // provably took no effect
+                        (Recovered::Completed(_), op) => {
+                            panic!("seed {seed}: unexpected op {op:?}")
+                        }
+                    }
+                }
+            }
+        }
+        // Map equivalence over this child's disjoint key range — EXACT, with
+        // no in-flight slack: the survivor's journaled decision already told
+        // us whether the dead peer's op took effect.
+        let (lo, hi) = key_range(idx + 1);
+        for k in lo..=hi {
+            assert_eq!(
+                map.find(t0, k),
+                model.contains(&k),
+                "seed {seed} child {idx}: map equivalence diverges at key {k}"
+            );
+        }
+    }
+
+    // Queue accounting: drain the recovered queue, then require every acked
+    // (or Completed-recovered) enqueue to be observed exactly once, nothing
+    // forbidden to appear, and per-producer FIFO order to hold.
+    let mut drained: Vec<u64> = Vec::new();
+    while let Some(v) = queue.dequeue(t0) {
+        drained.push(v);
+    }
+    let producer = |v: u64| (v / QVAL_STRIDE) as usize - 1;
+    let mut seen: HashMap<u64, u32> = HashMap::new();
+    for &v in dequeued.iter().chain(&drained) {
+        assert!(
+            enq_order.contains_key(&v),
+            "seed {seed}: value {v} observed but never (durably) enqueued"
+        );
+        *seen.entry(v).or_insert(0) += 1;
+    }
+    for (&v, &c) in &seen {
+        assert_eq!(c, 1, "seed {seed}: value {v} observed {c} times (duplicated)");
+    }
+    for &v in &forbidden {
+        assert!(!seen.contains_key(&v), "seed {seed}: Restart-decided enqueue {v} still surfaced");
+    }
+    for &v in enq_order.keys() {
+        assert!(
+            seen.contains_key(&v),
+            "seed {seed}: acked enqueue {v} lost (not dequeued, not in the drain)"
+        );
+    }
+    // Per-producer FIFO: the drain preserves each producer's enqueue order,
+    // and everything a producer had dequeued precedes everything drained.
+    let mut last_drained = [None::<usize>; SHARED_PROCS];
+    let mut min_drained = [usize::MAX; SHARED_PROCS];
+    for &v in &drained {
+        let p = producer(v);
+        let ord = enq_order[&v];
+        assert!(
+            last_drained[p].is_none_or(|prev| prev < ord),
+            "seed {seed}: drain violates producer {p}'s FIFO order at {v}"
+        );
+        last_drained[p] = Some(ord);
+        min_drained[p] = min_drained[p].min(ord);
+    }
+    for &v in &dequeued {
+        let p = producer(v);
+        assert!(
+            enq_order[&v] < min_drained[p],
+            "seed {seed}: dequeued {v} is newer than a still-queued value of producer {p}"
+        );
+    }
+
+    drop((map, queue, store));
+    let _ = std::fs::remove_dir_all(&dir);
+    (acked, inflight, progress_observed)
+}
+
+/// The kill-one-of-N matrix: [`SHARED_PROCS`] live processes mutate ONE
+/// shared heap (map + queue through a `Store`); one is SIGKILLed at seeded
+/// points; survivors keep serving (asserted DURING the recovery window),
+/// zero acked ops are lost, and the dead pid's in-flight op is detectably
+/// resolved by a survivor — all verified against per-process journals.
+#[test]
+fn shared_kill_one_of_n_recovers_online() {
+    let seeds: u64 =
+        std::env::var("ISB_SHARED_SEEDS").ok().and_then(|s| s.parse().ok()).unwrap_or(10);
+    let mut total_acked = 0;
+    let mut total_inflight = 0;
+    let mut progress_seeds = 0u64;
+    for seed in 0..seeds {
+        let (acked, inflight, progressed) = run_one_shared_seed(seed, false);
+        total_acked += acked;
+        total_inflight += inflight;
+        progress_seeds += progressed as u64;
+    }
+    println!(
+        "shared kill-one-of-{SHARED_PROCS} matrix: {seeds} kills, {total_acked} acked ops \
+         verified, {total_inflight} in-flight ops resolved by survivors, \
+         progress-during-recovery observed on {progress_seeds} seeds"
+    );
+    assert!(total_acked > 0, "no seed produced any acked work — kill timing broken");
+    assert!(progress_seeds > 0, "no seed ever observed the recovery window — hold timing broken");
+}
+
+/// The recoverer itself is SIGKILLed mid-lease: the last survivor detects
+/// the dead recoverer, STEALS the lease (fresh sequence number supersedes
+/// it), and recovers BOTH dead peers — service never stops.
+#[test]
+fn shared_kill_of_recoverer_is_superseded() {
+    let seeds: u64 =
+        std::env::var("ISB_SHARED_KILL2_SEEDS").ok().and_then(|s| s.parse().ok()).unwrap_or(3);
+    let mut total_acked = 0;
+    let mut total_inflight = 0;
+    for seed in 0..seeds {
+        let (acked, inflight, _) = run_one_shared_seed(seed, true);
+        total_acked += acked;
+        total_inflight += inflight;
+    }
+    println!(
+        "shared second-kill matrix: {seeds} double kills, {total_acked} acked ops verified, \
+         {total_inflight} in-flight ops resolved by the surviving recoverer"
+    );
+    assert!(total_acked > 0, "no seed produced any acked work — kill timing broken");
+}
+
 /// The acceptance matrix: all FIVE structure kinds in one heap pass a
 /// SIGKILL/recover round-trip through the same generic attach driver.
 #[test]
