@@ -457,8 +457,10 @@ impl Store {
     /// recovering yet (test harnesses use the split to widen the window in
     /// which the recoverer itself can be killed; production code calls
     /// [`Store::recover_peer`]). Re-entrant for the current holder. Returns
-    /// `false` when another *live* survivor holds the lease or the slot is
-    /// already reclaimed.
+    /// `false` when another *live* survivor holds the lease, the slot is
+    /// already reclaimed, its participant turns out to be alive (stale
+    /// dead-list), or the slot is torn mid-claim (no state to recover;
+    /// [`Store::recover_peer`] reclaims those under the attach flock).
     pub fn claim_recovery(&self, slot: usize) -> bool {
         matches!(self.heap.lease_try_claim(slot), LeaseOutcome::Won { .. })
     }
@@ -467,16 +469,33 @@ impl Store {
     /// **while this process keeps serving**: replays Op-Recover for every
     /// recovery slot in the dead process's tid band, releases its pinned
     /// epochs (un-wedging reclamation), and reclaims its registry slot.
-    /// Returns the per-tid recovery decisions on success, or `None` when
-    /// another live survivor holds the lease (it will finish the job — a
-    /// recoverer that dies mid-lease is detected and superseded by the next
-    /// caller) or the slot is already reclaimed.
+    /// Returns the per-tid recovery decisions on success (empty for a slot
+    /// that was merely torn mid-claim — nothing ran under it, so there is
+    /// nothing to replay), or `None` when another live survivor holds the
+    /// lease (it will finish the job — a recoverer that dies mid-lease is
+    /// detected and superseded by the next caller), the slot is already
+    /// reclaimed, or its participant turns out to be **alive** — a live
+    /// peer's slot is never recovered, however stale the caller's dead-list.
     pub fn recover_peer(
         &self,
         slot: usize,
     ) -> Result<Option<Vec<(usize, crate::recovery::Recovered)>>, AttachError> {
-        if !self.claim_recovery(slot) {
-            return Ok(None);
+        match self.heap.lease_try_claim(slot) {
+            LeaseOutcome::Won { .. } => {}
+            // A claim torn mid-flight holds no recoverable state and may be
+            // a live joiner mid-stamp: reclaim it under the attach flock
+            // (which serializes all claims) instead of leasing it.
+            LeaseOutcome::Torn => {
+                return Ok(if self.heap.reclaim_torn_claim(slot)? {
+                    nvm::stats::count_peers_recovered(1);
+                    Some(Vec::new())
+                } else {
+                    None
+                });
+            }
+            LeaseOutcome::Held { .. } | LeaseOutcome::Gone | LeaseOutcome::Live { .. } => {
+                return Ok(None);
+            }
         }
         // Replay the dead process's (at most one per thread) pending
         // operations. Help is the ordinary lock-free helping path, so this
@@ -825,6 +844,46 @@ mod tests {
         let decisions = store.recover_peer(dead).unwrap().expect("recovery under the held lease");
         assert_eq!(decisions.len(), nvm::mapped::PART_TIDS, "one decision per band tid");
         assert!(!store.claim_recovery(dead), "slot reclaimed: lease is gone");
+        drop(store);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    /// A live peer's slot is never recovered (a stale dead-list must not
+    /// erase a live registration), and a claim torn mid-flight is reclaimed
+    /// under the attach flock — reported as a recovery with nothing to
+    /// replay — instead of being leased.
+    #[test]
+    fn recover_refuses_live_peers_and_reclaims_torn_claims() {
+        let _gate = crate::counters::gate_shared();
+        nvm::tid::set_tid(0);
+        let path = tmp("tornlive");
+        let store = Store::open_shared_sized(&path, 4 << 20).unwrap();
+        let slot = store.heap().my_participant().unwrap();
+        nvm::tid::set_tid(MappedHeap::tid_band(slot).start);
+        // A registration that probes as *alive* (our own pid and birth):
+        // never in the dead list, and recovery must refuse it even when
+        // named directly.
+        let live = store
+            .heap()
+            .debug_register_peer(std::process::id() as u64, nvm::liveness::self_birth())
+            .unwrap();
+        assert!(store.dead_peers().is_empty());
+        assert!(store.recover_peer(live).unwrap().is_none(), "live peer refused");
+        assert!(!store.claim_recovery(live));
+        assert!(
+            store.heap().participants().iter().any(|&(s, _, _)| s == live),
+            "live registration untouched"
+        );
+        store.heap().clear_participant(live);
+        // A claim torn mid-flight: listed dead, reclaimed with an empty
+        // replay (no tid of its band ever ran).
+        let torn = store.heap().debug_register_peer(u32::MAX as u64 - 11, 1).unwrap();
+        store.heap().debug_tear_claim(torn);
+        assert_eq!(store.dead_peers(), vec![torn]);
+        let decisions = store.recover_peer(torn).unwrap().expect("torn claim reclaimed");
+        assert!(decisions.is_empty(), "nothing ran under a torn claim");
+        assert!(!store.heap().participants().iter().any(|&(s, _, _)| s == torn));
+        assert!(store.recover_peer(torn).unwrap().is_none(), "second reclaim is a no-op");
         drop(store);
         let _ = std::fs::remove_file(&path);
     }

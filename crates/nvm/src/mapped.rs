@@ -31,21 +31,28 @@
 //! ## Multi-process sharing
 //!
 //! The superblock carries a durable **participant registry**: fixed slots of
-//! `(pid, birth stamp, recovery lease)`, claimed via CAS with the same
-//! fields-first/valid-last crash ordering as the segment directory. The
-//! birth stamp (`/proc` start time) defeats pid reuse. Exclusive attaches
-//! fail typed ([`MapError::AlreadyAttached`]) when any registered
+//! `(pid, birth stamp, recovery lease, attach mode)`, claimed via CAS with
+//! the same fields-first/valid-last crash ordering as the segment directory.
+//! The birth stamp (`/proc` start time) defeats pid reuse. Exclusive
+//! attaches fail typed ([`MapError::AlreadyAttached`]) when any registered
 //! participant is still alive; [`MappedHeap::open_shared`] instead *joins*
-//! a live heap — mapping it strictly at the recorded base, claiming a slot,
-//! and running none of the crash-healing passes. In shared mode the bump
-//! path serializes under a liveness-arbitrated lock word (stolen, with pad
-//! healing of the un-published reservation gap, from SIGKILLed holders), the
-//! per-class free stacks are cross-process (their heads are superblock
-//! words), and segments grown by one peer are re-mapped by the others on
-//! demand. Survivors detect dead peers through [`crate::PidLiveness`] and
-//! recover them **online** under a CAS-claimed, sequence-stamped recovery
-//! lease ([`MappedHeap::lease_try_claim`]) — a recoverer that itself dies is
-//! detected and superseded. See DESIGN.md §14 for the full argument.
+//! a live heap — refusing live exclusive attachers
+//! ([`MapError::ExclusivePeer`]), mapping the **whole reservation
+//! file-backed** strictly at the recorded base (so a peer's later growth is
+//! readable without a remap — growth extends the file before publishing the
+//! segment), claiming a slot, and running none of the crash-healing passes.
+//! In shared mode the bump path serializes under a liveness-arbitrated lock
+//! word (stolen, with pad healing of the un-published reservation gap, from
+//! SIGKILLed holders) and the per-class free stacks are cross-process (their
+//! heads are superblock words). Survivors detect dead peers through
+//! [`crate::PidLiveness`] and recover them **online** under a CAS-claimed,
+//! sequence-stamped recovery lease ([`MappedHeap::lease_try_claim`]) that
+//! probes the slot's liveness and re-verifies its `(pid, birth)` identity
+//! after the claim CAS — a live peer's slot is never claimable, and a
+//! recoverer that itself dies is detected and superseded. Slots torn
+//! mid-claim are reclaimed under the attach flock
+//! ([`MappedHeap::reclaim_torn_claim`]), never leased. See DESIGN.md §14 for
+//! the full argument.
 //!
 //! ## Growable multi-segment arena (format v3)
 //!
@@ -421,6 +428,14 @@ const W_PART0: usize = 96; // PART_SLOTS × PART_WORDS words (96..160)
 const PW_PID: usize = 0; // claim/valid word: 0 free, CLAIMING mid-claim, else pid
 const PW_BIRTH: usize = 1; // /proc starttime of the claimant
 const PW_LEASE: usize = 2; // recovery lease: (seq << 8) | (recoverer slot + 1)
+const PW_MODE: usize = 3; // attach mode of the claimant (MODE_*)
+/// `PW_MODE` values. Stamped (with the birth) before the pid — the valid
+/// flag — under the attach flock, so a live slot always carries the mode its
+/// owner attached with. Joiners refuse heaps with a live **exclusive**
+/// attacher: its collectors run private epochs and its bump path ignores
+/// `W_ALLOC_LOCK`, so sharing the arena behind its back would be unsound.
+const MODE_EXCLUSIVE: u64 = 1;
+const MODE_SHARED: u64 = 2;
 /// Mid-claim sentinel for `PW_PID`: reserves the slot before the birth stamp
 /// is written (fields first, pid — the valid flag — last). Never a real pid,
 /// so a crash mid-claim leaves a trivially-dead, reclaimable slot.
@@ -585,6 +600,14 @@ pub enum MapError {
     /// Every participant slot of the registry is claimed (by live peers, or
     /// by dead ones whose online recovery has not reclaimed them yet).
     RegistryFull,
+    /// A shared join found a live participant that attached in **exclusive**
+    /// mode: it runs private epochs and an unlocked bump path, so joining
+    /// would free memory it still reads. Wait for it to detach, or open the
+    /// heap exclusively.
+    ExclusivePeer {
+        /// Pid of the live exclusive attacher.
+        pid: u64,
+    },
     /// A shared join could not map the heap at its recorded base address
     /// (taken in this process) — relocation is impossible while peers are
     /// live, because absolute pointers are shared.
@@ -641,6 +664,9 @@ impl std::fmt::Display for MapError {
             }
             MapError::RegistryFull => {
                 write!(f, "participant registry full ({PART_SLOTS} processes per shared heap)")
+            }
+            MapError::ExclusivePeer { pid } => {
+                write!(f, "cannot join: live process {pid} attached this heap exclusively")
             }
             MapError::BaseTaken { base } => {
                 write!(f, "cannot join shared heap: its base address {base:#x} is taken here")
@@ -705,6 +731,20 @@ pub enum LeaseOutcome {
     },
     /// The slot was already reclaimed — recovery finished elsewhere.
     Gone,
+    /// The slot's participant is **alive** (the caller's dead-list was stale,
+    /// or the probe's verdict flipped): a live peer's slot is never
+    /// lease-claimable, so its rec-slots, epochs and registration stay
+    /// untouched.
+    Live {
+        /// The live participant's pid.
+        pid: u64,
+    },
+    /// The slot is torn mid-claim (`PW_PID` still holds the claim sentinel).
+    /// It carries no recoverable state and may belong to a *live* joiner
+    /// between its slot reservation and its pid stamp, so it is never
+    /// leased; reclaim it under the attach flock with
+    /// [`MappedHeap::reclaim_torn_claim`].
+    Torn,
 }
 
 // ---------------------------------------------------------------------------
@@ -836,7 +876,8 @@ impl Drop for MappedHeap {
         }
         // The mapping is MAP_SHARED: all completed stores are already in the
         // page cache and reach the file regardless of this munmap. Unmapping
-        // the whole reservation drops the PROT_NONE tail too. Closing the
+        // the whole reservation drops the tail too (PROT_NONE in exclusive
+        // mode, file-backed in shared mode). Closing the
         // file also releases a still-held attach flock.
         unsafe { sys_munmap(self.base as usize, self.reserve) };
     }
@@ -881,6 +922,45 @@ fn map_file_at(fd: i32, len: usize, addr: usize, off: usize) -> Result<(), MapEr
     }
     debug_assert_eq!(r as usize, addr);
     Ok(())
+}
+
+/// Maps `len` bytes of `fd` from file offset 0 to exactly `hint`
+/// (`MAP_SHARED`), claiming the whole range in one mapping. Returns `None`
+/// when the hinted range is taken. Shared attachers map their **entire** VA
+/// reservation file-backed this way (file offset == VA offset): a peer that
+/// grows the heap extends the file *before* publishing the new segment, and
+/// pages of a shared file mapping become readable the instant the file covers
+/// them — so a pointer a peer links into a structure is dereferenceable here
+/// the moment it exists, with no remap, no segment refresh, and no fault
+/// window. Pages past EOF are plain address space; nothing points into them
+/// until a growth has extended the file underneath.
+fn map_shared_window(fd: i32, len: usize, hint: usize) -> Result<Option<*mut u8>, MapError> {
+    let r = unsafe {
+        sys_mmap(hint, len, PROT_READ | PROT_WRITE, MAP_SHARED | MAP_FIXED_NOREPLACE, fd, 0)
+    };
+    if is_sys_err(r) {
+        if r == -38 {
+            return Err(MapError::Unsupported);
+        }
+        return Ok(None); // range taken (EEXIST) or otherwise refused
+    }
+    if r as usize != hint {
+        // Old kernels ignore NOREPLACE and map elsewhere: undo.
+        unsafe { sys_munmap(r as usize, len) };
+        return Ok(None);
+    }
+    Ok(Some(r as *mut u8))
+}
+
+/// Overlays `[from, reserve)` of an attacher's reservation with the heap
+/// file's bytes at the same offsets (see [`map_shared_window`]; shared mode
+/// only — exclusive attachers keep the PROT_NONE tail). `MAP_FIXED` is safe:
+/// the span lies inside a reservation this process owns.
+fn map_window_tail(fd: i32, base: *mut u8, from: usize, reserve: usize) -> Result<(), MapError> {
+    if from >= reserve {
+        return Ok(());
+    }
+    map_file_at(fd, reserve - from, base as usize + from, from)
 }
 
 /// Reserves a VA window of `reserve` bytes (at `preferred` when possible) and
@@ -1107,6 +1187,15 @@ impl MappedHeap {
         let granules = (size - data_off) / GRANULE;
 
         let (base, _) = reserve_and_map(fd, &[(0, size)], reserve, Some(PREFERRED_BASE))?;
+        if shared {
+            // Shared mode maps the unpublished tail of the reservation
+            // file-backed too, so segments any peer grows later are readable
+            // here without a remap (see `map_shared_window`).
+            if let Err(e) = map_window_tail(fd, base, size, reserve) {
+                unsafe { sys_munmap(base as usize, reserve) };
+                return Err(e);
+            }
+        }
         let heap = MappedHeap {
             base,
             reserve,
@@ -1202,6 +1291,15 @@ impl MappedHeap {
         let preferred = if force_new_base { None } else { Some(g.old_base) };
         let (base, _) = reserve_and_map(fd, &g.spans, g.reserve, preferred)?;
         let relocated = base as usize != g.old_base;
+        if shared {
+            // As in `create_locked`: keep the whole reservation file-backed
+            // so peer growth never leaves an unmapped hole under a shared
+            // pointer (see `map_shared_window`).
+            if let Err(e) = map_window_tail(fd, base, g.total, g.reserve) {
+                unsafe { sys_munmap(base as usize, g.reserve) };
+                return Err(e);
+            }
+        }
 
         let mut heap = MappedHeap {
             base,
@@ -1244,11 +1342,12 @@ impl MappedHeap {
         Ok(Arc::new(heap))
     }
 
-    /// Joins a **live** shared heap: maps the published segments strictly at
-    /// the recorded base (peers exchange absolute pointers, so relocation is
-    /// impossible — [`MapError::BaseTaken`]), claims a participant slot, and
-    /// runs *no* walk/heal/sweep: the heap is live state, not a crash image.
-    /// Releases the attach flock before returning.
+    /// Joins a **live** shared heap: refuses live *exclusive* attachers
+    /// ([`MapError::ExclusivePeer`]), maps the whole reservation file-backed
+    /// strictly at the recorded base (peers exchange absolute pointers, so
+    /// relocation is impossible — [`MapError::BaseTaken`]), claims a
+    /// participant slot, and runs *no* walk/heal/sweep: the heap is live
+    /// state, not a crash image. Releases the attach flock before returning.
     fn join_locked(
         file: std::fs::File,
         path: &Path,
@@ -1260,16 +1359,30 @@ impl MappedHeap {
         }
         let sb = read_page0(&file)?;
         let g = parse_sb(&sb, len)?;
-        let fd = std::os::fd::AsRawFd::as_raw_fd(&file);
-        let Some(base) = reserve_va(g.reserve, Some(g.old_base))? else {
-            return Err(MapError::BaseTaken { base: g.old_base as u64 });
-        };
-        for &(off, seg_len) in &g.spans {
-            if let Err(e) = map_file_at(fd, seg_len, base as usize + off, off) {
-                unsafe { sys_munmap(base as usize, g.reserve) };
-                return Err(e);
+        // A live heap is only joinable when every live participant attached
+        // in *shared* mode: an exclusive attacher runs private epochs and an
+        // unlocked bump path, so sharing the arena behind its back frees
+        // memory it still reads. The mode word is stamped before the pid
+        // under this same flock, so a live slot always carries its mode
+        // (checked from the page-0 buffer, before any mapping is attempted).
+        let w = |i: usize| u64::from_le_bytes(sb[i * 8..i * 8 + 8].try_into().unwrap());
+        for s in 0..PART_SLOTS {
+            let pid = w(W_PART0 + s * PART_WORDS + PW_PID);
+            if pid != 0
+                && pid != CLAIMING
+                && live.is_alive(pid, w(W_PART0 + s * PART_WORDS + PW_BIRTH))
+                && w(W_PART0 + s * PART_WORDS + PW_MODE) != MODE_SHARED
+            {
+                return Err(MapError::ExclusivePeer { pid });
             }
         }
+        let fd = std::os::fd::AsRawFd::as_raw_fd(&file);
+        // Map the ENTIRE reservation file-backed at the recorded base — not
+        // just the published segments — so a peer's later growth is readable
+        // here the moment it happens (see `map_shared_window`).
+        let Some(base) = map_shared_window(fd, g.reserve, g.old_base)? else {
+            return Err(MapError::BaseTaken { base: g.old_base as u64 });
+        };
         let mut heap = MappedHeap {
             base,
             reserve: g.reserve,
@@ -1401,12 +1514,15 @@ impl MappedHeap {
         flush::mfence();
     }
 
-    /// Claims a free registry slot for `(pid, birth)`. Crash-ordering: the
-    /// slot is reserved with a CAS to the `CLAIMING` sentinel, the fields are
-    /// written and flushed, and the **pid — the valid flag — is stored last**
-    /// and flushed. A crash mid-claim leaves `CLAIMING`, which is never a
-    /// live pid and therefore trivially reclaimable.
-    fn claim_slot_raw(&self, pid: u64, birth: u64) -> Result<usize, MapError> {
+    /// Claims a free registry slot for `(pid, birth)` attaching in `mode`.
+    /// Crash-ordering: the slot is reserved with a CAS to the `CLAIMING`
+    /// sentinel, the fields (birth, lease, mode) are written and flushed, and
+    /// the **pid — the valid flag — is stored last** and flushed. A crash
+    /// mid-claim leaves `CLAIMING`, which is never a live pid; it is
+    /// reclaimed under the attach flock ([`MappedHeap::reclaim_torn_claim`]),
+    /// never leased, because the sentinel may equally belong to a live joiner
+    /// between its CAS and its pid stamp.
+    fn claim_slot_raw(&self, pid: u64, birth: u64, mode: u64) -> Result<usize, MapError> {
         for s in 0..PART_SLOTS {
             let pw = self.part_word(s, PW_PID);
             if pw.load(Acquire) != 0 {
@@ -1417,6 +1533,7 @@ impl MappedHeap {
             }
             self.part_word(s, PW_BIRTH).store(birth, SeqCst);
             self.part_word(s, PW_LEASE).store(0, SeqCst);
+            self.part_word(s, PW_MODE).store(mode, SeqCst);
             self.flush_part(s);
             pw.store(pid, SeqCst);
             self.flush_part(s);
@@ -1427,7 +1544,9 @@ impl MappedHeap {
 
     /// Claims this process's registry slot (every attach path does this).
     fn claim_participant(&self) -> Result<usize, MapError> {
-        let slot = self.claim_slot_raw(std::process::id() as u64, crate::liveness::self_birth())?;
+        let mode = if self.shared { MODE_SHARED } else { MODE_EXCLUSIVE };
+        let slot =
+            self.claim_slot_raw(std::process::id() as u64, crate::liveness::self_birth(), mode)?;
         self.my_slot.store(slot, Relaxed);
         Ok(slot)
     }
@@ -1442,15 +1561,21 @@ impl MappedHeap {
         }
     }
 
-    /// Frees registry slot `slot`: fields (lease, birth) cleared and flushed
-    /// first, the pid — the valid flag — cleared and flushed **last** (the
-    /// mirror image of the claim ordering). Public for the recovery path,
-    /// which calls it only after the dead peer's per-pid replay completed.
+    /// Frees registry slot `slot`: the pid — the valid flag — is cleared and
+    /// flushed **first**, so a concurrent lease claimant observes `Gone`
+    /// before the lease word ever reads as free (clearing the lease first
+    /// would let a second survivor win a lease on a slot that is mid-retire,
+    /// then wipe state a *new* claimant of the slot owns). Crash-safe in
+    /// either half: a re-claim overwrites birth/lease/mode before re-stamping
+    /// the pid, so stale field bytes are never paired with a valid flag.
+    /// Public for the recovery path, which calls it only after the dead
+    /// peer's per-pid replay completed.
     pub fn clear_participant(&self, slot: usize) {
+        self.part_word(slot, PW_PID).store(0, SeqCst);
+        self.flush_part(slot);
         self.part_word(slot, PW_LEASE).store(0, SeqCst);
         self.part_word(slot, PW_BIRTH).store(0, SeqCst);
-        self.flush_part(slot);
-        self.part_word(slot, PW_PID).store(0, SeqCst);
+        self.part_word(slot, PW_MODE).store(0, SeqCst);
         self.flush_part(slot);
     }
 
@@ -1528,11 +1653,30 @@ impl MappedHeap {
     /// winner** even when several survivors (or a falsely-dead verdict)
     /// race for it. A lease whose holder is itself dead is *stolen* with a
     /// fresh sequence number, superseding the dead recoverer.
+    ///
+    /// The slot itself is probed before the lease is touched: a **live**
+    /// participant's slot is never claimable ([`LeaseOutcome::Live`] — a
+    /// stale dead-list must not erase a live registration), and a slot torn
+    /// mid-claim carries no state to recover and may belong to a live joiner
+    /// ([`LeaseOutcome::Torn`] — reclaim it under the attach flock instead).
+    /// After winning the CAS the probed `(pid, birth)` identity is
+    /// re-verified: the slot may have been retired — `clear_participant`
+    /// clears the pid strictly before the lease — or even re-claimed between
+    /// probe and CAS, in which case the claim is rolled back (by CAS, so a
+    /// stale winner never wipes a successor's lease) and re-evaluated.
     pub fn lease_try_claim_for(&self, dead: usize, claimant: usize) -> LeaseOutcome {
         let lw = self.part_word(dead, PW_LEASE);
         loop {
-            if self.part_word(dead, PW_PID).load(Acquire) == 0 {
+            let pid = self.part_word(dead, PW_PID).load(Acquire);
+            if pid == 0 {
                 return LeaseOutcome::Gone;
+            }
+            if pid == CLAIMING {
+                return LeaseOutcome::Torn;
+            }
+            let birth = self.part_word(dead, PW_BIRTH).load(Acquire);
+            if self.liveness.is_alive(pid, birth) {
+                return LeaseOutcome::Live { pid };
             }
             let cur = lw.load(Acquire);
             let holder = (cur & 0xFF) as usize;
@@ -1545,14 +1689,39 @@ impl MappedHeap {
                 return LeaseOutcome::Held { holder: holder - 1 };
             }
             let stolen = holder != 0;
-            if lw.compare_exchange(cur, next, AcqRel, Acquire).is_ok() {
-                self.flush_part(dead);
-                if stolen {
-                    stats::count_leases_stolen(1);
-                }
-                return LeaseOutcome::Won { seq: next >> 8 };
+            if lw.compare_exchange(cur, next, AcqRel, Acquire).is_err() {
+                continue;
             }
+            if self.part_word(dead, PW_PID).load(Acquire) != pid
+                || self.part_word(dead, PW_BIRTH).load(Acquire) != birth
+            {
+                let _ = lw.compare_exchange(next, 0, AcqRel, Acquire);
+                self.flush_part(dead);
+                continue;
+            }
+            self.flush_part(dead);
+            if stolen {
+                stats::count_leases_stolen(1);
+            }
+            return LeaseOutcome::Won { seq: next >> 8 };
         }
+    }
+
+    /// Reclaims a registry slot torn mid-claim (`PW_PID` still holds the
+    /// claim sentinel), serialized under the attach flock. Claims themselves
+    /// run under the flock, so while it is held a `CLAIMING` slot can only be
+    /// the leftover of a crashed claimant — never a live joiner mid-claim —
+    /// and clearing it races with nothing. Returns whether the slot was
+    /// reclaimed (`false`: the claim completed or cleared in the meantime).
+    pub fn reclaim_torn_claim(&self, slot: usize) -> Result<bool, MapError> {
+        self.with_file_lock(|| {
+            if self.part_word(slot, PW_PID).load(Acquire) == CLAIMING {
+                self.clear_participant(slot);
+                true
+            } else {
+                false
+            }
+        })
     }
 
     /// Drops a recovery lease without reclaiming the slot (a recoverer
@@ -1563,11 +1732,21 @@ impl MappedHeap {
         self.flush_part(dead);
     }
 
-    /// Test hook: registers a fake participant `(pid, birth)` in the
-    /// registry, as if that process had attached. Returns its slot.
+    /// Test hook: registers a fake shared participant `(pid, birth)` in the
+    /// registry, as if that process had attached. Returns its slot. Unlike a
+    /// real claim this does not hold the attach flock — tests only.
     #[doc(hidden)]
     pub fn debug_register_peer(&self, pid: u64, birth: u64) -> Result<usize, MapError> {
-        self.claim_slot_raw(pid, birth)
+        self.claim_slot_raw(pid, birth, MODE_SHARED)
+    }
+
+    /// Test hook: leaves registry slot `slot`'s pid word at the mid-claim
+    /// sentinel, as a claimant crashed between its slot reservation and its
+    /// pid stamp would. Tests only.
+    #[doc(hidden)]
+    pub fn debug_tear_claim(&self, slot: usize) {
+        self.part_word(slot, PW_PID).store(CLAIMING, SeqCst);
+        self.flush_part(slot);
     }
 
     /// Validates (or, on first use, records) the durable recovery-area
@@ -1974,11 +2153,15 @@ impl MappedHeap {
         Ok(())
     }
 
-    /// Maps any segments a *peer* published since our last look (shared heaps
-    /// only; exclusive mode can never miss a segment). Cheap when nothing
-    /// changed: one superblock load. The allocator refreshes on demand;
-    /// public so readers about to follow a peer-published pointer (catalog
-    /// adoption) can refresh without allocating.
+    /// Adopts any segments a *peer* published since our last look (shared
+    /// heaps only; exclusive mode can never miss a segment). Cheap when
+    /// nothing changed: one superblock load. This maintains the **volatile
+    /// allocator metadata** (segment slots, granule ranges) — it does *not*
+    /// gate dereference safety: shared attachers map their whole reservation
+    /// file-backed up front, so peer-published bytes are readable before any
+    /// refresh runs (see [`map_shared_window`]). The allocator refreshes on
+    /// demand; public so readers about to translate a peer-published granule
+    /// (catalog adoption) can refresh without allocating.
     pub fn refresh_segments(&self) -> Result<(), MapError> {
         if !self.shared
             || (self.word(W_SEG_COUNT).load(Acquire) as usize) < self.n_segs.load(Acquire)
@@ -3152,6 +3335,69 @@ mod tests {
         // Recovery completed: the slot is reclaimed, late claimants see Gone.
         heap.clear_participant(dead);
         assert_eq!(heap.lease_try_claim_for(dead, b), LeaseOutcome::Gone);
+        drop(heap);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn lease_refuses_live_slots() {
+        let path = tmp("leaselive");
+        let probe = FakeProbe::with(&[1111, 2222]);
+        let heap = MappedHeap::open_shared_with(&path, MIN_HEAP_BYTES, probe.clone()).unwrap();
+        heap.release_attach_lock();
+        let a = heap.debug_register_peer(1111, 5).unwrap();
+        let b = heap.debug_register_peer(2222, 5).unwrap();
+        // A stale dead-list (or a caller bug) names a live peer: the lease
+        // must refuse, leaving the slot's registration untouched.
+        assert_eq!(heap.lease_try_claim_for(a, b), LeaseOutcome::Live { pid: 1111 });
+        assert!(heap.participants().iter().any(|&(s, pid, _)| s == a && pid == 1111));
+        // The verdict flips (the peer actually died): now claimable.
+        probe.kill(1111);
+        assert_eq!(heap.lease_try_claim_for(a, b), LeaseOutcome::Won { seq: 1 });
+        drop(heap);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn torn_claims_are_never_leased_and_reclaim_under_the_flock() {
+        let path = tmp("torn");
+        let probe = FakeProbe::with(&[2222]);
+        let heap = MappedHeap::open_shared_with(&path, MIN_HEAP_BYTES, probe).unwrap();
+        heap.release_attach_lock();
+        let b = heap.debug_register_peer(2222, 5).unwrap();
+        let torn = heap.debug_register_peer(4242, 5).unwrap();
+        heap.debug_tear_claim(torn);
+        // The torn slot reads as dead, but the lease path refuses it — the
+        // sentinel may equally be a live joiner between CAS and pid stamp.
+        assert!(heap.dead_participants().contains(&torn));
+        assert_eq!(heap.lease_try_claim_for(torn, b), LeaseOutcome::Torn);
+        // Under the attach flock the sentinel can only be a crashed claimant.
+        assert!(heap.reclaim_torn_claim(torn).unwrap());
+        assert!(!heap.reclaim_torn_claim(torn).unwrap(), "second reclaim is a no-op");
+        assert_eq!(heap.lease_try_claim_for(torn, b), LeaseOutcome::Gone);
+        // The reclaimed slot is re-claimable by a fresh participant.
+        assert_eq!(heap.debug_register_peer(5555, 9).unwrap(), torn);
+        drop(heap);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn join_refuses_live_exclusive_attacher() {
+        let path = tmp("exclpeer");
+        // A real exclusive attach (default liveness probe) holds the heap.
+        let excl = MappedHeap::create(&path, MIN_HEAP_BYTES).unwrap();
+        // A shared open sees a live participant and takes the join path —
+        // which must refuse: the live peer registered MODE_EXCLUSIVE.
+        let probe = FakeProbe::with(&[]);
+        match MappedHeap::open_shared_with(&path, MIN_HEAP_BYTES, probe.clone()) {
+            Err(MapError::ExclusivePeer { pid }) => assert_eq!(pid, std::process::id() as u64),
+            other => panic!("expected ExclusivePeer, got {other:?}"),
+        }
+        drop(excl);
+        // Once the exclusive attacher detaches cleanly, shared open works.
+        let heap = MappedHeap::open_shared_with(&path, MIN_HEAP_BYTES, probe).unwrap();
+        assert!(heap.is_shared());
+        heap.release_attach_lock();
         drop(heap);
         let _ = std::fs::remove_file(&path);
     }

@@ -1547,6 +1547,119 @@ fn shared_kill_of_recoverer_is_superseded() {
     assert!(total_acked > 0, "no seed produced any acked work — kill timing broken");
 }
 
+// ---------------------------------------------------------------------------
+// Peer growth: nodes a peer links from segments it grew must be readable in
+// every other attached process WITHOUT any explicit segment refresh
+// ---------------------------------------------------------------------------
+
+const GROW_HEAP_BYTES: usize = 2 * 1024 * 1024;
+const GROW_KEY_BASE: u64 = 1_000_000;
+const GROW_KEYS: u64 = 60_000;
+const GROW_QVALS: u64 = 512;
+const GROW_PROBE_MAGIC: u64 = 0x5EED_F00D_CAFE_D00D;
+
+/// Child half: joins the parent's live shared store, inserts enough distinct
+/// keys to outgrow the initial segment (linking nodes from peer-grown
+/// segments into the shared structures), enqueues a batch, reports how many
+/// segments it grew, and exits cleanly.
+#[test]
+#[ignore = "child half of the peer-growth test; spawned by the parent test"]
+fn shared_growth_child_worker() {
+    let Ok(dir) = std::env::var("ISB_GROW_DIR") else { return };
+    let dir = PathBuf::from(dir);
+    nvm::tid::set_tid(0);
+    let store = Store::open_shared_sized(heap_path(&dir), GROW_HEAP_BYTES).expect("child join");
+    assert!(store.summary().heap.joined, "parent is live: the child must join");
+    let slot = store.heap().my_participant().expect("participant slot");
+    let t = nvm::mapped::MappedHeap::tid_band(slot).start;
+    nvm::tid::set_tid(t);
+    let map = store.hashmap::<0>("users", SHARDS).expect("users handle");
+    let queue = store.queue::<0>("jobs").expect("jobs handle");
+    let before = nvm::stats::snapshot();
+    for k in GROW_KEY_BASE..GROW_KEY_BASE + GROW_KEYS {
+        assert!(map.insert(t, k));
+    }
+    for v in 1..=GROW_QVALS {
+        queue.enqueue(t, v);
+    }
+    let grown = nvm::stats::snapshot().since(&before).segments_grown;
+    // Publish a raw pointer into a *grown* segment (the bump cursor lives in
+    // the newest one): the parent dereferences it cold, before any operation
+    // that could refresh its segment table as a side effect.
+    let probe = store.heap().alloc(64).expect("probe block");
+    unsafe { (probe as *mut u64).write_volatile(GROW_PROBE_MAGIC) };
+    store.heap().commit(probe);
+    std::fs::write(dir.join("grow_done"), format!("{grown} {}", probe as usize)).unwrap();
+}
+
+/// A peer grows the shared heap and links nodes from the new segments; this
+/// process — attached since before the growth — must dereference them with
+/// no refresh call in between. (Shared attachers map their whole reservation
+/// file-backed, and growth extends the file before publishing the segment,
+/// so peer-published bytes are readable the moment a pointer to them
+/// exists.)
+#[test]
+fn shared_peer_growth_is_readable_without_refresh() {
+    let dir = std::env::temp_dir().join(format!("isb_shared_grow_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+
+    nvm::tid::set_tid(0);
+    let store = Store::open_shared_sized(heap_path(&dir), GROW_HEAP_BYTES).expect("parent create");
+    let pslot = store.heap().my_participant().unwrap();
+    let t0 = nvm::mapped::MappedHeap::tid_band(pslot).start;
+    nvm::tid::set_tid(t0);
+    let map = store.hashmap::<0>("users", SHARDS).expect("users handle");
+    let queue = store.queue::<0>("jobs").expect("jobs handle");
+    // Warm this process's descriptor/node caches: the post-growth reads
+    // below must run without an allocator refill (a refill refreshes the
+    // volatile segment table as a side effect, which would mask a missing
+    // mapping — the raw-pointer walk itself is what's under test).
+    for k in 1..=64u64 {
+        assert!(map.insert(t0, k));
+        assert!(map.find(t0, k));
+        queue.enqueue(t0, k);
+    }
+    for _ in 1..=64u64 {
+        queue.dequeue(t0);
+    }
+
+    let status = std::process::Command::new(std::env::current_exe().unwrap())
+        .args(["--exact", "shared_growth_child_worker", "--include-ignored", "--nocapture"])
+        .env("ISB_GROW_DIR", &dir)
+        .status()
+        .expect("run growth child");
+    assert!(status.success(), "growth child exited dirty: {status:?}");
+    let done = std::fs::read_to_string(dir.join("grow_done")).unwrap();
+    let mut parts = done.split_whitespace();
+    let grown: u64 = parts.next().unwrap().parse().unwrap();
+    let probe: usize = parts.next().unwrap().parse().unwrap();
+    assert!(grown > 0, "child never grew the heap — raise GROW_KEYS to keep this test honest");
+    assert!(
+        probe > store.heap().base() as usize + GROW_HEAP_BYTES,
+        "probe block not in a grown segment — raise GROW_KEYS to keep this test honest"
+    );
+    // The distilled hazard first: dereference the peer-published pointer
+    // with this process's segment table untouched since before the growth.
+    // SAFETY: the child committed the block before publishing its address,
+    // and shared attachers keep the whole reservation mapped file-backed.
+    let v = unsafe { (probe as *const u64).read_volatile() };
+    assert_eq!(v, GROW_PROBE_MAGIC, "peer-published block unreadable");
+    // Walk child-linked nodes (they live in segments grown after this
+    // process attached) — no refresh_segments call on this path.
+    for k in (GROW_KEY_BASE..GROW_KEY_BASE + GROW_KEYS).step_by(97) {
+        assert!(map.find(t0, k), "child-inserted key {k} unreadable in the parent");
+    }
+    let mut seen = 0u64;
+    while let Some(v) = queue.dequeue(t0) {
+        assert!((1..=GROW_QVALS).contains(&v), "foreign queue value {v}");
+        seen += 1;
+    }
+    assert_eq!(seen, GROW_QVALS, "child-enqueued values lost");
+    drop((map, queue, store));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 /// The acceptance matrix: all FIVE structure kinds in one heap pass a
 /// SIGKILL/recover round-trip through the same generic attach driver.
 #[test]
