@@ -93,7 +93,7 @@ fn parse_args() -> Opts {
 
 const ALL_FIGS: &[&str] = &[
     "fig1a", "fig1b", "fig1c", "fig1d", "fig1e", "fig1f", "fig3", "fig4", "fig5", "fig6", "fig7",
-    "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14",
+    "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15",
 ];
 
 /// The list algorithms of the figures, by paper name.
@@ -1083,6 +1083,112 @@ impl Ctx {
         self.emit("fig14_counters", &t_ctr);
         let _ = std::fs::remove_dir_all(&dir);
     }
+
+    /// Figure 15: the network-facing KV service under zipfian skew —
+    /// request throughput and tail latency of the full exactly-once path
+    /// (frame parse → dedup lookup → durable intent → apply → durable
+    /// response → ack) over loopback TCP. One in-process server (16
+    /// shards, 4 workers); N loadgen client threads, each a journaling
+    /// [`kvserve::KvClient`] drawing keys Zipf(1024, 0.99) with a
+    /// 5:3:7 put:del:get mix, plus one dedup *replay* of the last
+    /// acknowledged request every 16th op — so the served-from-the-table
+    /// path is measured under load, not just in recovery tests.
+    fn fig15(&self) {
+        use bench_harness::workload::Zipf;
+        use kvserve::{Config, KvClient, Server};
+        use std::time::Instant;
+
+        const KEYS: u64 = 1024;
+        const THETA: f64 = 0.99;
+        let dir = std::env::temp_dir().join(format!("isb_fig15_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let zipf = Zipf::new(KEYS, THETA);
+
+        let mut t_lat = Table::new(
+            "Figure 15: KV service over loopback TCP, zipfian keys (1024 keys, theta 0.99, \
+             16 shards, 4 workers; per-request latency incl. dedup replays)"
+                .to_string(),
+            vec!["req/s".into(), "p50 us".into(), "p99 us".into(), "max us".into()],
+        );
+        let mut t_ctr = Table::new(
+            "Figure 15: service counters per run (applied ops vs dedup replays served from \
+             the durable response table)"
+                .to_string(),
+            vec!["kv_requests".into(), "kv_dedup_hits".into()],
+        );
+        for &n in &self.threads {
+            let heap = dir.join(format!("kv_{n}.heap"));
+            let _ = std::fs::remove_file(&heap);
+            let mut cfg = Config::new(&heap);
+            cfg.shards = 16;
+            cfg.workers = 4;
+            let server = Server::start(cfg).expect("fig15 server start");
+            let addr = server.local_addr();
+            let dur = self.dur;
+            let s0 = nvm::stats::snapshot();
+            let t0 = Instant::now();
+            let mut lats: Vec<u64> = Vec::new();
+            let mut total = 0u64;
+            std::thread::scope(|s| {
+                let handles: Vec<_> = (0..n)
+                    .map(|c| {
+                        let zipf = &zipf;
+                        s.spawn(move || {
+                            let mut client =
+                                KvClient::connect(addr, 1000 + c as u64).expect("loadgen connect");
+                            let mut rng = 0x1234_5678u64 ^ (c as u64) << 17;
+                            let mut lat = Vec::new();
+                            while t0.elapsed() < dur {
+                                // Spread hot ranks across the key space.
+                                let key = 1 + (zipf.sample(splitmix(&mut rng)) * 631) % KEYS;
+                                let t1 = Instant::now();
+                                match splitmix(&mut rng) % 16 {
+                                    0 if client.last_acked().is_some() => {
+                                        client.replay_last_acked().expect("replay").unwrap();
+                                    }
+                                    1..=5 => {
+                                        client.put(key).expect("put");
+                                    }
+                                    6..=8 => {
+                                        client.del(key).expect("del");
+                                    }
+                                    _ => {
+                                        client.get(key).expect("get");
+                                    }
+                                }
+                                lat.push(t1.elapsed().as_nanos() as u64);
+                            }
+                            lat
+                        })
+                    })
+                    .collect();
+                for h in handles {
+                    let lat = h.join().expect("loadgen thread");
+                    total += lat.len() as u64;
+                    lats.extend(lat);
+                }
+            });
+            let elapsed = t0.elapsed();
+            server.stop();
+            let d = nvm::stats::snapshot().since(&s0);
+            lats.sort_unstable();
+            let pct = |p: usize| lats[(lats.len() * p / 100).min(lats.len() - 1)] as f64 / 1e3;
+            t_lat.row(
+                n.to_string(),
+                vec![
+                    total as f64 / elapsed.as_secs_f64(),
+                    pct(50),
+                    pct(99),
+                    *lats.last().unwrap() as f64 / 1e3,
+                ],
+            );
+            t_ctr.row(n.to_string(), vec![d.kv_requests as f64, d.kv_dedup_hits as f64]);
+            let _ = std::fs::remove_file(&heap);
+        }
+        self.emit("fig15_latency", &t_lat);
+        self.emit("fig15_counters", &t_ctr);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
 }
 
 const FIG14_HEAP_BYTES: usize = 64 << 20;
@@ -1213,6 +1319,7 @@ fn main() {
             "fig12" => ctx.fig12(),
             "fig13" => ctx.fig13(),
             "fig14" => ctx.fig14(),
+            "fig15" => ctx.fig15(),
             other => panic!("unknown figure {other}"),
         }
     }

@@ -86,6 +86,7 @@ pub mod list;
 pub mod pool;
 pub mod queue;
 pub mod recovery;
+pub mod resptable;
 pub mod set_core;
 pub mod stack;
 pub mod store;

@@ -356,6 +356,27 @@ pub unsafe fn recover_dead_pid(
     pid: usize,
     guard: &reclaim::Guard<'_>,
 ) -> Recovered {
+    // SAFETY: forwarded contract.
+    unsafe { recover_dead_pid_with(rec, pid, guard, |_| {}) }
+}
+
+/// [`recover_dead_pid`] with an `on_decision` hook that runs **after** the
+/// decision is computed but **before** the slot is durably cleared. Callers
+/// that mirror the decision into their own durable state (the KV response
+/// table resolving a dead server's op-ID intents) need exactly this window:
+/// if the recoverer dies inside the hook, the slot still carries `CP`/`RD`,
+/// so a superseding recoverer recomputes the *same* decision and re-runs the
+/// hook — which must therefore be idempotent. Hooked work that ran is never
+/// lost; work that didn't run is re-derivable.
+///
+/// # Safety
+/// As [`recover_dead_pid`].
+pub unsafe fn recover_dead_pid_with(
+    rec: &RecArea<MappedNvm>,
+    pid: usize,
+    guard: &reclaim::Guard<'_>,
+    on_decision: impl FnOnce(Recovered),
+) -> Recovered {
     let (cp, rd) = rec.read(pid);
     let addr = crate::tag::addr_of(rd);
     if crate::tag::is_direct(rd) && addr != 0 {
@@ -368,6 +389,7 @@ pub unsafe fn recover_dead_pid(
         // descriptor; help is the ordinary concurrent helping path.
         unsafe { op_recover::<MappedNvm, 0>(rec, pid, guard) }
     };
+    on_decision(decision);
     rec.clear_slot(pid);
     if addr != 0 {
         // SAFETY: the RD slot held one reference on the descriptor and was
@@ -397,6 +419,10 @@ pub mod rootkeys {
     /// The shared cross-process epoch region ([`reclaim::Collector::attach_shared`]):
     /// global epoch + per-participant announce words, one domain per heap.
     pub const EPOCHS: u64 = 0x4550_4F43; // "EPOC"
+    /// The KV-service response table ([`crate::resptable::ResponseTable`]):
+    /// per-client dedup/response slots plus per-pid op-ID intent records,
+    /// resolved against the replay decisions on every attach.
+    pub const RESPTAB: u64 = 0x5245_5350; // "RESP"
 }
 
 use nvm::mapped::{MapError, MappedHeap, MappedNvm};
@@ -457,6 +483,17 @@ pub enum AttachError {
         /// The offending name.
         name: String,
     },
+    /// The KV response table carries state no crash of a correct execution
+    /// can produce (e.g. an intent record whose state word is neither empty
+    /// nor in-flight). Torn-but-reachable shapes are *healed* instead; this
+    /// is the unreachable-shape diagnosis, surfaced typed rather than UB.
+    CorruptResponseTable {
+        /// Index of the offending slot (intent slots are indexed by pid,
+        /// client slots by table position).
+        slot: usize,
+        /// What was wrong.
+        reason: &'static str,
+    },
 }
 
 impl std::fmt::Display for AttachError {
@@ -487,6 +524,9 @@ impl std::fmt::Display for AttachError {
                     "unusable entry name {name:?} (must be 1..={} bytes)",
                     nvm::mapped::CATALOG_NAME_BYTES
                 )
+            }
+            AttachError::CorruptResponseTable { slot, reason } => {
+                write!(f, "response table slot {slot}: {reason}")
             }
         }
     }

@@ -40,9 +40,10 @@ use crate::hashmap::RHashMap;
 use crate::list::RList;
 use crate::queue::RQueue;
 use crate::recovery::{
-    finish_attach, recover_dead_pid, rootkeys, AttachEnv, AttachError, AttachSummary, MappedLayout,
-    RecArea, SlotOps,
+    finish_attach, recover_dead_pid_with, rootkeys, AttachEnv, AttachError, AttachSummary,
+    MappedLayout, RecArea, SlotOps,
 };
+use crate::resptable::ResponseTable;
 use crate::stack::RStack;
 use nvm::mapped::{
     CatalogEntry, LeaseOutcome, MapError, MappedHeap, MappedNvm, DEFAULT_HEAP_BYTES,
@@ -77,6 +78,10 @@ pub struct Store {
     epochs: *mut u8,
     entries: Mutex<HashMap<String, Entry>>,
     summary: AttachSummary,
+    /// The KV-service response table hosted by this heap (always present;
+    /// ~20 KiB). Validated/healed by the single-owner attach, left
+    /// untouched by joiners.
+    resptab: ResponseTable,
 }
 
 // SAFETY: the raw pointers are into the heap mapping, which `heap` keeps
@@ -180,6 +185,13 @@ impl Store {
         } else {
             std::ptr::null_mut()
         };
+        // The KV response table rides every store heap: allocate (or
+        // re-open) and validate/heal it here, where access is exclusive
+        // (attach flock held / exclusive heap). In-flight op-ID intents are
+        // resolved below, once the replay decisions exist.
+        let (resptab, _heal) = ResponseTable::attach_excl(&heap)?;
+        let resptab_base =
+            heap.root_get(rootkeys::RESPTAB).expect("attach_excl registered the root") as usize;
         // SAFETY: `catalog` is this heap's committed catalog block.
         let cataloged = unsafe { heap.catalog_entries(catalog) }?;
         // Construct every existing entry (kind-dispatched) so recovery can
@@ -195,7 +207,7 @@ impl Store {
             AttachSummary { heap: *heap.report(), recovered: Vec::new(), swept: 0 }
         } else {
             let rec = env.rec_area();
-            let mut extra_live = vec![rec_base as usize, catalog as usize];
+            let mut extra_live = vec![rec_base as usize, catalog as usize, resptab_base];
             if !epochs.is_null() {
                 extra_live.push(epochs as usize);
             }
@@ -210,6 +222,21 @@ impl Store {
             };
             AttachSummary { heap: *heap.report(), recovered, swept }
         };
+        // Resolve every in-flight op-ID against the replay's per-pid
+        // decisions: Completed finalizes the response into the client's
+        // dedup slot, Restart clears the intent so the retry re-applies.
+        // Idempotent — a crash mid-resolution leaves the rec slots intact
+        // (the attach replay never clears them), so the next attach
+        // recomputes the same decisions and resumes.
+        let mut resolved = 0u64;
+        for pid in 0..nvm::MAX_PROCS {
+            if resptab.resolve(pid, summary.decision(pid)).is_some() {
+                resolved += 1;
+            }
+        }
+        if resolved > 0 {
+            nvm::stats::count_kv_intents_resolved(resolved);
+        }
         let entries = metas
             .into_iter()
             .zip(slots)
@@ -225,6 +252,7 @@ impl Store {
             epochs,
             entries: Mutex::new(entries),
             summary,
+            resptab,
         })
     }
 
@@ -257,6 +285,9 @@ impl Store {
         }
         let mut env = AttachEnv::new(Arc::clone(&heap), rec_base);
         env.set_epochs(epochs);
+        // Joiners adopt the response table as-is: the initial attacher
+        // validated/healed it, and live peers are mid-write in their slots.
+        let resptab = ResponseTable::open(&heap)?;
         // Peers may have grown the heap past what join mapped; make every
         // published segment visible before following catalog pointers.
         heap.refresh_segments()?;
@@ -279,6 +310,7 @@ impl Store {
             epochs,
             entries: Mutex::new(entries),
             summary,
+            resptab,
         })
     }
 
@@ -292,6 +324,15 @@ impl Store {
     /// The persistent heap backing this store.
     pub fn heap(&self) -> &Arc<MappedHeap> {
         &self.heap
+    }
+
+    /// The KV-service response table hosted by this heap. By the time the
+    /// constructor returns, every in-flight op-ID left by a crash has been
+    /// resolved against the replay decisions (single-owner attach) or was
+    /// resolved by the initial attacher before this joiner could see the
+    /// heap — the handle is ready for request traffic.
+    pub fn response_table(&self) -> ResponseTable {
+        self.resptab.clone()
     }
 
     /// Names, kinds and configuration words of every cataloged structure.
@@ -503,13 +544,28 @@ impl Store {
         let rec = self.rec_area();
         let col = self.env().collector();
         let mut decisions = Vec::new();
+        let mut resolved = 0u64;
         for pid in MappedHeap::tid_band(slot) {
             let g = col.pin();
             // SAFETY: `slot` is liveness-probed dead and we hold its
             // recovery lease; published descriptors are valid per the
             // tracking protocol (persisted before publication, never freed
             // while published).
-            decisions.push((pid, unsafe { recover_dead_pid(&rec, pid, &g) }));
+            decisions.push((pid, unsafe {
+                // The on-decision hook mirrors the verdict into the KV
+                // response table *before* the rec slot is cleared: if this
+                // recoverer dies inside the hook, a successor recomputes
+                // the same decision and re-resolves (idempotent); after the
+                // clear, the dead peer's client can be served again.
+                recover_dead_pid_with(&rec, pid, &g, |d| {
+                    if self.resptab.resolve(pid, d).is_some() {
+                        resolved += 1;
+                    }
+                })
+            }));
+        }
+        if resolved > 0 {
+            nvm::stats::count_kv_intents_resolved(resolved);
         }
         // The dead process can no longer be inside a read-side critical
         // section: drop its pinned epochs so reclamation advances again.

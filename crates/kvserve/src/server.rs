@@ -1,0 +1,486 @@
+//! The KV server: per-shard worker threads over a recoverable [`Store`].
+//!
+//! # Exactly-once request path
+//!
+//! Connections are accepted on a listener thread; each connection gets a
+//! reader thread that parses frames and routes requests to one of N worker
+//! threads by `hash(client_id) % N` — so all requests of one client
+//! serialize through one worker, which is what makes the dedup check and
+//! the apply a single-threaded sequence per client. Each worker owns a
+//! registered process slot (tid): its in-flight request is tracked by the
+//! paper's per-process recovery slot *and* by the durable op-ID intent
+//! record in the [`ResponseTable`].
+//!
+//! Worker order per request (see `isb::resptable` for the crash-window
+//! argument): dedup check → `note_invocation` (`CP_q := 0`, persisted) →
+//! durable intent record → structure op → durable response finalize →
+//! intent clear → socket acknowledgement.
+//!
+//! # Restart
+//!
+//! [`Server::start`] opens the store with the standard attach pipeline
+//! (replay → scrub → census → sweep); `Store` resolves every in-flight
+//! op-ID to Completed-with-response or Restart against the replay decisions
+//! before the constructor returns, and only then does the server bind and
+//! accept. In shared mode a healer thread additionally runs
+//! [`Store::heal_peers`], so a SIGKILLed peer server's in-flight requests
+//! resolve online while this process keeps serving; until that happens,
+//! requests from the dead peer's clients are answered
+//! [`Status::Recovering`] rather than risking a double apply.
+//!
+//! # Crash injection
+//!
+//! For the SIGKILL conformance suite the server self-kills (real `SIGKILL`
+//! via [`nvm::die_sigkill`]) at a seeded request-path stage, configured by
+//! environment: `ISB_KV_KILL_POINT` ∈ `accept|parse|invoke|preack|postack`
+//! and `ISB_KV_KILL_AFTER=<n>` (the n-th hit of that point dies).
+
+use crate::proto::{
+    encode_response, parse_request, read_frame, Frame, OpCode, Request, Response, Status,
+};
+use isb::engine::{res_val, RES_FALSE, RES_TRUE, RES_UNIT};
+use isb::hashmap::RHashMap;
+use isb::queue::RQueue;
+use isb::recovery::AttachError;
+use isb::resptable::ResponseTable;
+use isb::store::Store;
+use nvm::mapped::{MappedHeap, MappedNvm};
+use std::io::{self, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::ops::Range;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Structure tuning arm the service opens its structures with.
+pub const ARM: u8 = isb::arm::COALESCED;
+/// Catalog name of the service's hash map.
+pub const MAP_NAME: &str = "kv";
+/// Catalog name of the service's queue.
+pub const QUEUE_NAME: &str = "jobs";
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Heap file path.
+    pub path: PathBuf,
+    /// Heap size on creation.
+    pub heap_bytes: usize,
+    /// Open the heap in live multi-process shared mode.
+    pub shared: bool,
+    /// Hash-map shard count (power of two).
+    pub shards: usize,
+    /// Worker threads (clamped: shared mode has a 8-tid participant band —
+    /// 1 attach/healer tid + at most 7 workers).
+    pub workers: usize,
+    /// Bind address (port 0 picks a free port).
+    pub addr: SocketAddr,
+}
+
+impl Config {
+    /// A loopback config with small defaults.
+    pub fn new(path: impl Into<PathBuf>) -> Config {
+        Config {
+            path: path.into(),
+            heap_bytes: 32 << 20,
+            shared: false,
+            shards: 8,
+            workers: 2,
+            addr: "127.0.0.1:0".parse().expect("loopback"),
+        }
+    }
+}
+
+/// Typed server failures.
+#[derive(Debug)]
+pub enum ServeError {
+    /// Store attach failed.
+    Attach(AttachError),
+    /// Socket-level failure.
+    Io(io::Error),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Attach(e) => write!(f, "attach: {e}"),
+            ServeError::Io(e) => write!(f, "io: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<AttachError> for ServeError {
+    fn from(e: AttachError) -> Self {
+        ServeError::Attach(e)
+    }
+}
+
+impl From<io::Error> for ServeError {
+    fn from(e: io::Error) -> Self {
+        ServeError::Io(e)
+    }
+}
+
+/// Seeded crash-injection stage (see module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KillPoint {
+    /// After accepting a connection.
+    Accept,
+    /// After parsing a request frame, before dispatch.
+    Parse,
+    /// After the durable intent record, before the structure op.
+    Invoke,
+    /// After the durable response finalize, before the socket write.
+    PreAck,
+    /// After the acknowledgement reached the socket.
+    PostAck,
+}
+
+struct KillSpec {
+    point: KillPoint,
+    after: AtomicU64,
+}
+
+impl KillSpec {
+    fn from_env() -> Option<KillSpec> {
+        let point = match std::env::var("ISB_KV_KILL_POINT").ok()?.as_str() {
+            "accept" => KillPoint::Accept,
+            "parse" => KillPoint::Parse,
+            "invoke" => KillPoint::Invoke,
+            "preack" => KillPoint::PreAck,
+            "postack" => KillPoint::PostAck,
+            _ => return None,
+        };
+        let after = std::env::var("ISB_KV_KILL_AFTER")
+            .ok()
+            .and_then(|s| s.parse::<u64>().ok())
+            .unwrap_or(1)
+            .max(1);
+        Some(KillSpec { point, after: AtomicU64::new(after) })
+    }
+
+    fn hit(&self, p: KillPoint) {
+        if self.point == p && self.after.fetch_sub(1, Ordering::Relaxed) == 1 {
+            nvm::die_sigkill();
+        }
+    }
+}
+
+fn maybe_kill(spec: &Option<Arc<KillSpec>>, p: KillPoint) {
+    if let Some(s) = spec {
+        s.hit(p);
+    }
+}
+
+struct Job {
+    req: Request,
+    reply: mpsc::Sender<Response>,
+}
+
+/// Per-worker context (deliberately *not* the acceptor's shared state: the
+/// job senders must die with the acceptor side so worker receivers close).
+struct WorkerCtx {
+    map: Arc<RHashMap<MappedNvm, ARM>>,
+    queue: Arc<RQueue<MappedNvm, ARM>>,
+    resptab: ResponseTable,
+    own_band: Range<usize>,
+    kill: Option<Arc<KillSpec>>,
+}
+
+/// Connection-side shared state.
+struct Shared {
+    txs: Vec<mpsc::Sender<Job>>,
+    stop: Arc<AtomicBool>,
+    kill: Option<Arc<KillSpec>>,
+    conns: Mutex<Vec<JoinHandle<()>>>,
+}
+
+/// A running server. Dropping the handle does **not** stop it; call
+/// [`Server::stop`] for a graceful shutdown (tests that SIGKILL the process
+/// never get that far, by design).
+pub struct Server {
+    addr: SocketAddr,
+    store: Arc<Store>,
+    stop: Arc<AtomicBool>,
+    acceptor: Option<JoinHandle<()>>,
+    healer: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+    shared: Arc<Shared>,
+}
+
+impl Server {
+    /// Opens (recovering) the store, binds, and starts serving. The calling
+    /// thread's tid is (re)bound: tid 0 for an exclusive heap, the
+    /// participant band's first tid in shared mode — that tid doubles as
+    /// the healer's, so don't run structure ops on the calling thread while
+    /// the server lives.
+    pub fn start(cfg: Config) -> Result<Server, ServeError> {
+        let kill = KillSpec::from_env().map(Arc::new);
+        nvm::tid::set_tid(0);
+        let store = Arc::new(if cfg.shared {
+            Store::open_shared_sized(&cfg.path, cfg.heap_bytes)?
+        } else {
+            Store::open_sized(&cfg.path, cfg.heap_bytes)?
+        });
+        // Worker tids: an exclusive heap may use any tids; a shared
+        // participant is confined to its 8-tid band (first tid = attach +
+        // healer).
+        let (base_tid, max_workers) = if cfg.shared {
+            let slot = store.heap().my_participant().expect("registered participant");
+            let band = MappedHeap::tid_band(slot);
+            nvm::tid::set_tid(band.start);
+            (band.start, band.len() - 1)
+        } else {
+            (0, nvm::MAX_PROCS - 1)
+        };
+        let n_workers = cfg.workers.clamp(1, max_workers);
+        let own_band =
+            if cfg.shared { base_tid..base_tid + 1 + max_workers } else { 0..n_workers + 1 };
+        let map = store.hashmap::<ARM>(MAP_NAME, cfg.shards)?;
+        let queue = store.queue::<ARM>(QUEUE_NAME)?;
+        let resptab = store.response_table();
+
+        let stop = Arc::new(AtomicBool::new(false));
+        let mut txs = Vec::new();
+        let mut workers = Vec::new();
+        for w in 0..n_workers {
+            let (tx, rx) = mpsc::channel::<Job>();
+            txs.push(tx);
+            let ctx = WorkerCtx {
+                map: Arc::clone(&map),
+                queue: Arc::clone(&queue),
+                resptab: resptab.clone(),
+                own_band: own_band.clone(),
+                kill: kill.clone(),
+            };
+            let tid = base_tid + 1 + w;
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("kv-worker-{w}"))
+                    .spawn(move || worker_loop(ctx, tid, rx))
+                    .expect("spawn worker"),
+            );
+        }
+
+        let listener = TcpListener::bind(cfg.addr)?;
+        let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let shared =
+            Arc::new(Shared { txs, stop: Arc::clone(&stop), kill, conns: Mutex::new(Vec::new()) });
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("kv-accept".into())
+                .spawn(move || accept_loop(listener, shared))
+                .expect("spawn acceptor")
+        };
+        let healer = if cfg.shared {
+            let store = Arc::clone(&store);
+            let stop = Arc::clone(&stop);
+            let tid = base_tid;
+            Some(
+                std::thread::Builder::new()
+                    .name("kv-healer".into())
+                    .spawn(move || {
+                        nvm::tid::set_tid(tid);
+                        while !stop.load(Ordering::Acquire) {
+                            // Dead peers resolve under a recovery lease;
+                            // losing the lease race to another survivor is
+                            // fine (they finish the job).
+                            let _ = store.heal_peers();
+                            std::thread::sleep(Duration::from_millis(10));
+                        }
+                    })
+                    .expect("spawn healer"),
+            )
+        } else {
+            None
+        };
+        Ok(Server { addr, store, stop, acceptor: Some(acceptor), healer, workers, shared })
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The underlying store (e.g. for snapshots in tests).
+    pub fn store(&self) -> &Arc<Store> {
+        &self.store
+    }
+
+    /// Graceful shutdown: drain connections, close workers, join all.
+    pub fn stop(mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(a) = self.acceptor.take() {
+            let _ = a.join();
+        }
+        if let Some(h) = self.healer.take() {
+            let _ = h.join();
+        }
+        let conns = std::mem::take(&mut *self.shared.conns.lock().unwrap());
+        for c in conns {
+            let _ = c.join();
+        }
+        // Dropping the last `Shared` owner drops the job senders, which
+        // closes the worker receivers.
+        let Server { workers, shared, .. } = self;
+        drop(shared);
+        for w in workers {
+            let _ = w.join();
+        }
+    }
+}
+
+fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
+    while !shared.stop.load(Ordering::Acquire) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                maybe_kill(&shared.kill, KillPoint::Accept);
+                let sh = Arc::clone(&shared);
+                let h = std::thread::Builder::new()
+                    .name("kv-conn".into())
+                    .spawn(move || conn_loop(stream, sh))
+                    .expect("spawn conn");
+                shared.conns.lock().unwrap().push(h);
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => break,
+        }
+    }
+}
+
+fn conn_loop(mut stream: TcpStream, shared: Arc<Shared>) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(50)));
+    let stop = Arc::clone(&shared.stop);
+    let stop_fn = move || stop.load(Ordering::Acquire);
+    loop {
+        let frame = match read_frame(&mut stream, &stop_fn) {
+            Ok(Some(f)) => f,
+            Ok(None) => return, // clean close or stop
+            Err(_) => return,   // torn frame / transport error
+        };
+        let payload = match frame {
+            Frame::Payload(p) => p,
+            Frame::Bad(status) => {
+                // The stream is unsynchronized: answer typed, then close.
+                let _ = stream.write_all(&encode_response(&Response::err(status, 0)));
+                return;
+            }
+        };
+        let resp = match parse_request(&payload) {
+            Err(status) => Response::err(status, 0),
+            Ok(req) => {
+                maybe_kill(&shared.kill, KillPoint::Parse);
+                let (tx, rx) = mpsc::channel();
+                let widx = route(req.client_id, shared.txs.len());
+                if shared.txs[widx].send(Job { req, reply: tx }).is_err() {
+                    return; // shutting down
+                }
+                match rx.recv() {
+                    Ok(r) => r,
+                    Err(_) => return, // shutting down
+                }
+            }
+        };
+        if stream.write_all(&encode_response(&resp)).is_err() {
+            return;
+        }
+        let _ = stream.flush();
+        maybe_kill(&shared.kill, KillPoint::PostAck);
+        if resp.status.is_fatal() {
+            return;
+        }
+    }
+}
+
+/// Client → worker routing. Deterministic, so one client's requests always
+/// serialize through the same worker (across connections too).
+fn route(client_id: u64, n: usize) -> usize {
+    (client_id.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 33) as usize % n
+}
+
+fn worker_loop(ctx: WorkerCtx, tid: usize, rx: mpsc::Receiver<Job>) {
+    nvm::tid::set_tid(tid);
+    for job in rx {
+        let resp = handle(&ctx, tid, &job.req);
+        let _ = job.reply.send(resp);
+    }
+}
+
+/// One request, applied exactly once (see module docs for the ordering).
+fn handle(ctx: &WorkerCtx, pid: usize, req: &Request) -> Response {
+    let Some(client_idx) = ctx.resptab.register(req.client_id) else {
+        return Response::err(Status::TableFull, req.op_seq);
+    };
+    let (last_seq, stored) = ctx.resptab.lookup(req.client_id).expect("registered above");
+    if req.op_seq == last_seq && last_seq != 0 {
+        // Retry of the acknowledged operation: replay the original
+        // response from the durable table; nothing is re-applied.
+        nvm::stats::count_kv_dedup_hits(1);
+        return Response { status: Status::Ok, op_seq: req.op_seq, value: stored };
+    }
+    if req.op_seq <= last_seq {
+        return Response::err(Status::StaleSeq, req.op_seq);
+    }
+    if req.op_seq != last_seq + 1 {
+        return Response::err(Status::SeqGap, req.op_seq);
+    }
+    if ctx.resptab.foreign_inflight(req.client_id, ctx.own_band.clone()) {
+        // The client's previous request died with a peer process whose
+        // recovery hasn't resolved it; applying now could double-apply.
+        return Response::err(Status::Recovering, req.op_seq);
+    }
+    // The system half of the invocation (`CP_q := 0`, persisted) MUST
+    // precede the intent record — this is what pins a later Completed
+    // replay decision to *this* op-ID (see `isb::resptable`).
+    match req.op {
+        OpCode::Put | OpCode::Del | OpCode::Get => ctx.map.note_invocation(pid),
+        OpCode::Enq | OpCode::Deq => ctx.queue.note_invocation(pid),
+    }
+    ctx.resptab.begin_op(pid, req.client_id, req.op_seq, req.op as u64, req.arg);
+    maybe_kill(&ctx.kill, KillPoint::Invoke);
+    let value = match req.op {
+        OpCode::Put => {
+            if ctx.map.insert(pid, req.arg) {
+                RES_TRUE
+            } else {
+                RES_FALSE
+            }
+        }
+        OpCode::Del => {
+            if ctx.map.delete(pid, req.arg) {
+                RES_TRUE
+            } else {
+                RES_FALSE
+            }
+        }
+        OpCode::Get => {
+            if ctx.map.find(pid, req.arg) {
+                RES_TRUE
+            } else {
+                RES_FALSE
+            }
+        }
+        OpCode::Enq => {
+            ctx.queue.enqueue(pid, req.arg);
+            RES_UNIT
+        }
+        OpCode::Deq => match ctx.queue.dequeue(pid) {
+            Some(v) => res_val(v),
+            None => isb::engine::RES_EMPTY,
+        },
+    };
+    ctx.resptab.finish_op(pid, client_idx, req.op_seq, value);
+    maybe_kill(&ctx.kill, KillPoint::PreAck);
+    nvm::stats::count_kv_requests(1);
+    Response { status: Status::Ok, op_seq: req.op_seq, value }
+}

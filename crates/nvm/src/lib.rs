@@ -76,7 +76,7 @@ pub mod sim;
 pub mod stats;
 pub mod tid;
 
-pub use liveness::{PidLiveness, ProcProbe};
+pub use liveness::{die_sigkill, PidLiveness, ProcProbe};
 pub use mapped::{MapError, MappedHeap, MappedNvm};
 pub use pad::CachePadded;
 pub use persist::{CountingNvm, NoPersist, Persist, RealNvm};

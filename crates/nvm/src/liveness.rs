@@ -68,6 +68,47 @@ pub fn self_birth() -> u64 {
     proc_stat(std::process::id() as u64).map_or(0, |(_, start)| start)
 }
 
+/// Delivers `SIGKILL` to the calling process: the crash-injection primitive
+/// of the SIGKILL conformance harnesses. Unlike `std::process::abort`, the
+/// kernel tears the process down with **no** user-space epilogue at all —
+/// exactly the failure the recovery protocol is specified against — so
+/// kill-point injection with this helper exercises the same windows a
+/// `kill -9` from outside would.
+///
+/// On platforms without the raw syscall the fallback is `abort` (no unwind,
+/// no atexit handlers), which is indistinguishable for mapped-heap state.
+pub fn die_sigkill() -> ! {
+    const SIGKILL: usize = 9;
+    let pid = std::process::id() as usize;
+    #[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+    unsafe {
+        core::arch::asm!(
+            "syscall",
+            inlateout("rax") 62usize => _, // __NR_kill
+            in("rdi") pid,
+            in("rsi") SIGKILL,
+            lateout("rcx") _,
+            lateout("r11") _,
+            options(nostack)
+        );
+    }
+    #[cfg(all(target_os = "linux", target_arch = "aarch64"))]
+    unsafe {
+        core::arch::asm!(
+            "svc 0",
+            in("x8") 129usize, // __NR_kill
+            inlateout("x0") pid => _,
+            in("x1") SIGKILL,
+            options(nostack)
+        );
+    }
+    #[cfg(not(all(target_os = "linux", any(target_arch = "x86_64", target_arch = "aarch64"))))]
+    let _ = (pid, SIGKILL);
+    // Unreachable on Linux (SIGKILL is not deliverable-to-later: the
+    // calling thread never returns to user space); the portable fallback.
+    std::process::abort()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

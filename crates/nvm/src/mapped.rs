@@ -2159,7 +2159,7 @@ impl MappedHeap {
     /// allocator metadata** (segment slots, granule ranges) — it does *not*
     /// gate dereference safety: shared attachers map their whole reservation
     /// file-backed up front, so peer-published bytes are readable before any
-    /// refresh runs (see [`map_shared_window`]). The allocator refreshes on
+    /// refresh runs (see `map_shared_window`). The allocator refreshes on
     /// demand; public so readers about to translate a peer-published granule
     /// (catalog adoption) can refresh without allocating.
     pub fn refresh_segments(&self) -> Result<(), MapError> {

@@ -54,6 +54,15 @@ pub struct Slot {
     /// Pinned epoch announcements of dead participants released by the
     /// recovery path — each one was wedging cross-process reclamation.
     pub epoch_stalls: AtomicU64,
+    /// KV-service requests applied to a structure (excludes dedup replays).
+    pub kv_requests: AtomicU64,
+    /// KV-service retries answered from the durable response table without
+    /// re-applying the operation (the client-visible exactly-once path).
+    pub kv_dedup_hits: AtomicU64,
+    /// KV-service in-flight intents resolved by attach or peer recovery
+    /// (each was a request interrupted by a crash and decided
+    /// Completed-with-response or Restart).
+    pub kv_intents_resolved: AtomicU64,
 }
 
 struct Table {
@@ -163,6 +172,24 @@ pub fn count_epoch_stalls(n: u64) {
     my_slot().epoch_stalls.fetch_add(n, Relaxed);
 }
 
+/// Record `n` KV-service requests applied to a structure.
+#[inline]
+pub fn count_kv_requests(n: u64) {
+    my_slot().kv_requests.fetch_add(n, Relaxed);
+}
+
+/// Record `n` KV-service dedup replays (responses served from the table).
+#[inline]
+pub fn count_kv_dedup_hits(n: u64) {
+    my_slot().kv_dedup_hits.fetch_add(n, Relaxed);
+}
+
+/// Record `n` KV in-flight intents resolved by attach or peer recovery.
+#[inline]
+pub fn count_kv_intents_resolved(n: u64) {
+    my_slot().kv_intents_resolved.fetch_add(n, Relaxed);
+}
+
 /// Aggregated snapshot of all per-process counters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct Snapshot {
@@ -196,6 +223,12 @@ pub struct Snapshot {
     pub leases_stolen: u64,
     /// Dead-peer pinned epochs released by recovery.
     pub epoch_stalls: u64,
+    /// KV-service requests applied to a structure.
+    pub kv_requests: u64,
+    /// KV-service dedup replays served from the response table.
+    pub kv_dedup_hits: u64,
+    /// KV in-flight intents resolved by attach or peer recovery.
+    pub kv_intents_resolved: u64,
 }
 
 impl Snapshot {
@@ -217,6 +250,11 @@ impl Snapshot {
             peers_recovered: self.peers_recovered.saturating_sub(earlier.peers_recovered),
             leases_stolen: self.leases_stolen.saturating_sub(earlier.leases_stolen),
             epoch_stalls: self.epoch_stalls.saturating_sub(earlier.epoch_stalls),
+            kv_requests: self.kv_requests.saturating_sub(earlier.kv_requests),
+            kv_dedup_hits: self.kv_dedup_hits.saturating_sub(earlier.kv_dedup_hits),
+            kv_intents_resolved: self
+                .kv_intents_resolved
+                .saturating_sub(earlier.kv_intents_resolved),
         }
     }
 }
@@ -240,6 +278,9 @@ pub fn snapshot() -> Snapshot {
         s.peers_recovered += slot.peers_recovered.load(Relaxed);
         s.leases_stolen += slot.leases_stolen.load(Relaxed);
         s.epoch_stalls += slot.epoch_stalls.load(Relaxed);
+        s.kv_requests += slot.kv_requests.load(Relaxed);
+        s.kv_dedup_hits += slot.kv_dedup_hits.load(Relaxed);
+        s.kv_intents_resolved += slot.kv_intents_resolved.load(Relaxed);
     }
     s
 }
@@ -262,6 +303,9 @@ pub fn reset() {
         slot.peers_recovered.store(0, Relaxed);
         slot.leases_stolen.store(0, Relaxed);
         slot.epoch_stalls.store(0, Relaxed);
+        slot.kv_requests.store(0, Relaxed);
+        slot.kv_dedup_hits.store(0, Relaxed);
+        slot.kv_intents_resolved.store(0, Relaxed);
     }
 }
 

@@ -52,6 +52,13 @@ fn restart_kv_runs() {
 }
 
 #[test]
+fn kv_demo_runs() {
+    let out = run_example(env!("CARGO_BIN_EXE_kv_demo"), &[]);
+    assert!(out.contains("byte-identical"), "unexpected output:\n{out}");
+    assert!(out.contains("kv service demo OK"), "unexpected output:\n{out}");
+}
+
+#[test]
 fn pipeline_runs() {
     let out = run_example(env!("CARGO_BIN_EXE_pipeline"), &[]);
     assert!(out.contains("reconciled total"), "unexpected output:\n{out}");

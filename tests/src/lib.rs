@@ -1,1 +1,3 @@
 //! Integration-test helpers (see tests/).
+
+pub mod kv;

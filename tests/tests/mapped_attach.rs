@@ -560,3 +560,137 @@ fn structure_survives_growth_across_attach() {
     drop(map);
     let _ = std::fs::remove_file(&path);
 }
+
+// ---------------------------------------------------------------------------
+// Response-table corruption (the KV service's exactly-once dedup state)
+// ---------------------------------------------------------------------------
+
+// Root block layout (see isb::resptable): 64-byte header (word 0 = magic
+// "RTB1"), then nvm::MAX_PROCS intent slots [state, client_id, op_seq, op,
+// arg], then 256 client slots [id, last_seq, resp] — 64 bytes each.
+const RTAB_MAGIC: u64 = 0x5254_4231;
+
+fn rtab_offset(path: &PathBuf) -> u64 {
+    root_offset(path, 0x5245_5350) // rootkeys::RESPTAB
+}
+
+fn rtab_client_off(rtab: u64, idx: usize) -> u64 {
+    rtab + 64 * (1 + nvm::MAX_PROCS as u64 + idx as u64)
+}
+
+fn rtab_intent_off(rtab: u64, pid: usize) -> u64 {
+    rtab + 64 * (1 + pid as u64)
+}
+
+/// Builds a store whose response table carries one finalized client record
+/// (id 42, watermark seq 5, response `RES_TRUE`); returns the table's file
+/// offset and the client's slot index.
+fn mk_kv_store(path: &PathBuf) -> (u64, usize) {
+    nvm::tid::set_tid(0);
+    let idx = {
+        let store = Store::open_sized(path, HEAP_BYTES).unwrap();
+        let m = store.hashmap::<0>("kv", SHARDS).unwrap();
+        assert!(m.insert(0, 1));
+        let tab = store.response_table();
+        let idx = tab.register(42).expect("slot free");
+        tab.finish_op(0, idx, 5, 2 /* RES_TRUE */);
+        idx
+    };
+    (rtab_offset(path), idx)
+}
+
+#[test]
+fn resptable_bad_magic_fails_typed() {
+    let path = tmp("rtab_magic");
+    let (rtab, _idx) = mk_kv_store(&path);
+    assert_eq!(read_at(&path, rtab), RTAB_MAGIC, "layout drifted: header not where expected");
+    patch(&path, rtab, &0xDEAD_BEEFu64.to_le_bytes());
+    match store_err(&path) {
+        AttachError::CorruptResponseTable { slot: 0, reason } => {
+            assert!(reason.contains("magic"), "unexpected reason: {reason}");
+        }
+        e => panic!("expected CorruptResponseTable, got {e}"),
+    }
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn resptable_garbage_intent_state_fails_typed() {
+    let path = tmp("rtab_state");
+    let (rtab, _idx) = mk_kv_store(&path);
+    // State words are 0 (empty) or 1 (in-flight); 7 is bit rot, not a
+    // crash shape, and healing must refuse to guess.
+    patch(&path, rtab_intent_off(rtab, 3), &7u64.to_le_bytes());
+    match store_err(&path) {
+        AttachError::CorruptResponseTable { slot, reason } => {
+            assert_eq!(slot, 3, "error must name the damaged intent slot");
+            assert!(reason.contains("state"), "unexpected reason: {reason}");
+        }
+        e => panic!("expected CorruptResponseTable, got {e}"),
+    }
+    let _ = std::fs::remove_file(&path);
+}
+
+/// A client slot with `id == 0` but residue in `last_seq`/`resp` is a torn
+/// registration (the ID stamp never persisted): healing zeroes it, and the
+/// client re-registers fresh.
+#[test]
+fn resptable_torn_client_slot_heals_to_empty() {
+    let path = tmp("rtab_torn");
+    let (rtab, idx) = mk_kv_store(&path);
+    // A torn registration in some OTHER slot than client 42's.
+    let torn = (idx + 7) % 256;
+    patch(&path, rtab_client_off(rtab, torn) + 8, &99u64.to_le_bytes());
+    patch(&path, rtab_client_off(rtab, torn) + 16, &77u64.to_le_bytes());
+    nvm::tid::set_tid(0);
+    let store = Store::open_sized(&path, HEAP_BYTES).unwrap();
+    let tab = store.response_table();
+    assert_eq!(tab.lookup(42), Some((5, 2)), "intact slot survives healing");
+    assert_eq!(read_at(&path, rtab_client_off(rtab, torn) + 8), 0, "residue zeroed");
+    assert_eq!(read_at(&path, rtab_client_off(rtab, torn) + 16), 0, "residue zeroed");
+    drop((tab, store));
+    let _ = std::fs::remove_file(&path);
+}
+
+/// Two slots claiming the same client ID (a crash between a slot CAS and
+/// its persist can leave the retried registration in a second slot): the
+/// heal is deterministic — the higher ack watermark wins, the stale slot
+/// is reclaimed.
+#[test]
+fn resptable_duplicate_client_heals_to_higher_watermark() {
+    let path = tmp("rtab_dup");
+    let (rtab, idx) = mk_kv_store(&path);
+    let dup = (idx + 11) % 256;
+    patch(&path, rtab_client_off(rtab, dup), &42u64.to_le_bytes()); // same id
+    patch(&path, rtab_client_off(rtab, dup) + 8, &2u64.to_le_bytes()); // stale seq
+    patch(&path, rtab_client_off(rtab, dup) + 16, &1u64.to_le_bytes()); // RES_FALSE
+    nvm::tid::set_tid(0);
+    let store = Store::open_sized(&path, HEAP_BYTES).unwrap();
+    let tab = store.response_table();
+    assert_eq!(tab.lookup(42), Some((5, 2)), "higher watermark must win");
+    assert_eq!(read_at(&path, rtab_client_off(rtab, dup)), 0, "stale duplicate reclaimed");
+    drop((tab, store));
+    let _ = std::fs::remove_file(&path);
+}
+
+/// An in-flight intent naming a client that never (durably) registered:
+/// the crash predates the client's first persisted registration, so there
+/// is nothing to finalize — healing clears the intent and the client's
+/// retry runs fresh.
+#[test]
+fn resptable_orphan_intent_heals_to_clear() {
+    let path = tmp("rtab_orphan");
+    let (rtab, _idx) = mk_kv_store(&path);
+    let pid = 5usize;
+    patch(&path, rtab_intent_off(rtab, pid) + 8, &777u64.to_le_bytes()); // unregistered id
+    patch(&path, rtab_intent_off(rtab, pid) + 16, &1u64.to_le_bytes()); // op_seq
+    patch(&path, rtab_intent_off(rtab, pid), &1u64.to_le_bytes()); // ST_INFLIGHT
+    nvm::tid::set_tid(0);
+    let store = Store::open_sized(&path, HEAP_BYTES).unwrap();
+    let tab = store.response_table();
+    assert!(tab.inflight(pid).is_none(), "orphan intent must be cleared by healing");
+    assert_eq!(tab.lookup(777), None, "the phantom client does not exist");
+    assert_eq!(tab.lookup(42), Some((5, 2)), "unrelated state untouched");
+    drop((tab, store));
+    let _ = std::fs::remove_file(&path);
+}

@@ -1679,3 +1679,117 @@ fn five_kinds_sigkill_recovers_through_one_driver() {
     );
     assert!(total_acked > 0, "no seed produced any acked work — kill timing broken");
 }
+
+// ---------------------------------------------------------------------------
+// Shared-heap KV service failover: SIGKILL one of two server PROCESSES on
+// the same heap; the survivor serves the dead peer's clients while its
+// healer recovers them online
+// ---------------------------------------------------------------------------
+
+const KV_SHARED_HEAP_BYTES: usize = 32 * 1024 * 1024;
+
+/// Child: one shared-mode [`kvserve::Server`] process. Both children open
+/// the SAME heap (`open_shared_sized` behind `Config::shared`), each inside
+/// its own participant tid band, each running the peer-recovery healer.
+/// Publishes its port as `kvport_<idx>` once accepting.
+#[test]
+#[ignore = "child half of the shared-heap KV failover leg; spawned by the parent test"]
+fn shared_kv_server_child() {
+    let Ok(dir) = std::env::var("ISB_KV_DIR") else { return };
+    let dir = PathBuf::from(dir);
+    let idx: usize = std::env::var("ISB_KV_IDX").unwrap().parse().unwrap();
+    let mut cfg = kvserve::Config::new(dir.join("kvshared.heap"));
+    cfg.heap_bytes = KV_SHARED_HEAP_BYTES;
+    cfg.shards = 4;
+    cfg.workers = 2;
+    cfg.shared = true;
+    let server = kvserve::Server::start(cfg).expect("shared server start");
+    let tmp = dir.join(format!("kvport_{idx}.tmp"));
+    std::fs::write(&tmp, server.local_addr().port().to_string()).unwrap();
+    std::fs::rename(&tmp, dir.join(format!("kvport_{idx}"))).unwrap();
+    let stop = dir.join("kvstop");
+    while !stop.exists() {
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    server.stop();
+}
+
+/// Two shared-mode KV server processes front one heap. One is SIGKILLed
+/// mid-traffic; the survivor keeps serving its own clients throughout, and
+/// the dead server's clients reconnect to the survivor and retry their
+/// pending requests exactly-once. The survivor's healer resolves the dead
+/// peer's in-flight op IDs online — retries that race it are answered with
+/// the typed `Recovering` backpressure status, which the client absorbs.
+#[test]
+fn shared_kv_failover_serves_dead_peers_clients() {
+    use isb_tests::kv::{wait_port, MapClient, QueueClient};
+
+    let dir = std::env::temp_dir().join(format!("isb_kv_failover_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let ctx = "kv-failover";
+
+    let spawn = |idx: usize| {
+        std::process::Command::new(std::env::current_exe().unwrap())
+            .args(["--exact", "shared_kv_server_child", "--include-ignored", "--nocapture"])
+            .env("ISB_KV_DIR", &dir)
+            .env("ISB_KV_IDX", idx.to_string())
+            .stdout(std::process::Stdio::null())
+            .stderr(std::process::Stdio::null())
+            .spawn()
+            .expect("spawn shared kv server")
+    };
+    // Serialize the two starts: the first create and the joiner exercise
+    // different attach paths, and this keeps which-is-which deterministic.
+    let mut child0 = spawn(0);
+    let addr0 = wait_port(&dir.join("kvport_0"), ctx);
+    let mut child1 = spawn(1);
+    let addr1 = wait_port(&dir.join("kvport_1"), ctx);
+
+    // Survivor-side client on server 0; victim-side clients on server 1.
+    let mut m0 = MapClient::new(11, 21, 5000);
+    let mut m1 = MapClient::new(12, 22, 6000);
+    let mut q1 = QueueClient::new(13, 23);
+    m0.connect(addr0, false, ctx);
+    m1.connect(addr1, false, ctx);
+    q1.connect(addr1, false, ctx);
+
+    for _ in 0..40 {
+        assert!(m0.step(ctx), "{ctx}: warmup on server 0");
+        assert!(m1.step(ctx), "{ctx}: warmup on server 1");
+        assert!(q1.step(ctx), "{ctx}: warmup queue on server 1");
+    }
+
+    child1.kill().expect("SIGKILL server 1");
+    child1.wait().expect("reap server 1");
+
+    // Drive the victim clients into the transport error (their requests
+    // stay pending) while the survivor keeps acking its own traffic.
+    let t0 = Instant::now();
+    while m1.step(ctx) || q1.step(ctx) {
+        assert!(m0.step(ctx), "{ctx}: survivor must serve during peer death");
+        assert!(t0.elapsed() < Duration::from_secs(30), "{ctx}: victim clients never failed over");
+    }
+
+    // Failover: the dead server's clients retry against the survivor. The
+    // `recover` path retries pending ops exactly-once and replays the ack
+    // watermark byte-identically — same contract as a restart, but served
+    // by a different process while recovery happens online.
+    m1.recover(addr0, ctx);
+    q1.recover(addr0, ctx);
+
+    for _ in 0..60 {
+        assert!(m0.step(ctx), "{ctx}: post-failover server 0 client");
+        assert!(m1.step(ctx), "{ctx}: post-failover migrated map client");
+        assert!(q1.step(ctx), "{ctx}: post-failover migrated queue client");
+    }
+
+    m0.sweep(ctx);
+    m1.sweep(ctx);
+    q1.drain(ctx);
+
+    std::fs::write(dir.join("kvstop"), b"ok").unwrap();
+    let status = child0.wait().expect("reap server 0");
+    assert!(status.success(), "{ctx}: survivor clean shutdown failed");
+    let _ = std::fs::remove_dir_all(&dir);
+}
