@@ -24,31 +24,37 @@
 //!
 //! The request path is, in order:
 //!
-//! 1. dedup check (`op_seq == last_seq` → replay stored response);
-//! 2. `mark_invoked(pid)` — the system half: `CP_q := 0`, persisted;
-//! 3. [`ResponseTable::begin_op`] — durable intent record, state word
+//! 1. foreign-intent check ([`ResponseTable::foreign_inflight`] → typed
+//!    `Recovering`) — **before any read of the client slot**: a dead
+//!    peer's resolver finalizes into the client slot and only then clears
+//!    the intent, so the observed absence of the intent is what proves
+//!    the dedup pair below is quiescent and the watermark fully resolved;
+//! 2. dedup check (`op_seq == last_seq` → replay stored response);
+//! 3. `mark_invoked(pid)` — the system half: `CP_q := 0`, persisted;
+//! 4. [`ResponseTable::begin_op`] — durable intent record, state word
 //!    stamped last (after a flush + fence over the payload words);
-//! 4. apply the structure operation (which publishes its own descriptor);
-//! 5. [`ResponseTable::finish_op`] — durable response finalize into the
+//! 5. apply the structure operation (which publishes its own descriptor);
+//! 6. [`ResponseTable::finish_op`] — durable response finalize into the
 //!    client slot (`resp` word flushed and fenced **before** `last_seq`),
 //!    then the intent is cleared;
-//! 6. acknowledge on the socket.
+//! 7. acknowledge on the socket.
 //!
-//! Step 2 before step 3 is load-bearing: because `CP_q` is durably zero
+//! Step 3 before step 4 is load-bearing: because `CP_q` is durably zero
 //! before the intent record exists, a `Completed` replay decision found
 //! behind an in-flight intent can only describe *this* operation — never a
 //! stale descriptor of the previous one (see
 //! [`RecArea::mark_invoked`](crate::recovery::RecArea::mark_invoked)).
-//! Step 5's internal order makes the client-slot pair atomic for readers:
+//! Step 6's internal order makes the client-slot pair atomic for readers:
 //! `last_seq` is written only after its response word is flush+fenced, so
-//! `op_seq == last_seq` proves `resp` is that operation's response.
+//! `op_seq == last_seq` proves `resp` is that operation's response — given
+//! step 1, which rules out a concurrent resolver mid-finalize on the slot.
 //!
-//! Crash windows, per step: before 3 → no intent, decision ignored, client
+//! Crash windows, per step: before 4 → no intent, decision ignored, client
 //! retry re-applies as fresh (the operation never started, or at worst
-//! published nothing: `Restart`). Between 3 and 5 → intent in flight;
+//! published nothing: `Restart`). Between 4 and 6 → intent in flight;
 //! `Completed(res)` finalizes `res` into the client slot, `Restart` just
-//! clears the intent and the retry re-applies. Between 5's finalize and the
-//! intent clear → re-finalizing is idempotent (same words). After 5 → the
+//! clears the intent and the retry re-applies. Between 6's finalize and the
+//! intent clear → re-finalizing is idempotent (same words). After 6 → the
 //! retry is a dedup hit. In every window the operation applies exactly once
 //! and the response the client eventually reads is the original.
 //!
@@ -82,6 +88,13 @@ const MAGIC: u64 = 0x5254_4231; // "RTB1"
 const ST_EMPTY: u64 = 0;
 /// Intent state: the recorded op-ID is being applied.
 const ST_INFLIGHT: u64 = 1;
+
+/// Client-slot ID left when healing drops a duplicate registration.
+/// [`ResponseTable::find`] probes *past* a tombstone (writing a plain 0
+/// mid-chain would truncate the probe chain of every client that passed
+/// through the slot, orphaning their watermarks), and registration may
+/// reclaim it. `u64::MAX` is reserved: client IDs must be below it.
+const TOMBSTONE: u64 = u64::MAX;
 
 /// One client's dedup/response record (64 bytes).
 #[repr(C)]
@@ -118,7 +131,9 @@ pub struct HealReport {
     /// persisted (`id == 0` with residue in `last_seq`/`resp`).
     pub torn_clients: usize,
     /// Duplicate registrations collapsed: the slot with the lower
-    /// `last_seq` was zeroed (deterministically, ties keep the first).
+    /// `last_seq` was tombstoned (deterministically, ties keep the first;
+    /// a tombstone keeps later chain entries reachable and is reusable by
+    /// new registrations).
     pub dup_clients: usize,
     /// In-flight intents naming no registered client, cleared (the crash
     /// predates the client's first durable registration — nothing to
@@ -223,7 +238,9 @@ impl ResponseTable {
         (client_id.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as usize % CLIENT_SLOTS
     }
 
-    /// Finds `client_id`'s slot index, if registered.
+    /// Finds `client_id`'s slot index, if registered. Only a free slot
+    /// (`id == 0`) terminates the probe: tombstones and other clients'
+    /// slots are probed past.
     fn find(&self, client_id: u64) -> Option<usize> {
         let start = Self::probe_start(client_id);
         for i in 0..CLIENT_SLOTS {
@@ -240,46 +257,78 @@ impl ResponseTable {
     }
 
     /// Registers `client_id` (idempotent), returning its slot index, or
-    /// `None` when the table is full. `client_id` must be nonzero.
+    /// `None` when the table is full. `client_id` must be nonzero and
+    /// below `u64::MAX` (the tombstone value).
     pub fn register(&self, client_id: u64) -> Option<usize> {
         assert_ne!(client_id, 0, "client IDs are nonzero");
-        let start = Self::probe_start(client_id);
-        for i in 0..CLIENT_SLOTS {
-            let idx = (start + i) % CLIENT_SLOTS;
-            let s = self.client(idx);
-            let id = s.id.load();
-            if id == client_id {
-                return Some(idx);
+        assert_ne!(client_id, TOMBSTONE, "client ID u64::MAX is reserved");
+        // A lost CAS race below means a different client claimed the slot
+        // mid-probe (a racing claim for the *same* id cannot exist — one
+        // worker per client); re-probe from the start against the new
+        // occupancy. Each retry follows another client's successful claim,
+        // so the loop terminates: the table fills in ≤ CLIENT_SLOTS claims.
+        'probe: loop {
+            let start = Self::probe_start(client_id);
+            // Earliest tombstone passed on this probe: the preferred claim
+            // target — reusing it keeps chains short and stops repeated
+            // heals from leaking slots forever.
+            let mut grave: Option<usize> = None;
+            for i in 0..CLIENT_SLOTS {
+                let idx = (start + i) % CLIENT_SLOTS;
+                let id = self.client(idx).id.load();
+                if id == client_id {
+                    return Some(idx);
+                }
+                if id == TOMBSTONE {
+                    grave.get_or_insert(idx);
+                    continue;
+                }
+                if id == 0 {
+                    // Free terminator: `client_id` is not registered (a
+                    // registered slot is never zeroed, so no chain passes
+                    // a 0). Claim the earliest tombstone if we passed one,
+                    // else this free slot.
+                    let (claim, expect) = match grave {
+                        Some(g) => (g, TOMBSTONE),
+                        None => (idx, 0),
+                    };
+                    let s = self.client(claim);
+                    if s.id.cas(expect, client_id) == expect {
+                        // The ID stamp is the slot's commit point: persist
+                        // it before any response lands here. A crash before
+                        // this flush reaches media leaves the slot free (or
+                        // tombstoned) with zero residue — still claimable.
+                        MappedNvm::pbarrier(&s.id);
+                        return Some(claim);
+                    }
+                    continue 'probe;
+                }
             }
-            if id == 0 {
-                // Claim by CAS; a racing claim for the *same* id cannot
-                // exist (one worker per client), so a lost race means a
-                // different client took the slot — keep probing.
-                if s.id.cas(0, client_id) == 0 {
-                    // The ID stamp is the slot's commit point: persist it
-                    // before any response lands here. A crash before this
-                    // flush reaches media leaves `id == 0` with zero
-                    // residue (fresh slots are zeroed) — still free.
-                    MappedNvm::pbarrier(&s.id);
-                    return Some(idx);
-                }
-                if s.id.load() == client_id {
-                    return Some(idx);
-                }
+            // No free terminator: full scan. A passed tombstone is still
+            // claimable (the full scan proved `client_id` is nowhere).
+            let g = grave?;
+            let s = self.client(g);
+            if s.id.cas(TOMBSTONE, client_id) == TOMBSTONE {
+                MappedNvm::pbarrier(&s.id);
+                return Some(g);
             }
         }
-        None
     }
 
     /// The client's ack watermark and the response stored at it:
     /// `(last_seq, resp)`, or `None` for an unregistered client. A
     /// `last_seq` of 0 means no operation was ever acknowledged.
+    ///
+    /// The pair is read as written (`resp` paired with `last_seq`) only
+    /// while no concurrent writer is finalizing the slot. The routed
+    /// worker is the sole live writer; a dead peer's *resolver* is the
+    /// other one — which is why the service checks
+    /// [`ResponseTable::foreign_inflight`] **before** calling this (a
+    /// resolver finalizes, then clears the intent, so no foreign intent ⇒
+    /// the slot is quiescent).
     pub fn lookup(&self, client_id: u64) -> Option<(u64, u64)> {
         let idx = self.find(client_id)?;
         let s = self.client(idx);
-        // `last_seq` is written after `resp` is flush+fenced, and loads
-        // here are acquires: seq read first, so the resp read below is at
-        // least as new as the seq that justified it.
         let seq = s.last_seq.load();
         let resp = s.resp.load();
         Some((seq, resp))
@@ -376,11 +425,15 @@ impl ResponseTable {
     }
 
     /// `true` when some pid *outside* `own_band` holds an in-flight intent
-    /// for `client_id`. The service checks this before fresh-applying a
-    /// request after failover: a hit means the client's previous request
-    /// died with a peer whose recovery has not resolved it yet — applying
-    /// now could double-apply, so the server answers a typed `Recovering`
-    /// error and the client retries after the healer has run.
+    /// for `client_id`. The service checks this **before reading the
+    /// client slot at all** (step 1 of the module docs): a hit means the
+    /// client's previous request died with a peer whose recovery has not
+    /// resolved it yet — applying now could double-apply, so the server
+    /// answers a typed `Recovering` error and the client retries after
+    /// the healer has run. Conversely, a miss proves the slot quiescent:
+    /// [`ResponseTable::resolve`] finalizes (psync) before clearing the
+    /// intent, and the state-word load here is an acquire, so a cleared
+    /// intent makes the finalized watermark visible to a later lookup.
     pub fn foreign_inflight(&self, client_id: u64, own_band: std::ops::Range<usize>) -> bool {
         (0..nvm::MAX_PROCS).any(|pid| {
             !own_band.contains(&pid) && {
@@ -400,12 +453,12 @@ impl ResponseTable {
         for idx in 0..CLIENT_SLOTS {
             let s = self.client(idx);
             let id = s.id.load();
-            if id == 0 {
+            if id == 0 || id == TOMBSTONE {
                 if s.last_seq.load() != 0 || s.resp.load() != 0 {
                     // Registration tore before the ID stamp persisted but
                     // after response words landed — impossible under the
                     // live ordering (ID is persisted at claim), yet cheap
-                    // to heal deterministically: the slot is free.
+                    // to heal deterministically: the slot is claimable.
                     s.last_seq.store(0);
                     s.resp.store(0);
                     MappedNvm::pwb(&s.last_seq);
@@ -418,7 +471,12 @@ impl ResponseTable {
                 // Duplicate registration (a torn probe chain). Keep the
                 // slot with the higher watermark — it supersedes the other
                 // by the ack-watermark argument; ties keep the earlier
-                // slot, which the probe order reaches first.
+                // slot, which the probe order reaches first. The dropped
+                // slot becomes a TOMBSTONE, not 0: a mid-chain 0 would
+                // stop `find` short and orphan every client whose probe
+                // chain passed through this slot (it would re-register in
+                // the hole with a fresh watermark and be answered `SeqGap`
+                // forever after).
                 let (keep, drop_) = if self.client(prev).last_seq.load() >= s.last_seq.load() {
                     (prev, idx)
                 } else {
@@ -427,7 +485,11 @@ impl ResponseTable {
                 let d = self.client(drop_);
                 d.last_seq.store(0);
                 d.resp.store(0);
-                d.id.store(0);
+                MappedNvm::pwb(&d.last_seq);
+                MappedNvm::pfence();
+                // Residue is durably zero before the tombstone stamp, so a
+                // later reclaim starts from a clean watermark.
+                d.id.store(TOMBSTONE);
                 MappedNvm::pwb(&d.id);
                 MappedNvm::psync();
                 seen.insert(id, keep);
@@ -532,6 +594,50 @@ mod tests {
         assert!(t.foreign_inflight(11, 0..8));
         assert!(!t.foreign_inflight(11, 16..24), "own band excluded");
         assert!(!t.foreign_inflight(12, 0..8), "other clients unaffected");
+    }
+
+    /// `n` distinct nonzero IDs sharing one probe start (a forced chain).
+    fn colliding_ids(n: usize) -> Vec<u64> {
+        let target = ResponseTable::probe_start(1);
+        let mut ids = Vec::new();
+        let mut id = 1u64;
+        while ids.len() < n {
+            if ResponseTable::probe_start(id) == target {
+                ids.push(id);
+            }
+            id += 1;
+        }
+        ids
+    }
+
+    #[test]
+    fn heal_dup_collapse_keeps_chain_reachable_and_reuses_tombstone() {
+        nvm::tid::set_tid(0);
+        let (_h, t) = mk("dupchain");
+        let ids = colliding_ids(3);
+        let (a, b, c) = (ids[0], ids[1], ids[2]);
+        let ia = t.register(a).unwrap();
+        // Forge the corrupt image healing must cope with: a duplicate
+        // registration of `a` in the next slot of its probe chain.
+        let dup = (ia + 1) % CLIENT_SLOTS;
+        t.client(dup).id.store(a);
+        let ib = t.register(b).unwrap();
+        assert_eq!(ib, (ia + 2) % CLIENT_SLOTS, "b probed past the duplicate");
+        t.finish_op(0, ib, 1, RES_TRUE);
+        let report = t.validate_heal().unwrap();
+        assert_eq!(report.dup_clients, 1);
+        // b's chain passes through the collapsed slot: it must still
+        // resolve to its slot and watermark (a zeroed slot would strand b
+        // behind a probe terminator and reset its watermark).
+        assert_eq!(t.register(b), Some(ib), "chain past the collapsed slot intact");
+        assert_eq!(t.lookup(b), Some((1, RES_TRUE)), "watermark survived the heal");
+        assert_eq!(t.lookup(a), Some((0, 0)), "kept slot still registered");
+        // A new colliding client reclaims the tombstone instead of
+        // growing the chain.
+        let ic = t.register(c).unwrap();
+        assert_eq!(ic, dup, "tombstone reclaimed");
+        assert_eq!(t.lookup(c), Some((0, 0)), "clean watermark on reclaim");
+        assert_eq!(t.register(b), Some(ib), "chain intact after the reclaim");
     }
 
     #[test]

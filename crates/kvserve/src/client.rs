@@ -14,7 +14,13 @@
 //!   didn't); in both cases exactly once.
 //!
 //! [`Status::Recovering`] answers (failover to a survivor racing the
-//! peer-recovery healer) are retried internally with a short backoff.
+//! peer-recovery healer) are retried internally with a short backoff; if
+//! the retries exhaust, the request **stays pending** — the dead peer's
+//! healer may yet finalize it, so its sequence number cannot be reused —
+//! and the caller re-issues it via [`KvClient::retry_pending`]. Every
+//! request is bounded by [`KvClient::request_timeout`]; a wedged server
+//! (accepts but never answers) fails typed with [`ClientError::TimedOut`]
+//! rather than hanging.
 
 use crate::proto::{
     encode_request, parse_response, read_frame, Frame, OpCode, Request, Response, Status,
@@ -22,7 +28,7 @@ use crate::proto::{
 use isb::engine::{val_of, RES_EMPTY, RES_TRUE, RES_UNIT, RES_VAL_BASE};
 use std::io::{self, Write};
 use std::net::{SocketAddr, TcpStream};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Typed client-side failures.
 #[derive(Debug)]
@@ -33,6 +39,10 @@ pub enum ClientError {
     Rejected(Status),
     /// The server's response frame was malformed.
     BadResponse(Status),
+    /// No response within [`KvClient::request_timeout`] (wedged server).
+    /// Like [`ClientError::Io`], the request may or may not have been
+    /// applied: it stays pending — reconnect and [`KvClient::retry_pending`].
+    TimedOut,
 }
 
 impl std::fmt::Display for ClientError {
@@ -41,6 +51,7 @@ impl std::fmt::Display for ClientError {
             ClientError::Io(e) => write!(f, "io: {e}"),
             ClientError::Rejected(s) => write!(f, "rejected: {s:?}"),
             ClientError::BadResponse(s) => write!(f, "bad response frame: {s:?}"),
+            ClientError::TimedOut => write!(f, "no response within the request deadline"),
         }
     }
 }
@@ -63,6 +74,10 @@ pub struct KvClient {
     last_acked: Option<(Request, Response)>,
     /// Cap on consecutive [`Status::Recovering`] retries (~2 ms apart).
     pub recovering_retries: u32,
+    /// Overall per-request deadline (send → response, including internal
+    /// [`Status::Recovering`] backoff). A server that accepts but never
+    /// answers fails typed ([`ClientError::TimedOut`]) instead of hanging.
+    pub request_timeout: Duration,
 }
 
 impl KvClient {
@@ -77,6 +92,7 @@ impl KvClient {
             pending: None,
             last_acked: None,
             recovering_retries: 2000,
+            request_timeout: Duration::from_secs(10),
         };
         c.reconnect(addr)?;
         Ok(c)
@@ -87,7 +103,10 @@ impl KvClient {
     pub fn reconnect(&mut self, addr: SocketAddr) -> io::Result<()> {
         let s = TcpStream::connect(addr)?;
         s.set_nodelay(true)?;
-        s.set_read_timeout(Some(Duration::from_secs(5)))?;
+        // Short socket timeout: `read_frame` retries `WouldBlock`, so this
+        // is the poll interval at which the overall request deadline is
+        // checked, not a per-request limit.
+        s.set_read_timeout(Some(Duration::from_millis(100)))?;
         self.addr = addr;
         self.stream = Some(s);
         Ok(())
@@ -108,16 +127,26 @@ impl KvClient {
         self.last_acked
     }
 
-    fn roundtrip_once(&mut self, req: &Request) -> Result<Response, ClientError> {
+    fn roundtrip_once(
+        &mut self,
+        req: &Request,
+        deadline: Instant,
+    ) -> Result<Response, ClientError> {
         let stream = self.stream.as_mut().ok_or_else(|| {
             ClientError::Io(io::Error::new(io::ErrorKind::NotConnected, "not connected"))
         })?;
         stream.write_all(&encode_request(req))?;
         stream.flush()?;
-        let frame = read_frame(stream, &|| false)?;
+        // The socket's short read timeout makes `read_frame` poll this
+        // closure; past the deadline it returns `Ok(None)` and the wait
+        // surfaces as a typed timeout instead of hanging forever on a
+        // wedged (accepting but unresponsive) server.
+        let expired = || Instant::now() >= deadline;
+        let frame = read_frame(stream, &expired)?;
         let payload = match frame {
             Some(Frame::Payload(p)) => p,
             Some(Frame::Bad(s)) => return Err(ClientError::BadResponse(s)),
+            None if expired() => return Err(ClientError::TimedOut),
             None => {
                 return Err(ClientError::Io(io::Error::new(
                     io::ErrorKind::UnexpectedEof,
@@ -129,13 +158,15 @@ impl KvClient {
     }
 
     /// Sends `req` and waits for its response, absorbing
-    /// [`Status::Recovering`] backpressure. Transport errors bubble up with
-    /// the request still recorded as pending.
+    /// [`Status::Recovering`] backpressure, all under one
+    /// [`KvClient::request_timeout`] deadline. Transport errors and
+    /// timeouts bubble up with the request still recorded as pending.
     fn roundtrip(&mut self, req: &Request) -> Result<Response, ClientError> {
+        let deadline = Instant::now() + self.request_timeout;
         let mut spins = self.recovering_retries;
         loop {
-            let resp = self.roundtrip_once(req)?;
-            if resp.status == Status::Recovering && spins > 0 {
+            let resp = self.roundtrip_once(req, deadline)?;
+            if resp.status == Status::Recovering && spins > 0 && Instant::now() < deadline {
                 spins -= 1;
                 std::thread::sleep(Duration::from_millis(2));
                 continue;
@@ -146,9 +177,16 @@ impl KvClient {
 
     fn finish(&mut self, req: Request, resp: Response) -> Result<u64, ClientError> {
         if resp.status != Status::Ok {
-            // The request was refused, not applied: drop it from pending so
-            // the session can continue (the seq was not consumed).
-            self.pending = None;
+            // Refusal statuses are answered before the server applies
+            // anything, so the seq was not consumed and pending can be
+            // released. `Recovering` proves no such thing: the dead peer's
+            // healer may yet finalize this very op-seq as Completed, and
+            // reusing the seq for a different operation would dedup-hit
+            // the old response and silently drop the new one — keep it
+            // pending; the caller retries with the original seq.
+            if resp.status != Status::Recovering {
+                self.pending = None;
+            }
             return Err(ClientError::Rejected(resp.status));
         }
         self.pending = None;

@@ -12,9 +12,12 @@
 //! record in the [`ResponseTable`].
 //!
 //! Worker order per request (see `isb::resptable` for the crash-window
-//! argument): dedup check → `note_invocation` (`CP_q := 0`, persisted) →
-//! durable intent record → structure op → durable response finalize →
-//! intent clear → socket acknowledgement.
+//! argument): foreign-intent (failover) check → dedup check →
+//! `note_invocation` (`CP_q := 0`, persisted) → durable intent record →
+//! structure op → durable response finalize → intent clear → socket
+//! acknowledgement. The foreign-intent check precedes even the dedup
+//! read: a dead peer's healer writes the same client slot, and only the
+//! observed absence of its intent proves the slot is quiescent.
 //!
 //! # Restart
 //!
@@ -421,6 +424,19 @@ fn handle(ctx: &WorkerCtx, pid: usize, req: &Request) -> Response {
     let Some(client_idx) = ctx.resptab.register(req.client_id) else {
         return Response::err(Status::TableFull, req.op_seq);
     };
+    // Failover guard FIRST — before the client slot is read at all. The
+    // healer resolves a dead peer's intent by finalizing into the client
+    // slot and only then clearing the intent, so observing no foreign
+    // intent here guarantees the lookup below reads the fully resolved
+    // watermark. Checking after the lookup leaves a race: a stale
+    // `last_seq` read before the healer finalized could pass the
+    // seq-window check once the intent clears and double-apply.
+    if ctx.resptab.foreign_inflight(req.client_id, ctx.own_band.clone()) {
+        // The client's previous request died with a peer process whose
+        // recovery hasn't resolved it; applying now could double-apply,
+        // and even the dedup pair could be read torn mid-finalize.
+        return Response::err(Status::Recovering, req.op_seq);
+    }
     let (last_seq, stored) = ctx.resptab.lookup(req.client_id).expect("registered above");
     if req.op_seq == last_seq && last_seq != 0 {
         // Retry of the acknowledged operation: replay the original
@@ -433,11 +449,6 @@ fn handle(ctx: &WorkerCtx, pid: usize, req: &Request) -> Response {
     }
     if req.op_seq != last_seq + 1 {
         return Response::err(Status::SeqGap, req.op_seq);
-    }
-    if ctx.resptab.foreign_inflight(req.client_id, ctx.own_band.clone()) {
-        // The client's previous request died with a peer process whose
-        // recovery hasn't resolved it; applying now could double-apply.
-        return Response::err(Status::Recovering, req.op_seq);
     }
     // The system half of the invocation (`CP_q := 0`, persisted) MUST
     // precede the intent record — this is what pins a later Completed

@@ -655,7 +655,8 @@ fn resptable_torn_client_slot_heals_to_empty() {
 /// Two slots claiming the same client ID (a crash between a slot CAS and
 /// its persist can leave the retried registration in a second slot): the
 /// heal is deterministic — the higher ack watermark wins, the stale slot
-/// is reclaimed.
+/// becomes a tombstone (`u64::MAX`, not 0: a mid-chain 0 would truncate
+/// the probe chain of every client that passed through the slot).
 #[test]
 fn resptable_duplicate_client_heals_to_higher_watermark() {
     let path = tmp("rtab_dup");
@@ -668,7 +669,13 @@ fn resptable_duplicate_client_heals_to_higher_watermark() {
     let store = Store::open_sized(&path, HEAP_BYTES).unwrap();
     let tab = store.response_table();
     assert_eq!(tab.lookup(42), Some((5, 2)), "higher watermark must win");
-    assert_eq!(read_at(&path, rtab_client_off(rtab, dup)), 0, "stale duplicate reclaimed");
+    assert_eq!(
+        read_at(&path, rtab_client_off(rtab, dup)),
+        u64::MAX,
+        "stale duplicate tombstoned, not zeroed"
+    );
+    assert_eq!(read_at(&path, rtab_client_off(rtab, dup) + 8), 0, "residue zeroed");
+    assert_eq!(read_at(&path, rtab_client_off(rtab, dup) + 16), 0, "residue zeroed");
     drop((tab, store));
     let _ = std::fs::remove_file(&path);
 }
